@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``test_fig*`` / ``test_table*`` module regenerates one table or
+figure of the paper (see DESIGN.md §5).  Monitors are timed with
+``benchmark.pedantic(rounds=1)`` — a monitoring run is a long, internally
+repetitive loop, so one round gives stable numbers and keeps the whole
+suite in minutes.  Pairwise-comparison counts (the paper's
+hardware-independent metric) are attached as ``extra_info`` and printed
+in the benchmark table via the ``cmp`` column of ``--benchmark-columns``
+groups.
+
+Set ``REPRO_SCALE`` to grow every workload toward paper scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import get_scale, prepared
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def movies():
+    return prepared("movies")
+
+
+@pytest.fixture(scope="session")
+def publications():
+    return prepared("publications")
+
+
+def run_monitor(monitor, stream) -> int:
+    """The timed kernel: push the whole stream; return comparisons."""
+    push = monitor.push
+    for obj in stream:
+        push(obj)
+    return monitor.stats.comparisons
+
+
+@pytest.fixture
+def timed_monitor(benchmark):
+    """Benchmark a freshly-built monitor over a stream exactly once."""
+
+    def runner(make_monitor, stream, **extra):
+        state = {}
+
+        def setup():
+            state["monitor"] = make_monitor()
+            return (state["monitor"], stream), {}
+
+        benchmark.pedantic(run_monitor, setup=setup, rounds=1,
+                           iterations=1)
+        monitor = state["monitor"]
+        benchmark.extra_info["comparisons"] = monitor.stats.comparisons
+        benchmark.extra_info["delivered"] = monitor.stats.delivered
+        benchmark.extra_info["objects"] = monitor.stats.objects
+        for key, value in extra.items():
+            benchmark.extra_info[key] = value
+        return monitor
+
+    return runner

@@ -1,0 +1,57 @@
+"""Ablation — batch frontier algorithms (bulk loading a corpus).
+
+BNL, SFS and divide & conquer return identical frontiers; they differ in
+pairwise comparisons.  SFS's dominance-monotone presort guarantees every
+comparison is against a true frontier member, capping its work at
+``n·|P|``; BNL has no bound but its early exits can win on friendly
+arrival orders.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import prepared
+from repro.core.batch import bnl_frontier, dc_frontier, sfs_frontier
+from repro.metrics.counters import Counter
+
+ALGORITHMS = {
+    "bnl": bnl_frontier,
+    "sfs": sfs_frontier,
+    "dc": dc_frontier,
+}
+
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.benchmark(group="ablation: batch frontier algorithms")
+def test_ablation_batch(benchmark, algorithm):
+    workload, _ = prepared("movies")
+    user = next(iter(workload.preferences))
+    preference = workload.preferences[user]
+    counter = Counter()
+
+    def run():
+        counter.reset()
+        return ALGORITHMS[algorithm](
+            preference, workload.dataset.objects, workload.schema,
+            counter)
+
+    frontier = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "algorithm": algorithm,
+        "frontier_size": len(frontier),
+        "comparisons": counter.value,
+    })
+    _RESULTS[algorithm] = {
+        "ids": sorted(o.oid for o in frontier),
+        "comparisons": counter.value,
+    }
+    # All algorithms that already ran agree on the frontier.
+    first = next(iter(_RESULTS.values()))
+    assert _RESULTS[algorithm]["ids"] == first["ids"]
+    # SFS's guarantee: every comparison hits a true frontier member.
+    if algorithm == "sfs":
+        n_objects = len(workload.dataset)
+        assert counter.value <= n_objects * max(len(frontier), 1)

@@ -1,0 +1,55 @@
+"""Ablation — Pareto-frontier buffer footprint under the sliding window.
+
+BaselineSW keeps one buffer ``PB_c`` per user; FilterThenVerifySW keeps
+one shared ``PB_U`` per cluster (Definition 7.4, Theorem 7.5).  The
+answers are identical, so the buffer totals measure the memory side of
+sharing — a claim Section 7 argues but never plots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import (PAPER_H, get_scale, make_monitor,
+                                prepared_stream, replayed_stream)
+
+WINDOWS = (400, 800, 1600)
+
+_BUFFERED: dict[tuple, int] = {}
+
+
+def run_and_measure(monitor, stream) -> int:
+    for obj in stream:
+        monitor.push(obj)
+    return sum(len(buffer) for buffer in monitor.buffers())
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+@pytest.mark.parametrize("kind", ["baseline", "ftv"])
+@pytest.mark.benchmark(group="ablation: sliding-window buffer footprint")
+def test_ablation_buffer(benchmark, kind, window):
+    workload, dendrogram = prepared_stream("movies")
+    stream = replayed_stream(workload, get_scale().stream_length // 2)
+    state = {}
+
+    def setup():
+        state["monitor"] = make_monitor(kind, workload, dendrogram,
+                                        h=PAPER_H, window=window)
+        return (state["monitor"], stream), {}
+
+    buffered = benchmark.pedantic(run_and_measure, setup=setup, rounds=1,
+                                  iterations=1)
+    monitor = state["monitor"]
+    benchmark.extra_info.update({
+        "kind": kind,
+        "window": window,
+        "buffered_objects": buffered,
+        "buffers": len(monitor.buffers()),
+        "comparisons": monitor.stats.comparisons,
+    })
+    _BUFFERED[(kind, window)] = buffered
+    baseline_key = ("baseline", window)
+    ftv_key = ("ftv", window)
+    if baseline_key in _BUFFERED and ftv_key in _BUFFERED:
+        # The shared buffer never stores more than the per-user buffers.
+        assert _BUFFERED[ftv_key] <= _BUFFERED[baseline_key]

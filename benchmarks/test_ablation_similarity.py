@@ -1,0 +1,75 @@
+"""Ablation — the four exact similarity measures of Section 5 plus the
+two frequency-vector measures of Section 6.3, compared at equal cluster
+counts on the movie dataset.
+
+Measures the design choice the paper motivates in Examples 5.1-5.5: do
+the weighted measures produce clusters whose members actually share
+more preference tuples, and does FilterThenVerify run faster on them?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import prepared
+from repro.clustering.hierarchical import build_dendrogram
+from repro.core.clusters import Cluster
+from repro.core.filter_verify import FilterThenVerify
+
+MEASURES = ("intersection", "jaccard", "weighted_intersection",
+            "weighted_jaccard", "approx_jaccard",
+            "approx_weighted_jaccard")
+
+_DENDROGRAMS: dict[str, object] = {}
+
+
+def clusters_for(measure: str, workload):
+    """Cut each measure's dendrogram at equal cluster count (|C|/8).
+
+    Measures have incomparable similarity scales, so comparing them at
+    one fixed h would be meaningless.
+    """
+    if measure not in _DENDROGRAMS:
+        _DENDROGRAMS[measure] = build_dendrogram(workload.preferences,
+                                                 measure)
+    dendrogram = _DENDROGRAMS[measure]
+    target = max(2, len(workload.preferences) // 8)
+    merges = dendrogram.merges[:len(workload.preferences) - target]
+    groups: dict[frozenset, None] = {
+        frozenset([user]): None for user in dendrogram.users}
+    for merge in merges:
+        del groups[merge.left]
+        del groups[merge.right]
+        groups[merge.merged] = None
+    preferences = workload.preferences
+    return [Cluster.exact({u: preferences[u] for u in group})
+            for group in groups]
+
+
+def run_monitor(monitor, stream) -> int:
+    for obj in stream:
+        monitor.push(obj)
+    return monitor.stats.comparisons
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+@pytest.mark.benchmark(group="ablation: similarity measures (equal k)")
+def test_ablation_similarity(benchmark, movies, measure):
+    workload, _ = movies
+    state = {}
+
+    def setup():
+        clusters = clusters_for(measure, workload)
+        state["clusters"] = clusters
+        state["monitor"] = FilterThenVerify(clusters, workload.schema)
+        return (state["monitor"], workload.dataset), {}
+
+    benchmark.pedantic(run_monitor, setup=setup, rounds=1, iterations=1)
+    clusters = state["clusters"]
+    shared = sum(c.virtual.size() for c in clusters) / len(clusters)
+    benchmark.extra_info.update({
+        "measure": measure,
+        "clusters": len(clusters),
+        "avg_shared_tuples": round(shared, 1),
+        "comparisons": state["monitor"].stats.comparisons,
+    })

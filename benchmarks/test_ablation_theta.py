@@ -1,0 +1,67 @@
+"""Ablation — Algorithm 3's thresholds θ1 (size cap) and θ2 (frequency
+floor), the design knobs of Section 6.1.
+
+Expected: growing the approximate relation (large θ1, small θ2) filters
+more aggressively — fewer comparisons — at the cost of recall; shrinking
+it recovers exactness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import PAPER_H, clusters_at, make_monitor, prepared
+from repro.clustering.hierarchical import cluster_users
+from repro.core.clusters import Cluster
+from repro.core.filter_verify import FilterThenVerifyApprox
+from repro.metrics.accuracy import DeliveryLog, delivery_metrics
+
+_TRUTH: dict[str, DeliveryLog] = {}
+_GROUPS: dict[str, list] = {}
+
+
+def setup_dataset(dataset: str):
+    workload, dendrogram = prepared(dataset)
+    if dataset not in _TRUTH:
+        baseline = make_monitor("baseline", workload, dendrogram)
+        _TRUTH[dataset] = DeliveryLog().record_all(baseline,
+                                                   workload.dataset)
+        _GROUPS[dataset] = cluster_users(workload.preferences, PAPER_H,
+                                         dendrogram=dendrogram)
+    return workload, _TRUTH[dataset], _GROUPS[dataset]
+
+
+def run_with_log(monitor, stream) -> DeliveryLog:
+    return DeliveryLog().record_all(monitor, stream)
+
+
+@pytest.mark.parametrize("theta1,theta2", [
+    (500, 0.5), (2000, 0.5), (6000, 0.5),   # size-cap sweep
+    (6000, 0.3), (6000, 0.7),               # frequency-floor sweep
+])
+@pytest.mark.benchmark(group="ablation: Algorithm 3 thresholds")
+def test_ablation_theta(benchmark, theta1, theta2):
+    workload, truth, groups = setup_dataset("movies")
+    state = {}
+
+    def setup():
+        clusters = [Cluster.approximate(g, theta1, theta2)
+                    for g in groups]
+        state["clusters"] = clusters
+        state["monitor"] = FilterThenVerifyApprox(clusters,
+                                                  workload.schema)
+        return (state["monitor"], workload.dataset), {}
+
+    log = benchmark.pedantic(run_with_log, setup=setup, rounds=1,
+                             iterations=1)
+    counts = delivery_metrics(truth, log)
+    clusters = state["clusters"]
+    benchmark.extra_info.update({
+        "theta1": theta1, "theta2": theta2,
+        "avg_relation_size": round(
+            sum(c.virtual.size() for c in clusters) / len(clusters)),
+        "comparisons": state["monitor"].stats.comparisons,
+        "precision_pct": round(100 * counts.precision, 2),
+        "recall_pct": round(100 * counts.recall, 2),
+    })
+    assert counts.precision > 0.85

@@ -1,0 +1,31 @@
+"""Ablation — speedup vs number of users (the 'many users' thesis).
+
+Baseline cost grows linearly in |C| while the shared monitors amortise
+filtering across each cluster; the comparison-count speedup therefore
+grows with the user count toward the paper's 1-2 orders of magnitude at
+|C| = 1,000.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import PAPER_H, get_scale, make_monitor, prepared
+
+KINDS = ("baseline", "ftv", "ftva")
+
+
+def user_grid():
+    base = max(8, get_scale().users // 4)
+    return (base, base * 2, base * 4)
+
+
+@pytest.mark.parametrize("users", user_grid())
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="ablation: users sweep (movies)")
+def test_ablation_users(timed_monitor, kind, users):
+    workload, dendrogram = prepared("movies", users)
+    timed_monitor(
+        lambda: make_monitor(kind, workload, dendrogram, h=PAPER_H),
+        workload.dataset,
+        users=users)

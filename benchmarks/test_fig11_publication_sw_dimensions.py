@@ -1,0 +1,29 @@
+"""Figure 11 — sliding-window monitors vs number of attributes d on the
+publication stream, at the largest window (W = 3,200)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import _prepared_projected
+from repro.bench.runner import (PAPER_DIMENSIONS, PAPER_H, PAPER_WINDOWS,
+                                get_scale, make_monitor, replayed_stream)
+
+KINDS = ("baseline", "ftv", "ftva")
+WINDOW = PAPER_WINDOWS[-1]
+
+
+@pytest.mark.parametrize("d", PAPER_DIMENSIONS)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig11 publications sliding window vs d")
+def test_fig11_monitor(timed_monitor, kind, d):
+    scale = get_scale()
+    workload, dendrogram = _prepared_projected("publications", d,
+                                               scale.stream_users,
+                                               scale.stream_objects)
+    stream = replayed_stream(workload, scale.stream_length)
+    timed_monitor(
+        lambda: make_monitor(kind, workload, dendrogram, h=PAPER_H,
+                             window=WINDOW),
+        stream,
+        dataset="publications", d=d, window=WINDOW)

@@ -1,0 +1,25 @@
+"""Figure 4 — Baseline vs FilterThenVerify vs Approx on the movie
+dataset (cumulative time, panel a; pairwise comparisons, panel b).
+
+Expected shape: baseline ≫ ftv > ftva in both time and the
+``comparisons`` extra_info; the paper reports 1-2 orders of magnitude at
+|O| = 12,749 and |C| = 1,000 (grow ``REPRO_SCALE`` to approach that).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import PAPER_H, make_monitor
+
+KINDS = ("baseline", "ftv", "ftva")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig4 movies d=4")
+def test_fig4_monitor(timed_monitor, movies, kind):
+    workload, dendrogram = movies
+    timed_monitor(
+        lambda: make_monitor(kind, workload, dendrogram, h=PAPER_H),
+        workload.dataset,
+        dataset="movies", h=PAPER_H)

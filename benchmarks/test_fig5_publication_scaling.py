@@ -1,0 +1,20 @@
+"""Figure 5 — Baseline vs FilterThenVerify vs Approx on the publication
+dataset (cumulative time and pairwise comparisons vs |O|)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import PAPER_H, make_monitor
+
+KINDS = ("baseline", "ftv", "ftva")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig5 publications d=4")
+def test_fig5_monitor(timed_monitor, publications, kind):
+    workload, dendrogram = publications
+    timed_monitor(
+        lambda: make_monitor(kind, workload, dendrogram, h=PAPER_H),
+        workload.dataset,
+        dataset="publications", h=PAPER_H)

@@ -1,0 +1,26 @@
+"""Figure 6 — effect of the number of attributes d on the movie dataset.
+
+Expected shape: super-linear growth in d for every monitor (larger d →
+more incomparability → larger frontiers), with the monitor ordering
+baseline ≫ ftv > ftva preserved at every d.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import _prepared_projected
+from repro.bench.runner import PAPER_DIMENSIONS, PAPER_H, make_monitor
+
+KINDS = ("baseline", "ftv", "ftva")
+
+
+@pytest.mark.parametrize("d", PAPER_DIMENSIONS)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig6 movies vs d")
+def test_fig6_monitor(timed_monitor, kind, d):
+    workload, dendrogram = _prepared_projected("movies", d)
+    timed_monitor(
+        lambda: make_monitor(kind, workload, dendrogram, h=PAPER_H),
+        workload.dataset,
+        dataset="movies", d=d)

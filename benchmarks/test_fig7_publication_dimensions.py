@@ -1,0 +1,22 @@
+"""Figure 7 — effect of the number of attributes d on the publication
+dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import _prepared_projected
+from repro.bench.runner import PAPER_DIMENSIONS, PAPER_H, make_monitor
+
+KINDS = ("baseline", "ftv", "ftva")
+
+
+@pytest.mark.parametrize("d", PAPER_DIMENSIONS)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig7 publications vs d")
+def test_fig7_monitor(timed_monitor, kind, d):
+    workload, dendrogram = _prepared_projected("publications", d)
+    timed_monitor(
+        lambda: make_monitor(kind, workload, dendrogram, h=PAPER_H),
+        workload.dataset,
+        dataset="publications", d=d)

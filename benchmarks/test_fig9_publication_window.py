@@ -1,0 +1,31 @@
+"""Figure 9 — sliding-window monitors on the publication stream vs W."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import (PAPER_H, PAPER_WINDOWS, get_scale,
+                                make_monitor, prepared_stream,
+                                replayed_stream)
+
+KINDS = ("baseline", "ftv", "ftva")
+
+
+@pytest.fixture(scope="module")
+def stream_setup():
+    scale = get_scale()
+    workload, dendrogram = prepared_stream("publications")
+    return workload, dendrogram, replayed_stream(workload,
+                                                 scale.stream_length)
+
+
+@pytest.mark.parametrize("window", PAPER_WINDOWS)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.benchmark(group="fig9 publications sliding window")
+def test_fig9_monitor(timed_monitor, stream_setup, kind, window):
+    workload, dendrogram, stream = stream_setup
+    timed_monitor(
+        lambda: make_monitor(kind, workload, dendrogram, h=PAPER_H,
+                             window=window),
+        stream,
+        dataset="publications", window=window)

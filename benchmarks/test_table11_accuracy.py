@@ -1,0 +1,57 @@
+"""Table 11 — precision / recall / F-measure of FilterThenVerifyApprox
+vs branch cut h, on both datasets (d = 4).
+
+Each benchmark times the approximate monitor's run; the accuracy against
+the exact Baseline deliveries is attached as ``extra_info`` and asserted
+to match the paper's shape (precision near 100%, recall high and
+non-catastrophic as h shrinks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import PAPER_H_GRID, make_monitor, prepared
+from repro.metrics.accuracy import DeliveryLog, delivery_metrics
+
+_TRUTH_CACHE: dict[str, DeliveryLog] = {}
+
+
+def truth_log(dataset: str) -> DeliveryLog:
+    if dataset not in _TRUTH_CACHE:
+        workload, dendrogram = prepared(dataset)
+        baseline = make_monitor("baseline", workload, dendrogram)
+        _TRUTH_CACHE[dataset] = DeliveryLog().record_all(
+            baseline, workload.dataset)
+    return _TRUTH_CACHE[dataset]
+
+
+def run_with_log(monitor, stream) -> DeliveryLog:
+    return DeliveryLog().record_all(monitor, stream)
+
+
+@pytest.mark.parametrize("h", PAPER_H_GRID)
+@pytest.mark.parametrize("dataset", ("movies", "publications"))
+@pytest.mark.benchmark(group="table11 accuracy of FTVA vs h")
+def test_table11_accuracy(benchmark, dataset, h):
+    workload, dendrogram = prepared(dataset)
+    truth = truth_log(dataset)
+    state = {}
+
+    def setup():
+        state["monitor"] = make_monitor("ftva", workload, dendrogram, h=h)
+        return (state["monitor"], workload.dataset), {}
+
+    log = benchmark.pedantic(run_with_log, setup=setup, rounds=1,
+                             iterations=1)
+    counts = delivery_metrics(truth, log)
+    benchmark.extra_info.update({
+        "dataset": dataset, "h": h,
+        "precision_pct": round(100 * counts.precision, 2),
+        "recall_pct": round(100 * counts.recall, 2),
+        "f_measure_pct": round(100 * counts.f_measure, 2),
+        "comparisons": state["monitor"].stats.comparisons,
+    })
+    # The paper's qualitative claims (Table 11).
+    assert counts.precision > 0.9
+    assert counts.recall > 0.6

@@ -1,0 +1,74 @@
+"""Table 12 — precision / recall / F-measure of FilterThenVerifyApproxSW
+vs window size W and branch cut h, on both replayed streams (d = 4).
+
+Paper shape: precision ~100% everywhere; recall declines slowly with
+smaller h; W has no strong effect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import (PAPER_H_GRID, PAPER_WINDOWS, get_scale,
+                                make_monitor, prepared_stream,
+                                replayed_stream)
+from repro.metrics.accuracy import DeliveryLog, delivery_metrics
+
+_STREAMS: dict[str, tuple] = {}
+_TRUTH: dict[tuple, DeliveryLog] = {}
+
+#: Keep the benchmark suite bounded: the paper's full W grid is exercised
+#: at the extremes; `python -m repro.bench tab12` covers all 16 cells.
+WINDOWS = (PAPER_WINDOWS[0], PAPER_WINDOWS[-1])
+
+
+def stream_setup(dataset: str):
+    if dataset not in _STREAMS:
+        scale = get_scale()
+        workload, dendrogram = prepared_stream(dataset)
+        _STREAMS[dataset] = (
+            workload, dendrogram,
+            replayed_stream(workload, scale.accuracy_stream_length))
+    return _STREAMS[dataset]
+
+
+def truth_log(dataset: str, window: int) -> DeliveryLog:
+    key = (dataset, window)
+    if key not in _TRUTH:
+        workload, dendrogram, stream = stream_setup(dataset)
+        baseline = make_monitor("baseline", workload, dendrogram,
+                                window=window)
+        _TRUTH[key] = DeliveryLog().record_all(baseline, stream)
+    return _TRUTH[key]
+
+
+def run_with_log(monitor, stream) -> DeliveryLog:
+    return DeliveryLog().record_all(monitor, stream)
+
+
+@pytest.mark.parametrize("h", PAPER_H_GRID)
+@pytest.mark.parametrize("window", WINDOWS)
+@pytest.mark.parametrize("dataset", ("movies", "publications"))
+@pytest.mark.benchmark(group="table12 accuracy of FTVA-SW vs W and h")
+def test_table12_accuracy(benchmark, dataset, window, h):
+    workload, dendrogram, stream = stream_setup(dataset)
+    truth = truth_log(dataset, window)
+    state = {}
+
+    def setup():
+        state["monitor"] = make_monitor("ftva", workload, dendrogram,
+                                        h=h, window=window)
+        return (state["monitor"], stream), {}
+
+    log = benchmark.pedantic(run_with_log, setup=setup, rounds=1,
+                             iterations=1)
+    counts = delivery_metrics(truth, log)
+    benchmark.extra_info.update({
+        "dataset": dataset, "window": window, "h": h,
+        "precision_pct": round(100 * counts.precision, 2),
+        "recall_pct": round(100 * counts.recall, 2),
+        "f_measure_pct": round(100 * counts.f_measure, 2),
+        "comparisons": state["monitor"].stats.comparisons,
+    })
+    assert counts.precision > 0.9
+    assert counts.recall > 0.6

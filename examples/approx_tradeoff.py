@@ -1,0 +1,64 @@
+"""The approximation dial: θ2 sweep on one workload (Section 6).
+
+Algorithm 3 grows each cluster's common preference relation with tuples a
+θ2-fraction of members agree on.  Lower θ2 → larger approximate relation
+→ stronger filtering (fewer comparisons) but more false negatives.  This
+example sweeps θ2 and prints the whole trade-off curve: relation size,
+comparison work, and delivery precision/recall against the exact answer
+— a miniature of the paper's Table 11.
+
+Run:  python examples/approx_tradeoff.py
+"""
+
+from repro import Cluster, FilterThenVerifyApprox, create_monitor
+from repro.clustering.hierarchical import cluster_users
+from repro.metrics.accuracy import DeliveryLog, delivery_metrics
+from repro.data.movies import movie_workload
+from repro.viz import markdown_table
+
+BRANCH_CUT = 0.55
+THETA1 = 6000
+
+
+def main():
+    workload = movie_workload(n_movies=1500, n_users=40, seed=7)
+    print(f"{len(workload.preferences)} users, "
+          f"{len(workload.dataset)} movies, h={BRANCH_CUT}\n")
+
+    # Ground truth from the exact per-user baseline.
+    baseline = create_monitor(workload.preferences, workload.schema,
+                              shared=False)
+    truth = DeliveryLog()
+    for obj in workload.dataset:
+        truth.record(baseline.push(obj))
+    exact_work = baseline.stats.comparisons
+
+    groups = cluster_users(workload.preferences, h=BRANCH_CUT,
+                           measure="weighted_jaccard")
+    rows = []
+    for theta2 in (0.9, 0.7, 0.5, 0.3):
+        clusters = [Cluster.approximate(group, THETA1, theta2)
+                    for group in groups]
+        monitor = FilterThenVerifyApprox(clusters, workload.schema)
+        log = DeliveryLog()
+        for obj in workload.dataset:
+            log.record(monitor.push(obj))
+        counts = delivery_metrics(truth, log)
+        relation = sum(c.virtual.size() for c in clusters) / len(clusters)
+        rows.append((theta2, round(relation),
+                     monitor.stats.comparisons,
+                     round(exact_work / monitor.stats.comparisons, 1),
+                     round(100 * counts.precision, 2),
+                     round(100 * counts.recall, 2)))
+
+    print(markdown_table(
+        ("theta2", "avg relation size", "comparisons",
+         "speedup vs baseline", "precision %", "recall %"),
+        rows))
+    print("\nReading: as theta2 falls the approximate relation grows, "
+          "work shrinks, and recall erodes — precision stays near 100% "
+          "(Section 6.2's asymmetry).")
+
+
+if __name__ == "__main__":
+    main()

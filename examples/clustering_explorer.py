@@ -1,0 +1,55 @@
+"""Clustering explorer: the four similarity measures of Section 5 compared.
+
+Clusters the retail customer base with each exact similarity measure
+(intersection size, Jaccard, weighted intersection, weighted Jaccard),
+prints the dendrogram for the paper's choice, and reports how each
+measure's clustering affects FilterThenVerify's shared work.
+
+The paper's Table 3 argument — weighting preference tuples by their level
+in the Hasse diagram separates users whose disagreements are near the top
+— is visible here as a larger average common preference relation at an
+equal cluster count.
+
+Run:  python examples/clustering_explorer.py
+"""
+
+from repro import Cluster, FilterThenVerify
+from repro.clustering.hierarchical import build_dendrogram, cluster_users
+from repro.data.retail import retail_workload
+from repro.viz import dendrogram_text, markdown_table
+
+MEASURES = ("intersection", "jaccard", "weighted_intersection",
+            "weighted_jaccard")
+BRANCH_CUT = 0.3
+
+
+def main():
+    workload = retail_workload(n_products=600, n_users=24, seed=41,
+                               personas=4, drop_rate=0.06, add_rate=0.005)
+    print(f"{len(workload.preferences)} customers, "
+          f"{len(workload.dataset)} products\n")
+
+    rows = []
+    for measure in MEASURES:
+        groups = cluster_users(workload.preferences, h=BRANCH_CUT,
+                               measure=measure)
+        clusters = [Cluster.exact(group) for group in groups]
+        monitor = FilterThenVerify(clusters, workload.schema)
+        for obj in workload.dataset:
+            monitor.push(obj)
+        shared = sum(c.virtual.size() for c in clusters) / len(clusters)
+        rows.append((measure, len(clusters), round(shared, 1),
+                     monitor.stats.comparisons))
+
+    print(markdown_table(
+        ("measure", "clusters", "avg shared tuples", "FTV comparisons"),
+        rows))
+
+    print("\nDendrogram under the paper's measure (weighted Jaccard):\n")
+    dendrogram = build_dendrogram(workload.preferences,
+                                  "weighted_jaccard")
+    print(dendrogram_text(dendrogram, h=BRANCH_CUT))
+
+
+if __name__ == "__main__":
+    main()

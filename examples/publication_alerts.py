@@ -1,0 +1,53 @@
+"""Publication alerts: the paper's bibliography-server scenario.
+
+Authors are notified about newly published articles that are
+Pareto-optimal under their preferences on affiliation, author, conference
+and keyword.  This example focuses on the *clustering* machinery: it
+builds the dendrogram once, sweeps the branch cut h, and shows the
+trade-off the paper's Section 8.2 describes — larger clusters share less,
+smaller clusters amortise less.
+
+Run:  python examples/publication_alerts.py
+"""
+
+from repro import (Baseline, Cluster, FilterThenVerify, build_dendrogram,
+                   cluster_users)
+from repro.data.publications import publication_workload
+
+
+def main() -> None:
+    print("generating synthetic publication corpus "
+          "(see DESIGN.md §4) ...")
+    workload = publication_workload(n_papers=1500, n_users=48, seed=11)
+    stream = list(workload.dataset)
+
+    baseline = Baseline(workload.preferences, workload.schema)
+    for paper in stream:
+        baseline.push(paper)
+    print(f"Baseline comparisons: {baseline.stats.comparisons:,}\n")
+
+    print("clustering authors once, sweeping the branch cut h:")
+    dendrogram = build_dendrogram(workload.preferences,
+                                  "weighted_jaccard")
+    print(f"{'h':>5}  {'clusters':>8}  {'avg size':>8}  "
+          f"{'shared tuples':>13}  {'comparisons':>11}  {'saving':>7}")
+    for h in (0.75, 0.70, 0.65, 0.60, 0.55, 0.50):
+        groups = cluster_users(workload.preferences, h,
+                               dendrogram=dendrogram)
+        clusters = [Cluster.exact(group) for group in groups]
+        monitor = FilterThenVerify(clusters, workload.schema)
+        for paper in stream:
+            monitor.push(paper)
+        shared = sum(c.virtual.size() for c in clusters) / len(clusters)
+        saving = baseline.stats.comparisons / monitor.stats.comparisons
+        print(f"{h:>5.2f}  {len(groups):>8}  "
+              f"{len(workload.preferences) / len(groups):>8.1f}  "
+              f"{shared:>13.0f}  {monitor.stats.comparisons:>11,}  "
+              f"{saving:>6.2f}x")
+
+    print("\nEvery row delivers exactly the Baseline's notifications —")
+    print("FilterThenVerify is lossless; h only moves the work around.")
+
+
+if __name__ == "__main__":
+    main()

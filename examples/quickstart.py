@@ -1,0 +1,104 @@
+"""Quickstart: the paper's running laptop example, end to end.
+
+Builds the two customers of Table 2, replays the inventory of Table 1,
+and shows which products each customer should be notified about — first
+with the per-user Baseline, then with FilterThenVerify sharing work
+through the customers' common preferences.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Baseline, Cluster, FilterThenVerify, PartialOrder, \
+    Preference
+
+SCHEMA = ("display", "brand", "cpu")
+
+
+def build_customers() -> dict[str, Preference]:
+    """Two customers with partially ordered preferences (paper Table 2)."""
+    c1 = Preference({
+        # c1 wants a 13-15.9" display; smaller beats bigger below that.
+        "display": PartialOrder.from_hasse([
+            ("13-15.9", "10-12.9"),
+            ("10-12.9", "16-18.9"), ("10-12.9", "19-up"),
+            ("16-18.9", "9.9-under"), ("19-up", "9.9-under"),
+        ]),
+        "brand": PartialOrder.from_hasse([
+            ("Apple", "Lenovo"),
+            ("Lenovo", "Sony"), ("Lenovo", "Toshiba"),
+            ("Lenovo", "Samsung"),
+        ]),
+        # Dual-core beats everything; single-core is last.
+        "cpu": PartialOrder.from_hasse([
+            ("dual", "triple"), ("dual", "quad"),
+            ("triple", "single"), ("quad", "single"),
+        ]),
+    })
+    c2 = Preference({
+        "display": PartialOrder.from_chain(
+            ["13-15.9", "16-18.9", "10-12.9", "19-up", "9.9-under"]),
+        "brand": PartialOrder.from_hasse([
+            ("Lenovo", "Samsung"), ("Samsung", "Toshiba"),
+            ("Toshiba", "Sony"), ("Apple", "Toshiba"),
+        ]),
+        # More cores are strictly better for c2.
+        "cpu": PartialOrder.from_chain(["quad", "triple", "dual",
+                                        "single"]),
+    })
+    return {"c1": c1, "c2": c2}
+
+
+INVENTORY = [
+    {"display": "10-12.9", "brand": "Apple", "cpu": "single"},    # o1
+    {"display": "13-15.9", "brand": "Apple", "cpu": "dual"},      # o2
+    {"display": "13-15.9", "brand": "Samsung", "cpu": "dual"},    # o3
+    {"display": "19-up", "brand": "Toshiba", "cpu": "dual"},      # o4
+    {"display": "9.9-under", "brand": "Samsung", "cpu": "quad"},  # o5
+    {"display": "10-12.9", "brand": "Sony", "cpu": "single"},     # o6
+    {"display": "9.9-under", "brand": "Lenovo", "cpu": "quad"},   # o7
+    {"display": "10-12.9", "brand": "Apple", "cpu": "dual"},      # o8
+    {"display": "19-up", "brand": "Sony", "cpu": "single"},       # o9
+    {"display": "9.9-under", "brand": "Lenovo", "cpu": "triple"}, # o10
+    {"display": "9.9-under", "brand": "Toshiba", "cpu": "triple"},# o11
+    {"display": "9.9-under", "brand": "Samsung", "cpu": "triple"},# o12
+    {"display": "13-15.9", "brand": "Sony", "cpu": "dual"},       # o13
+    {"display": "16-18.9", "brand": "Sony", "cpu": "single"},     # o14
+    {"display": "16-18.9", "brand": "Lenovo", "cpu": "quad"},     # o15
+    {"display": "16-18.9", "brand": "Toshiba", "cpu": "single"},  # o16
+]
+
+
+def main() -> None:
+    customers = build_customers()
+
+    print("=== Baseline: one Pareto frontier per customer ===")
+    monitor = Baseline(customers, SCHEMA)
+    for number, product in enumerate(INVENTORY, start=1):
+        targets = monitor.push(product)
+        if targets:
+            print(f"o{number:<3} {product['brand']:<8} -> notify "
+                  f"{', '.join(sorted(targets))}")
+    for customer in customers:
+        frontier = [f"o{obj.oid + 1}" for obj in
+                    monitor.frontier(customer)]
+        print(f"{customer}'s Pareto frontier: {', '.join(frontier)}")
+    print(f"pairwise comparisons: {monitor.stats.comparisons}")
+
+    print()
+    print("=== FilterThenVerify: share work via common preferences ===")
+    shared = FilterThenVerify([Cluster.exact(customers)], SCHEMA)
+    for number, product in enumerate(INVENTORY, start=1):
+        targets = shared.push(product)
+        if targets:
+            print(f"o{number:<3} {product['brand']:<8} -> notify "
+                  f"{', '.join(sorted(targets))}")
+    print(f"pairwise comparisons: {shared.stats.comparisons} "
+          f"(filter {shared.stats.filter.value}, "
+          f"verify {shared.stats.verify.value})")
+    virtual = shared.clusters[0].virtual
+    print("\nThe virtual user's common CPU preference:")
+    print(virtual.order("cpu").describe())
+
+
+if __name__ == "__main__":
+    main()

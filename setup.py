@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml.  This file exists so that
+``pip install -e . --no-build-isolation`` (or ``python setup.py develop``)
+works on offline environments whose setuptools predates wheel-less
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

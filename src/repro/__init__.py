@@ -1,0 +1,128 @@
+"""paretomon — continuous monitoring of Pareto frontiers for many users.
+
+A faithful, self-contained reproduction of *“Continuous Monitoring of
+Pareto Frontiers on Partially Ordered Attributes for Many Users”*
+(Sultana & Li, EDBT 2018).
+
+Quick tour
+----------
+
+>>> from repro import PartialOrder, Preference, Baseline
+>>> brand = PartialOrder.from_edges([("Apple", "Samsung")])
+>>> cpu = PartialOrder.from_chain(["quad", "dual", "single"])
+>>> alice = Preference({"brand": brand, "cpu": cpu})
+>>> monitor = Baseline({"alice": alice}, schema=("brand", "cpu"))
+>>> monitor.push({"brand": "Samsung", "cpu": "dual"})
+frozenset({'alice'})
+>>> monitor.push({"brand": "Apple", "cpu": "quad"})
+frozenset({'alice'})
+>>> monitor.push({"brand": "Samsung", "cpu": "single"})  # dominated
+frozenset()
+
+The shared-computation monitors (:class:`FilterThenVerify` and friends)
+group users into clusters (Section 5), optionally with approximate common
+preferences (Section 6); the ``*SW`` monitors add sliding-window semantics
+(Section 7).  See README.md for the architecture overview and
+EXPERIMENTS.md for the reproduction of the paper's evaluation.
+"""
+
+from repro.core.approx import (approximate_order, approximate_preference,
+                               tuple_frequencies)
+from repro.core.baseline import Baseline, brute_force_frontier
+from repro.core.batch import (bnl_frontier, dc_frontier,
+                              dominance_potential, frontier_sizes,
+                              sfs_frontier)
+from repro.core.clusters import Cluster
+from repro.core.dominance import Comparison, compare, dominates
+from repro.core.explain import (AttributeVerdict, Explanation,
+                                attribute_breakdown, explain,
+                                explain_delivery)
+from repro.core.errors import (CycleError, EmptyClusterError,
+                               ReflexiveTupleError, ReproError,
+                               SchemaMismatchError, ThresholdError,
+                               UnknownAttributeError, WindowError)
+from repro.core.filter_verify import FilterThenVerify, FilterThenVerifyApprox
+from repro.core.monitor import create_monitor
+from repro.core.pareto import AddResult, ParetoFrontier
+from repro.core.partial_order import (PartialOrder, PartialOrderBuilder,
+                                      is_strict_partial_order,
+                                      transitive_closure)
+from repro.core.preference import Preference, common_preference
+from repro.core.sliding import (BaselineSW, FilterThenVerifyApproxSW,
+                                FilterThenVerifySW, ParetoBuffer)
+from repro.core.targets import TargetRegistry
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.clustering.hierarchical import build_dendrogram, cluster_users
+from repro.clustering.similarity import MEASURES, get_measure
+from repro.data.objects import Dataset, Object
+from repro.metrics.accuracy import (ConfusionCounts, DeliveryLog,
+                                    delivery_metrics, frontier_metrics)
+from repro.metrics.counters import Counter, MonitorStats
+from repro.metrics.latency import (LatencyProfile, LatencyProfiler,
+                                   SLOReport)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "AddResult",
+    "AttributeVerdict",
+    "Baseline",
+    "BaselineSW",
+    "Cluster",
+    "Comparison",
+    "ConfusionCounts",
+    "Counter",
+    "CycleError",
+    "Dataset",
+    "DeliveryLog",
+    "Dendrogram",
+    "EmptyClusterError",
+    "Explanation",
+    "FilterThenVerify",
+    "FilterThenVerifyApprox",
+    "FilterThenVerifyApproxSW",
+    "FilterThenVerifySW",
+    "LatencyProfile",
+    "LatencyProfiler",
+    "MEASURES",
+    "Merge",
+    "MonitorStats",
+    "Object",
+    "ParetoBuffer",
+    "ParetoFrontier",
+    "PartialOrder",
+    "PartialOrderBuilder",
+    "Preference",
+    "ReflexiveTupleError",
+    "ReproError",
+    "SLOReport",
+    "SchemaMismatchError",
+    "TargetRegistry",
+    "ThresholdError",
+    "UnknownAttributeError",
+    "WindowError",
+    "approximate_order",
+    "approximate_preference",
+    "attribute_breakdown",
+    "bnl_frontier",
+    "brute_force_frontier",
+    "build_dendrogram",
+    "cluster_users",
+    "common_preference",
+    "compare",
+    "create_monitor",
+    "dc_frontier",
+    "delivery_metrics",
+    "dominance_potential",
+    "dominates",
+    "explain",
+    "explain_delivery",
+    "frontier_metrics",
+    "frontier_sizes",
+    "get_measure",
+    "is_strict_partial_order",
+    "sfs_frontier",
+    "transitive_closure",
+    "tuple_frequencies",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Experiment harness regenerating every table and figure of Section 8.
+
+``python -m repro.bench <experiment>`` prints paper-style rows; the
+``benchmarks/`` pytest-benchmark suite wraps the same experiment functions
+for timing.  See DESIGN.md §5 for the experiment index.
+"""
+
+from repro.bench.runner import (ExperimentResult, MonitorRun, Scale,
+                                get_scale, monitor_run, prepared)
+
+__all__ = [
+    "ExperimentResult",
+    "MonitorRun",
+    "Scale",
+    "get_scale",
+    "monitor_run",
+    "prepared",
+]

@@ -1,0 +1,100 @@
+"""Command line entry point: ``python -m repro.bench [experiment ...]``.
+
+Run one experiment (``fig4`` ... ``tab12``, ``abl-sim``, ``abl-theta``),
+several, or ``all``.  Set ``REPRO_SCALE`` to scale every workload (e.g.
+``REPRO_SCALE=4 python -m repro.bench fig4``).
+
+``--output DIR`` additionally writes one file per experiment —
+``<id>.md`` (GitHub-flavoured markdown, ready for EXPERIMENTS.md) or
+``<id>.json`` with ``--format json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.experiments import EXPERIMENTS
+
+
+def _write_result(result, directory: Path, fmt: str) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    if fmt == "md":
+        from repro.viz import markdown_table
+
+        body = [f"### {result.experiment}: {result.title}", "",
+                markdown_table(result.headers, result.rows)]
+        if result.notes:
+            body += ["", result.notes]
+        path = directory / f"{result.experiment}.md"
+        path.write_text("\n".join(body) + "\n", encoding="utf-8")
+    else:
+        path = directory / f"{result.experiment}.json"
+        path.write_text(json.dumps({
+            "experiment": result.experiment,
+            "title": result.title,
+            "headers": list(result.headers),
+            "rows": [list(row) for row in result.rows],
+            "notes": result.notes,
+        }, indent=1), encoding="utf-8")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument(
+        "experiments", nargs="*", default=["all"],
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'")
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "-o", "--output", default=None, metavar="DIR",
+        help="also write one file per experiment into DIR")
+    parser.add_argument(
+        "--format", choices=("md", "json"), default="md",
+        help="file format for --output (default: markdown)")
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also print each experiment as a log-scale text chart "
+             "(the figures' shapes)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(args.experiments) or ["all"]
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}; "
+                     f"choose from {', '.join(EXPERIMENTS)}")
+
+    for name in names:
+        started = time.perf_counter()
+        result = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - started
+        print(result.format())
+        print(f"(regenerated in {elapsed:.1f}s)\n")
+        if args.chart:
+            from repro.bench.plots import ascii_chart
+
+            try:
+                print(ascii_chart(result) + "\n")
+            except ValueError:
+                pass   # single-column results have no chartable series
+        if args.output:
+            path = _write_result(result, Path(args.output), args.format)
+            print(f"(written to {path})\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Text charts: the paper's figure *shapes*, rendered in the terminal.
+
+Every figure in Section 8 is a log-scale line chart (cumulative time or
+comparison count vs |O| / d / W) with one series per algorithm.  The
+tables printed by :mod:`repro.bench` carry the numbers;
+:func:`ascii_chart` carries the *shape* — who is above whom, by roughly
+how much, and how each series grows — which is exactly the claim under
+reproduction.
+
+>>> from repro.bench.runner import ExperimentResult
+>>> result = ExperimentResult("demo", "demo", ("x", "a", "b"),
+...                           [(1, 10, 100), (2, 20, 400)])
+>>> print(ascii_chart(result, series=("a", "b")))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.bench.runner import ExperimentResult
+
+#: Plot symbols, assigned to series in order.
+SYMBOLS = "xo*+#@"
+
+
+def ascii_chart(result: ExperimentResult,
+                series: Sequence[str] | None = None,
+                x: str | None = None, log_y: bool = True,
+                height: int = 12, width: int = 64) -> str:
+    """Render selected columns of an experiment as a text chart.
+
+    *x* names the x-axis column (default: the first header); *series*
+    names the y columns (default: every column ending in ``_cmp`` —
+    the hardware-independent panel of every figure).  Values are plotted
+    on a log scale by default, matching the paper's axes.
+    """
+    if x is None:
+        x = result.headers[0]
+    if series is None:
+        series = [h for h in result.headers if h.endswith("_cmp")]
+        if not series:
+            series = list(result.headers[1:])
+    missing = [name for name in (x, *series)
+               if name not in result.headers]
+    if missing:
+        raise ValueError(f"unknown columns: {', '.join(missing)}; "
+                         f"available: {', '.join(result.headers)}")
+    if not result.rows:
+        return "(no rows)"
+
+    x_index = result.headers.index(x)
+    x_values = [row[x_index] for row in result.rows]
+    columns = {name: [row[result.headers.index(name)]
+                      for row in result.rows] for name in series}
+
+    def transform(value: float) -> float:
+        if not log_y:
+            return float(value)
+        return math.log10(max(float(value), 1.0))
+
+    lows = min(transform(v) for vs in columns.values() for v in vs)
+    highs = max(transform(v) for vs in columns.values() for v in vs)
+    span = (highs - lows) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    n_points = len(x_values)
+    for s_index, name in enumerate(series):
+        symbol = SYMBOLS[s_index % len(SYMBOLS)]
+        for p_index, value in enumerate(columns[name]):
+            col = (0 if n_points == 1 else
+                   round(p_index * (width - 1) / (n_points - 1)))
+            fraction = (transform(value) - lows) / span
+            row = (height - 1) - round(fraction * (height - 1))
+            grid[row][col] = symbol
+
+    def y_label(row: int) -> str:
+        fraction = 1.0 - row / (height - 1)
+        value = lows + fraction * span
+        return (f"1e{value:4.1f}" if log_y else f"{value:8.1f}")
+
+    lines = [f"{result.experiment}: {result.title}"]
+    for row in range(height):
+        label = y_label(row) if row in (0, height // 2, height - 1) \
+            else ""
+        lines.append(f"{label:>8} |" + "".join(grid[row]))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_left = str(x_values[0])
+    x_right = str(x_values[-1])
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * 10 + x_left + " " * max(pad, 1) + x_right)
+    legend = "   ".join(
+        f"{SYMBOLS[i % len(SYMBOLS)]} = {name}"
+        for i, name in enumerate(series))
+    lines.append(f"{'':>10}{x} →        {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned, pipe-separated table (markdown-compatible)."""
+    table = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "| " + " | ".join(
+            cell.rjust(width) for cell, width in zip(cells, widths)) + " |"
+    rule = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    out = [line(list(headers)), rule]
+    out.extend(line(row) for row in table)
+    return "\n".join(out)

@@ -1,0 +1,233 @@
+"""Shared experiment infrastructure: scaling, caching, monitor runs.
+
+The paper's testbed (Java, 2 GHz Xeon, |O| up to 1M, 1,000 users) is out
+of reach for a single-process Python reproduction, so every experiment
+size is derived from a :class:`Scale` that defaults to a laptop-friendly
+configuration and honours the ``REPRO_SCALE`` environment variable (e.g.
+``REPRO_SCALE=4`` for a longer, closer-to-paper run).  EXPERIMENTS.md
+records the scale every reported number was produced at.
+
+Workloads and dendrograms are cached per (dataset, scale) because every
+figure reuses them; building a dendrogram is O(|C|²) similarity
+computations and would otherwise dominate the suite.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.clustering.dendrogram import Dendrogram
+from repro.clustering.hierarchical import build_dendrogram, cluster_users
+from repro.core.baseline import Baseline
+from repro.core.clusters import Cluster
+from repro.core.filter_verify import FilterThenVerify, FilterThenVerifyApprox
+from repro.core.sliding import (BaselineSW, FilterThenVerifyApproxSW,
+                                FilterThenVerifySW)
+from repro.data.movies import movie_workload
+from repro.data.publications import publication_workload
+from repro.data.stream import replay
+from repro.data.synthetic import Workload
+from repro.metrics.accuracy import DeliveryLog
+
+#: The paper's defaults.
+PAPER_H = 0.55
+PAPER_H_GRID = (0.70, 0.65, 0.60, 0.55)
+PAPER_WINDOWS = (400, 800, 1600, 3200)
+PAPER_DIMENSIONS = (2, 3, 4)
+
+#: Algorithm-3 thresholds used throughout the experiments: θ1 large
+#: enough not to truncate mid-relation, θ2 = majority agreement.
+THETA1 = 6000
+THETA2 = 0.5
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizes (multiplied by ``REPRO_SCALE``)."""
+
+    movie_objects: int = 2000
+    publication_objects: int = 2400
+    users: int = 80
+    stream_users: int = 30
+    #: Distinct objects backing the replayed streams.  The paper replays
+    #: 12,749/17,598 distinct objects into a 1M stream with windows up to
+    #: 3,200 — the window never exceeds ~25% of the distinct corpus.
+    #: Keeping that ratio matters: with more duplicates than distinct
+    #: objects inside a window, frontiers fill with identical copies.
+    stream_objects: int = 12800
+    stream_length: int = 6400
+    accuracy_stream_length: int = 4800
+
+    @classmethod
+    def from_env(cls) -> "Scale":
+        factor = float(os.environ.get("REPRO_SCALE", "1.0"))
+        base = cls()
+        return cls(
+            movie_objects=max(200, int(base.movie_objects * factor)),
+            publication_objects=max(
+                200, int(base.publication_objects * factor)),
+            users=max(8, int(base.users * factor)),
+            stream_users=max(8, int(base.stream_users * factor)),
+            stream_objects=max(800, int(base.stream_objects * factor)),
+            stream_length=max(1000, int(base.stream_length * factor)),
+            accuracy_stream_length=max(
+                1000, int(base.accuracy_stream_length * factor)),
+        )
+
+
+_SCALE: Scale | None = None
+
+
+def get_scale() -> Scale:
+    global _SCALE
+    if _SCALE is None:
+        _SCALE = Scale.from_env()
+    return _SCALE
+
+
+# ---------------------------------------------------------------------------
+# Workload / dendrogram cache
+# ---------------------------------------------------------------------------
+
+_CACHE: dict[tuple, object] = {}
+
+
+def prepared(dataset: str, users: int | None = None,
+             objects: int | None = None) -> tuple[Workload, Dendrogram]:
+    """The (workload, exact-measure dendrogram) pair for a dataset name."""
+    scale = get_scale()
+    if users is None:
+        users = scale.users
+    key = ("prepared", dataset, users, objects, scale)
+    if key not in _CACHE:
+        if dataset == "movies":
+            workload = movie_workload(objects or scale.movie_objects,
+                                      n_users=users, seed=7)
+        elif dataset == "publications":
+            workload = publication_workload(
+                objects or scale.publication_objects, n_users=users,
+                seed=11)
+        else:
+            raise ValueError(f"unknown dataset {dataset!r}")
+        dendrogram = build_dendrogram(workload.preferences,
+                                      "weighted_jaccard")
+        _CACHE[key] = (workload, dendrogram)
+    return _CACHE[key]
+
+
+def prepared_stream(dataset: str) -> tuple[Workload, Dendrogram]:
+    """Stream-experiment variant: a corpus large enough that the paper's
+    window/distinct-object ratio (≤ ~25%) is preserved."""
+    scale = get_scale()
+    return prepared(dataset, scale.stream_users, scale.stream_objects)
+
+
+def clusters_at(workload: Workload, dendrogram: Dendrogram, h: float,
+                approximate: bool = False) -> list[Cluster]:
+    groups = cluster_users(workload.preferences, h, dendrogram=dendrogram)
+    if approximate:
+        return [Cluster.approximate(g, THETA1, THETA2) for g in groups]
+    return [Cluster.exact(g) for g in groups]
+
+
+def make_monitor(kind: str, workload: Workload, dendrogram: Dendrogram,
+                 h: float = PAPER_H, window: int | None = None):
+    """Instantiate one of the six monitors on a prepared workload."""
+    if kind == "baseline":
+        if window is None:
+            return Baseline(workload.preferences, workload.schema)
+        return BaselineSW(workload.preferences, workload.schema, window)
+    approximate = kind == "ftva"
+    clusters = clusters_at(workload, dendrogram, h, approximate)
+    if window is None:
+        factory = FilterThenVerifyApprox if approximate else \
+            FilterThenVerify
+        return factory(clusters, workload.schema)
+    factory = FilterThenVerifyApproxSW if approximate else \
+        FilterThenVerifySW
+    return factory(clusters, workload.schema, window)
+
+
+# ---------------------------------------------------------------------------
+# Instrumented runs
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MonitorRun:
+    """Outcome of pushing a stream through one monitor."""
+
+    kind: str
+    elapsed: float
+    comparisons: int
+    delivered: int
+    objects: int
+    log: DeliveryLog
+    checkpoints: list[dict]
+
+    @property
+    def milliseconds(self) -> float:
+        return self.elapsed * 1000.0
+
+
+def monitor_run(kind: str, monitor, stream, checkpoints=(),
+                keep_log: bool = False) -> MonitorRun:
+    """Push *stream* through *monitor*, recording cumulative progress.
+
+    *checkpoints* is a sequence of 1-based object counts at which to
+    snapshot cumulative time and comparisons (the x-axes of Figures 4/5).
+    """
+    log = DeliveryLog()
+    marks = []
+    pending = sorted(set(checkpoints))
+    count = 0
+    push = monitor.push
+    record = log.record if keep_log else (lambda targets: None)
+    started = time.perf_counter()
+    for obj in stream:
+        record(push(obj))
+        count += 1
+        if pending and count == pending[0]:
+            pending.pop(0)
+            marks.append({
+                "objects": count,
+                "ms": (time.perf_counter() - started) * 1000.0,
+                "comparisons": monitor.stats.comparisons,
+            })
+    elapsed = time.perf_counter() - started
+    return MonitorRun(kind, elapsed, monitor.stats.comparisons,
+                      monitor.stats.delivered, count, log, marks)
+
+
+def replayed_stream(workload: Workload, length: int) -> list:
+    """The duplicated-sequence stream of Section 8.3."""
+    return list(replay(workload.dataset, length))
+
+
+@dataclass
+class ExperimentResult:
+    """A printable table: the regenerated figure or table."""
+
+    experiment: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple]
+    notes: str = ""
+
+    def format(self) -> str:
+        from repro.bench.reporting import format_table
+
+        body = format_table(self.headers, self.rows)
+        lines = [f"== {self.experiment}: {self.title} ==", body]
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def timed(fn: Callable[[], object]) -> tuple[object, float]:
+    """Run *fn*, returning (result, elapsed seconds)."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started

@@ -1,0 +1,301 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Five user-facing commands wrap the library for shell use:
+
+* ``demo`` — replay the paper's laptop example (Tables 1/2) end to end;
+* ``generate`` — write a synthetic scenario (dataset + preferences) to a
+  JSON file: ``python -m repro generate retail -o shop.json``;
+* ``inspect`` — print the Hasse diagrams inside a scenario/preferences
+  file;
+* ``cluster`` — run Section-5 clustering on a file and show the merge
+  history and resulting clusters;
+* ``monitor`` — stream a scenario's objects through a chosen monitor and
+  report deliveries and work counters;
+* ``profile`` — measure a scenario's shape (value skew, order density,
+  user similarity, frontier growth) to guide ``h``/θ choices;
+* ``explain`` — why is object N (not) Pareto-optimal for user U?
+* ``bench`` — delegate to :mod:`repro.bench` (regenerate paper figures).
+
+Every command reads/writes plain JSON (see :mod:`repro.io`), so scenarios
+can be produced by one invocation and consumed by the next.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO
+
+from repro import io as repro_io
+from repro.core.monitor import create_monitor
+from repro.viz import hasse_text
+
+#: generate-able scenarios: name -> (module, factory, object/user kwargs).
+SCENARIOS = ("movies", "publications", "retail", "social")
+
+
+def _load_scenario_factory(name: str):
+    if name == "movies":
+        from repro.data.movies import movie_workload
+        return lambda objects, users, seed: movie_workload(
+            n_movies=objects, n_users=users, seed=seed)
+    if name == "publications":
+        from repro.data.publications import publication_workload
+        return lambda objects, users, seed: publication_workload(
+            n_papers=objects, n_users=users, seed=seed)
+    if name == "retail":
+        from repro.data.retail import retail_workload
+        return lambda objects, users, seed: retail_workload(
+            n_products=objects, n_users=users, seed=seed)
+    if name == "social":
+        from repro.data.social import social_workload
+        return lambda objects, users, seed: social_workload(
+            n_posts=objects, n_users=users, seed=seed)
+    raise ValueError(f"unknown scenario {name!r}")  # pragma: no cover
+
+
+def _read_preferences(path: str):
+    """Accept either a scenario file or a bare preferences file."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if "preferences" in data:
+        workload = repro_io.workload_from_dict(data)
+        return workload.preferences, workload
+    return repro_io.preferences_from_dict(data), None
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def cmd_demo(args, out: IO[str]) -> int:
+    from repro.data import paper_example as pe
+
+    users = {"c1": pe.c1_preference(), "c2": pe.c2_preference()}
+    monitor = create_monitor(users, pe.SCHEMA, shared=not args.baseline,
+                             h=0.01)
+    print("Streaming the paper's inventory (Table 1) to customers "
+          "c1 and c2 (Table 2):\n", file=out)
+    for obj in pe.table1_dataset(16):
+        targets = monitor.push(obj)
+        row = dict(zip(pe.SCHEMA, obj.values))
+        label = (", ".join(sorted(map(str, targets)))
+                 if targets else "nobody")
+        print(f"  o{obj.oid + 1:<3} {str(row):<60} -> {label}", file=out)
+    for user in users:
+        frontier = sorted(f"o{o.oid + 1}" for o in monitor.frontier(user))
+        print(f"\nPareto frontier of {user}: {', '.join(frontier)}",
+              file=out)
+    print(f"\ntotal comparisons: {monitor.stats.comparisons}", file=out)
+    return 0
+
+
+def cmd_generate(args, out: IO[str]) -> int:
+    factory = _load_scenario_factory(args.scenario)
+    workload = factory(args.objects, args.users, args.seed)
+    repro_io.save_workload(workload, args.output)
+    print(f"wrote {workload.name!r}: {len(workload.dataset)} objects, "
+          f"{len(workload.preferences)} users -> {args.output}", file=out)
+    return 0
+
+
+def cmd_inspect(args, out: IO[str]) -> int:
+    preferences, workload = _read_preferences(args.file)
+    if workload is not None:
+        print(f"scenario {workload.name!r}: {len(workload.dataset)} "
+              f"objects over {workload.schema}", file=out)
+    users = [args.user] if args.user else sorted(map(str, preferences))
+    missing = [user for user in users if user not in preferences]
+    if missing:
+        print(f"error: unknown user(s) {', '.join(missing)}; file has "
+              f"{len(preferences)} users", file=out)
+        return 2
+    for user in users:
+        preference = preferences[user]
+        attributes = ([args.attribute] if args.attribute
+                      else sorted(preference.attributes))
+        print(f"\n=== {user} ===", file=out)
+        for attribute in attributes:
+            order = preference.order(attribute)
+            print(f"\n[{attribute}] ({len(order)} preference tuples)",
+                  file=out)
+            print(hasse_text(order), file=out)
+    return 0
+
+
+def cmd_cluster(args, out: IO[str]) -> int:
+    from repro.clustering.hierarchical import build_dendrogram
+
+    preferences, _ = _read_preferences(args.file)
+    dendrogram = build_dendrogram(preferences, measure=args.measure)
+    print(f"{len(preferences)} users, {len(dendrogram.merges)} merges "
+          f"(measure: {args.measure})", file=out)
+    for index, merge in enumerate(dendrogram.merges):
+        mark = " " if merge.similarity >= args.h else "x"
+        print(f" {mark} merge {index + 1}: sim={merge.similarity:.4f} "
+              f"{sorted(map(str, merge.left))} + "
+              f"{sorted(map(str, merge.right))}", file=out)
+    clusters = dendrogram.cut(args.h)
+    print(f"\nbranch cut h={args.h} -> {len(clusters)} clusters:",
+          file=out)
+    for cluster in sorted(clusters, key=lambda c: sorted(map(str, c))):
+        print(f"  {sorted(map(str, cluster))}", file=out)
+    return 0
+
+
+def cmd_monitor(args, out: IO[str]) -> int:
+    with open(args.file, encoding="utf-8") as handle:
+        workload = repro_io.workload_from_dict(json.load(handle))
+    monitor = create_monitor(
+        workload.preferences, workload.schema,
+        shared=args.algorithm != "baseline",
+        approximate=args.algorithm == "ftva",
+        window=args.window, h=args.h, theta2=args.theta2)
+    deliveries = 0
+    for obj in workload.dataset:
+        targets = monitor.push(obj)
+        deliveries += len(targets)
+        if targets and not args.quiet:
+            row = dict(zip(workload.schema, obj.values))
+            print(f"  {obj.oid:<6} {str(row):<70} -> "
+                  f"{len(targets)} users", file=out)
+    stats = monitor.stats.snapshot()
+    print(f"\n{args.algorithm}: {stats['objects']} objects pushed, "
+          f"{deliveries} notifications, "
+          f"{stats['comparisons']:,} comparisons "
+          f"(filter {stats['filter_comparisons']:,} / verify "
+          f"{stats['verify_comparisons']:,} / buffer "
+          f"{stats['buffer_comparisons']:,})", file=out)
+    return 0
+
+
+def cmd_profile(args, out: IO[str]) -> int:
+    from repro.data.profile import format_profile, profile_workload
+
+    with open(args.file, encoding="utf-8") as handle:
+        workload = repro_io.workload_from_dict(json.load(handle))
+    profile = profile_workload(workload, sample_users=args.sample)
+    print(format_profile(profile), file=out)
+    return 0
+
+
+def cmd_explain(args, out: IO[str]) -> int:
+    from repro.core.explain import explain
+
+    with open(args.file, encoding="utf-8") as handle:
+        workload = repro_io.workload_from_dict(json.load(handle))
+    if args.user not in workload.preferences:
+        print(f"error: unknown user {args.user!r}", file=out)
+        return 2
+    if not 0 <= args.object < len(workload.dataset):
+        print(f"error: object id must be in 0..{len(workload.dataset) - 1}",
+              file=out)
+        return 2
+    obj = workload.dataset[args.object]
+    result = explain(workload.preferences[args.user], obj,
+                     workload.dataset.objects, workload.schema,
+                     user=args.user, max_dominators=args.max_dominators)
+    print(result.describe(workload.schema), file=out)
+    return 0
+
+
+def cmd_bench(args, out: IO[str]) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(args.bench_args)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Continuous Pareto-frontier monitoring "
+                    "(EDBT 2018 reproduction).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser(
+        "demo", help="replay the paper's laptop example (Tables 1/2)")
+    demo.add_argument("--baseline", action="store_true",
+                      help="use the per-user Baseline instead of "
+                           "FilterThenVerify")
+    demo.set_defaults(func=cmd_demo)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic scenario to a JSON file")
+    generate.add_argument("scenario", choices=SCENARIOS)
+    generate.add_argument("-o", "--output", required=True,
+                          help="output JSON path")
+    generate.add_argument("--objects", type=int, default=500)
+    generate.add_argument("--users", type=int, default=24)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.set_defaults(func=cmd_generate)
+
+    inspect = commands.add_parser(
+        "inspect", help="print the Hasse diagrams in a scenario file")
+    inspect.add_argument("file")
+    inspect.add_argument("--user", help="only this user")
+    inspect.add_argument("--attribute", help="only this attribute")
+    inspect.set_defaults(func=cmd_inspect)
+
+    cluster = commands.add_parser(
+        "cluster", help="cluster the users of a scenario file (Section 5)")
+    cluster.add_argument("file")
+    cluster.add_argument("--h", type=float, default=0.55,
+                         help="dendrogram branch cut (default 0.55)")
+    cluster.add_argument("--measure", default="weighted_jaccard",
+                         help="similarity measure (see repro.MEASURES)")
+    cluster.set_defaults(func=cmd_cluster)
+
+    monitor = commands.add_parser(
+        "monitor", help="stream a scenario through a monitor")
+    monitor.add_argument("file")
+    monitor.add_argument("--algorithm",
+                         choices=("baseline", "ftv", "ftva"),
+                         default="ftv")
+    monitor.add_argument("--window", type=int, default=None,
+                         help="sliding window size W (Section 7)")
+    monitor.add_argument("--h", type=float, default=0.55)
+    monitor.add_argument("--theta2", type=float, default=0.5)
+    monitor.add_argument("--quiet", action="store_true",
+                         help="summary only, no per-delivery lines")
+    monitor.set_defaults(func=cmd_monitor)
+
+    profile = commands.add_parser(
+        "profile", help="measure a scenario's shape (skew, order "
+                        "density, similarity, frontier growth)")
+    profile.add_argument("file")
+    profile.add_argument("--sample", type=int, default=12,
+                         help="user sample size for order statistics")
+    profile.set_defaults(func=cmd_profile)
+
+    explain = commands.add_parser(
+        "explain", help="why is an object (not) Pareto-optimal for a "
+                        "user?")
+    explain.add_argument("file")
+    explain.add_argument("--user", required=True)
+    explain.add_argument("--object", type=int, required=True,
+                         help="object id (row index) in the scenario")
+    explain.add_argument("--max-dominators", type=int, default=3)
+    explain.set_defaults(func=cmd_explain)
+
+    bench = commands.add_parser(
+        "bench", help="regenerate the paper's tables and figures")
+    bench.add_argument("bench_args", nargs=argparse.REMAINDER,
+                       help="arguments for python -m repro.bench")
+    bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv=None, out: IO[str] | None = None) -> int:
+    """Entry point; *out* is injectable for tests."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, out if out is not None else sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,3 @@
+"""Clustering of user preferences expressed as strict partial orders
+(Section 5) and the frequency-vector measures for approximate clusters
+(Section 6.3)."""

@@ -1,0 +1,62 @@
+"""Dendrograms: the merge history of agglomerative clustering.
+
+Hierarchical agglomerative clustering (Section 5/8.2) repeatedly merges the
+two most similar clusters.  The sequence of merges forms a binary forest;
+the *branch cut* ``h`` chooses where to stop: only merges whose similarity
+is at least ``h`` are applied.  Recording the full history once lets
+experiments sweep many ``h`` values (Tables 11/12) without re-clustering.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Hashable, NamedTuple
+
+UserId = Hashable
+
+
+class Merge(NamedTuple):
+    """One agglomerative step: two clusters joined at a given similarity."""
+
+    left: frozenset
+    right: frozenset
+    similarity: float
+
+    @property
+    def merged(self) -> frozenset:
+        return self.left | self.right
+
+
+class Dendrogram:
+    """The ordered merge history over a fixed user set."""
+
+    def __init__(self, users: Sequence[UserId], merges: Sequence[Merge]):
+        self.users: tuple[UserId, ...] = tuple(users)
+        self.merges: tuple[Merge, ...] = tuple(merges)
+
+    def cut(self, h: float) -> list[frozenset]:
+        """Clusters obtained by applying merges while similarity ≥ ``h``.
+
+        Replays the greedy merge sequence and stops at the first merge
+        whose similarity drops below the branch cut — exactly the stopping
+        rule of Section 8.2 ("the minimum pairwise similarity that two
+        clusters must satisfy in order to be merged").
+        """
+        clusters: dict[frozenset, None] = {
+            frozenset([user]): None for user in self.users
+        }
+        for merge in self.merges:
+            if merge.similarity < h:
+                break
+            del clusters[merge.left]
+            del clusters[merge.right]
+            clusters[merge.merged] = None
+        return list(clusters)
+
+    def merge_similarities(self) -> list[float]:
+        """Similarity at each merge, in merge order (diagnostics)."""
+        return [merge.similarity for merge in self.merges]
+
+    def __repr__(self) -> str:
+        return (f"Dendrogram({len(self.users)} users, "
+                f"{len(self.merges)} merges)")

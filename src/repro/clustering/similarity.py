@@ -1,0 +1,227 @@
+"""Similarity measures for clustering strict partial orders (Sections 5, 6.3).
+
+The paper proposes four measures between *clusters'* common preference
+relations (Equations 2–5) and two frequency-vector measures compatible with
+approximate preference relations (Equations 9–10).  The overall similarity
+of two clusters is always the attribute-wise sum (Equation 1):
+
+    sim(U1, U2) = Σ_d sim_d(U1, U2)
+
+Each measure is packaged as a :class:`SimilarityMeasure`, which also knows
+how to *represent* a cluster (so the agglomerative loop can merge
+representations in O(size) instead of recomputing from members) — exact
+measures use the common :class:`~repro.core.preference.Preference`,
+approximate measures use per-tuple frequency/weight sums.
+
+Conventions for degenerate inputs: ratio measures (Jaccard variants) define
+``0 / 0 = 0`` — two clusters with no preference tuples on an attribute
+contribute no similarity, so fully indifferent users do not spuriously
+attract each other.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.partial_order import PartialOrder, Pair
+from repro.core.preference import Preference
+
+
+# ---------------------------------------------------------------------------
+# Per-attribute measures on common preference relations (Section 5)
+# ---------------------------------------------------------------------------
+
+def intersection_size(order1: PartialOrder, order2: PartialOrder) -> float:
+    """Equation 2: number of shared preference tuples."""
+    return float(len(order1.pairs & order2.pairs))
+
+
+def jaccard(order1: PartialOrder, order2: PartialOrder) -> float:
+    """Equation 3: shared tuples over all tuples."""
+    union = len(order1.pairs | order2.pairs)
+    if union == 0:
+        return 0.0
+    return len(order1.pairs & order2.pairs) / union
+
+
+def weighted_intersection_size(order1: PartialOrder,
+                               order2: PartialOrder) -> float:
+    """Equation 4: shared tuples, weighted by the better value's level.
+
+    Each common tuple ``(v, v')`` contributes the average of ``v``'s weight
+    in the two orders, where a value's weight is ``1 / (min Hasse distance
+    from a maximal value + 1)`` — tuples near the top of the orders matter
+    more (Example 5.4).
+    """
+    total = 0.0
+    for v, _ in order1.pairs & order2.pairs:
+        total += 0.5 * (order1.weight(v) + order2.weight(v))
+    return total
+
+
+def weighted_jaccard(order1: PartialOrder, order2: PartialOrder) -> float:
+    """Equation 5: weighted intersection over weighted union."""
+    shared = weighted_intersection_size(order1, order2)
+    only1 = sum(order1.weight(v)
+                for v, _ in order1.pairs - order2.pairs)
+    only2 = sum(order2.weight(v)
+                for v, _ in order2.pairs - order1.pairs)
+    denominator = shared + only1 + only2
+    if denominator == 0.0:
+        return 0.0
+    return shared / denominator
+
+
+# ---------------------------------------------------------------------------
+# Frequency-vector measures (Section 6.3)
+# ---------------------------------------------------------------------------
+
+class FrequencyVector:
+    """A cluster's per-attribute tuple-frequency vector (Definition 6.1).
+
+    ``sums[attribute][pair]`` accumulates each member's contribution to the
+    tuple — 1 for the plain Jaccard variant (Equation 9), the better
+    value's weight *in that member's own order* for the weighted variant
+    (Equation 10; see Example 6.9).  Division by the member count happens
+    at similarity time, so merging two disjoint clusters is a dict sum.
+    """
+
+    __slots__ = ("size", "sums")
+
+    def __init__(self, size: int,
+                 sums: Mapping[str, Mapping[Pair, float]]):
+        self.size = size
+        self.sums: dict[str, dict[Pair, float]] = {
+            attribute: dict(pairs) for attribute, pairs in sums.items()
+        }
+
+    @classmethod
+    def for_user(cls, preference: Preference,
+                 weighted: bool) -> "FrequencyVector":
+        sums: dict[str, dict[Pair, float]] = {}
+        for attribute, order in preference.items():
+            entry = sums.setdefault(attribute, {})
+            for pair in order.pairs:
+                entry[pair] = order.weight(pair[0]) if weighted else 1.0
+        return cls(1, sums)
+
+    def merged_with(self, other: "FrequencyVector") -> "FrequencyVector":
+        sums = {attribute: dict(pairs)
+                for attribute, pairs in self.sums.items()}
+        for attribute, pairs in other.sums.items():
+            entry = sums.setdefault(attribute, {})
+            for pair, value in pairs.items():
+                entry[pair] = entry.get(pair, 0.0) + value
+        return FrequencyVector(self.size + other.size, sums)
+
+    def similarity_to(self, other: "FrequencyVector") -> float:
+        """Equations 9/10: Σ_d Σ_i min(U(i), V(i)) / Σ_i max(U(i), V(i))."""
+        total = 0.0
+        attributes = set(self.sums) | set(other.sums)
+        for attribute in attributes:
+            mine = self.sums.get(attribute, {})
+            theirs = other.sums.get(attribute, {})
+            minima = 0.0
+            maxima = 0.0
+            for pair in set(mine) | set(theirs):
+                u = mine.get(pair, 0.0) / self.size
+                v = theirs.get(pair, 0.0) / other.size
+                if u < v:
+                    minima += u
+                    maxima += v
+                else:
+                    minima += v
+                    maxima += u
+            if maxima > 0.0:
+                total += minima / maxima
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Measure objects driving the agglomerative loop
+# ---------------------------------------------------------------------------
+
+class SimilarityMeasure:
+    """Strategy interface: cluster representation + similarity."""
+
+    name: str = "abstract"
+
+    def represent(self, preference: Preference):
+        """Representation of a singleton cluster."""
+        raise NotImplementedError
+
+    def merge(self, rep1, rep2):
+        """Representation of the union of two disjoint clusters."""
+        raise NotImplementedError
+
+    def similarity(self, rep1, rep2) -> float:
+        """Equation 1's Σ_d sim_d between two representations."""
+        raise NotImplementedError
+
+
+class _ExactMeasure(SimilarityMeasure):
+    """Measures on common preference relations (Section 5).
+
+    Representation: the cluster's common :class:`Preference`; merging two
+    clusters intersects their common relations (Definition 4.1 composes).
+    """
+
+    def __init__(self, name: str, per_attribute):
+        self.name = name
+        self._per_attribute = per_attribute
+
+    def represent(self, preference: Preference) -> Preference:
+        return preference
+
+    def merge(self, rep1: Preference, rep2: Preference) -> Preference:
+        return rep1.intersection(rep2)
+
+    def similarity(self, rep1: Preference, rep2: Preference) -> float:
+        attributes = rep1.attributes | rep2.attributes
+        return sum(
+            self._per_attribute(rep1.order(attr), rep2.order(attr))
+            for attr in attributes)
+
+
+class _VectorMeasure(SimilarityMeasure):
+    """Frequency-vector measures (Section 6.3)."""
+
+    def __init__(self, name: str, weighted: bool):
+        self.name = name
+        self._weighted = weighted
+
+    def represent(self, preference: Preference) -> FrequencyVector:
+        return FrequencyVector.for_user(preference, self._weighted)
+
+    def merge(self, rep1: FrequencyVector,
+              rep2: FrequencyVector) -> FrequencyVector:
+        return rep1.merged_with(rep2)
+
+    def similarity(self, rep1: FrequencyVector,
+                   rep2: FrequencyVector) -> float:
+        return rep1.similarity_to(rep2)
+
+
+MEASURES: dict[str, SimilarityMeasure] = {
+    measure.name: measure
+    for measure in (
+        _ExactMeasure("intersection", intersection_size),
+        _ExactMeasure("jaccard", jaccard),
+        _ExactMeasure("weighted_intersection", weighted_intersection_size),
+        _ExactMeasure("weighted_jaccard", weighted_jaccard),
+        _VectorMeasure("approx_jaccard", weighted=False),
+        _VectorMeasure("approx_weighted_jaccard", weighted=True),
+    )
+}
+
+
+def get_measure(measure: str | SimilarityMeasure) -> SimilarityMeasure:
+    """Resolve a measure by name (or pass an instance through)."""
+    if isinstance(measure, SimilarityMeasure):
+        return measure
+    try:
+        return MEASURES[measure]
+    except KeyError:
+        raise ValueError(
+            f"unknown similarity measure {measure!r}; choose one of "
+            f"{sorted(MEASURES)}") from None

@@ -1,0 +1,2 @@
+"""Core algorithms of the paper: partial orders, dominance, Pareto
+frontier maintenance, and the monitor family (Algorithms 1–5)."""

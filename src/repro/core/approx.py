@@ -1,0 +1,101 @@
+"""Approximate common preference relations (Section 6).
+
+Definition 6.1 relaxes the common preference relation of a cluster: a
+preference tuple shared by *most* (not all) members may be admitted, which
+keeps clusters useful even when their members' orders diverge.  Algorithm 3
+(``GetApproxPreferenceTuples``) constructs the relation greedily:
+
+1. every *common* tuple (frequency 1) is always included;
+2. remaining candidate tuples are considered in descending frequency, while
+   the relation stays smaller than ``theta1`` and the frequency exceeds
+   ``theta2``;
+3. a tuple is admitted only if the relation stays a strict partial order,
+   and admission immediately adds the transitive closure.
+
+Definition 6.1 leaves frequency ties unordered; for reproducible runs we
+break ties by the tuple's representation (documented in DESIGN.md §7.4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from collections.abc import Iterable, Sequence
+
+from repro.core.errors import EmptyClusterError, ThresholdError
+from repro.core.partial_order import (PartialOrder, PartialOrderBuilder,
+                                      Pair)
+from repro.core.preference import Preference
+
+
+def tuple_frequencies(orders: Sequence[PartialOrder],
+                      ) -> dict[Pair, float]:
+    """Frequency of each preference tuple among *orders*.
+
+    ``freq(A)`` is the fraction of users whose relation contains ``A``
+    (Definition 6.1).  Tuples appearing in no user have frequency 0 and are
+    never candidates, so they are simply omitted.
+    """
+    if not orders:
+        raise EmptyClusterError("tuple frequencies of an empty user set")
+    tally: TallyCounter = TallyCounter()
+    for order in orders:
+        tally.update(order.pairs)
+    n = len(orders)
+    return {pair: count / n for pair, count in tally.items()}
+
+
+def approximate_order(orders: Sequence[PartialOrder], theta1: float,
+                      theta2: float, tie_break=None) -> PartialOrder:
+    """Algorithm 3: the approximate common preference relation on one
+    attribute.
+
+    ``theta1`` caps the size of the resulting relation; ``theta2`` excludes
+    infrequent tuples.  Tuples with frequency 1 (true common tuples) bypass
+    both thresholds, so the result always contains the common preference
+    relation (Lemma 6.4, property 1).
+
+    Definition 6.1 orders candidates by descending frequency but leaves
+    ties unspecified; *tie_break* (a key function on pairs, default: the
+    pair's ``repr``) resolves them deterministically.  The output can
+    depend on it — e.g. admitting ``(x, y)`` blocks ``(y, x)`` — which is
+    inherent to the greedy construction, not an implementation artefact.
+    """
+    if theta1 < 0:
+        raise ThresholdError(f"theta1 must be non-negative, got {theta1}")
+    if not 0 <= theta2 <= 1:
+        raise ThresholdError(f"theta2 must be within [0, 1], got {theta2}")
+    if tie_break is None:
+        tie_break = repr
+    frequencies = tuple_frequencies(orders)
+    ranked = sorted(frequencies.items(),
+                    key=lambda item: (-item[1], tie_break(item[0])))
+    domain: set = set()
+    for order in orders:
+        domain |= order.domain
+    builder = PartialOrderBuilder(domain)
+    for pair, freq in ranked:
+        if freq == 1.0:
+            builder.try_add(pair)
+            continue
+        if builder.size >= theta1 or freq <= theta2:
+            break
+        builder.try_add(pair)
+    return builder.build()
+
+
+def approximate_preference(preferences: Iterable[Preference], theta1: float,
+                           theta2: float, tie_break=None) -> Preference:
+    """The approximate virtual user ``Û``: Algorithm 3 on every attribute."""
+    preferences = list(preferences)
+    if not preferences:
+        raise EmptyClusterError(
+            "approximate preference of an empty user set")
+    attributes: set[str] = set()
+    for preference in preferences:
+        attributes |= preference.attributes
+    return Preference({
+        attribute: approximate_order(
+            [p.order(attribute) for p in preferences], theta1, theta2,
+            tie_break)
+        for attribute in attributes
+    })

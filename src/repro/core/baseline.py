@@ -1,0 +1,163 @@
+"""Algorithm 1 — the per-user Baseline monitor.
+
+For every incoming object, Baseline updates the Pareto frontier of *every*
+user independently (the basic skyline insert applied ``|C|`` times).  It is
+exact and simple, and exists both as the correctness oracle for the shared
+and approximate monitors and as the comparison baseline of every figure in
+Section 8.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.clusters import UserId
+from repro.core.errors import ReproError
+from repro.core.pareto import ParetoFrontier
+from repro.core.preference import Preference
+from repro.core.targets import TargetRegistry
+from repro.data.objects import Object, Schema
+from repro.metrics.counters import MonitorStats
+
+
+class MonitorBase:
+    """Shared plumbing for the append-only monitors.
+
+    Subclasses implement :meth:`_process` and expose per-user frontiers via
+    :meth:`frontier`.  :meth:`push` accepts either a ready
+    :class:`~repro.data.objects.Object` or a raw row (sequence or mapping
+    aligned with the schema) and returns the object's target users
+    ``C_o`` (Definition 3.4).
+    """
+
+    def __init__(self, schema: Sequence[str], track_targets: bool = False):
+        self.schema: Schema = tuple(schema)
+        self.stats = MonitorStats()
+        self._next_oid = 0
+        #: Live C_o bookkeeping (Definition 3.4) when requested.
+        self.targets: TargetRegistry | None = (
+            TargetRegistry() if track_targets else None)
+
+    # -- input handling -------------------------------------------------
+
+    def _coerce(self, row) -> Object:
+        if isinstance(row, Object):
+            self._next_oid = max(self._next_oid, row.oid + 1)
+            return row
+        if isinstance(row, Mapping):
+            values = tuple(row[attr] for attr in self.schema)
+        else:
+            values = tuple(row)
+        obj = Object(self._next_oid, values)
+        self._next_oid += 1
+        return obj
+
+    def push(self, row) -> frozenset[UserId]:
+        """Process one arrival; returns the target users of the object."""
+        obj = self._coerce(row)
+        self.stats.objects += 1
+        targets = self._process(obj)
+        self.stats.delivered += len(targets)
+        return targets
+
+    def push_all(self, rows) -> list[frozenset[UserId]]:
+        """Process many arrivals; returns the target users per object."""
+        return [self.push(row) for row in rows]
+
+    def _process(self, obj: Object) -> frozenset[UserId]:
+        raise NotImplementedError
+
+    # -- inspection ------------------------------------------------------
+
+    def frontier(self, user: UserId) -> tuple[Object, ...]:
+        """Current Pareto frontier ``P_c`` of *user*, in arrival order."""
+        raise NotImplementedError
+
+    def frontier_ids(self, user: UserId) -> frozenset[int]:
+        """Object ids of ``P_c``."""
+        return frozenset(obj.oid for obj in self.frontier(user))
+
+    def targets_of(self, oid: int) -> frozenset[UserId]:
+        """Current ``C_o`` of a past object (requires tracking).
+
+        Unlike the value returned by :meth:`push`, this reflects later
+        evictions: an object stops being a target once something
+        dominating it arrives (and, under windows, resumes if the
+        dominator expires).
+        """
+        if self.targets is None:
+            raise ReproError(
+                "target tracking is off; construct the monitor with "
+                "track_targets=True")
+        return self.targets.targets_of(oid)
+
+
+class Baseline(MonitorBase):
+    """Algorithm 1: independent Pareto-frontier maintenance per user."""
+
+    def __init__(self, preferences: Mapping[UserId, Preference],
+                 schema: Sequence[str], track_targets: bool = False):
+        super().__init__(schema, track_targets)
+        self._preferences: dict[UserId, Preference] = dict(preferences)
+        self._frontiers: dict[UserId, ParetoFrontier] = {
+            user: ParetoFrontier(pref.aligned(self.schema),
+                                 self.stats.filter, self.targets, user)
+            for user, pref in preferences.items()
+        }
+
+    @property
+    def users(self) -> tuple[UserId, ...]:
+        return tuple(self._frontiers)
+
+    def add_user(self, user: UserId, preference: Preference,
+                 history: Sequence[Object] = ()) -> None:
+        """Register a new user mid-stream.
+
+        The monitor does not retain past objects, so the caller supplies
+        whatever *history* the new user should compete over (often the
+        recent tail of the feed); with no history the user's frontier
+        starts empty and fills from future arrivals.
+        """
+        if user in self._frontiers:
+            raise ValueError(f"user {user!r} already registered")
+        frontier = ParetoFrontier(preference.aligned(self.schema),
+                                  self.stats.filter, self.targets, user)
+        for obj in history:
+            frontier.add(obj)
+        self._preferences[user] = preference
+        self._frontiers[user] = frontier
+
+    def remove_user(self, user: UserId) -> None:
+        """Unregister a user; their target-set entries are withdrawn."""
+        frontier = self._frontiers.pop(user)
+        self._preferences.pop(user, None)
+        frontier.clear()
+
+    def _process(self, obj: Object) -> frozenset[UserId]:
+        targets = [
+            user for user, frontier in self._frontiers.items()
+            if frontier.add(obj).is_pareto
+        ]
+        return frozenset(targets)
+
+    def frontier(self, user: UserId) -> tuple[Object, ...]:
+        return tuple(self._frontiers[user].members)
+
+
+def brute_force_frontier(preference: Preference, objects: Sequence[Object],
+                         schema: Schema) -> list[Object]:
+    """Quadratic from-scratch Pareto frontier (test oracle, not monitor).
+
+    Computes ``P_c`` by comparing every pair of objects; identical objects
+    are all retained, matching Definition 3.3 (only *dominance* excludes an
+    object).
+    """
+    orders = preference.aligned(schema)
+    from repro.core.dominance import dominates
+
+    frontier = []
+    for candidate in objects:
+        if not any(dominates(orders, other, candidate)
+                   for other in objects):
+            frontier.append(candidate)
+    return frontier

@@ -1,0 +1,172 @@
+"""Batch Pareto-frontier computation over a fixed object set.
+
+The monitors in this library are *incremental* — they maintain ``P_c`` as
+objects arrive.  Sometimes the whole object set is already at hand (bulk
+loading a monitor, validating results, sizing a workload) and a batch
+computation is the right tool.  Three classical algorithms are provided,
+all generalised from total-order skylines to strict partial orders:
+
+* :func:`bnl_frontier` — block-nested-loop [Börzsönyi et al., ICDE 2001]:
+  a single pass keeping a window of incomparable candidates.  This is
+  Algorithm 1's inner procedure applied to a batch.
+* :func:`sfs_frontier` — sort-filter-skyline [Chomicki et al.]: presort by
+  a dominance-monotone score so no candidate is ever evicted, then run
+  the BNL pass.  Guaranteed ``O(n·|P|)`` comparisons.
+* :func:`dc_frontier` — divide & conquer [Kung et al., JACM 1975]: split,
+  recurse, and cross-filter the two halves' frontiers.
+
+All three return the frontier in a deterministic order and charge an
+optional :class:`~repro.metrics.counters.Counter`, so the ablation bench
+can compare their comparison counts on identical workloads.
+
+The monotone score used by SFS is the *dominance potential*: the number
+of (attribute, value) pairs the object's values are preferred to, i.e.
+``score(o) = Σ_d |{v : o.d ≻_d v}|``.  If ``o' ≻ o`` then on every
+attribute ``o'.d``'s down-set contains ``o.d``'s (strictly on at least
+one), so ``score(o') > score(o)`` — sorting by descending score places
+every dominator before its victims.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.dominance import Comparison, compare
+from repro.core.partial_order import PartialOrder
+from repro.core.preference import Preference
+from repro.data.objects import Object, Schema
+from repro.metrics.counters import Counter
+
+
+def dominance_potential(orders: Sequence[PartialOrder], obj: Object) -> int:
+    """The SFS sort key: total size of the object's value down-sets.
+
+    Strictly monotone under dominance: ``o' ≻ o`` implies
+    ``dominance_potential(o') > dominance_potential(o)``.
+    """
+    return sum(len(order.better_than(value))
+               for order, value in zip(orders, obj.values))
+
+
+def bnl_frontier(preference: Preference, objects: Sequence[Object],
+                 schema: Schema, counter: Counter | None = None,
+                 ) -> list[Object]:
+    """Block-nested-loop Pareto frontier (window = the whole frontier).
+
+    One pass over *objects*; each incoming object is compared against the
+    current candidate window, evicting dominated candidates and being
+    discarded if dominated.  Identical objects are all retained
+    (Definition 3.3 excludes only *dominated* objects).
+    """
+    orders = preference.aligned(schema)
+    counter = counter if counter is not None else Counter()
+    window: list[Object] = []
+    for obj in objects:
+        dominated = False
+        survivors = []
+        for candidate in window:
+            counter.bump()
+            verdict = compare(orders, obj, candidate)
+            if verdict is Comparison.B_DOMINATES:
+                dominated = True
+                break
+            if verdict is not Comparison.A_DOMINATES:
+                survivors.append(candidate)
+        if dominated:
+            # Nothing was evicted before the exit: if obj dominated an
+            # earlier candidate A while B dominates obj, transitivity
+            # would give B ≻ A — impossible for two window members.
+            continue
+        window[:] = survivors
+        window.append(obj)
+    return window
+
+
+def sfs_frontier(preference: Preference, objects: Sequence[Object],
+                 schema: Schema, counter: Counter | None = None,
+                 ) -> list[Object]:
+    """Sort-filter-skyline: presort by dominance potential, then filter.
+
+    After the monotone presort a dominator always precedes its victims, so
+    an object surviving the window scan is *final* — the window only ever
+    grows, and every comparison is against a true frontier member.  The
+    output is the frontier in descending-potential order.
+    """
+    orders = preference.aligned(schema)
+    counter = counter if counter is not None else Counter()
+    ranked = sorted(objects,
+                    key=lambda o: (-dominance_potential(orders, o), o.oid))
+    frontier: list[Object] = []
+    for obj in ranked:
+        dominated = False
+        for member in frontier:
+            counter.bump()
+            if compare(orders, member, obj) is Comparison.A_DOMINATES:
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(obj)
+    return frontier
+
+
+def dc_frontier(preference: Preference, objects: Sequence[Object],
+                schema: Schema, counter: Counter | None = None,
+                ) -> list[Object]:
+    """Divide & conquer: recurse on halves, cross-filter the frontiers.
+
+    Objects of one half can only be dominated by the *frontier* of the
+    other half (dominance is transitive), so after recursion each side's
+    frontier is filtered against the other's and survivors are merged.
+    Arrival order is preserved in the output.
+    """
+    orders = preference.aligned(schema)
+    counter = counter if counter is not None else Counter()
+
+    def solve(block: list[Object]) -> list[Object]:
+        if len(block) <= 8:
+            return bnl_frontier(preference, block, schema, counter)
+        middle = len(block) // 2
+        left = solve(block[:middle])
+        right = solve(block[middle:])
+        return (_filter_against(orders, left, right, counter)
+                + _filter_against(orders, right, left, counter))
+
+    merged = solve(list(objects))
+    merged.sort(key=lambda o: o.oid)
+    return merged
+
+
+def _filter_against(orders: Sequence[PartialOrder],
+                    candidates: list[Object], opponents: list[Object],
+                    counter: Counter) -> list[Object]:
+    """Candidates not dominated by any opponent."""
+    survivors = []
+    for obj in candidates:
+        dominated = False
+        for opponent in opponents:
+            counter.bump()
+            if compare(orders, opponent, obj) is Comparison.A_DOMINATES:
+                dominated = True
+                break
+        if not dominated:
+            survivors.append(obj)
+    return survivors
+
+
+def frontier_sizes(preference: Preference, objects: Sequence[Object],
+                   schema: Schema) -> list[int]:
+    """``|P_c|`` after each prefix of *objects* (workload profiling).
+
+    The growth curve of the frontier explains the super-linear runtime of
+    Figures 6/7: each incoming object is compared against a frontier whose
+    size this function reports.
+    """
+    orders = preference.aligned(schema)
+    from repro.core.pareto import ParetoFrontier
+
+    frontier = ParetoFrontier(orders)
+    sizes = []
+    for obj in objects:
+        frontier.add(obj)
+        sizes.append(len(frontier))
+    return sizes

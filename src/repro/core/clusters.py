@@ -1,0 +1,82 @@
+"""User clusters and their virtual preferences.
+
+A :class:`Cluster` groups users whose preferences are similar and carries
+the *virtual user*'s preference used for shared computation:
+
+* :meth:`Cluster.exact` — the common preference relation ``≻_U``
+  (Definition 4.1), guaranteeing ``P_U ⊇ P_c`` (Theorem 4.5);
+* :meth:`Cluster.approximate` — the approximate relation ``≻̂_U`` of
+  Algorithm 3, trading exactness (Section 6.2) for larger shared relations.
+
+Clusters are produced by :func:`repro.clustering.hierarchical.cluster_users`
+or assembled by hand for small scenarios.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Hashable
+
+from repro.core.approx import approximate_preference
+from repro.core.errors import EmptyClusterError
+from repro.core.preference import Preference, common_preference
+
+UserId = Hashable
+
+
+class Cluster:
+    """A set of users plus the virtual preference they share."""
+
+    __slots__ = ("_members", "_virtual")
+
+    def __init__(self, members: Mapping[UserId, Preference],
+                 virtual: Preference):
+        if not members:
+            raise EmptyClusterError("a cluster must contain at least one "
+                                    "user")
+        self._members: dict[UserId, Preference] = dict(members)
+        self._virtual = virtual
+
+    @classmethod
+    def exact(cls, members: Mapping[UserId, Preference]) -> "Cluster":
+        """Cluster whose virtual user holds the common preference relation."""
+        return cls(members, common_preference(members.values()))
+
+    @classmethod
+    def approximate(cls, members: Mapping[UserId, Preference],
+                    theta1: float, theta2: float) -> "Cluster":
+        """Cluster whose virtual user holds the Algorithm-3 relation."""
+        return cls(members,
+                   approximate_preference(members.values(), theta1, theta2))
+
+    @property
+    def users(self) -> tuple[UserId, ...]:
+        """Member user ids (insertion order)."""
+        return tuple(self._members)
+
+    @property
+    def members(self) -> dict[UserId, Preference]:
+        """User id → preference mapping.  Treat as read-only."""
+        return self._members
+
+    @property
+    def virtual(self) -> Preference:
+        """The virtual user's preference (``≻_U`` or ``≻̂_U``)."""
+        return self._virtual
+
+    def preference(self, user: UserId) -> Preference:
+        return self._members[user]
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, user: UserId) -> bool:
+        return user in self._members
+
+    def __iter__(self):
+        return iter(self._members)
+
+    def __repr__(self) -> str:
+        users = ", ".join(map(str, list(self._members)[:4]))
+        suffix = ", ..." if len(self._members) > 4 else ""
+        return f"Cluster([{users}{suffix}], {len(self._members)} users)"

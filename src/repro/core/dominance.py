@@ -1,0 +1,64 @@
+"""Object dominance under per-attribute strict partial orders.
+
+Implements Definition 3.2: ``o' ≻_c o`` iff on every attribute ``o'`` is
+identical or preferred to ``o``, and on at least one attribute strictly
+preferred.  The hot path is :func:`compare`, a single pass that classifies
+an object pair as one of four mutually exclusive outcomes — this is what
+lets Algorithm 1's inner loop do one scan instead of two dominance tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from enum import IntEnum
+
+from repro.core.partial_order import PartialOrder
+from repro.data.objects import Object
+
+
+class Comparison(IntEnum):
+    """Outcome of comparing objects ``a`` and ``b`` under one preference."""
+
+    A_DOMINATES = 1
+    B_DOMINATES = 2
+    IDENTICAL = 3
+    INCOMPARABLE = 4
+
+
+def compare(orders: Sequence[PartialOrder], a: Object, b: Object,
+            ) -> Comparison:
+    """Classify the pair ``(a, b)`` in one pass over the attributes.
+
+    *orders* must be aligned with the objects' value tuples (one
+    :class:`PartialOrder` per attribute, in schema order).
+
+    Early exits: as soon as both directions have scored a strict win the
+    pair is :attr:`~Comparison.INCOMPARABLE`; likewise when two values are
+    unordered (neither preferred) dominance is impossible either way.
+    """
+    a_wins = False
+    b_wins = False
+    for order, av, bv in zip(orders, a.values, b.values):
+        if av == bv:
+            continue
+        if order.prefers(av, bv):
+            if b_wins:
+                return Comparison.INCOMPARABLE
+            a_wins = True
+        elif order.prefers(bv, av):
+            if a_wins:
+                return Comparison.INCOMPARABLE
+            b_wins = True
+        else:
+            return Comparison.INCOMPARABLE
+    if a_wins:
+        return Comparison.A_DOMINATES
+    if b_wins:
+        return Comparison.B_DOMINATES
+    return Comparison.IDENTICAL
+
+
+def dominates(orders: Sequence[PartialOrder], winner: Object, loser: Object,
+              ) -> bool:
+    """True iff *winner* dominates *loser* (Definition 3.2)."""
+    return compare(orders, winner, loser) is Comparison.A_DOMINATES

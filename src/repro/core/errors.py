@@ -1,0 +1,72 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Errors carry enough context (attribute names, the
+offending values) to be actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CycleError(ReproError):
+    """A set of preference tuples contains a cycle.
+
+    A strict partial order is irreflexive and transitive, which together
+    forbid cycles (Definition 3.1 of the paper).  The offending cycle, when
+    known, is stored in :attr:`cycle` as a list of values ``[v0, v1, ...,
+    v0]``.
+    """
+
+    def __init__(self, message: str, cycle: list | None = None):
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle is not None else None
+
+
+class ReflexiveTupleError(ReproError):
+    """A preference tuple of the form ``(x, x)`` was supplied.
+
+    Strict partial orders are irreflexive: no value is preferred to itself.
+    """
+
+    def __init__(self, value):
+        super().__init__(f"reflexive preference tuple ({value!r}, {value!r}) "
+                         "violates irreflexivity")
+        self.value = value
+
+
+class UnknownAttributeError(ReproError):
+    """An object or query referenced an attribute with no preference order."""
+
+    def __init__(self, attribute, known):
+        super().__init__(
+            f"unknown attribute {attribute!r}; preferences are defined on "
+            f"{sorted(map(str, known))}")
+        self.attribute = attribute
+        self.known = frozenset(known)
+
+
+class SchemaMismatchError(ReproError):
+    """An object's attribute set does not match the dataset schema."""
+
+    def __init__(self, expected, actual):
+        super().__init__(
+            f"object attributes {sorted(map(str, actual))} do not match the "
+            f"schema {sorted(map(str, expected))}")
+        self.expected = frozenset(expected)
+        self.actual = frozenset(actual)
+
+
+class EmptyClusterError(ReproError):
+    """A cluster operation was attempted on an empty user set."""
+
+
+class WindowError(ReproError):
+    """Invalid sliding-window configuration (e.g. non-positive size)."""
+
+
+class ThresholdError(ReproError):
+    """Invalid approximation thresholds theta1/theta2 (Definition 6.1)."""

@@ -1,0 +1,153 @@
+"""Explanations: *why* an object was (or wasn't) delivered to a user.
+
+A dissemination system that notifies users needs to answer "why did I
+get this?" and, for debugging, "why didn't customer X get product Y?".
+Dominance makes both answerable exactly:
+
+* an object is delivered iff no alive object dominates it (Definition
+  3.3) — so a non-delivery is *witnessed* by its dominators;
+* each dominator beats the object attribute by attribute, which yields a
+  human-readable, per-attribute breakdown.
+
+:func:`explain` answers against an explicit object set;
+:func:`explain_delivery` asks a live monitor (using the user's current
+Pareto frontier — sufficient because any dominated object is dominated
+by a frontier member).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.dominance import Comparison, compare
+from repro.core.preference import Preference
+from repro.data.objects import Object, Schema
+
+
+class AttributeVerdict(Enum):
+    """How one object's value relates to another's on one attribute."""
+
+    BETTER = "better"
+    EQUAL = "equal"
+    WORSE = "worse"
+    INCOMPARABLE = "incomparable"
+
+
+def attribute_breakdown(preference: Preference, winner: Object,
+                        loser: Object, schema: Schema,
+                        ) -> dict[str, AttributeVerdict]:
+    """Per-attribute comparison of *winner* against *loser*.
+
+    The vocabulary of Definition 3.2, attribute by attribute: *winner*
+    dominates iff every verdict is BETTER or EQUAL with at least one
+    BETTER.
+    """
+    breakdown = {}
+    for attribute, order in zip(schema, preference.aligned(schema)):
+        wv = winner.value(schema, attribute)
+        lv = loser.value(schema, attribute)
+        if wv == lv:
+            verdict = AttributeVerdict.EQUAL
+        elif order.prefers(wv, lv):
+            verdict = AttributeVerdict.BETTER
+        elif order.prefers(lv, wv):
+            verdict = AttributeVerdict.WORSE
+        else:
+            verdict = AttributeVerdict.INCOMPARABLE
+        breakdown[attribute] = verdict
+    return breakdown
+
+
+@dataclass
+class Explanation:
+    """The answer to "is/why is *obj* (not) Pareto-optimal for *user*?"
+
+    ``dominators`` is empty iff the object is Pareto-optimal.  For each
+    dominator a per-attribute breakdown shows where the object loses.
+    """
+
+    user: object
+    obj: Object
+    pareto_optimal: bool
+    dominators: tuple[Object, ...] = ()
+    breakdowns: dict[int, dict[str, AttributeVerdict]] = field(
+        default_factory=dict)
+
+    def breakdown(self, dominator: Object | int,
+                  ) -> dict[str, AttributeVerdict]:
+        """The per-attribute verdicts against one dominator."""
+        oid = dominator.oid if isinstance(dominator, Object) else dominator
+        return self.breakdowns[oid]
+
+    def describe(self, schema: Schema) -> str:
+        """A multi-line human-readable rendering."""
+        header = (f"object {self.obj.oid} "
+                  f"{dict(zip(schema, self.obj.values))} is ")
+        if self.pareto_optimal:
+            return (header + f"Pareto-optimal for {self.user!r}: "
+                    "no alive object dominates it")
+        lines = [header + f"NOT Pareto-optimal for {self.user!r}; "
+                 f"dominated by {len(self.dominators)} object(s):"]
+        for dominator in self.dominators:
+            lines.append(f"  object {dominator.oid} "
+                         f"{dict(zip(schema, dominator.values))}:")
+            for attribute, verdict in self.breakdowns[
+                    dominator.oid].items():
+                lines.append(f"    {attribute}: {verdict.value}")
+        return "\n".join(lines)
+
+
+def explain(preference: Preference, obj: Object,
+            objects: Sequence[Object], schema: Schema,
+            user: object = None, max_dominators: int | None = None,
+            ) -> Explanation:
+    """Explain *obj*'s Pareto status against an explicit object set.
+
+    Collects up to *max_dominators* witnesses (``None`` = all) with their
+    per-attribute breakdowns.  Objects identical to *obj* are not
+    dominators (Definition 3.2 requires a strict win somewhere).
+    """
+    orders = preference.aligned(schema)
+    dominators = []
+    breakdowns = {}
+    for other in objects:
+        if other.oid == obj.oid:
+            continue
+        if compare(orders, other, obj) is Comparison.A_DOMINATES:
+            dominators.append(other)
+            breakdowns[other.oid] = attribute_breakdown(
+                preference, other, obj, schema)
+            if max_dominators is not None and \
+                    len(dominators) >= max_dominators:
+                break
+    return Explanation(user, obj, not dominators, tuple(dominators),
+                       breakdowns)
+
+
+def explain_delivery(monitor, user, obj: Object,
+                     max_dominators: int | None = None) -> Explanation:
+    """Explain *obj*'s status for *user* against a live monitor.
+
+    Compares only against the user's current Pareto frontier — any
+    dominated object is dominated by a frontier member, so the witnesses
+    found here are exactly the maximal ones.  Note the answer reflects
+    the monitor's *current* state: an object delivered earlier may since
+    have been dominated by newer arrivals.
+    """
+    preference = _user_preference(monitor, user)
+    return explain(preference, obj, monitor.frontier(user),
+                   monitor.schema, user, max_dominators)
+
+
+def _user_preference(monitor, user) -> Preference:
+    """Find *user*'s preference inside any of the six monitors."""
+    preferences = getattr(monitor, "_preferences", None)
+    if preferences is not None and user in preferences:
+        return preferences[user]
+    # Cluster-based monitors keep preferences inside their clusters.
+    for cluster in getattr(monitor, "clusters", ()):
+        if user in cluster:
+            return cluster.preference(user)
+    raise KeyError(f"monitor does not know user {user!r}")

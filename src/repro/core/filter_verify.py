@@ -1,0 +1,199 @@
+"""Algorithm 2 — FilterThenVerify and its approximate variant.
+
+The key idea of the paper: users with similar preferences are grouped into
+clusters, each carrying a *virtual user* whose preference relation is the
+(exact or approximate) common preference of the members.  The virtual
+user's frontier ``P_U`` acts as a sieve:
+
+* an object dominated under ``≻_U`` is dominated for **every** member
+  (Theorem 4.5) and is dropped after one comparison per frontier member
+  instead of ``|U|`` scans;
+* survivors are verified per member against ``P_c``, which only ever
+  contains elements of ``P_U`` (Lemma 4.6);
+* evictions from ``P_U`` propagate to member frontiers (``≻_U ⊆ ≻_c``
+  makes this sound).
+
+``FilterThenVerifyApprox`` is the same algorithm run on clusters whose
+virtual preference comes from Algorithm 3; because ``≻̂_U ⊇ ≻_U`` the sieve
+is stronger but may discard true Pareto objects (false negatives) and,
+downstream, admit false positives — quantified in Section 6.2 and measured
+by :mod:`repro.metrics.accuracy`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.baseline import MonitorBase
+from repro.core.clusters import Cluster, UserId
+from repro.core.pareto import ParetoFrontier
+from repro.core.preference import Preference
+from repro.data.objects import Object
+
+
+class _ClusterState:
+    """Runtime state of one cluster: the shared and per-user frontiers."""
+
+    __slots__ = ("cluster", "shared", "per_user")
+
+    def __init__(self, cluster: Cluster, schema, stats, registry=None):
+        self.cluster = cluster
+        self.shared = ParetoFrontier(cluster.virtual.aligned(schema),
+                                     stats.filter)
+        self.per_user = {
+            user: ParetoFrontier(pref.aligned(schema), stats.verify,
+                                 registry, user)
+            for user, pref in cluster.members.items()
+        }
+
+
+class FilterThenVerify(MonitorBase):
+    """Algorithm 2: filter through ``P_U``, verify per user.
+
+    Build either from prepared clusters or via
+    :meth:`from_users` / :meth:`FilterThenVerifyApprox.from_users`, which
+    run the hierarchical clustering of Section 5.
+    """
+
+    def __init__(self, clusters: Sequence[Cluster], schema: Sequence[str],
+                 track_targets: bool = False):
+        super().__init__(schema, track_targets)
+        self._states = [
+            _ClusterState(cluster, self.schema, self.stats, self.targets)
+            for cluster in clusters
+        ]
+        self._user_state: dict[UserId, _ClusterState] = {}
+        for state in self._states:
+            for user in state.cluster.users:
+                if user in self._user_state:
+                    raise ValueError(
+                        f"user {user!r} appears in more than one cluster")
+                self._user_state[user] = state
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_users(cls, preferences: Mapping[UserId, Preference],
+                   schema: Sequence[str], h: float = 0.55,
+                   measure: str = "weighted_jaccard",
+                   ) -> "FilterThenVerify":
+        """Cluster users (Section 5) and build the monitor.
+
+        ``h`` is the dendrogram branch cut; ``measure`` one of the
+        similarity measures of :mod:`repro.clustering.similarity`.
+        """
+        from repro.clustering.hierarchical import cluster_users
+
+        groups = cluster_users(preferences, h=h, measure=measure)
+        clusters = [Cluster.exact(group) for group in groups]
+        return cls(clusters, schema)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+
+    def _process(self, obj: Object) -> frozenset[UserId]:
+        targets = []
+        for state in self._states:
+            result = state.shared.add(obj)
+            for evicted in result.evicted:
+                # o' left P_U, hence leaves every P_c (≻_U ⊆ ≻_c).
+                for frontier in state.per_user.values():
+                    frontier.discard(evicted.oid)
+            if not result.is_pareto:
+                continue  # filtered out for the whole cluster
+            for user, frontier in state.per_user.items():
+                if frontier.add(obj).is_pareto:
+                    targets.append(user)
+        return frozenset(targets)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def clusters(self) -> tuple[Cluster, ...]:
+        return tuple(state.cluster for state in self._states)
+
+    @property
+    def users(self) -> tuple[UserId, ...]:
+        return tuple(self._user_state)
+
+    def frontier(self, user: UserId) -> tuple[Object, ...]:
+        return tuple(self._user_state[user].per_user[user].members)
+
+    def shared_frontier(self, user_or_index) -> tuple[Object, ...]:
+        """``P_U`` of the cluster containing *user* (or by cluster index)."""
+        if isinstance(user_or_index, int) and user_or_index not in \
+                self._user_state:
+            state = self._states[user_or_index]
+        else:
+            state = self._user_state[user_or_index]
+        return tuple(state.shared.members)
+
+    # ------------------------------------------------------------------
+    # User churn
+    # ------------------------------------------------------------------
+
+    def add_user(self, user: UserId, preference: Preference,
+                 history: Sequence[Object] = ()) -> None:
+        """Register a new user mid-stream as a singleton cluster.
+
+        Joining an existing cluster would shrink its common preference
+        relation and require rebuilding ``P_U`` from history; a singleton
+        cluster is always sound, and periodic re-clustering can fold the
+        newcomer in.  *history* seeds the newcomer's frontier, as in
+        :meth:`Baseline.add_user`.
+        """
+        if user in self._user_state:
+            raise ValueError(f"user {user!r} already registered")
+        state = _ClusterState(Cluster({user: preference}, preference),
+                              self.schema, self.stats, self.targets)
+        for obj in history:
+            result = state.shared.add(obj)
+            if result.is_pareto:
+                state.per_user[user].add(obj)
+        self._states.append(state)
+        self._user_state[user] = state
+
+    def remove_user(self, user: UserId) -> None:
+        """Unregister a user.
+
+        The cluster's virtual preference is *not* recomputed: the common
+        relation of the remaining members is a superset of the stored
+        one, so the stored relation stays a sound (merely conservative)
+        sieve until the next re-clustering.
+        """
+        state = self._user_state.pop(user)
+        state.per_user.pop(user).clear()
+        members = {u: p for u, p in state.cluster.members.items()
+                   if u != user}
+        if not members:
+            self._states.remove(state)
+            return
+        state.cluster = Cluster(members, state.cluster.virtual)
+
+
+class FilterThenVerifyApprox(FilterThenVerify):
+    """Algorithm 2 over approximate clusters (Section 6).
+
+    Identical control flow; only the clusters' virtual preferences differ.
+    The class exists so call sites and reports can name the variant, and to
+    host the approximate construction helper.
+    """
+
+    @classmethod
+    def from_users(cls, preferences: Mapping[UserId, Preference],
+                   schema: Sequence[str], h: float = 0.55,
+                   measure: str = "approx_weighted_jaccard",
+                   theta1: float = 50, theta2: float = 0.5,
+                   ) -> "FilterThenVerifyApprox":
+        """Cluster with the Section 6.3 measures, then apply Algorithm 3."""
+        from repro.clustering.hierarchical import cluster_users
+
+        groups = cluster_users(preferences, h=h, measure=measure)
+        clusters = [Cluster.approximate(group, theta1, theta2)
+                    for group in groups]
+        return cls(clusters, schema)

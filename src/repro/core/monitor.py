@@ -1,0 +1,83 @@
+"""One-call monitor construction: the library's front door.
+
+The six monitor classes cover a 2×3 design space (append-only vs sliding
+window; per-user vs shared vs shared-approximate).  :func:`create_monitor`
+picks the right one from keyword arguments, running the clustering
+pipeline when sharing is requested:
+
+>>> monitor = create_monitor(users, schema)                  # shared, exact
+>>> monitor = create_monitor(users, schema, shared=False)    # Baseline
+>>> monitor = create_monitor(users, schema, approximate=True)
+>>> monitor = create_monitor(users, schema, window=3200)     # sliding
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.baseline import Baseline, MonitorBase
+from repro.core.clusters import Cluster, UserId
+from repro.core.filter_verify import FilterThenVerify, FilterThenVerifyApprox
+from repro.core.preference import Preference
+from repro.core.sliding import (BaselineSW, FilterThenVerifyApproxSW,
+                                FilterThenVerifySW)
+
+
+def create_monitor(preferences: Mapping[UserId, Preference],
+                   schema: Sequence[str], *, shared: bool = True,
+                   approximate: bool = False, window: int | None = None,
+                   h: float = 0.55, measure: str | None = None,
+                   theta1: float = 6000, theta2: float = 0.5,
+                   track_targets: bool = False) -> MonitorBase:
+    """Build the appropriate monitor for a user base.
+
+    Parameters
+    ----------
+    preferences:
+        user id → :class:`~repro.core.preference.Preference`.
+    schema:
+        attribute names, aligned with the objects that will be pushed.
+    shared:
+        share computation across similar users (Algorithm 2 family).
+        ``False`` selects the per-user Baseline (Algorithm 1 family).
+    approximate:
+        with ``shared``, use approximate common preference relations
+        (Algorithm 3) — faster, with measurable recall loss (Section 6.2).
+    window:
+        sliding-window size ``W`` for alive-object semantics (Section 7);
+        ``None`` keeps the append-only semantics.
+    h, measure:
+        clustering branch cut and similarity measure (Section 5 / 6.3).
+        The default measure follows the paper: weighted Jaccard for exact
+        sharing, its frequency-vector variant for approximate sharing.
+    theta1, theta2:
+        Algorithm 3 thresholds (only with ``approximate``).
+    track_targets:
+        maintain live ``C_o`` sets queryable via ``monitor.targets_of``.
+    """
+    if approximate and not shared:
+        raise ValueError("approximate=True requires shared=True "
+                         "(approximation lives in the cluster sieve)")
+    if not shared:
+        if window is None:
+            return Baseline(preferences, schema, track_targets)
+        return BaselineSW(preferences, schema, window, track_targets)
+
+    from repro.clustering.hierarchical import cluster_users
+
+    if measure is None:
+        measure = ("approx_weighted_jaccard" if approximate
+                   else "weighted_jaccard")
+    groups = cluster_users(preferences, h=h, measure=measure)
+    if approximate:
+        clusters = [Cluster.approximate(group, theta1, theta2)
+                    for group in groups]
+    else:
+        clusters = [Cluster.exact(group) for group in groups]
+    if window is None:
+        factory = FilterThenVerifyApprox if approximate else \
+            FilterThenVerify
+        return factory(clusters, schema, track_targets)
+    factory = FilterThenVerifyApproxSW if approximate else \
+        FilterThenVerifySW
+    return factory(clusters, schema, window, track_targets)

@@ -1,0 +1,218 @@
+"""Incremental Pareto-frontier maintenance for a single preference.
+
+:class:`ParetoFrontier` implements the ``updateParetoFrontier`` procedure of
+Algorithm 1 — the classic append-only skyline insert generalised to strict
+partial orders — plus the auxiliary operations the sliding-window
+algorithms of Section 7 need (membership, discard, mend-insert).
+
+The frontier relies on two standard facts:
+
+* it suffices to compare an incoming object against frontier members only
+  (anything dominated by a non-member is transitively dominated by a
+  member);
+* an incoming object that dominates some member cannot itself be dominated
+  or be identical to another member, so a single scan with early exit is
+  enough.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import NamedTuple
+
+from repro.core.dominance import Comparison, compare
+from repro.core.partial_order import PartialOrder
+from repro.data.objects import Object
+from repro.metrics.counters import Counter
+
+
+class AddResult(NamedTuple):
+    """Outcome of offering an object to a frontier."""
+
+    is_pareto: bool
+    evicted: tuple[Object, ...]
+
+
+class ParetoFrontier:
+    """The Pareto frontier ``P`` of an append-only object sequence.
+
+    Members are kept in arrival order, which the sliding-window mend logic
+    depends on (dominators inside a Pareto-frontier buffer always precede
+    the objects they dominate — see ``repro.core.sliding``).
+    """
+
+    __slots__ = ("_orders", "_counter", "_members", "_ids", "_registry",
+                 "_owner")
+
+    def __init__(self, orders: Sequence[PartialOrder],
+                 counter: Counter | None = None, registry=None,
+                 owner=None):
+        self._orders = tuple(orders)
+        self._counter = counter if counter is not None else Counter()
+        self._members: list[Object] = []
+        self._ids: set[int] = set()
+        # Optional live C_o bookkeeping (repro.core.targets): when set,
+        # every membership change is reported as (owner, oid).
+        self._registry = registry
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def members(self) -> list[Object]:
+        """Current frontier members in arrival order (read-only view)."""
+        return self._members
+
+    @property
+    def ids(self) -> frozenset[int]:
+        """Object ids of the current members."""
+        return frozenset(self._ids)
+
+    @property
+    def counter(self) -> Counter:
+        """The comparison counter charged by this frontier."""
+        return self._counter
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, obj: Object | int) -> bool:
+        oid = obj.oid if isinstance(obj, Object) else obj
+        return oid in self._ids
+
+    def __iter__(self):
+        return iter(self._members)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: updateParetoFrontier
+    # ------------------------------------------------------------------
+
+    def add(self, obj: Object) -> AddResult:
+        """Offer a new object; maintain the frontier (Algorithm 1).
+
+        Returns whether *obj* is Pareto-optimal and which members it
+        evicted.  Identical objects are both kept (Algorithm 1, line 6).
+        """
+        members = self._members
+        evicted: list[Object] = []
+        is_pareto = True
+        scan_end = len(members)
+        write = 0
+        bump = self._counter.bump
+        orders = self._orders
+        for read in range(len(members)):
+            member = members[read]
+            bump()
+            verdict = compare(orders, obj, member)
+            if verdict is Comparison.A_DOMINATES:
+                evicted.append(member)
+                continue
+            if verdict is Comparison.B_DOMINATES:
+                is_pareto = False
+                scan_end = read
+                break
+            if verdict is Comparison.IDENTICAL:
+                scan_end = read
+                break
+            members[write] = member
+            write += 1
+        if evicted:
+            # Compact: keep survivors scanned so far plus the unscanned tail.
+            members[write:] = members[scan_end:]
+            self._ids.difference_update(o.oid for o in evicted)
+            if self._registry is not None:
+                for gone in evicted:
+                    self._registry.remove(self._owner, gone.oid)
+        if is_pareto:
+            members.append(obj)
+            self._ids.add(obj.oid)
+            if self._registry is not None:
+                self._registry.insert(self._owner, obj.oid)
+        return AddResult(is_pareto, tuple(evicted))
+
+    # ------------------------------------------------------------------
+    # Sliding-window support (Section 7)
+    # ------------------------------------------------------------------
+
+    def dominated(self, obj: Object) -> bool:
+        """True iff some member dominates *obj* (full dominance test)."""
+        bump = self._counter.bump
+        orders = self._orders
+        for member in self._members:
+            bump()
+            if (compare(orders, member, obj)
+                    is Comparison.A_DOMINATES):
+                return True
+        return False
+
+    def mend_insert(self, obj: Object) -> bool:
+        """``mendParetoFrontierSW``: insert *obj* iff no member dominates it.
+
+        Used when an expiring object releases previously dominated objects.
+        No eviction scan is needed: a mended object cannot dominate an
+        existing member (the member would not have been Pareto-optimal
+        while both were alive).
+        """
+        if obj.oid in self._ids:
+            return True
+        if self.dominated(obj):
+            return False
+        self._members.append(obj)
+        self._ids.add(obj.oid)
+        if self._registry is not None:
+            self._registry.insert(self._owner, obj.oid)
+        return True
+
+    def discard(self, obj: Object | int) -> bool:
+        """Remove an object (e.g. on expiry); True if it was a member."""
+        oid = obj.oid if isinstance(obj, Object) else obj
+        if oid not in self._ids:
+            return False
+        self._ids.remove(oid)
+        self._members[:] = [m for m in self._members if m.oid != oid]
+        if self._registry is not None:
+            self._registry.remove(self._owner, oid)
+        return True
+
+    def evict_dominated_by(self, obj: Object) -> tuple[Object, ...]:
+        """Remove every member dominated by *obj*; returns the evicted.
+
+        The ``updateParetoFrontierSW`` step once an incoming object is known
+        to be Pareto-optimal.
+        """
+        bump = self._counter.bump
+        orders = self._orders
+        evicted = []
+        survivors = []
+        for member in self._members:
+            bump()
+            if compare(orders, obj, member) is Comparison.A_DOMINATES:
+                evicted.append(member)
+            else:
+                survivors.append(member)
+        if evicted:
+            self._members[:] = survivors
+            self._ids.difference_update(o.oid for o in evicted)
+            if self._registry is not None:
+                for gone in evicted:
+                    self._registry.remove(self._owner, gone.oid)
+        return tuple(evicted)
+
+    def append_unchecked(self, obj: Object) -> None:
+        """Append an object already known to be Pareto-optimal."""
+        self._members.append(obj)
+        self._ids.add(obj.oid)
+        if self._registry is not None:
+            self._registry.insert(self._owner, obj.oid)
+
+    def clear(self) -> None:
+        if self._registry is not None:
+            for oid in self._ids:
+                self._registry.remove(self._owner, oid)
+        self._members.clear()
+        self._ids.clear()
+
+    def __repr__(self) -> str:
+        return f"ParetoFrontier({len(self._members)} members)"

@@ -1,0 +1,457 @@
+"""Strict partial orders over attribute domains.
+
+This module implements the preference model of the paper (Definition 3.1):
+for a user ``c`` and an attribute ``d``, the preference relation ``x ≻ y``
+("``c`` prefers ``x`` to ``y`` on ``d``") is a *strict partial order* —
+irreflexive, transitive, and therefore asymmetric and acyclic.
+
+:class:`PartialOrder` is the immutable workhorse used everywhere in the
+library: user preferences, common preference relations of clusters
+(Definition 4.1) and approximate common preference relations (Definition
+6.1) are all instances of it.  :class:`PartialOrderBuilder` supports the
+incremental, closure-preserving construction needed by Algorithm 3.
+
+Terminology used below:
+
+* *pairs* — the full preference relation, i.e. the transitive closure.
+* *Hasse edges* — the transitive reduction, i.e. the edges the paper draws
+  in its Hasse diagrams.
+* *maximal values* — values with no better value (Definition 5.3).
+* *weight* — ``1 / (min distance from a maximal value + 1)`` with distances
+  measured on the Hasse diagram (Section 5; see Example 5.4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import (Hashable, Iterable, Iterator, Mapping,
+                             Sequence)
+from typing import Any
+
+from repro.core.errors import CycleError, ReflexiveTupleError
+
+Value = Hashable
+Pair = tuple[Value, Value]
+
+
+def transitive_closure(edges: Iterable[Pair]) -> dict[Value, set[Value]]:
+    """Return ``{u: set of all v with u ≻ v}`` for the given edges.
+
+    The input edges need not be transitively closed.  Raises
+    :class:`ReflexiveTupleError` on ``(x, x)`` edges and :class:`CycleError`
+    if the edges contain a directed cycle (which would contradict
+    asymmetry).
+    """
+    adjacency: dict[Value, set[Value]] = {}
+    for better, worse in edges:
+        if better == worse:
+            raise ReflexiveTupleError(better)
+        adjacency.setdefault(better, set()).add(worse)
+        adjacency.setdefault(worse, set())
+
+    # Iterative DFS (explicit stack): attribute domains are usually small,
+    # but nothing stops a caller from loading a 10^5-value chain, and the
+    # recursion limit must not be the thing that breaks them.
+    closure: dict[Value, set[Value]] = {}
+    state: dict[Value, int] = {}  # 0 = unvisited, 1 = on stack, 2 = done
+
+    for root in adjacency:
+        if state.get(root, 0) != 0:
+            continue
+        stack: list[tuple[Value, Iterator]] = [(root, iter(adjacency[root]))]
+        state[root] = 1
+        trail = [root]
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                child_state = state.get(child, 0)
+                if child_state == 1:
+                    cycle_start = trail.index(child)
+                    cycle = trail[cycle_start:] + [child]
+                    raise CycleError(
+                        "preference tuples contain a cycle: "
+                        + " > ".join(repr(v) for v in cycle),
+                        cycle=cycle)
+                if child_state == 0:
+                    state[child] = 1
+                    trail.append(child)
+                    stack.append((child, iter(adjacency[child])))
+                    advanced = True
+                    break
+            if advanced:
+                continue
+            reach: set[Value] = set()
+            for child in adjacency[node]:
+                reach.add(child)
+                reach |= closure[child]
+            closure[node] = reach
+            state[node] = 2
+            trail.pop()
+            stack.pop()
+    return closure
+
+
+def is_strict_partial_order(pairs: Iterable[Pair]) -> bool:
+    """True if *pairs* can be extended to a strict partial order.
+
+    Equivalently: no reflexive tuple and no directed cycle.  (Transitivity
+    is obtained by taking the closure; asymmetry follows from acyclicity.)
+    """
+    try:
+        transitive_closure(pairs)
+    except (CycleError, ReflexiveTupleError):
+        return False
+    return True
+
+
+class PartialOrder:
+    """An immutable strict partial order over (a subset of) a domain.
+
+    Instances compare equal iff they contain the same preference *pairs*
+    (transitive closure) — the domain of isolated values does not affect
+    equality, mirroring the paper's identification of a preference relation
+    with its tuple set.
+    """
+
+    __slots__ = ("_better", "_pairs", "_domain", "_hasse", "_maximals",
+                 "_depths", "_hash")
+
+    def __init__(self, edges: Iterable[Pair] = (),
+                 domain: Iterable[Value] = ()):
+        """Build from arbitrary (not necessarily closed) preference edges.
+
+        ``domain`` may list additional values that participate in no
+        preference tuple; they are isolated, hence maximal, hence weight 1.
+        """
+        closure = transitive_closure(edges)
+        better = {node: frozenset(reach) for node, reach in closure.items()}
+        for extra in domain:
+            better.setdefault(extra, frozenset())
+        self._better: dict[Value, frozenset] = better
+        self._pairs: frozenset[Pair] = frozenset(
+            (u, v) for u, reach in better.items() for v in reach)
+        self._domain: frozenset[Value] = frozenset(better)
+        self._hasse: dict[Value, frozenset] | None = None
+        self._maximals: frozenset[Value] | None = None
+        self._depths: dict[Value, int] | None = None
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, domain: Iterable[Value] = ()) -> "PartialOrder":
+        """The empty preference (total indifference) over *domain*."""
+        return cls((), domain)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Pair],
+                   domain: Iterable[Value] = ()) -> "PartialOrder":
+        """Alias of the constructor, for symmetry with the other builders."""
+        return cls(edges, domain)
+
+    @classmethod
+    def from_hasse(cls, edges: Iterable[Pair],
+                   domain: Iterable[Value] = ()) -> "PartialOrder":
+        """Build from Hasse-diagram edges (closure is taken automatically)."""
+        return cls(edges, domain)
+
+    @classmethod
+    def from_chain(cls, values: Sequence[Value]) -> "PartialOrder":
+        """A total order: ``values[0] ≻ values[1] ≻ ...``."""
+        edges = [(values[i], values[i + 1]) for i in range(len(values) - 1)]
+        return cls(edges, values)
+
+    @classmethod
+    def from_levels(cls, levels: Sequence[Iterable[Value]]) -> "PartialOrder":
+        """A weak order: every value of a level beats every later value.
+
+        ``from_levels([["a"], ["b", "c"]])`` prefers ``a`` to both ``b`` and
+        ``c`` and is indifferent between ``b`` and ``c``.
+        """
+        levels = [list(level) for level in levels]
+        edges = []
+        for i, level in enumerate(levels):
+            for lower in levels[i + 1:]:
+                edges.extend((u, v) for u in level for v in lower)
+        domain = [v for level in levels for v in level]
+        return cls(edges, domain)
+
+    @classmethod
+    def from_scores(cls, scores: Mapping[Value, Sequence[float]],
+                    ) -> "PartialOrder":
+        """Induce a partial order by Pareto dominance on score vectors.
+
+        ``x ≻ y`` iff ``scores[x]`` is >= ``scores[y]`` component-wise with
+        at least one strict inequality.  This is the paper's simulation rule
+        (Section 8.1): with ``scores = (average rating, count)`` it yields
+        ``(R_a > R_b ∧ M_a ≥ M_b) ∨ (R_a ≥ R_b ∧ M_a > M_b) ⇒ a ≻ b``.
+        The result is always a strict partial order because Pareto dominance
+        on real vectors is one.
+        """
+        items = list(scores.items())
+        edges = []
+        for i, (a, sa) in enumerate(items):
+            for b, sb in items:
+                if a == b:
+                    continue
+                if all(x >= y for x, y in zip(sa, sb)) and any(
+                        x > y for x, y in zip(sa, sb)):
+                    edges.append((a, b))
+        return cls(edges, scores.keys())
+
+    # ------------------------------------------------------------------
+    # Core queries
+    # ------------------------------------------------------------------
+
+    def prefers(self, x: Value, y: Value) -> bool:
+        """True iff ``x ≻ y`` in this order (O(1) expected)."""
+        reach = self._better.get(x)
+        return reach is not None and y in reach
+
+    def __contains__(self, pair: Pair) -> bool:
+        return self.prefers(pair[0], pair[1])
+
+    @property
+    def pairs(self) -> frozenset[Pair]:
+        """All preference tuples (the transitive closure)."""
+        return self._pairs
+
+    @property
+    def domain(self) -> frozenset[Value]:
+        """Every value known to this order (including isolated ones)."""
+        return self._domain
+
+    def better_than(self, x: Value) -> frozenset[Value]:
+        """All values that *x* is preferred to (empty for unknown values)."""
+        return self._better.get(x, frozenset())
+
+    def worse_than(self, x: Value) -> frozenset[Value]:
+        """All values preferred to *x*."""
+        return frozenset(u for u, reach in self._better.items() if x in reach)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def __iter__(self):
+        return iter(self._pairs)
+
+    # ------------------------------------------------------------------
+    # Structure: Hasse diagram, maximal values, weights
+    # ------------------------------------------------------------------
+
+    def hasse_edges(self) -> frozenset[Pair]:
+        """The transitive reduction — exactly the edges of a Hasse diagram."""
+        self._ensure_hasse()
+        return frozenset((u, v) for u, vs in self._hasse.items() for v in vs)
+
+    def hasse_children(self, x: Value) -> frozenset[Value]:
+        """Immediate successors of *x* in the Hasse diagram."""
+        self._ensure_hasse()
+        return self._hasse.get(x, frozenset())
+
+    def maximal_values(self) -> frozenset[Value]:
+        """Values with nothing preferred over them (Definition 5.3)."""
+        if self._maximals is None:
+            dominated = set()
+            for reach in self._better.values():
+                dominated |= reach
+            self._maximals = frozenset(self._domain - dominated)
+        return self._maximals
+
+    def minimal_values(self) -> frozenset[Value]:
+        """Values that are preferred over nothing."""
+        return frozenset(v for v in self._domain if not self._better[v])
+
+    def depth(self, x: Value) -> int:
+        """Min Hasse-diagram distance from a maximal value to *x*.
+
+        Maximal values have depth 0.  Values outside the domain are treated
+        as isolated (depth 0), matching the convention that an unknown value
+        is maximal in its own trivial component.
+        """
+        self._ensure_depths()
+        return self._depths.get(x, 0)
+
+    def weight(self, x: Value) -> float:
+        """``1 / (depth(x) + 1)`` — the level weight of Equations 4, 5, 10."""
+        return 1.0 / (self.depth(x) + 1)
+
+    def weights(self) -> dict[Value, float]:
+        """Weight of every value in the domain."""
+        return {v: self.weight(v) for v in self._domain}
+
+    def _ensure_hasse(self) -> None:
+        if self._hasse is not None:
+            return
+        hasse: dict[Value, frozenset] = {}
+        for node, reach in self._better.items():
+            # (node, v) is a Hasse edge iff no intermediate w: node ≻ w ≻ v.
+            redundant = set()
+            for mid in reach:
+                redundant |= self._better[mid]
+            hasse[node] = frozenset(reach - redundant)
+        self._hasse = hasse
+
+    def _ensure_depths(self) -> None:
+        if self._depths is not None:
+            return
+        self._ensure_hasse()
+        depths: dict[Value, int] = {v: 0 for v in self.maximal_values()}
+        queue = deque(self.maximal_values())
+        while queue:
+            node = queue.popleft()
+            for child in self._hasse[node]:
+                candidate = depths[node] + 1
+                if child not in depths or candidate < depths[child]:
+                    depths[child] = candidate
+                    queue.append(child)
+        self._depths = depths
+
+    # ------------------------------------------------------------------
+    # Set-style operations
+    # ------------------------------------------------------------------
+
+    def intersection(self, *others: "PartialOrder") -> "PartialOrder":
+        """The common preference relation (Definition 4.1).
+
+        The intersection of strict partial orders is again a strict partial
+        order (Theorem 4.2), so the result needs no re-validation.
+        """
+        pairs = self._pairs
+        domain = self._domain
+        for other in others:
+            pairs = pairs & other._pairs
+            domain = domain | other._domain
+        return PartialOrder(pairs, domain)
+
+    def union_pairs(self, other: "PartialOrder") -> frozenset[Pair]:
+        """Union of the two tuple sets (used by Jaccard denominators).
+
+        The union of two partial orders is generally *not* a partial order,
+        so a raw pair set is returned instead of a :class:`PartialOrder`.
+        """
+        return self._pairs | other._pairs
+
+    def difference_pairs(self, other: "PartialOrder") -> frozenset[Pair]:
+        """Tuples of this order absent from *other* (Equation 5's terms)."""
+        return self._pairs - other._pairs
+
+    def restricted_to(self, values: Iterable[Value]) -> "PartialOrder":
+        """The induced sub-order on *values*."""
+        keep = set(values)
+        pairs = [(u, v) for u, v in self._pairs if u in keep and v in keep]
+        return PartialOrder(pairs, self._domain & keep)
+
+    def can_extend_with(self, pair: Pair) -> bool:
+        """True iff adding *pair* keeps the relation a strict partial order.
+
+        Adding ``(x, y)`` is legal unless ``x == y`` or ``y ≻ x`` already
+        holds (which would create a cycle through transitivity).  This is
+        the admissibility test of Algorithm 3, line 6.
+        """
+        x, y = pair
+        if x == y:
+            return False
+        return not self.prefers(y, x)
+
+    def extended_with(self, pair: Pair) -> "PartialOrder":
+        """A new order containing *pair* and its transitive consequences."""
+        x, y = pair
+        if not self.can_extend_with(pair):
+            raise CycleError(
+                f"adding ({x!r}, {y!r}) would violate asymmetry/acyclicity")
+        return PartialOrder(list(self._pairs) + [pair], self._domain)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, PartialOrder):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._pairs)
+        return self._hash
+
+    def __repr__(self) -> str:
+        shown = sorted(map(repr, self._pairs))[:4]
+        suffix = ", ..." if len(self._pairs) > 4 else ""
+        return (f"PartialOrder({len(self._pairs)} pairs, "
+                f"{len(self._domain)} values: {', '.join(shown)}{suffix})")
+
+    def describe(self) -> str:
+        """A multi-line, level-by-level rendering of the Hasse diagram."""
+        self._ensure_depths()
+        by_depth: dict[int, list[str]] = {}
+        for value in sorted(self._domain, key=repr):
+            by_depth.setdefault(self.depth(value), []).append(repr(value))
+        lines = [f"level {lvl}: {', '.join(vals)}"
+                 for lvl, vals in sorted(by_depth.items())]
+        return "\n".join(lines) if lines else "(empty order)"
+
+
+class PartialOrderBuilder:
+    """Incremental, closure-preserving construction of a strict partial order.
+
+    Used by Algorithm 3 (``GetApproxPreferenceTuples``): candidate tuples
+    are offered one at a time; :meth:`try_add` accepts a tuple iff the
+    relation stays a strict partial order, and immediately incorporates the
+    transitive consequences, exactly as Definition 6.1's ``(R ∪ {A})+``.
+    """
+
+    def __init__(self, domain: Iterable[Value] = ()):
+        self._better: dict[Value, set[Value]] = {v: set() for v in domain}
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        """Number of preference tuples currently in the (closed) relation."""
+        return self._size
+
+    def prefers(self, x: Value, y: Value) -> bool:
+        reach = self._better.get(x)
+        return reach is not None and y in reach
+
+    def can_add(self, pair: Pair) -> bool:
+        """True iff adding *pair* keeps the relation a strict partial order."""
+        x, y = pair
+        return x != y and not self.prefers(y, x)
+
+    def try_add(self, pair: Pair) -> bool:
+        """Add *pair* plus transitive consequences; False if inadmissible.
+
+        Adding ``(x, y)`` inserts ``(a, b)`` for every ``a ∈ {x} ∪
+        worse_of(x)`` ... more precisely for every ``a`` with ``a ≻ x`` or
+        ``a == x`` and every ``b`` with ``y ≻ b`` or ``b == y``.
+        """
+        if not self.can_add(pair):
+            return False
+        x, y = pair
+        if self.prefers(x, y):
+            return True  # already implied; nothing to do
+        self._better.setdefault(x, set())
+        self._better.setdefault(y, set())
+        uppers = [u for u, reach in self._better.items() if x in reach]
+        uppers.append(x)
+        lowers = list(self._better[y]) + [y]
+        for upper in uppers:
+            reach = self._better[upper]
+            for lower in lowers:
+                if upper != lower and lower not in reach:
+                    reach.add(lower)
+                    self._size += 1
+        return True
+
+    def build(self) -> PartialOrder:
+        """Freeze into an immutable :class:`PartialOrder`."""
+        edges = [(u, v) for u, reach in self._better.items() for v in reach]
+        return PartialOrder(edges, self._better.keys())

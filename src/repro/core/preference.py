@@ -1,0 +1,138 @@
+"""User preferences: one strict partial order per attribute.
+
+A :class:`Preference` bundles the per-attribute
+:class:`~repro.core.partial_order.PartialOrder` relations of one (possibly
+virtual) user and exposes:
+
+* object dominance under Definition 3.2 (:meth:`Preference.compare`,
+  :meth:`Preference.dominates`);
+* the *common preference relation* of a user set — attribute-wise
+  intersection (Definition 4.1, Theorem 4.2) — via
+  :func:`common_preference`;
+* alignment with a dataset schema (:meth:`Preference.aligned`) so the
+  dominance inner loop indexes tuples instead of dictionaries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.dominance import Comparison, compare
+from repro.core.errors import EmptyClusterError, UnknownAttributeError
+from repro.core.partial_order import PartialOrder
+from repro.data.objects import Object, Schema
+
+
+class Preference:
+    """The preferences of one user (or virtual user) across attributes.
+
+    Attributes absent from the mapping are treated as total indifference
+    (an empty partial order): any two distinct values are incomparable.
+    """
+
+    __slots__ = ("_orders", "_aligned_cache")
+
+    def __init__(self, orders: Mapping[str, PartialOrder]):
+        self._orders: dict[str, PartialOrder] = dict(orders)
+        self._aligned_cache: dict[Schema, tuple[PartialOrder, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        """Attributes this preference explicitly orders."""
+        return frozenset(self._orders)
+
+    def order(self, attribute: str) -> PartialOrder:
+        """The partial order on *attribute* (empty if never specified)."""
+        return self._orders.get(attribute, _EMPTY_ORDER)
+
+    def __getitem__(self, attribute: str) -> PartialOrder:
+        try:
+            return self._orders[attribute]
+        except KeyError:
+            raise UnknownAttributeError(attribute, self._orders) from None
+
+    def items(self):
+        return self._orders.items()
+
+    def aligned(self, schema: Schema) -> tuple[PartialOrder, ...]:
+        """Orders as a tuple aligned with *schema* (cached per schema)."""
+        cached = self._aligned_cache.get(schema)
+        if cached is None:
+            cached = tuple(self.order(attr) for attr in schema)
+            self._aligned_cache[schema] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Dominance
+    # ------------------------------------------------------------------
+
+    def compare(self, a: Object, b: Object, schema: Schema) -> Comparison:
+        """One-pass classification of the pair (Definition 3.2)."""
+        return compare(self.aligned(schema), a, b)
+
+    def dominates(self, winner: Object, loser: Object, schema: Schema,
+                  ) -> bool:
+        """True iff *winner* ``≻`` *loser* under this preference."""
+        return (compare(self.aligned(schema), winner, loser)
+                is Comparison.A_DOMINATES)
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+
+    def intersection(self, *others: "Preference") -> "Preference":
+        """Attribute-wise intersection (Definition 4.1).
+
+        The result is the preference of the virtual user ``U``: each
+        attribute's relation is the set of tuples shared by every input,
+        which is again a strict partial order (Theorem 4.2).
+        """
+        attributes = set(self._orders)
+        for other in others:
+            attributes |= set(other._orders)
+        merged = {}
+        for attribute in attributes:
+            order = self.order(attribute)
+            for other in others:
+                order = order.intersection(other.order(attribute))
+            merged[attribute] = order
+        return Preference(merged)
+
+    def size(self) -> int:
+        """Total number of preference tuples across attributes."""
+        return sum(len(order) for order in self._orders.values())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Preference):
+            return NotImplemented
+        attrs = set(self._orders) | set(other._orders)
+        return all(self.order(a) == other.order(a) for a in attrs)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(
+            (a, o) for a, o in self._orders.items() if o))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{attr}: {len(order)} tuples"
+                          for attr, order in sorted(self._orders.items()))
+        return f"Preference({parts})"
+
+
+_EMPTY_ORDER = PartialOrder.empty()
+
+
+def common_preference(preferences: Iterable[Preference]) -> Preference:
+    """The common preference relation of a user set (Definition 4.1).
+
+    Raises :class:`EmptyClusterError` for an empty input — the common
+    preference of nobody is undefined.
+    """
+    preferences = list(preferences)
+    if not preferences:
+        raise EmptyClusterError("common preference of an empty user set")
+    head, *tail = preferences
+    return head.intersection(*tail)

@@ -1,0 +1,405 @@
+"""Sliding-window monitors (Section 7): alive-object dissemination.
+
+Objects now have a lifetime of ``W`` arrivals: when ``o_in`` arrives, the
+object that arrived ``W`` steps earlier expires and must stop competing.
+Expiry can *promote* objects — anything that was dominated exclusively by
+the expiring object becomes Pareto-optimal (``mendParetoFrontierSW``).
+
+The key data structure is the **Pareto frontier buffer** (Definition 7.4):
+the alive objects not dominated by any *succeeding* object.  Theorem 7.2
+shows objects dominated by a successor can never re-enter a frontier, so
+the buffer holds every possible future frontier member; Theorem 7.5 shows a
+single per-cluster buffer ``PB_U`` suffices for FilterThenVerifySW, which
+is where the shared approach saves the most work under windows.
+
+Fidelity note (DESIGN.md §7.3): the paper's Algorithm 5 mends per-user
+frontiers only for buffered objects dominated by the expiring object under
+``≻_U``.  An object dominated under some member's ``≻_c`` but not under
+``≻_U`` would be missed.  We mend per user (still scanning only ``PB_U``),
+which keeps every ``P_c`` identical to a from-scratch recomputation while
+preserving the complexity argument.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Mapping, Sequence
+
+from repro.core.baseline import MonitorBase
+from repro.core.clusters import Cluster, UserId
+from repro.core.dominance import Comparison, compare
+from repro.core.errors import WindowError
+from repro.core.pareto import ParetoFrontier
+from repro.core.partial_order import PartialOrder
+from repro.core.preference import Preference
+from repro.data.objects import Object
+from repro.metrics.counters import Counter
+
+
+class ParetoBuffer:
+    """The Pareto frontier buffer ``PB`` of Definition 7.4.
+
+    Members are kept in arrival order.  Because an object dominated by a
+    *successor* is expelled immediately (Theorem 7.2), any member's
+    dominator inside the buffer precedes it — the property the mend loops
+    rely on.
+    """
+
+    __slots__ = ("_orders", "_counter", "_members", "_ids")
+
+    def __init__(self, orders: Sequence[PartialOrder],
+                 counter: Counter | None = None):
+        self._orders = tuple(orders)
+        self._counter = counter if counter is not None else Counter()
+        self._members: list[Object] = []
+        self._ids: set[int] = set()
+
+    @property
+    def members(self) -> list[Object]:
+        """Alive candidates in arrival order.  Treat as read-only."""
+        return self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, obj: Object | int) -> bool:
+        oid = obj.oid if isinstance(obj, Object) else obj
+        return oid in self._ids
+
+    def on_arrival(self, obj: Object) -> tuple[Object, ...]:
+        """``refreshParetoBufferSW``: admit *obj*, expel what it dominates.
+
+        Members dominated by the newcomer arrived earlier, so by Theorem
+        7.2 they can never be Pareto-optimal again and are dropped for the
+        rest of their lifetime.  Returns the expelled objects.
+        """
+        bump = self._counter.bump
+        orders = self._orders
+        expelled = []
+        survivors = []
+        for member in self._members:
+            bump()
+            if compare(orders, obj, member) is Comparison.A_DOMINATES:
+                expelled.append(member)
+            else:
+                survivors.append(member)
+        if expelled:
+            self._members[:] = survivors
+            self._ids.difference_update(o.oid for o in expelled)
+        self._members.append(obj)
+        self._ids.add(obj.oid)
+        return tuple(expelled)
+
+    def on_expiry(self, obj: Object | int) -> bool:
+        """Drop the expiring object; True if it was still buffered."""
+        oid = obj.oid if isinstance(obj, Object) else obj
+        if oid not in self._ids:
+            return False
+        self._ids.remove(oid)
+        self._members[:] = [m for m in self._members if m.oid != oid]
+        return True
+
+
+class SlidingMonitorBase(MonitorBase):
+    """Window bookkeeping shared by the sliding-window monitors."""
+
+    def __init__(self, schema: Sequence[str], window: int,
+                 track_targets: bool = False):
+        super().__init__(schema, track_targets)
+        if window < 1:
+            raise WindowError(f"window size must be >= 1, got {window}")
+        self.window = int(window)
+        self._alive: deque[Object] = deque()
+
+    @property
+    def alive(self) -> tuple[Object, ...]:
+        """The current window contents, oldest first."""
+        return tuple(self._alive)
+
+    def push(self, row) -> frozenset[UserId]:
+        """Expire the ``W``-old object (if any), then process the arrival."""
+        obj = self._coerce(row)
+        self.stats.objects += 1
+        if len(self._alive) == self.window:
+            self._expire(self._alive.popleft())
+        self._alive.append(obj)
+        targets = self._arrive(obj)
+        self.stats.delivered += len(targets)
+        return targets
+
+    def _expire(self, obj: Object) -> None:
+        raise NotImplementedError
+
+    def _arrive(self, obj: Object) -> frozenset[UserId]:
+        raise NotImplementedError
+
+    def _process(self, obj: Object) -> frozenset[UserId]:  # pragma: no cover
+        raise NotImplementedError("sliding monitors override push()")
+
+
+class BaselineSW(SlidingMonitorBase):
+    """Algorithm 4: per-user frontier ``P_c`` plus per-user buffer ``PB_c``."""
+
+    def __init__(self, preferences: Mapping[UserId, Preference],
+                 schema: Sequence[str], window: int,
+                 track_targets: bool = False):
+        super().__init__(schema, window, track_targets)
+        self._preferences = dict(preferences)
+        self._frontiers: dict[UserId, ParetoFrontier] = {}
+        self._buffers: dict[UserId, ParetoBuffer] = {}
+        for user, pref in self._preferences.items():
+            orders = pref.aligned(self.schema)
+            self._frontiers[user] = ParetoFrontier(
+                orders, self.stats.filter, self.targets, user)
+            self._buffers[user] = ParetoBuffer(orders, self.stats.buffer)
+
+    @property
+    def users(self) -> tuple[UserId, ...]:
+        return tuple(self._preferences)
+
+    def add_user(self, user: UserId, preference: Preference) -> None:
+        """Register a new user mid-stream.
+
+        Unlike the append-only monitors, the window *is* the relevant
+        history, and the monitor still holds it: the newcomer's frontier
+        and buffer are rebuilt by replaying the alive objects.
+        """
+        if user in self._preferences:
+            raise ValueError(f"user {user!r} already registered")
+        orders = preference.aligned(self.schema)
+        frontier = ParetoFrontier(orders, self.stats.filter,
+                                  self.targets, user)
+        buffer = ParetoBuffer(orders, self.stats.buffer)
+        for obj in self._alive:
+            frontier.add(obj)
+            buffer.on_arrival(obj)
+        self._preferences[user] = preference
+        self._frontiers[user] = frontier
+        self._buffers[user] = buffer
+
+    def remove_user(self, user: UserId) -> None:
+        """Unregister a user; their target-set entries are withdrawn."""
+        del self._preferences[user]
+        del self._buffers[user]
+        self._frontiers.pop(user).clear()
+
+    def _expire(self, obj: Object) -> None:
+        for user, pref in self._preferences.items():
+            frontier = self._frontiers[user]
+            buffer = self._buffers[user]
+            if frontier.discard(obj.oid):
+                # Objects dominated (possibly exclusively) by the expiring
+                # member may now be Pareto-optimal; candidates live in PB_c.
+                orders = pref.aligned(self.schema)
+                bump = self.stats.buffer.bump
+                for candidate in buffer.members:
+                    bump()
+                    if (compare(orders, obj, candidate)
+                            is Comparison.A_DOMINATES):
+                        frontier.mend_insert(candidate)
+            buffer.on_expiry(obj.oid)
+
+    def _arrive(self, obj: Object) -> frozenset[UserId]:
+        targets = []
+        for user, frontier in self._frontiers.items():
+            if frontier.add(obj).is_pareto:
+                targets.append(user)
+            self._buffers[user].on_arrival(obj)
+        return frozenset(targets)
+
+    def frontier(self, user: UserId) -> tuple[Object, ...]:
+        return tuple(self._frontiers[user].members)
+
+    def buffer(self, user: UserId) -> tuple[Object, ...]:
+        """``PB_c``, oldest first."""
+        return tuple(self._buffers[user].members)
+
+    def buffers(self) -> list[tuple[Object, ...]]:
+        """All Pareto-frontier buffers (one per user) — memory profiling."""
+        return [tuple(buffer.members) for buffer in self._buffers.values()]
+
+
+class _SlidingClusterState:
+    """Runtime state of one cluster under the window: ``P_U``, ``PB_U`` and
+    the members' ``P_c``."""
+
+    __slots__ = ("cluster", "shared", "buffer", "per_user", "virtual_orders",
+                 "user_orders")
+
+    def __init__(self, cluster: Cluster, schema, stats, registry=None):
+        self.cluster = cluster
+        self.virtual_orders = cluster.virtual.aligned(schema)
+        self.shared = ParetoFrontier(self.virtual_orders, stats.filter)
+        self.buffer = ParetoBuffer(self.virtual_orders, stats.buffer)
+        self.per_user = {
+            user: ParetoFrontier(pref.aligned(schema), stats.verify,
+                                 registry, user)
+            for user, pref in cluster.members.items()
+        }
+        self.user_orders = {
+            user: pref.aligned(schema)
+            for user, pref in cluster.members.items()
+        }
+
+
+class FilterThenVerifySW(SlidingMonitorBase):
+    """Algorithm 5: shared ``P_U`` + single shared buffer ``PB_U`` per
+    cluster (Theorem 7.5), with per-user verification."""
+
+    def __init__(self, clusters: Sequence[Cluster], schema: Sequence[str],
+                 window: int, track_targets: bool = False):
+        super().__init__(schema, window, track_targets)
+        self._states = [
+            _SlidingClusterState(cluster, self.schema, self.stats,
+                                 self.targets)
+            for cluster in clusters
+        ]
+        self._user_state: dict[UserId, _SlidingClusterState] = {}
+        for state in self._states:
+            for user in state.cluster.users:
+                if user in self._user_state:
+                    raise ValueError(
+                        f"user {user!r} appears in more than one cluster")
+                self._user_state[user] = state
+
+    @classmethod
+    def from_users(cls, preferences: Mapping[UserId, Preference],
+                   schema: Sequence[str], window: int, h: float = 0.55,
+                   measure: str = "weighted_jaccard",
+                   ) -> "FilterThenVerifySW":
+        """Cluster users (Section 5) and build the monitor."""
+        from repro.clustering.hierarchical import cluster_users
+
+        groups = cluster_users(preferences, h=h, measure=measure)
+        clusters = [Cluster.exact(group) for group in groups]
+        return cls(clusters, schema, window)
+
+    @property
+    def clusters(self) -> tuple[Cluster, ...]:
+        return tuple(state.cluster for state in self._states)
+
+    @property
+    def users(self) -> tuple[UserId, ...]:
+        return tuple(self._user_state)
+
+    # ------------------------------------------------------------------
+    # Expiry: mend P_U and every affected P_c from PB_U
+    # ------------------------------------------------------------------
+
+    def _expire(self, obj: Object) -> None:
+        for state in self._states:
+            affected = [
+                user for user, frontier in state.per_user.items()
+                if frontier.discard(obj.oid)
+            ]
+            if state.shared.discard(obj.oid):
+                bump = self.stats.buffer.bump
+                virtual_orders = state.virtual_orders
+                for candidate in state.buffer.members:
+                    bump()
+                    if (compare(virtual_orders, obj, candidate)
+                            is Comparison.A_DOMINATES):
+                        state.shared.mend_insert(candidate)
+            # Per-user mend (DESIGN.md §7.3): candidates still come only
+            # from PB_U.  PB_U is ordered by ≻_U-domination, not by each
+            # member's ≻_c, so a candidate's ≻_c-dominator may appear
+            # *later* in the scan; the evicting insert (frontier.add)
+            # makes the outcome order-independent.
+            for user in affected:
+                orders = state.user_orders[user]
+                frontier = state.per_user[user]
+                bump = self.stats.verify.bump
+                for candidate in state.buffer.members:
+                    bump()
+                    if (compare(orders, obj, candidate)
+                            is Comparison.A_DOMINATES
+                            and candidate.oid in state.shared
+                            and candidate.oid not in frontier):
+                        frontier.add(candidate)
+            state.buffer.on_expiry(obj.oid)
+
+    # ------------------------------------------------------------------
+    # Arrival: filter through P_U, verify per user, refresh PB_U
+    # ------------------------------------------------------------------
+
+    def _arrive(self, obj: Object) -> frozenset[UserId]:
+        targets = []
+        for state in self._states:
+            result = state.shared.add(obj)
+            if result.is_pareto:
+                for evicted in result.evicted:
+                    for frontier in state.per_user.values():
+                        frontier.discard(evicted.oid)
+                for user, frontier in state.per_user.items():
+                    if frontier.add(obj).is_pareto:
+                        targets.append(user)
+            state.buffer.on_arrival(obj)
+        return frozenset(targets)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def frontier(self, user: UserId) -> tuple[Object, ...]:
+        return tuple(self._user_state[user].per_user[user].members)
+
+    def shared_frontier(self, user: UserId) -> tuple[Object, ...]:
+        """``P_U`` of the cluster containing *user*."""
+        return tuple(self._user_state[user].shared.members)
+
+    def shared_buffer(self, user: UserId) -> tuple[Object, ...]:
+        """``PB_U`` of the cluster containing *user*, oldest first."""
+        return tuple(self._user_state[user].buffer.members)
+
+    def buffers(self) -> list[tuple[Object, ...]]:
+        """All Pareto-frontier buffers (one per cluster) — one shared
+        ``PB_U`` replaces the baseline's per-user buffers (Theorem 7.5)."""
+        return [tuple(state.buffer.members) for state in self._states]
+
+    def add_user(self, user: UserId, preference: Preference) -> None:
+        """Register a new user mid-stream as a singleton cluster,
+        replaying the alive window (see :meth:`BaselineSW.add_user` and
+        :meth:`FilterThenVerify.add_user` for the rationale)."""
+        if user in self._user_state:
+            raise ValueError(f"user {user!r} already registered")
+        state = _SlidingClusterState(
+            Cluster({user: preference}, preference), self.schema,
+            self.stats, self.targets)
+        for obj in self._alive:
+            result = state.shared.add(obj)
+            if result.is_pareto:
+                state.per_user[user].add(obj)
+            state.buffer.on_arrival(obj)
+        self._states.append(state)
+        self._user_state[user] = state
+
+    def remove_user(self, user: UserId) -> None:
+        """Unregister a user (virtual preference kept; see
+        :meth:`FilterThenVerify.remove_user`)."""
+        state = self._user_state.pop(user)
+        state.per_user.pop(user).clear()
+        del state.user_orders[user]
+        members = {u: p for u, p in state.cluster.members.items()
+                   if u != user}
+        if not members:
+            self._states.remove(state)
+            return
+        state.cluster = Cluster(members, state.cluster.virtual)
+
+
+class FilterThenVerifyApproxSW(FilterThenVerifySW):
+    """Algorithm 5 over approximate clusters (Sections 6 + 7)."""
+
+    @classmethod
+    def from_users(cls, preferences: Mapping[UserId, Preference],
+                   schema: Sequence[str], window: int, h: float = 0.55,
+                   measure: str = "approx_weighted_jaccard",
+                   theta1: float = 50, theta2: float = 0.5,
+                   ) -> "FilterThenVerifyApproxSW":
+        """Cluster with the Section 6.3 measures, then apply Algorithm 3."""
+        from repro.clustering.hierarchical import cluster_users
+
+        groups = cluster_users(preferences, h=h, measure=measure)
+        clusters = [Cluster.approximate(group, theta1, theta2)
+                    for group in groups]
+        return cls(clusters, schema, window)

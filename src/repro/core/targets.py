@@ -1,0 +1,61 @@
+"""Live maintenance of target-user sets ``C_o`` (Definition 3.4).
+
+Algorithm 1 does not only *report* the target users of the newest object;
+it keeps every object's target set current (``C_o' ← C_o' − {c}`` when
+``o'`` falls out of ``P_c``).  :class:`TargetRegistry` centralises that
+bookkeeping: per-user Pareto frontiers notify it on every insertion and
+removal, so ``targets_of(o)`` is exact at any instant, for any monitor.
+
+Registries are optional (pass ``track_targets=True`` to a monitor); the
+hot path pays nothing when tracking is off.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+UserId = Hashable
+
+
+class TargetRegistry:
+    """Mapping ``object id → set of users currently holding it Pareto``."""
+
+    __slots__ = ("_targets",)
+
+    def __init__(self) -> None:
+        self._targets: dict[int, set[UserId]] = {}
+
+    def insert(self, user: UserId, oid: int) -> None:
+        """Record that *oid* entered ``P_c`` of *user*."""
+        self._targets.setdefault(oid, set()).add(user)
+
+    def remove(self, user: UserId, oid: int) -> None:
+        """Record that *oid* left ``P_c`` of *user* (eviction, expiry)."""
+        users = self._targets.get(oid)
+        if users is None:
+            return
+        users.discard(user)
+        if not users:
+            del self._targets[oid]
+
+    def targets_of(self, oid: int) -> frozenset:
+        """Current ``C_o``: empty once no user holds the object Pareto."""
+        return frozenset(self._targets.get(oid, ()))
+
+    def objects_of(self, user: UserId) -> frozenset:
+        """All object ids currently Pareto-optimal for *user*."""
+        return frozenset(oid for oid, users in self._targets.items()
+                         if user in users)
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._targets
+
+    def items(self) -> Iterator[tuple[int, frozenset]]:
+        for oid, users in self._targets.items():
+            yield oid, frozenset(users)
+
+    def __repr__(self) -> str:
+        return f"TargetRegistry({len(self._targets)} live objects)"

@@ -1,0 +1,3 @@
+"""Data substrate: object tables, streams, the paper's worked examples and
+the synthetic dataset generators standing in for Netflix+IMDB and ACM DL
+(see DESIGN.md §4 for the substitution rationale)."""

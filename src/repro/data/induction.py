@@ -1,0 +1,47 @@
+"""Preference induction from behavioural statistics (Section 8.1).
+
+The paper simulates partial orders from observed behaviour: for a user and
+two values ``a, b`` of an attribute, ``a ≻ b`` iff the user's statistics
+for ``a`` Pareto-dominate those for ``b``:
+
+    (R_a > R_b ∧ M_a ≥ M_b) ∨ (R_a ≥ R_b ∧ M_a > M_b)
+
+with ``(R, M)`` being (average rating, rating count) for movies,
+(collaborations, citations) or (publications, citations) for the
+publication dataset.  Because 2-D Pareto dominance is itself a strict
+partial order, the induced relation is always valid — no repair step is
+needed (DESIGN.md S14).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.partial_order import PartialOrder
+from repro.core.preference import Preference
+
+
+def induce_order(stats: Mapping[object, Sequence[float]],
+                 max_values: int | None = None) -> PartialOrder:
+    """Induce a partial order from per-value statistic vectors.
+
+    *stats* maps attribute values to numeric vectors (usually 2-D); the
+    order is their Pareto-dominance relation.  When *max_values* is set,
+    only the values with the largest last statistic (the count/engagement
+    component) are kept — users realistically hold preferences over the
+    values they know best, and this bounds the quadratic induction cost.
+    """
+    if max_values is not None and len(stats) > max_values:
+        kept = sorted(stats, key=lambda v: (stats[v][-1], repr(v)),
+                      reverse=True)[:max_values]
+        stats = {value: stats[value] for value in kept}
+    return PartialOrder.from_scores(stats)
+
+
+def induce_preference(stats_by_attribute: Mapping[str, Mapping],
+                      max_values: int | None = None) -> Preference:
+    """Induce a full preference: one order per attribute."""
+    return Preference({
+        attribute: induce_order(stats, max_values)
+        for attribute, stats in stats_by_attribute.items()
+    })

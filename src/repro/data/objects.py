@@ -1,0 +1,137 @@
+"""Objects, schemas and append-only datasets.
+
+The paper's data model (Section 3) is a table of objects ``O`` over a set of
+categorical attributes ``D``.  Objects arrive continuously, so the natural
+container is an append-only :class:`Dataset`; the sliding-window semantics
+of Section 7 are layered on top by :mod:`repro.data.stream`.
+
+Attribute values are opaque hashables — strings, numbers, interval labels
+such as ``"13-15.9"`` — compared only through each user's
+:class:`~repro.core.partial_order.PartialOrder`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import Iterator
+
+from repro.core.errors import SchemaMismatchError, UnknownAttributeError
+
+Value = Hashable
+Schema = tuple[str, ...]
+
+
+class Object:
+    """A single object: an identifier plus one value per schema attribute.
+
+    ``values`` is a tuple aligned with the owning dataset's schema; this
+    keeps the dominance inner loop free of dict lookups.  Two objects are
+    *identical* in the sense of Definition 3.2 iff their value tuples are
+    equal (identifiers may differ).
+    """
+
+    __slots__ = ("oid", "values")
+
+    def __init__(self, oid: int, values: Sequence[Value]):
+        self.oid = int(oid)
+        self.values = tuple(values)
+
+    def as_dict(self, schema: Schema) -> dict[str, Value]:
+        """Render the object as an attribute → value mapping."""
+        if len(schema) != len(self.values):
+            raise SchemaMismatchError(schema, range(len(self.values)))
+        return dict(zip(schema, self.values))
+
+    def value(self, schema: Schema, attribute: str) -> Value:
+        """The object's value on *attribute* under *schema*."""
+        try:
+            return self.values[schema.index(attribute)]
+        except ValueError:
+            raise UnknownAttributeError(attribute, schema) from None
+
+    def same_values(self, other: "Object") -> bool:
+        """Identity in the sense of Definition 3.2 (``o.D = o'.D``)."""
+        return self.values == other.values
+
+    def __repr__(self) -> str:
+        return f"Object(oid={self.oid}, values={self.values!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Object):
+            return NotImplemented
+        return self.oid == other.oid and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash((self.oid, self.values))
+
+
+class Dataset:
+    """An append-only table of :class:`Object` rows sharing one schema."""
+
+    def __init__(self, schema: Sequence[str],
+                 rows: Iterable[Sequence[Value]] = ()):
+        self.schema: Schema = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise SchemaMismatchError(set(self.schema), self.schema)
+        self._objects: list[Object] = []
+        for row in rows:
+            self.append(row)
+
+    def append(self, row: Sequence[Value] | Mapping[str, Value]) -> Object:
+        """Append a row (sequence aligned with the schema, or a mapping)."""
+        if isinstance(row, Mapping):
+            missing = set(self.schema) - set(row)
+            extra = set(row) - set(self.schema)
+            if missing or extra:
+                raise SchemaMismatchError(self.schema, row.keys())
+            values = tuple(row[attr] for attr in self.schema)
+        else:
+            values = tuple(row)
+            if len(values) != len(self.schema):
+                raise SchemaMismatchError(self.schema, range(len(values)))
+        obj = Object(len(self._objects), values)
+        self._objects.append(obj)
+        return obj
+
+    def extend(self, rows: Iterable[Sequence[Value] | Mapping[str, Value]],
+               ) -> list[Object]:
+        """Append many rows; returns the created objects."""
+        return [self.append(row) for row in rows]
+
+    @property
+    def objects(self) -> list[Object]:
+        """All objects, in arrival order.  Treat as read-only."""
+        return self._objects
+
+    def project(self, attributes: Sequence[str]) -> "Dataset":
+        """A new dataset restricted to *attributes* (used by the ``d`` sweeps
+        of Figures 6, 7, 10 and 11)."""
+        indices = []
+        for attr in attributes:
+            if attr not in self.schema:
+                raise UnknownAttributeError(attr, self.schema)
+            indices.append(self.schema.index(attr))
+        projected = Dataset(attributes)
+        for obj in self._objects:
+            projected.append([obj.values[i] for i in indices])
+        return projected
+
+    def domain(self, attribute: str) -> frozenset[Value]:
+        """All values observed for *attribute* so far."""
+        if attribute not in self.schema:
+            raise UnknownAttributeError(attribute, self.schema)
+        index = self.schema.index(attribute)
+        return frozenset(obj.values[index] for obj in self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[Object]:
+        return iter(self._objects)
+
+    def __getitem__(self, oid: int) -> Object:
+        return self._objects[oid]
+
+    def __repr__(self) -> str:
+        return (f"Dataset(schema={self.schema!r}, "
+                f"{len(self._objects)} objects)")

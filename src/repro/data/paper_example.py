@@ -1,0 +1,298 @@
+"""The paper's worked examples as executable fixtures.
+
+This module encodes, verbatim, the running laptop example (Tables 1 and 2),
+the clustering example on brands (Table 3), the approximation example
+(Figure 1 / Table 5) and the sliding-window product table (Table 8).  The
+test suite asserts the paper's stated outcomes (Examples 1.1, 3.5, 4.4,
+4.7, 4.8, 5.1–5.5, 6.2, 6.3, 6.8, 6.9, 7.3, 7.6, 7.7) against these
+fixtures, so they double as ground truth for the whole library.
+
+Display sizes are mapped to the interval labels the preference diagrams
+use (``"13-15.9"`` etc.), since dominance compares the labels, not the raw
+inches.
+
+Fidelity notes
+--------------
+
+* Example 1.1 states ``P_c2 = {o2, o3}`` over ``o1..o14``, but Example 4.8
+  (and any order consistent with Examples 3.5/7.3) requires
+  ``o7 ∈ P_c2`` at that point: nothing among ``o1..o14`` can dominate
+  ``⟨9.5", Lenovo, quad⟩`` for ``c2``, whose top CPU value is ``quad``.
+  We follow Examples 3.5/4.8 and treat the 1.1 statement as the paper's
+  known slip.
+* Example 3.5 lists ``o8`` among the objects dominated by ``o3`` for
+  ``c2``; that would force ``Samsung ≻_c2 Apple``, contradicting Section
+  6's statement that ``c2`` neither shares nor opposes ``Apple ≻
+  Samsung``.  ``o8`` is dominated by ``o2`` either way, so all frontier
+  results are unaffected; we keep Apple/Samsung incomparable for ``c2``.
+* Tables 9/10 (the sliding-window walkthrough over Table 8) cannot be
+  matched in full by any preference pair consistent with the earlier
+  examples.  Three slips, with our behaviour in parentheses:
+
+  - ``o1 ∈ P_c1`` at window ``[1,6]`` requires ``(10-12.9, 16-18.9) ∉
+    ≻_c1``, but Example 3.5 lists that exact tuple for ``c1`` (we follow
+    Example 3.5, so ``o3 ≻_c1 o1`` and ``P_c1 = {o3}``; consequently
+    ``o6 ∈ P_U`` at the cluster level, since ``(16-18.9, 10-12.9)`` is
+    not common).
+  - ``o5 ∉ PB_c1`` at ``[1,6]`` requires ``Samsung ≻_c1 Toshiba``, which
+    Example 1.1 explicitly denies ("no path between Toshiba and
+    Samsung"); symmetrically ``o5 ∈ PB_c2`` requires ``o6 ⊁_c2 o5``,
+    which contradicts ``(10-12.9, 19-up)``, ``(Samsung, Toshiba)`` and
+    ``(quad, single)`` all being forced into ``≻_c2`` by Examples 3.5
+    and 7.3 (we keep the forced tuples; ``o5`` stays in ``PB_c1`` and
+    leaves ``PB_c2``).
+  - Example 7.7 claims ``o7`` expels ``o6`` from ``PB_U``; that needs
+    ``dual ≻_U quad``, impossible given ``c2``'s explicit CPU chain
+    (``o6`` stays buffered).
+
+  The Table 8 tests therefore assert the outcomes our (example-faithful)
+  orders provably produce — cross-checked against from-scratch window
+  recomputation — plus the headline result ``C_o7 = {c1, c2}``, which
+  holds regardless.
+"""
+
+from __future__ import annotations
+
+from repro.core.partial_order import PartialOrder
+from repro.core.preference import Preference
+from repro.data.objects import Dataset
+
+SCHEMA = ("display", "brand", "cpu")
+
+# Display interval labels used by the Hasse diagrams of Table 2.
+D_13 = "13-15.9"
+D_10 = "10-12.9"
+D_16 = "16-18.9"
+D_19 = "19-up"
+D_9U = "9.9-under"
+
+DISPLAY_LABELS = (D_13, D_10, D_16, D_19, D_9U)
+BRANDS = ("Apple", "Lenovo", "Sony", "Toshiba", "Samsung")
+CPUS = ("single", "dual", "triple", "quad")
+
+
+def display_label(inches: float) -> str:
+    """Map a raw display size to the interval label of Table 2."""
+    if inches < 10:
+        return D_9U
+    if inches < 13:
+        return D_10
+    if inches < 16:
+        return D_13
+    if inches < 19:
+        return D_16
+    return D_19
+
+
+#: Table 1 — the 16 laptops, in arrival order (o1 first).
+TABLE1_RAW = (
+    (12.0, "Apple", "single"),      # o1
+    (14.0, "Apple", "dual"),        # o2
+    (15.0, "Samsung", "dual"),      # o3
+    (19.0, "Toshiba", "dual"),      # o4
+    (9.0, "Samsung", "quad"),       # o5
+    (11.5, "Sony", "single"),       # o6
+    (9.5, "Lenovo", "quad"),        # o7
+    (12.5, "Apple", "dual"),        # o8
+    (19.5, "Sony", "single"),       # o9
+    (9.5, "Lenovo", "triple"),      # o10
+    (9.0, "Toshiba", "triple"),     # o11
+    (8.5, "Samsung", "triple"),     # o12
+    (14.5, "Sony", "dual"),         # o13
+    (17.0, "Sony", "single"),       # o14
+    (16.5, "Lenovo", "quad"),       # o15
+    (16.0, "Toshiba", "single"),    # o16
+)
+
+
+def table1_dataset(limit: int = 16) -> Dataset:
+    """Table 1 as a dataset of the first *limit* laptops (labels applied).
+
+    Object ids are 0-based: ``o_k`` of the paper is object id ``k - 1``.
+    """
+    dataset = Dataset(SCHEMA)
+    for inches, brand, cpu in TABLE1_RAW[:limit]:
+        dataset.append((display_label(inches), brand, cpu))
+    return dataset
+
+
+def c1_preference() -> Preference:
+    """User ``c1`` of Table 2.
+
+    Display: 13-15.9 over 10-12.9 over {16-18.9, 19-up} over 9.9-under.
+    Brand: Apple over Lenovo over {Sony, Toshiba, Samsung}.
+    CPU: dual over {triple, quad} over single.
+    """
+    display = PartialOrder.from_hasse([
+        (D_13, D_10),
+        (D_10, D_16), (D_10, D_19),
+        (D_16, D_9U), (D_19, D_9U),
+    ])
+    brand = PartialOrder.from_hasse([
+        ("Apple", "Lenovo"),
+        ("Lenovo", "Sony"), ("Lenovo", "Toshiba"), ("Lenovo", "Samsung"),
+    ])
+    cpu = PartialOrder.from_hasse([
+        ("dual", "triple"), ("dual", "quad"),
+        ("triple", "single"), ("quad", "single"),
+    ])
+    return Preference({"display": display, "brand": brand, "cpu": cpu})
+
+
+def c2_preference() -> Preference:
+    """User ``c2`` of Table 2.
+
+    Display: the chain 13-15.9 over 16-18.9 over 10-12.9 over 19-up over
+    9.9-under (consistent with Example 3.5's ``(16-18.9, 19-up)``,
+    Example 7.3 and Table 9's ``P_c2`` rows).
+    Brand: Lenovo over Samsung over Toshiba over Sony, plus Apple over
+    Toshiba; Apple is incomparable to Lenovo and Samsung (Section 6
+    requires Apple/Samsung unordered; Example 3.5 requires
+    ``Samsung ≻ Toshiba`` — via ``o3 ≻ o4`` — and ``(Toshiba, Sony)``).
+    CPU: the chain quad over triple over dual over single (Example 4.4).
+    """
+    display = PartialOrder.from_chain([D_13, D_16, D_10, D_19, D_9U])
+    brand = PartialOrder.from_hasse([
+        ("Lenovo", "Samsung"),
+        ("Samsung", "Toshiba"), ("Toshiba", "Sony"),
+        ("Apple", "Toshiba"),
+    ])
+    cpu = PartialOrder.from_chain(["quad", "triple", "dual", "single"])
+    return Preference({"display": display, "brand": brand, "cpu": cpu})
+
+
+def table2_preferences() -> dict[str, Preference]:
+    """The two users of the running example."""
+    return {"c1": c1_preference(), "c2": c2_preference()}
+
+
+def virtual_u_preference() -> Preference:
+    """The virtual user ``U``: the common preferences of c1 and c2."""
+    return c1_preference().intersection(c2_preference())
+
+
+def virtual_u_hat_preference() -> Preference:
+    """The approximate virtual user ``Û`` of Table 2 / Example 6.3.
+
+    ``≻_U`` extended with the approximate tuples the paper discusses:
+    ``Apple ≻ Samsung`` on brand (shared by c1, unopposed by c2) and
+    ``quad ≻ triple`` on CPU.  Satisfies ``≻̂_U ⊇ ≻_U`` (Lemma 6.4) and
+    reproduces ``P̂_U = {o2, o7}`` over ``o1..o14`` (Example 6.3).
+    """
+    base = virtual_u_preference()
+    brand = PartialOrder(
+        set(base.order("brand").pairs) | {("Apple", "Samsung")})
+    cpu = PartialOrder(
+        set(base.order("cpu").pairs) | {("quad", "triple")})
+    return Preference({
+        "display": base.order("display"), "brand": brand, "cpu": cpu})
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — six users' brand preferences for the clustering examples
+# ---------------------------------------------------------------------------
+
+def table3_brand_orders() -> dict[str, PartialOrder]:
+    """The six brand-only preferences of Table 3.
+
+    Chosen to reproduce every number in Examples 5.1–5.5, 6.8 and 6.9:
+    the pairwise common relations, maximal values, weights and both
+    frequency vectors.
+    """
+    return {
+        # c1: Apple > Toshiba > Lenovo?  No — Apple > Lenovo > Samsung with
+        # Toshiba > Lenovo as the extra tuple giving U1's (T, L) at 1/2.
+        "c1": PartialOrder.from_hasse([
+            ("Apple", "Lenovo"), ("Toshiba", "Lenovo"),
+            ("Lenovo", "Samsung"),
+        ]),
+        # c2: Apple > Lenovo > Samsung, Toshiba > Samsung.
+        "c2": PartialOrder.from_hasse([
+            ("Apple", "Lenovo"), ("Lenovo", "Samsung"),
+            ("Toshiba", "Samsung"),
+        ]),
+        # c3: Samsung > Lenovo > {Apple, Toshiba}, plus Apple > Toshiba.
+        "c3": PartialOrder.from_hasse([
+            ("Samsung", "Lenovo"), ("Lenovo", "Apple"),
+            ("Apple", "Toshiba"),
+        ]),
+        # c4: Samsung > Lenovo > {Apple, Toshiba}.
+        "c4": PartialOrder.from_hasse([
+            ("Samsung", "Lenovo"), ("Lenovo", "Apple"),
+            ("Lenovo", "Toshiba"),
+        ]),
+        # c5: Lenovo > Apple > Samsung, Lenovo > Toshiba > Samsung.
+        "c5": PartialOrder.from_hasse([
+            ("Lenovo", "Apple"), ("Apple", "Samsung"),
+            ("Lenovo", "Toshiba"), ("Toshiba", "Samsung"),
+        ]),
+        # c6: Lenovo > Apple > {Toshiba, Samsung}.
+        "c6": PartialOrder.from_hasse([
+            ("Lenovo", "Apple"), ("Apple", "Toshiba"),
+            ("Apple", "Samsung"),
+        ]),
+    }
+
+
+def table3_preferences() -> dict[str, Preference]:
+    """Table 3 as single-attribute preferences (attribute ``brand``)."""
+    return {user: Preference({"brand": order})
+            for user, order in table3_brand_orders().items()}
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 / Table 5 — the three users of the approximation example
+# ---------------------------------------------------------------------------
+
+def figure1_brand_orders() -> tuple[PartialOrder, PartialOrder,
+                                    PartialOrder]:
+    """Three brand preferences realising Table 5's tuple frequencies.
+
+    (A, T) appears in all three users; (A, S), (L, T), (T, S), (S, L) in
+    two; (A, L), (L, S), (T, L), (S, T) in one; reversals of (A, *) in
+    none — exactly the frequency table driving Example 6.2.
+    """
+    u1 = PartialOrder.from_chain(
+        ["Apple", "Toshiba", "Samsung", "Lenovo"])
+    u2 = PartialOrder.from_hasse([
+        ("Apple", "Toshiba"), ("Lenovo", "Toshiba"),
+        ("Toshiba", "Samsung"),
+    ])
+    u3 = PartialOrder.from_hasse([
+        ("Apple", "Toshiba"), ("Samsung", "Lenovo"),
+        ("Lenovo", "Toshiba"),
+    ])
+    return u1, u2, u3
+
+
+def figure1_tie_break(pair: tuple[str, str]) -> tuple[int, int]:
+    """The paper's candidate ordering within equal frequencies.
+
+    Table 5 enumerates tied tuples by brand position in the order Apple,
+    Lenovo, Toshiba, Samsung.
+    """
+    positions = {"Apple": 0, "Lenovo": 1, "Toshiba": 2, "Samsung": 3}
+    return (positions[pair[0]], positions[pair[1]])
+
+
+# ---------------------------------------------------------------------------
+# Table 8 — the sliding-window product table
+# ---------------------------------------------------------------------------
+
+TABLE8_RAW = (
+    (17.0, "Lenovo", "dual"),       # o1
+    (9.5, "Sony", "single"),        # o2
+    (12.0, "Apple", "dual"),        # o3
+    (16.0, "Lenovo", "quad"),       # o4
+    (19.0, "Toshiba", "single"),    # o5
+    (12.5, "Samsung", "quad"),      # o6
+    (14.0, "Apple", "dual"),        # o7
+)
+
+
+def table8_dataset() -> Dataset:
+    """Table 8 as a dataset (labels applied; o_k is object id k - 1)."""
+    dataset = Dataset(SCHEMA)
+    for inches, brand, cpu in TABLE8_RAW:
+        dataset.append((display_label(inches), brand, cpu))
+    return dataset

@@ -1,0 +1,139 @@
+"""Workload profiling: the numbers that drive parameter choices.
+
+Before monitoring a new corpus, an operator needs to know: how skewed
+are the attribute values?  How dense are the users' partial orders?  How
+fast do frontiers grow?  How similar are users to one another — i.e.
+will the Section-4/5 sharing pay off, and around which branch cut?
+
+:func:`profile_workload` answers all of these with one pass over (a
+sample of) the workload; :func:`format_profile` renders the report the
+examples and the CLI print.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clustering.similarity import get_measure
+from repro.data.synthetic import Workload
+from repro.orders.ops import height, width
+
+
+@dataclass
+class AttributeProfile:
+    """Shape of one attribute across objects and users."""
+
+    attribute: str
+    domain_size: int
+    top_share: float          #: frequency share of the most common value
+    mean_pairs: float         #: avg preference tuples per user
+    mean_height: float
+    mean_width: float
+
+
+@dataclass
+class WorkloadProfile:
+    """Everything :func:`profile_workload` measures."""
+
+    name: str
+    n_objects: int
+    n_users: int
+    attributes: list[AttributeProfile] = field(default_factory=list)
+    mean_similarity: float = 0.0   #: avg pairwise weighted Jaccard
+    frontier_final: float = 0.0    #: avg |P_c| after the whole corpus
+    frontier_peak: float = 0.0     #: avg max |P_c| along the way
+
+    @property
+    def sharing_outlook(self) -> str:
+        """A coarse verdict on whether shared computation will pay off."""
+        if self.mean_similarity >= 0.5:
+            return "excellent (large clusters, big common relations)"
+        if self.mean_similarity >= 0.2:
+            return ("good (moderate clusters; tune h near the mean "
+                    "similarity)")
+        return "poor (diverse users; consider approximation, Section 6)"
+
+
+def profile_workload(workload: Workload, sample_users: int = 12,
+                     seed: int = 0) -> WorkloadProfile:
+    """Measure a workload's shape on a deterministic user sample.
+
+    Order statistics (height, width), pairwise similarity and frontier
+    growth are computed on at most *sample_users* users so profiling
+    stays cheap on big populations; object-side statistics use the full
+    dataset.
+    """
+    if sample_users < 1:
+        raise ValueError(f"sample_users must be >= 1, got {sample_users}")
+    rng = np.random.default_rng(seed)
+    users = list(workload.preferences)
+    if len(users) > sample_users:
+        picks = rng.choice(len(users), size=sample_users, replace=False)
+        users = [users[i] for i in sorted(picks)]
+    preferences = [workload.preferences[user] for user in users]
+
+    profile = WorkloadProfile(workload.name, len(workload.dataset),
+                              len(workload.preferences))
+    for index, attribute in enumerate(workload.schema):
+        tally = TallyCounter(obj.values[index] for obj in workload.dataset)
+        total = sum(tally.values()) or 1
+        orders = [pref.order(attribute) for pref in preferences]
+        profile.attributes.append(AttributeProfile(
+            attribute=attribute,
+            domain_size=len(workload.dataset.domain(attribute)),
+            top_share=(max(tally.values()) / total) if tally else 0.0,
+            mean_pairs=float(np.mean([len(o) for o in orders])),
+            mean_height=float(np.mean([height(o) for o in orders])),
+            mean_width=float(np.mean([width(o) for o in orders])),
+        ))
+
+    measure = get_measure("weighted_jaccard")
+    reps = [measure.represent(pref) for pref in preferences]
+    n_attributes = len(workload.schema) or 1
+    similarities = [
+        measure.similarity(reps[i], reps[j]) / n_attributes
+        for i in range(len(reps)) for j in range(i + 1, len(reps))
+    ]
+    profile.mean_similarity = float(np.mean(similarities)) \
+        if similarities else 1.0
+
+    from repro.core.batch import frontier_sizes
+
+    finals, peaks = [], []
+    for pref in preferences[:min(4, len(preferences))]:
+        sizes = frontier_sizes(pref, workload.dataset.objects,
+                               workload.schema)
+        if sizes:
+            finals.append(sizes[-1])
+            peaks.append(max(sizes))
+    profile.frontier_final = float(np.mean(finals)) if finals else 0.0
+    profile.frontier_peak = float(np.mean(peaks)) if peaks else 0.0
+    return profile
+
+
+def format_profile(profile: WorkloadProfile) -> str:
+    """Render the profile as the report the CLI prints."""
+    lines = [
+        f"workload {profile.name!r}: {profile.n_objects} objects, "
+        f"{profile.n_users} users",
+        "",
+        f"{'attribute':<14} {'domain':>6} {'top%':>6} {'pairs':>7} "
+        f"{'height':>7} {'width':>6}",
+    ]
+    for attr in profile.attributes:
+        lines.append(
+            f"{attr.attribute:<14} {attr.domain_size:>6} "
+            f"{100 * attr.top_share:>5.1f}% {attr.mean_pairs:>7.1f} "
+            f"{attr.mean_height:>7.1f} {attr.mean_width:>6.1f}")
+    lines += [
+        "",
+        f"mean pairwise similarity (weighted Jaccard): "
+        f"{profile.mean_similarity:.3f}",
+        f"sharing outlook: {profile.sharing_outlook}",
+        f"avg Pareto frontier: {profile.frontier_final:.1f} final, "
+        f"{profile.frontier_peak:.1f} peak",
+    ]
+    return "\n".join(lines)

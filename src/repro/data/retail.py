@@ -1,0 +1,150 @@
+"""Retail scenario: the paper's laptop example (1.1) as a generator.
+
+The introduction motivates the system with product recommendation: when a
+new laptop arrives, notify exactly the customers for whom it is
+Pareto-optimal under their preferences on *display*, *brand* and *CPU*
+(Tables 1 and 2).  This module scales that scenario from two customers to
+a parameterised population:
+
+* **display** — interval bands, as in the paper (``"13-15.9"`` etc.).
+  Each persona has an ideal band and prefers bands closer to it — a
+  *peak preference*, the natural shape for a size attribute
+  (:func:`peak_order`);
+* **brand** — personas hold tiered brand affinities (premium / mid /
+  entry), thinned into genuine partial orders;
+* **cpu** / **storage** — peak preferences over the natural chains
+  (some customers want maximum cores, others value battery life —
+  exactly the paper's ``c1`` preferring dual-core over quad).
+
+Users are persona mutations (:func:`repro.orders.generators.mutate_order`)
+so the population is clusterable, which is what makes the shared-
+computation monitors worthwhile on this workload.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.partial_order import PartialOrder, Value
+from repro.core.preference import Preference
+from repro.data.objects import Dataset
+from repro.data.synthetic import Workload, sample_values, zipf_weights
+from repro.orders.generators import mutate_order
+
+SCHEMA = ("display", "brand", "cpu", "storage")
+
+DISPLAY_BANDS = ("9.9-under", "10-12.9", "13-15.9", "16-18.9", "19-up")
+CPU_GRADES = ("single", "dual", "triple", "quad")
+STORAGE_TIERS = ("128GB", "256GB", "512GB", "1TB", "2TB")
+
+#: Brand pool; personas tier these differently.
+BRANDS = ("Apple", "Lenovo", "Sony", "Toshiba", "Samsung",
+          "Dell", "Asus", "Acer")
+
+
+def peak_order(values: Sequence[Value], peak: int) -> PartialOrder:
+    """Prefer values closer to ``values[peak]`` (single-peaked preference).
+
+    ``x ≻ y`` iff ``|index(x) - peak| < |index(y) - peak|``; equidistant
+    values are incomparable.  This is the natural preference over ordinal
+    bands — the paper's ``c1`` prefers 13-15.9″ the most with adjacent
+    bands next (Table 2).
+    """
+    if not 0 <= peak < len(values):
+        raise ValueError(f"peak index {peak} outside 0..{len(values) - 1}")
+    edges = []
+    for i, better in enumerate(values):
+        for j, worse in enumerate(values):
+            if abs(i - peak) < abs(j - peak):
+                edges.append((better, worse))
+    return PartialOrder(edges, values)
+
+
+def tiered_brand_order(rng: np.random.Generator,
+                       brands: Sequence[Value] = BRANDS,
+                       n_tiers: int = 3,
+                       drop_rate: float = 0.25) -> PartialOrder:
+    """A persona's brand preference: random tiers, thinned to a partial order.
+
+    Brands are shuffled into *n_tiers* quality tiers (a weak order), then
+    a *drop_rate* fraction of the cross-tier pairs is forgotten — real
+    customers rank the brands they care about and are indifferent about
+    the rest, giving a genuinely partial relation like Table 2's.
+    """
+    shuffled = [brands[i] for i in rng.permutation(len(brands))]
+    tier_of = {brand: rng.integers(n_tiers) for brand in shuffled}
+    edges = [(a, b) for a in shuffled for b in shuffled
+             if tier_of[a] < tier_of[b] and rng.random() >= drop_rate]
+    return PartialOrder(edges, brands)
+
+
+def persona_preference(rng: np.random.Generator) -> Preference:
+    """Draw one persona: peaks for the ordinal attributes, brand tiers."""
+    return Preference({
+        "display": peak_order(DISPLAY_BANDS,
+                              int(rng.integers(len(DISPLAY_BANDS)))),
+        "brand": tiered_brand_order(rng),
+        "cpu": peak_order(CPU_GRADES, int(rng.integers(1, len(CPU_GRADES)))),
+        "storage": peak_order(STORAGE_TIERS,
+                              int(rng.integers(1, len(STORAGE_TIERS)))),
+    })
+
+
+def retail_catalog(rng: np.random.Generator, n_products: int) -> Dataset:
+    """A product catalog with popularity-weighted attribute values.
+
+    Mid-size displays, mid-tier CPUs and established brands are the most
+    common stock, mirroring a real inventory's long tail.
+    """
+    pools = {
+        "display": DISPLAY_BANDS,
+        "brand": BRANDS,
+        "cpu": CPU_GRADES,
+        "storage": STORAGE_TIERS,
+    }
+    weights = {
+        "display": np.array([0.10, 0.20, 0.35, 0.25, 0.10]),
+        "brand": zipf_weights(len(BRANDS), 0.8),
+        "cpu": np.array([0.10, 0.35, 0.30, 0.25]),
+        "storage": np.array([0.10, 0.30, 0.35, 0.20, 0.05]),
+    }
+    columns = {
+        attribute: sample_values(rng, list(pools[attribute]),
+                                 weights[attribute], n_products)
+        for attribute in SCHEMA
+    }
+    dataset = Dataset(SCHEMA)
+    for index in range(n_products):
+        dataset.append(tuple(columns[attr][index] for attr in SCHEMA))
+    return dataset
+
+
+def retail_workload(n_products: int = 1500, n_users: int = 60,
+                    seed: int = 17, personas: int = 5,
+                    drop_rate: float = 0.12, add_rate: float = 0.02,
+                    ) -> Workload:
+    """The full retail scenario: catalog plus persona-derived customers.
+
+    Each customer copies a uniformly chosen persona and mutates every
+    attribute order slightly, so clusters recover the personas.  All
+    randomness flows from *seed*.
+    """
+    if personas < 1:
+        raise ValueError(f"personas must be >= 1, got {personas}")
+    rng = np.random.default_rng(seed)
+    archetypes = [persona_preference(rng) for _ in range(personas)]
+    preferences = {}
+    for index in range(n_users):
+        base = archetypes[int(rng.integers(personas))]
+        preferences[f"customer{index}"] = Preference({
+            attribute: mutate_order(rng, base.order(attribute),
+                                    drop_rate, add_rate)
+            for attribute in SCHEMA
+        })
+    dataset = retail_catalog(rng, n_products)
+    return Workload("retail", dataset, preferences, {
+        "n_products": n_products, "n_users": n_users, "seed": seed,
+        "personas": personas,
+    })

@@ -1,0 +1,42 @@
+"""Synthetic social-network feed: the paper's first motivating scenario.
+
+Section 1 motivates the problem with social content delivery: when a new
+post arrives, surface it to the users for whom it is Pareto-optimal on
+attributes like content creator, topic and location.  This generator
+models communities (archetypes) of users who follow the same creators and
+care about the same topics, with per-user idiosyncrasies, through the
+shared :func:`repro.data.synthetic.behavioural_workload` machinery — the
+behavioural statistics here read as (engagement rate, interaction count).
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic import Workload, behavioural_workload
+
+SCHEMA = ("creator", "topic", "format", "region")
+
+
+def social_pools(n_posts: int) -> dict[str, list]:
+    """Attribute value pools sized relative to the feed volume."""
+    return {
+        "creator": [f"creator{i}" for i in range(max(40, n_posts // 40))],
+        "topic": [f"topic{i}" for i in range(24)],
+        "format": ["text", "photo", "video", "poll", "live", "story"],
+        "region": [f"region{i}" for i in range(12)],
+    }
+
+
+def social_workload(n_posts: int = 2000, n_users: int = 60,
+                    seed: int = 17, communities: int = 6,
+                    max_values_per_attribute: int = 50) -> Workload:
+    """Generate the social-feed scenario (posts + induced preferences).
+
+    Communities play the archetype role: members follow overlapping
+    creator sets and share topical tastes, which is precisely what makes
+    cluster-shared Pareto monitoring effective for feed ranking.
+    """
+    return behavioural_workload(
+        "social", social_pools(n_posts), n_objects=n_posts,
+        n_users=n_users, seed=seed, archetypes=communities,
+        max_values_per_attribute=max_values_per_attribute,
+        user_prefix="reader")

@@ -1,0 +1,47 @@
+"""Stream utilities: append-only replay and duplicated-sequence streams.
+
+Section 8.3 builds its 1M-object streams by replaying a dataset's object
+sequence repeatedly ("O is composed of duplicated sequence of the
+corresponding dataset").  :func:`replay` reproduces that construction with
+fresh object ids so window arithmetic stays trivial.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.core.errors import WindowError
+from repro.data.objects import Dataset, Object
+
+
+def replay(dataset: Dataset | Sequence[Object], length: int,
+           ) -> Iterator[Object]:
+    """Yield *length* objects by cycling the dataset's rows.
+
+    Object ids are renumbered ``0..length-1`` in stream order; values are
+    shared with the source objects (they are immutable tuples).
+    """
+    source = list(dataset)
+    if not source:
+        raise WindowError("cannot replay an empty dataset")
+    for position in range(length):
+        template = source[position % len(source)]
+        yield Object(position, template.values)
+
+
+def windows(stream: Iterable[Object], size: int,
+            ) -> Iterator[tuple[Object, list[Object]]]:
+    """Yield ``(arrival, alive_objects)`` for each arrival (test oracle).
+
+    ``alive_objects`` is the window *after* the arrival is admitted and
+    the ``size``-old object expired — the ground truth the sliding-window
+    monitors are checked against.
+    """
+    if size < 1:
+        raise WindowError(f"window size must be >= 1, got {size}")
+    alive: list[Object] = []
+    for obj in stream:
+        alive.append(obj)
+        if len(alive) > size:
+            alive.pop(0)
+        yield obj, list(alive)

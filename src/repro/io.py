@@ -1,0 +1,175 @@
+"""Serialization: JSON round-trips for orders, preferences and datasets.
+
+A monitoring deployment needs to persist user preferences (they "stand or
+only change occasionally", Section 1) and reload them across restarts.
+The format is deliberately plain JSON:
+
+* a partial order is stored as its Hasse edges plus isolated values —
+  the most compact faithful encoding (the closure is recomputed on load);
+* a preference is a mapping of attribute → order;
+* a dataset is a schema plus rows.
+
+Attribute values must be JSON-representable (strings/numbers); tuples of
+values are not supported by design — encode composite values as strings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from typing import IO, Any
+
+from repro.core.partial_order import PartialOrder
+from repro.core.preference import Preference
+from repro.data.objects import Dataset
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Partial orders
+# ---------------------------------------------------------------------------
+
+def order_to_dict(order: PartialOrder) -> dict[str, Any]:
+    """Plain-data encoding of a partial order (Hasse edges + isolated)."""
+    hasse = sorted(map(list, order.hasse_edges()))
+    mentioned = {v for edge in hasse for v in edge}
+    isolated = sorted(order.domain - mentioned, key=repr)
+    return {"hasse": hasse, "isolated": isolated}
+
+
+def order_from_dict(data: Mapping[str, Any]) -> PartialOrder:
+    """Inverse of :func:`order_to_dict` (validates on construction)."""
+    edges = [tuple(edge) for edge in data.get("hasse", ())]
+    return PartialOrder(edges, data.get("isolated", ()))
+
+
+# ---------------------------------------------------------------------------
+# Preferences
+# ---------------------------------------------------------------------------
+
+def preference_to_dict(preference: Preference) -> dict[str, Any]:
+    return {attribute: order_to_dict(order)
+            for attribute, order in sorted(preference.items())}
+
+
+def preference_from_dict(data: Mapping[str, Any]) -> Preference:
+    return Preference({attribute: order_from_dict(order)
+                       for attribute, order in data.items()})
+
+
+def preferences_to_dict(preferences: Mapping[Any, Preference],
+                        ) -> dict[str, Any]:
+    """A whole user base.  User ids are coerced to strings (JSON keys)."""
+    return {
+        "version": FORMAT_VERSION,
+        "users": {str(user): preference_to_dict(pref)
+                  for user, pref in preferences.items()},
+    }
+
+
+def preferences_from_dict(data: Mapping[str, Any],
+                          ) -> dict[str, Preference]:
+    _check_version(data)
+    return {user: preference_from_dict(pref)
+            for user, pref in data["users"].items()}
+
+
+# ---------------------------------------------------------------------------
+# Datasets
+# ---------------------------------------------------------------------------
+
+def dataset_to_dict(dataset: Dataset) -> dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "schema": list(dataset.schema),
+        "rows": [list(obj.values) for obj in dataset],
+    }
+
+
+def dataset_from_dict(data: Mapping[str, Any]) -> Dataset:
+    _check_version(data)
+    return Dataset(tuple(data["schema"]),
+                   [tuple(row) for row in data["rows"]])
+
+
+# ---------------------------------------------------------------------------
+# Workloads (scenario files: dataset + preferences together)
+# ---------------------------------------------------------------------------
+
+def workload_to_dict(workload) -> dict[str, Any]:
+    """A whole scenario — the unit the command line tools exchange."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": workload.name,
+        "dataset": dataset_to_dict(workload.dataset),
+        "preferences": preferences_to_dict(workload.preferences),
+        "params": {key: value for key, value in workload.params.items()
+                   if isinstance(value, (str, int, float, bool))},
+    }
+
+
+def workload_from_dict(data: Mapping[str, Any]):
+    from repro.data.synthetic import Workload
+
+    _check_version(data)
+    return Workload(
+        data.get("name", "workload"),
+        dataset_from_dict(data["dataset"]),
+        preferences_from_dict(data["preferences"]),
+        dict(data.get("params", {})),
+    )
+
+
+# ---------------------------------------------------------------------------
+# File-level helpers
+# ---------------------------------------------------------------------------
+
+def save_preferences(preferences: Mapping[Any, Preference],
+                     fp: IO[str] | str) -> None:
+    """Write a user base to a JSON file (path or open text file)."""
+    _dump(preferences_to_dict(preferences), fp)
+
+
+def load_preferences(fp: IO[str] | str) -> dict[str, Preference]:
+    return preferences_from_dict(_load(fp))
+
+
+def save_dataset(dataset: Dataset, fp: IO[str] | str) -> None:
+    _dump(dataset_to_dict(dataset), fp)
+
+
+def load_dataset(fp: IO[str] | str) -> Dataset:
+    return dataset_from_dict(_load(fp))
+
+
+def save_workload(workload, fp: IO[str] | str) -> None:
+    """Write a scenario (dataset + preferences) to a JSON file."""
+    _dump(workload_to_dict(workload), fp)
+
+
+def load_workload(fp: IO[str] | str):
+    return workload_from_dict(_load(fp))
+
+
+def _dump(data, fp) -> None:
+    if isinstance(fp, str):
+        with open(fp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=1, sort_keys=True)
+    else:
+        json.dump(data, fp, indent=1, sort_keys=True)
+
+
+def _load(fp):
+    if isinstance(fp, str):
+        with open(fp, encoding="utf-8") as handle:
+            return json.load(handle)
+    return json.load(fp)
+
+
+def _check_version(data: Mapping[str, Any]) -> None:
+    version = data.get("version", FORMAT_VERSION)
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"file format version {version} is newer than this library "
+            f"understands ({FORMAT_VERSION})")

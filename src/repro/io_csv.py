@@ -1,0 +1,149 @@
+"""CSV interchange: object tables and preference edge lists.
+
+JSON (:mod:`repro.io`) is the native round-trip format; CSV is the
+*interchange* format — the shape of a ``COPY ... TO CSV`` from the
+relational tables a real deployment would keep:
+
+* an **object table**: header = schema, one object per row;
+* a **preference edge list**: long format with one Hasse edge per row —
+  ``user,attribute,better,worse`` — which is how per-user partial orders
+  naturally live in SQL.
+
+CSV carries text: values are written with ``str`` and read back as
+strings unless per-attribute ``converters`` are supplied.  The JSON
+format preserves types natively and should be preferred for
+library-to-library exchange.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Callable, Mapping
+from typing import IO, Any
+
+from repro.core.partial_order import PartialOrder
+from repro.core.preference import Preference
+from repro.data.objects import Dataset
+
+EDGE_HEADER = ("user", "attribute", "better", "worse")
+#: Marker rows that declare an isolated (edge-free) domain value:
+#: ``user,attribute,value,`` with an empty ``worse`` column.
+_ISOLATED = ""
+
+
+# ---------------------------------------------------------------------------
+# Object tables
+# ---------------------------------------------------------------------------
+
+def write_dataset_csv(dataset: Dataset, fp: IO[str] | str) -> None:
+    """Write the dataset as a CSV with the schema as header."""
+    def dump(handle: IO[str]) -> None:
+        writer = csv.writer(handle)
+        writer.writerow(dataset.schema)
+        for obj in dataset:
+            writer.writerow([str(value) for value in obj.values])
+
+    _with_handle(fp, "w", dump)
+
+
+def read_dataset_csv(fp: IO[str] | str,
+                     converters: Mapping[str, Callable[[str], Any]]
+                     | None = None) -> Dataset:
+    """Read a dataset back; header row defines the schema.
+
+    *converters* maps attribute names to parsing callables (e.g.
+    ``{"year": int}``); unlisted attributes stay strings.
+    """
+    def load(handle: IO[str]) -> Dataset:
+        reader = csv.reader(handle)
+        try:
+            schema = tuple(next(reader))
+        except StopIteration:
+            raise ValueError("empty CSV: no header row") from None
+        convert = [(converters or {}).get(attr, str) for attr in schema]
+        dataset = Dataset(schema)
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"row {len(dataset) + 1} has {len(row)} cells, "
+                    f"schema has {len(schema)}")
+            dataset.append([fn(cell) for fn, cell in zip(convert, row)])
+        return dataset
+
+    return _with_handle(fp, "r", load)
+
+
+# ---------------------------------------------------------------------------
+# Preference edge lists
+# ---------------------------------------------------------------------------
+
+def write_preferences_csv(preferences: Mapping[Any, Preference],
+                          fp: IO[str] | str) -> None:
+    """Write all users' preferences as a long-format edge list.
+
+    One row per Hasse edge (the closure is recomputed on load), plus one
+    marker row per isolated value so domains survive the round trip.
+    """
+    def dump(handle: IO[str]) -> None:
+        writer = csv.writer(handle)
+        writer.writerow(EDGE_HEADER)
+        for user in sorted(preferences, key=str):
+            preference = preferences[user]
+            for attribute, order in sorted(preference.items()):
+                edges = sorted(order.hasse_edges(), key=repr)
+                mentioned = {v for edge in edges for v in edge}
+                for better, worse in edges:
+                    writer.writerow([str(user), attribute, str(better),
+                                     str(worse)])
+                for value in sorted(order.domain - mentioned, key=repr):
+                    writer.writerow([str(user), attribute, str(value),
+                                     _ISOLATED])
+
+    _with_handle(fp, "w", dump)
+
+
+def read_preferences_csv(fp: IO[str] | str) -> dict[str, Preference]:
+    """Read a long-format edge list back into per-user preferences."""
+    def load(handle: IO[str]) -> dict[str, Preference]:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != EDGE_HEADER:
+            raise ValueError(
+                f"expected header {','.join(EDGE_HEADER)!r}, "
+                f"got {header!r}")
+        edges: dict[str, dict[str, list]] = {}
+        isolated: dict[str, dict[str, list]] = {}
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != 4:
+                raise ValueError(f"malformed edge row: {row!r}")
+            user, attribute, better, worse = row
+            if worse == _ISOLATED:
+                isolated.setdefault(user, {}).setdefault(
+                    attribute, []).append(better)
+            else:
+                edges.setdefault(user, {}).setdefault(
+                    attribute, []).append((better, worse))
+        preferences = {}
+        for user in sorted(set(edges) | set(isolated)):
+            orders = {}
+            attributes = (set(edges.get(user, {}))
+                          | set(isolated.get(user, {})))
+            for attribute in attributes:
+                orders[attribute] = PartialOrder(
+                    edges.get(user, {}).get(attribute, ()),
+                    isolated.get(user, {}).get(attribute, ()))
+            preferences[user] = Preference(orders)
+        return preferences
+
+    return _with_handle(fp, "r", load)
+
+
+def _with_handle(fp: IO[str] | str, mode: str, action):
+    if isinstance(fp, str):
+        with open(fp, mode, encoding="utf-8", newline="") as handle:
+            return action(handle)
+    return action(fp)

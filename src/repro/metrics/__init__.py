@@ -1,0 +1,2 @@
+"""Measurement: pairwise-comparison counters and the accuracy metrics of
+Section 6.2 (precision / recall / F-measure of the approximate monitors)."""

@@ -1,0 +1,139 @@
+"""Accuracy of approximate monitors (Section 6.2).
+
+The approximate monitors may produce **false negatives** (a truly
+Pareto-optimal object filtered out by the stronger approximate sieve —
+region III of the paper's Figure 2) and, downstream, **false positives**
+(an object admitted because everything that dominates it became a false
+negative — region V).  This module quantifies both:
+
+* :func:`frontier_metrics` compares per-user frontier snapshots (the
+  ``P_c`` vs ``P̂_c`` sets of Equations 6–8);
+* :class:`DeliveryLog` + :func:`delivery_metrics` compare *deliveries*
+  over a whole run — for each object, the target users reported by the
+  exact and approximate monitors (``C_o`` vs ``Ĉ_o``).  This is the
+  aggregation used for Tables 11 and 12, where precision is
+  ``Σ_c |P̂_c ∩ P_c| / Σ_c |P̂_c|`` summed over the stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Hashable, NamedTuple
+
+UserId = Hashable
+
+
+class ConfusionCounts(NamedTuple):
+    """Micro-averaged confusion counts with derived measures."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of reported objects that are truly Pareto-optimal."""
+        reported = self.true_positives + self.false_positives
+        if reported == 0:
+            return 1.0
+        return self.true_positives / reported
+
+    @property
+    def recall(self) -> float:
+        """Fraction of truly Pareto-optimal objects that were reported."""
+        relevant = self.true_positives + self.false_negatives
+        if relevant == 0:
+            return 1.0
+        return self.true_positives / relevant
+
+    @property
+    def f_measure(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+    def merged_with(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.false_negatives + other.false_negatives)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f_measure": self.f_measure,
+        }
+
+
+def confusion(exact: Iterable, approx: Iterable) -> ConfusionCounts:
+    """Confusion counts of one approximate set against the exact truth."""
+    exact = set(exact)
+    approx = set(approx)
+    tp = len(exact & approx)
+    return ConfusionCounts(tp, len(approx) - tp, len(exact) - tp)
+
+
+def frontier_metrics(exact_frontiers: Mapping[UserId, Iterable],
+                     approx_frontiers: Mapping[UserId, Iterable],
+                     ) -> ConfusionCounts:
+    """Equations 6–7 micro-averaged over users, on frontier snapshots.
+
+    ``exact_frontiers[c]`` / ``approx_frontiers[c]`` are the object ids of
+    ``P_c`` and ``P̂_c``.  Users missing from either mapping contribute an
+    empty set.
+    """
+    counts = ConfusionCounts(0, 0, 0)
+    for user in set(exact_frontiers) | set(approx_frontiers):
+        counts = counts.merged_with(confusion(
+            exact_frontiers.get(user, ()), approx_frontiers.get(user, ())))
+    return counts
+
+
+class DeliveryLog:
+    """Per-object target-user sets recorded over a monitoring run."""
+
+    def __init__(self) -> None:
+        self._targets: list[frozenset[UserId]] = []
+
+    def record(self, targets: frozenset[UserId]) -> None:
+        self._targets.append(frozenset(targets))
+
+    def record_all(self, monitor, rows) -> "DeliveryLog":
+        """Push *rows* through *monitor*, recording each delivery."""
+        for row in rows:
+            self.record(monitor.push(row))
+        return self
+
+    @property
+    def targets(self) -> list[frozenset[UserId]]:
+        return self._targets
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    def total_deliveries(self) -> int:
+        return sum(len(t) for t in self._targets)
+
+
+def delivery_metrics(exact: DeliveryLog, approx: DeliveryLog,
+                     ) -> ConfusionCounts:
+    """Stream-level accuracy: compare ``Ĉ_o`` with ``C_o`` per object.
+
+    Both logs must cover the same object sequence.  A (user, object) pair
+    counts as a true positive when both monitors delivered the object to
+    the user.
+    """
+    if len(exact) != len(approx):
+        raise ValueError(
+            f"delivery logs cover different streams: {len(exact)} vs "
+            f"{len(approx)} objects")
+    counts = ConfusionCounts(0, 0, 0)
+    for truth, guess in zip(exact.targets, approx.targets):
+        counts = counts.merged_with(confusion(truth, guess))
+    return counts

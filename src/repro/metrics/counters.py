@@ -1,0 +1,72 @@
+"""Instrumentation: pairwise-comparison counters and monitor statistics.
+
+Every figure in the paper's evaluation has a panel (b) reporting the number
+of pairwise object comparisons each algorithm performs.  To measure — not
+estimate — that quantity, every dominance test in the library routes
+through a :class:`Counter`.  Counters are deliberately tiny mutable boxes;
+sharing one between data structures aggregates their work.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A mutable tally of pairwise object comparisons."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self, n: int = 1) -> None:
+        """Record *n* comparisons."""
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class MonitorStats:
+    """Work statistics for one monitor.
+
+    ``filter``, ``verify`` and ``buffer`` separate where comparisons happen:
+
+    * ``filter`` — against cluster-level frontiers ``P_U`` (the sieve of
+      Algorithm 2) or, for baselines, against per-user frontiers ``P_c``;
+    * ``verify`` — per-user verification of cluster-level survivors;
+    * ``buffer`` — sliding-window Pareto-frontier-buffer maintenance
+      (Definition 7.4).
+    """
+
+    __slots__ = ("objects", "delivered", "filter", "verify", "buffer")
+
+    def __init__(self) -> None:
+        self.objects = 0
+        self.delivered = 0
+        self.filter = Counter()
+        self.verify = Counter()
+        self.buffer = Counter()
+
+    @property
+    def comparisons(self) -> int:
+        """Total pairwise object comparisons across all phases."""
+        return self.filter.value + self.verify.value + self.buffer.value
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy, convenient for reporting and assertions."""
+        return {
+            "objects": self.objects,
+            "delivered": self.delivered,
+            "filter_comparisons": self.filter.value,
+            "verify_comparisons": self.verify.value,
+            "buffer_comparisons": self.buffer.value,
+            "comparisons": self.comparisons,
+        }
+
+    def __repr__(self) -> str:
+        return (f"MonitorStats(objects={self.objects}, "
+                f"delivered={self.delivered}, "
+                f"comparisons={self.comparisons})")

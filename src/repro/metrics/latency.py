@@ -1,0 +1,128 @@
+"""Per-push latency profiling for monitors.
+
+The paper's motivation is timeliness — "the value of a Pareto-optimal
+object diminishes quickly" (Section 1).  Cumulative milliseconds (the
+figures' panel a) hide the tail: a monitor that is fast on average but
+stalls on frontier-heavy pushes still delivers late.  This module
+records each ``push`` individually and reports the distribution.
+
+>>> from repro import Baseline, PartialOrder, Preference
+>>> from repro.metrics.latency import LatencyProfiler
+>>> users = {"a": Preference({"x": PartialOrder.from_chain("pqr")})}
+>>> monitor = LatencyProfiler(Baseline(users, schema=("x",)))
+>>> _ = monitor.push({"x": "q"})
+>>> monitor.profile.count
+1
+
+The profiler is a transparent proxy: every attribute of the wrapped
+monitor remains reachable, so existing harnesses accept a profiled
+monitor unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Quantiles reported by :meth:`LatencyProfile.summary`.
+SUMMARY_QUANTILES = (0.50, 0.90, 0.95, 0.99)
+
+
+class LatencyProfile:
+    """A growing sample of per-push latencies (seconds)."""
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        """Total seconds across all pushes."""
+        return float(sum(self._samples))
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return self.total / len(self._samples)
+
+    @property
+    def max(self) -> float:
+        return max(self._samples, default=0.0)
+
+    def quantile(self, q: float) -> float:
+        """The *q*-quantile latency in seconds (0 for no samples)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        return float(np.quantile(self._samples, q))
+
+    def summary(self) -> dict[str, float]:
+        """Milliseconds: count, mean, max and the standard quantiles."""
+        result = {
+            "count": float(self.count),
+            "mean_ms": self.mean * 1000.0,
+            "max_ms": self.max * 1000.0,
+        }
+        for q in SUMMARY_QUANTILES:
+            result[f"p{int(q * 100)}_ms"] = self.quantile(q) * 1000.0
+        return result
+
+    def __repr__(self) -> str:
+        return (f"LatencyProfile({self.count} pushes, "
+                f"mean {self.mean * 1000:.3f} ms, "
+                f"max {self.max * 1000:.3f} ms)")
+
+
+@dataclass
+class SLOReport:
+    """How the push-latency distribution compares to a budget."""
+
+    budget_ms: float
+    violations: int
+    count: int
+
+    @property
+    def compliance(self) -> float:
+        """Fraction of pushes within budget (1.0 for an empty profile)."""
+        if self.count == 0:
+            return 1.0
+        return 1.0 - self.violations / self.count
+
+
+class LatencyProfiler:
+    """A transparent proxy timing every ``push`` of a wrapped monitor."""
+
+    def __init__(self, monitor, clock=time.perf_counter):
+        self._monitor = monitor
+        self._clock = clock
+        self.profile = LatencyProfile()
+
+    def push(self, row):
+        started = self._clock()
+        targets = self._monitor.push(row)
+        self.profile.record(self._clock() - started)
+        return targets
+
+    def slo(self, budget_ms: float) -> SLOReport:
+        """Check every recorded push against a latency budget."""
+        budget = budget_ms / 1000.0
+        violations = sum(1 for s in self.profile._samples if s > budget)
+        return SLOReport(budget_ms, violations, self.profile.count)
+
+    def __getattr__(self, name):
+        return getattr(self._monitor, name)
+
+    def __repr__(self) -> str:
+        return f"LatencyProfiler({self._monitor!r}, {self.profile!r})"

@@ -1,0 +1,61 @@
+"""Partial-order toolkit: generators, structural operations, distances.
+
+The core library treats a :class:`~repro.core.partial_order.PartialOrder`
+as an opaque preference relation; this subpackage adds everything a user
+of the library needs *around* those relations:
+
+* :mod:`repro.orders.generators` — seeded random order families (layered,
+  forest, noisy chain, bipartite, mutated populations) for workloads,
+  ablations and property tests;
+* :mod:`repro.orders.ops` — structural operations and classical invariants
+  (dual, merge, height, width via Dilworth, chain covers, linear
+  extensions, Mirsky levels);
+* :mod:`repro.orders.measures` — distances and agreement statistics
+  between two orders (symmetric difference, Kendall-style distance with
+  partial-ranking penalty, precision/recall of an approximate relation).
+
+Everything here is deterministic given an explicit
+:class:`numpy.random.Generator`; nothing touches global RNG state.
+"""
+
+from repro.orders.generators import (bipartite_order, forest_order,
+                                     layered_order, mutate_order,
+                                     noisy_chain, preference_population,
+                                     random_order)
+from repro.orders.measures import (AgreementCounts, agreement_counts,
+                                   jaccard_distance, kendall_distance,
+                                   precision_recall, symmetric_difference)
+from repro.orders.ops import (chain_cover, comparability_graph,
+                              count_linear_extensions, dual, height,
+                              is_linear_extension, linear_extensions,
+                              maximum_antichain, merge, mirsky_levels,
+                              topological_order, union_compatible, width)
+
+__all__ = [
+    "AgreementCounts",
+    "agreement_counts",
+    "bipartite_order",
+    "chain_cover",
+    "comparability_graph",
+    "count_linear_extensions",
+    "dual",
+    "forest_order",
+    "height",
+    "is_linear_extension",
+    "jaccard_distance",
+    "kendall_distance",
+    "layered_order",
+    "linear_extensions",
+    "maximum_antichain",
+    "merge",
+    "mirsky_levels",
+    "mutate_order",
+    "noisy_chain",
+    "precision_recall",
+    "preference_population",
+    "random_order",
+    "symmetric_difference",
+    "topological_order",
+    "union_compatible",
+    "width",
+]

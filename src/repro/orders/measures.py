@@ -1,0 +1,132 @@
+"""Distances and agreement statistics between two partial orders.
+
+Section 5 of the paper designs *similarities* between cluster preferences
+(intersection size, Jaccard, weighted variants — see
+:mod:`repro.clustering.similarity`).  This module provides the
+complementary *distances* and diagnostics used to analyse them:
+
+* :func:`symmetric_difference` / :func:`jaccard_distance` — tuple-set
+  distances (``1 - `` the paper's Jaccard similarity);
+* :func:`agreement_counts` — the full pairwise decomposition (agree,
+  opposed, one-sided, mutually indifferent);
+* :func:`kendall_distance` — the classical Kendall tau generalised to
+  partial rankings with the p = 1/2 penalty for half-resolved pairs;
+* :func:`precision_recall` — tuple-level quality of an approximate
+  relation against the exact one (the Section 6.2 analysis applied to
+  relations instead of frontiers).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import NamedTuple
+
+from repro.core.partial_order import PartialOrder
+
+
+def symmetric_difference(first: PartialOrder, second: PartialOrder) -> int:
+    """Number of preference tuples in exactly one of the two relations."""
+    return len(first.pairs ^ second.pairs)
+
+
+def jaccard_distance(first: PartialOrder, second: PartialOrder) -> float:
+    """``1 - |∩| / |∪|`` over tuple sets; 0.0 for two empty relations.
+
+    This is exactly one minus the paper's Jaccard similarity (Equation 3)
+    evaluated on a pair of single-user relations.
+    """
+    union = first.pairs | second.pairs
+    if not union:
+        return 0.0
+    return 1.0 - len(first.pairs & second.pairs) / len(union)
+
+
+class AgreementCounts(NamedTuple):
+    """Decomposition of all ordered value pairs of the joint domain.
+
+    For each unordered pair ``{x, y}`` of the union domain, exactly one of
+    the four fields is incremented:
+
+    * ``agree`` — both relations order the pair, the same way;
+    * ``opposed`` — both order it, opposite ways;
+    * ``one_sided`` — exactly one relation orders it;
+    * ``indifferent`` — neither orders it.
+    """
+
+    agree: int
+    opposed: int
+    one_sided: int
+    indifferent: int
+
+    @property
+    def total(self) -> int:
+        return self.agree + self.opposed + self.one_sided + self.indifferent
+
+
+def agreement_counts(first: PartialOrder, second: PartialOrder,
+                     ) -> AgreementCounts:
+    """Classify every unordered value pair of the joint domain."""
+    domain = sorted(first.domain | second.domain, key=repr)
+    agree = opposed = one_sided = indifferent = 0
+    for x, y in combinations(domain, 2):
+        in_first = (first.prefers(x, y), first.prefers(y, x))
+        in_second = (second.prefers(x, y), second.prefers(y, x))
+        first_orders = any(in_first)
+        second_orders = any(in_second)
+        if first_orders and second_orders:
+            if in_first == in_second:
+                agree += 1
+            else:
+                opposed += 1
+        elif first_orders or second_orders:
+            one_sided += 1
+        else:
+            indifferent += 1
+    return AgreementCounts(agree, opposed, one_sided, indifferent)
+
+
+def kendall_distance(first: PartialOrder, second: PartialOrder,
+                     normalize: bool = True) -> float:
+    """Kendall tau distance generalised to partial rankings.
+
+    Per unordered pair: penalty 1 if the relations oppose each other,
+    1/2 if exactly one of them resolves the pair, 0 if they agree or are
+    both indifferent.  With ``normalize`` the sum is divided by the number
+    of pairs, giving a value in ``[0, 1]``; two identical relations score
+    0 and two reversed chains score 1.
+    """
+    counts = agreement_counts(first, second)
+    distance = counts.opposed + 0.5 * counts.one_sided
+    if not normalize:
+        return distance
+    return distance / counts.total if counts.total else 0.0
+
+
+class RelationQuality(NamedTuple):
+    """Tuple-level precision/recall of a candidate relation."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f_measure(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return (2 * self.precision * self.recall
+                / (self.precision + self.recall))
+
+
+def precision_recall(candidate: PartialOrder, reference: PartialOrder,
+                     ) -> RelationQuality:
+    """Precision and recall of *candidate*'s tuples against *reference*.
+
+    The natural diagnostic for Algorithm 3's output: the approximate
+    common preference relation ``≻̂_U`` always has recall 1.0 against the
+    exact ``≻_U`` (Lemma 6.4: it is a superset) while precision measures
+    how many of its tuples are genuinely common.  Empty sets score 1.0 by
+    convention (nothing claimed → nothing wrong).
+    """
+    shared = len(candidate.pairs & reference.pairs)
+    precision = (shared / len(candidate.pairs)) if candidate.pairs else 1.0
+    recall = (shared / len(reference.pairs)) if reference.pairs else 1.0
+    return RelationQuality(precision, recall)

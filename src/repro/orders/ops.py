@@ -1,0 +1,331 @@
+"""Structural operations and classical invariants of partial orders.
+
+These are the standard order-theory tools a library user reaches for when
+inspecting preference relations:
+
+* :func:`dual` — reverse every preference;
+* :func:`merge` / :func:`union_compatible` — combine two relations when
+  their union is still a strict partial order;
+* :func:`height` (longest chain) and :func:`width` (largest antichain,
+  via Dilworth's theorem and bipartite matching);
+* :func:`chain_cover` — a minimum decomposition into chains;
+* :func:`mirsky_levels` — the canonical height-optimal level partition;
+* linear extensions: one (:func:`topological_order`), all
+  (:func:`linear_extensions`), or just the count
+  (:func:`count_linear_extensions`).
+
+Width, chain covers and extension counts are exponential- or
+matching-sized computations intended for the *attribute domains* of this
+library (tens of values), not for arbitrary giant DAGs; the extension
+counter guards itself with an explicit domain-size limit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import lru_cache
+
+from repro.core.errors import CycleError
+from repro.core.partial_order import Pair, PartialOrder, Value
+
+#: Hard cap for exact linear-extension counting — the memo table is
+#: indexed by down-sets, of which there can be ~2^|domain|.
+MAX_COUNT_DOMAIN = 20
+
+
+# ---------------------------------------------------------------------------
+# Simple rewrites
+# ---------------------------------------------------------------------------
+
+def dual(order: PartialOrder) -> PartialOrder:
+    """The dual order: ``x ≻ y`` becomes ``y ≻ x``.
+
+    The dual of a strict partial order is a strict partial order, so no
+    re-validation is needed beyond the constructor's.
+    """
+    return PartialOrder([(y, x) for x, y in order.pairs], order.domain)
+
+
+def union_compatible(first: PartialOrder, second: PartialOrder) -> bool:
+    """True iff the union of the two relations is a strict partial order.
+
+    Two orders conflict exactly when one contains ``(x, y)`` and the other
+    ``(y, x)`` — possibly indirectly through transitivity, which the
+    closure check catches.
+    """
+    return not any(second.prefers(y, x) for x, y in first.pairs)
+
+
+def merge(first: PartialOrder, second: PartialOrder) -> PartialOrder:
+    """The transitive closure of the union of two compatible orders.
+
+    Raises :class:`~repro.core.errors.CycleError` if the orders disagree
+    on any pair (directly or transitively).  This is the dual operation
+    of Definition 4.1's intersection: where intersection extracts what a
+    cluster agrees on, merge assembles a joint preference from fragments
+    — e.g. per-session observations of the same user.
+    """
+    return PartialOrder(list(first.pairs) + list(second.pairs),
+                        first.domain | second.domain)
+
+
+def comparability_graph(order: PartialOrder) -> dict[Value, frozenset]:
+    """Undirected comparability adjacency: ``x — y`` iff comparable."""
+    adjacency: dict[Value, set] = {v: set() for v in order.domain}
+    for x, y in order.pairs:
+        adjacency[x].add(y)
+        adjacency[y].add(x)
+    return {v: frozenset(neighbours) for v, neighbours in adjacency.items()}
+
+
+# ---------------------------------------------------------------------------
+# Height, width, chains
+# ---------------------------------------------------------------------------
+
+def height(order: PartialOrder) -> int:
+    """Length (number of values) of a longest chain; 0 for empty domain."""
+    if not order.domain:
+        return 0
+    longest: dict[Value, int] = {}
+
+    def _longest(value: Value) -> int:
+        cached = longest.get(value)
+        if cached is not None:
+            return cached
+        below = order.hasse_children(value)
+        result = 1 + (max((_longest(child) for child in below), default=0))
+        longest[value] = result
+        return result
+
+    # hasse diagrams of attribute domains are shallow; recursion depth is
+    # bounded by the height itself, which this function computes.
+    return max(_longest(value) for value in order.domain)
+
+
+def mirsky_levels(order: PartialOrder) -> list[frozenset]:
+    """Partition the domain into antichains by longest-chain-above depth.
+
+    Level ``i`` holds values whose longest chain of strictly better values
+    has ``i`` elements; by Mirsky's theorem the number of levels equals
+    :func:`height`.  (Contrast with ``PartialOrder.depth``, which uses
+    *shortest* distance — the paper's weight convention.)
+    """
+    above: dict[Value, int] = {}
+
+    def _above(value: Value) -> int:
+        cached = above.get(value)
+        if cached is not None:
+            return cached
+        better = order.worse_than(value)  # values preferred to `value`
+        result = (1 + max(_above(b) for b in better)) if better else 0
+        above[value] = result
+        return result
+
+    levels: dict[int, set] = {}
+    for value in order.domain:
+        levels.setdefault(_above(value), set()).add(value)
+    return [frozenset(levels[i]) for i in sorted(levels)]
+
+
+def width(order: PartialOrder) -> int:
+    """Size of a largest antichain (Dilworth's theorem).
+
+    Computed as ``|domain| - maximum matching`` in the split bipartite
+    graph of the comparability relation, using Kuhn's augmenting-path
+    algorithm — O(V·E), ample for attribute domains.
+    """
+    return len(order.domain) - _max_matching(order)[0]
+
+
+def maximum_antichain(order: PartialOrder) -> frozenset:
+    """A concrete largest antichain (the witness for :func:`width`).
+
+    König's construction on the split graph: from the unmatched left
+    copies, alternate along non-matching then matching edges; the
+    minimum vertex cover is (left ∖ reached) ∪ (right ∩ reached), and
+    the elements with *neither* copy covered form a maximum antichain.
+    """
+    domain = sorted(order.domain, key=repr)
+    _, match_left = _max_matching(order)
+    match_right = {y: x for x, y in match_left.items()}
+    reached_left = {v for v in domain if v not in match_left}
+    reached_right: set = set()
+    queue = list(reached_left)
+    while queue:
+        x = queue.pop()
+        for y in sorted(order.better_than(x), key=repr):
+            if y in reached_right or match_left.get(x) == y:
+                continue
+            reached_right.add(y)
+            owner = match_right.get(y)
+            if owner is not None and owner not in reached_left:
+                reached_left.add(owner)
+                queue.append(owner)
+    cover_left = set(domain) - reached_left
+    return frozenset(v for v in domain
+                     if v not in cover_left and v not in reached_right)
+
+
+def chain_cover(order: PartialOrder) -> list[list[Value]]:
+    """A minimum set of chains covering the domain (each sorted best-first).
+
+    The number of chains equals :func:`width` (Dilworth).  Each chain is a
+    list ``[best, ..., worst]`` with consecutive elements comparable.
+    """
+    _, successor = _max_matching(order)
+    has_predecessor = set(successor.values())
+    chains = []
+    for value in sorted(order.domain, key=repr):
+        if value in has_predecessor:
+            continue
+        chain = [value]
+        while chain[-1] in successor:
+            chain.append(successor[chain[-1]])
+        chains.append(chain)
+    return chains
+
+
+def _max_matching(order: PartialOrder) -> tuple[int, dict[Value, Value]]:
+    """Maximum matching of the split graph ``left(x) — right(y)`` for x ≻ y.
+
+    Returns the matching size and the chain-successor map ``{x: y}``
+    (x is matched to y means x immediately precedes y in a cover chain).
+    """
+    domain = sorted(order.domain, key=repr)
+    match_right: dict[Value, Value] = {}  # right node -> left node
+    match_left: dict[Value, Value] = {}
+
+    def try_augment(left: Value, visited: set) -> bool:
+        for right in sorted(order.better_than(left), key=repr):
+            if right in visited:
+                continue
+            visited.add(right)
+            if right not in match_right or try_augment(match_right[right],
+                                                       visited):
+                match_right[right] = left
+                match_left[left] = right
+                return True
+        return False
+
+    size = 0
+    for left in domain:
+        if try_augment(left, set()):
+            size += 1
+    return size, match_left
+
+
+# ---------------------------------------------------------------------------
+# Linear extensions
+# ---------------------------------------------------------------------------
+
+def topological_order(order: PartialOrder) -> list[Value]:
+    """A deterministic linear extension, best values first.
+
+    Kahn's algorithm with a lexicographic (by ``repr``) tie-break, so the
+    output is stable across runs — handy for golden-file tests and
+    reproducible reports.
+    """
+    remaining = set(order.domain)
+    indegree = {v: 0 for v in remaining}
+    for parent in remaining:
+        for child in order.hasse_children(parent):
+            indegree[child] += 1
+    result: list[Value] = []
+    ready = sorted((v for v in remaining if indegree[v] == 0), key=repr)
+    while ready:
+        value = ready.pop(0)
+        result.append(value)
+        remaining.discard(value)
+        newly_ready = []
+        for child in order.hasse_children(value):
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                newly_ready.append(child)
+        if newly_ready:
+            ready = sorted(ready + newly_ready, key=repr)
+    return result
+
+
+def is_linear_extension(order: PartialOrder, sequence: Sequence[Value],
+                        ) -> bool:
+    """True iff *sequence* lists the whole domain best-first consistently."""
+    if set(sequence) != set(order.domain) or len(sequence) != len(
+            order.domain):
+        return False
+    position = {value: index for index, value in enumerate(sequence)}
+    return all(position[x] < position[y] for x, y in order.pairs)
+
+
+def linear_extensions(order: PartialOrder, limit: int | None = None):
+    """Yield linear extensions (lists, best-first), lexicographic order.
+
+    *limit* caps the number yielded; ``None`` yields all of them.  The
+    number of extensions is factorial in the worst case (an antichain) —
+    callers iterating everything should keep domains small or pass a
+    limit.
+    """
+    domain = sorted(order.domain, key=repr)
+    produced = 0
+
+    def backtrack(prefix: list, remaining: set):
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if not remaining:
+            produced += 1
+            yield list(prefix)
+            return
+        for value in domain:
+            if value not in remaining:
+                continue
+            if order.worse_than(value) & remaining:
+                continue  # a better value is still unplaced
+            prefix.append(value)
+            remaining.discard(value)
+            yield from backtrack(prefix, remaining)
+            remaining.add(value)
+            prefix.pop()
+
+    yield from backtrack([], set(domain))
+
+
+def count_linear_extensions(order: PartialOrder) -> int:
+    """Exact number of linear extensions (memoised over down-sets).
+
+    Raises :class:`ValueError` for domains larger than
+    :data:`MAX_COUNT_DOMAIN` — the memo table is exponential in the
+    domain size and this function is meant for attribute domains.
+    """
+    domain = sorted(order.domain, key=repr)
+    if len(domain) > MAX_COUNT_DOMAIN:
+        raise ValueError(
+            f"domain has {len(domain)} values; exact counting is "
+            f"exponential and capped at {MAX_COUNT_DOMAIN}")
+    index = {value: i for i, value in enumerate(domain)}
+    full_mask = (1 << len(domain)) - 1
+    better_masks = []
+    for value in domain:
+        mask = 0
+        for b in order.worse_than(value):
+            mask |= 1 << index[b]
+        better_masks.append(mask)
+
+    @lru_cache(maxsize=None)
+    def count(placed_mask: int) -> int:
+        if placed_mask == full_mask:
+            return 1
+        total = 0
+        for i in range(len(domain)):
+            bit = 1 << i
+            if placed_mask & bit:
+                continue
+            # value i is placeable iff everything better is placed
+            if better_masks[i] & ~placed_mask:
+                continue
+            total += count(placed_mask | bit)
+        return total
+
+    try:
+        return count(0)
+    finally:
+        count.cache_clear()

@@ -1,0 +1,123 @@
+"""Monitor state snapshots: restart a deployment without full replay.
+
+A long-running dissemination service must survive restarts.  Replaying
+the entire object history is correct but wasteful; this module captures
+the *sufficient* state instead, exploiting two facts:
+
+* **append-only monitors** — future answers depend only on the current
+  frontiers, and replaying the union of all per-user frontiers plus the
+  cluster-level shared frontiers (in arrival order) reconstructs each
+  of them exactly: a frontier's members stay mutually undominated
+  within any subset, and any union object outside a given ``P_c`` /
+  ``P_U`` is dominated by one of its members, which is also in the
+  union;
+* **sliding-window monitors** — every structure (``P_c``, ``P_U``,
+  ``PB``) is a function of the alive window alone (Definitions 7.1 and
+  7.4 quantify only over alive objects), so replaying the window into a
+  fresh monitor reproduces the state bit for bit.
+
+Snapshots are plain JSON-able dicts; preferences and clustering are
+*not* included — persist those with :mod:`repro.io` and rebuild the
+monitor first, then :func:`restore` into it.
+
+>>> from repro import Baseline, PartialOrder, Preference
+>>> from repro.state import snapshot, restore
+>>> users = {"a": Preference({"x": PartialOrder.from_chain("pq")})}
+>>> before = Baseline(users, schema=("x",))
+>>> _ = before.push({"x": "q"}); _ = before.push({"x": "p"})
+>>> state = snapshot(before)
+>>> after = restore(Baseline(users, schema=("x",)), state)
+>>> after.frontier_ids("a") == before.frontier_ids("a")
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.data.objects import Object
+
+FORMAT_VERSION = 1
+
+
+def snapshot(monitor) -> dict[str, Any]:
+    """Capture the sufficient replay state of any of the six monitors.
+
+    Objects are stored as ``[oid, [values...]]`` in arrival (oid) order.
+    Arrival order matters for sliding-window expiry, and oids are
+    assigned sequentially by both :class:`~repro.data.objects.Dataset`
+    and the monitors' own coercion, so sorting by oid recovers it.
+    """
+    alive = getattr(monitor, "alive", None)
+    if alive is not None:           # sliding-window monitor
+        objects = list(alive)
+        kind = "window"
+    else:
+        seen: dict[int, Object] = {}
+        shared = getattr(monitor, "shared_frontier", None)
+        for user in monitor.users:
+            for obj in monitor.frontier(user):
+                seen[obj.oid] = obj
+            if shared is not None:   # cluster sieve state (P_U)
+                for obj in shared(user):
+                    seen[obj.oid] = obj
+        objects = sorted(seen.values(), key=lambda o: o.oid)
+        kind = "append"
+    return {
+        "version": FORMAT_VERSION,
+        "kind": kind,
+        "schema": list(monitor.schema),
+        "objects": [[obj.oid, list(obj.values)] for obj in objects],
+        "objects_processed": monitor.stats.objects,
+    }
+
+
+def restore(fresh_monitor, state: Mapping[str, Any]):
+    """Replay a snapshot into a freshly constructed monitor.
+
+    The monitor must be built with the same schema (checked) and the
+    same preferences/clustering as the snapshotted one (the caller's
+    responsibility — persist them via :mod:`repro.io`).  Returns the
+    monitor, now holding frontiers (and, for sliding windows, buffers
+    and the alive window) identical to the original's.
+    """
+    version = state.get("version", FORMAT_VERSION)
+    if version > FORMAT_VERSION:
+        raise ValueError(f"snapshot format {version} is newer than this "
+                         f"library understands ({FORMAT_VERSION})")
+    schema = tuple(state["schema"])
+    if schema != tuple(fresh_monitor.schema):
+        raise ValueError(f"snapshot schema {schema!r} does not match "
+                         f"monitor schema {tuple(fresh_monitor.schema)!r}")
+    if state["kind"] == "window" and not hasattr(fresh_monitor, "alive"):
+        raise ValueError("window snapshot requires a sliding-window "
+                         "monitor")
+    for oid, values in state["objects"]:
+        fresh_monitor.push(Object(oid, values))
+    # Replay work is bookkeeping, not new arrivals: restore the original
+    # arrival count so downstream statistics stay truthful.
+    fresh_monitor.stats.objects = state.get(
+        "objects_processed", fresh_monitor.stats.objects)
+    return fresh_monitor
+
+
+def save_snapshot(monitor, fp) -> None:
+    """Snapshot straight to a JSON file (path or open text file)."""
+    import json
+
+    data = snapshot(monitor)
+    if isinstance(fp, str):
+        with open(fp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=1)
+    else:
+        json.dump(data, fp, indent=1)
+
+
+def load_snapshot(fp) -> dict[str, Any]:
+    """Read a snapshot file back (pass the result to :func:`restore`)."""
+    import json
+
+    if isinstance(fp, str):
+        with open(fp, encoding="utf-8") as handle:
+            return json.load(handle)
+    return json.load(fp)

@@ -1,0 +1,125 @@
+"""Rendering helpers: Hasse diagrams and frontier snapshots as text/DOT.
+
+The paper communicates preferences as Hasse diagrams (Tables 2 and 3);
+these helpers produce the same views for debugging and documentation:
+
+* :func:`hasse_dot` — Graphviz DOT for one partial order;
+* :func:`preference_dot` — one DOT graph with a subgraph per attribute;
+* :func:`hasse_text` — a compact level-by-level text rendering;
+* :func:`frontier_table` — a monitor's current frontier as an aligned
+  table.
+
+No Graphviz dependency: DOT is just text, render it wherever convenient.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.core.partial_order import PartialOrder
+from repro.core.preference import Preference
+
+
+def _dot_id(value, prefix: str = "") -> str:
+    escaped = str(value).replace('"', r'\"')
+    return f'"{prefix}{escaped}"'
+
+
+def hasse_dot(order: PartialOrder, name: str = "preference") -> str:
+    """Graphviz DOT of the order's Hasse diagram (edges point worse-ward)."""
+    lines = [f'digraph "{name}" {{', "  rankdir=TB;",
+             "  node [shape=box, fontsize=10];"]
+    for value in sorted(order.domain, key=repr):
+        lines.append(f"  {_dot_id(value)};")
+    for better, worse in sorted(order.hasse_edges(), key=repr):
+        lines.append(f"  {_dot_id(better)} -> {_dot_id(worse)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def preference_dot(preference: Preference, name: str = "user") -> str:
+    """One DOT graph with a cluster subgraph per attribute."""
+    lines = [f'digraph "{name}" {{', "  rankdir=TB;",
+             "  node [shape=box, fontsize=10];"]
+    for index, (attribute, order) in enumerate(
+            sorted(preference.items())):
+        lines.append(f'  subgraph "cluster_{index}" {{')
+        lines.append(f'    label="{attribute}";')
+        prefix = f"{attribute}:"
+        for value in sorted(order.domain, key=repr):
+            label = str(value).replace('"', r'\"')
+            lines.append(
+                f'    {_dot_id(value, prefix)} [label="{label}"];')
+        for better, worse in sorted(order.hasse_edges(), key=repr):
+            lines.append(f"    {_dot_id(better, prefix)} -> "
+                         f"{_dot_id(worse, prefix)};")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def hasse_text(order: PartialOrder) -> str:
+    """Level-by-level text view: maximal values first (Definition 5.3)."""
+    if not order.domain:
+        return "(empty order)"
+    by_depth: dict[int, list[str]] = {}
+    for value in sorted(order.domain, key=repr):
+        by_depth.setdefault(order.depth(value), []).append(str(value))
+    width = max(len(" ".join(values)) for values in by_depth.values())
+    lines = []
+    for depth in sorted(by_depth):
+        row = " ".join(by_depth[depth])
+        lines.append(row.center(width))
+        if depth != max(by_depth):
+            lines.append("|".center(width))
+    return "\n".join(lines)
+
+
+def frontier_table(monitor, user) -> str:
+    """The user's current Pareto frontier as an aligned text table."""
+    frontier = monitor.frontier(user)
+    headers = ("oid",) + monitor.schema
+    rows = [(obj.oid,) + obj.values for obj in frontier]
+    if not rows:
+        return f"(empty frontier for {user!r})"
+    return format_table(headers, rows)
+
+
+def dendrogram_text(dendrogram, h: float | None = None) -> str:
+    """The agglomerative merge history as an indented text tree.
+
+    Each merge line shows the similarity at which the two clusters
+    joined; with *h* given, merges below the branch cut are flagged so
+    the resulting clustering is readable at a glance (Section 8.2's
+    dendrogram-and-branch-cut picture in text form).
+    """
+    lines = [f"{len(dendrogram.users)} users, "
+             f"{len(dendrogram.merges)} merges"]
+    for index, merge in enumerate(dendrogram.merges):
+        cut = "  (below branch cut)" if h is not None and \
+            merge.similarity < h else ""
+        left = ", ".join(sorted(map(str, merge.left)))
+        right = ", ".join(sorted(map(str, merge.right)))
+        lines.append(f"  {index + 1:>3}. sim={merge.similarity:.4f}  "
+                     f"[{left}] + [{right}]{cut}")
+    if h is not None:
+        clusters = dendrogram.cut(h)
+        lines.append(f"branch cut h={h}: {len(clusters)} clusters")
+        for cluster in sorted(clusters,
+                              key=lambda c: sorted(map(str, c))):
+            lines.append("  {" + ", ".join(sorted(map(str, cluster)))
+                         + "}")
+    return "\n".join(lines)
+
+
+def markdown_table(headers, rows) -> str:
+    """A GitHub-flavoured markdown table (EXPERIMENTS.md's format)."""
+    def render(value):
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    header_line = "| " + " | ".join(map(str, headers)) + " |"
+    separator = "|" + "|".join("---" for _ in headers) + "|"
+    body = ["| " + " | ".join(render(cell) for cell in row) + " |"
+            for row in rows]
+    return "\n".join([header_line, separator] + body)

@@ -1,0 +1,65 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.data import paper_example as pe
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def schema():
+    return pe.SCHEMA
+
+
+@pytest.fixture
+def table1():
+    """Table 1 laptops o1..o16 (object id k-1 is the paper's o_k)."""
+    return pe.table1_dataset(16)
+
+
+@pytest.fixture
+def table8():
+    return pe.table8_dataset()
+
+
+@pytest.fixture
+def c1():
+    return pe.c1_preference()
+
+
+@pytest.fixture
+def c2():
+    return pe.c2_preference()
+
+
+@pytest.fixture
+def users(c1, c2):
+    return {"c1": c1, "c2": c2}
+
+
+@pytest.fixture
+def virtual_u():
+    return pe.virtual_u_preference()
+
+
+@pytest.fixture
+def virtual_u_hat():
+    return pe.virtual_u_hat_preference()
+
+
+def oids(objects) -> set[int]:
+    """1-based paper-style ids of a collection of objects or raw ids."""
+    out = set()
+    for obj in objects:
+        out.add((obj.oid if hasattr(obj, "oid") else obj) + 1)
+    return out

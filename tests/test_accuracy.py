@@ -1,0 +1,103 @@
+"""Tests for the accuracy metrics of Section 6.2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (Baseline, ConfusionCounts, DeliveryLog,
+                   FilterThenVerifyApprox, Cluster, delivery_metrics,
+                   frontier_metrics)
+from repro.metrics.accuracy import confusion
+from tests.strategies import DOMAINS, datasets, user_sets
+
+SCHEMA = tuple(DOMAINS)
+
+
+class TestConfusionCounts:
+    def test_confusion_against_truth(self):
+        counts = confusion(exact={1, 2, 3}, approx={2, 3, 4})
+        assert counts == ConfusionCounts(2, 1, 1)
+        assert counts.precision == pytest.approx(2 / 3)
+        assert counts.recall == pytest.approx(2 / 3)
+        assert counts.f_measure == pytest.approx(2 / 3)
+
+    def test_perfect_and_empty_edges(self):
+        perfect = confusion({1}, {1})
+        assert perfect.precision == 1.0 and perfect.recall == 1.0
+        empty = confusion(set(), set())
+        assert empty.precision == 1.0 and empty.recall == 1.0
+        assert empty.f_measure == 1.0
+        nothing_found = confusion({1}, set())
+        assert nothing_found.recall == 0.0
+        assert nothing_found.precision == 1.0  # vacuous
+        assert nothing_found.f_measure == 0.0
+
+    def test_merge(self):
+        total = ConfusionCounts(1, 2, 3).merged_with(
+            ConfusionCounts(4, 5, 6))
+        assert total == ConfusionCounts(5, 7, 9)
+
+    def test_as_dict(self):
+        data = ConfusionCounts(1, 1, 0).as_dict()
+        assert data["precision"] == 0.5
+        assert data["recall"] == 1.0
+
+    @given(st.sets(st.integers(0, 10)), st.sets(st.integers(0, 10)))
+    def test_bounds(self, exact, approx):
+        counts = confusion(exact, approx)
+        assert 0.0 <= counts.precision <= 1.0
+        assert 0.0 <= counts.recall <= 1.0
+        assert 0.0 <= counts.f_measure <= 1.0
+
+
+class TestFrontierMetrics:
+    def test_micro_average_over_users(self):
+        counts = frontier_metrics(
+            exact_frontiers={"a": {1, 2}, "b": {3}},
+            approx_frontiers={"a": {1}, "b": {3, 4}})
+        assert counts == ConfusionCounts(2, 1, 1)
+
+    def test_missing_users_are_empty(self):
+        counts = frontier_metrics({"a": {1}}, {"b": {2}})
+        assert counts == ConfusionCounts(0, 1, 1)
+
+
+class TestDeliveryLog:
+    def test_record_and_totals(self):
+        log = DeliveryLog()
+        log.record(frozenset({"a"}))
+        log.record(frozenset())
+        assert len(log) == 2
+        assert log.total_deliveries() == 1
+
+    def test_mismatched_streams_rejected(self):
+        short, long = DeliveryLog(), DeliveryLog()
+        long.record(frozenset())
+        with pytest.raises(ValueError):
+            delivery_metrics(short, long)
+
+    def test_record_all_runs_monitor(self, users, schema, table1):
+        log = DeliveryLog().record_all(Baseline(users, schema), table1)
+        assert len(log) == 16
+
+    @given(user_sets(min_users=2, max_users=3),
+           datasets(min_objects=1, max_objects=15))
+    def test_exact_vs_itself_is_perfect(self, users, dataset):
+        first = DeliveryLog().record_all(Baseline(users, SCHEMA), dataset)
+        second = DeliveryLog().record_all(Baseline(users, SCHEMA), dataset)
+        counts = delivery_metrics(first, second)
+        assert counts.precision == 1.0 and counts.recall == 1.0
+
+    @given(user_sets(min_users=2, max_users=3),
+           datasets(min_objects=1, max_objects=15),
+           st.floats(0.3, 0.9))
+    def test_approx_deliveries_measured(self, users, dataset, theta2):
+        exact = DeliveryLog().record_all(Baseline(users, SCHEMA), dataset)
+        approx_monitor = FilterThenVerifyApprox(
+            [Cluster.approximate(users, 100, theta2)], SCHEMA)
+        approx = DeliveryLog().record_all(approx_monitor, dataset)
+        counts = delivery_metrics(exact, approx)
+        assert 0.0 <= counts.recall <= 1.0
+        assert 0.0 <= counts.precision <= 1.0

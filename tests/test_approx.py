@@ -1,0 +1,179 @@
+"""Tests for approximate common preference relations (Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (Baseline, Cluster, EmptyClusterError,
+                   FilterThenVerifyApprox, PartialOrder, Preference,
+                   ThresholdError, approximate_order,
+                   approximate_preference, common_preference,
+                   tuple_frequencies)
+from repro.data import paper_example as pe
+from tests.strategies import DOMAINS, datasets, partial_orders, user_sets
+
+SCHEMA = tuple(DOMAINS)
+ABC = ["a", "b", "c", "d"]
+
+
+class TestTupleFrequencies:
+    def test_counts_fraction_of_users(self):
+        orders = [PartialOrder([("a", "b")]),
+                  PartialOrder([("a", "b"), ("b", "c"), ("a", "c")])]
+        freqs = tuple_frequencies(orders)
+        assert freqs[("a", "b")] == 1.0
+        assert freqs[("b", "c")] == 0.5
+        assert ("c", "b") not in freqs
+
+    def test_empty_user_set_rejected(self):
+        with pytest.raises(EmptyClusterError):
+            tuple_frequencies([])
+
+
+class TestAlgorithm3:
+    def test_example_6_2(self):
+        """Figure 1 / Table 5, with the paper's tie ordering."""
+        u1, u2, u3 = pe.figure1_brand_orders()
+        result = approximate_order([u1, u2, u3], theta1=7, theta2=0.6,
+                                   tie_break=pe.figure1_tie_break)
+        assert result.pairs == {
+            ("Apple", "Toshiba"), ("Apple", "Samsung"),
+            ("Lenovo", "Toshiba"), ("Toshiba", "Samsung"),
+            ("Lenovo", "Samsung"),
+        }
+        # Figure 1c's Hasse diagram.
+        assert result.hasse_edges() == {
+            ("Apple", "Toshiba"), ("Lenovo", "Toshiba"),
+            ("Toshiba", "Samsung"),
+        }
+
+    def test_common_tuples_bypass_thresholds(self):
+        """theta1 = 0 still admits every frequency-1 tuple."""
+        order = PartialOrder([("a", "b"), ("b", "c"), ("a", "c")])
+        result = approximate_order([order, order], theta1=0, theta2=0.9)
+        assert result.pairs == order.pairs
+
+    def test_theta1_caps_size(self):
+        u1 = PartialOrder([("a", "b")])
+        u2 = PartialOrder([("a", "b"), ("c", "d")])
+        u3 = PartialOrder([("a", "b"), ("c", "d"), ("b", "d")])
+        capped = approximate_order([u1, u2, u3], theta1=1, theta2=0.1)
+        assert capped.pairs == {("a", "b")}  # size limit hit immediately
+
+    def test_theta2_excludes_infrequent(self):
+        u1 = PartialOrder([("a", "b")])
+        u2 = PartialOrder([("a", "b")])
+        u3 = PartialOrder([("a", "b"), ("c", "d")])
+        result = approximate_order([u1, u2, u3], theta1=50, theta2=0.5)
+        assert ("c", "d") not in result.pairs  # freq 1/3 <= 0.5
+
+    def test_reverse_tuple_blocked(self):
+        """Once (x, y) is admitted, (y, x) cannot be."""
+        u1 = PartialOrder([("a", "b")])
+        u2 = PartialOrder([("a", "b")])
+        u3 = PartialOrder([("b", "a")])
+        result = approximate_order([u1, u2, u3], theta1=50, theta2=0.1)
+        assert result.prefers("a", "b")
+        assert not result.prefers("b", "a")
+
+    def test_invalid_thresholds(self):
+        order = PartialOrder([("a", "b")])
+        with pytest.raises(ThresholdError):
+            approximate_order([order], theta1=-1, theta2=0.5)
+        with pytest.raises(ThresholdError):
+            approximate_order([order], theta1=5, theta2=1.5)
+
+    def test_approximate_preference_covers_all_attributes(self):
+        users = [
+            Preference({"x": PartialOrder([("a", "b")])}),
+            Preference({"y": PartialOrder([("p", "q")])}),
+        ]
+        approx = approximate_preference(users, theta1=50, theta2=0.3)
+        assert approx.attributes == {"x", "y"}
+        assert approx.order("x").prefers("a", "b")  # freq 1/2 > 0.3
+
+    def test_empty_user_set_rejected(self):
+        with pytest.raises(EmptyClusterError):
+            approximate_preference([], 10, 0.5)
+
+
+class TestLemma64Properties:
+    @given(st.lists(partial_orders(ABC), min_size=1, max_size=4),
+           st.integers(0, 30),
+           st.floats(0.0, 1.0, allow_nan=False))
+    def test_superset_of_common_tuples(self, orders, theta1, theta2):
+        """Lemma 6.4 (1): the approximate relation contains every common
+        tuple, for any thresholds."""
+        approx = approximate_order(orders, theta1, theta2)
+        common = orders[0].intersection(*orders[1:])
+        assert approx.pairs >= common.pairs
+
+    @given(st.lists(partial_orders(ABC), min_size=1, max_size=4),
+           st.integers(0, 30),
+           st.floats(0.0, 1.0, allow_nan=False))
+    def test_result_is_strict_partial_order(self, orders, theta1, theta2):
+        """Definition 6.1's output is a valid strict partial order (the
+        PartialOrder constructor re-validates)."""
+        approx = approximate_order(orders, theta1, theta2)
+        for x, y in approx.pairs:
+            assert x != y
+            assert not approx.prefers(y, x)
+
+
+class TestApproxMonitors:
+    def test_example_6_3(self, users, schema):
+        """FilterThenVerifyApprox over Û reproduces Example 6.3."""
+        cluster = Cluster(users, pe.virtual_u_hat_preference())
+        monitor = FilterThenVerifyApprox([cluster], schema)
+        table = pe.table1_dataset(15)
+        results = [monitor.push(obj) for obj in table]
+        # Co15 = {c2} even under approximation: no loss of accuracy here.
+        assert results[14] == frozenset({"c2"})
+        assert {o.oid + 1 for o in monitor.shared_frontier("c1")} == \
+            {2, 15}
+        assert monitor.frontier_ids("c1") == {1}           # o2
+        assert monitor.frontier_ids("c2") == {1, 14}       # o2, o15
+
+    @given(user_sets(min_users=2, max_users=3), datasets(max_objects=15),
+           st.floats(0.3, 0.9))
+    def test_theorem_6_5_approx_frontier_subset(self, users, dataset,
+                                                theta2):
+        """P̂_U ⊆ P_U: the approximate sieve only removes objects."""
+        exact = Baseline(
+            {"U": common_preference(users.values())}, SCHEMA)
+        approx = Baseline(
+            {"Uh": approximate_preference(users.values(), 100, theta2)},
+            SCHEMA)
+        for obj in dataset:
+            exact.push(obj)
+            approx.push(obj)
+        assert approx.frontier_ids("Uh") <= exact.frontier_ids("U")
+
+    @given(user_sets(min_users=2, max_users=3), datasets(max_objects=15),
+           st.floats(0.3, 0.9))
+    def test_theorem_6_7_containment(self, users, dataset, theta2):
+        """P̂_U ∩ P_c ⊆ P̂_c for every member c."""
+        cluster = Cluster.approximate(users, theta1=100, theta2=theta2)
+        approx = FilterThenVerifyApprox([cluster], SCHEMA)
+        baseline = Baseline(users, SCHEMA)
+        for obj in dataset:
+            approx.push(obj)
+            baseline.push(obj)
+        shared = {o.oid for o in
+                  approx.shared_frontier(next(iter(users)))}
+        for user in users:
+            exact_frontier = baseline.frontier_ids(user)
+            assert shared & exact_frontier <= approx.frontier_ids(user)
+
+    @given(user_sets(min_users=2, max_users=3), datasets(max_objects=15))
+    def test_tight_thresholds_recover_exact_answers(self, users, dataset):
+        """With θ2 = 1-ε accepting only common tuples, FTVA ≡ FTV ≡
+        Baseline."""
+        cluster = Cluster.approximate(users, theta1=0, theta2=1.0)
+        assert cluster.virtual == common_preference(users.values())
+        approx = FilterThenVerifyApprox([cluster], SCHEMA)
+        baseline = Baseline(users, SCHEMA)
+        for obj in dataset:
+            assert approx.push(obj) == baseline.push(obj)

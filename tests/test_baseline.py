@@ -1,0 +1,66 @@
+"""Tests for the Baseline monitor (Algorithm 1)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro import Baseline, Object
+from repro.core.baseline import brute_force_frontier
+from tests.strategies import DOMAINS, datasets, user_sets
+
+SCHEMA = tuple(DOMAINS)
+
+
+class TestPushInterface:
+    def test_accepts_rows_mappings_and_objects(self, users, schema):
+        monitor = Baseline(users, schema)
+        assert isinstance(monitor.push(("13-15.9", "Apple", "dual")),
+                          frozenset)
+        monitor.push({"display": "13-15.9", "brand": "Sony",
+                      "cpu": "dual"})
+        monitor.push(Object(17, ("13-15.9", "Apple", "dual")))
+        # Auto-assigned ids continue after the explicit one.
+        obj = monitor._coerce(("10-12.9", "Apple", "dual"))
+        assert obj.oid == 18
+
+    def test_push_all(self, users, schema, table1):
+        monitor = Baseline(users, schema)
+        results = monitor.push_all(table1)
+        assert len(results) == 16
+        assert monitor.stats.objects == 16
+
+    def test_stats_track_deliveries(self, users, schema, table1):
+        monitor = Baseline(users, schema)
+        results = monitor.push_all(table1)
+        assert monitor.stats.delivered == sum(len(r) for r in results)
+        assert monitor.stats.comparisons > 0
+        snapshot = monitor.stats.snapshot()
+        assert snapshot["objects"] == 16
+        assert snapshot["comparisons"] == monitor.stats.comparisons
+
+    def test_users_property(self, users, schema):
+        assert set(Baseline(users, schema).users) == {"c1", "c2"}
+
+
+class TestCorrectness:
+    @given(user_sets(max_users=3), datasets(max_objects=18))
+    def test_frontiers_match_brute_force(self, users, dataset):
+        monitor = Baseline(users, SCHEMA)
+        monitor.push_all(dataset)
+        for user, pref in users.items():
+            expected = {o.oid for o in
+                        brute_force_frontier(pref, list(dataset), SCHEMA)}
+            assert monitor.frontier_ids(user) == expected
+
+    @given(user_sets(max_users=3), datasets(min_objects=1, max_objects=15))
+    def test_targets_are_frontier_insertions(self, users, dataset):
+        """A user is a target of o iff o is Pareto-optimal on arrival."""
+        monitor = Baseline(users, SCHEMA)
+        seen = []
+        for obj in dataset:
+            targets = monitor.push(obj)
+            seen.append(obj)
+            for user, pref in users.items():
+                frontier_now = {o.oid for o in
+                                brute_force_frontier(pref, seen, SCHEMA)}
+                assert (user in targets) == (obj.oid in frontier_now)

@@ -1,0 +1,162 @@
+"""Batch frontier algorithms (repro.core.batch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.baseline import brute_force_frontier
+from repro.core.batch import (bnl_frontier, dc_frontier,
+                              dominance_potential, frontier_sizes,
+                              sfs_frontier)
+from repro.data import paper_example as pe
+from repro.data.synthetic import (random_objects, random_preferences)
+from repro.metrics.counters import Counter
+from tests.strategies import DOMAINS, datasets, preferences
+
+
+def _ids(objects):
+    return sorted(o.oid for o in objects)
+
+
+@pytest.fixture
+def movie_like():
+    rng = np.random.default_rng(21)
+    domains = {attr: [f"{attr}{i}" for i in range(6)]
+               for attr in ("actor", "genre", "writer")}
+    dataset = random_objects(rng, 120, domains)
+    preference = next(iter(
+        random_preferences(rng, 1, domains, 0.4).values()))
+    return preference, dataset
+
+
+class TestAgainstOracle:
+    def test_bnl_matches_brute_force_paper(self, users, table1, schema):
+        for preference in users.values():
+            expected = _ids(brute_force_frontier(
+                preference, table1.objects, schema))
+            assert _ids(bnl_frontier(
+                preference, table1.objects, schema)) == expected
+
+    def test_sfs_matches_brute_force_paper(self, users, table1, schema):
+        for preference in users.values():
+            expected = _ids(brute_force_frontier(
+                preference, table1.objects, schema))
+            assert _ids(sfs_frontier(
+                preference, table1.objects, schema)) == expected
+
+    def test_dc_matches_brute_force_paper(self, users, table1, schema):
+        for preference in users.values():
+            expected = _ids(brute_force_frontier(
+                preference, table1.objects, schema))
+            assert _ids(dc_frontier(
+                preference, table1.objects, schema)) == expected
+
+    def test_all_agree_on_larger_workload(self, movie_like):
+        preference, dataset = movie_like
+        expected = _ids(brute_force_frontier(
+            preference, dataset.objects, dataset.schema))
+        for algorithm in (bnl_frontier, sfs_frontier, dc_frontier):
+            assert _ids(algorithm(
+                preference, dataset.objects, dataset.schema)) == expected
+
+    @given(preferences(), datasets(max_objects=20))
+    def test_equivalence_property(self, preference, dataset):
+        expected = _ids(brute_force_frontier(
+            preference, dataset.objects, dataset.schema))
+        assert _ids(bnl_frontier(
+            preference, dataset.objects, dataset.schema)) == expected
+        assert _ids(sfs_frontier(
+            preference, dataset.objects, dataset.schema)) == expected
+        assert _ids(dc_frontier(
+            preference, dataset.objects, dataset.schema)) == expected
+
+
+class TestEdgeCases:
+    def test_empty_input(self, c1, schema):
+        assert bnl_frontier(c1, [], schema) == []
+        assert sfs_frontier(c1, [], schema) == []
+        assert dc_frontier(c1, [], schema) == []
+
+    def test_single_object(self, c1, table1, schema):
+        only = [table1.objects[0]]
+        for algorithm in (bnl_frontier, sfs_frontier, dc_frontier):
+            assert algorithm(c1, only, schema) == only
+
+    def test_identical_objects_all_kept(self, c1, schema):
+        from repro.data.objects import Object
+        twins = [Object(0, ("14", "Apple", "dual")),
+                 Object(1, ("14", "Apple", "dual"))]
+        for algorithm in (bnl_frontier, sfs_frontier, dc_frontier):
+            assert _ids(algorithm(c1, twins, schema)) == [0, 1]
+
+    def test_indifferent_preference_keeps_everything(self, table1):
+        from repro.core.preference import Preference
+        indifferent = Preference({})
+        result = bnl_frontier(indifferent, table1.objects, table1.schema)
+        assert _ids(result) == _ids(table1.objects)
+
+
+class TestDominancePotential:
+    def test_monotone_under_dominance(self, c1, table1, schema):
+        orders = c1.aligned(schema)
+        from repro.core.dominance import dominates
+        objects = table1.objects
+        for winner in objects:
+            for loser in objects:
+                if dominates(orders, winner, loser):
+                    assert (dominance_potential(orders, winner)
+                            > dominance_potential(orders, loser))
+
+    @given(preferences(), datasets(min_objects=2, max_objects=12))
+    def test_monotone_property(self, preference, dataset):
+        from repro.core.dominance import dominates
+        orders = preference.aligned(dataset.schema)
+        objects = dataset.objects
+        for winner in objects:
+            for loser in objects:
+                if dominates(orders, winner, loser):
+                    assert (dominance_potential(orders, winner)
+                            > dominance_potential(orders, loser))
+
+
+class TestComparisonCounts:
+    def test_sfs_never_beats_oracle_bound(self, movie_like):
+        preference, dataset = movie_like
+        counter = Counter()
+        frontier = sfs_frontier(preference, dataset.objects,
+                                dataset.schema, counter)
+        # SFS compares each object against frontier members only.
+        assert counter.value <= len(dataset) * max(len(frontier), 1)
+
+    def test_sfs_cheaper_than_bnl_on_this_workload(self, movie_like):
+        preference, dataset = movie_like
+        bnl_counter, sfs_counter = Counter(), Counter()
+        bnl_frontier(preference, dataset.objects, dataset.schema,
+                     bnl_counter)
+        sfs_frontier(preference, dataset.objects, dataset.schema,
+                     sfs_counter)
+        assert sfs_counter.value <= bnl_counter.value
+
+    def test_counters_start_charged_at_zero(self, c1, table1, schema):
+        counter = Counter()
+        bnl_frontier(c1, table1.objects, schema, counter)
+        assert counter.value > 0
+
+
+class TestFrontierSizes:
+    def test_length_matches_objects(self, c1, table1, schema):
+        sizes = frontier_sizes(c1, table1.objects, schema)
+        assert len(sizes) == len(table1)
+
+    def test_final_size_matches_frontier(self, c1, table1, schema):
+        sizes = frontier_sizes(c1, table1.objects, schema)
+        expected = len(brute_force_frontier(c1, table1.objects, schema))
+        assert sizes[-1] == expected
+
+    def test_paper_example_prefix(self, c1, schema):
+        # With o1..o14, P_c1 = {o2} (Example 3.5).
+        table = pe.table1_dataset(14)
+        sizes = frontier_sizes(c1, table.objects, schema)
+        assert sizes[-1] == 1

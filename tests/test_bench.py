@@ -1,0 +1,192 @@
+"""Tests for the experiment harness itself (repro.bench).
+
+Experiments run here at a deliberately tiny scale — the point is that
+every figure/table function produces well-formed rows with the paper's
+qualitative orderings, not that the numbers are meaningful at this size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments, runner
+from repro.bench.reporting import format_table
+from repro.bench.runner import ExperimentResult, Scale
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    # stream_objects keeps the paper's window/distinct-corpus ratio
+    # (W=400 ≤ ~25% of 1,800) — see Scale's docstring; without it the
+    # tiny stream has almost no duplicates and the shared monitors'
+    # bookkeeping overhead can exceed their savings at 8 users.
+    monkeypatch.setattr(runner, "_SCALE", Scale(
+        movie_objects=220, publication_objects=220, users=10,
+        stream_users=8, stream_objects=1800, stream_length=900,
+        accuracy_stream_length=700))
+    monkeypatch.setattr(runner, "_CACHE", {})
+    yield
+
+
+class TestRunnerPlumbing:
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        scale = Scale.from_env()
+        assert scale.movie_objects == 1000
+        assert scale.users == 40
+
+    def test_prepared_caches(self):
+        first = runner.prepared("movies")
+        second = runner.prepared("movies")
+        assert first[0] is second[0]
+        with pytest.raises(ValueError):
+            runner.prepared("nope")
+
+    def test_make_monitor_kinds(self):
+        workload, dendrogram = runner.prepared("movies")
+        from repro import (Baseline, BaselineSW, FilterThenVerify,
+                           FilterThenVerifyApprox,
+                           FilterThenVerifyApproxSW, FilterThenVerifySW)
+
+        table = [
+            (("baseline", None), Baseline),
+            (("ftv", None), FilterThenVerify),
+            (("ftva", None), FilterThenVerifyApprox),
+            (("baseline", 50), BaselineSW),
+            (("ftv", 50), FilterThenVerifySW),
+            (("ftva", 50), FilterThenVerifyApproxSW),
+        ]
+        for (kind, window), expected in table:
+            monitor = runner.make_monitor(kind, workload, dendrogram,
+                                          window=window)
+            assert type(monitor) is expected
+
+    def test_monitor_run_checkpoints(self):
+        workload, dendrogram = runner.prepared("movies")
+        monitor = runner.make_monitor("baseline", workload, dendrogram)
+        run = runner.monitor_run("baseline", monitor, workload.dataset,
+                                 checkpoints=(50, 100), keep_log=True)
+        assert [mark["objects"] for mark in run.checkpoints] == [50, 100]
+        assert run.checkpoints[0]["comparisons"] <= \
+            run.checkpoints[1]["comparisons"]
+        assert len(run.log) == len(workload.dataset)
+        assert run.milliseconds > 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "big"), [(1, 2.5), (1000000, "x")])
+        lines = text.splitlines()
+        assert len({line.index("|", 1) for line in lines if "|" in line})
+        assert "1,000,000" in text
+
+    def test_experiment_result_format(self):
+        result = ExperimentResult("t", "title", ("x",), [(1,)],
+                                  notes="note")
+        rendered = result.format()
+        assert "== t: title ==" in rendered
+        assert "note" in rendered
+
+
+class TestExperiments:
+    def test_fig4_shapes(self):
+        result = experiments.fig4()
+        assert result.experiment == "fig4"
+        assert len(result.rows) == 4
+        # Cumulative columns are monotone.
+        for column in range(1, 7):
+            series = [row[column] for row in result.rows]
+            assert series == sorted(series)
+        # FTVA does the least comparisons at the end.
+        final = result.rows[-1]
+        assert final[6] < final[4]   # ftva_cmp < base_cmp
+
+    def test_fig6_dimension_growth(self):
+        result = experiments.fig6()
+        assert [row[0] for row in result.rows] == [2, 3, 4]
+        base_cmp = [row[4] for row in result.rows]
+        assert base_cmp == sorted(base_cmp)
+
+    def test_table11_bounds(self):
+        result = experiments.table11()
+        assert len(result.rows) == 8
+        for row in result.rows:
+            dataset, size, h, precision, recall, f1 = row
+            assert 0 <= precision <= 100
+            assert 0 <= recall <= 100
+            assert f1 <= 100
+
+    def test_fig8_window_growth(self):
+        result = experiments.fig8()
+        windows = [row[0] for row in result.rows]
+        # Tiny scale: only windows up to half the stream are reported.
+        assert windows == [400]
+        for row in result.rows:
+            assert row[6] < row[4]   # ftva_cmp < base_cmp at every W
+
+    def test_table12_bounds(self):
+        result = experiments.table12()
+        assert len(result.rows) == 2 * 1 * 4   # one window at tiny scale
+        for row in result.rows:
+            assert 0 <= row[3] <= 100 and 0 <= row[4] <= 100
+
+    def test_ablation_similarity_rows(self):
+        result = experiments.ablation_similarity()
+        measures = [row[0] for row in result.rows]
+        assert "weighted_jaccard" in measures
+        assert len(set(row[1] for row in result.rows)) <= 3
+
+    def test_ablation_theta_rows(self):
+        result = experiments.ablation_theta()
+        assert len(result.rows) == 9
+        # Larger theta2 (stricter) means smaller relations.
+        by_theta2 = {row[1]: row[2] for row in result.rows
+                     if row[0] == 6000}
+        assert by_theta2[0.7] <= by_theta2[0.3]
+
+    def test_ablation_users_rows(self):
+        result = experiments.ablation_users()
+        counts = [row[0] for row in result.rows]
+        assert counts == sorted(counts)
+        assert len(counts) == 3
+        for row in result.rows:
+            assert row[4] > 0 and row[5] > 0
+
+    def test_ablation_batch_rows(self):
+        result = experiments.ablation_batch()
+        assert len(result.rows) == 9   # 3 users x 3 algorithms
+        by_user = {}
+        for user, algorithm, size, comparisons, ms in result.rows:
+            by_user.setdefault(user, set()).add(size)
+            assert comparisons > 0
+        # all algorithms agree on the frontier size per user
+        assert all(len(sizes) == 1 for sizes in by_user.values())
+
+    def test_ablation_buffer_rows(self):
+        result = experiments.ablation_buffer()
+        assert [row[0] for row in result.rows] == [400, 800, 1600]
+        for window, base_buf, ftv_buf, base_cmp, ftv_cmp in result.rows:
+            assert 0 < ftv_buf <= base_buf
+
+    def test_cli_output_markdown_and_json(self, tmp_path):
+        import json
+
+        from repro.bench.__main__ import main
+
+        md_dir = tmp_path / "md"
+        json_dir = tmp_path / "json"
+        assert main(["abl-batch", "-o", str(md_dir)]) == 0
+        markdown = (md_dir / "abl-batch.md").read_text()
+        assert markdown.startswith("### abl-batch:")
+        assert "| user |" in markdown
+        assert main(["abl-batch", "-o", str(json_dir),
+                     "--format", "json"]) == 0
+        data = json.loads((json_dir / "abl-batch.json").read_text())
+        assert data["experiment"] == "abl-batch"
+        assert len(data["rows"]) == 9
+
+    def test_experiment_registry_complete(self):
+        assert set(experiments.EXPERIMENTS) == {
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "tab11", "tab12", "abl-sim", "abl-theta",
+            "abl-users", "abl-batch", "abl-buffer"}

@@ -1,0 +1,104 @@
+"""Sliding-window buffer inspection and Theorem 7.5 containments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clusters import Cluster
+from repro.core.sliding import BaselineSW, FilterThenVerifySW
+from repro.data.retail import retail_workload
+
+
+@pytest.fixture(scope="module")
+def streamed():
+    """One retail stream pushed through BaselineSW and a one-cluster
+    FilterThenVerifySW."""
+    workload = retail_workload(n_products=160, n_users=8, seed=31,
+                               drop_rate=0.05, add_rate=0.0)
+    window = 40
+    baseline = BaselineSW(workload.preferences, workload.schema, window)
+    shared = FilterThenVerifySW([Cluster.exact(workload.preferences)],
+                                workload.schema, window)
+    for obj in workload.dataset:
+        baseline.push(obj)
+        shared.push(obj)
+    return workload, baseline, shared
+
+
+class TestBuffersAccessor:
+    def test_baseline_one_buffer_per_user(self, streamed):
+        workload, baseline, _ = streamed
+        assert len(baseline.buffers()) == len(workload.preferences)
+
+    def test_shared_one_buffer_per_cluster(self, streamed):
+        _, _, shared = streamed
+        assert len(shared.buffers()) == 1
+
+    def test_buffers_bounded_by_window(self, streamed):
+        _, baseline, shared = streamed
+        for buffer in baseline.buffers() + shared.buffers():
+            assert len(buffer) <= 40
+
+    def test_buffers_match_per_user_accessors(self, streamed):
+        workload, baseline, _ = streamed
+        via_users = {tuple(o.oid for o in baseline.buffer(user))
+                     for user in workload.preferences}
+        via_buffers = {tuple(o.oid for o in buffer)
+                       for buffer in baseline.buffers()}
+        assert via_users == via_buffers
+
+
+class TestTheorem75:
+    """PB_U ⊇ PB_c and PB_U ⊇ P_U for every user of the cluster."""
+
+    def test_shared_buffer_contains_user_buffers(self, streamed):
+        workload, baseline, shared = streamed
+        for user in workload.preferences:
+            user_buffer = {o.oid for o in baseline.buffer(user)}
+            cluster_buffer = {o.oid for o in shared.shared_buffer(user)}
+            assert user_buffer <= cluster_buffer
+
+    def test_shared_buffer_contains_shared_frontier(self, streamed):
+        workload, _, shared = streamed
+        user = next(iter(workload.preferences))
+        frontier = {o.oid for o in shared.shared_frontier(user)}
+        buffer = {o.oid for o in shared.shared_buffer(user)}
+        assert frontier <= buffer
+
+    def test_singleton_cluster_buffer_equals_baseline(self):
+        workload = retail_workload(n_products=80, n_users=3, seed=5)
+        window = 25
+        baseline = BaselineSW(workload.preferences, workload.schema,
+                              window)
+        singletons = FilterThenVerifySW(
+            [Cluster.exact({user: pref})
+             for user, pref in workload.preferences.items()],
+            workload.schema, window)
+        for obj in workload.dataset:
+            baseline.push(obj)
+            singletons.push(obj)
+        for user in workload.preferences:
+            assert ({o.oid for o in baseline.buffer(user)}
+                    == {o.oid for o in singletons.shared_buffer(user)})
+
+
+class TestExperimentRegistry:
+    def test_new_ablations_registered(self):
+        from repro.bench.experiments import EXPERIMENTS
+
+        assert "abl-batch" in EXPERIMENTS
+        assert "abl-buffer" in EXPERIMENTS
+        assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+    def test_cli_bench_list_includes_ablations(self):
+        import io
+
+        from repro.bench.__main__ import main
+
+        # --list prints to stdout; capture via redirect
+        import contextlib
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            assert main(["--list"]) == 0
+        listed = buffer.getvalue().split()
+        assert "abl-batch" in listed and "abl-buffer" in listed

@@ -1,0 +1,180 @@
+"""Tests for user churn: adding and removing users mid-stream."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (Baseline, BaselineSW, Cluster, FilterThenVerify,
+                   FilterThenVerifySW)
+from tests.strategies import DOMAINS, datasets, preferences, user_sets
+
+SCHEMA = tuple(DOMAINS)
+
+
+class TestBaselineChurn:
+    @given(user_sets(max_users=2), preferences(),
+           datasets(min_objects=2, max_objects=18), st.integers(1, 16))
+    def test_add_user_with_history_matches_fresh_monitor(
+            self, users_map, newcomer_pref, dataset, split):
+        """Joining with full history ≡ having been there all along."""
+        split = min(split, len(dataset) - 1)
+        stream = list(dataset)
+        churning = Baseline(users_map, SCHEMA)
+        churning.push_all(stream[:split])
+        churning.add_user("newcomer", newcomer_pref,
+                          history=stream[:split])
+        churning.push_all(stream[split:])
+
+        oracle = Baseline(dict(users_map, newcomer=newcomer_pref), SCHEMA)
+        oracle.push_all(stream)
+        assert churning.frontier_ids("newcomer") == \
+            oracle.frontier_ids("newcomer")
+
+    def test_add_duplicate_user_rejected(self, users, schema):
+        monitor = Baseline(users, schema)
+        with pytest.raises(ValueError):
+            monitor.add_user("c1", users["c1"])
+
+    def test_remove_user_withdraws_targets(self, users, schema):
+        from repro.data import paper_example as pe
+
+        monitor = Baseline(users, schema, track_targets=True)
+        for obj in pe.table1_dataset(15):
+            monitor.push(obj)
+        assert "c2" in monitor.targets_of(2)
+        monitor.remove_user("c2")
+        assert monitor.targets_of(2) == frozenset()
+        assert "c2" not in monitor.users
+        # Remaining user unaffected.
+        assert monitor.frontier_ids("c1") == {1}
+
+    def test_removed_user_gets_no_deliveries(self, users, schema):
+        from repro.data import paper_example as pe
+
+        monitor = Baseline(users, schema)
+        table = pe.table1_dataset(15)
+        for obj in list(table)[:14]:
+            monitor.push(obj)
+        monitor.remove_user("c2")
+        assert monitor.push(table[14]) == frozenset()  # o15 was c2's
+
+
+class TestFilterThenVerifyChurn:
+    @given(user_sets(min_users=2, max_users=3), preferences(),
+           datasets(min_objects=2, max_objects=16), st.integers(1, 14))
+    def test_add_user_matches_baseline(self, users_map, newcomer_pref,
+                                       dataset, split):
+        split = min(split, len(dataset) - 1)
+        stream = list(dataset)
+        shared = FilterThenVerify([Cluster.exact(users_map)], SCHEMA)
+        shared.push_all(stream[:split])
+        shared.add_user("newcomer", newcomer_pref,
+                        history=stream[:split])
+        shared.push_all(stream[split:])
+
+        oracle = Baseline(dict(users_map, newcomer=newcomer_pref), SCHEMA)
+        oracle.push_all(stream)
+        for user in list(users_map) + ["newcomer"]:
+            assert shared.frontier_ids(user) == oracle.frontier_ids(user)
+
+    @given(user_sets(min_users=2, max_users=4),
+           datasets(min_objects=2, max_objects=16))
+    def test_remove_user_keeps_remaining_exact(self, users_map, dataset):
+        """After removal the (stale) virtual preference stays sound: the
+        remaining users' answers still match Baseline."""
+        victim = next(iter(users_map))
+        stream = list(dataset)
+        half = len(stream) // 2
+        shared = FilterThenVerify([Cluster.exact(users_map)], SCHEMA)
+        shared.push_all(stream[:half])
+        shared.remove_user(victim)
+        remaining = {u: p for u, p in users_map.items() if u != victim}
+        results = [shared.push(obj) for obj in stream[half:]]
+
+        oracle = Baseline(users_map, SCHEMA)
+        oracle.push_all(stream[:half])
+        expected = [oracle.push(obj) - {victim} for obj in stream[half:]]
+        assert results == expected
+        for user in remaining:
+            assert shared.frontier_ids(user) == oracle.frontier_ids(user)
+
+    def test_remove_last_member_drops_cluster(self, users, schema):
+        shared = FilterThenVerify(
+            [Cluster.exact({"c1": users["c1"]}),
+             Cluster.exact({"c2": users["c2"]})], schema)
+        shared.remove_user("c1")
+        assert len(shared.clusters) == 1
+        assert shared.users == ("c2",)
+
+
+class TestSlidingChurn:
+    @given(user_sets(max_users=2), preferences(),
+           datasets(min_objects=3, max_objects=20), st.integers(2, 6),
+           st.integers(1, 18))
+    def test_add_user_replays_window(self, users_map, newcomer_pref,
+                                     dataset, window, split):
+        """A newcomer's frontier/buffer equal a monitor that saw the
+        whole stream, because only the alive window matters."""
+        split = min(split, len(dataset) - 1)
+        stream = list(dataset)
+        churning = BaselineSW(users_map, SCHEMA, window)
+        for obj in stream[:split]:
+            churning.push(obj)
+        churning.add_user("newcomer", newcomer_pref)
+        for obj in stream[split:]:
+            churning.push(obj)
+
+        oracle = BaselineSW(dict(users_map, newcomer=newcomer_pref),
+                            SCHEMA, window)
+        for obj in stream:
+            oracle.push(obj)
+        assert churning.frontier_ids("newcomer") == \
+            oracle.frontier_ids("newcomer")
+        assert [o.oid for o in churning.buffer("newcomer")] == \
+            [o.oid for o in oracle.buffer("newcomer")]
+
+    @given(user_sets(min_users=2, max_users=3), preferences(),
+           datasets(min_objects=3, max_objects=18), st.integers(2, 5))
+    def test_shared_add_user_matches_oracle(self, users_map, newcomer_pref,
+                                            dataset, window):
+        split = len(dataset) // 2
+        stream = list(dataset)
+        shared = FilterThenVerifySW([Cluster.exact(users_map)], SCHEMA,
+                                    window)
+        for obj in stream[:split]:
+            shared.push(obj)
+        shared.add_user("newcomer", newcomer_pref)
+        for obj in stream[split:]:
+            shared.push(obj)
+
+        oracle = BaselineSW(dict(users_map, newcomer=newcomer_pref),
+                            SCHEMA, window)
+        for obj in stream:
+            oracle.push(obj)
+        for user in list(users_map) + ["newcomer"]:
+            assert shared.frontier_ids(user) == oracle.frontier_ids(user)
+
+    def test_sliding_remove_user(self, users, schema):
+        from repro.data import paper_example as pe
+
+        monitor = BaselineSW(users, schema, window=5, track_targets=True)
+        for obj in pe.table1_dataset(10):
+            monitor.push(obj)
+        monitor.remove_user("c1")
+        assert monitor.users == ("c2",)
+        assert monitor.targets.objects_of("c1") == frozenset()
+
+    def test_shared_sliding_remove_user(self, users, schema):
+        monitor = FilterThenVerifySW([Cluster.exact(users)], schema,
+                                     window=5)
+        from repro.data import paper_example as pe
+
+        for obj in pe.table1_dataset(8):
+            monitor.push(obj)
+        monitor.remove_user("c1")
+        assert monitor.users == ("c2",)
+        # Remaining member still served.
+        targets = monitor.push(pe.table1_dataset(9)[8])
+        assert isinstance(targets, frozenset)

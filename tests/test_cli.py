@@ -1,0 +1,220 @@
+"""Command line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import load_workload, save_workload
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    from repro.data.retail import retail_workload
+
+    path = tmp_path / "scenario.json"
+    save_workload(retail_workload(n_products=40, n_users=6, seed=3),
+                  str(path))
+    return str(path)
+
+
+class TestDemo:
+    def test_reproduces_paper_deliveries(self):
+        code, output = run_cli("demo")
+        assert code == 0
+        # Example 1.1: o15 goes to c2 only, o16 to nobody.
+        assert "o15" in output
+        assert "Pareto frontier of c1: o2" in output
+        assert "Pareto frontier of c2: o15, o2, o3" in output
+
+    def test_baseline_variant_agrees(self):
+        _, shared = run_cli("demo")
+        _, baseline = run_cli("demo", "--baseline")
+        # Frontier lines agree between the two algorithms.
+        pick = [line for line in shared.splitlines()
+                if line.startswith("Pareto frontier")]
+        assert pick == [line for line in baseline.splitlines()
+                        if line.startswith("Pareto frontier")]
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("scenario", ["retail", "movies",
+                                          "publications", "social"])
+    def test_writes_loadable_scenarios(self, tmp_path, scenario):
+        path = tmp_path / f"{scenario}.json"
+        code, output = run_cli("generate", scenario, "-o", str(path),
+                               "--objects", "30", "--users", "4",
+                               "--seed", "5")
+        assert code == 0
+        assert scenario in output
+        workload = load_workload(str(path))
+        assert len(workload.dataset) == 30
+        assert len(workload.preferences) == 4
+
+    def test_deterministic_output(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        run_cli("generate", "retail", "-o", str(first), "--seed", "9",
+                "--objects", "20", "--users", "3")
+        run_cli("generate", "retail", "-o", str(second), "--seed", "9",
+                "--objects", "20", "--users", "3")
+        assert first.read_text() == second.read_text()
+
+
+class TestInspect:
+    def test_prints_all_users(self, scenario_file):
+        code, output = run_cli("inspect", scenario_file)
+        assert code == 0
+        for index in range(6):
+            assert f"customer{index}" in output
+
+    def test_single_user_and_attribute(self, scenario_file):
+        code, output = run_cli("inspect", scenario_file,
+                               "--user", "customer0",
+                               "--attribute", "brand")
+        assert code == 0
+        assert "customer0" in output
+        assert "[brand]" in output
+        assert "[cpu]" not in output
+
+    def test_unknown_user_fails(self, scenario_file):
+        code, output = run_cli("inspect", scenario_file,
+                               "--user", "nobody")
+        assert code == 2
+        assert "unknown user" in output
+
+    def test_accepts_bare_preferences_file(self, tmp_path):
+        from repro.data.retail import retail_workload
+        from repro.io import save_preferences
+
+        workload = retail_workload(n_products=5, n_users=3, seed=1)
+        path = tmp_path / "prefs.json"
+        save_preferences(workload.preferences, str(path))
+        code, output = run_cli("inspect", str(path))
+        assert code == 0
+        assert "customer2" in output
+
+
+class TestCluster:
+    def test_reports_merges_and_clusters(self, scenario_file):
+        code, output = run_cli("cluster", scenario_file, "--h", "0.3")
+        assert code == 0
+        assert "merge 1" in output
+        assert "clusters:" in output
+
+    def test_h_one_gives_singletons(self, scenario_file):
+        code, output = run_cli("cluster", scenario_file, "--h", "1.01")
+        assert code == 0
+        assert "6 clusters" in output
+
+    def test_measure_flag(self, scenario_file):
+        code, output = run_cli("cluster", scenario_file,
+                               "--measure", "jaccard")
+        assert code == 0
+        assert "jaccard" in output
+
+
+class TestMonitor:
+    @pytest.mark.parametrize("algorithm", ["baseline", "ftv", "ftva"])
+    def test_algorithms_run(self, scenario_file, algorithm):
+        code, output = run_cli("monitor", scenario_file,
+                               "--algorithm", algorithm, "--quiet")
+        assert code == 0
+        assert "40 objects pushed" in output
+        assert "comparisons" in output
+
+    def test_sliding_window(self, scenario_file):
+        code, output = run_cli("monitor", scenario_file, "--window", "10",
+                               "--quiet")
+        assert code == 0
+        assert "40 objects pushed" in output
+
+    def test_verbose_lists_deliveries(self, scenario_file):
+        _, quiet = run_cli("monitor", scenario_file, "--quiet")
+        _, verbose = run_cli("monitor", scenario_file)
+        assert len(verbose.splitlines()) > len(quiet.splitlines())
+
+    def test_baseline_and_ftv_agree_on_notifications(self, scenario_file):
+        def notifications(output):
+            line = [l for l in output.splitlines()
+                    if "notifications" in l][-1]
+            return line.split("notifications")[0].rsplit(",", 1)[-1]
+
+        _, baseline = run_cli("monitor", scenario_file,
+                              "--algorithm", "baseline", "--quiet")
+        _, ftv = run_cli("monitor", scenario_file,
+                         "--algorithm", "ftv", "--quiet")
+        assert notifications(baseline) == notifications(ftv)
+
+
+class TestExplain:
+    def test_explains_an_object(self, scenario_file):
+        code, output = run_cli("explain", scenario_file,
+                               "--user", "customer0", "--object", "0")
+        assert code == 0
+        assert "Pareto-optimal" in output
+
+    def test_unknown_user(self, scenario_file):
+        code, output = run_cli("explain", scenario_file,
+                               "--user", "ghost", "--object", "0")
+        assert code == 2
+        assert "unknown user" in output
+
+    def test_object_out_of_range(self, scenario_file):
+        code, output = run_cli("explain", scenario_file,
+                               "--user", "customer0", "--object", "999")
+        assert code == 2
+        assert "object id" in output
+
+    def test_dominated_object_lists_witnesses(self, scenario_file):
+        # find a dominated object by checking which ids get no delivery
+        from repro.io import load_workload
+        from repro.core.baseline import brute_force_frontier
+
+        workload = load_workload(scenario_file)
+        user = "customer0"
+        frontier_ids = {o.oid for o in brute_force_frontier(
+            workload.preferences[user], workload.dataset.objects,
+            workload.schema)}
+        dominated = next(o.oid for o in workload.dataset
+                         if o.oid not in frontier_ids)
+        code, output = run_cli("explain", scenario_file, "--user", user,
+                               "--object", str(dominated))
+        assert code == 0
+        assert "NOT Pareto-optimal" in output
+        assert "dominated by" in output
+
+
+class TestWorkloadRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        from repro.data.retail import retail_workload
+
+        original = retail_workload(n_products=15, n_users=4, seed=2)
+        path = tmp_path / "w.json"
+        save_workload(original, str(path))
+        restored = load_workload(str(path))
+        assert restored.name == original.name
+        assert restored.preferences == original.preferences
+        assert [o.values for o in restored.dataset] == [
+            o.values for o in original.dataset]
+        assert restored.params["seed"] == 2
+
+    def test_rejects_newer_format(self, tmp_path):
+        from repro.data.retail import retail_workload
+        from repro.io import workload_to_dict
+
+        data = workload_to_dict(retail_workload(5, 2, seed=1))
+        data["version"] = 99
+        path = tmp_path / "w.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError):
+            load_workload(str(path))

@@ -1,0 +1,132 @@
+"""Tests for hierarchical agglomerative clustering (Sections 5, 8.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro import build_dendrogram, cluster_users
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.data import paper_example as pe
+from tests.strategies import user_sets
+
+
+@pytest.fixture(scope="module")
+def table3_prefs():
+    return pe.table3_preferences()
+
+
+class TestSection82Example:
+    def test_branch_cut_reproduces_paper_clusters(self, table3_prefs):
+        """h ∈ (0, 3/11] yields {{c1, c2, c5, c6}, {c3, c4}}."""
+        dendrogram = build_dendrogram(table3_prefs, "weighted_jaccard")
+        for h in (0.01, 0.1, 3 / 11):
+            groups = {frozenset(g) for g in dendrogram.cut(h)}
+            assert groups == {
+                frozenset({"c1", "c2", "c5", "c6"}),
+                frozenset({"c3", "c4"}),
+            }
+
+    def test_final_merge_has_zero_similarity(self, table3_prefs):
+        """sim(U4, U2) = 0: the last merge joins disjoint preferences."""
+        dendrogram = build_dendrogram(table3_prefs, "weighted_jaccard")
+        assert dendrogram.merges[-1].similarity == pytest.approx(0.0)
+        assert dendrogram.merges[-2].similarity == pytest.approx(3 / 11)
+
+    def test_above_cut_separates_everything_similar(self, table3_prefs):
+        """A branch cut above 3/11 keeps U1 and U3 apart."""
+        groups = {frozenset(g)
+                  for g in cluster_users(table3_prefs, h=0.5)}
+        assert frozenset({"c1", "c2"}) in groups
+        assert frozenset({"c5", "c6"}) in groups
+
+
+class TestDendrogram:
+    def test_cut_at_huge_h_gives_singletons(self, table3_prefs):
+        dendrogram = build_dendrogram(table3_prefs)
+        groups = dendrogram.cut(10.0)
+        assert sorted(map(len, groups)) == [1] * 6
+
+    def test_cut_at_zero_merges_everything(self, table3_prefs):
+        dendrogram = build_dendrogram(table3_prefs)
+        # h must be <= the smallest merge similarity to merge all; the
+        # smallest here is 0, and cut uses >=.
+        groups = dendrogram.cut(0.0)
+        assert len(groups) == 1
+        assert groups[0] == frozenset(table3_prefs)
+
+    def test_merge_count(self, table3_prefs):
+        dendrogram = build_dendrogram(table3_prefs)
+        assert len(dendrogram.merges) == len(table3_prefs) - 1
+        assert len(dendrogram.merge_similarities()) == 5
+
+    def test_merge_record_contents(self):
+        merge = Merge(frozenset({"a"}), frozenset({"b"}), 0.5)
+        assert merge.merged == frozenset({"a", "b"})
+
+    def test_repr(self, table3_prefs):
+        dendrogram = build_dendrogram(table3_prefs)
+        assert "6 users" in repr(dendrogram)
+
+    def test_single_user_dendrogram(self):
+        prefs = {"only": pe.c1_preference()}
+        dendrogram = build_dendrogram(prefs)
+        assert dendrogram.merges == ()
+        assert dendrogram.cut(0.5) == [frozenset({"only"})]
+
+
+class TestClusterUsers:
+    def test_groups_carry_preferences(self, table3_prefs):
+        groups = cluster_users(table3_prefs, h=0.5)
+        for group in groups:
+            for user, pref in group.items():
+                assert pref is table3_prefs[user]
+
+    def test_reusing_dendrogram(self, table3_prefs):
+        dendrogram = build_dendrogram(table3_prefs)
+        for h in (0.1, 0.3, 0.6):
+            direct = {frozenset(g)
+                      for g in cluster_users(table3_prefs, h)}
+            cached = {frozenset(g) for g in cluster_users(
+                table3_prefs, h, dendrogram=dendrogram)}
+            assert direct == cached
+
+    @pytest.mark.parametrize("measure", [
+        "intersection", "jaccard", "weighted_intersection",
+        "weighted_jaccard", "approx_jaccard", "approx_weighted_jaccard"])
+    def test_every_measure_clusters(self, table3_prefs, measure):
+        groups = cluster_users(table3_prefs, h=0.05, measure=measure)
+        users = {u for g in groups for u in g}
+        assert users == set(table3_prefs)
+
+    @given(user_sets(min_users=1, max_users=5))
+    def test_partition_property(self, users):
+        """Any cut is a partition of the user set."""
+        dendrogram = build_dendrogram(users, "jaccard")
+        for h in (0.0, 0.25, 0.5, 0.75, 1.01):
+            groups = dendrogram.cut(h)
+            seen = [u for g in groups for u in g]
+            assert sorted(map(repr, seen)) == sorted(
+                map(repr, users))
+
+    @given(user_sets(min_users=2, max_users=5))
+    def test_determinism(self, users):
+        first = build_dendrogram(users, "weighted_jaccard")
+        second = build_dendrogram(users, "weighted_jaccard")
+        assert first.merges == second.merges
+
+    @given(user_sets(min_users=2, max_users=4))
+    def test_monotone_cluster_count(self, users):
+        """Higher branch cuts can only split clusters further."""
+        dendrogram = build_dendrogram(users, "jaccard")
+        counts = [len(dendrogram.cut(h))
+                  for h in (0.0, 0.2, 0.4, 0.6, 0.8, 1.01)]
+        assert counts == sorted(counts)
+
+    def test_normalization_divides_by_attribute_count(self, table3_prefs):
+        """Single-attribute input: normalized == raw (the paper's 8.2
+        example depends on this)."""
+        raw = build_dendrogram(table3_prefs, normalize=False)
+        normalized = build_dendrogram(table3_prefs, normalize=True)
+        assert [m.similarity for m in raw.merges] == \
+            [m.similarity for m in normalized.merges]

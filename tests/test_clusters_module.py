@@ -1,0 +1,53 @@
+"""Focused tests for the Cluster container (repro.core.clusters)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro import Cluster, common_preference
+from repro.data import paper_example as pe
+from tests.strategies import user_sets
+
+
+class TestClusterConstruction:
+    def test_exact_uses_common_preference(self, users):
+        cluster = Cluster.exact(users)
+        assert cluster.virtual == common_preference(users.values())
+        assert set(cluster.users) == set(users)
+        assert len(cluster) == 2
+
+    def test_approximate_contains_common(self, users):
+        cluster = Cluster.approximate(users, theta1=100, theta2=0.4)
+        exact = common_preference(users.values())
+        for attribute in exact.attributes:
+            assert cluster.virtual.order(attribute).pairs >= \
+                exact.order(attribute).pairs
+
+    def test_membership_and_access(self, users):
+        cluster = Cluster.exact(users)
+        assert "c1" in cluster
+        assert "nobody" not in cluster
+        assert cluster.preference("c2") is users["c2"]
+        assert set(iter(cluster)) == set(users)
+        assert "2 users" in repr(cluster)
+
+    def test_members_mapping_is_private_copy(self, users):
+        source = dict(users)
+        cluster = Cluster.exact(source)
+        source.clear()
+        assert len(cluster) == 2
+
+    @given(user_sets(min_users=1, max_users=4))
+    def test_singleton_virtual_equals_member(self, users):
+        for user, pref in users.items():
+            cluster = Cluster.exact({user: pref})
+            assert cluster.virtual == pref
+
+    def test_table2_virtual_matches_paper(self):
+        cluster = Cluster.exact(pe.table2_preferences())
+        assert cluster.virtual == pe.virtual_u_preference()
+
+    def test_repr_truncates_long_user_lists(self):
+        users = {f"u{i}": pe.c1_preference() for i in range(8)}
+        assert "..." in repr(Cluster.exact(users))

@@ -1,0 +1,147 @@
+"""Tests for the data substrate: generators, induction, streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PartialOrder, WindowError
+from repro.data.induction import induce_order, induce_preference
+from repro.data.movies import movie_workload
+from repro.data.publications import publication_workload
+from repro.data.stream import replay, windows
+from repro.data.synthetic import (random_objects, random_partial_order,
+                                  random_preferences, zipf_weights)
+from repro.data.objects import Dataset
+
+
+class TestInduction:
+    def test_paper_rule(self):
+        """(R_a > R_b ∧ M_a ≥ M_b) ∨ (R_a ≥ R_b ∧ M_a > M_b) ⇒ a ≻ b."""
+        order = induce_order({
+            "a": (4.5, 10), "b": (4.5, 5), "c": (4.0, 20), "d": (1.0, 1),
+        })
+        assert order.prefers("a", "b")   # same rating, more support
+        assert order.prefers("a", "d")
+        assert not order.prefers("a", "c")   # rating/count trade-off
+        assert not order.prefers("c", "a")
+
+    def test_max_values_keeps_highest_counts(self):
+        stats = {f"v{i}": (3.0, i) for i in range(10)}
+        order = induce_order(stats, max_values=3)
+        assert order.domain == {"v7", "v8", "v9"}
+
+    def test_induce_preference(self):
+        pref = induce_preference({
+            "x": {"a": (4, 2), "b": (3, 1)},
+            "y": {"p": (1, 1), "q": (5, 9)},
+        })
+        assert pref.order("x").prefers("a", "b")
+        assert pref.order("y").prefers("q", "p")
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("factory,schema", [
+        (movie_workload, ("actor", "director", "genre", "writer")),
+        (publication_workload,
+         ("affiliation", "author", "conference", "keyword")),
+    ])
+    def test_workload_shape(self, factory, schema):
+        workload = factory(300, n_users=8, seed=5)
+        assert workload.schema == schema
+        assert len(workload.dataset) == 300
+        assert len(workload.preferences) == 8
+        for pref in workload.preferences.values():
+            assert pref.attributes == set(schema)
+            for attribute in schema:
+                order = pref.order(attribute)
+                # Valid strict partial order with actual content.
+                assert order.pairs
+                for x, y in order.pairs:
+                    assert not order.prefers(y, x)
+
+    @pytest.mark.parametrize("factory", [movie_workload,
+                                         publication_workload])
+    def test_determinism(self, factory):
+        first = factory(120, n_users=5, seed=42)
+        second = factory(120, n_users=5, seed=42)
+        assert [o.values for o in first.dataset] == \
+            [o.values for o in second.dataset]
+        assert first.preferences == second.preferences
+
+    def test_seeds_differ(self):
+        a = movie_workload(120, n_users=5, seed=1)
+        b = movie_workload(120, n_users=5, seed=2)
+        assert [o.values for o in a.dataset] != \
+            [o.values for o in b.dataset]
+
+    def test_projection(self):
+        workload = movie_workload(100, n_users=4, seed=9)
+        smaller = workload.projected(("actor", "genre"))
+        assert smaller.schema == ("actor", "genre")
+        assert len(smaller.dataset) == 100
+        for pref in smaller.preferences.values():
+            assert pref.attributes == {"actor", "genre"}
+
+    def test_archetype_members_share_preferences(self):
+        """The generator's whole point: same-archetype users overlap."""
+        workload = movie_workload(200, n_users=20, seed=3, archetypes=2)
+        prefs = list(workload.preferences.values())
+        best = 0.0
+        for i in range(len(prefs)):
+            for j in range(i + 1, len(prefs)):
+                common = prefs[i].intersection(prefs[j]).size()
+                best = max(best, common / max(prefs[i].size(), 1))
+        assert best > 0.5
+
+    def test_repr(self):
+        assert "movies" in repr(movie_workload(50, n_users=2, seed=1))
+
+
+class TestSyntheticHelpers:
+    def test_zipf_weights_normalised_and_decreasing(self):
+        weights = zipf_weights(10, 1.2)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] >= weights[i + 1] for i in range(9))
+
+    def test_random_partial_order_valid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            order = random_partial_order(rng, list("abcde"), 0.5)
+            for x, y in order.pairs:
+                assert not order.prefers(y, x)
+
+    def test_random_preferences_and_objects(self):
+        rng = np.random.default_rng(0)
+        domains = {"x": ["1", "2", "3"], "y": ["a", "b"]}
+        prefs = random_preferences(rng, 3, domains)
+        assert len(prefs) == 3
+        objects = random_objects(rng, 10, domains)
+        assert len(objects) == 10
+        for obj in objects:
+            assert obj.values[0] in domains["x"]
+            assert obj.values[1] in domains["y"]
+
+
+class TestStream:
+    def test_replay_renumbers_and_cycles(self):
+        ds = Dataset(("a",), rows=[("x",), ("y",)])
+        stream = list(replay(ds, 5))
+        assert [o.oid for o in stream] == [0, 1, 2, 3, 4]
+        assert [o.values[0] for o in stream] == ["x", "y", "x", "y", "x"]
+
+    def test_replay_empty_rejected(self):
+        with pytest.raises(WindowError):
+            list(replay(Dataset(("a",)), 3))
+
+    def test_windows_oracle(self):
+        ds = Dataset(("a",), rows=[("x",)] * 5)
+        seen = list(windows(iter(ds), 2))
+        assert [len(alive) for _, alive in seen] == [1, 2, 2, 2, 2]
+        last_obj, last_alive = seen[-1]
+        assert last_obj.oid == 4
+        assert [o.oid for o in last_alive] == [3, 4]
+
+    def test_windows_bad_size(self):
+        with pytest.raises(WindowError):
+            list(windows(iter([]), 0))

@@ -1,0 +1,108 @@
+"""Tests for object dominance (Definition 3.2)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro import Comparison, Object, PartialOrder, Preference, compare, \
+    dominates
+from tests.strategies import DOMAINS, object_rows, preferences
+
+SCHEMA = tuple(DOMAINS)
+
+
+def _orders(*chains):
+    return tuple(PartialOrder.from_chain(chain) for chain in chains)
+
+
+class TestCompare:
+    def test_identical(self):
+        orders = _orders(["a", "b"])
+        assert compare(orders, Object(0, ("a",)),
+                       Object(1, ("a",))) is Comparison.IDENTICAL
+
+    def test_dominates_each_direction(self):
+        orders = _orders(["a", "b"], ["x", "y"])
+        better = Object(0, ("a", "x"))
+        worse = Object(1, ("b", "y"))
+        assert compare(orders, better, worse) is Comparison.A_DOMINATES
+        assert compare(orders, worse, better) is Comparison.B_DOMINATES
+        assert dominates(orders, better, worse)
+        assert not dominates(orders, worse, better)
+
+    def test_equal_on_some_attributes_still_dominates(self):
+        orders = _orders(["a", "b"], ["x", "y"])
+        assert compare(orders, Object(0, ("a", "x")),
+                       Object(1, ("a", "y"))) is Comparison.A_DOMINATES
+
+    def test_trade_off_is_incomparable(self):
+        orders = _orders(["a", "b"], ["x", "y"])
+        assert compare(orders, Object(0, ("a", "y")),
+                       Object(1, ("b", "x"))) is Comparison.INCOMPARABLE
+
+    def test_unordered_values_break_dominance(self):
+        # b and c are incomparable, so neither object can dominate.
+        order = PartialOrder([("a", "b"), ("a", "c")])
+        assert compare((order,), Object(0, ("b",)),
+                       Object(1, ("c",))) is Comparison.INCOMPARABLE
+
+    def test_unknown_values_are_incomparable(self):
+        orders = _orders(["a", "b"])
+        assert compare(orders, Object(0, ("mystery",)),
+                       Object(1, ("b",))) is Comparison.INCOMPARABLE
+
+
+class TestPreferenceDominance:
+    def test_preference_compare_matches_module_function(self):
+        pref = Preference({
+            "brand": PartialOrder.from_chain(["Apple", "Sony"]),
+            "cpu": PartialOrder.from_chain(["quad", "dual"]),
+        })
+        schema = ("brand", "cpu")
+        a = Object(0, ("Apple", "quad"))
+        b = Object(1, ("Sony", "dual"))
+        assert pref.dominates(a, b, schema)
+        assert pref.compare(b, a, schema) is Comparison.B_DOMINATES
+
+    def test_missing_attribute_means_indifference(self):
+        pref = Preference({"brand": PartialOrder.from_chain(["a", "b"])})
+        schema = ("brand", "cpu")
+        a = Object(0, ("a", "quad"))
+        b = Object(1, ("b", "dual"))
+        # cpu is unordered for this user: differing cpu values are
+        # incomparable, so dominance is impossible...
+        assert pref.compare(a, b, schema) is Comparison.INCOMPARABLE
+        # ...but equal cpu values still allow brand to decide.
+        c = Object(2, ("b", "quad"))
+        assert pref.compare(a, c, schema) is Comparison.A_DOMINATES
+
+
+class TestDominanceProperties:
+    @given(preferences(), object_rows())
+    def test_irreflexive(self, pref, row):
+        obj = Object(0, row)
+        other = Object(1, row)
+        assert pref.compare(obj, other, SCHEMA) is Comparison.IDENTICAL
+
+    @given(preferences(), object_rows(), object_rows())
+    def test_asymmetric(self, pref, row_a, row_b):
+        a, b = Object(0, row_a), Object(1, row_b)
+        if pref.dominates(a, b, SCHEMA):
+            assert not pref.dominates(b, a, SCHEMA)
+
+    @given(preferences(), object_rows(), object_rows(), object_rows())
+    def test_transitive(self, pref, row_a, row_b, row_c):
+        a, b, c = Object(0, row_a), Object(1, row_b), Object(2, row_c)
+        if pref.dominates(a, b, SCHEMA) and pref.dominates(b, c, SCHEMA):
+            assert pref.dominates(a, c, SCHEMA)
+
+    @given(preferences(), object_rows(), object_rows())
+    def test_compare_is_consistent_with_dominates(self, pref, row_a, row_b):
+        a, b = Object(0, row_a), Object(1, row_b)
+        verdict = pref.compare(a, b, SCHEMA)
+        assert (verdict is Comparison.A_DOMINATES) == \
+            pref.dominates(a, b, SCHEMA)
+        assert (verdict is Comparison.B_DOMINATES) == \
+            pref.dominates(b, a, SCHEMA)
+        if verdict is Comparison.IDENTICAL:
+            assert row_a == row_b

@@ -1,0 +1,152 @@
+"""Edge cases and failure injection across the library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (Baseline, BaselineSW, Cluster, CycleError,
+                   FilterThenVerify, FilterThenVerifySW, PartialOrder,
+                   Preference, cluster_users, common_preference)
+from repro.core.errors import EmptyClusterError
+from repro.data.objects import Dataset
+
+
+class TestDegenerateMonitors:
+    def test_monitor_with_no_users(self):
+        monitor = Baseline({}, ("x",))
+        assert monitor.push(("a",)) == frozenset()
+        assert monitor.stats.delivered == 0
+
+    def test_indifferent_user_holds_everything_distinct(self):
+        """Empty orders: any two distinct objects are incomparable, so
+        every distinct object is Pareto-optimal forever."""
+        user = {"u": Preference({})}
+        monitor = Baseline(user, ("x", "y"))
+        for i in range(5):
+            assert monitor.push((f"v{i}", "k")) == frozenset({"u"})
+        assert len(monitor.frontier("u")) == 5
+
+    def test_identical_object_flood(self):
+        """Identical objects all share Pareto status (Definition 3.2)."""
+        user = {"u": Preference({"x": PartialOrder.from_chain(["a", "b"])})}
+        monitor = Baseline(user, ("x",))
+        for _ in range(4):
+            assert monitor.push(("a",)) == frozenset({"u"})
+        assert len(monitor.frontier("u")) == 4
+        assert monitor.push(("b",)) == frozenset()
+
+    def test_single_attribute_total_order_is_classic_skyline(self):
+        user = {"u": Preference({"x": PartialOrder.from_chain(
+            ["best", "good", "bad"])})}
+        monitor = Baseline(user, ("x",))
+        assert monitor.push(("good",)) == frozenset({"u"})
+        assert monitor.push(("bad",)) == frozenset()
+        assert monitor.push(("best",)) == frozenset({"u"})
+        assert monitor.frontier_ids("u") == {2}
+
+    def test_unknown_values_never_dominated(self):
+        user = {"u": Preference({"x": PartialOrder.from_chain(["a", "b"])})}
+        monitor = Baseline(user, ("x",))
+        monitor.push(("a",))
+        assert monitor.push(("mystery",)) == frozenset({"u"})
+
+    def test_window_of_one(self):
+        """W=1: every arrival expires its predecessor, so every object is
+        trivially Pareto-optimal on arrival."""
+        user = {"u": Preference({"x": PartialOrder.from_chain(["a", "b"])})}
+        monitor = BaselineSW(user, ("x",), window=1)
+        for value in ("b", "a", "b", "b"):
+            assert monitor.push((value,)) == frozenset({"u"})
+            assert len(monitor.frontier("u")) == 1
+
+    def test_window_larger_than_stream(self):
+        """Nothing expires: behaviour must equal the append-only monitor."""
+        from repro.data import paper_example as pe
+
+        users = pe.table2_preferences()
+        sliding = BaselineSW(users, pe.SCHEMA, window=10_000)
+        plain = Baseline(users, pe.SCHEMA)
+        for obj in pe.table1_dataset(16):
+            assert sliding.push(obj) == plain.push(obj)
+        for user in users:
+            assert sliding.frontier_ids(user) == plain.frontier_ids(user)
+
+
+class TestLargeDomains:
+    def test_long_chain_beyond_recursion_limit(self):
+        """Transitive closure must not recurse (chain ≫ sys limit)."""
+        n = 1500
+        order = PartialOrder.from_chain(list(range(n)))
+        assert len(order) == n * (n - 1) // 2
+        assert order.depth(n - 1) == n - 1
+        assert order.prefers(0, n - 1)
+
+    def test_long_cycle_detected(self):
+        n = 1200
+        edges = [(i, i + 1) for i in range(n)] + [(n, 0)]
+        with pytest.raises(CycleError):
+            PartialOrder(edges)
+
+    def test_wide_antichain(self):
+        order = PartialOrder.empty(range(2000))
+        assert order.maximal_values() == frozenset(range(2000))
+        assert order.weight(1234) == 1.0
+
+
+class TestClusteringEdges:
+    def test_identical_users_merge_first(self):
+        pref = Preference({"x": PartialOrder.from_chain(["a", "b", "c"])})
+        users = {f"u{i}": pref for i in range(4)}
+        groups = cluster_users(users, h=0.99, measure="jaccard")
+        assert len(groups) == 1
+
+    def test_disjoint_users_never_merge(self):
+        users = {
+            "u1": Preference({"x": PartialOrder.from_chain(["a", "b"])}),
+            "u2": Preference({"x": PartialOrder.from_chain(["c", "d"])}),
+        }
+        groups = cluster_users(users, h=0.001, measure="jaccard")
+        assert len(groups) == 2
+
+    def test_cluster_requires_members(self):
+        with pytest.raises(EmptyClusterError):
+            Cluster({}, Preference({}))
+        with pytest.raises(EmptyClusterError):
+            common_preference([])
+
+    def test_indifferent_users_cluster_without_crash(self):
+        users = {f"u{i}": Preference({}) for i in range(3)}
+        groups = cluster_users(users, h=0.5, measure="weighted_jaccard")
+        assert sum(len(g) for g in groups) == 3
+        monitor = FilterThenVerify(
+            [Cluster.exact(g) for g in groups], ("x",))
+        assert monitor.push(("v",)) == frozenset(users)
+
+
+class TestMixedSchemas:
+    def test_projected_dataset_keeps_monitors_consistent(self):
+        """Dominance on a 1-attribute projection can differ from 4-attr
+        dominance but monitors must stay internally consistent."""
+        from repro.data import paper_example as pe
+
+        users = pe.table2_preferences()
+        narrow_users = {
+            user: Preference({"brand": pref.order("brand")})
+            for user, pref in users.items()
+        }
+        table = pe.table1_dataset(16).project(("brand",))
+        baseline = Baseline(narrow_users, ("brand",))
+        shared = FilterThenVerify([Cluster.exact(narrow_users)],
+                                  ("brand",))
+        for obj in table:
+            assert baseline.push(obj) == shared.push(obj)
+
+    def test_sliding_shared_with_singleton_clusters(self):
+        from repro.data import paper_example as pe
+
+        users = pe.table2_preferences()
+        clusters = [Cluster.exact({u: p}) for u, p in users.items()]
+        split = FilterThenVerifySW(clusters, pe.SCHEMA, window=6)
+        oracle = BaselineSW(users, pe.SCHEMA, window=6)
+        for obj in pe.table8_dataset():
+            assert split.push(obj) == oracle.push(obj)

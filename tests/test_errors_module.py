@@ -1,0 +1,50 @@
+"""Focused tests for the exception hierarchy (repro.core.errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (CycleError, EmptyClusterError, ReflexiveTupleError,
+                   ReproError, SchemaMismatchError, ThresholdError,
+                   UnknownAttributeError, WindowError)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        CycleError("x"), ReflexiveTupleError("v"),
+        UnknownAttributeError("a", ["b"]),
+        SchemaMismatchError(["a"], ["b"]),
+        EmptyClusterError("x"), WindowError("x"), ThresholdError("x"),
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_cycle_error_carries_cycle(self):
+        error = CycleError("boom", cycle=["a", "b", "a"])
+        assert error.cycle == ["a", "b", "a"]
+        assert CycleError("no cycle info").cycle is None
+
+    def test_reflexive_tuple_message(self):
+        error = ReflexiveTupleError("apple")
+        assert "apple" in str(error)
+        assert error.value == "apple"
+
+    def test_unknown_attribute_context(self):
+        error = UnknownAttributeError("color", ["size", "shape"])
+        assert error.attribute == "color"
+        assert error.known == {"size", "shape"}
+        assert "size" in str(error)
+
+    def test_schema_mismatch_context(self):
+        error = SchemaMismatchError(("a", "b"), ("a",))
+        assert error.expected == {"a", "b"}
+        assert error.actual == {"a"}
+
+    def test_one_catch_all(self):
+        """Library users can catch ReproError and get everything."""
+        from repro import PartialOrder
+
+        with pytest.raises(ReproError):
+            PartialOrder([("x", "x")])
+        with pytest.raises(ReproError):
+            PartialOrder([("a", "b"), ("b", "a")])

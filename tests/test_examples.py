@@ -1,0 +1,64 @@
+"""Smoke tests: the runnable examples actually run.
+
+Each example is executed in a subprocess (its own `__main__`), so these
+tests catch import rot, API drift and crashed demos.  The slowest
+examples (full-size workloads) are exercised with a shortened variant
+where the module exposes parameters, and skipped otherwise — the goal is
+"does it run and print the expected story", not benchmarking.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: Examples fast enough to run whole in the suite.
+FAST = [
+    "quickstart.py",
+    "clustering_explorer.py",
+    "product_recommendation.py",
+]
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300, check=True)
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_example_runs(name):
+    output = run_example(name)
+    assert output.strip(), f"{name} printed nothing"
+
+
+def test_quickstart_reproduces_paper(request):
+    output = run_example("quickstart.py")
+    # Example 1.1's punchline: o15 reaches c2, o16 reaches nobody.
+    assert "c2" in output
+
+
+def test_product_recommendation_story():
+    output = run_example("product_recommendation.py")
+    assert "exact monitors agree: True" in output
+    assert "speedup" in output
+
+
+def test_clustering_explorer_table():
+    output = run_example("clustering_explorer.py")
+    assert "weighted_jaccard" in output
+    assert "Dendrogram" in output
+
+
+def test_all_examples_have_docstring_and_main():
+    for path in EXAMPLES.glob("*.py"):
+        source = path.read_text(encoding="utf-8")
+        assert source.lstrip().startswith('"""'), f"{path.name}: no docstring"
+        assert '__main__' in source, f"{path.name}: no main guard"
+        assert "Run:" in source, f"{path.name}: no run instructions"

@@ -1,0 +1,138 @@
+"""Delivery explanations (repro.core.explain)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import Baseline
+from repro.core.explain import (AttributeVerdict, attribute_breakdown,
+                                explain, explain_delivery)
+from repro.core.filter_verify import FilterThenVerify
+from repro.core.sliding import BaselineSW
+from repro.data import paper_example as pe
+
+
+@pytest.fixture
+def paper_monitor(users, schema, table1):
+    monitor = Baseline(users, schema)
+    for obj in table1:
+        monitor.push(obj)
+    return monitor
+
+
+class TestAttributeBreakdown:
+    def test_paper_example(self, c1, schema, table1):
+        """c1: o2 beats o15 on display, brand and CPU (Example 1.1)."""
+        o2, o15 = table1[1], table1[14]
+        breakdown = attribute_breakdown(c1, o2, o15, schema)
+        assert breakdown == {
+            "display": AttributeVerdict.BETTER,
+            "brand": AttributeVerdict.BETTER,
+            "cpu": AttributeVerdict.BETTER,
+        }
+
+    def test_equal_values(self, c1, schema, table1):
+        o2 = table1[1]
+        breakdown = attribute_breakdown(c1, o2, o2, schema)
+        assert set(breakdown.values()) == {AttributeVerdict.EQUAL}
+
+    def test_incomparable(self, c1, schema, table1):
+        # c1 is indifferent between Toshiba and Samsung (Table 2).
+        o3, o4 = table1[2], table1[3]   # Samsung vs Toshiba
+        breakdown = attribute_breakdown(c1, o3, o4, schema)
+        assert breakdown["brand"] is AttributeVerdict.INCOMPARABLE
+
+    def test_worse(self, c1, schema, table1):
+        o15, o2 = table1[14], table1[1]
+        breakdown = attribute_breakdown(c1, o15, o2, schema)
+        assert set(breakdown.values()) == {AttributeVerdict.WORSE}
+
+
+class TestExplain:
+    def test_pareto_optimal_object(self, c1, schema, table1):
+        o2 = table1[1]
+        result = explain(c1, o2, table1.objects, schema, user="c1")
+        assert result.pareto_optimal
+        assert result.dominators == ()
+
+    def test_dominated_object_names_witnesses(self, c1, schema, table1):
+        o15 = table1[14]
+        result = explain(c1, o15, table1.objects, schema, user="c1")
+        assert not result.pareto_optimal
+        assert 1 in {o.oid for o in result.dominators}   # o2
+
+    def test_max_dominators_caps_witnesses(self, c1, schema, table1):
+        o16 = table1[15]
+        result = explain(c1, o16, table1.objects, schema,
+                         max_dominators=1)
+        assert len(result.dominators) == 1
+
+    def test_identical_object_not_a_dominator(self, c1, schema):
+        from repro.data.objects import Object
+        twin_a = Object(0, ("13-15.9", "Apple", "dual"))
+        twin_b = Object(1, ("13-15.9", "Apple", "dual"))
+        result = explain(c1, twin_a, [twin_a, twin_b], schema)
+        assert result.pareto_optimal
+
+    def test_breakdown_accessor(self, c1, schema, table1):
+        o15 = table1[14]
+        result = explain(c1, o15, table1.objects, schema)
+        dominator = result.dominators[0]
+        assert result.breakdown(dominator) == result.breakdown(
+            dominator.oid)
+
+    def test_describe_mentions_verdicts(self, c1, schema, table1):
+        o15 = table1[14]
+        result = explain(c1, o15, table1.objects, schema, user="c1")
+        text = result.describe(schema)
+        assert "NOT Pareto-optimal" in text
+        assert "better" in text
+
+    def test_describe_pareto(self, c1, schema, table1):
+        result = explain(c1, table1[1], table1.objects, schema,
+                         user="c1")
+        assert "no alive object dominates it" in result.describe(schema)
+
+
+class TestExplainDelivery:
+    def test_against_baseline_monitor(self, paper_monitor, schema,
+                                      table1):
+        o15 = table1[14]
+        result = explain_delivery(paper_monitor, "c1", o15)
+        assert not result.pareto_optimal
+        assert {o.oid for o in result.dominators} <= \
+            paper_monitor.frontier_ids("c1")
+        # For c2, o15 is in the frontier.
+        assert explain_delivery(paper_monitor, "c2", o15).pareto_optimal
+
+    def test_against_cluster_monitor(self, users, schema, table1):
+        monitor = FilterThenVerify.from_users(users, schema, h=0.01)
+        for obj in table1:
+            monitor.push(obj)
+        result = explain_delivery(monitor, "c1", table1[14])
+        assert not result.pareto_optimal
+
+    def test_against_sliding_monitor(self, users, schema, table1):
+        monitor = BaselineSW(users, schema, window=8)
+        for obj in table1:
+            monitor.push(obj)
+        result = explain_delivery(monitor, "c1", table1[15])
+        assert result.user == "c1"
+
+    def test_unknown_user_raises(self, paper_monitor, table1):
+        with pytest.raises(KeyError):
+            explain_delivery(paper_monitor, "nobody", table1[0])
+
+    def test_agrees_with_push_semantics(self, users, schema):
+        """An object explained Pareto-optimal is exactly one that would
+        currently be inserted into the frontier."""
+        monitor = Baseline(users, schema)
+        table = pe.table1_dataset(14)
+        for obj in table:
+            monitor.push(obj)
+        for user in users:
+            frontier_ids = monitor.frontier_ids(user)
+            for obj in table:
+                result = explain_delivery(monitor, user, obj)
+                if obj.oid in frontier_ids:
+                    assert result.pareto_optimal

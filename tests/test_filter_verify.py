@@ -1,0 +1,121 @@
+"""Tests for FilterThenVerify (Algorithm 2) and Theorems 4.5 / Lemma 4.6."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (Baseline, Cluster, FilterThenVerify,
+                   FilterThenVerifyApprox)
+from repro.core.baseline import brute_force_frontier
+from repro.core.preference import common_preference
+from tests.strategies import DOMAINS, datasets, user_sets
+
+SCHEMA = tuple(DOMAINS)
+
+
+def exact_cluster(users) -> Cluster:
+    return Cluster.exact(users)
+
+
+class TestConstruction:
+    def test_duplicate_user_rejected(self, users, schema):
+        cluster = exact_cluster(users)
+        with pytest.raises(ValueError):
+            FilterThenVerify([cluster, cluster], schema)
+
+    def test_from_users_clusters_and_runs(self, users, schema, table1):
+        monitor = FilterThenVerify.from_users(users, schema, h=0.01)
+        monitor.push_all(table1)
+        assert set(monitor.users) == {"c1", "c2"}
+        assert monitor.clusters
+
+    def test_approx_from_users(self, users, schema, table1):
+        monitor = FilterThenVerifyApprox.from_users(
+            users, schema, h=0.01, theta1=30, theta2=0.4)
+        monitor.push_all(table1)
+        assert set(monitor.users) == {"c1", "c2"}
+
+    def test_shared_frontier_by_index(self, users, schema, table1):
+        monitor = FilterThenVerify([exact_cluster(users)], schema)
+        monitor.push_all(table1)
+        by_user = monitor.shared_frontier("c1")
+        assert by_user  # non-empty and identical to cluster view
+        assert {o.oid for o in by_user} == \
+            {o.oid for o in monitor.shared_frontier("c2")}
+
+
+class TestEquivalenceWithBaseline:
+    @given(user_sets(min_users=2, max_users=4),
+           datasets(max_objects=18), st.data())
+    def test_same_targets_and_frontiers(self, users, dataset, data):
+        """Algorithm 2 with exact common preferences is lossless for any
+        partition of the users into clusters."""
+        names = sorted(users)
+        labels = [data.draw(st.integers(0, 1), label=f"cluster of {name}")
+                  for name in names]
+        groups: dict[int, dict] = {}
+        for name, label in zip(names, labels):
+            groups.setdefault(label, {})[name] = users[name]
+        clusters = [Cluster.exact(group) for group in groups.values()]
+
+        baseline = Baseline(users, SCHEMA)
+        ftv = FilterThenVerify(clusters, SCHEMA)
+        for obj in dataset:
+            assert baseline.push(obj) == ftv.push(obj)
+        for user in users:
+            assert baseline.frontier_ids(user) == ftv.frontier_ids(user)
+
+    @given(user_sets(min_users=2, max_users=3), datasets(max_objects=15))
+    def test_theorem_4_5_shared_frontier_superset(self, users, dataset):
+        """P_U ⊇ P_c for every member c, maintained continuously."""
+        monitor = FilterThenVerify([Cluster.exact(users)], SCHEMA)
+        for obj in dataset:
+            monitor.push(obj)
+            shared = {o.oid for o in monitor.shared_frontier(
+                next(iter(users)))}
+            for user in users:
+                assert monitor.frontier_ids(user) <= shared
+
+    @given(user_sets(min_users=2, max_users=3), datasets(max_objects=15))
+    def test_lemma_4_6_verify_reconstructs_user_frontier(self, users,
+                                                         dataset):
+        """P_c = {o ∈ P_U : no o' ∈ P_U dominates o w.r.t. c}."""
+        monitor = FilterThenVerify([Cluster.exact(users)], SCHEMA)
+        monitor.push_all(dataset)
+        shared = monitor.shared_frontier(next(iter(users)))
+        for user, pref in users.items():
+            rebuilt = {
+                o.oid for o in shared
+                if not any(pref.dominates(other, o, SCHEMA)
+                           for other in shared)
+            }
+            assert monitor.frontier_ids(user) == rebuilt
+
+    @given(user_sets(min_users=2, max_users=3), datasets(max_objects=15))
+    def test_shared_frontier_is_virtual_user_frontier(self, users, dataset):
+        """P_U equals a plain Pareto frontier under ≻_U."""
+        monitor = FilterThenVerify([Cluster.exact(users)], SCHEMA)
+        monitor.push_all(dataset)
+        virtual = common_preference(users.values())
+        expected = {o.oid for o in
+                    brute_force_frontier(virtual, list(dataset), SCHEMA)}
+        shared = {o.oid for o in
+                  monitor.shared_frontier(next(iter(users)))}
+        assert shared == expected
+
+
+class TestWorkSaving:
+    def test_fewer_comparisons_than_baseline_on_clustered_users(self):
+        """With many users sharing preferences, the sieve pays off."""
+        from repro.data.movies import movie_workload
+
+        workload = movie_workload(n_movies=500, n_users=30, seed=3,
+                                  archetypes=3)
+        baseline = Baseline(workload.preferences, workload.schema)
+        ftv = FilterThenVerify.from_users(
+            workload.preferences, workload.schema, h=0.6)
+        for obj in workload.dataset:
+            assert baseline.push(obj) == ftv.push(obj)
+        assert ftv.stats.comparisons < baseline.stats.comparisons

@@ -1,0 +1,127 @@
+"""End-to-end integration tests over the synthetic workloads.
+
+These run the whole pipeline the way the benchmarks do — generate a
+workload, cluster, monitor, measure — at sizes small enough for CI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (Baseline, BaselineSW, Cluster, DeliveryLog,
+                   FilterThenVerify, FilterThenVerifyApprox,
+                   FilterThenVerifyApproxSW, FilterThenVerifySW,
+                   build_dendrogram, cluster_users, delivery_metrics)
+from repro.data.movies import movie_workload
+from repro.data.publications import publication_workload
+from repro.data.stream import replay
+
+
+@pytest.fixture(scope="module", params=["movies", "publications"])
+def workload(request):
+    factory = (movie_workload if request.param == "movies"
+               else publication_workload)
+    return factory(400, n_users=24, seed=13, archetypes=3)
+
+
+@pytest.fixture(scope="module")
+def clusters(workload):
+    groups = cluster_users(workload.preferences, h=0.6,
+                           measure="weighted_jaccard")
+    return [Cluster.exact(group) for group in groups]
+
+
+class TestAppendOnlyPipeline:
+    def test_ftv_equals_baseline_everywhere(self, workload, clusters):
+        baseline = Baseline(workload.preferences, workload.schema)
+        shared = FilterThenVerify(clusters, workload.schema)
+        for obj in workload.dataset:
+            assert baseline.push(obj) == shared.push(obj)
+        for user in workload.preferences:
+            assert baseline.frontier_ids(user) == shared.frontier_ids(user)
+
+    def test_ftv_does_less_work(self, workload, clusters):
+        baseline = Baseline(workload.preferences, workload.schema)
+        shared = FilterThenVerify(clusters, workload.schema)
+        for obj in workload.dataset:
+            baseline.push(obj)
+            shared.push(obj)
+        assert shared.stats.comparisons < baseline.stats.comparisons
+
+    def test_ftva_accuracy_and_work(self, workload, clusters):
+        """FTVA does even less work, with high precision and recall
+        (Table 11's qualitative claim)."""
+        approx_clusters = [
+            Cluster.approximate(c.members, theta1=4000, theta2=0.5)
+            for c in clusters
+        ]
+        baseline = Baseline(workload.preferences, workload.schema)
+        approx = FilterThenVerifyApprox(approx_clusters, workload.schema)
+        exact_log = DeliveryLog().record_all(baseline, workload.dataset)
+        approx_log = DeliveryLog().record_all(approx, workload.dataset)
+        counts = delivery_metrics(exact_log, approx_log)
+        assert counts.precision > 0.95
+        assert counts.recall > 0.75
+        assert approx.stats.comparisons < baseline.stats.comparisons
+
+    def test_projection_to_fewer_dimensions_runs(self, workload):
+        small = workload.projected(workload.schema[:2])
+        baseline = Baseline(small.preferences, small.schema)
+        for obj in small.dataset:
+            baseline.push(obj)
+        assert baseline.stats.objects == len(small.dataset)
+
+
+class TestSlidingPipeline:
+    def test_sw_monitors_agree_on_replayed_stream(self, workload,
+                                                  clusters):
+        stream = list(replay(workload.dataset, 900))
+        window = 300
+        baseline = BaselineSW(workload.preferences, workload.schema,
+                              window)
+        shared = FilterThenVerifySW(clusters, workload.schema, window)
+        for obj in stream:
+            assert baseline.push(obj) == shared.push(obj)
+        for user in workload.preferences:
+            assert baseline.frontier_ids(user) == \
+                shared.frontier_ids(user)
+
+    def test_sw_shared_does_less_work(self, workload, clusters):
+        stream = list(replay(workload.dataset, 900))
+        window = 300
+        baseline = BaselineSW(workload.preferences, workload.schema,
+                              window)
+        shared = FilterThenVerifySW(clusters, workload.schema, window)
+        for obj in stream:
+            baseline.push(obj)
+            shared.push(obj)
+        assert shared.stats.comparisons < baseline.stats.comparisons
+
+    def test_sw_approx_accuracy(self, workload, clusters):
+        approx_clusters = [
+            Cluster.approximate(c.members, theta1=4000, theta2=0.5)
+            for c in clusters
+        ]
+        stream = list(replay(workload.dataset, 900))
+        window = 300
+        baseline = BaselineSW(workload.preferences, workload.schema,
+                              window)
+        approx = FilterThenVerifyApproxSW(approx_clusters,
+                                          workload.schema, window)
+        exact_log = DeliveryLog().record_all(baseline, stream)
+        approx_log = DeliveryLog().record_all(approx, stream)
+        counts = delivery_metrics(exact_log, approx_log)
+        assert counts.precision > 0.95
+        assert counts.recall > 0.7
+
+
+class TestDendrogramReuse:
+    def test_sweeping_h_reuses_one_dendrogram(self, workload):
+        dendrogram = build_dendrogram(workload.preferences,
+                                      "weighted_jaccard")
+        sizes = []
+        for h in (0.75, 0.65, 0.55, 0.45):
+            groups = cluster_users(workload.preferences, h,
+                                   dendrogram=dendrogram)
+            sizes.append(len(groups))
+        assert sizes == sorted(sizes, reverse=True)

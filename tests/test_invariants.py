@@ -1,0 +1,122 @@
+"""Cross-cutting metamorphic invariants.
+
+These properties do not test one module: they relate whole-system runs
+under input transformations (permuted arrival order, injected dominated
+objects, split clusters), which is where integration bugs hide.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Baseline, BaselineSW, Cluster, FilterThenVerify, Object
+from tests.strategies import DOMAINS, datasets, object_rows, user_sets
+
+SCHEMA = tuple(DOMAINS)
+
+
+class TestOrderIndependence:
+    @given(user_sets(max_users=3), datasets(max_objects=14), st.data())
+    def test_final_frontier_ignores_arrival_order(self, users, dataset,
+                                                  data):
+        """P_c is a property of the object *set*: any arrival permutation
+        yields the same final frontier (append-only semantics)."""
+        stream = list(dataset)
+        shuffled = data.draw(st.permutations(stream))
+        first = Baseline(users, SCHEMA)
+        second = Baseline(users, SCHEMA)
+        first.push_all(stream)
+        second.push_all(shuffled)
+        for user in users:
+            assert first.frontier_ids(user) == second.frontier_ids(user)
+
+    @given(user_sets(max_users=3), datasets(max_objects=12))
+    def test_replaying_the_stream_changes_nothing(self, users, dataset):
+        """Append-only: a second pass of the same objects (fresh ids) adds
+        only identical copies of frontier members."""
+        stream = list(dataset)
+        monitor = Baseline(users, SCHEMA)
+        monitor.push_all(stream)
+        before = {user: {obj.values for obj in monitor.frontier(user)}
+                  for user in users}
+        replay = [Object(1000 + i, obj.values)
+                  for i, obj in enumerate(stream)]
+        monitor.push_all(replay)
+        after = {user: {obj.values for obj in monitor.frontier(user)}
+                 for user in users}
+        assert before == after
+
+
+class TestDominatedInjection:
+    @given(user_sets(max_users=3), datasets(min_objects=1, max_objects=12),
+           st.data())
+    def test_injecting_a_dominated_copy_is_inert(self, users, dataset,
+                                                 data):
+        """An object identical to an existing one, pushed twice, never
+        changes which *values* are on the frontier."""
+        stream = list(dataset)
+        victim = data.draw(st.sampled_from(stream))
+        monitor = Baseline(users, SCHEMA)
+        monitor.push_all(stream)
+        values_before = {user: {o.values for o in monitor.frontier(user)}
+                         for user in users}
+        monitor.push(Object(9999, victim.values))
+        values_after = {user: {o.values for o in monitor.frontier(user)}
+                        for user in users}
+        assert values_before == values_after
+
+
+class TestClusterRefinement:
+    @given(user_sets(min_users=2, max_users=4),
+           datasets(max_objects=12), st.data())
+    def test_any_two_partitions_agree(self, users, dataset, data):
+        """Exactness does not depend on the partition: two different
+        clusterings of the same users give identical deliveries."""
+        names = sorted(users)
+        labels_a = [data.draw(st.integers(0, 1)) for _ in names]
+        labels_b = [data.draw(st.integers(0, 2)) for _ in names]
+
+        def build(labels):
+            groups: dict[int, dict] = {}
+            for name, label in zip(names, labels):
+                groups.setdefault(label, {})[name] = users[name]
+            return FilterThenVerify(
+                [Cluster.exact(g) for g in groups.values()], SCHEMA)
+
+        first, second = build(labels_a), build(labels_b)
+        for obj in dataset:
+            assert first.push(obj) == second.push(obj)
+
+
+class TestWindowDegeneration:
+    @given(user_sets(max_users=3), datasets(max_objects=14))
+    def test_huge_window_equals_append_only(self, users, dataset):
+        sliding = BaselineSW(users, SCHEMA, window=10_000)
+        plain = Baseline(users, SCHEMA)
+        for obj in dataset:
+            assert sliding.push(obj) == plain.push(obj)
+        for user in users:
+            assert sliding.frontier_ids(user) == plain.frontier_ids(user)
+
+    @given(user_sets(max_users=2), object_rows())
+    def test_window_one_always_delivers(self, users, row):
+        """With W=1 every object is alone in its window: everyone with a
+        preference gets it."""
+        monitor = BaselineSW(users, SCHEMA, window=1)
+        for i in range(4):
+            assert monitor.push(Object(i, row)) == frozenset(users)
+
+
+class TestStatsConsistency:
+    @given(user_sets(max_users=3), datasets(max_objects=12))
+    def test_objects_and_deliveries_add_up(self, users, dataset):
+        monitor = Baseline(users, SCHEMA)
+        results = monitor.push_all(dataset)
+        assert monitor.stats.objects == len(dataset)
+        assert monitor.stats.delivered == sum(map(len, results))
+        snapshot = monitor.stats.snapshot()
+        assert snapshot["comparisons"] == (
+            snapshot["filter_comparisons"]
+            + snapshot["verify_comparisons"]
+            + snapshot["buffer_comparisons"])

@@ -1,0 +1,108 @@
+"""Tests for JSON serialization (repro.io)."""
+
+from __future__ import annotations
+
+import io as stdio
+import json
+
+import pytest
+from hypothesis import given
+
+from repro import Dataset, PartialOrder, Preference
+from repro import io as rio
+from repro.data import paper_example as pe
+from tests.strategies import datasets, partial_orders, preferences
+
+ABC = ["a", "b", "c", "d"]
+
+
+class TestOrderRoundTrip:
+    def test_simple(self):
+        order = PartialOrder([("a", "b"), ("b", "c")], domain=["z"])
+        data = rio.order_to_dict(order)
+        assert data["isolated"] == ["z"]
+        assert rio.order_from_dict(data) == order
+        # Isolated values survive too (equality ignores them).
+        assert rio.order_from_dict(data).domain == order.domain
+
+    def test_empty(self):
+        order = PartialOrder.empty(["x"])
+        assert rio.order_from_dict(rio.order_to_dict(order)) == order
+
+    @given(partial_orders(ABC))
+    def test_any_order(self, order):
+        clone = rio.order_from_dict(rio.order_to_dict(order))
+        assert clone == order
+        assert clone.domain == order.domain
+
+    @given(partial_orders(ABC))
+    def test_json_stability(self, order):
+        """The encoding is pure JSON and deterministic."""
+        first = json.dumps(rio.order_to_dict(order), sort_keys=True)
+        second = json.dumps(rio.order_to_dict(order), sort_keys=True)
+        assert first == second
+
+
+class TestPreferenceRoundTrip:
+    @given(preferences())
+    def test_any_preference(self, pref):
+        clone = rio.preference_from_dict(rio.preference_to_dict(pref))
+        assert clone == pref
+
+    def test_paper_users(self):
+        users = pe.table2_preferences()
+        data = rio.preferences_to_dict(users)
+        clone = rio.preferences_from_dict(data)
+        assert clone == users
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            rio.preferences_from_dict({"version": 999, "users": {}})
+
+
+class TestDatasetRoundTrip:
+    @given(datasets(max_objects=12))
+    def test_any_dataset(self, dataset):
+        clone = rio.dataset_from_dict(rio.dataset_to_dict(dataset))
+        assert clone.schema == dataset.schema
+        assert [o.values for o in clone] == [o.values for o in dataset]
+
+    def test_table1(self):
+        table = pe.table1_dataset(16)
+        clone = rio.dataset_from_dict(rio.dataset_to_dict(table))
+        assert [o.values for o in clone] == [o.values for o in table]
+
+
+class TestFileHelpers:
+    def test_stream_objects(self):
+        users = pe.table2_preferences()
+        buffer = stdio.StringIO()
+        rio.save_preferences(users, buffer)
+        buffer.seek(0)
+        assert rio.load_preferences(buffer) == users
+
+    def test_paths(self, tmp_path):
+        users = pe.table2_preferences()
+        path = str(tmp_path / "prefs.json")
+        rio.save_preferences(users, path)
+        assert rio.load_preferences(path) == users
+
+        table = pe.table1_dataset(5)
+        data_path = str(tmp_path / "data.json")
+        rio.save_dataset(table, data_path)
+        clone = rio.load_dataset(data_path)
+        assert [o.values for o in clone] == [o.values for o in table]
+
+    def test_saved_preferences_drive_a_monitor(self, tmp_path):
+        """End to end: persist, reload, monitor — same answers."""
+        from repro import Baseline
+
+        users = pe.table2_preferences()
+        path = str(tmp_path / "prefs.json")
+        rio.save_preferences(users, path)
+        reloaded = rio.load_preferences(path)
+
+        original = Baseline(users, pe.SCHEMA)
+        restored = Baseline(reloaded, pe.SCHEMA)
+        for obj in pe.table1_dataset(16):
+            assert original.push(obj) == restored.push(obj)

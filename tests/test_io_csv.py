@@ -1,0 +1,126 @@
+"""CSV interchange (repro.io_csv)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.partial_order import PartialOrder
+from repro.core.preference import Preference
+from repro.data.objects import Dataset
+from repro.io_csv import (read_dataset_csv, read_preferences_csv,
+                          write_dataset_csv, write_preferences_csv)
+
+
+@pytest.fixture
+def dataset():
+    return Dataset(("brand", "cpu"), [
+        ("Apple", "dual"), ("Sony", "quad"), ("Apple", "single"),
+    ])
+
+
+@pytest.fixture
+def preferences():
+    return {
+        "alice": Preference({
+            "brand": PartialOrder.from_hasse(
+                [("Apple", "Sony")], domain=["Toshiba"]),
+            "cpu": PartialOrder.from_chain(["quad", "dual", "single"]),
+        }),
+        "bob": Preference({
+            "brand": PartialOrder.empty(["Apple", "Sony"]),
+        }),
+    }
+
+
+class TestDatasetRoundTrip:
+    def test_round_trip(self, dataset, tmp_path):
+        path = str(tmp_path / "objects.csv")
+        write_dataset_csv(dataset, path)
+        restored = read_dataset_csv(path)
+        assert restored.schema == dataset.schema
+        assert [o.values for o in restored] == [
+            o.values for o in dataset]
+
+    def test_string_io(self, dataset):
+        buffer = io.StringIO()
+        write_dataset_csv(dataset, buffer)
+        buffer.seek(0)
+        restored = read_dataset_csv(buffer)
+        assert len(restored) == 3
+
+    def test_converters(self, tmp_path):
+        dataset = Dataset(("name", "year"), [("a", 2001), ("b", 2005)])
+        path = str(tmp_path / "typed.csv")
+        write_dataset_csv(dataset, path)
+        untyped = read_dataset_csv(path)
+        assert untyped[0].values == ("a", "2001")
+        typed = read_dataset_csv(path, converters={"year": int})
+        assert typed[0].values == ("a", 2001)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError, match="no header"):
+            read_dataset_csv(io.StringIO(""))
+
+    def test_ragged_row_rejected(self):
+        buffer = io.StringIO("a,b\n1,2,3\n")
+        with pytest.raises(ValueError, match="cells"):
+            read_dataset_csv(buffer)
+
+    def test_empty_dataset_round_trip(self, tmp_path):
+        path = str(tmp_path / "empty.csv")
+        write_dataset_csv(Dataset(("x",)), path)
+        restored = read_dataset_csv(path)
+        assert restored.schema == ("x",)
+        assert len(restored) == 0
+
+
+class TestPreferencesRoundTrip:
+    def test_round_trip(self, preferences, tmp_path):
+        path = str(tmp_path / "prefs.csv")
+        write_preferences_csv(preferences, path)
+        restored = read_preferences_csv(path)
+        assert set(restored) == {"alice", "bob"}
+        assert restored["alice"].order("cpu").prefers("quad", "single")
+        # transitive closure recomputed on load
+        assert (restored["alice"].order("cpu").pairs
+                == preferences["alice"].order("cpu").pairs)
+
+    def test_isolated_values_survive(self, preferences, tmp_path):
+        path = str(tmp_path / "prefs.csv")
+        write_preferences_csv(preferences, path)
+        restored = read_preferences_csv(path)
+        assert "Toshiba" in restored["alice"].order("brand").domain
+        assert restored["bob"].order("brand").domain == frozenset(
+            {"Apple", "Sony"})
+
+    def test_empty_order_user_preserved(self, preferences, tmp_path):
+        path = str(tmp_path / "prefs.csv")
+        write_preferences_csv(preferences, path)
+        restored = read_preferences_csv(path)
+        assert not restored["bob"].order("brand").pairs
+
+    def test_bad_header_rejected(self):
+        buffer = io.StringIO("who,attr,a,b\n")
+        with pytest.raises(ValueError, match="header"):
+            read_preferences_csv(buffer)
+
+    def test_malformed_row_rejected(self):
+        buffer = io.StringIO("user,attribute,better,worse\nu,x,a\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_preferences_csv(buffer)
+
+    def test_csv_usable_by_monitor(self, preferences, dataset, tmp_path):
+        """End to end: CSV in, monitor out."""
+        from repro.core.baseline import Baseline
+
+        prefs_path = str(tmp_path / "prefs.csv")
+        data_path = str(tmp_path / "objects.csv")
+        write_preferences_csv(preferences, prefs_path)
+        write_dataset_csv(dataset, data_path)
+        monitor = Baseline(read_preferences_csv(prefs_path),
+                           read_dataset_csv(data_path).schema)
+        deliveries = [monitor.push(obj)
+                      for obj in read_dataset_csv(data_path)]
+        assert any(deliveries)

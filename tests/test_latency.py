@@ -1,0 +1,117 @@
+"""Latency profiling (repro.metrics.latency)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import Baseline
+from repro.metrics.latency import (LatencyProfile, LatencyProfiler,
+                                   SLOReport)
+
+
+class FakeClock:
+    """Deterministic clock: each start/stop pair spans the next delta."""
+
+    def __init__(self, deltas):
+        self.now = 0.0
+        self.pending = list(deltas)
+        self.stopping = False
+
+    def __call__(self):
+        if self.stopping:          # the 'stop' reading of a push
+            self.now += self.pending.pop(0)
+        self.stopping = not self.stopping
+        return self.now
+
+
+def make_profiler(deltas, users, schema):
+    return LatencyProfiler(Baseline(users, schema),
+                           clock=FakeClock(deltas))
+
+
+class TestLatencyProfile:
+    def test_empty(self):
+        profile = LatencyProfile()
+        assert profile.count == 0
+        assert profile.mean == 0.0
+        assert profile.max == 0.0
+        assert profile.quantile(0.5) == 0.0
+
+    def test_statistics(self):
+        profile = LatencyProfile()
+        for sample in (0.010, 0.020, 0.030, 0.040):
+            profile.record(sample)
+        assert profile.count == 4
+        assert profile.mean == pytest.approx(0.025)
+        assert profile.max == pytest.approx(0.040)
+        assert profile.quantile(0.5) == pytest.approx(0.025)
+        assert profile.quantile(1.0) == pytest.approx(0.040)
+
+    def test_quantile_bounds(self):
+        profile = LatencyProfile()
+        with pytest.raises(ValueError):
+            profile.quantile(1.5)
+        with pytest.raises(ValueError):
+            profile.quantile(-0.1)
+
+    def test_summary_keys(self):
+        profile = LatencyProfile()
+        profile.record(0.001)
+        summary = profile.summary()
+        assert set(summary) == {"count", "mean_ms", "max_ms", "p50_ms",
+                                "p90_ms", "p95_ms", "p99_ms"}
+        assert summary["count"] == 1.0
+        assert summary["mean_ms"] == pytest.approx(1.0)
+
+
+class TestLatencyProfiler:
+    def test_records_each_push(self, users, schema, table1):
+        profiler = make_profiler([0.001] * 16, users, schema)
+        for obj in table1:
+            profiler.push(obj)
+        assert profiler.profile.count == 16
+        assert profiler.profile.mean == pytest.approx(0.001)
+
+    def test_transparent_proxy(self, users, schema, table1):
+        profiler = make_profiler([0.001] * 16, users, schema)
+        for obj in table1:
+            profiler.push(obj)
+        # monitor attributes pass straight through
+        assert profiler.stats.objects == 16
+        assert profiler.frontier("c1")
+        assert profiler.schema == schema
+
+    def test_push_results_unchanged(self, users, schema, table1):
+        plain = Baseline(users, schema)
+        profiled = make_profiler([0.001] * 16, users, schema)
+        for obj in table1:
+            assert plain.push(obj) == profiled.push(obj)
+
+    def test_real_clock_smoke(self, users, schema, table1):
+        profiler = LatencyProfiler(Baseline(users, schema))
+        for obj in table1:
+            profiler.push(obj)
+        assert profiler.profile.count == 16
+        assert profiler.profile.total > 0.0
+
+
+class TestSLO:
+    def test_all_within_budget(self, users, schema, table1):
+        profiler = make_profiler([0.001] * 16, users, schema)
+        for obj in table1:
+            profiler.push(obj)
+        report = profiler.slo(budget_ms=10.0)
+        assert report.violations == 0
+        assert report.compliance == 1.0
+
+    def test_violations_counted(self, users, schema, table1):
+        # 8 fast pushes, 8 slow ones
+        profiler = make_profiler([0.001] * 8 + [0.050] * 8, users, schema)
+        for obj in table1:
+            profiler.push(obj)
+        report = profiler.slo(budget_ms=10.0)
+        assert report.violations == 8
+        assert report.compliance == pytest.approx(0.5)
+
+    def test_empty_report(self):
+        assert SLOReport(5.0, 0, 0).compliance == 1.0

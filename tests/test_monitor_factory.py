@@ -1,0 +1,65 @@
+"""Tests for the create_monitor facade and the social workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (Baseline, BaselineSW, FilterThenVerify,
+                   FilterThenVerifyApprox, FilterThenVerifyApproxSW,
+                   FilterThenVerifySW, create_monitor)
+from repro.data import paper_example as pe
+from repro.data.social import social_workload
+
+
+class TestCreateMonitor:
+    @pytest.mark.parametrize("kwargs,expected", [
+        (dict(shared=False), Baseline),
+        (dict(shared=False, window=10), BaselineSW),
+        (dict(), FilterThenVerify),
+        (dict(window=10), FilterThenVerifySW),
+        (dict(approximate=True), FilterThenVerifyApprox),
+        (dict(approximate=True, window=10), FilterThenVerifyApproxSW),
+    ])
+    def test_selects_the_right_class(self, users, schema, kwargs,
+                                     expected):
+        monitor = create_monitor(users, schema, **kwargs)
+        assert type(monitor) is expected
+
+    def test_approximate_requires_shared(self, users, schema):
+        with pytest.raises(ValueError):
+            create_monitor(users, schema, shared=False, approximate=True)
+
+    def test_monitors_agree_on_paper_example(self, users, schema):
+        exact = create_monitor(users, schema, h=0.01)
+        baseline = create_monitor(users, schema, shared=False)
+        for obj in pe.table1_dataset(16):
+            assert exact.push(obj) == baseline.push(obj)
+
+    def test_track_targets_plumbed_through(self, users, schema):
+        monitor = create_monitor(users, schema, track_targets=True)
+        monitor.push_all(pe.table1_dataset(15))
+        assert monitor.targets_of(1) == {"c1", "c2"}
+
+    def test_custom_measure(self, users, schema):
+        monitor = create_monitor(users, schema, measure="jaccard")
+        assert isinstance(monitor, FilterThenVerify)
+
+
+class TestSocialWorkload:
+    def test_shape_and_determinism(self):
+        first = social_workload(150, n_users=8, seed=5)
+        second = social_workload(150, n_users=8, seed=5)
+        assert first.schema == ("creator", "topic", "format", "region")
+        assert len(first.dataset) == 150
+        assert first.preferences == second.preferences
+        assert all(u.startswith("reader") for u in first.preferences)
+
+    def test_drives_all_monitor_flavours(self):
+        workload = social_workload(200, n_users=12, seed=5,
+                                   communities=3)
+        baseline = create_monitor(workload.preferences, workload.schema,
+                                  shared=False)
+        shared = create_monitor(workload.preferences, workload.schema,
+                                h=0.6)
+        for obj in workload.dataset:
+            assert baseline.push(obj) == shared.push(obj)

@@ -1,0 +1,86 @@
+"""Unit tests for the object/dataset substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Dataset, Object, SchemaMismatchError, UnknownAttributeError
+
+
+class TestObject:
+    def test_values_are_tuples(self):
+        obj = Object(3, ["a", "b"])
+        assert obj.oid == 3
+        assert obj.values == ("a", "b")
+
+    def test_as_dict(self):
+        obj = Object(0, ("x", "y"))
+        assert obj.as_dict(("p", "q")) == {"p": "x", "q": "y"}
+        with pytest.raises(SchemaMismatchError):
+            obj.as_dict(("p",))
+
+    def test_value_lookup(self):
+        obj = Object(0, ("x", "y"))
+        assert obj.value(("p", "q"), "q") == "y"
+        with pytest.raises(UnknownAttributeError):
+            obj.value(("p", "q"), "zzz")
+
+    def test_same_values_ignores_oid(self):
+        assert Object(0, ("x",)).same_values(Object(9, ("x",)))
+        assert not Object(0, ("x",)).same_values(Object(0, ("y",)))
+
+    def test_equality_and_hash(self):
+        assert Object(1, ("a",)) == Object(1, ("a",))
+        assert Object(1, ("a",)) != Object(2, ("a",))
+        assert len({Object(1, ("a",)), Object(1, ("a",))}) == 1
+        assert Object(1, ("a",)) != "other"
+
+    def test_repr(self):
+        assert "oid=5" in repr(Object(5, ("a",)))
+
+
+class TestDataset:
+    def test_append_sequence_and_mapping(self):
+        ds = Dataset(("brand", "cpu"))
+        first = ds.append(("Apple", "dual"))
+        second = ds.append({"cpu": "quad", "brand": "Sony"})
+        assert first.oid == 0 and second.oid == 1
+        assert second.values == ("Sony", "quad")
+
+    def test_append_rejects_bad_rows(self):
+        ds = Dataset(("brand", "cpu"))
+        with pytest.raises(SchemaMismatchError):
+            ds.append(("only-one",))
+        with pytest.raises(SchemaMismatchError):
+            ds.append({"brand": "x"})
+        with pytest.raises(SchemaMismatchError):
+            ds.append({"brand": "x", "cpu": "y", "extra": "z"})
+
+    def test_duplicate_schema_attribute_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            Dataset(("a", "a"))
+
+    def test_extend_and_iteration(self):
+        ds = Dataset(("a",), rows=[("x",), ("y",)])
+        created = ds.extend([("z",)])
+        assert [obj.values[0] for obj in ds] == ["x", "y", "z"]
+        assert created[0].oid == 2
+        assert len(ds) == 3
+        assert ds[1].values == ("y",)
+
+    def test_project(self):
+        ds = Dataset(("a", "b", "c"), rows=[("1", "2", "3")])
+        projected = ds.project(("c", "a"))
+        assert projected.schema == ("c", "a")
+        assert projected[0].values == ("3", "1")
+        with pytest.raises(UnknownAttributeError):
+            ds.project(("nope",))
+
+    def test_domain(self):
+        ds = Dataset(("a",), rows=[("x",), ("y",), ("x",)])
+        assert ds.domain("a") == {"x", "y"}
+        with pytest.raises(UnknownAttributeError):
+            ds.domain("b")
+
+    def test_repr(self):
+        assert "2 objects" in repr(Dataset(("a",), rows=[("x",), ("y",)]))

@@ -1,0 +1,182 @@
+"""Random order generators (repro.orders.generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partial_order import PartialOrder
+from repro.orders.generators import (bipartite_order, forest_order,
+                                     layered_order, mutate_order,
+                                     noisy_chain, preference_population,
+                                     random_order)
+from repro.orders.ops import height, width
+
+VALUES = [f"v{i}" for i in range(8)]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestRandomOrder:
+    def test_domain_complete(self, rng):
+        order = random_order(rng, VALUES, density=0.4)
+        assert order.domain == frozenset(VALUES)
+
+    def test_density_zero_is_antichain(self, rng):
+        assert not random_order(rng, VALUES, density=0.0).pairs
+
+    def test_density_one_is_chain(self, rng):
+        order = random_order(rng, VALUES, density=1.0)
+        assert height(order) == len(VALUES)
+        assert width(order) == 1
+
+    def test_deterministic_given_seed(self):
+        first = random_order(np.random.default_rng(11), VALUES, 0.3)
+        second = random_order(np.random.default_rng(11), VALUES, 0.3)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        orders = {random_order(np.random.default_rng(seed), VALUES, 0.5)
+                  for seed in range(8)}
+        assert len(orders) > 1
+
+
+class TestLayeredOrder:
+    def test_valid_partial_order(self, rng):
+        order = layered_order(rng, VALUES, n_levels=3)
+        assert isinstance(order, PartialOrder)
+        assert order.domain == frozenset(VALUES)
+
+    def test_height_bounded_by_levels(self, rng):
+        for _ in range(5):
+            order = layered_order(rng, VALUES, n_levels=3,
+                                  link_probability=1.0)
+            assert height(order) <= 3
+
+    def test_one_level_is_antichain(self, rng):
+        assert not layered_order(rng, VALUES, n_levels=1).pairs
+
+    def test_rejects_zero_levels(self, rng):
+        with pytest.raises(ValueError):
+            layered_order(rng, VALUES, n_levels=0)
+
+
+class TestForestOrder:
+    def test_tree_has_single_maximal(self, rng):
+        order = forest_order(rng, VALUES, n_roots=1)
+        assert len(order.maximal_values()) == 1
+
+    def test_forest_has_n_roots(self, rng):
+        order = forest_order(rng, VALUES, n_roots=3)
+        assert len(order.maximal_values()) == 3
+
+    def test_hasse_edge_count(self, rng):
+        # every non-root has exactly one Hasse parent in a forest
+        order = forest_order(rng, VALUES, n_roots=2)
+        assert len(order.hasse_edges()) == len(VALUES) - 2
+
+    def test_rejects_zero_roots(self, rng):
+        with pytest.raises(ValueError):
+            forest_order(rng, VALUES, n_roots=0)
+
+    def test_single_value(self, rng):
+        order = forest_order(rng, ["only"], n_roots=1)
+        assert order.domain == frozenset(["only"])
+        assert not order.pairs
+
+
+class TestNoisyChain:
+    def test_keep_all_is_chain(self, rng):
+        order = noisy_chain(rng, VALUES, keep_probability=1.0)
+        assert order == PartialOrder.from_chain(VALUES)
+
+    def test_keep_none_is_antichain(self, rng):
+        assert not noisy_chain(rng, VALUES, keep_probability=0.0).pairs
+
+    def test_never_contradicts_chain(self, rng):
+        chain = PartialOrder.from_chain(VALUES)
+        for _ in range(10):
+            order = noisy_chain(rng, VALUES, keep_probability=0.5)
+            assert order.pairs <= chain.pairs
+
+
+class TestBipartiteOrder:
+    def test_height_at_most_two(self, rng):
+        order = bipartite_order(rng, ["a", "b"], ["c", "d"], 1.0)
+        assert height(order) == 2
+
+    def test_full_linking(self, rng):
+        order = bipartite_order(rng, ["a", "b"], ["c", "d"], 1.0)
+        assert order.pairs == frozenset(
+            [("a", "c"), ("a", "d"), ("b", "c"), ("b", "d")])
+
+    def test_rejects_overlapping_sides(self, rng):
+        with pytest.raises(ValueError):
+            bipartite_order(rng, ["a", "b"], ["b", "c"], 0.5)
+
+    def test_zero_probability_is_antichain(self, rng):
+        assert not bipartite_order(rng, ["a"], ["b"], 0.0).pairs
+
+
+class TestMutateOrder:
+    def test_zero_noise_is_identity(self, rng):
+        base = PartialOrder.from_chain(VALUES)
+        assert mutate_order(rng, base, drop_rate=0.0, add_rate=0.0) == base
+
+    def test_result_is_valid_order(self, rng):
+        base = random_order(rng, VALUES, density=0.5)
+        for _ in range(10):
+            mutated = mutate_order(rng, base, drop_rate=0.3, add_rate=0.2)
+            assert isinstance(mutated, PartialOrder)
+            assert mutated.domain == base.domain
+
+    def test_full_drop_no_add_is_antichain(self, rng):
+        base = PartialOrder.from_chain(VALUES)
+        mutated = mutate_order(rng, base, drop_rate=1.0, add_rate=0.0)
+        assert not mutated.pairs
+        assert mutated.domain == base.domain
+
+
+class TestPreferencePopulation:
+    DOMAINS = {"brand": ["A", "B", "C", "D"], "size": ["s", "m", "l"]}
+
+    def test_population_size_and_attributes(self, rng):
+        population = preference_population(rng, self.DOMAINS, n_users=12)
+        assert len(population) == 12
+        for preference in population.values():
+            assert preference.attributes == frozenset(self.DOMAINS)
+
+    def test_deterministic(self):
+        first = preference_population(
+            np.random.default_rng(3), self.DOMAINS, n_users=6)
+        second = preference_population(
+            np.random.default_rng(3), self.DOMAINS, n_users=6)
+        assert first == second
+
+    def test_single_archetype_low_noise_is_cohesive(self):
+        rng = np.random.default_rng(5)
+        population = preference_population(
+            rng, self.DOMAINS, n_users=6, n_archetypes=1,
+            drop_rate=0.0, add_rate=0.0)
+        # with zero mutation every user equals the archetype
+        preferences = list(population.values())
+        assert all(p == preferences[0] for p in preferences)
+
+    def test_rejects_zero_archetypes(self, rng):
+        with pytest.raises(ValueError):
+            preference_population(rng, self.DOMAINS, n_users=3,
+                                  n_archetypes=0)
+
+    def test_population_is_clusterable(self):
+        from repro.clustering.hierarchical import cluster_users
+        rng = np.random.default_rng(9)
+        population = preference_population(
+            rng, self.DOMAINS, n_users=10, n_archetypes=2,
+            drop_rate=0.05, add_rate=0.0)
+        groups = cluster_users(population, h=0.2,
+                               measure="weighted_jaccard")
+        assert 1 <= len(groups) <= 10
+        assert sum(len(g) for g in groups) == 10

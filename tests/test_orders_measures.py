@@ -1,0 +1,166 @@
+"""Distances between partial orders (repro.orders.measures)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.partial_order import PartialOrder
+from repro.core.preference import common_preference
+from repro.orders.generators import preference_population
+from repro.orders.measures import (agreement_counts, jaccard_distance,
+                                   kendall_distance, precision_recall,
+                                   symmetric_difference)
+from repro.orders.ops import dual
+from tests.strategies import partial_orders
+
+VALUES = ["a", "b", "c", "d"]
+CHAIN = PartialOrder.from_chain(VALUES)
+REVERSED = PartialOrder.from_chain(list(reversed(VALUES)))
+EMPTY = PartialOrder.empty(VALUES)
+
+
+class TestSymmetricDifference:
+    def test_identical(self):
+        assert symmetric_difference(CHAIN, CHAIN) == 0
+
+    def test_disjoint(self):
+        assert symmetric_difference(CHAIN, REVERSED) == 12
+
+    def test_versus_empty(self):
+        assert symmetric_difference(CHAIN, EMPTY) == len(CHAIN.pairs)
+
+    @given(partial_orders(VALUES), partial_orders(VALUES))
+    def test_symmetric(self, first, second):
+        assert (symmetric_difference(first, second)
+                == symmetric_difference(second, first))
+
+    @given(partial_orders(VALUES), partial_orders(VALUES),
+           partial_orders(VALUES))
+    def test_triangle_inequality(self, a, b, c):
+        assert (symmetric_difference(a, c)
+                <= symmetric_difference(a, b) + symmetric_difference(b, c))
+
+
+class TestJaccardDistance:
+    def test_identical_is_zero(self):
+        assert jaccard_distance(CHAIN, CHAIN) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert jaccard_distance(CHAIN, REVERSED) == 1.0
+
+    def test_both_empty_is_zero(self):
+        assert jaccard_distance(EMPTY, EMPTY) == 0.0
+
+    def test_partial_overlap(self):
+        first = PartialOrder([("a", "b"), ("c", "d")])
+        second = PartialOrder([("a", "b")])
+        assert jaccard_distance(first, second) == pytest.approx(0.5)
+
+    @given(partial_orders(VALUES), partial_orders(VALUES))
+    def test_bounded(self, first, second):
+        assert 0.0 <= jaccard_distance(first, second) <= 1.0
+
+
+class TestAgreementCounts:
+    def test_identical_chains(self):
+        counts = agreement_counts(CHAIN, CHAIN)
+        assert counts.agree == 6
+        assert counts.opposed == counts.one_sided == counts.indifferent == 0
+
+    def test_opposed_chains(self):
+        counts = agreement_counts(CHAIN, REVERSED)
+        assert counts.opposed == 6
+        assert counts.agree == 0
+
+    def test_chain_versus_empty(self):
+        counts = agreement_counts(CHAIN, EMPTY)
+        assert counts.one_sided == 6
+        assert counts.indifferent == 0
+
+    def test_total_is_number_of_pairs(self):
+        counts = agreement_counts(CHAIN, REVERSED)
+        assert counts.total == 6  # C(4, 2)
+
+    def test_joint_domain_used(self):
+        first = PartialOrder([("a", "b")])
+        second = PartialOrder([("c", "d")])
+        counts = agreement_counts(first, second)
+        assert counts.total == 6
+        assert counts.one_sided == 2
+        assert counts.indifferent == 4
+
+    @given(partial_orders(VALUES), partial_orders(VALUES))
+    def test_decomposition_is_exhaustive(self, first, second):
+        counts = agreement_counts(first, second)
+        assert counts.total == 6
+
+
+class TestKendallDistance:
+    def test_identical_is_zero(self):
+        assert kendall_distance(CHAIN, CHAIN) == 0.0
+
+    def test_reversed_is_one(self):
+        assert kendall_distance(CHAIN, REVERSED) == 1.0
+
+    def test_half_resolved(self):
+        assert kendall_distance(CHAIN, EMPTY) == 0.5
+
+    def test_empty_domains(self):
+        assert kendall_distance(PartialOrder.empty(),
+                                PartialOrder.empty()) == 0.0
+
+    def test_unnormalized(self):
+        assert kendall_distance(CHAIN, REVERSED, normalize=False) == 6.0
+
+    @given(partial_orders(VALUES), partial_orders(VALUES))
+    def test_bounded_and_symmetric(self, first, second):
+        distance = kendall_distance(first, second)
+        assert 0.0 <= distance <= 1.0
+        assert distance == kendall_distance(second, first)
+
+    @given(partial_orders(VALUES))
+    def test_distance_to_dual_counts_every_pair(self, order):
+        counts = agreement_counts(order, dual(order))
+        # every pair ordered by `order` is opposed in the dual
+        assert counts.one_sided == 0
+        assert counts.agree == 0
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        quality = precision_recall(CHAIN, CHAIN)
+        assert quality.precision == quality.recall == 1.0
+        assert quality.f_measure == 1.0
+
+    def test_superset_has_full_recall(self):
+        subset = PartialOrder([("a", "b")])
+        quality = precision_recall(CHAIN, subset)
+        assert quality.recall == 1.0
+        assert quality.precision == pytest.approx(1 / 6)
+
+    def test_empty_candidate(self):
+        quality = precision_recall(EMPTY, CHAIN)
+        assert quality.precision == 1.0  # nothing claimed
+        assert quality.recall == 0.0
+        assert quality.f_measure == 0.0
+
+    def test_empty_reference(self):
+        quality = precision_recall(CHAIN, EMPTY)
+        assert quality.recall == 1.0
+        assert quality.precision == 0.0
+
+    def test_approx_relation_recall_is_one(self):
+        """Lemma 6.4 via measures: ≻̂_U ⊇ ≻_U gives recall 1."""
+        import numpy as np
+
+        from repro.core.approx import approximate_order
+
+        rng = np.random.default_rng(13)
+        population = preference_population(
+            rng, {"x": VALUES}, n_users=5, n_archetypes=2)
+        orders = [p.order("x") for p in population.values()]
+        exact = common_preference(population.values()).order("x")
+        approx = approximate_order(orders, theta1=100, theta2=0.5)
+        quality = precision_recall(approx, exact)
+        assert quality.recall == 1.0

@@ -1,0 +1,297 @@
+"""Structural operations on partial orders (repro.orders.ops)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import CycleError
+from repro.core.partial_order import PartialOrder
+from repro.orders.ops import (chain_cover, comparability_graph,
+                              count_linear_extensions, dual, height,
+                              is_linear_extension, linear_extensions,
+                              maximum_antichain, merge, mirsky_levels,
+                              topological_order, union_compatible, width)
+from tests.strategies import partial_orders
+
+VALUES = ["a", "b", "c", "d", "e"]
+
+
+@pytest.fixture
+def diamond():
+    """a beats b and c; both beat d."""
+    return PartialOrder([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+@pytest.fixture
+def chain():
+    return PartialOrder.from_chain(VALUES)
+
+
+@pytest.fixture
+def antichain():
+    return PartialOrder.empty(VALUES)
+
+
+class TestDual:
+    def test_reverses_pairs(self, diamond):
+        assert dual(diamond).prefers("d", "a")
+        assert not dual(diamond).prefers("a", "d")
+
+    def test_preserves_domain(self, antichain):
+        assert dual(antichain).domain == antichain.domain
+
+    def test_involution(self, diamond):
+        assert dual(dual(diamond)) == diamond
+
+    @given(partial_orders(VALUES))
+    def test_involution_property(self, order):
+        assert dual(dual(order)) == order
+
+    @given(partial_orders(VALUES))
+    def test_swaps_maximal_and_minimal(self, order):
+        assert dual(order).maximal_values() == order.minimal_values()
+
+
+class TestMerge:
+    def test_compatible_union(self):
+        first = PartialOrder([("a", "b")])
+        second = PartialOrder([("b", "c")])
+        merged = merge(first, second)
+        assert merged.prefers("a", "c")  # transitive consequence
+
+    def test_conflicting_orders_raise(self):
+        first = PartialOrder([("a", "b")])
+        second = PartialOrder([("b", "a")])
+        assert not union_compatible(first, second)
+        with pytest.raises(CycleError):
+            merge(first, second)
+
+    def test_transitive_conflict_detected(self):
+        first = PartialOrder([("a", "b"), ("b", "c")])
+        second = PartialOrder([("c", "a")])
+        with pytest.raises(CycleError):
+            merge(first, second)
+
+    def test_self_merge_is_identity(self, diamond):
+        assert merge(diamond, diamond) == diamond
+
+    @given(partial_orders(VALUES), partial_orders(VALUES))
+    def test_merge_contains_both_when_compatible(self, first, second):
+        if not union_compatible(first, second):
+            return
+        merged = merge(first, second)
+        assert merged.pairs >= first.pairs
+        assert merged.pairs >= second.pairs
+
+    def test_union_compatible_is_symmetric(self):
+        first = PartialOrder([("a", "b"), ("c", "d")])
+        second = PartialOrder([("d", "c")])
+        assert not union_compatible(first, second)
+        assert not union_compatible(second, first)
+
+
+class TestComparabilityGraph:
+    def test_symmetric(self, diamond):
+        graph = comparability_graph(diamond)
+        for node, neighbours in graph.items():
+            for other in neighbours:
+                assert node in graph[other]
+
+    def test_incomparable_pair_absent(self, diamond):
+        graph = comparability_graph(diamond)
+        assert "c" not in graph["b"]
+
+    def test_antichain_has_no_edges(self, antichain):
+        assert all(not neighbours
+                   for neighbours in comparability_graph(antichain).values())
+
+
+class TestHeightWidth:
+    def test_chain(self, chain):
+        assert height(chain) == 5
+        assert width(chain) == 1
+
+    def test_antichain(self, antichain):
+        assert height(antichain) == 1
+        assert width(antichain) == 5
+
+    def test_diamond(self, diamond):
+        assert height(diamond) == 3
+        assert width(diamond) == 2
+
+    def test_empty_order(self):
+        assert height(PartialOrder.empty()) == 0
+        assert width(PartialOrder.empty()) == 0
+
+    def test_two_disjoint_chains(self):
+        order = PartialOrder([("a", "b"), ("c", "d")])
+        assert height(order) == 2
+        assert width(order) == 2
+
+    @given(partial_orders(VALUES))
+    def test_dilworth_mirsky_bound(self, order):
+        # Every partition into antichains needs >= height parts and every
+        # chain cover needs >= width parts => h * w >= |domain|.
+        assert height(order) * width(order) >= len(order.domain)
+
+    @given(partial_orders(VALUES))
+    def test_dual_preserves_height_and_width(self, order):
+        assert height(dual(order)) == height(order)
+        assert width(dual(order)) == width(order)
+
+
+class TestMaximumAntichain:
+    def test_chain_yields_singleton(self, chain):
+        assert len(maximum_antichain(chain)) == 1
+
+    def test_antichain_yields_everything(self, antichain):
+        assert maximum_antichain(antichain) == frozenset(VALUES)
+
+    def test_diamond(self, diamond):
+        assert maximum_antichain(diamond) == frozenset({"b", "c"})
+
+    def test_empty_order(self):
+        assert maximum_antichain(PartialOrder.empty()) == frozenset()
+
+    @given(partial_orders(VALUES))
+    def test_witness_properties(self, order):
+        witness = maximum_antichain(order)
+        assert len(witness) == width(order)
+        assert witness <= order.domain
+        for x in witness:
+            for y in witness:
+                assert not order.prefers(x, y)
+
+
+class TestChainCover:
+    def test_cover_size_equals_width(self, diamond):
+        assert len(chain_cover(diamond)) == width(diamond)
+
+    def test_chains_partition_domain(self, diamond):
+        cover = chain_cover(diamond)
+        flattened = [v for chain_ in cover for v in chain_]
+        assert sorted(flattened) == sorted(diamond.domain)
+
+    def test_chains_are_chains(self, diamond):
+        for chain_ in chain_cover(diamond):
+            for better, worse in zip(chain_, chain_[1:]):
+                assert diamond.prefers(better, worse)
+
+    @given(partial_orders(VALUES))
+    def test_cover_properties_hold_generally(self, order):
+        cover = chain_cover(order)
+        assert len(cover) == width(order)
+        flattened = [v for chain_ in cover for v in chain_]
+        assert sorted(flattened, key=repr) == sorted(order.domain, key=repr)
+        for chain_ in cover:
+            for better, worse in zip(chain_, chain_[1:]):
+                assert order.prefers(better, worse)
+
+
+class TestMirskyLevels:
+    def test_level_count_equals_height(self, diamond):
+        assert len(mirsky_levels(diamond)) == height(diamond)
+
+    def test_levels_are_antichains(self, diamond):
+        for level in mirsky_levels(diamond):
+            for x in level:
+                for y in level:
+                    assert not diamond.prefers(x, y)
+
+    def test_levels_partition_domain(self, chain):
+        levels = mirsky_levels(chain)
+        assert sorted(v for level in levels for v in level) == sorted(
+            chain.domain)
+
+    @given(partial_orders(VALUES))
+    def test_mirsky_theorem(self, order):
+        levels = mirsky_levels(order)
+        assert len(levels) == height(order)
+        for level in levels:
+            for x in level:
+                for y in level:
+                    assert not order.prefers(x, y)
+
+
+class TestTopologicalOrder:
+    def test_is_linear_extension(self, diamond):
+        assert is_linear_extension(diamond, topological_order(diamond))
+
+    def test_deterministic(self, diamond):
+        assert topological_order(diamond) == topological_order(diamond)
+
+    def test_antichain_sorted_lexicographically(self, antichain):
+        assert topological_order(antichain) == sorted(VALUES, key=repr)
+
+    @given(partial_orders(VALUES))
+    def test_always_valid(self, order):
+        assert is_linear_extension(order, topological_order(order))
+
+
+class TestIsLinearExtension:
+    def test_rejects_wrong_length(self, chain):
+        assert not is_linear_extension(chain, VALUES[:-1])
+
+    def test_rejects_wrong_values(self, chain):
+        assert not is_linear_extension(chain, VALUES[:-1] + ["z"])
+
+    def test_rejects_violating_order(self, chain):
+        assert not is_linear_extension(chain, list(reversed(VALUES)))
+
+    def test_accepts_chain_itself(self, chain):
+        assert is_linear_extension(chain, VALUES)
+
+
+class TestLinearExtensions:
+    def test_chain_has_one(self, chain):
+        assert list(linear_extensions(chain)) == [VALUES]
+
+    def test_antichain_has_factorial_many(self):
+        order = PartialOrder.empty(["a", "b", "c"])
+        assert len(list(linear_extensions(order))) == math.factorial(3)
+
+    def test_all_yielded_are_extensions(self, diamond):
+        for extension in linear_extensions(diamond):
+            assert is_linear_extension(diamond, extension)
+
+    def test_limit(self):
+        order = PartialOrder.empty(["a", "b", "c", "d"])
+        assert len(list(linear_extensions(order, limit=5))) == 5
+
+    def test_no_duplicates(self, diamond):
+        extensions = [tuple(e) for e in linear_extensions(diamond)]
+        assert len(extensions) == len(set(extensions))
+
+
+class TestCountLinearExtensions:
+    def test_chain(self, chain):
+        assert count_linear_extensions(chain) == 1
+
+    def test_antichain(self, antichain):
+        assert count_linear_extensions(antichain) == math.factorial(5)
+
+    def test_diamond(self, diamond):
+        # a first, d last, b/c in either order.
+        assert count_linear_extensions(diamond) == 2
+
+    def test_empty(self):
+        assert count_linear_extensions(PartialOrder.empty()) == 1
+
+    def test_rejects_large_domain(self):
+        order = PartialOrder.empty(range(25))
+        with pytest.raises(ValueError):
+            count_linear_extensions(order)
+
+    @given(partial_orders(["a", "b", "c", "d"]))
+    def test_matches_enumeration(self, order):
+        assert count_linear_extensions(order) == len(
+            list(linear_extensions(order)))
+
+    @given(partial_orders(VALUES))
+    def test_dual_has_same_count(self, order):
+        assert (count_linear_extensions(order)
+                == count_linear_extensions(dual(order)))

@@ -1,0 +1,176 @@
+"""The paper's worked examples, asserted end to end.
+
+One test per example keeps failures diagnosable: a regression points at
+the exact piece of the paper that broke.  Object ids are 0-based (o_k of
+the paper is id k-1); assertions use paper-style 1-based ids for
+readability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (Baseline, Cluster, FilterThenVerify,
+                   FilterThenVerifyApprox)
+from repro.data import paper_example as pe
+
+
+def ids1(collection) -> set[int]:
+    """1-based object ids of objects or raw ids."""
+    return {(x.oid if hasattr(x, "oid") else x) + 1 for x in collection}
+
+
+@pytest.fixture()
+def run_baseline(users, schema):
+    def run(limit: int):
+        monitor = Baseline(users, schema)
+        results = [monitor.push(o) for o in pe.table1_dataset(limit)]
+        return monitor, results
+    return run
+
+
+class TestExample11:
+    """Example 1.1 — the motivating walkthrough."""
+
+    def test_c1_prefers_o2_to_o1(self, c1, schema, table1):
+        assert c1.dominates(table1[1], table1[0], schema)
+
+    def test_c1_indifferent_between_o1_and_o3(self, c1, schema, table1):
+        assert not c1.dominates(table1[0], table1[2], schema)
+        assert not c1.dominates(table1[2], table1[0], schema)
+
+    def test_o15_dominated_by_o2_for_c1(self, c1, schema, table1):
+        assert c1.dominates(table1[1], table1[14], schema)
+
+    def test_o15_pareto_for_c2(self, run_baseline):
+        monitor, results = run_baseline(15)
+        assert results[14] == frozenset({"c2"})
+        assert ids1(monitor.frontier_ids("c2")) == {2, 3, 15}
+
+
+class TestExample35:
+    """Example 3.5 — frontiers and target users over o1..o15."""
+
+    def test_sample_preference_tuples(self, c1, c2):
+        assert c1.order("display").prefers("10-12.9", "16-18.9")
+        assert c1.order("brand").prefers("Apple", "Samsung")
+        assert c1.order("cpu").prefers("dual", "triple")
+        assert c2.order("display").prefers("16-18.9", "19-up")
+        assert c2.order("brand").prefers("Toshiba", "Sony")
+        assert c2.order("cpu").prefers("triple", "dual")
+
+    def test_frontiers(self, run_baseline):
+        monitor, _ = run_baseline(15)
+        assert ids1(monitor.frontier_ids("c1")) == {2}
+        assert ids1(monitor.frontier_ids("c2")) == {2, 3, 15}
+
+    def test_target_users(self, run_baseline):
+        _, results = run_baseline(15)
+        assert results[1] == frozenset({"c1", "c2"})     # C_o2
+        assert results[2] == frozenset({"c2"})           # C_o3
+        assert results[14] == frozenset({"c2"})          # C_o15
+
+
+class TestExample44:
+    """Example 4.4 — the common CPU preference relation."""
+
+    def test_cpu_relations(self, c1, c2):
+        assert c1.order("cpu").pairs == {
+            ("dual", "single"), ("dual", "quad"), ("dual", "triple"),
+            ("triple", "single"), ("quad", "single")}
+        assert c2.order("cpu").pairs == {
+            ("dual", "single"), ("triple", "single"), ("quad", "single"),
+            ("triple", "dual"), ("quad", "dual"), ("quad", "triple")}
+
+    def test_common_cpu(self, virtual_u):
+        assert virtual_u.order("cpu").pairs == {
+            ("dual", "single"), ("triple", "single"), ("quad", "single")}
+
+    def test_pareto_frontier_of_u(self, virtual_u, schema):
+        monitor = Baseline({"U": virtual_u}, schema)
+        for obj in pe.table1_dataset(15):
+            monitor.push(obj)
+        assert ids1(monitor.frontier_ids("U")) == {2, 3, 10, 15}
+
+
+class TestExample47:
+    """Example 4.7 — Theorem 4.5 on the running example."""
+
+    def test_containments(self, users, virtual_u, schema):
+        baseline = Baseline(dict(users, U=virtual_u), schema)
+        for obj in pe.table1_dataset(15):
+            baseline.push(obj)
+        pu = baseline.frontier_ids("U")
+        pc1 = baseline.frontier_ids("c1")
+        pc2 = baseline.frontier_ids("c2")
+        assert pc1 | pc2 <= pu
+        assert ids1(pu) == {2, 3, 10, 15}
+
+
+class TestExample48:
+    """Example 4.8 — FilterThenVerify's walkthrough."""
+
+    def test_walkthrough(self, users, schema):
+        monitor = FilterThenVerify([Cluster.exact(users)], schema)
+        table = pe.table1_dataset(16)
+        for obj in list(table)[:14]:
+            monitor.push(obj)
+        assert ids1(o.oid for o in monitor.shared_frontier("c1")) == \
+            {2, 3, 7, 10}
+        co15 = monitor.push(table[14])
+        assert co15 == frozenset({"c2"})
+        assert ids1(o.oid for o in monitor.shared_frontier("c1")) == \
+            {2, 3, 10, 15}
+        assert ids1(monitor.frontier_ids("c2")) == {2, 3, 15}
+        co16 = monitor.push(table[15])
+        assert co16 == frozenset()
+        # o16 was rejected at the cluster level: the per-user frontiers
+        # never saw it.
+        assert 15 not in monitor.frontier_ids("c1")
+        assert 15 not in monitor.frontier_ids("c2")
+
+
+class TestExample63:
+    """Example 6.3 — the approximate walkthrough with Û."""
+
+    def test_u_hat_contains_u(self, virtual_u, virtual_u_hat):
+        for attribute in virtual_u.attributes:
+            assert virtual_u_hat.order(attribute).pairs >= \
+                virtual_u.order(attribute).pairs
+
+    def test_walkthrough(self, users, schema, virtual_u_hat):
+        monitor = FilterThenVerifyApprox(
+            [Cluster(users, virtual_u_hat)], schema)
+        table = pe.table1_dataset(15)
+        for obj in list(table)[:14]:
+            monitor.push(obj)
+        assert ids1(o.oid for o in monitor.shared_frontier("c1")) == \
+            {2, 7}
+        co15 = monitor.push(table[14])
+        assert co15 == frozenset({"c2"})
+        assert ids1(o.oid for o in monitor.shared_frontier("c1")) == \
+            {2, 15}
+        assert ids1(monitor.frontier_ids("c1")) == {2}
+        assert ids1(monitor.frontier_ids("c2")) == {2, 15}
+
+    def test_theorem_6_5_on_example(self, users, schema, virtual_u,
+                                    virtual_u_hat):
+        exact = Baseline({"U": virtual_u}, schema)
+        approx = Baseline({"Uh": virtual_u_hat}, schema)
+        for obj in pe.table1_dataset(15):
+            exact.push(obj)
+            approx.push(obj)
+        assert approx.frontier_ids("Uh") <= exact.frontier_ids("U")
+
+
+class TestDisplayLabels:
+    def test_mapping(self):
+        assert pe.display_label(9.0) == "9.9-under"
+        assert pe.display_label(12.0) == "10-12.9"
+        assert pe.display_label(14.5) == "13-15.9"
+        assert pe.display_label(17.0) == "16-18.9"
+        assert pe.display_label(19.5) == "19-up"
+
+    def test_table1_uses_labels(self, table1):
+        labels = {obj.values[0] for obj in table1}
+        assert labels <= set(pe.DISPLAY_LABELS)

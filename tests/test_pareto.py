@@ -1,0 +1,133 @@
+"""Tests for incremental Pareto-frontier maintenance (Algorithm 1 core)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro import Counter, Object, ParetoFrontier, PartialOrder
+from repro.core.baseline import brute_force_frontier
+from tests.strategies import DOMAINS, datasets, preferences
+
+SCHEMA = tuple(DOMAINS)
+
+
+def chain_frontier(*chains, counter=None):
+    orders = tuple(PartialOrder.from_chain(chain) for chain in chains)
+    return ParetoFrontier(orders, counter)
+
+
+class TestAdd:
+    def test_first_object_is_pareto(self):
+        frontier = chain_frontier(["a", "b"])
+        result = frontier.add(Object(0, ("b",)))
+        assert result.is_pareto and not result.evicted
+        assert len(frontier) == 1
+
+    def test_dominated_object_rejected(self):
+        frontier = chain_frontier(["a", "b"])
+        frontier.add(Object(0, ("a",)))
+        result = frontier.add(Object(1, ("b",)))
+        assert not result.is_pareto
+        assert frontier.ids == {0}
+
+    def test_dominating_object_evicts(self):
+        frontier = chain_frontier(["a", "b"], ["x", "y"])
+        frontier.add(Object(0, ("b", "x")))
+        frontier.add(Object(1, ("a", "y")))
+        result = frontier.add(Object(2, ("a", "x")))
+        assert result.is_pareto
+        assert {obj.oid for obj in result.evicted} == {0, 1}
+        assert frontier.ids == {2}
+
+    def test_identical_objects_coexist(self):
+        frontier = chain_frontier(["a", "b"])
+        frontier.add(Object(0, ("a",)))
+        result = frontier.add(Object(1, ("a",)))
+        assert result.is_pareto and not result.evicted
+        assert frontier.ids == {0, 1}
+
+    def test_members_keep_arrival_order(self):
+        frontier = chain_frontier(["a", "b"], ["x", "y"])
+        frontier.add(Object(0, ("a", "y")))
+        frontier.add(Object(1, ("b", "x")))
+        assert [obj.oid for obj in frontier.members] == [0, 1]
+
+    def test_partial_eviction_keeps_survivors(self):
+        orders = (PartialOrder.from_chain(["a", "b"]),
+                  PartialOrder.empty(["x", "y", "z"]))
+        frontier = ParetoFrontier(orders)
+        frontier.add(Object(0, ("b", "x")))   # will be evicted
+        frontier.add(Object(1, ("a", "y")))   # survives (y incomparable)
+        frontier.add(Object(2, ("b", "z")))   # will be evicted
+        result = frontier.add(Object(3, ("a", "x")))
+        assert result.is_pareto
+        assert {obj.oid for obj in result.evicted} == {0}
+        # (a, x) dominates (b, x); (b, z) survives because z is unordered.
+        assert frontier.ids == {1, 2, 3}
+
+    def test_counter_counts_each_member_comparison(self):
+        counter = Counter()
+        frontier = chain_frontier(["a", "b", "c"], counter=counter)
+        frontier.add(Object(0, ("b",)))
+        assert counter.value == 0
+        frontier.add(Object(1, ("c",)))
+        assert counter.value == 1
+
+
+class TestSlidingSupport:
+    def test_contains_and_discard(self):
+        frontier = chain_frontier(["a", "b"])
+        obj = Object(0, ("a",))
+        frontier.add(obj)
+        assert obj in frontier and 0 in frontier
+        assert frontier.discard(obj)
+        assert not frontier.discard(0)
+        assert len(frontier) == 0
+
+    def test_dominated_scans_members(self):
+        frontier = chain_frontier(["a", "b"])
+        frontier.add(Object(0, ("a",)))
+        assert frontier.dominated(Object(1, ("b",)))
+        assert not frontier.dominated(Object(2, ("a",)))
+
+    def test_mend_insert(self):
+        frontier = chain_frontier(["a", "b", "c"])
+        frontier.add(Object(0, ("a",)))
+        assert not frontier.mend_insert(Object(1, ("b",)))
+        frontier.discard(0)
+        assert frontier.mend_insert(Object(1, ("b",)))
+        assert frontier.mend_insert(Object(1, ("b",)))  # already in: True
+        assert frontier.ids == {1}
+
+    def test_evict_dominated_by(self):
+        frontier = chain_frontier(["a", "b", "c"])
+        frontier.add(Object(0, ("b",)))
+        # Manually stage a second incomparable-ish member via append.
+        frontier.append_unchecked(Object(1, ("c",)))
+        evicted = frontier.evict_dominated_by(Object(2, ("a",)))
+        assert {obj.oid for obj in evicted} == {0, 1}
+        assert len(frontier) == 0
+
+    def test_clear(self):
+        frontier = chain_frontier(["a", "b"])
+        frontier.add(Object(0, ("a",)))
+        frontier.clear()
+        assert len(frontier) == 0 and frontier.ids == frozenset()
+
+    def test_repr(self):
+        assert "0 members" in repr(chain_frontier(["a"]))
+
+
+class TestAgainstBruteForce:
+    @given(preferences(), datasets(max_objects=20))
+    def test_incremental_matches_brute_force(self, pref, dataset):
+        """The incremental frontier equals the quadratic recomputation
+        after every single insertion, not just at the end."""
+        frontier = ParetoFrontier(pref.aligned(SCHEMA))
+        seen = []
+        for obj in dataset:
+            frontier.add(obj)
+            seen.append(obj)
+            expected = {o.oid for o in
+                        brute_force_frontier(pref, seen, SCHEMA)}
+            assert frontier.ids == expected

@@ -1,0 +1,243 @@
+"""Unit and property tests for strict partial orders (Definition 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (CycleError, PartialOrder, PartialOrderBuilder,
+                   ReflexiveTupleError, is_strict_partial_order,
+                   transitive_closure)
+from tests.strategies import partial_orders
+
+ABC = ["a", "b", "c", "d", "e"]
+
+
+class TestConstruction:
+    def test_closure_is_taken(self):
+        order = PartialOrder([("a", "b"), ("b", "c")])
+        assert order.prefers("a", "c")
+        assert ("a", "c") in order.pairs
+
+    def test_reflexive_tuple_rejected(self):
+        with pytest.raises(ReflexiveTupleError):
+            PartialOrder([("a", "a")])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CycleError) as exc:
+            PartialOrder([("a", "b"), ("b", "c"), ("c", "a")])
+        assert exc.value.cycle is not None
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            PartialOrder([("a", "b"), ("b", "a")])
+
+    def test_empty(self):
+        order = PartialOrder.empty(["x", "y"])
+        assert not order
+        assert order.domain == {"x", "y"}
+        assert not order.prefers("x", "y")
+
+    def test_from_chain(self):
+        order = PartialOrder.from_chain(["a", "b", "c"])
+        assert order.prefers("a", "c")
+        assert not order.prefers("c", "a")
+        assert len(order) == 3
+
+    def test_from_levels(self):
+        order = PartialOrder.from_levels([["a"], ["b", "c"], ["d"]])
+        assert order.prefers("a", "b")
+        assert order.prefers("b", "d")
+        assert not order.prefers("b", "c")
+        assert not order.prefers("c", "b")
+        assert len(order) == 2 + 2 + 1
+
+    def test_from_scores_is_pareto_dominance(self):
+        order = PartialOrder.from_scores({
+            "a": (4.0, 10), "b": (4.0, 5), "c": (3.0, 12), "d": (5.0, 1),
+        })
+        assert order.prefers("a", "b")      # equal rating, more count
+        assert not order.prefers("a", "c")  # count vs rating trade-off
+        assert not order.prefers("a", "d")
+        assert not order.prefers("d", "a")
+
+    def test_domain_includes_isolated_values(self):
+        order = PartialOrder([("a", "b")], domain=["a", "b", "z"])
+        assert "z" in order.domain
+        assert "z" in order.maximal_values()
+        assert order.weight("z") == 1.0
+
+    def test_transitive_closure_helper(self):
+        closure = transitive_closure([("a", "b"), ("b", "c")])
+        assert closure["a"] == {"b", "c"}
+        assert closure["c"] == set()
+
+    def test_is_strict_partial_order_predicate(self):
+        assert is_strict_partial_order([("a", "b"), ("b", "c")])
+        assert not is_strict_partial_order([("a", "b"), ("b", "a")])
+        assert not is_strict_partial_order([("a", "a")])
+
+
+class TestStructure:
+    def test_hasse_removes_transitive_edges(self):
+        order = PartialOrder([("a", "b"), ("b", "c"), ("a", "c")])
+        assert order.hasse_edges() == {("a", "b"), ("b", "c")}
+        assert order.hasse_children("a") == {"b"}
+
+    def test_maximal_and_minimal_values(self):
+        order = PartialOrder([("a", "b"), ("c", "b")])
+        assert order.maximal_values() == {"a", "c"}
+        assert order.minimal_values() == {"b"}
+
+    def test_depths_use_hasse_distances(self):
+        # a > b > c plus the closure edge (a, c): depth(c) must be 2, not 1.
+        order = PartialOrder([("a", "b"), ("b", "c"), ("a", "c")])
+        assert order.depth("a") == 0
+        assert order.depth("b") == 1
+        assert order.depth("c") == 2
+        assert order.weight("c") == pytest.approx(1 / 3)
+
+    def test_depth_takes_min_over_maximals(self):
+        # c is reachable at distance 2 from a but 1 from m.
+        order = PartialOrder([("a", "b"), ("b", "c"), ("m", "c")])
+        assert order.depth("c") == 1
+
+    def test_depth_of_unknown_value_is_zero(self):
+        order = PartialOrder([("a", "b")])
+        assert order.depth("nope") == 0
+        assert order.weight("nope") == 1.0
+
+    def test_describe_lists_levels(self):
+        order = PartialOrder([("a", "b")])
+        text = order.describe()
+        assert "level 0" in text and "level 1" in text
+        assert PartialOrder.empty().describe() == "(empty order)"
+
+
+class TestSetOperations:
+    def test_intersection(self):
+        left = PartialOrder([("a", "b"), ("b", "c")])
+        right = PartialOrder([("a", "b"), ("c", "b")])
+        both = left.intersection(right)
+        assert both.pairs == {("a", "b")}
+        assert both.domain == {"a", "b", "c"}
+
+    def test_union_and_difference_pairs(self):
+        left = PartialOrder([("a", "b")])
+        right = PartialOrder([("b", "a")])
+        assert left.union_pairs(right) == {("a", "b"), ("b", "a")}
+        assert left.difference_pairs(right) == {("a", "b")}
+
+    def test_restricted_to(self):
+        order = PartialOrder([("a", "b"), ("b", "c")])
+        sub = order.restricted_to(["a", "c"])
+        assert sub.pairs == {("a", "c")}
+
+    def test_extended_with(self):
+        order = PartialOrder([("a", "b")])
+        bigger = order.extended_with(("b", "c"))
+        assert bigger.prefers("a", "c")
+        with pytest.raises(CycleError):
+            bigger.extended_with(("c", "a"))
+
+    def test_can_extend_with(self):
+        order = PartialOrder([("a", "b")])
+        assert order.can_extend_with(("b", "c"))
+        assert not order.can_extend_with(("b", "a"))
+        assert not order.can_extend_with(("x", "x"))
+
+
+class TestEquality:
+    def test_equality_ignores_isolated_domain(self):
+        assert PartialOrder([("a", "b")]) == PartialOrder(
+            [("a", "b")], domain=["z"])
+
+    def test_hash_consistency(self):
+        a = PartialOrder([("a", "b"), ("b", "c")])
+        b = PartialOrder([("b", "c"), ("a", "b"), ("a", "c")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_not_equal_to_other_types(self):
+        assert PartialOrder([]) != "nope"
+
+    def test_repr_is_bounded(self):
+        order = PartialOrder.from_chain(list("abcdefgh"))
+        assert "..." in repr(order)
+
+
+class TestBuilder:
+    def test_try_add_maintains_closure(self):
+        builder = PartialOrderBuilder(["a", "b", "c"])
+        assert builder.try_add(("a", "b"))
+        assert builder.try_add(("b", "c"))
+        assert builder.prefers("a", "c")
+        assert builder.size == 3
+
+    def test_try_add_rejects_cycle(self):
+        builder = PartialOrderBuilder()
+        builder.try_add(("a", "b"))
+        assert not builder.try_add(("b", "a"))
+        assert not builder.try_add(("x", "x"))
+
+    def test_try_add_implied_pair_is_noop(self):
+        builder = PartialOrderBuilder()
+        builder.try_add(("a", "b"))
+        builder.try_add(("b", "c"))
+        size = builder.size
+        assert builder.try_add(("a", "c"))
+        assert builder.size == size
+
+    def test_build_matches_incremental_state(self):
+        builder = PartialOrderBuilder(["d"])
+        builder.try_add(("a", "b"))
+        builder.try_add(("c", "a"))
+        order = builder.build()
+        assert order.pairs == {("a", "b"), ("c", "a"), ("c", "b")}
+        assert "d" in order.domain
+
+
+class TestProperties:
+    @given(partial_orders(ABC))
+    def test_irreflexive_and_asymmetric(self, order):
+        for x, y in order.pairs:
+            assert x != y
+            assert not order.prefers(y, x)
+
+    @given(partial_orders(ABC))
+    def test_transitive(self, order):
+        for x, y in order.pairs:
+            for y2, z in order.pairs:
+                if y == y2:
+                    assert order.prefers(x, z) or x == z
+
+    @given(partial_orders(ABC))
+    def test_hasse_closure_roundtrip(self, order):
+        rebuilt = PartialOrder(order.hasse_edges(), order.domain)
+        assert rebuilt == order
+
+    @given(partial_orders(ABC), partial_orders(ABC))
+    def test_intersection_is_subset_and_valid(self, left, right):
+        both = left.intersection(right)
+        assert both.pairs <= left.pairs
+        assert both.pairs <= right.pairs
+        assert both.pairs == left.pairs & right.pairs
+
+    @given(partial_orders(ABC))
+    def test_every_value_reaches_a_maximal(self, order):
+        maximals = order.maximal_values()
+        for value in order.domain:
+            assert order.depth(value) >= 0
+            if value in maximals:
+                assert order.depth(value) == 0
+            else:
+                assert order.depth(value) >= 1
+
+    @given(partial_orders(ABC), st.data())
+    def test_builder_agrees_with_batch_construction(self, order, data):
+        pairs = data.draw(st.permutations(sorted(order.pairs)))
+        builder = PartialOrderBuilder(order.domain)
+        for pair in pairs:
+            assert builder.try_add(pair)
+        assert builder.build() == order

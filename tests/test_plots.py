@@ -1,0 +1,69 @@
+"""Text charts (repro.bench.plots)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plots import ascii_chart
+from repro.bench.runner import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        "fig-demo", "demo title",
+        ("objects", "base_ms", "base_cmp", "ftva_cmp"),
+        [(100, 5.0, 1_000, 100),
+         (200, 9.0, 4_000, 250),
+         (300, 14.0, 9_000, 400),
+         (400, 20.0, 16_000, 600)])
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self, result):
+        chart = ascii_chart(result)
+        assert "fig-demo: demo title" in chart
+        assert "x = base_cmp" in chart
+        assert "o = ftva_cmp" in chart
+
+    def test_defaults_to_cmp_columns(self, result):
+        chart = ascii_chart(result)
+        assert "base_ms" not in chart
+
+    def test_x_axis_extent(self, result):
+        chart = ascii_chart(result)
+        assert "100" in chart and "400" in chart
+
+    def test_series_ordering_visible(self, result):
+        """The dominated series' symbols sit on lower rows (bigger row
+        index) than the dominating series' at each x position."""
+        chart = ascii_chart(result, series=("base_cmp", "ftva_cmp"))
+        lines = [line.split("|", 1)[1] for line in chart.splitlines()
+                 if "|" in line]
+        first_x = {symbol: row for row, line in enumerate(lines)
+                   for symbol, cell in (("x", line[0]), ("o", line[0]))
+                   if cell == symbol}
+        assert first_x["x"] < first_x["o"]   # base above ftva
+
+    def test_explicit_columns(self, result):
+        chart = ascii_chart(result, series=("base_ms",), x="objects",
+                            log_y=False)
+        assert "x = base_ms" in chart
+
+    def test_unknown_column_rejected(self, result):
+        with pytest.raises(ValueError, match="unknown columns"):
+            ascii_chart(result, series=("nope",))
+
+    def test_empty_rows(self):
+        empty = ExperimentResult("e", "t", ("x", "a_cmp"), [])
+        assert ascii_chart(empty) == "(no rows)"
+
+    def test_single_row(self):
+        one = ExperimentResult("e", "t", ("x", "a_cmp"), [(5, 123)])
+        chart = ascii_chart(one)
+        assert "x = a_cmp" in chart
+
+    def test_doctest_skip_marker_is_honest(self, result):
+        # the module docstring shows usage; make sure it actually runs
+        chart = ascii_chart(result, series=("base_cmp",))
+        assert isinstance(chart, str) and chart

@@ -1,0 +1,105 @@
+"""Tests for Preference and common preference relations (Definition 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro import (EmptyClusterError, PartialOrder, Preference,
+                   UnknownAttributeError, common_preference)
+from tests.strategies import preferences, user_sets
+
+
+class TestPreferenceBasics:
+    def test_order_access(self):
+        brand = PartialOrder.from_chain(["a", "b"])
+        pref = Preference({"brand": brand})
+        assert pref.order("brand") is brand
+        assert pref["brand"] is brand
+        assert not pref.order("unknown")  # empty order, not an error
+        with pytest.raises(UnknownAttributeError):
+            pref["unknown"]
+
+    def test_attributes_and_size(self):
+        pref = Preference({
+            "a": PartialOrder.from_chain(["x", "y", "z"]),
+            "b": PartialOrder.empty(),
+        })
+        assert pref.attributes == {"a", "b"}
+        assert pref.size() == 3
+
+    def test_aligned_is_cached_and_ordered(self):
+        a = PartialOrder.from_chain(["1", "2"])
+        b = PartialOrder.from_chain(["x", "y"])
+        pref = Preference({"a": a, "b": b})
+        assert pref.aligned(("b", "a")) == (b, a)
+        assert pref.aligned(("b", "a")) is pref.aligned(("b", "a"))
+
+    def test_equality_treats_missing_as_empty(self):
+        a = Preference({"x": PartialOrder.from_chain(["1", "2"])})
+        b = Preference({"x": PartialOrder.from_chain(["1", "2"]),
+                        "y": PartialOrder.empty()})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != "nope"
+
+    def test_repr(self):
+        pref = Preference({"x": PartialOrder.from_chain(["1", "2"])})
+        assert "x: 1 tuples" in repr(pref)
+
+
+class TestCommonPreference:
+    def test_intersection_example_4_4(self):
+        """The CPU common preference relation of Example 4.4."""
+        c1 = PartialOrder([("dual", "single"), ("dual", "quad"),
+                           ("dual", "triple"), ("triple", "single"),
+                           ("quad", "single")])
+        c2 = PartialOrder.from_chain(["quad", "triple", "dual", "single"])
+        common = Preference({"cpu": c1}).intersection(
+            Preference({"cpu": c2}))
+        assert common.order("cpu").pairs == {
+            ("dual", "single"), ("triple", "single"), ("quad", "single")}
+
+    def test_common_preference_requires_users(self):
+        with pytest.raises(EmptyClusterError):
+            common_preference([])
+
+    def test_common_of_single_user_is_the_user(self):
+        pref = Preference({"x": PartialOrder.from_chain(["1", "2"])})
+        assert common_preference([pref]) == pref
+
+    def test_intersection_covers_union_of_attributes(self):
+        a = Preference({"x": PartialOrder.from_chain(["1", "2"])})
+        b = Preference({"y": PartialOrder.from_chain(["p", "q"])})
+        common = a.intersection(b)
+        assert common.attributes == {"x", "y"}
+        assert not common.order("x")
+        assert not common.order("y")
+
+
+class TestCommonPreferenceProperties:
+    @given(user_sets(min_users=2, max_users=4))
+    def test_theorem_4_2_intersection_is_partial_order(self, users):
+        """Theorem 4.2 — ≻_U is a strict partial order (valid by
+        construction: PartialOrder would raise otherwise)."""
+        common = common_preference(users.values())
+        for attribute in common.attributes:
+            order = common.order(attribute)
+            for x, y in order.pairs:
+                assert not order.prefers(y, x)
+
+    @given(user_sets(min_users=2, max_users=4))
+    def test_common_tuples_are_shared_by_every_user(self, users):
+        common = common_preference(users.values())
+        for attribute in common.attributes:
+            for pair in common.order(attribute).pairs:
+                for pref in users.values():
+                    assert pair in pref.order(attribute).pairs
+
+    @given(preferences(), preferences())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(preferences())
+    def test_intersection_idempotent(self, pref):
+        assert pref.intersection(pref) == pref

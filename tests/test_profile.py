@@ -1,0 +1,110 @@
+"""Workload profiling (repro.data.profile)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.profile import (AttributeProfile, WorkloadProfile,
+                                format_profile, profile_workload)
+from repro.data.retail import retail_workload
+from repro.data.synthetic import Workload
+from repro.data.objects import Dataset
+from repro.core.preference import Preference
+from repro.core.partial_order import PartialOrder
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return retail_workload(n_products=120, n_users=10, seed=17)
+
+
+@pytest.fixture(scope="module")
+def profile(workload):
+    return profile_workload(workload, sample_users=6)
+
+
+class TestProfileWorkload:
+    def test_counts(self, workload, profile):
+        assert profile.n_objects == 120
+        assert profile.n_users == 10
+        assert [a.attribute for a in profile.attributes] == list(
+            workload.schema)
+
+    def test_attribute_statistics_sane(self, profile):
+        for attr in profile.attributes:
+            assert attr.domain_size >= 1
+            assert 0.0 < attr.top_share <= 1.0
+            assert attr.mean_pairs >= 0.0
+            assert attr.mean_height >= 1.0
+            assert attr.mean_width >= 1.0
+
+    def test_similarity_bounded(self, profile):
+        assert 0.0 <= profile.mean_similarity <= 1.0
+
+    def test_frontier_statistics(self, profile):
+        assert 0.0 < profile.frontier_final <= profile.frontier_peak
+
+    def test_deterministic(self, workload):
+        first = profile_workload(workload, sample_users=5, seed=3)
+        second = profile_workload(workload, sample_users=5, seed=3)
+        assert first.mean_similarity == second.mean_similarity
+
+    def test_rejects_zero_sample(self, workload):
+        with pytest.raises(ValueError):
+            profile_workload(workload, sample_users=0)
+
+    def test_identical_users_have_similarity_one(self):
+        pref = Preference({"x": PartialOrder.from_chain("abc")})
+        workload = Workload(
+            "twins", Dataset(("x",), [("a",), ("b",)]),
+            {"u1": pref, "u2": pref})
+        profile = profile_workload(workload)
+        assert profile.mean_similarity == pytest.approx(1.0)
+
+    def test_single_user(self):
+        pref = Preference({"x": PartialOrder.from_chain("ab")})
+        workload = Workload("solo", Dataset(("x",), [("a",)]),
+                            {"only": pref})
+        profile = profile_workload(workload)
+        assert profile.mean_similarity == 1.0   # vacuous, by convention
+
+
+class TestSharingOutlook:
+    def test_bands(self):
+        high = WorkloadProfile("w", 1, 1, mean_similarity=0.6)
+        mid = WorkloadProfile("w", 1, 1, mean_similarity=0.3)
+        low = WorkloadProfile("w", 1, 1, mean_similarity=0.05)
+        assert "excellent" in high.sharing_outlook
+        assert "good" in mid.sharing_outlook
+        assert "similarity)" in mid.sharing_outlook   # not truncated
+        assert "poor" in low.sharing_outlook
+
+
+class TestFormatProfile:
+    def test_report_contains_everything(self, profile):
+        report = format_profile(profile)
+        assert "retail" in report
+        for attr in profile.attributes:
+            assert attr.attribute in report
+        assert "sharing outlook" in report
+        assert "Pareto frontier" in report
+
+    def test_empty_attributes_profile(self):
+        profile = WorkloadProfile("bare", 0, 0)
+        report = format_profile(profile)
+        assert "bare" in report
+
+
+class TestCliProfile:
+    def test_command(self, tmp_path):
+        import io as stdlib_io
+
+        from repro.cli import main
+        from repro.io import save_workload
+
+        path = str(tmp_path / "w.json")
+        save_workload(retail_workload(n_products=30, n_users=4, seed=3),
+                      path)
+        out = stdlib_io.StringIO()
+        assert main(["profile", path, "--sample", "4"], out=out) == 0
+        assert "sharing outlook" in out.getvalue()

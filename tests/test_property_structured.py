@@ -1,0 +1,179 @@
+"""Cross-validation of the monitor family on *structured* preference
+families.
+
+The core property tests (test_invariants.py) use uniform random orders;
+real preferences are shaped — taxonomies are forests, band preferences
+are single-peaked, observed rankings are noisy chains.  These tests
+drive the same equivalences through the structured generators of
+:mod:`repro.orders` and :mod:`repro.data.retail`, seeded by hypothesis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseline import Baseline, brute_force_frontier
+from repro.core.clusters import Cluster
+from repro.core.filter_verify import FilterThenVerify, FilterThenVerifyApprox
+from repro.core.preference import Preference, common_preference
+from repro.core.sliding import BaselineSW, FilterThenVerifySW
+from repro.data.retail import retail_workload
+from repro.data.synthetic import random_objects
+from repro.orders.generators import (forest_order, noisy_chain,
+                                     preference_population)
+
+DOMAINS = {
+    "category": [f"c{i}" for i in range(6)],
+    "quality": [f"q{i}" for i in range(5)],
+}
+
+seeds = st.integers(0, 10_000)
+
+
+def structured_users(seed: int, n_users: int = 5) -> dict[str, Preference]:
+    """Users mixing forest-shaped and noisy-chain attributes."""
+    rng = np.random.default_rng(seed)
+    users = {}
+    for index in range(n_users):
+        users[f"u{index}"] = Preference({
+            "category": forest_order(rng, DOMAINS["category"],
+                                     n_roots=1 + index % 2),
+            "quality": noisy_chain(rng, DOMAINS["quality"],
+                                   keep_probability=0.7),
+        })
+    return users
+
+
+def frontier_ids(monitor, user):
+    return {o.oid for o in monitor.frontier(user)}
+
+
+class TestExactEquivalences:
+    @given(seeds)
+    @settings(max_examples=25)
+    def test_ftv_equals_baseline_on_forests(self, seed):
+        users = structured_users(seed)
+        rng = np.random.default_rng(seed + 1)
+        dataset = random_objects(rng, 40, DOMAINS)
+        baseline = Baseline(users, dataset.schema)
+        one_cluster = FilterThenVerify([Cluster.exact(users)],
+                                       dataset.schema)
+        for obj in dataset:
+            assert baseline.push(obj) == one_cluster.push(obj)
+        for user in users:
+            assert frontier_ids(baseline, user) == frontier_ids(
+                one_cluster, user)
+
+    @given(seeds)
+    @settings(max_examples=15)
+    def test_population_clusters_preserve_answers(self, seed):
+        rng = np.random.default_rng(seed)
+        users = preference_population(rng, DOMAINS, n_users=6,
+                                      n_archetypes=2, drop_rate=0.1)
+        dataset = random_objects(rng, 30, DOMAINS)
+        baseline = Baseline(users, dataset.schema)
+        ftv = FilterThenVerify.from_users(users, dataset.schema, h=0.3)
+        for obj in dataset:
+            assert baseline.push(obj) == ftv.push(obj)
+
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_sliding_equals_window_recompute(self, seed):
+        users = structured_users(seed, n_users=3)
+        rng = np.random.default_rng(seed + 2)
+        dataset = random_objects(rng, 35, DOMAINS)
+        window = 12
+        sliding = FilterThenVerifySW([Cluster.exact(users)],
+                                     dataset.schema, window)
+        history = []
+        for obj in dataset:
+            sliding.push(obj)
+            history.append(obj)
+            alive = history[-window:]
+            for user in users:
+                expected = {o.oid for o in brute_force_frontier(
+                    users[user], alive, dataset.schema)}
+                assert frontier_ids(sliding, user) == expected
+
+
+class TestApproximationContainments:
+    @given(seeds)
+    @settings(max_examples=15)
+    def test_theorem_65_and_67(self, seed):
+        """P̂_U ⊆ P_U and P̂_U ∩ P_c ⊆ P̂_c on populations."""
+        rng = np.random.default_rng(seed)
+        users = preference_population(rng, DOMAINS, n_users=5,
+                                      n_archetypes=2, drop_rate=0.15)
+        dataset = random_objects(rng, 30, DOMAINS)
+        exact_cluster = Cluster.exact(users)
+        approx_cluster = Cluster.approximate(users, theta1=500,
+                                             theta2=0.5)
+        exact = FilterThenVerify([exact_cluster], dataset.schema)
+        approx = FilterThenVerifyApprox([approx_cluster], dataset.schema)
+        baseline = Baseline(users, dataset.schema)
+        for obj in dataset:
+            exact.push(obj)
+            approx.push(obj)
+            baseline.push(obj)
+        user = next(iter(users))
+        shared_exact = {o.oid for o in exact.shared_frontier(user)}
+        shared_approx = {o.oid for o in approx.shared_frontier(user)}
+        assert shared_approx <= shared_exact          # Theorem 6.5
+        for user in users:
+            true_frontier = frontier_ids(baseline, user)
+            approx_frontier = frontier_ids(approx, user)
+            # Theorem 6.7: P̂_U ∩ P_c ⊆ P̂_c
+            assert (shared_approx & true_frontier) <= approx_frontier
+
+
+class TestRetailWorkloadInvariants:
+    @pytest.mark.parametrize("seed", [3, 17, 99])
+    def test_all_monitors_agree_exactly(self, seed):
+        workload = retail_workload(n_products=90, n_users=8, seed=seed)
+        baseline = Baseline(workload.preferences, workload.schema)
+        ftv = FilterThenVerify.from_users(workload.preferences,
+                                          workload.schema, h=0.3)
+        for obj in workload.dataset:
+            assert baseline.push(obj) == ftv.push(obj)
+
+    @pytest.mark.parametrize("window", [10, 25])
+    def test_baseline_sw_equals_ftv_sw(self, window):
+        workload = retail_workload(n_products=80, n_users=6, seed=7)
+        base = BaselineSW(workload.preferences, workload.schema, window)
+        shared = FilterThenVerifySW.from_users(
+            workload.preferences, workload.schema, window=window, h=0.3)
+        for obj in workload.dataset:
+            assert base.push(obj) == shared.push(obj)
+        for user in workload.preferences:
+            assert frontier_ids(base, user) == frontier_ids(shared, user)
+
+
+class TestProfilerTransparency:
+    @pytest.mark.parametrize("shared", [False, True])
+    def test_latency_profiler_never_changes_answers(self, shared):
+        from repro.core.monitor import create_monitor
+        from repro.metrics.latency import LatencyProfiler
+
+        workload = retail_workload(n_products=60, n_users=5, seed=11)
+        plain = create_monitor(workload.preferences, workload.schema,
+                               shared=shared, h=0.3)
+        profiled = LatencyProfiler(create_monitor(
+            workload.preferences, workload.schema, shared=shared, h=0.3))
+        for obj in workload.dataset:
+            assert plain.push(obj) == profiled.push(obj)
+        assert profiled.profile.count == len(workload.dataset)
+
+
+class TestCommonPreferenceOnStructured:
+    @given(seeds)
+    @settings(max_examples=25)
+    def test_intersection_is_subset_of_every_member(self, seed):
+        users = structured_users(seed)
+        common = common_preference(users.values())
+        for preference in users.values():
+            for attribute in DOMAINS:
+                assert (common.order(attribute).pairs
+                        <= preference.order(attribute).pairs)

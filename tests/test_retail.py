@@ -1,0 +1,149 @@
+"""Retail scenario generator (repro.data.retail)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import create_monitor
+from repro.data.retail import (BRANDS, CPU_GRADES, DISPLAY_BANDS, SCHEMA,
+                               STORAGE_TIERS, peak_order, persona_preference,
+                               retail_catalog, retail_workload,
+                               tiered_brand_order)
+from repro.orders.ops import height, width
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(23)
+
+
+class TestPeakOrder:
+    def test_peak_is_unique_maximal(self):
+        order = peak_order(DISPLAY_BANDS, 2)
+        assert order.maximal_values() == frozenset({"13-15.9"})
+
+    def test_prefers_closer_bands(self):
+        order = peak_order(DISPLAY_BANDS, 2)
+        assert order.prefers("13-15.9", "10-12.9")
+        assert order.prefers("10-12.9", "9.9-under")
+        assert order.prefers("16-18.9", "19-up")
+
+    def test_equidistant_incomparable(self):
+        order = peak_order(DISPLAY_BANDS, 2)
+        assert not order.prefers("10-12.9", "16-18.9")
+        assert not order.prefers("16-18.9", "10-12.9")
+
+    def test_peak_at_edge_is_chain(self):
+        order = peak_order(CPU_GRADES, 0)
+        assert height(order) == len(CPU_GRADES)
+        assert width(order) == 1
+
+    def test_rejects_out_of_range_peak(self):
+        with pytest.raises(ValueError):
+            peak_order(CPU_GRADES, len(CPU_GRADES))
+        with pytest.raises(ValueError):
+            peak_order(CPU_GRADES, -1)
+
+    def test_paper_c1_cpu_shape(self):
+        """The paper's c1 prefers dual the most (Table 2)."""
+        order = peak_order(CPU_GRADES, 1)  # dual
+        assert order.maximal_values() == frozenset({"dual"})
+        assert order.prefers("dual", "single")
+        assert order.prefers("dual", "quad")
+
+
+class TestTieredBrandOrder:
+    def test_covers_all_brands(self, rng):
+        order = tiered_brand_order(rng)
+        assert order.domain == frozenset(BRANDS)
+
+    def test_height_bounded_by_tiers(self, rng):
+        for _ in range(10):
+            order = tiered_brand_order(rng, n_tiers=3, drop_rate=0.0)
+            assert height(order) <= 3
+
+    def test_zero_drop_orders_all_cross_tier_pairs(self, rng):
+        order = tiered_brand_order(rng, n_tiers=2, drop_rate=0.0)
+        # With 2 tiers and no drops, every cross-tier pair is ordered:
+        # |pairs| = |tier0| * |tier1|.
+        sizes = [len(level) for level in (order.maximal_values(),
+                                          order.domain
+                                          - order.maximal_values())]
+        assert len(order.pairs) == sizes[0] * sizes[1]
+
+    def test_deterministic(self):
+        first = tiered_brand_order(np.random.default_rng(5))
+        second = tiered_brand_order(np.random.default_rng(5))
+        assert first == second
+
+
+class TestPersonaPreference:
+    def test_orders_all_schema_attributes(self, rng):
+        persona = persona_preference(rng)
+        assert persona.attributes == frozenset(SCHEMA)
+
+    def test_cpu_peak_never_single(self, rng):
+        # peak index is drawn from 1.. — no persona wants single-core most
+        for _ in range(20):
+            persona = persona_preference(rng)
+            assert "single" not in persona.order("cpu").maximal_values()
+
+
+class TestRetailCatalog:
+    def test_size_and_schema(self, rng):
+        catalog = retail_catalog(rng, 200)
+        assert len(catalog) == 200
+        assert catalog.schema == SCHEMA
+
+    def test_values_from_pools(self, rng):
+        catalog = retail_catalog(rng, 150)
+        assert catalog.domain("display") <= frozenset(DISPLAY_BANDS)
+        assert catalog.domain("brand") <= frozenset(BRANDS)
+        assert catalog.domain("cpu") <= frozenset(CPU_GRADES)
+        assert catalog.domain("storage") <= frozenset(STORAGE_TIERS)
+
+    def test_popularity_shape(self, rng):
+        catalog = retail_catalog(rng, 2000)
+        counts = {}
+        index = SCHEMA.index("display")
+        for obj in catalog:
+            counts[obj.values[index]] = counts.get(obj.values[index], 0) + 1
+        assert counts["13-15.9"] > counts["9.9-under"]
+
+
+class TestRetailWorkload:
+    def test_shape(self):
+        workload = retail_workload(n_products=120, n_users=10, seed=3)
+        assert len(workload.dataset) == 120
+        assert len(workload.preferences) == 10
+        assert workload.schema == SCHEMA
+
+    def test_deterministic(self):
+        first = retail_workload(n_products=60, n_users=6, seed=11)
+        second = retail_workload(n_products=60, n_users=6, seed=11)
+        assert first.preferences == second.preferences
+        assert [o.values for o in first.dataset] == [
+            o.values for o in second.dataset]
+
+    def test_rejects_zero_personas(self):
+        with pytest.raises(ValueError):
+            retail_workload(n_products=10, n_users=2, personas=0)
+
+    def test_end_to_end_monitoring(self):
+        """The motivating scenario runs through the full pipeline."""
+        workload = retail_workload(n_products=200, n_users=12, seed=29)
+        monitor = create_monitor(workload.preferences, workload.schema,
+                                 shared=True, h=0.3)
+        deliveries = 0
+        for obj in workload.dataset:
+            deliveries += len(monitor.push(obj))
+        assert deliveries > 0
+        # Shared monitor agrees with the per-user baseline.
+        baseline = create_monitor(workload.preferences, workload.schema,
+                                  shared=False)
+        for obj in workload.dataset:
+            baseline.push(obj)
+        for user in workload.preferences:
+            assert ({o.oid for o in monitor.frontier(user)}
+                    == {o.oid for o in baseline.frontier(user)})

@@ -1,0 +1,163 @@
+"""Tests for the six similarity measures (Sections 5 and 6.3).
+
+Every number in Examples 5.1, 5.2, 5.4, 5.5, 6.8 and 6.9 is asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro import MEASURES, PartialOrder, Preference, get_measure
+from repro.clustering import similarity as S
+from repro.data import paper_example as pe
+from tests.strategies import partial_orders
+
+ABC = ["a", "b", "c", "d"]
+
+
+@pytest.fixture(scope="module")
+def table3():
+    orders = pe.table3_brand_orders()
+    u1 = orders["c1"].intersection(orders["c2"])
+    u2 = orders["c3"].intersection(orders["c4"])
+    u3 = orders["c5"].intersection(orders["c6"])
+    return orders, u1, u2, u3
+
+
+class TestExactMeasures:
+    def test_example_5_1_intersection_size(self, table3):
+        _, u1, u2, u3 = table3
+        assert S.intersection_size(u1, u2) == 0
+        assert S.intersection_size(u1, u3) == 2
+        assert S.intersection_size(u2, u3) == 2
+
+    def test_example_5_2_jaccard(self, table3):
+        _, u1, u2, u3 = table3
+        assert S.jaccard(u1, u3) == pytest.approx(2 / 6)
+        assert S.jaccard(u2, u3) == pytest.approx(2 / 7)
+
+    def test_example_5_4_weights(self, table3):
+        _, u1, u2, u3 = table3
+        assert u1.maximal_values() == {"Apple", "Toshiba"}
+        assert u2.maximal_values() == {"Samsung"}
+        assert u3.maximal_values() == {"Lenovo"}
+        assert [u1.weight(v) for v in
+                ("Apple", "Lenovo", "Samsung", "Toshiba")] == \
+            [1, 0.5, 0.5, 1]
+        assert u2.weight("Apple") == pytest.approx(1 / 3)
+        assert u2.weight("Lenovo") == pytest.approx(1 / 2)
+        assert u2.weight("Toshiba") == pytest.approx(1 / 3)
+        assert u3.weight("Apple") == pytest.approx(1 / 2)
+        assert u3.weight("Samsung") == pytest.approx(1 / 3)
+
+    def test_example_5_4_weighted_intersection(self, table3):
+        _, u1, u2, u3 = table3
+        assert S.weighted_intersection_size(u1, u3) == pytest.approx(1.5)
+        assert S.weighted_intersection_size(u2, u3) == pytest.approx(1.5)
+
+    def test_example_5_5_weighted_jaccard(self, table3):
+        _, u1, u2, u3 = table3
+        assert S.weighted_jaccard(u1, u3) == pytest.approx(3 / 11)
+        assert S.weighted_jaccard(u2, u3) == pytest.approx(3 / 12)
+        # The paper's point: wj separates them although wi ties.
+        assert S.weighted_jaccard(u1, u3) > S.weighted_jaccard(u2, u3)
+
+    def test_degenerate_empty_orders(self):
+        empty = PartialOrder.empty()
+        assert S.intersection_size(empty, empty) == 0
+        assert S.jaccard(empty, empty) == 0.0
+        assert S.weighted_intersection_size(empty, empty) == 0.0
+        assert S.weighted_jaccard(empty, empty) == 0.0
+
+
+class TestVectorMeasures:
+    def test_example_6_8_jaccard_vector(self, table3):
+        orders, *_ = table3
+        prefs = {u: Preference({"brand": o}) for u, o in orders.items()}
+        v1 = S.FrequencyVector.for_user(prefs["c1"], False).merged_with(
+            S.FrequencyVector.for_user(prefs["c2"], False))
+        v3 = S.FrequencyVector.for_user(prefs["c5"], False).merged_with(
+            S.FrequencyVector.for_user(prefs["c6"], False))
+        # Σ min = 2.5, Σ max = 7 (paper rounds 0.357 to 0.36).
+        assert v1.similarity_to(v3) == pytest.approx(2.5 / 7)
+
+    def test_example_6_9_weighted_vector(self, table3):
+        orders, *_ = table3
+        prefs = {u: Preference({"brand": o}) for u, o in orders.items()}
+        v1 = S.FrequencyVector.for_user(prefs["c1"], True).merged_with(
+            S.FrequencyVector.for_user(prefs["c2"], True))
+        v3 = S.FrequencyVector.for_user(prefs["c5"], True).merged_with(
+            S.FrequencyVector.for_user(prefs["c6"], True))
+        # Σ min = 1.25, Σ max = 6.75 (paper rounds 0.185 to 0.19).
+        assert v1.similarity_to(v3) == pytest.approx(1.25 / 6.75)
+
+    def test_vector_entries_match_example_6_9(self, table3):
+        orders, *_ = table3
+        pref = Preference({"brand": orders["c6"]})
+        vec = S.FrequencyVector.for_user(pref, True)
+        # c6: Lenovo maximal; Apple at distance 1 → weight 1/2.
+        assert vec.sums["brand"][("Apple", "Toshiba")] == pytest.approx(0.5)
+
+    def test_merged_size_accumulates(self, table3):
+        orders, *_ = table3
+        pref = Preference({"brand": orders["c1"]})
+        vec = S.FrequencyVector.for_user(pref, False)
+        merged = vec.merged_with(vec).merged_with(vec)
+        assert merged.size == 3
+
+    def test_self_similarity_is_attribute_count(self, table3):
+        orders, *_ = table3
+        pref = Preference({"brand": orders["c1"]})
+        vec = S.FrequencyVector.for_user(pref, False)
+        assert vec.similarity_to(vec) == pytest.approx(1.0)
+
+
+class TestMeasureRegistry:
+    def test_all_six_measures_registered(self):
+        assert set(MEASURES) == {
+            "intersection", "jaccard", "weighted_intersection",
+            "weighted_jaccard", "approx_jaccard",
+            "approx_weighted_jaccard"}
+
+    def test_get_measure_by_name_and_instance(self):
+        measure = get_measure("jaccard")
+        assert get_measure(measure) is measure
+        with pytest.raises(ValueError):
+            get_measure("nope")
+
+    @pytest.mark.parametrize("name", sorted(MEASURES))
+    def test_measure_roundtrip_on_paper_users(self, name, table3):
+        orders, *_ = table3
+        prefs = {u: Preference({"brand": o}) for u, o in orders.items()}
+        measure = get_measure(name)
+        reps = {u: measure.represent(p) for u, p in prefs.items()}
+        merged = measure.merge(reps["c1"], reps["c2"])
+        value = measure.similarity(merged, reps["c5"])
+        assert value >= 0.0
+
+
+class TestMeasureProperties:
+    @given(partial_orders(ABC), partial_orders(ABC))
+    def test_symmetry(self, left, right):
+        for fn in (S.intersection_size, S.jaccard,
+                   S.weighted_intersection_size, S.weighted_jaccard):
+            assert fn(left, right) == pytest.approx(fn(right, left))
+
+    @given(partial_orders(ABC), partial_orders(ABC))
+    def test_jaccard_bounded(self, left, right):
+        assert 0.0 <= S.jaccard(left, right) <= 1.0
+        assert 0.0 <= S.weighted_jaccard(left, right) <= 1.0
+
+    @given(partial_orders(ABC))
+    def test_self_similarity_maximal(self, order):
+        if order.pairs:
+            assert S.jaccard(order, order) == pytest.approx(1.0)
+            assert S.weighted_jaccard(order, order) == pytest.approx(1.0)
+
+    @given(partial_orders(ABC), partial_orders(ABC))
+    def test_intersection_vs_jaccard_consistency(self, left, right):
+        inter = S.intersection_size(left, right)
+        union = len(left.union_pairs(right))
+        if union:
+            assert S.jaccard(left, right) == pytest.approx(inter / union)

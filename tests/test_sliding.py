@@ -1,0 +1,227 @@
+"""Tests for sliding-window monitors (Section 7, Algorithms 4-5).
+
+The load-bearing checks are *oracle equivalences*: after every push, each
+monitor's per-user frontier must equal a from-scratch Pareto computation
+over the alive window, and the buffers must satisfy Definition 7.4
+verbatim.  The paper's walkthrough values (Examples 7.3/7.6/7.7, Tables
+9/10) are asserted where the running example is self-consistent — see
+``repro.data.paper_example`` for the documented slips.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (BaselineSW, Cluster, FilterThenVerifyApproxSW,
+                   FilterThenVerifySW, Object, ParetoBuffer, PartialOrder,
+                   WindowError)
+from repro.core.baseline import brute_force_frontier
+from repro.data import paper_example as pe
+from repro.data.stream import windows
+from tests.strategies import DOMAINS, datasets, user_sets
+
+SCHEMA = tuple(DOMAINS)
+
+
+def oracle_frontier(pref, alive, schema):
+    return {o.oid for o in brute_force_frontier(pref, alive, schema)}
+
+
+def oracle_buffer(pref, alive, schema):
+    """Definition 7.4: alive objects not dominated by a successor."""
+    orders = pref.aligned(schema)
+    from repro.core.dominance import dominates
+
+    return {
+        obj.oid for i, obj in enumerate(alive)
+        if not any(dominates(orders, later, obj)
+                   for later in alive[i + 1:])
+    }
+
+
+class TestParetoBuffer:
+    def test_arrival_expels_dominated_predecessors(self):
+        orders = (PartialOrder.from_chain(["a", "b", "c"]),)
+        buffer = ParetoBuffer(orders)
+        buffer.on_arrival(Object(0, ("b",)))
+        buffer.on_arrival(Object(1, ("c",)))
+        expelled = buffer.on_arrival(Object(2, ("a",)))
+        assert {o.oid for o in expelled} == {0, 1}
+        assert [o.oid for o in buffer.members] == [2]
+
+    def test_expiry(self):
+        orders = (PartialOrder.empty(["a", "b"]),)
+        buffer = ParetoBuffer(orders)
+        buffer.on_arrival(Object(0, ("a",)))
+        assert 0 in buffer
+        assert buffer.on_expiry(0)
+        assert not buffer.on_expiry(0)
+        assert len(buffer) == 0
+
+    def test_members_stay_in_arrival_order(self):
+        orders = (PartialOrder.empty(["a", "b", "c"]),)
+        buffer = ParetoBuffer(orders)
+        for i, v in enumerate("abc"):
+            buffer.on_arrival(Object(i, (v,)))
+        assert [o.oid for o in buffer.members] == [0, 1, 2]
+
+
+class TestWindowErrors:
+    def test_zero_window_rejected(self, users, schema):
+        with pytest.raises(WindowError):
+            BaselineSW(users, schema, window=0)
+        with pytest.raises(WindowError):
+            FilterThenVerifySW([Cluster.exact(users)], schema, window=-3)
+
+
+class TestPaperExamples:
+    def test_example_7_3(self, users, schema):
+        """W=5, after o10: P_c1 = {o8}, P_c2 = {o7, o8}."""
+        monitor = BaselineSW(users, schema, window=5)
+        for obj in pe.table1_dataset(10):
+            monitor.push(obj)
+        assert monitor.frontier_ids("c1") == {7}
+        assert monitor.frontier_ids("c2") == {6, 7}
+
+    def test_example_7_6_buffer(self, users, schema):
+        """PB_c1 = {o8, o9, o10} after o10 (W=5)."""
+        monitor = BaselineSW(users, schema, window=5)
+        for obj in pe.table1_dataset(10):
+            monitor.push(obj)
+        assert {o.oid for o in monitor.buffer("c1")} == {7, 8, 9}
+
+    def test_example_7_7_table8(self, users, schema, table8):
+        """Table 8, W=6: the walkthrough's self-consistent outcomes."""
+        monitor = BaselineSW(users, schema, window=6)
+        for obj in list(table8)[:6]:
+            monitor.push(obj)
+        # Window [1,6]; see paper_example's fidelity notes for the rows
+        # that deviate from Table 9.
+        assert monitor.frontier_ids("c2") == {2, 3}          # {o3, o4}
+        targets = monitor.push(table8[6])                     # o7 arrives
+        assert targets == frozenset({"c1", "c2"})             # C_o7
+        assert monitor.frontier_ids("c1") == {6}              # {o7}
+        assert monitor.frontier_ids("c2") == {3, 6}           # {o4, o7}
+
+    def test_example_7_7_shared(self, users, schema, table8):
+        monitor = FilterThenVerifySW([Cluster.exact(users)], schema,
+                                     window=6)
+        for obj in list(table8)[:6]:
+            monitor.push(obj)
+        assert {o.oid + 1 for o in monitor.shared_buffer("c1")} == \
+            {1, 3, 4, 5, 6}                                   # PB_U [1,6]
+        targets = monitor.push(table8[6])
+        assert targets == frozenset({"c1", "c2"})
+        assert monitor.frontier_ids("c1") == {6}
+        assert monitor.frontier_ids("c2") == {3, 6}
+
+    def test_theorem_7_2_expelled_never_return(self, users, schema):
+        """Objects dominated by a successor never re-enter a frontier."""
+        monitor = BaselineSW(users, schema, window=4)
+        expelled_at = {}
+        stream = list(pe.table1_dataset(16))
+        for i, obj in enumerate(stream):
+            monitor.push(obj)
+            for user in ("c1", "c2"):
+                buffered = {o.oid for o in monitor.buffer(user)}
+                alive = {o.oid for o in monitor.alive}
+                gone = alive - buffered
+                for oid in gone:
+                    expelled_at.setdefault((user, oid), i)
+                # Frontier members must still be buffered (PB ⊇ P).
+                assert monitor.frontier_ids(user) <= buffered
+                for (u, oid), _ in expelled_at.items():
+                    if u == user and oid in alive:
+                        assert oid not in monitor.frontier_ids(user)
+
+
+class TestOracleEquivalence:
+    @given(user_sets(max_users=3), datasets(min_objects=1, max_objects=26),
+           st.integers(1, 8))
+    def test_baseline_sw_matches_recompute(self, users, dataset, window):
+        monitor = BaselineSW(users, SCHEMA, window=window)
+        for obj, alive in windows(iter(dataset), window):
+            targets = monitor.push(obj)
+            for user, pref in users.items():
+                expected = oracle_frontier(pref, alive, SCHEMA)
+                assert monitor.frontier_ids(user) == expected
+                assert (user in targets) == (obj.oid in expected)
+                assert {o.oid for o in monitor.buffer(user)} == \
+                    oracle_buffer(pref, alive, SCHEMA)
+
+    @given(user_sets(min_users=2, max_users=4),
+           datasets(min_objects=1, max_objects=26), st.integers(1, 8))
+    def test_ftv_sw_matches_baseline_sw(self, users, dataset, window):
+        baseline = BaselineSW(users, SCHEMA, window=window)
+        shared = FilterThenVerifySW([Cluster.exact(users)], SCHEMA,
+                                    window=window)
+        for obj in dataset:
+            assert baseline.push(obj) == shared.push(obj)
+            for user in users:
+                assert baseline.frontier_ids(user) == \
+                    shared.frontier_ids(user)
+
+    @given(user_sets(min_users=2, max_users=3),
+           datasets(min_objects=1, max_objects=22), st.integers(2, 6))
+    def test_theorem_7_5_buffer_containments(self, users, dataset, window):
+        """PB_U ⊇ P_U and PB_U ⊇ PB_c for every member."""
+        shared = FilterThenVerifySW([Cluster.exact(users)], SCHEMA,
+                                    window=window)
+        per_user = BaselineSW(users, SCHEMA, window=window)
+        any_user = next(iter(users))
+        for obj in dataset:
+            shared.push(obj)
+            per_user.push(obj)
+            buffer_u = {o.oid for o in shared.shared_buffer(any_user)}
+            frontier_u = {o.oid for o in shared.shared_frontier(any_user)}
+            assert frontier_u <= buffer_u
+            for user in users:
+                assert {o.oid for o in per_user.buffer(user)} <= buffer_u
+
+    @given(user_sets(min_users=2, max_users=3),
+           datasets(min_objects=1, max_objects=20), st.integers(2, 6))
+    def test_approx_sw_with_exact_thresholds_matches(self, users, dataset,
+                                                     window):
+        """θ2 = 1 admits only common tuples: approx SW ≡ baseline SW."""
+        cluster = Cluster.approximate(users, theta1=0, theta2=1.0)
+        approx = FilterThenVerifyApproxSW([cluster], SCHEMA, window=window)
+        baseline = BaselineSW(users, SCHEMA, window=window)
+        for obj in dataset:
+            assert approx.push(obj) == baseline.push(obj)
+
+    @given(user_sets(min_users=2, max_users=3),
+           datasets(min_objects=1, max_objects=20), st.integers(2, 6),
+           st.floats(0.3, 0.9))
+    def test_approx_sw_frontier_subset(self, users, dataset, window,
+                                       theta2):
+        """Approximation only loses objects at the shared level:
+        P̂_U ⊆ P_U throughout the stream."""
+        approx = FilterThenVerifyApproxSW(
+            [Cluster.approximate(users, 100, theta2)], SCHEMA, window)
+        exact = FilterThenVerifySW([Cluster.exact(users)], SCHEMA, window)
+        any_user = next(iter(users))
+        for obj in dataset:
+            approx.push(obj)
+            exact.push(obj)
+            assert {o.oid for o in approx.shared_frontier(any_user)} <= \
+                {o.oid for o in exact.shared_frontier(any_user)}
+
+
+class TestDuplicatedStreams:
+    """The 1M-object streams of Section 8.3 replay the dataset, so
+    identical objects are everywhere; windows must handle them."""
+
+    def test_replayed_table1(self, users, schema):
+        from repro.data.stream import replay
+
+        stream = list(replay(pe.table1_dataset(16), 48))
+        monitor = BaselineSW(users, schema, window=10)
+        shared = FilterThenVerifySW([Cluster.exact(users)], schema,
+                                    window=10)
+        for obj, alive in windows(iter(stream), 10):
+            assert monitor.push(obj) == shared.push(obj)
+            for user, pref in users.items():
+                assert monitor.frontier_ids(user) == \
+                    oracle_frontier(pref, alive, schema)

@@ -1,0 +1,57 @@
+"""Focused tests for the instrumentation layer (repro.metrics.counters)."""
+
+from __future__ import annotations
+
+from repro import Counter, MonitorStats
+
+
+class TestCounter:
+    def test_bump_default_and_n(self):
+        counter = Counter()
+        counter.bump()
+        counter.bump(4)
+        assert counter.value == 5
+        assert "5" in repr(counter)
+
+    def test_reset(self):
+        counter = Counter()
+        counter.bump(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestMonitorStats:
+    def test_phases_sum_to_total(self):
+        stats = MonitorStats()
+        stats.filter.bump(10)
+        stats.verify.bump(5)
+        stats.buffer.bump(2)
+        assert stats.comparisons == 17
+
+    def test_snapshot_is_a_copy(self):
+        stats = MonitorStats()
+        stats.filter.bump()
+        snapshot = stats.snapshot()
+        stats.filter.bump()
+        assert snapshot["filter_comparisons"] == 1
+        assert stats.snapshot()["filter_comparisons"] == 2
+
+    def test_repr(self):
+        stats = MonitorStats()
+        stats.objects = 3
+        assert "objects=3" in repr(stats)
+
+    def test_counters_shared_with_frontiers_aggregate(self):
+        """Several frontiers charging one counter aggregate their work."""
+        from repro import Object, ParetoFrontier, PartialOrder
+
+        stats = MonitorStats()
+        orders = (PartialOrder.from_chain(["a", "b"]),)
+        first = ParetoFrontier(orders, stats.filter)
+        second = ParetoFrontier(orders, stats.filter)
+        first.add(Object(0, ("a",)))
+        second.add(Object(1, ("a",)))
+        first.add(Object(2, ("b",)))   # one comparison
+        second.add(Object(3, ("b",)))  # one comparison
+        assert stats.filter.value == 2
+        assert stats.comparisons == 2

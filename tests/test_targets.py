@@ -1,0 +1,112 @@
+"""Tests for live target-set maintenance (Definition 3.4's ``C_o``)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (Baseline, BaselineSW, Cluster, FilterThenVerify,
+                   FilterThenVerifySW, ReproError, TargetRegistry)
+from repro.data import paper_example as pe
+from tests.strategies import DOMAINS, datasets, user_sets
+
+SCHEMA = tuple(DOMAINS)
+
+
+class TestTargetRegistry:
+    def test_insert_remove_cycle(self):
+        registry = TargetRegistry()
+        registry.insert("a", 1)
+        registry.insert("b", 1)
+        assert registry.targets_of(1) == {"a", "b"}
+        registry.remove("a", 1)
+        assert registry.targets_of(1) == {"b"}
+        registry.remove("b", 1)
+        assert registry.targets_of(1) == frozenset()
+        assert 1 not in registry
+        assert len(registry) == 0
+
+    def test_remove_is_idempotent(self):
+        registry = TargetRegistry()
+        registry.remove("a", 99)  # never raises
+        registry.insert("a", 1)
+        registry.remove("b", 1)
+        assert registry.targets_of(1) == {"a"}
+
+    def test_objects_of_and_items(self):
+        registry = TargetRegistry()
+        registry.insert("a", 1)
+        registry.insert("a", 2)
+        registry.insert("b", 2)
+        assert registry.objects_of("a") == {1, 2}
+        assert dict(registry.items())[2] == {"a", "b"}
+        assert "2 live objects" in repr(registry)
+
+
+class TestMonitorTracking:
+    def test_tracking_off_raises(self, users, schema):
+        monitor = Baseline(users, schema)
+        with pytest.raises(ReproError):
+            monitor.targets_of(0)
+
+    def test_paper_example_targets(self, users, schema):
+        """After o1..o15, C_o2 = {c1, c2} and C_o3 = C_o15 = {c2}
+        (Example 3.5) — including the o7 eviction on o15's arrival."""
+        monitor = Baseline(users, schema, track_targets=True)
+        for obj in pe.table1_dataset(15):
+            monitor.push(obj)
+        assert monitor.targets_of(1) == {"c1", "c2"}   # o2
+        assert monitor.targets_of(2) == {"c2"}         # o3
+        assert monitor.targets_of(14) == {"c2"}        # o15
+        assert monitor.targets_of(6) == frozenset()    # o7, evicted by o15
+        assert monitor.targets_of(0) == frozenset()    # o1, long dominated
+
+    @given(user_sets(max_users=3), datasets(max_objects=18))
+    def test_registry_matches_frontiers(self, users_map, dataset):
+        """C_o = {c : o ∈ P_c} holds after every push, for every o."""
+        monitor = Baseline(users_map, SCHEMA, track_targets=True)
+        for obj in dataset:
+            monitor.push(obj)
+            expected = {}
+            for user in users_map:
+                for oid in monitor.frontier_ids(user):
+                    expected.setdefault(oid, set()).add(user)
+            actual = {oid: set(targets)
+                      for oid, targets in monitor.targets.items()}
+            assert actual == expected
+
+    @given(user_sets(min_users=2, max_users=3), datasets(max_objects=16))
+    def test_ftv_tracking_matches_baseline(self, users_map, dataset):
+        baseline = Baseline(users_map, SCHEMA, track_targets=True)
+        shared = FilterThenVerify([Cluster.exact(users_map)], SCHEMA,
+                                  track_targets=True)
+        for obj in dataset:
+            baseline.push(obj)
+            shared.push(obj)
+            for oid in range(obj.oid + 1):
+                assert baseline.targets_of(oid) == shared.targets_of(oid)
+
+    @given(user_sets(max_users=3), datasets(min_objects=1, max_objects=20),
+           st.integers(2, 6))
+    def test_sliding_tracking_matches_frontiers(self, users_map, dataset,
+                                                window):
+        """Under windows, C_o shrinks on expiry and grows on mends."""
+        monitor = BaselineSW(users_map, SCHEMA, window,
+                             track_targets=True)
+        for obj in dataset:
+            monitor.push(obj)
+            for user in users_map:
+                assert monitor.targets.objects_of(user) == \
+                    monitor.frontier_ids(user)
+
+    @given(user_sets(min_users=2, max_users=3),
+           datasets(min_objects=1, max_objects=18), st.integers(2, 5))
+    def test_sliding_shared_tracking(self, users_map, dataset, window):
+        monitor = FilterThenVerifySW([Cluster.exact(users_map)], SCHEMA,
+                                     window, track_targets=True)
+        for obj in dataset:
+            monitor.push(obj)
+            for user in users_map:
+                assert monitor.targets.objects_of(user) == \
+                    monitor.frontier_ids(user)

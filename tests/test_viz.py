@@ -1,0 +1,72 @@
+"""Tests for the rendering helpers (repro.viz)."""
+
+from __future__ import annotations
+
+from repro import Baseline, PartialOrder, Preference
+from repro import viz
+from repro.data import paper_example as pe
+
+
+class TestHasseDot:
+    def test_contains_all_nodes_and_hasse_edges_only(self):
+        order = PartialOrder([("a", "b"), ("b", "c"), ("a", "c")])
+        dot = viz.hasse_dot(order, "test")
+        assert dot.startswith('digraph "test"')
+        for value in ("a", "b", "c"):
+            assert f'"{value}"' in dot
+        assert '"a" -> "b"' in dot
+        assert '"b" -> "c"' in dot
+        assert '"a" -> "c"' not in dot  # transitive edge reduced away
+
+    def test_quotes_escaped(self):
+        order = PartialOrder([('say "hi"', "b")])
+        dot = viz.hasse_dot(order)
+        assert r'\"hi\"' in dot
+
+    def test_isolated_values_rendered(self):
+        dot = viz.hasse_dot(PartialOrder.empty(["lonely"]))
+        assert '"lonely"' in dot
+
+
+class TestPreferenceDot:
+    def test_one_cluster_per_attribute(self):
+        dot = viz.preference_dot(pe.c1_preference(), "c1")
+        assert dot.count("subgraph") == 3
+        assert 'label="brand"' in dot
+        assert 'label="cpu"' in dot
+        assert 'label="display"' in dot
+        # Same value names in different attributes cannot collide.
+        assert '"brand:Apple"' in dot
+
+    def test_valid_brace_balance(self):
+        dot = viz.preference_dot(pe.c2_preference())
+        assert dot.count("{") == dot.count("}")
+
+
+class TestHasseText:
+    def test_levels_in_order(self):
+        order = PartialOrder.from_chain(["top", "mid", "bot"])
+        text = viz.hasse_text(order)
+        lines = text.splitlines()
+        assert lines[0].strip() == "top"
+        assert lines[2].strip() == "mid"
+        assert lines[4].strip() == "bot"
+
+    def test_empty(self):
+        assert viz.hasse_text(PartialOrder.empty()) == "(empty order)"
+
+
+class TestFrontierTable:
+    def test_renders_members(self):
+        users = pe.table2_preferences()
+        monitor = Baseline(users, pe.SCHEMA)
+        for obj in pe.table1_dataset(15):
+            monitor.push(obj)
+        table = viz.frontier_table(monitor, "c2")
+        assert "display" in table and "brand" in table
+        assert "Samsung" in table  # o3 is on c2's frontier
+
+    def test_empty_frontier(self):
+        users = {"u": Preference({})}
+        monitor = Baseline(users, ("x",))
+        assert "empty frontier" in viz.frontier_table(monitor, "u")

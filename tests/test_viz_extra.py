@@ -1,0 +1,65 @@
+"""Rendering extensions: dendrogram trees and markdown tables."""
+
+from __future__ import annotations
+
+from repro.clustering.hierarchical import build_dendrogram
+from repro.data.retail import retail_workload
+from repro.viz import dendrogram_text, markdown_table
+
+
+class TestDendrogramText:
+    def build(self):
+        workload = retail_workload(n_products=5, n_users=6, seed=3)
+        return build_dendrogram(workload.preferences)
+
+    def test_lists_all_merges(self):
+        dendrogram = self.build()
+        text = dendrogram_text(dendrogram)
+        assert f"{len(dendrogram.merges)} merges" in text
+        for index in range(len(dendrogram.merges)):
+            assert f"{index + 1:>3}. sim=" in text
+
+    def test_branch_cut_annotations(self):
+        dendrogram = self.build()
+        text = dendrogram_text(dendrogram, h=0.5)
+        assert "branch cut h=0.5" in text
+        clusters = dendrogram.cut(0.5)
+        assert f"{len(clusters)} clusters" in text
+
+    def test_below_cut_flagged(self):
+        dendrogram = self.build()
+        text = dendrogram_text(dendrogram, h=1.01)
+        # every merge is below an impossible cut
+        assert text.count("(below branch cut)") == len(dendrogram.merges)
+
+    def test_no_cut_no_annotations(self):
+        text = dendrogram_text(self.build())
+        assert "branch cut" not in text
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = markdown_table(("a", "b"), [(1, 2), (3, 4)])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        table = markdown_table(("x",), [(1.23456,)])
+        assert "| 1.23 |" in table
+
+    def test_empty_rows(self):
+        table = markdown_table(("x", "y"), [])
+        assert table.splitlines() == ["| x | y |", "|---|---|"]
+
+    def test_renders_experiment_result(self):
+        """Integrates with the bench reporting pipeline."""
+        from repro.bench.runner import ExperimentResult
+
+        result = ExperimentResult("test", "demo", ("k", "v"),
+                                  [(1, 0.5), (2, 0.25)])
+        table = markdown_table(result.headers, result.rows)
+        assert "| k | v |" in table
+        assert "| 2 | 0.25 |" in table
