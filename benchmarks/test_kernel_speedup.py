@@ -1,0 +1,45 @@
+"""Kernel smoke benchmark — compiled vs interpreted dominance.
+
+A deliberately small slice of the movie workload (so the whole suite
+stays fast) pushed through FilterThenVerify under both kernels.  The
+benchmark table shows the throughput gap; the ``comparisons`` extra_info
+must be identical between the two rows — the compiled kernel changes how
+fast a comparison runs, never how many happen or what they conclude.
+
+For the full speedup snapshot across monitors (recorded in
+``BENCH_pr1.json``), run ``python -m repro.bench perf``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import PAPER_H, make_monitor
+from repro.core.compiled import KERNELS
+
+SMOKE_OBJECTS = 600
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.benchmark(group="kernel smoke: ftv movies d=4")
+def test_kernel_throughput(timed_monitor, movies, kernel):
+    workload, dendrogram = movies
+    stream = workload.dataset.objects[:SMOKE_OBJECTS]
+    timed_monitor(
+        lambda: make_monitor("ftv", workload, dendrogram, h=PAPER_H,
+                             kernel=kernel),
+        stream,
+        dataset="movies", kernel=kernel)
+
+
+def test_kernels_agree_on_notifications(movies):
+    """The cheap end-to-end guarantee behind the benchmark numbers."""
+    workload, dendrogram = movies
+    stream = workload.dataset.objects[:SMOKE_OBJECTS]
+    runs = {}
+    for kernel in KERNELS:
+        monitor = make_monitor("ftv", workload, dendrogram, h=PAPER_H,
+                               kernel=kernel)
+        runs[kernel] = (monitor.push_batch(stream),
+                        monitor.stats.snapshot())
+    assert runs["compiled"] == runs["interpreted"]

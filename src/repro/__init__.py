@@ -33,6 +33,8 @@ from repro.core.batch import (bnl_frontier, dc_frontier,
                               dominance_potential, frontier_sizes,
                               sfs_frontier)
 from repro.core.clusters import Cluster
+from repro.core.compiled import (KERNELS, CompiledKernel, CompiledOrder,
+                                 DomainCodec, InterpretedKernel)
 from repro.core.dominance import Comparison, compare, dominates
 from repro.core.explain import (AttributeVerdict, Explanation,
                                 attribute_breakdown, explain,
@@ -70,18 +72,23 @@ __all__ = [
     "BaselineSW",
     "Cluster",
     "Comparison",
+    "CompiledKernel",
+    "CompiledOrder",
     "ConfusionCounts",
     "Counter",
     "CycleError",
     "Dataset",
     "DeliveryLog",
     "Dendrogram",
+    "DomainCodec",
     "EmptyClusterError",
     "Explanation",
     "FilterThenVerify",
     "FilterThenVerifyApprox",
     "FilterThenVerifyApproxSW",
     "FilterThenVerifySW",
+    "InterpretedKernel",
+    "KERNELS",
     "LatencyProfile",
     "LatencyProfiler",
     "MEASURES",

@@ -22,8 +22,9 @@ from repro.bench import runner
 from repro.bench.runner import (ExperimentResult, PAPER_DIMENSIONS,
                                 PAPER_H, PAPER_H_GRID, PAPER_WINDOWS,
                                 THETA1, clusters_at, get_scale,
-                                make_monitor, monitor_run, prepared,
-                                prepared_stream, replayed_stream, timed)
+                                kernel_perf_snapshot, make_monitor,
+                                monitor_run, prepared, prepared_stream,
+                                replayed_stream, timed)
 from repro.clustering.hierarchical import build_dendrogram
 from repro.metrics.accuracy import delivery_metrics
 
@@ -445,6 +446,26 @@ def ablation_buffer() -> ExperimentResult:
               "baseline's per-user buffers at equal answers.")
 
 
+def perf_kernels() -> ExperimentResult:
+    """Compiled vs interpreted kernel throughput (BENCH_pr1.json)."""
+    snapshot = kernel_perf_snapshot()
+    rows = [
+        (run["kind"], run["kernel"], run["objects"],
+         run["objects_per_s"], run["comparisons"], run["delivered"])
+        for run in snapshot["runs"].values()
+    ]
+    speedups = snapshot["speedup_compiled_over_interpreted"]
+    notes = ("speedup (compiled over interpreted): "
+             + ", ".join(f"{kind} {factor}x"
+                         for kind, factor in speedups.items())
+             + "; snapshot written to BENCH_pr1.json")
+    return ExperimentResult(
+        "perf",
+        "Dominance-kernel throughput (movie workload)",
+        ("monitor", "kernel", "objects", "obj/s", "cmp", "delivered"),
+        rows, notes=notes)
+
+
 EXPERIMENTS = {
     "fig4": fig4,
     "fig5": fig5,
@@ -461,4 +482,5 @@ EXPERIMENTS = {
     "abl-users": ablation_users,
     "abl-batch": ablation_batch,
     "abl-buffer": ablation_buffer,
+    "perf": perf_kernels,
 }

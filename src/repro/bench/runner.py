@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable
 
 from repro.clustering.dendrogram import Dendrogram
@@ -134,21 +134,31 @@ def clusters_at(workload: Workload, dendrogram: Dendrogram, h: float,
 
 
 def make_monitor(kind: str, workload: Workload, dendrogram: Dendrogram,
-                 h: float = PAPER_H, window: int | None = None):
-    """Instantiate one of the six monitors on a prepared workload."""
+                 h: float = PAPER_H, window: int | None = None,
+                 kernel: str = "compiled"):
+    """Instantiate one of the six monitors on a prepared workload.
+
+    *kernel* selects the dominance implementation: ``"compiled"`` (value
+    interning + bitset matrices, :mod:`repro.core.compiled`) or
+    ``"interpreted"`` (the pure-Python reference path) — both produce
+    identical notifications and comparison counts, so every figure can
+    be regenerated on either.
+    """
     if kind == "baseline":
         if window is None:
-            return Baseline(workload.preferences, workload.schema)
-        return BaselineSW(workload.preferences, workload.schema, window)
+            return Baseline(workload.preferences, workload.schema,
+                            kernel=kernel)
+        return BaselineSW(workload.preferences, workload.schema, window,
+                          kernel=kernel)
     approximate = kind == "ftva"
     clusters = clusters_at(workload, dendrogram, h, approximate)
     if window is None:
         factory = FilterThenVerifyApprox if approximate else \
             FilterThenVerify
-        return factory(clusters, workload.schema)
+        return factory(clusters, workload.schema, kernel=kernel)
     factory = FilterThenVerifyApproxSW if approximate else \
         FilterThenVerifySW
-    return factory(clusters, workload.schema, window)
+    return factory(clusters, workload.schema, window, kernel=kernel)
 
 
 # ---------------------------------------------------------------------------
@@ -204,6 +214,70 @@ def monitor_run(kind: str, monitor, stream, checkpoints=(),
 def replayed_stream(workload: Workload, length: int) -> list:
     """The duplicated-sequence stream of Section 8.3."""
     return list(replay(workload.dataset, length))
+
+
+# ---------------------------------------------------------------------------
+# Kernel performance snapshots (BENCH_pr1.json)
+# ---------------------------------------------------------------------------
+
+def kernel_perf_snapshot(dataset: str = "movies",
+                         kinds=("baseline", "ftv"),
+                         kernels=("interpreted", "compiled"),
+                         objects: int | None = None,
+                         users: int | None = None,
+                         path: str | None = "BENCH_pr1.json") -> dict:
+    """Measure monitor throughput per dominance kernel; write a snapshot.
+
+    For every (monitor kind, kernel) pair the prepared *dataset* stream
+    is pushed through a fresh monitor and objects/sec recorded, along
+    with the comparison counts (which must be kernel-independent).  The
+    snapshot is returned and, when *path* is set, written as JSON so the
+    perf trajectory is tracked across PRs.
+    """
+    import json
+
+    workload, dendrogram = prepared(dataset, users, objects)
+    stream = workload.dataset.objects
+    scale = get_scale()
+    runs: dict[str, dict] = {}
+    for kind in kinds:
+        for kernel in kernels:
+            monitor, build_s = timed(
+                lambda: make_monitor(kind, workload, dendrogram,
+                                     kernel=kernel))
+            run = monitor_run(f"{kind}/{kernel}", monitor, stream)
+            runs[f"{kind}/{kernel}"] = {
+                "kind": kind,
+                "kernel": kernel,
+                "objects": run.objects,
+                "elapsed_s": round(run.elapsed, 6),
+                "build_s": round(build_s, 6),
+                "objects_per_s": round(run.objects / run.elapsed, 1)
+                if run.elapsed else float("inf"),
+                "comparisons": run.comparisons,
+                "delivered": run.delivered,
+            }
+    speedups = {}
+    for kind in kinds:
+        interp = runs.get(f"{kind}/interpreted")
+        compiled = runs.get(f"{kind}/compiled")
+        if interp and compiled and compiled["elapsed_s"]:
+            speedups[kind] = round(
+                interp["elapsed_s"] / compiled["elapsed_s"], 2)
+    snapshot = {
+        "benchmark": "kernel_perf_snapshot",
+        "dataset": dataset,
+        "objects": len(stream),
+        "users": len(workload.preferences),
+        "scale": asdict(scale),
+        "runs": runs,
+        "speedup_compiled_over_interpreted": speedups,
+    }
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=1)
+            handle.write("\n")
+    return snapshot
 
 
 @dataclass

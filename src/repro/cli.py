@@ -151,7 +151,8 @@ def cmd_monitor(args, out: IO[str]) -> int:
         workload.preferences, workload.schema,
         shared=args.algorithm != "baseline",
         approximate=args.algorithm == "ftva",
-        window=args.window, h=args.h, theta2=args.theta2)
+        window=args.window, h=args.h, theta2=args.theta2,
+        kernel=args.kernel)
     deliveries = 0
     for obj in workload.dataset:
         targets = monitor.push(obj)
@@ -260,6 +261,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sliding window size W (Section 7)")
     monitor.add_argument("--h", type=float, default=0.55)
     monitor.add_argument("--theta2", type=float, default=0.5)
+    monitor.add_argument(
+        "--kernel", choices=("compiled", "interpreted"),
+        default="compiled",
+        help="dominance kernel (compiled: interned values + bitset "
+             "matrices; interpreted: pure-Python reference)")
     monitor.add_argument("--quiet", action="store_true",
                          help="summary only, no per-delivery lines")
     monitor.set_defaults(func=cmd_monitor)

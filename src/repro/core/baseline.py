@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.core.clusters import UserId
+from repro.core.compiled import DomainCodec, make_kernel, validate_kernel
 from repro.core.errors import ReproError
 from repro.core.pareto import ParetoFrontier
 from repro.core.preference import Preference
@@ -28,15 +29,32 @@ class MonitorBase:
     :class:`~repro.data.objects.Object` or a raw row (sequence or mapping
     aligned with the schema) and returns the object's target users
     ``C_o`` (Definition 3.4).
+
+    Every monitor selects a dominance kernel at construction:
+    ``kernel="compiled"`` (default) interns attribute values through a
+    monitor-wide :class:`~repro.core.compiled.DomainCodec` and runs the
+    bitset dominance matrices of :mod:`repro.core.compiled`;
+    ``kernel="interpreted"`` keeps the pure-Python reference path.  Both
+    return identical notifications, frontiers and comparison counts.
     """
 
-    def __init__(self, schema: Sequence[str], track_targets: bool = False):
+    def __init__(self, schema: Sequence[str], track_targets: bool = False,
+                 kernel: str = "compiled"):
         self.schema: Schema = tuple(schema)
         self.stats = MonitorStats()
+        self.kernel_name = validate_kernel(kernel)
+        #: Monitor-wide value interner (None under the interpreted kernel).
+        self.codec: DomainCodec | None = (
+            DomainCodec(self.schema) if kernel == "compiled" else None)
         self._next_oid = 0
         #: Live C_o bookkeeping (Definition 3.4) when requested.
         self.targets: TargetRegistry | None = (
             TargetRegistry() if track_targets else None)
+
+    def _make_kernel(self, preference: Preference):
+        """Compile (or wrap) one preference for this monitor's schema."""
+        return make_kernel(self.kernel_name,
+                           preference.aligned(self.schema), self.codec)
 
     # -- input handling -------------------------------------------------
 
@@ -52,19 +70,45 @@ class MonitorBase:
         self._next_oid += 1
         return obj
 
+    def _encode(self, obj: Object):
+        """Intern the object's values once for this arrival."""
+        codec = self.codec
+        return codec.encode(obj.values) if codec is not None else None
+
     def push(self, row) -> frozenset[UserId]:
         """Process one arrival; returns the target users of the object."""
         obj = self._coerce(row)
+        return self._push_object(obj, self._encode(obj))
+
+    def push_batch(self, rows) -> list[frozenset[UserId]]:
+        """Process many arrivals, amortising per-push overhead.
+
+        Rows are coerced and value-interned in one batched pass
+        (:meth:`DomainCodec.encode_many`) before any frontier is touched,
+        so per-arrival Python overhead is paid once per batch item rather
+        than once per user.  Results are identical to calling
+        :meth:`push` per row, in order.
+        """
+        objects = [self._coerce(row) for row in rows]
+        codec = self.codec
+        if codec is not None:
+            encoded = codec.encode_many([obj.values for obj in objects])
+        else:
+            encoded = [None] * len(objects)
+        return [self._push_object(obj, codes)
+                for obj, codes in zip(objects, encoded)]
+
+    def push_all(self, rows) -> list[frozenset[UserId]]:
+        """Alias of :meth:`push_batch`, kept for API compatibility."""
+        return self.push_batch(rows)
+
+    def _push_object(self, obj: Object, codes) -> frozenset[UserId]:
         self.stats.objects += 1
-        targets = self._process(obj)
+        targets = self._process(obj, codes)
         self.stats.delivered += len(targets)
         return targets
 
-    def push_all(self, rows) -> list[frozenset[UserId]]:
-        """Process many arrivals; returns the target users per object."""
-        return [self.push(row) for row in rows]
-
-    def _process(self, obj: Object) -> frozenset[UserId]:
+    def _process(self, obj: Object, codes=None) -> frozenset[UserId]:
         raise NotImplementedError
 
     # -- inspection ------------------------------------------------------
@@ -96,11 +140,12 @@ class Baseline(MonitorBase):
     """Algorithm 1: independent Pareto-frontier maintenance per user."""
 
     def __init__(self, preferences: Mapping[UserId, Preference],
-                 schema: Sequence[str], track_targets: bool = False):
-        super().__init__(schema, track_targets)
+                 schema: Sequence[str], track_targets: bool = False,
+                 kernel: str = "compiled"):
+        super().__init__(schema, track_targets, kernel)
         self._preferences: dict[UserId, Preference] = dict(preferences)
         self._frontiers: dict[UserId, ParetoFrontier] = {
-            user: ParetoFrontier(pref.aligned(self.schema),
+            user: ParetoFrontier(self._make_kernel(pref),
                                  self.stats.filter, self.targets, user)
             for user, pref in preferences.items()
         }
@@ -120,7 +165,7 @@ class Baseline(MonitorBase):
         """
         if user in self._frontiers:
             raise ValueError(f"user {user!r} already registered")
-        frontier = ParetoFrontier(preference.aligned(self.schema),
+        frontier = ParetoFrontier(self._make_kernel(preference),
                                   self.stats.filter, self.targets, user)
         for obj in history:
             frontier.add(obj)
@@ -133,10 +178,10 @@ class Baseline(MonitorBase):
         self._preferences.pop(user, None)
         frontier.clear()
 
-    def _process(self, obj: Object) -> frozenset[UserId]:
+    def _process(self, obj: Object, codes=None) -> frozenset[UserId]:
         targets = [
             user for user, frontier in self._frontiers.items()
-            if frontier.add(obj).is_pareto
+            if frontier.add(obj, codes).is_pareto
         ]
         return frozenset(targets)
 

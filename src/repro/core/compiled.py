@@ -1,0 +1,545 @@
+"""Compiled dominance kernel: value interning + bitset dominance matrices.
+
+The interpreted hot path (:func:`repro.core.dominance.compare`) classifies
+an object pair by calling ``PartialOrder.prefers`` per attribute — each
+call a method dispatch, a dict probe and a frozenset membership test on
+opaque hashable values.  For a monitor serving many users that cost is
+paid per user per frontier member per arrival, and the interpreter
+overhead dwarfs the actual decision being made.
+
+This module compiles the same decision down to integer indexing:
+
+* :class:`DomainCodec` interns each attribute's values to contiguous
+  small ints, once, so an arriving object is encoded to a
+  ``tuple[int, ...]`` a single time at ``push()`` instead of being
+  re-hashed per user per frontier member.
+* :class:`CompiledOrder` compiles one :class:`PartialOrder` into an array
+  of int bitmasks (``better[code]`` = bitset of the codes it beats) and a
+  flat *outcome table* ``table[x * m + y]`` holding the two-bit pair
+  verdict (0 equal, 1 ``x ≻ y``, 2 ``y ≻ x``, 3 incomparable).  Tables
+  are padded past the codec's current size and recompiled when the codec
+  outgrows them, so values first seen mid-stream stay on the fast path.
+* :class:`CompiledKernel` fuses a whole preference (one compiled order
+  per schema attribute) and exposes the frontier scan loops the data
+  structures in :mod:`repro.core.pareto` / :mod:`repro.core.sliding`
+  need.  The scans are *specialised by schema width*: a tiny code
+  generator emits, once per ``d``, a scan function whose inner loop is a
+  straight OR-chain of ``d`` byte-table lookups at the arriving object's
+  precomputed row offsets — no per-pair function call, no per-attribute
+  loop, no hashing.
+
+Unknown values fall back transparently: a value interned after an order
+was compiled participates in no preference pair, so the padded tables
+classify it as equal to itself and incomparable to everything else —
+exactly what :meth:`PartialOrder.prefers` would conclude.
+
+:class:`InterpretedKernel` wraps the original pure-Python path behind the
+same interface; every monitor accepts ``kernel="compiled"`` (default) or
+``kernel="interpreted"`` and the two are differentially tested to return
+identical notification sets, frontiers and comparison counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from functools import lru_cache
+
+from repro.core.dominance import Comparison, compare
+from repro.core.errors import ReproError
+from repro.core.partial_order import PartialOrder
+from repro.data.objects import Object, Schema, Value
+
+#: Selectable kernel implementations, in preference order.
+KERNELS = ("compiled", "interpreted")
+
+#: Above this many interned values per attribute the O(m²) outcome table
+#: is not built and scans use the generic bitmask path instead.
+TABLE_DOMAIN_LIMIT = 2048
+
+#: Two-bit pair verdicts → the public four-way classification.
+_ACC_TO_COMPARISON = (Comparison.IDENTICAL, Comparison.A_DOMINATES,
+                      Comparison.B_DOMINATES, Comparison.INCOMPARABLE)
+
+_EQ, _A_WINS, _B_WINS, _INCOMPARABLE = 0, 1, 2, 3
+
+
+def validate_kernel(kernel: str) -> str:
+    """Check a kernel name, returning it; raises on unknown names."""
+    if kernel not in KERNELS:
+        raise ReproError(
+            f"unknown kernel {kernel!r}; choose from {', '.join(KERNELS)}")
+    return kernel
+
+
+class DomainCodec:
+    """Per-attribute interning of domain values to contiguous small ints.
+
+    One codec is shared by a whole monitor: every user's compiled order
+    and every encoded object of that monitor speak the same code space,
+    so encoding happens once per arrival regardless of user count.
+    Unknown values are interned on first sight (:meth:`encode` never
+    fails); codes are stable for the codec's lifetime.
+    """
+
+    __slots__ = ("schema", "version", "_tables")
+
+    def __init__(self, schema: Sequence[str]):
+        self.schema: Schema = tuple(schema)
+        #: Bumped whenever any value is interned; kernels compare it to
+        #: skip per-scan staleness checks when nothing changed.
+        self.version = 0
+        self._tables: tuple[dict[Value, int], ...] = tuple(
+            {} for _ in self.schema)
+
+    @classmethod
+    def for_preferences(cls, schema: Sequence[str], preferences: Iterable,
+                        ) -> "DomainCodec":
+        """A codec pre-seeded with every order domain of *preferences*."""
+        codec = cls(schema)
+        for preference in preferences:
+            codec.intern_preference(preference)
+        return codec
+
+    def intern_preference(self, preference) -> None:
+        """Intern the domains of a preference's schema-aligned orders."""
+        for index, order in enumerate(preference.aligned(self.schema)):
+            self.intern_domain(index, order.domain)
+
+    def intern_domain(self, index: int, values: Iterable[Value]) -> None:
+        """Intern *values* for attribute *index* (sorted for stability)."""
+        table = self._tables[index]
+        for value in sorted(values, key=repr):
+            if value not in table:
+                table[value] = len(table)
+                self.version += 1
+
+    def size(self, index: int) -> int:
+        """Number of codes currently interned for attribute *index*."""
+        return len(self._tables[index])
+
+    def code(self, index: int, value: Value) -> int | None:
+        """The code of *value* on attribute *index*, if already interned."""
+        return self._tables[index].get(value)
+
+    def encode(self, values: Sequence[Value]) -> tuple[int, ...]:
+        """Encode one schema-aligned value tuple, interning new values."""
+        codes = []
+        for table, value in zip(self._tables, values):
+            code = table.get(value)
+            if code is None:
+                code = len(table)
+                table[value] = code
+                self.version += 1
+            codes.append(code)
+        return tuple(codes)
+
+    def encode_many(self, rows: Iterable[Sequence[Value]],
+                    ) -> list[tuple[int, ...]]:
+        """Encode a batch of value tuples (the ``push_batch`` fast path)."""
+        encode = self.encode
+        return [encode(row) for row in rows]
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{attr}:{len(table)}" for attr, table
+                          in zip(self.schema, self._tables))
+        return f"DomainCodec({sizes})"
+
+
+class CompiledOrder:
+    """One :class:`PartialOrder` compiled against a codec's code space.
+
+    ``better[code]`` is an int bitmask with bit ``w`` set iff the value
+    of ``code`` is preferred to the value of ``w`` — the dominance
+    bit-matrix row.  ``table`` is the flat outcome table over ``size``
+    (≥ the codec's size at compile time, padded so mid-stream interning
+    rarely forces a recompile).
+    """
+
+    __slots__ = ("order", "codec", "index", "size", "better", "table")
+
+    def __init__(self, order: PartialOrder, codec: DomainCodec, index: int):
+        codec.intern_domain(index, order.domain)
+        self.order = order
+        self.codec = codec
+        self.index = index
+        self.recompile()
+
+    def recompile(self) -> None:
+        """(Re)build the bitmasks and outcome table for the codec's
+        current code space, with headroom for future interning."""
+        codec = self.codec
+        index = self.index
+        n = codec.size(index)
+        # Padding: new values interned later keep working (equal to
+        # themselves, incomparable to everything) until the codec
+        # outgrows the padded capacity, amortising recompiles.
+        m = max(16, 2 * n)
+        better = [0] * m
+        for winner, loser in self.order.pairs:
+            better[codec.code(index, winner)] |= \
+                1 << codec.code(index, loser)
+        self.size = m
+        self.better = better
+        self.table = self._build_table(m, better) \
+            if m <= TABLE_DOMAIN_LIMIT else None
+
+    @staticmethod
+    def _build_table(m: int, better: list[int]) -> bytes:
+        table = bytearray([_INCOMPARABLE]) * (m * m)
+        for x in range(m):
+            table[x * m + x] = _EQ
+            mask = better[x]
+            while mask:
+                low = mask & -mask
+                y = low.bit_length() - 1
+                table[x * m + y] = _A_WINS
+                table[y * m + x] = _B_WINS
+                mask ^= low
+        return bytes(table)
+
+    def prefers(self, x: int, y: int) -> bool:
+        """``x ≻ y`` on codes; False for codes outside the compiled
+        capacity (they postdate this compilation, so are in no pair)."""
+        return x < self.size and (self.better[x] >> y) & 1 == 1
+
+    def outcome(self, x: int, y: int) -> int:
+        """The two-bit pair verdict for a code pair (handles any codes)."""
+        if x == y:
+            return _EQ
+        if x >= self.size or y >= self.size:
+            return _INCOMPARABLE
+        if self.table is not None:
+            return self.table[x * self.size + y]
+        if (self.better[x] >> y) & 1:
+            return _A_WINS
+        if (self.better[y] >> x) & 1:
+            return _B_WINS
+        return _INCOMPARABLE
+
+
+# ---------------------------------------------------------------------------
+# Scan specialisation: one generated module per schema width
+# ---------------------------------------------------------------------------
+#
+# The inner decision for a pair is `acc = t0[o0+b0] | t1[o1+b1] | ...`
+# where `ti` is attribute i's flat outcome table, `oi` the arriving
+# object's precomputed row offset (`code_i * capacity_i`) and `bi` the
+# member's code.  acc is the OR of two-bit pair verdicts: 0 identical,
+# 1 the newcomer wins, 2 the member wins, 3 incomparable (any mix of
+# wins is 3 = incomparable, matching Definition 3.2).  Generating the
+# function per d unrolls the attribute loop and keeps the scan free of
+# per-pair Python calls.
+
+_SCANNER_TEMPLATE = """\
+def scan_add(codes, member_codes, tables, capacities):
+    {setup}
+    evicted = []
+    scan_end = len(member_codes)
+    is_pareto = True
+    scanned = 0
+    for mcodes in member_codes:
+        scanned += 1
+        {unpack_codes}
+        acc = {acc}
+        if acc == 3:
+            continue
+        if acc == 1:
+            evicted.append(scanned - 1)
+        elif acc == 2:
+            is_pareto = False
+            scan_end = scanned - 1
+            break
+        else:
+            scan_end = scanned - 1
+            break
+    return is_pareto, evicted, scan_end, scanned
+
+
+def any_dominator(codes, member_codes, tables, capacities):
+    {setup}
+    scanned = 0
+    for mcodes in member_codes:
+        scanned += 1
+        {unpack_codes}
+        if {acc} == 2:
+            return True, scanned
+    return False, scanned
+
+
+def dominated_indices(codes, member_codes, tables, capacities):
+    {setup}
+    indices = []
+    read = 0
+    for mcodes in member_codes:
+        {unpack_codes}
+        if {acc} == 1:
+            indices.append(read)
+        read += 1
+    return indices, read
+"""
+
+
+@lru_cache(maxsize=64)
+def _scanners(width: int):
+    """The generated (scan_add, any_dominator, dominated_indices) trio
+    for a *width*-attribute schema."""
+    if width == 0:
+        # No attributes: every pair is identical (acc == 0).
+        setup = "pass"
+        unpack_codes = "pass"
+        acc = "0"
+    else:
+        names = list(range(width))
+        trail = "," if width == 1 else ""
+        setup = "; ".join((
+            ", ".join(f"a{i}" for i in names) + trail + " = codes",
+            ", ".join(f"t{i}" for i in names) + trail + " = tables",
+            ", ".join(f"m{i}" for i in names) + trail + " = capacities",
+            "; ".join(f"o{i} = a{i} * m{i}" for i in names),
+        ))
+        unpack_codes = ", ".join(f"b{i}" for i in names) + trail \
+            + " = mcodes"
+        acc = " | ".join(f"t{i}[o{i} + b{i}]" for i in names)
+    source = _SCANNER_TEMPLATE.format(
+        setup=setup, unpack_codes=unpack_codes, acc=acc)
+    namespace: dict = {}
+    exec(compile(source, f"<repro.compiled scanners d={width}>", "exec"),
+         namespace)
+    return (namespace["scan_add"], namespace["any_dominator"],
+            namespace["dominated_indices"])
+
+
+class CompiledKernel:
+    """A whole preference compiled for one schema: the dominance kernel.
+
+    Exposes both single-pair classification (:meth:`compare_codes`,
+    identical semantics to :func:`repro.core.dominance.compare`) and the
+    fused frontier scan loops (:meth:`scan_add`, :meth:`any_dominator`,
+    :meth:`dominated_indices`) that let the hot data structures make one
+    Python call per scan instead of one per pair.
+    """
+
+    __slots__ = ("codec", "orders", "compiled", "_version", "_tables",
+                 "_capacities", "_fast", "_scan_add_fn",
+                 "_any_dominator_fn", "_dominated_indices_fn")
+
+    def __init__(self, orders: Sequence[PartialOrder], codec: DomainCodec):
+        self.codec = codec
+        self.orders = tuple(orders)
+        if len(self.orders) != len(codec.schema):
+            raise ReproError(
+                f"{len(self.orders)} orders for a "
+                f"{len(codec.schema)}-attribute schema")
+        self.compiled = tuple(
+            CompiledOrder(order, codec, index)
+            for index, order in enumerate(self.orders))
+        (self._scan_add_fn, self._any_dominator_fn,
+         self._dominated_indices_fn) = _scanners(len(self.orders))
+        self._refresh()
+
+    def _refresh(self) -> None:
+        """Recompile orders the codec outgrew; recache the flat tables.
+
+        Cheap to call when current: the codec's version counter gates it
+        (:attr:`DomainCodec.version`), so steady-state scans pay one int
+        comparison, not a per-attribute staleness probe.
+        """
+        codec = self.codec
+        for compiled in self.compiled:
+            if codec.size(compiled.index) > compiled.size:
+                compiled.recompile()
+        self._tables = tuple(c.table for c in self.compiled)
+        self._capacities = tuple(c.size for c in self.compiled)
+        self._fast = all(t is not None for t in self._tables)
+        self._version = codec.version
+
+    # -- encoding --------------------------------------------------------
+
+    def encode(self, obj: Object) -> tuple[int, ...]:
+        """Encode one object's values (interning unseen values)."""
+        return self.codec.encode(obj.values)
+
+    # -- single-pair classification -------------------------------------
+
+    def compare_codes(self, a: tuple[int, ...], b: tuple[int, ...],
+                      ) -> Comparison:
+        """Four-way classification of two encoded objects."""
+        if a == b:
+            return Comparison.IDENTICAL
+        acc = 0
+        for compiled, av, bv in zip(self.compiled, a, b):
+            acc |= compiled.outcome(av, bv)
+            if acc == _INCOMPARABLE:
+                return Comparison.INCOMPARABLE
+        return _ACC_TO_COMPARISON[acc]
+
+    def compare(self, a: Object, b: Object, a_codes=None, b_codes=None,
+                ) -> Comparison:
+        """Classify a pair, encoding on demand (for callers off the
+        hot path)."""
+        if a_codes is None:
+            a_codes = self.codec.encode(a.values)
+        if b_codes is None:
+            b_codes = self.codec.encode(b.values)
+        return self.compare_codes(a_codes, b_codes)
+
+    # -- fused scan loops ------------------------------------------------
+    #
+    # Each takes the scanned container's parallel (members, member_codes)
+    # lists and returns how many pairs were classified, so callers charge
+    # their Counter in one bump and counts stay identical to the
+    # interpreted path.
+
+    def scan_add(self, obj: Object, codes, members, member_codes):
+        """Algorithm 1's insert scan: returns
+        ``(is_pareto, evicted_reads, scan_end, scanned)``.
+
+        ``evicted_reads`` are indices of members dominated by *obj*;
+        ``scan_end`` is where the scan stopped (exclusive), so survivors
+        are the non-evicted prefix plus the unscanned tail.
+        """
+        if codes is None:
+            codes = self.codec.encode(obj.values)
+        if self._version != self.codec.version:
+            self._refresh()
+        if self._fast:
+            return self._scan_add_fn(codes, member_codes, self._tables,
+                                     self._capacities)
+        compare_codes = self.compare_codes
+        evicted: list[int] = []
+        scan_end = len(member_codes)
+        is_pareto = True
+        scanned = 0
+        for read, mcodes in enumerate(member_codes):
+            scanned += 1
+            verdict = compare_codes(codes, mcodes)
+            if verdict is Comparison.A_DOMINATES:
+                evicted.append(read)
+            elif verdict is Comparison.B_DOMINATES:
+                is_pareto = False
+                scan_end = read
+                break
+            elif verdict is Comparison.IDENTICAL:
+                scan_end = read
+                break
+        return is_pareto, evicted, scan_end, scanned
+
+    def any_dominator(self, obj: Object, codes, members, member_codes):
+        """``(dominated?, scanned)``: does any member dominate *obj*?"""
+        if codes is None:
+            codes = self.codec.encode(obj.values)
+        if self._version != self.codec.version:
+            self._refresh()
+        if self._fast:
+            return self._any_dominator_fn(codes, member_codes,
+                                          self._tables, self._capacities)
+        scanned = 0
+        for mcodes in member_codes:
+            scanned += 1
+            if self.compare_codes(codes, mcodes) is Comparison.B_DOMINATES:
+                return True, scanned
+        return False, scanned
+
+    def dominated_indices(self, obj: Object, codes, members, member_codes):
+        """``(indices, scanned)``: members that *obj* dominates."""
+        if codes is None:
+            codes = self.codec.encode(obj.values)
+        if self._version != self.codec.version:
+            self._refresh()
+        if self._fast:
+            return self._dominated_indices_fn(
+                codes, member_codes, self._tables, self._capacities)
+        indices = [read for read, mcodes in enumerate(member_codes)
+                   if self.compare_codes(codes, mcodes)
+                   is Comparison.A_DOMINATES]
+        return indices, len(member_codes)
+
+    def __repr__(self) -> str:
+        domains = tuple(self.codec.size(i)
+                        for i in range(len(self.orders)))
+        return (f"CompiledKernel({len(self.orders)} attributes, "
+                f"domains {domains})")
+
+
+class InterpretedKernel:
+    """The original pure-Python dominance path behind the kernel API.
+
+    Kept as the selectable reference implementation: monitors built with
+    ``kernel="interpreted"`` run exactly the seed code path, which the
+    differential tests pit against :class:`CompiledKernel`.
+    """
+
+    __slots__ = ("orders",)
+
+    codec = None
+
+    def __init__(self, orders: Sequence[PartialOrder]):
+        self.orders = tuple(orders)
+
+    def encode(self, obj: Object):
+        return None
+
+    def compare(self, a: Object, b: Object, a_codes=None, b_codes=None,
+                ) -> Comparison:
+        return compare(self.orders, a, b)
+
+    def scan_add(self, obj: Object, codes, members, member_codes):
+        orders = self.orders
+        evicted: list[int] = []
+        scan_end = len(members)
+        is_pareto = True
+        scanned = 0
+        for read, member in enumerate(members):
+            scanned += 1
+            verdict = compare(orders, obj, member)
+            if verdict is Comparison.A_DOMINATES:
+                evicted.append(read)
+            elif verdict is Comparison.B_DOMINATES:
+                is_pareto = False
+                scan_end = read
+                break
+            elif verdict is Comparison.IDENTICAL:
+                scan_end = read
+                break
+        return is_pareto, evicted, scan_end, scanned
+
+    def any_dominator(self, obj: Object, codes, members, member_codes):
+        orders = self.orders
+        scanned = 0
+        for member in members:
+            scanned += 1
+            if compare(orders, member, obj) is Comparison.A_DOMINATES:
+                return True, scanned
+        return False, scanned
+
+    def dominated_indices(self, obj: Object, codes, members, member_codes):
+        orders = self.orders
+        indices = [read for read, member in enumerate(members)
+                   if compare(orders, obj, member)
+                   is Comparison.A_DOMINATES]
+        return indices, len(members)
+
+    def __repr__(self) -> str:
+        return f"InterpretedKernel({len(self.orders)} attributes)"
+
+
+def as_kernel(orders_or_kernel):
+    """Coerce a constructor argument to a kernel.
+
+    Data structures historically took a sequence of schema-aligned
+    :class:`PartialOrder` — that still works and selects the interpreted
+    path; passing a ready kernel selects whatever it implements.
+    """
+    if isinstance(orders_or_kernel, (CompiledKernel, InterpretedKernel)):
+        return orders_or_kernel
+    return InterpretedKernel(orders_or_kernel)
+
+
+def make_kernel(kernel: str, orders: Sequence[PartialOrder],
+                codec: DomainCodec | None):
+    """Build the requested kernel flavour over schema-aligned orders."""
+    if validate_kernel(kernel) == "compiled":
+        if codec is None:
+            raise ReproError("compiled kernels need a shared DomainCodec")
+        return CompiledKernel(orders, codec)
+    return InterpretedKernel(orders)

@@ -36,12 +36,12 @@ class _ClusterState:
 
     __slots__ = ("cluster", "shared", "per_user")
 
-    def __init__(self, cluster: Cluster, schema, stats, registry=None):
+    def __init__(self, cluster: Cluster, monitor, stats, registry=None):
         self.cluster = cluster
-        self.shared = ParetoFrontier(cluster.virtual.aligned(schema),
-                                     stats.filter)
+        self.shared = ParetoFrontier(
+            monitor._make_kernel(cluster.virtual), stats.filter)
         self.per_user = {
-            user: ParetoFrontier(pref.aligned(schema), stats.verify,
+            user: ParetoFrontier(monitor._make_kernel(pref), stats.verify,
                                  registry, user)
             for user, pref in cluster.members.items()
         }
@@ -56,10 +56,10 @@ class FilterThenVerify(MonitorBase):
     """
 
     def __init__(self, clusters: Sequence[Cluster], schema: Sequence[str],
-                 track_targets: bool = False):
-        super().__init__(schema, track_targets)
+                 track_targets: bool = False, kernel: str = "compiled"):
+        super().__init__(schema, track_targets, kernel)
         self._states = [
-            _ClusterState(cluster, self.schema, self.stats, self.targets)
+            _ClusterState(cluster, self, self.stats, self.targets)
             for cluster in clusters
         ]
         self._user_state: dict[UserId, _ClusterState] = {}
@@ -78,7 +78,7 @@ class FilterThenVerify(MonitorBase):
     def from_users(cls, preferences: Mapping[UserId, Preference],
                    schema: Sequence[str], h: float = 0.55,
                    measure: str = "weighted_jaccard",
-                   ) -> "FilterThenVerify":
+                   kernel: str = "compiled") -> "FilterThenVerify":
         """Cluster users (Section 5) and build the monitor.
 
         ``h`` is the dendrogram branch cut; ``measure`` one of the
@@ -88,16 +88,16 @@ class FilterThenVerify(MonitorBase):
 
         groups = cluster_users(preferences, h=h, measure=measure)
         clusters = [Cluster.exact(group) for group in groups]
-        return cls(clusters, schema)
+        return cls(clusters, schema, kernel=kernel)
 
     # ------------------------------------------------------------------
     # Algorithm 2
     # ------------------------------------------------------------------
 
-    def _process(self, obj: Object) -> frozenset[UserId]:
+    def _process(self, obj: Object, codes=None) -> frozenset[UserId]:
         targets = []
         for state in self._states:
-            result = state.shared.add(obj)
+            result = state.shared.add(obj, codes)
             for evicted in result.evicted:
                 # o' left P_U, hence leaves every P_c (≻_U ⊆ ≻_c).
                 for frontier in state.per_user.values():
@@ -105,7 +105,7 @@ class FilterThenVerify(MonitorBase):
             if not result.is_pareto:
                 continue  # filtered out for the whole cluster
             for user, frontier in state.per_user.items():
-                if frontier.add(obj).is_pareto:
+                if frontier.add(obj, codes).is_pareto:
                     targets.append(user)
         return frozenset(targets)
 
@@ -150,7 +150,7 @@ class FilterThenVerify(MonitorBase):
         if user in self._user_state:
             raise ValueError(f"user {user!r} already registered")
         state = _ClusterState(Cluster({user: preference}, preference),
-                              self.schema, self.stats, self.targets)
+                              self, self.stats, self.targets)
         for obj in history:
             result = state.shared.add(obj)
             if result.is_pareto:
@@ -189,11 +189,11 @@ class FilterThenVerifyApprox(FilterThenVerify):
                    schema: Sequence[str], h: float = 0.55,
                    measure: str = "approx_weighted_jaccard",
                    theta1: float = 50, theta2: float = 0.5,
-                   ) -> "FilterThenVerifyApprox":
+                   kernel: str = "compiled") -> "FilterThenVerifyApprox":
         """Cluster with the Section 6.3 measures, then apply Algorithm 3."""
         from repro.clustering.hierarchical import cluster_users
 
         groups = cluster_users(preferences, h=h, measure=measure)
         clusters = [Cluster.approximate(group, theta1, theta2)
                     for group in groups]
-        return cls(clusters, schema)
+        return cls(clusters, schema, kernel=kernel)

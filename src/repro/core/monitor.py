@@ -28,7 +28,8 @@ def create_monitor(preferences: Mapping[UserId, Preference],
                    approximate: bool = False, window: int | None = None,
                    h: float = 0.55, measure: str | None = None,
                    theta1: float = 6000, theta2: float = 0.5,
-                   track_targets: bool = False) -> MonitorBase:
+                   track_targets: bool = False,
+                   kernel: str = "compiled") -> MonitorBase:
     """Build the appropriate monitor for a user base.
 
     Parameters
@@ -54,14 +55,19 @@ def create_monitor(preferences: Mapping[UserId, Preference],
         Algorithm 3 thresholds (only with ``approximate``).
     track_targets:
         maintain live ``C_o`` sets queryable via ``monitor.targets_of``.
+    kernel:
+        dominance kernel: ``"compiled"`` (default, value interning +
+        bitset dominance matrices — see :mod:`repro.core.compiled`) or
+        ``"interpreted"`` (the pure-Python reference path).
     """
     if approximate and not shared:
         raise ValueError("approximate=True requires shared=True "
                          "(approximation lives in the cluster sieve)")
     if not shared:
         if window is None:
-            return Baseline(preferences, schema, track_targets)
-        return BaselineSW(preferences, schema, window, track_targets)
+            return Baseline(preferences, schema, track_targets, kernel)
+        return BaselineSW(preferences, schema, window, track_targets,
+                          kernel)
 
     from repro.clustering.hierarchical import cluster_users
 
@@ -77,7 +83,7 @@ def create_monitor(preferences: Mapping[UserId, Preference],
     if window is None:
         factory = FilterThenVerifyApprox if approximate else \
             FilterThenVerify
-        return factory(clusters, schema, track_targets)
+        return factory(clusters, schema, track_targets, kernel)
     factory = FilterThenVerifyApproxSW if approximate else \
         FilterThenVerifySW
-    return factory(clusters, schema, window, track_targets)
+    return factory(clusters, schema, window, track_targets, kernel)

@@ -13,15 +13,20 @@ The frontier relies on two standard facts:
 * an incoming object that dominates some member cannot itself be dominated
   or be identical to another member, so a single scan with early exit is
   enough.
+
+The scan itself is delegated to a dominance kernel
+(:mod:`repro.core.compiled`): constructed from plain schema-aligned
+:class:`PartialOrder` sequences the frontier runs the interpreted
+reference path; constructed from a :class:`~repro.core.compiled.
+CompiledKernel` the scan works on interned integer codes, kept in a list
+parallel to the members.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 from typing import NamedTuple
 
-from repro.core.dominance import Comparison, compare
-from repro.core.partial_order import PartialOrder
+from repro.core.compiled import as_kernel
 from repro.data.objects import Object
 from repro.metrics.counters import Counter
 
@@ -33,6 +38,12 @@ class AddResult(NamedTuple):
     evicted: tuple[Object, ...]
 
 
+#: Shared results for the two overwhelmingly common no-eviction
+#: outcomes, so the hot insert path allocates nothing extra.
+_ADDED = AddResult(True, ())
+_REJECTED = AddResult(False, ())
+
+
 class ParetoFrontier:
     """The Pareto frontier ``P`` of an append-only object sequence.
 
@@ -41,15 +52,17 @@ class ParetoFrontier:
     the objects they dominate — see ``repro.core.sliding``).
     """
 
-    __slots__ = ("_orders", "_counter", "_members", "_ids", "_registry",
-                 "_owner")
+    __slots__ = ("_kernel", "_counter", "_members", "_codes", "_ids",
+                 "_registry", "_owner")
 
-    def __init__(self, orders: Sequence[PartialOrder],
-                 counter: Counter | None = None, registry=None,
-                 owner=None):
-        self._orders = tuple(orders)
+    def __init__(self, orders, counter: Counter | None = None,
+                 registry=None, owner=None):
+        self._kernel = as_kernel(orders)
         self._counter = counter if counter is not None else Counter()
         self._members: list[Object] = []
+        #: Encoded value tuples parallel to ``_members`` (None entries
+        #: under the interpreted kernel).
+        self._codes: list = []
         self._ids: set[int] = set()
         # Optional live C_o bookkeeping (repro.core.targets): when set,
         # every membership change is reported as (owner, oid).
@@ -64,6 +77,16 @@ class ParetoFrontier:
     def members(self) -> list[Object]:
         """Current frontier members in arrival order (read-only view)."""
         return self._members
+
+    @property
+    def member_codes(self) -> list:
+        """Encoded member tuples, parallel to :attr:`members`."""
+        return self._codes
+
+    @property
+    def kernel(self):
+        """The dominance kernel this frontier scans with."""
+        return self._kernel
 
     @property
     def ids(self) -> frozenset[int]:
@@ -89,65 +112,63 @@ class ParetoFrontier:
     # Algorithm 1: updateParetoFrontier
     # ------------------------------------------------------------------
 
-    def add(self, obj: Object) -> AddResult:
+    def add(self, obj: Object, codes=None) -> AddResult:
         """Offer a new object; maintain the frontier (Algorithm 1).
 
         Returns whether *obj* is Pareto-optimal and which members it
         evicted.  Identical objects are both kept (Algorithm 1, line 6).
+        *codes* is the object's encoded value tuple when the caller
+        already encoded it (monitors encode once per ``push``).
         """
+        kernel = self._kernel
+        if codes is None:
+            codes = kernel.encode(obj)
         members = self._members
-        evicted: list[Object] = []
-        is_pareto = True
-        scan_end = len(members)
-        write = 0
-        bump = self._counter.bump
-        orders = self._orders
-        for read in range(len(members)):
-            member = members[read]
-            bump()
-            verdict = compare(orders, obj, member)
-            if verdict is Comparison.A_DOMINATES:
-                evicted.append(member)
-                continue
-            if verdict is Comparison.B_DOMINATES:
-                is_pareto = False
-                scan_end = read
-                break
-            if verdict is Comparison.IDENTICAL:
-                scan_end = read
-                break
-            members[write] = member
-            write += 1
-        if evicted:
-            # Compact: keep survivors scanned so far plus the unscanned tail.
-            members[write:] = members[scan_end:]
-            self._ids.difference_update(o.oid for o in evicted)
-            if self._registry is not None:
-                for gone in evicted:
-                    self._registry.remove(self._owner, gone.oid)
+        member_codes = self._codes
+        is_pareto, evicted_reads, scan_end, scanned = kernel.scan_add(
+            obj, codes, members, member_codes)
+        self._counter.value += scanned
+        if not evicted_reads:
+            if is_pareto:
+                members.append(obj)
+                member_codes.append(codes)
+                self._ids.add(obj.oid)
+                if self._registry is not None:
+                    self._registry.insert(self._owner, obj.oid)
+                return _ADDED
+            return _REJECTED
+        evicted = tuple(members[read] for read in evicted_reads)
+        gone = set(evicted_reads)
+        # Compact: keep survivors scanned so far plus the unscanned tail.
+        members[:] = [m for i, m in enumerate(members[:scan_end])
+                      if i not in gone] + members[scan_end:]
+        member_codes[:] = [c for i, c in
+                           enumerate(member_codes[:scan_end])
+                           if i not in gone] + member_codes[scan_end:]
+        self._ids.difference_update(o.oid for o in evicted)
+        if self._registry is not None:
+            for victim in evicted:
+                self._registry.remove(self._owner, victim.oid)
         if is_pareto:
             members.append(obj)
+            member_codes.append(codes)
             self._ids.add(obj.oid)
             if self._registry is not None:
                 self._registry.insert(self._owner, obj.oid)
-        return AddResult(is_pareto, tuple(evicted))
+        return AddResult(is_pareto, evicted)
 
     # ------------------------------------------------------------------
     # Sliding-window support (Section 7)
     # ------------------------------------------------------------------
 
-    def dominated(self, obj: Object) -> bool:
+    def dominated(self, obj: Object, codes=None) -> bool:
         """True iff some member dominates *obj* (full dominance test)."""
-        bump = self._counter.bump
-        orders = self._orders
-        for member in self._members:
-            bump()
-            if (compare(orders, member, obj)
-                    is Comparison.A_DOMINATES):
-                return True
-        return False
+        found, scanned = self._kernel.any_dominator(
+            obj, codes, self._members, self._codes)
+        self._counter.bump(scanned)
+        return found
 
-    def mend_insert(self, obj: Object) -> bool:
+    def mend_insert(self, obj: Object, codes=None) -> bool:
         """``mendParetoFrontierSW``: insert *obj* iff no member dominates it.
 
         Used when an expiring object releases previously dominated objects.
@@ -157,9 +178,12 @@ class ParetoFrontier:
         """
         if obj.oid in self._ids:
             return True
-        if self.dominated(obj):
+        if codes is None:
+            codes = self._kernel.encode(obj)
+        if self.dominated(obj, codes):
             return False
         self._members.append(obj)
+        self._codes.append(codes)
         self._ids.add(obj.oid)
         if self._registry is not None:
             self._registry.insert(self._owner, obj.oid)
@@ -171,38 +195,43 @@ class ParetoFrontier:
         if oid not in self._ids:
             return False
         self._ids.remove(oid)
-        self._members[:] = [m for m in self._members if m.oid != oid]
+        keep = [i for i, m in enumerate(self._members) if m.oid != oid]
+        self._members[:] = [self._members[i] for i in keep]
+        self._codes[:] = [self._codes[i] for i in keep]
         if self._registry is not None:
             self._registry.remove(self._owner, oid)
         return True
 
-    def evict_dominated_by(self, obj: Object) -> tuple[Object, ...]:
+    def evict_dominated_by(self, obj: Object, codes=None,
+                           ) -> tuple[Object, ...]:
         """Remove every member dominated by *obj*; returns the evicted.
 
         The ``updateParetoFrontierSW`` step once an incoming object is known
         to be Pareto-optimal.
         """
-        bump = self._counter.bump
-        orders = self._orders
-        evicted = []
-        survivors = []
-        for member in self._members:
-            bump()
-            if compare(orders, obj, member) is Comparison.A_DOMINATES:
-                evicted.append(member)
-            else:
-                survivors.append(member)
-        if evicted:
-            self._members[:] = survivors
-            self._ids.difference_update(o.oid for o in evicted)
-            if self._registry is not None:
-                for gone in evicted:
-                    self._registry.remove(self._owner, gone.oid)
-        return tuple(evicted)
+        members = self._members
+        doomed, scanned = self._kernel.dominated_indices(
+            obj, codes, members, self._codes)
+        self._counter.bump(scanned)
+        if not doomed:
+            return ()
+        gone = set(doomed)
+        evicted = tuple(members[i] for i in doomed)
+        members[:] = [m for i, m in enumerate(members) if i not in gone]
+        self._codes[:] = [c for i, c in enumerate(self._codes)
+                          if i not in gone]
+        self._ids.difference_update(o.oid for o in evicted)
+        if self._registry is not None:
+            for victim in evicted:
+                self._registry.remove(self._owner, victim.oid)
+        return evicted
 
-    def append_unchecked(self, obj: Object) -> None:
+    def append_unchecked(self, obj: Object, codes=None) -> None:
         """Append an object already known to be Pareto-optimal."""
+        if codes is None:
+            codes = self._kernel.encode(obj)
         self._members.append(obj)
+        self._codes.append(codes)
         self._ids.add(obj.oid)
         if self._registry is not None:
             self._registry.insert(self._owner, obj.oid)
@@ -212,6 +241,7 @@ class ParetoFrontier:
             for oid in self._ids:
                 self._registry.remove(self._owner, oid)
         self._members.clear()
+        self._codes.clear()
         self._ids.clear()
 
     def __repr__(self) -> str:

@@ -33,6 +33,8 @@ from repro.core.errors import CycleError, ReflexiveTupleError
 Value = Hashable
 Pair = tuple[Value, Value]
 
+_EMPTY_FROZENSET: frozenset = frozenset()
+
 
 def transitive_closure(edges: Iterable[Pair]) -> dict[Value, set[Value]]:
     """Return ``{u: set of all v with u ≻ v}`` for the given edges.
@@ -114,8 +116,8 @@ class PartialOrder:
     with its tuple set.
     """
 
-    __slots__ = ("_better", "_pairs", "_domain", "_hasse", "_maximals",
-                 "_depths", "_hash")
+    __slots__ = ("_better", "_worse", "_pairs", "_domain", "_hasse",
+                 "_maximals", "_depths", "_hash")
 
     def __init__(self, edges: Iterable[Pair] = (),
                  domain: Iterable[Value] = ()):
@@ -129,6 +131,7 @@ class PartialOrder:
         for extra in domain:
             better.setdefault(extra, frozenset())
         self._better: dict[Value, frozenset] = better
+        self._worse: dict[Value, frozenset] | None = None
         self._pairs: frozenset[Pair] = frozenset(
             (u, v) for u, reach in better.items() for v in reach)
         self._domain: frozenset[Value] = frozenset(better)
@@ -229,8 +232,18 @@ class PartialOrder:
         return self._better.get(x, frozenset())
 
     def worse_than(self, x: Value) -> frozenset[Value]:
-        """All values preferred to *x*."""
-        return frozenset(u for u, reach in self._better.items() if x in reach)
+        """All values preferred to *x* (O(1) after the first call).
+
+        The inverse adjacency map is built once, lazily, instead of
+        rescanning every reach set per query.
+        """
+        if self._worse is None:
+            worse: dict[Value, set] = {v: set() for v in self._domain}
+            for u, reach in self._better.items():
+                for v in reach:
+                    worse[v].add(u)
+            self._worse = {v: frozenset(s) for v, s in worse.items()}
+        return self._worse.get(x, _EMPTY_FROZENSET)
 
     def __len__(self) -> int:
         return len(self._pairs)
@@ -410,6 +423,10 @@ class PartialOrderBuilder:
 
     def __init__(self, domain: Iterable[Value] = ()):
         self._better: dict[Value, set[Value]] = {v: set() for v in domain}
+        #: Inverse adjacency (worse → betters), maintained incrementally
+        #: so :meth:`try_add` never rescans every node's reach set.
+        self._worse: dict[Value, set[Value]] = {
+            v: set() for v in self._better}
         self._size = 0
 
     @property
@@ -438,16 +455,22 @@ class PartialOrderBuilder:
         x, y = pair
         if self.prefers(x, y):
             return True  # already implied; nothing to do
-        self._better.setdefault(x, set())
-        self._better.setdefault(y, set())
-        uppers = [u for u, reach in self._better.items() if x in reach]
+        better = self._better
+        worse = self._worse
+        better.setdefault(x, set())
+        better.setdefault(y, set())
+        worse.setdefault(x, set())
+        worse.setdefault(y, set())
+        uppers = list(worse[x])
         uppers.append(x)
-        lowers = list(self._better[y]) + [y]
+        lowers = list(better[y])
+        lowers.append(y)
         for upper in uppers:
-            reach = self._better[upper]
+            reach = better[upper]
             for lower in lowers:
                 if upper != lower and lower not in reach:
                     reach.add(lower)
+                    worse.setdefault(lower, set()).add(upper)
                     self._size += 1
         return True
 

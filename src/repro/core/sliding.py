@@ -18,6 +18,10 @@ frontiers only for buffered objects dominated by the expiring object under
 ``≻_U`` would be missed.  We mend per user (still scanning only ``PB_U``),
 which keeps every ``P_c`` identical to a from-scratch recomputation while
 preserving the complexity argument.
+
+Like the append-only monitors, the sliding family runs on a selectable
+dominance kernel (:mod:`repro.core.compiled`): arrivals are value-interned
+once per push, and the buffer/mend scans run on encoded tuples.
 """
 
 from __future__ import annotations
@@ -27,10 +31,9 @@ from collections.abc import Mapping, Sequence
 
 from repro.core.baseline import MonitorBase
 from repro.core.clusters import Cluster, UserId
-from repro.core.dominance import Comparison, compare
+from repro.core.compiled import as_kernel
 from repro.core.errors import WindowError
 from repro.core.pareto import ParetoFrontier
-from repro.core.partial_order import PartialOrder
 from repro.core.preference import Preference
 from repro.data.objects import Object
 from repro.metrics.counters import Counter
@@ -45,19 +48,24 @@ class ParetoBuffer:
     rely on.
     """
 
-    __slots__ = ("_orders", "_counter", "_members", "_ids")
+    __slots__ = ("_kernel", "_counter", "_members", "_codes", "_ids")
 
-    def __init__(self, orders: Sequence[PartialOrder],
-                 counter: Counter | None = None):
-        self._orders = tuple(orders)
+    def __init__(self, orders, counter: Counter | None = None):
+        self._kernel = as_kernel(orders)
         self._counter = counter if counter is not None else Counter()
         self._members: list[Object] = []
+        self._codes: list = []
         self._ids: set[int] = set()
 
     @property
     def members(self) -> list[Object]:
         """Alive candidates in arrival order.  Treat as read-only."""
         return self._members
+
+    @property
+    def member_codes(self) -> list:
+        """Encoded member tuples, parallel to :attr:`members`."""
+        return self._codes
 
     def __len__(self) -> int:
         return len(self._members)
@@ -66,29 +74,33 @@ class ParetoBuffer:
         oid = obj.oid if isinstance(obj, Object) else obj
         return oid in self._ids
 
-    def on_arrival(self, obj: Object) -> tuple[Object, ...]:
+    def on_arrival(self, obj: Object, codes=None) -> tuple[Object, ...]:
         """``refreshParetoBufferSW``: admit *obj*, expel what it dominates.
 
         Members dominated by the newcomer arrived earlier, so by Theorem
         7.2 they can never be Pareto-optimal again and are dropped for the
         rest of their lifetime.  Returns the expelled objects.
         """
-        bump = self._counter.bump
-        orders = self._orders
-        expelled = []
-        survivors = []
-        for member in self._members:
-            bump()
-            if compare(orders, obj, member) is Comparison.A_DOMINATES:
-                expelled.append(member)
-            else:
-                survivors.append(member)
-        if expelled:
-            self._members[:] = survivors
+        kernel = self._kernel
+        if codes is None:
+            codes = kernel.encode(obj)
+        members = self._members
+        doomed, scanned = kernel.dominated_indices(
+            obj, codes, members, self._codes)
+        self._counter.bump(scanned)
+        expelled: tuple[Object, ...] = ()
+        if doomed:
+            gone = set(doomed)
+            expelled = tuple(members[i] for i in doomed)
+            members[:] = [m for i, m in enumerate(members)
+                          if i not in gone]
+            self._codes[:] = [c for i, c in enumerate(self._codes)
+                              if i not in gone]
             self._ids.difference_update(o.oid for o in expelled)
-        self._members.append(obj)
+        members.append(obj)
+        self._codes.append(codes)
         self._ids.add(obj.oid)
-        return tuple(expelled)
+        return expelled
 
     def on_expiry(self, obj: Object | int) -> bool:
         """Drop the expiring object; True if it was still buffered."""
@@ -96,7 +108,9 @@ class ParetoBuffer:
         if oid not in self._ids:
             return False
         self._ids.remove(oid)
-        self._members[:] = [m for m in self._members if m.oid != oid]
+        keep = [i for i, m in enumerate(self._members) if m.oid != oid]
+        self._members[:] = [self._members[i] for i in keep]
+        self._codes[:] = [self._codes[i] for i in keep]
         return True
 
 
@@ -104,37 +118,40 @@ class SlidingMonitorBase(MonitorBase):
     """Window bookkeeping shared by the sliding-window monitors."""
 
     def __init__(self, schema: Sequence[str], window: int,
-                 track_targets: bool = False):
-        super().__init__(schema, track_targets)
+                 track_targets: bool = False, kernel: str = "compiled"):
+        super().__init__(schema, track_targets, kernel)
         if window < 1:
             raise WindowError(f"window size must be >= 1, got {window}")
         self.window = int(window)
-        self._alive: deque[Object] = deque()
+        #: Alive (object, codes) pairs, oldest first — codes ride along
+        #: so expiry never re-encodes.
+        self._alive: deque[tuple[Object, object]] = deque()
 
     @property
     def alive(self) -> tuple[Object, ...]:
         """The current window contents, oldest first."""
-        return tuple(self._alive)
+        return tuple(obj for obj, _ in self._alive)
 
-    def push(self, row) -> frozenset[UserId]:
+    def _push_object(self, obj: Object, codes) -> frozenset[UserId]:
         """Expire the ``W``-old object (if any), then process the arrival."""
-        obj = self._coerce(row)
         self.stats.objects += 1
         if len(self._alive) == self.window:
-            self._expire(self._alive.popleft())
-        self._alive.append(obj)
-        targets = self._arrive(obj)
+            expired, expired_codes = self._alive.popleft()
+            self._expire(expired, expired_codes)
+        self._alive.append((obj, codes))
+        targets = self._arrive(obj, codes)
         self.stats.delivered += len(targets)
         return targets
 
-    def _expire(self, obj: Object) -> None:
+    def _expire(self, obj: Object, codes) -> None:
         raise NotImplementedError
 
-    def _arrive(self, obj: Object) -> frozenset[UserId]:
+    def _arrive(self, obj: Object, codes) -> frozenset[UserId]:
         raise NotImplementedError
 
-    def _process(self, obj: Object) -> frozenset[UserId]:  # pragma: no cover
-        raise NotImplementedError("sliding monitors override push()")
+    def _process(self, obj: Object, codes=None):  # pragma: no cover
+        raise NotImplementedError(
+            "sliding monitors override _push_object()")
 
 
 class BaselineSW(SlidingMonitorBase):
@@ -142,16 +159,17 @@ class BaselineSW(SlidingMonitorBase):
 
     def __init__(self, preferences: Mapping[UserId, Preference],
                  schema: Sequence[str], window: int,
-                 track_targets: bool = False):
-        super().__init__(schema, window, track_targets)
+                 track_targets: bool = False, kernel: str = "compiled"):
+        super().__init__(schema, window, track_targets, kernel)
         self._preferences = dict(preferences)
         self._frontiers: dict[UserId, ParetoFrontier] = {}
         self._buffers: dict[UserId, ParetoBuffer] = {}
         for user, pref in self._preferences.items():
-            orders = pref.aligned(self.schema)
+            user_kernel = self._make_kernel(pref)
             self._frontiers[user] = ParetoFrontier(
-                orders, self.stats.filter, self.targets, user)
-            self._buffers[user] = ParetoBuffer(orders, self.stats.buffer)
+                user_kernel, self.stats.filter, self.targets, user)
+            self._buffers[user] = ParetoBuffer(user_kernel,
+                                               self.stats.buffer)
 
     @property
     def users(self) -> tuple[UserId, ...]:
@@ -166,13 +184,13 @@ class BaselineSW(SlidingMonitorBase):
         """
         if user in self._preferences:
             raise ValueError(f"user {user!r} already registered")
-        orders = preference.aligned(self.schema)
-        frontier = ParetoFrontier(orders, self.stats.filter,
+        user_kernel = self._make_kernel(preference)
+        frontier = ParetoFrontier(user_kernel, self.stats.filter,
                                   self.targets, user)
-        buffer = ParetoBuffer(orders, self.stats.buffer)
-        for obj in self._alive:
-            frontier.add(obj)
-            buffer.on_arrival(obj)
+        buffer = ParetoBuffer(user_kernel, self.stats.buffer)
+        for obj, codes in self._alive:
+            frontier.add(obj, codes)
+            buffer.on_arrival(obj, codes)
         self._preferences[user] = preference
         self._frontiers[user] = frontier
         self._buffers[user] = buffer
@@ -183,28 +201,27 @@ class BaselineSW(SlidingMonitorBase):
         del self._buffers[user]
         self._frontiers.pop(user).clear()
 
-    def _expire(self, obj: Object) -> None:
-        for user, pref in self._preferences.items():
+    def _expire(self, obj: Object, codes) -> None:
+        for user in self._preferences:
             frontier = self._frontiers[user]
             buffer = self._buffers[user]
             if frontier.discard(obj.oid):
                 # Objects dominated (possibly exclusively) by the expiring
                 # member may now be Pareto-optimal; candidates live in PB_c.
-                orders = pref.aligned(self.schema)
-                bump = self.stats.buffer.bump
-                for candidate in buffer.members:
-                    bump()
-                    if (compare(orders, obj, candidate)
-                            is Comparison.A_DOMINATES):
-                        frontier.mend_insert(candidate)
+                released, scanned = frontier.kernel.dominated_indices(
+                    obj, codes, buffer.members, buffer.member_codes)
+                self.stats.buffer.bump(scanned)
+                for index in released:
+                    frontier.mend_insert(buffer.members[index],
+                                         buffer.member_codes[index])
             buffer.on_expiry(obj.oid)
 
-    def _arrive(self, obj: Object) -> frozenset[UserId]:
+    def _arrive(self, obj: Object, codes) -> frozenset[UserId]:
         targets = []
         for user, frontier in self._frontiers.items():
-            if frontier.add(obj).is_pareto:
+            if frontier.add(obj, codes).is_pareto:
                 targets.append(user)
-            self._buffers[user].on_arrival(obj)
+            self._buffers[user].on_arrival(obj, codes)
         return frozenset(targets)
 
     def frontier(self, user: UserId) -> tuple[Object, ...]:
@@ -223,21 +240,16 @@ class _SlidingClusterState:
     """Runtime state of one cluster under the window: ``P_U``, ``PB_U`` and
     the members' ``P_c``."""
 
-    __slots__ = ("cluster", "shared", "buffer", "per_user", "virtual_orders",
-                 "user_orders")
+    __slots__ = ("cluster", "shared", "buffer", "per_user")
 
-    def __init__(self, cluster: Cluster, schema, stats, registry=None):
+    def __init__(self, cluster: Cluster, monitor, stats, registry=None):
         self.cluster = cluster
-        self.virtual_orders = cluster.virtual.aligned(schema)
-        self.shared = ParetoFrontier(self.virtual_orders, stats.filter)
-        self.buffer = ParetoBuffer(self.virtual_orders, stats.buffer)
+        virtual_kernel = monitor._make_kernel(cluster.virtual)
+        self.shared = ParetoFrontier(virtual_kernel, stats.filter)
+        self.buffer = ParetoBuffer(virtual_kernel, stats.buffer)
         self.per_user = {
-            user: ParetoFrontier(pref.aligned(schema), stats.verify,
+            user: ParetoFrontier(monitor._make_kernel(pref), stats.verify,
                                  registry, user)
-            for user, pref in cluster.members.items()
-        }
-        self.user_orders = {
-            user: pref.aligned(schema)
             for user, pref in cluster.members.items()
         }
 
@@ -247,11 +259,11 @@ class FilterThenVerifySW(SlidingMonitorBase):
     cluster (Theorem 7.5), with per-user verification."""
 
     def __init__(self, clusters: Sequence[Cluster], schema: Sequence[str],
-                 window: int, track_targets: bool = False):
-        super().__init__(schema, window, track_targets)
+                 window: int, track_targets: bool = False,
+                 kernel: str = "compiled"):
+        super().__init__(schema, window, track_targets, kernel)
         self._states = [
-            _SlidingClusterState(cluster, self.schema, self.stats,
-                                 self.targets)
+            _SlidingClusterState(cluster, self, self.stats, self.targets)
             for cluster in clusters
         ]
         self._user_state: dict[UserId, _SlidingClusterState] = {}
@@ -266,13 +278,13 @@ class FilterThenVerifySW(SlidingMonitorBase):
     def from_users(cls, preferences: Mapping[UserId, Preference],
                    schema: Sequence[str], window: int, h: float = 0.55,
                    measure: str = "weighted_jaccard",
-                   ) -> "FilterThenVerifySW":
+                   kernel: str = "compiled") -> "FilterThenVerifySW":
         """Cluster users (Section 5) and build the monitor."""
         from repro.clustering.hierarchical import cluster_users
 
         groups = cluster_users(preferences, h=h, measure=measure)
         clusters = [Cluster.exact(group) for group in groups]
-        return cls(clusters, schema, window)
+        return cls(clusters, schema, window, kernel=kernel)
 
     @property
     def clusters(self) -> tuple[Cluster, ...]:
@@ -286,54 +298,53 @@ class FilterThenVerifySW(SlidingMonitorBase):
     # Expiry: mend P_U and every affected P_c from PB_U
     # ------------------------------------------------------------------
 
-    def _expire(self, obj: Object) -> None:
+    def _expire(self, obj: Object, codes) -> None:
         for state in self._states:
             affected = [
                 user for user, frontier in state.per_user.items()
                 if frontier.discard(obj.oid)
             ]
+            buffer = state.buffer
             if state.shared.discard(obj.oid):
-                bump = self.stats.buffer.bump
-                virtual_orders = state.virtual_orders
-                for candidate in state.buffer.members:
-                    bump()
-                    if (compare(virtual_orders, obj, candidate)
-                            is Comparison.A_DOMINATES):
-                        state.shared.mend_insert(candidate)
+                released, scanned = state.shared.kernel.dominated_indices(
+                    obj, codes, buffer.members, buffer.member_codes)
+                self.stats.buffer.bump(scanned)
+                for index in released:
+                    state.shared.mend_insert(buffer.members[index],
+                                             buffer.member_codes[index])
             # Per-user mend (DESIGN.md §7.3): candidates still come only
             # from PB_U.  PB_U is ordered by ≻_U-domination, not by each
             # member's ≻_c, so a candidate's ≻_c-dominator may appear
             # *later* in the scan; the evicting insert (frontier.add)
             # makes the outcome order-independent.
             for user in affected:
-                orders = state.user_orders[user]
                 frontier = state.per_user[user]
-                bump = self.stats.verify.bump
-                for candidate in state.buffer.members:
-                    bump()
-                    if (compare(orders, obj, candidate)
-                            is Comparison.A_DOMINATES
-                            and candidate.oid in state.shared
+                released, scanned = frontier.kernel.dominated_indices(
+                    obj, codes, buffer.members, buffer.member_codes)
+                self.stats.verify.bump(scanned)
+                for index in released:
+                    candidate = buffer.members[index]
+                    if (candidate.oid in state.shared
                             and candidate.oid not in frontier):
-                        frontier.add(candidate)
-            state.buffer.on_expiry(obj.oid)
+                        frontier.add(candidate, buffer.member_codes[index])
+            buffer.on_expiry(obj.oid)
 
     # ------------------------------------------------------------------
     # Arrival: filter through P_U, verify per user, refresh PB_U
     # ------------------------------------------------------------------
 
-    def _arrive(self, obj: Object) -> frozenset[UserId]:
+    def _arrive(self, obj: Object, codes) -> frozenset[UserId]:
         targets = []
         for state in self._states:
-            result = state.shared.add(obj)
+            result = state.shared.add(obj, codes)
             if result.is_pareto:
                 for evicted in result.evicted:
                     for frontier in state.per_user.values():
                         frontier.discard(evicted.oid)
                 for user, frontier in state.per_user.items():
-                    if frontier.add(obj).is_pareto:
+                    if frontier.add(obj, codes).is_pareto:
                         targets.append(user)
-            state.buffer.on_arrival(obj)
+            state.buffer.on_arrival(obj, codes)
         return frozenset(targets)
 
     # ------------------------------------------------------------------
@@ -363,13 +374,13 @@ class FilterThenVerifySW(SlidingMonitorBase):
         if user in self._user_state:
             raise ValueError(f"user {user!r} already registered")
         state = _SlidingClusterState(
-            Cluster({user: preference}, preference), self.schema,
+            Cluster({user: preference}, preference), self,
             self.stats, self.targets)
-        for obj in self._alive:
-            result = state.shared.add(obj)
+        for obj, codes in self._alive:
+            result = state.shared.add(obj, codes)
             if result.is_pareto:
-                state.per_user[user].add(obj)
-            state.buffer.on_arrival(obj)
+                state.per_user[user].add(obj, codes)
+            state.buffer.on_arrival(obj, codes)
         self._states.append(state)
         self._user_state[user] = state
 
@@ -378,7 +389,6 @@ class FilterThenVerifySW(SlidingMonitorBase):
         :meth:`FilterThenVerify.remove_user`)."""
         state = self._user_state.pop(user)
         state.per_user.pop(user).clear()
-        del state.user_orders[user]
         members = {u: p for u, p in state.cluster.members.items()
                    if u != user}
         if not members:
@@ -395,11 +405,11 @@ class FilterThenVerifyApproxSW(FilterThenVerifySW):
                    schema: Sequence[str], window: int, h: float = 0.55,
                    measure: str = "approx_weighted_jaccard",
                    theta1: float = 50, theta2: float = 0.5,
-                   ) -> "FilterThenVerifyApproxSW":
+                   kernel: str = "compiled") -> "FilterThenVerifyApproxSW":
         """Cluster with the Section 6.3 measures, then apply Algorithm 3."""
         from repro.clustering.hierarchical import cluster_users
 
         groups = cluster_users(preferences, h=h, measure=measure)
         clusters = [Cluster.approximate(group, theta1, theta2)
                     for group in groups]
-        return cls(clusters, schema, window)
+        return cls(clusters, schema, window, kernel=kernel)

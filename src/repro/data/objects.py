@@ -13,12 +13,25 @@ such as ``"13-15.9"`` — compared only through each user's
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Mapping, Sequence
+from functools import lru_cache
 from typing import Iterator
 
 from repro.core.errors import SchemaMismatchError, UnknownAttributeError
 
 Value = Hashable
 Schema = tuple[str, ...]
+
+
+@lru_cache(maxsize=256)
+def schema_index(schema: Schema) -> dict[str, int]:
+    """The ``{attribute: position}`` map of a schema, cached per schema.
+
+    Schemas are small immutable tuples shared by every object of a
+    dataset, so one cached dict replaces the ``tuple.index`` linear scan
+    in every per-attribute lookup (:meth:`Object.value`,
+    :meth:`Dataset.domain`, :meth:`Dataset.project`, CSV parsing).
+    """
+    return {attr: position for position, attr in enumerate(schema)}
 
 
 class Object:
@@ -45,8 +58,8 @@ class Object:
     def value(self, schema: Schema, attribute: str) -> Value:
         """The object's value on *attribute* under *schema*."""
         try:
-            return self.values[schema.index(attribute)]
-        except ValueError:
+            return self.values[schema_index(tuple(schema))[attribute]]
+        except KeyError:
             raise UnknownAttributeError(attribute, schema) from None
 
     def same_values(self, other: "Object") -> bool:
@@ -80,9 +93,8 @@ class Dataset:
     def append(self, row: Sequence[Value] | Mapping[str, Value]) -> Object:
         """Append a row (sequence aligned with the schema, or a mapping)."""
         if isinstance(row, Mapping):
-            missing = set(self.schema) - set(row)
-            extra = set(row) - set(self.schema)
-            if missing or extra:
+            if (len(row) != len(self.schema)
+                    or any(attr not in row for attr in self.schema)):
                 raise SchemaMismatchError(self.schema, row.keys())
             values = tuple(row[attr] for attr in self.schema)
         else:
@@ -106,11 +118,12 @@ class Dataset:
     def project(self, attributes: Sequence[str]) -> "Dataset":
         """A new dataset restricted to *attributes* (used by the ``d`` sweeps
         of Figures 6, 7, 10 and 11)."""
+        positions = schema_index(self.schema)
         indices = []
         for attr in attributes:
-            if attr not in self.schema:
+            if attr not in positions:
                 raise UnknownAttributeError(attr, self.schema)
-            indices.append(self.schema.index(attr))
+            indices.append(positions[attr])
         projected = Dataset(attributes)
         for obj in self._objects:
             projected.append([obj.values[i] for i in indices])
@@ -118,9 +131,9 @@ class Dataset:
 
     def domain(self, attribute: str) -> frozenset[Value]:
         """All values observed for *attribute* so far."""
-        if attribute not in self.schema:
+        index = schema_index(self.schema).get(attribute)
+        if index is None:
             raise UnknownAttributeError(attribute, self.schema)
-        index = self.schema.index(attribute)
         return frozenset(obj.values[index] for obj in self._objects)
 
     def __len__(self) -> int:

@@ -23,7 +23,7 @@ from typing import IO, Any
 
 from repro.core.partial_order import PartialOrder
 from repro.core.preference import Preference
-from repro.data.objects import Dataset
+from repro.data.objects import Dataset, schema_index
 
 EDGE_HEADER = ("user", "attribute", "better", "worse")
 #: Marker rows that declare an isolated (edge-free) domain value:
@@ -60,15 +60,26 @@ def read_dataset_csv(fp: IO[str] | str,
             schema = tuple(next(reader))
         except StopIteration:
             raise ValueError("empty CSV: no header row") from None
-        convert = [(converters or {}).get(attr, str) for attr in schema]
+        # Align converters by the cached {attribute: index} map instead
+        # of per-attribute scans, and reject converters for attributes
+        # the header does not carry (silently ignored before).
+        positions = schema_index(schema)
+        convert: list[Callable[[str], Any]] = [str] * len(schema)
+        for attr, fn in (converters or {}).items():
+            if attr not in positions:
+                raise ValueError(
+                    f"converter for unknown attribute {attr!r}; "
+                    f"header has {', '.join(schema)}")
+            convert[positions[attr]] = fn
+        width = len(schema)
         dataset = Dataset(schema)
         for row in reader:
             if not row:
                 continue
-            if len(row) != len(schema):
+            if len(row) != width:
                 raise ValueError(
                     f"row {len(dataset) + 1} has {len(row)} cells, "
-                    f"schema has {len(schema)}")
+                    f"schema has {width}")
             dataset.append([fn(cell) for fn, cell in zip(convert, row)])
         return dataset
 

@@ -115,6 +115,18 @@ class LatencyProfiler:
         self.profile.record(self._clock() - started)
         return targets
 
+    def push_batch(self, rows):
+        """Batched ingest, still recording one sample per arrival.
+
+        Routed through :meth:`push` so the per-push latency distribution
+        stays comparable with unbatched ingest (the batch encoding
+        amortisation is deliberately forfeited while profiling).
+        """
+        return [self.push(row) for row in rows]
+
+    def push_all(self, rows):
+        return self.push_batch(rows)
+
     def slo(self, budget_ms: float) -> SLOReport:
         """Check every recorded push against a latency budget."""
         budget = budget_ms / 1000.0

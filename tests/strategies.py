@@ -70,3 +70,23 @@ def datasets(draw, min_objects: int = 0, max_objects: int = 24,
     rows = draw(st.lists(object_rows(domains), min_size=min_objects,
                          max_size=max_objects))
     return Dataset(tuple(domains), rows)
+
+
+@st.composite
+def object_streams(draw, min_objects: int = 0, max_objects: int = 30,
+                   domains=None, extra_values: int = 0):
+    """A stream of object rows over the shared test domains.
+
+    ``extra_values`` widens each attribute's pool beyond the values any
+    preference order knows, so monitors see *unknown* values mid-stream —
+    the compiled kernel's transparent-fallback path.
+    """
+    domains = domains or DOMAINS
+    if extra_values:
+        domains = {
+            attribute: list(values) + [f"{attribute}?{i}"
+                                       for i in range(extra_values)]
+            for attribute, values in domains.items()
+        }
+    return draw(st.lists(object_rows(domains), min_size=min_objects,
+                         max_size=max_objects))

@@ -189,4 +189,4 @@ class TestExperiments:
         assert set(experiments.EXPERIMENTS) == {
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "fig11", "tab11", "tab12", "abl-sim", "abl-theta",
-            "abl-users", "abl-batch", "abl-buffer"}
+            "abl-users", "abl-batch", "abl-buffer", "perf"}

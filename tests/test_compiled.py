@@ -1,0 +1,339 @@
+"""The compiled dominance kernel (repro.core.compiled).
+
+The contract under test: for any preferences, any stream (including
+values no order has ever seen) and any monitor family, the compiled
+kernel returns *identical* notification sets, frontiers and comparison
+counts to the interpreted reference path — while being the faster
+default.  Differential tests drive both paths with hypothesis-generated
+workloads; unit tests pin down the codec and the unknown-value fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseline import Baseline
+from repro.core.clusters import Cluster
+from repro.core.compiled import (KERNELS, CompiledKernel, CompiledOrder,
+                                 DomainCodec, InterpretedKernel,
+                                 TABLE_DOMAIN_LIMIT, as_kernel,
+                                 make_kernel, validate_kernel)
+from repro.core.dominance import Comparison, compare
+from repro.core.errors import ReproError
+from repro.core.filter_verify import FilterThenVerify, FilterThenVerifyApprox
+from repro.core.partial_order import PartialOrder
+from repro.core.preference import Preference
+from repro.core.sliding import BaselineSW, FilterThenVerifySW
+from repro.data.objects import Object
+from tests.strategies import (DOMAINS, object_rows, object_streams,
+                              partial_orders, preferences, user_sets)
+
+SCHEMA = tuple(DOMAINS)
+
+
+# ---------------------------------------------------------------------------
+# DomainCodec
+# ---------------------------------------------------------------------------
+
+class TestDomainCodec:
+    def test_codes_are_contiguous_and_stable(self):
+        codec = DomainCodec(("a", "b"))
+        first = codec.encode(("x", "p"))
+        second = codec.encode(("y", "p"))
+        assert first == (0, 0)
+        assert second == (1, 0)
+        assert codec.encode(("x", "p")) == first
+
+    def test_unknown_values_are_interned_on_sight(self):
+        codec = DomainCodec(("a",))
+        codec.intern_domain(0, ["u", "v"])
+        before = codec.size(0)
+        codes = codec.encode(("never-seen",))
+        assert codes[0] == before
+        assert codec.size(0) == before + 1
+
+    def test_encode_many_matches_encode(self):
+        codec = DomainCodec(SCHEMA)
+        rows = [("red", "xs", "disc"), ("blue", "m", "cone"),
+                ("red", "xs", "disc")]
+        batch = codec.encode_many(rows)
+        fresh = DomainCodec(SCHEMA)
+        assert batch == [fresh.encode(row) for row in rows]
+
+    def test_for_preferences_interns_order_domains(self):
+        preference = Preference({
+            "color": PartialOrder.from_chain(["red", "green"]),
+            "size": PartialOrder.empty(["xs"]),
+            "shape": PartialOrder.empty(),
+        })
+        codec = DomainCodec.for_preferences(SCHEMA, [preference])
+        assert codec.code(0, "red") is not None
+        assert codec.code(0, "green") is not None
+        assert codec.code(1, "xs") is not None
+
+    def test_kernel_validation(self):
+        assert validate_kernel("compiled") == "compiled"
+        with pytest.raises(ReproError):
+            validate_kernel("jit")
+        with pytest.raises(ReproError):
+            make_kernel("compiled", (), None)  # codec required
+        assert "compiled" in KERNELS and "interpreted" in KERNELS
+
+
+# ---------------------------------------------------------------------------
+# CompiledOrder: bitmasks, tables, unknown-value fallback
+# ---------------------------------------------------------------------------
+
+class TestCompiledOrder:
+    def _compiled(self, order):
+        codec = DomainCodec(("d",))
+        return CompiledOrder(order, codec, 0), codec
+
+    def test_bitmasks_mirror_prefers(self):
+        order = PartialOrder.from_chain(["a", "b", "c"])
+        compiled, codec = self._compiled(order)
+        for x in order.domain:
+            for y in order.domain:
+                assert compiled.prefers(codec.code(0, x),
+                                        codec.code(0, y)) \
+                    == order.prefers(x, y)
+
+    def test_unknown_code_is_isolated(self):
+        order = PartialOrder.from_chain(["a", "b"])
+        compiled, codec = self._compiled(order)
+        late = codec.encode(("zzz",))[0]
+        known = codec.code(0, "a")
+        assert not compiled.prefers(late, known)
+        assert not compiled.prefers(known, late)
+        assert compiled.outcome(late, late) == 0          # equal
+        assert compiled.outcome(late, known) == 3         # incomparable
+        assert compiled.outcome(known, late) == 3
+
+    def test_recompile_extends_capacity(self):
+        order = PartialOrder.from_chain(["a", "b"])
+        compiled, codec = self._compiled(order)
+        for i in range(compiled.size + 4):
+            codec.encode((f"grow{i}",))
+        assert codec.size(0) > compiled.size
+        compiled.recompile()
+        assert compiled.size >= codec.size(0)
+        assert compiled.prefers(codec.code(0, "a"), codec.code(0, "b"))
+
+    @given(order=partial_orders(DOMAINS["color"]))
+    def test_outcome_matches_interpreted_on_random_orders(self, order):
+        compiled, codec = self._compiled(order)
+        values = sorted(order.domain, key=repr) + ["unseen"]
+        for x in values:
+            for y in values:
+                a = Object(0, (x,))
+                b = Object(1, (y,))
+                expected = compare((order,), a, b)
+                got = CompiledKernel((order,), codec).compare(a, b)
+                assert got is expected
+
+
+# ---------------------------------------------------------------------------
+# Single-pair differential: compare_codes vs dominance.compare
+# ---------------------------------------------------------------------------
+
+class TestPairDifferential:
+    @given(prefs=preferences(), a=object_rows(), b=object_rows())
+    def test_compare_codes_matches_compare(self, prefs, a, b):
+        orders = prefs.aligned(SCHEMA)
+        codec = DomainCodec.for_preferences(SCHEMA, [prefs])
+        kernel = CompiledKernel(orders, codec)
+        oa, ob = Object(0, a), Object(1, b)
+        assert kernel.compare(oa, ob) is compare(orders, oa, ob)
+
+    @given(prefs=preferences(),
+           rows=object_streams(max_objects=12, extra_values=2))
+    def test_unknown_values_fall_back_transparently(self, prefs, rows):
+        orders = prefs.aligned(SCHEMA)
+        codec = DomainCodec.for_preferences(SCHEMA, [prefs])
+        kernel = CompiledKernel(orders, codec)
+        objects = [Object(i, row) for i, row in enumerate(rows)]
+        for a in objects:
+            for b in objects:
+                assert kernel.compare(a, b) is compare(orders, a, b)
+
+
+# ---------------------------------------------------------------------------
+# Monitor-level differentials: identical notifications and frontiers
+# ---------------------------------------------------------------------------
+
+def _assert_equivalent(make_monitor, users, rows, batch=False):
+    """Drive interpreted and compiled twins; everything must match."""
+    interpreted = make_monitor("interpreted")
+    compiled = make_monitor("compiled")
+    stream = [Object(i, row) for i, row in enumerate(rows)]
+    if batch:
+        got_i = interpreted.push_batch(stream)
+        got_c = compiled.push_batch(stream)
+        assert got_i == got_c
+    else:
+        for obj in stream:
+            assert interpreted.push(obj) == compiled.push(obj)
+    for user in users:
+        assert interpreted.frontier(user) == compiled.frontier(user)
+    assert interpreted.stats.snapshot() == compiled.stats.snapshot()
+
+
+class TestMonitorDifferential:
+    @given(users=user_sets(max_users=3),
+           rows=object_streams(max_objects=20, extra_values=1))
+    def test_baseline(self, users, rows):
+        _assert_equivalent(
+            lambda k: Baseline(users, SCHEMA, kernel=k), users, rows)
+
+    @given(users=user_sets(max_users=3),
+           rows=object_streams(max_objects=20, extra_values=1))
+    def test_filter_then_verify_exact_cluster(self, users, rows):
+        clusters = [Cluster.exact(users)]
+        _assert_equivalent(
+            lambda k: FilterThenVerify(clusters, SCHEMA, kernel=k),
+            users, rows)
+
+    @given(users=user_sets(min_users=2, max_users=4),
+           rows=object_streams(max_objects=16, extra_values=1))
+    def test_filter_then_verify_approx_cluster(self, users, rows):
+        clusters = [Cluster.approximate(users, theta1=50, theta2=0.4)]
+        _assert_equivalent(
+            lambda k: FilterThenVerifyApprox(clusters, SCHEMA, kernel=k),
+            users, rows)
+
+    @settings(max_examples=30)
+    @given(users=user_sets(max_users=3),
+           rows=object_streams(min_objects=1, max_objects=24,
+                               extra_values=1),
+           window=st.integers(1, 8))
+    def test_baseline_sliding_window(self, users, rows, window):
+        _assert_equivalent(
+            lambda k: BaselineSW(users, SCHEMA, window, kernel=k),
+            users, rows)
+
+    @settings(max_examples=30)
+    @given(users=user_sets(max_users=3),
+           rows=object_streams(min_objects=1, max_objects=24,
+                               extra_values=1),
+           window=st.integers(1, 8))
+    def test_filter_then_verify_sliding_window(self, users, rows, window):
+        clusters = [Cluster.exact(users)]
+        _assert_equivalent(
+            lambda k: FilterThenVerifySW(clusters, SCHEMA, window,
+                                         kernel=k),
+            users, rows)
+
+    @given(users=user_sets(max_users=3),
+           rows=object_streams(max_objects=20))
+    def test_push_batch_equals_push(self, users, rows):
+        one = Baseline(users, SCHEMA)
+        per = [one.push(row) for row in rows]
+        many = Baseline(users, SCHEMA)
+        assert many.push_batch(list(rows)) == per
+        for user in users:
+            assert one.frontier_ids(user) == many.frontier_ids(user)
+        _assert_equivalent(
+            lambda k: Baseline(users, SCHEMA, kernel=k), users, rows,
+            batch=True)
+
+
+# ---------------------------------------------------------------------------
+# Plumbing details worth pinning down
+# ---------------------------------------------------------------------------
+
+class TestKernelPlumbing:
+    def test_as_kernel_wraps_plain_orders(self):
+        orders = (PartialOrder.from_chain(["a", "b"]),)
+        kernel = as_kernel(orders)
+        assert isinstance(kernel, InterpretedKernel)
+        assert as_kernel(kernel) is kernel
+
+    def test_monitor_codec_is_shared(self):
+        users = {"u": Preference(
+            {"color": PartialOrder.from_chain(["red", "green"])})}
+        monitor = Baseline(users, SCHEMA)
+        assert monitor.codec is not None
+        frontier_kernel = monitor._frontiers["u"].kernel
+        assert frontier_kernel.codec is monitor.codec
+
+    def test_interpreted_monitor_has_no_codec(self):
+        users = {"u": Preference({})}
+        monitor = Baseline(users, SCHEMA, kernel="interpreted")
+        assert monitor.codec is None
+        assert monitor.push(("red", "xs", "disc")) == frozenset({"u"})
+
+    def test_member_codes_parallel_members(self):
+        users = {"u": Preference(
+            {"color": PartialOrder.from_chain(["red", "green", "blue"])})}
+        monitor = Baseline(users, SCHEMA)
+        for row in [("blue", "xs", "disc"), ("green", "s", "disc"),
+                    ("red", "m", "cone"), ("green", "s", "disc")]:
+            monitor.push(row)
+        frontier = monitor._frontiers["u"]
+        assert len(frontier.member_codes) == len(frontier.members)
+        for obj, codes in zip(frontier.members, frontier.member_codes):
+            assert monitor.codec.encode(obj.values) == codes
+
+    def test_mid_stream_add_user_compiles_against_shared_codec(self):
+        users = {"u": Preference(
+            {"color": PartialOrder.from_chain(["red", "green"])})}
+        monitor = Baseline(users, SCHEMA)
+        monitor.push(("green", "xs", "disc"))
+        newcomer = Preference(
+            {"size": PartialOrder.from_chain(["xs", "s", "m", "l"])})
+        monitor.add_user("v", newcomer,
+                         history=[Object(0, ("green", "xs", "disc"))])
+        targets = monitor.push(("red", "l", "cone"))
+        assert "u" in targets
+        oracle = Baseline({"u": users["u"], "v": newcomer}, SCHEMA,
+                          kernel="interpreted")
+        oracle.push(("green", "xs", "disc"))
+        oracle.push(("red", "l", "cone"))
+        assert monitor.frontier_ids("v") == oracle.frontier_ids("v")
+
+    def test_huge_domain_skips_table_but_stays_correct(self, monkeypatch):
+        import repro.core.compiled as compiled_module
+
+        monkeypatch.setattr(compiled_module, "TABLE_DOMAIN_LIMIT", 4)
+        order = PartialOrder.from_chain(list("abcdefgh"))
+        codec = DomainCodec(("d",))
+        kernel = CompiledKernel((order,), codec)
+        assert kernel.compiled[0].table is None
+        for x in "abcdefgh":
+            for y in "abcdefgh":
+                a, b = Object(0, (x,)), Object(1, (y,))
+                assert kernel.compare(a, b) is compare((order,), a, b)
+        frontier_scan = kernel.scan_add(
+            Object(2, ("a",)), None, [Object(1, ("b",))],
+            [codec.encode(("b",))])
+        assert frontier_scan[0] is True          # "a" is pareto
+        assert frontier_scan[1] == [0]           # and evicts "b"
+        assert TABLE_DOMAIN_LIMIT > 4            # module default untouched
+
+
+class TestPerfSnapshot:
+    def test_kernel_perf_snapshot_smoke(self, tmp_path, monkeypatch):
+        from repro.bench import runner
+        from repro.bench.runner import Scale, kernel_perf_snapshot
+
+        monkeypatch.setattr(runner, "_SCALE", Scale(
+            movie_objects=120, publication_objects=120, users=8,
+            stream_users=6, stream_objects=800, stream_length=400,
+            accuracy_stream_length=400))
+        monkeypatch.setattr(runner, "_CACHE", {})
+        path = tmp_path / "BENCH_test.json"
+        snapshot = kernel_perf_snapshot(objects=120, users=8,
+                                        path=str(path))
+        assert path.exists()
+        runs = snapshot["runs"]
+        assert set(runs) == {"baseline/interpreted", "baseline/compiled",
+                             "ftv/interpreted", "ftv/compiled"}
+        for kind in ("baseline", "ftv"):
+            assert runs[f"{kind}/interpreted"]["comparisons"] \
+                == runs[f"{kind}/compiled"]["comparisons"]
+            assert runs[f"{kind}/interpreted"]["delivered"] \
+                == runs[f"{kind}/compiled"]["delivered"]
+        assert set(snapshot["speedup_compiled_over_interpreted"]) \
+            == {"baseline", "ftv"}
