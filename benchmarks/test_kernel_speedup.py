@@ -43,3 +43,23 @@ def test_kernels_agree_on_notifications(movies):
         runs[kernel] = (monitor.push_batch(stream),
                         monitor.stats.snapshot())
     assert runs["compiled"] == runs["interpreted"]
+
+
+def test_batch_ingest_cuts_comparisons_on_replayed_stream(movies):
+    """Duplicate-heavy smoke for the intra-batch sieve: batched ingest
+    must match sequential notifications with fewer comparisons.  For
+    the full sweep (recorded in ``BENCH_pr2.json``), run
+    ``python -m repro.bench perf-batch``."""
+    from repro.data.stream import replay
+
+    workload, dendrogram = movies
+    # Cycle a small slice so each batch repeats objects, as in §8.3:
+    # the sieve exploits duplication *within* a batch, so the batch
+    # size must cover a few replay cycles.
+    stream = list(replay(workload.dataset.objects[:SMOKE_OBJECTS // 4],
+                         SMOKE_OBJECTS))
+    sequential = make_monitor("ftv", workload, dendrogram, h=PAPER_H)
+    batched = make_monitor("ftv", workload, dendrogram, h=PAPER_H)
+    expected = [sequential.push(obj) for obj in stream]
+    assert batched.push_batch(stream) == expected
+    assert batched.stats.comparisons < sequential.stats.comparisons

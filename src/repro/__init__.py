@@ -29,12 +29,13 @@ EXPERIMENTS.md for the reproduction of the paper's evaluation.
 from repro.core.approx import (approximate_order, approximate_preference,
                                tuple_frequencies)
 from repro.core.baseline import Baseline, brute_force_frontier
-from repro.core.batch import (bnl_frontier, dc_frontier,
+from repro.core.batch import (batch_sieve, bnl_frontier, dc_frontier,
                               dominance_potential, frontier_sizes,
-                              sfs_frontier)
+                              potential_scores, sfs_frontier)
 from repro.core.clusters import Cluster
 from repro.core.compiled import (KERNELS, CompiledKernel, CompiledOrder,
-                                 DomainCodec, InterpretedKernel)
+                                 DomainCodec, InterpretedKernel,
+                                 OrderRegistry)
 from repro.core.dominance import Comparison, compare, dominates
 from repro.core.explain import (AttributeVerdict, Explanation,
                                 attribute_breakdown, explain,
@@ -95,6 +96,7 @@ __all__ = [
     "Merge",
     "MonitorStats",
     "Object",
+    "OrderRegistry",
     "ParetoBuffer",
     "ParetoFrontier",
     "PartialOrder",
@@ -111,6 +113,7 @@ __all__ = [
     "approximate_order",
     "approximate_preference",
     "attribute_breakdown",
+    "batch_sieve",
     "bnl_frontier",
     "brute_force_frontier",
     "build_dendrogram",
@@ -128,6 +131,7 @@ __all__ = [
     "frontier_sizes",
     "get_measure",
     "is_strict_partial_order",
+    "potential_scores",
     "sfs_frontier",
     "transitive_closure",
     "tuple_frequencies",

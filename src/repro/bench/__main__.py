@@ -71,10 +71,11 @@ def main(argv=None) -> int:
 
     names = list(args.experiments) or ["all"]
     if names == ["all"]:
-        # "all" means the paper's figures/tables; the perf snapshot
-        # writes BENCH_pr1.json as a side effect and must be asked for
-        # explicitly so figure regeneration never clobbers it.
-        names = [name for name in EXPERIMENTS if name != "perf"]
+        # "all" means the paper's figures/tables; the perf snapshots
+        # write BENCH_pr*.json as a side effect and must be asked for
+        # explicitly so figure regeneration never clobbers them.
+        names = [name for name in EXPERIMENTS
+                 if not name.startswith("perf")]
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}; "

@@ -21,10 +21,10 @@ from __future__ import annotations
 from repro.bench import runner
 from repro.bench.runner import (ExperimentResult, PAPER_DIMENSIONS,
                                 PAPER_H, PAPER_H_GRID, PAPER_WINDOWS,
-                                THETA1, clusters_at, get_scale,
-                                kernel_perf_snapshot, make_monitor,
-                                monitor_run, prepared, prepared_stream,
-                                replayed_stream, timed)
+                                THETA1, batch_perf_snapshot, clusters_at,
+                                get_scale, kernel_perf_snapshot,
+                                make_monitor, monitor_run, prepared,
+                                prepared_stream, replayed_stream, timed)
 from repro.clustering.hierarchical import build_dendrogram
 from repro.metrics.accuracy import delivery_metrics
 
@@ -466,6 +466,30 @@ def perf_kernels() -> ExperimentResult:
         rows, notes=notes)
 
 
+def perf_batch() -> ExperimentResult:
+    """Batched vs sequential ingest comparisons (BENCH_pr2.json)."""
+    snapshot = batch_perf_snapshot()
+    rows = []
+    for run in snapshot["runs"].values():
+        rows.append((run["kind"], run["batch_size"], run["objects"],
+                     run["objects_per_s"], run["comparisons"],
+                     run.get("comparisons_vs_sequential", 1.0),
+                     run["delivered"],
+                     f'{run["unique_kernels"]}/'
+                     f'{run["kernels_requested"]}'))
+    notes = ("Replayed (duplicate-heavy) stream; batch_size 1 is "
+             "sequential push.  The intra-batch sieve keeps deliveries "
+             "identical while cmp/seq falls below 1; kernels column is "
+             "unique/requested compiled kernels — the shared-order "
+             "registry's dedup.  Snapshot written to BENCH_pr2.json")
+    return ExperimentResult(
+        "perf-batch",
+        "Batch-ingest comparisons vs batch size (movie stream)",
+        ("monitor", "batch", "objects", "obj/s", "cmp", "cmp/seq",
+         "delivered", "kernels"),
+        rows, notes=notes)
+
+
 EXPERIMENTS = {
     "fig4": fig4,
     "fig5": fig5,
@@ -483,4 +507,5 @@ EXPERIMENTS = {
     "abl-batch": ablation_batch,
     "abl-buffer": ablation_buffer,
     "perf": perf_kernels,
+    "perf-batch": perf_batch,
 }

@@ -280,6 +280,98 @@ def kernel_perf_snapshot(dataset: str = "movies",
     return snapshot
 
 
+# ---------------------------------------------------------------------------
+# Shared-order engine / batch-ingest snapshots (BENCH_pr2.json)
+# ---------------------------------------------------------------------------
+
+#: Batch sizes swept by the ingest ablation; 1 degenerates to per-push.
+#: The largest sizes span several replay cycles of the hot-object
+#: stream, which is where the intra-batch sieve's savings appear.
+BATCH_SIZES = (1, 64, 512, 2048)
+
+
+def batch_perf_snapshot(dataset: str = "movies",
+                        kinds=("baseline", "ftv"),
+                        batch_sizes=BATCH_SIZES,
+                        length: int | None = None,
+                        path: str | None = "BENCH_pr2.json") -> dict:
+    """Measure batched vs sequential ingest on a duplicate-heavy stream.
+
+    A hot-object stream (a small slice of the corpus cycled, the bursty
+    extreme of Section 8.3's replayed workloads) is pushed through
+    fresh monitors once sequentially and once per batch size via
+    ``push_batch``.  For every run the snapshot records elapsed time,
+    objects/sec and the pairwise-comparison count — the intra-batch
+    sieve pays off once a batch covers repeats, so comparisons fall as
+    batches grow — plus the shared-order registry's dedup ratio (unique
+    compiled kernels vs user count).  Written as JSON when *path* is
+    set so the perf trajectory is tracked across PRs.
+    """
+    import json
+
+    workload, dendrogram = prepared_stream(dataset)
+    scale = get_scale()
+    if length is None:
+        length = scale.stream_length // 2
+    # Cycle length//8 distinct objects -> ~8 copies of each in-stream;
+    # the full-corpus replay of the figures has almost no repetition
+    # (corpus > stream) and exercises the sieve's overhead side, which
+    # the batch_size=1 baseline of this sweep already anchors.
+    hot = workload.dataset.objects[:max(1, length // 8)]
+    stream = list(replay(hot, length))
+    runs: dict[str, dict] = {}
+    for kind in kinds:
+        for batch_size in batch_sizes:
+            monitor = make_monitor(kind, workload, dendrogram)
+            started = time.perf_counter()
+            if batch_size == 1:
+                delivered = sum(len(monitor.push(obj)) for obj in stream)
+            else:
+                delivered = 0
+                for cut in range(0, len(stream), batch_size):
+                    delivered += sum(
+                        len(t) for t in
+                        monitor.push_batch(stream[cut:cut + batch_size]))
+            elapsed = time.perf_counter() - started
+            registry = monitor.registry
+            run = {
+                "kind": kind,
+                "batch_size": batch_size,
+                "objects": len(stream),
+                "elapsed_s": round(elapsed, 6),
+                "objects_per_s": round(len(stream) / elapsed, 1)
+                if elapsed else float("inf"),
+                "comparisons": monitor.stats.comparisons,
+                "delivered": delivered,
+                "unique_kernels": registry.unique_kernels
+                if registry else None,
+                "kernels_requested": registry.kernels_requested
+                if registry else None,
+            }
+            runs[f"{kind}/b{batch_size}"] = run
+        # Ratios in a second pass so batch_sizes need not lead with 1.
+        sequential = runs.get(f"{kind}/b1")
+        if sequential and sequential["comparisons"]:
+            for batch_size in batch_sizes:
+                if batch_size != 1:
+                    run = runs[f"{kind}/b{batch_size}"]
+                    run["comparisons_vs_sequential"] = round(
+                        run["comparisons"] / sequential["comparisons"], 4)
+    snapshot = {
+        "benchmark": "batch_perf_snapshot",
+        "dataset": dataset,
+        "stream_length": len(stream),
+        "users": len(workload.preferences),
+        "scale": asdict(scale),
+        "runs": runs,
+    }
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=1)
+            handle.write("\n")
+    return snapshot
+
+
 @dataclass
 class ExperimentResult:
     """A printable table: the regenerated figure or table."""

@@ -25,11 +25,21 @@ of (attribute, value) pairs the object's values are preferred to, i.e.
 attribute ``o'.d``'s down-set contains ``o.d``'s (strictly on at least
 one), so ``score(o') > score(o)`` — sorting by descending score places
 every dominator before its victims.
+
+Beyond bulk loading, this module hosts the intra-batch sieve the
+monitors' ``push_batch`` runs before touching any per-user frontier:
+:func:`batch_sieve` is the same window filter as :func:`bnl_frontier`,
+run in *arrival order* over the distinct value tuples of a batch, so
+arrivals dominated by an earlier arrival are discarded once per
+user/cluster instead of paying a frontier scan each (see
+``repro.core.baseline.MonitorBase.push_batch``).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections.abc import Sequence
+from functools import lru_cache
 
 from repro.core.dominance import Comparison, compare
 from repro.core.partial_order import PartialOrder
@@ -46,6 +56,31 @@ def dominance_potential(orders: Sequence[PartialOrder], obj: Object) -> int:
     """
     return sum(len(order.better_than(value))
                for order, value in zip(orders, obj.values))
+
+
+@lru_cache(maxsize=256)
+def potential_scores(orders: tuple[PartialOrder, ...]):
+    """A cached :func:`dominance_potential` scorer.
+
+    Down-set sizes are looked up once per (attribute, domain value) and
+    reused for every object scoring that value, so ranking ``n`` objects
+    over small domains costs O(domain) set probes instead of O(n·d).
+    Values outside an order's domain score 0, exactly as
+    :meth:`PartialOrder.better_than` would report.  The scorer itself
+    is memoised on the (immutable, pairs-hashed) order tuple, so
+    repeated batches and `sfs_frontier` calls over the same orders
+    never rebuild the tables.
+    """
+    tables = tuple({value: len(order.better_than(value))
+                    for value in order.domain} for order in orders)
+
+    def score(obj: Object) -> int:
+        total = 0
+        for table, value in zip(tables, obj.values):
+            total += table.get(value, 0)
+        return total
+
+    return score
 
 
 def bnl_frontier(preference: Preference, objects: Sequence[Object],
@@ -94,8 +129,8 @@ def sfs_frontier(preference: Preference, objects: Sequence[Object],
     """
     orders = preference.aligned(schema)
     counter = counter if counter is not None else Counter()
-    ranked = sorted(objects,
-                    key=lambda o: (-dominance_potential(orders, o), o.oid))
+    score = potential_scores(orders)
+    ranked = sorted(objects, key=lambda o: (-score(o), o.oid))
     frontier: list[Object] = []
     for obj in ranked:
         dominated = False
@@ -151,6 +186,109 @@ def _filter_against(orders: Sequence[PartialOrder],
         if not dominated:
             survivors.append(obj)
     return survivors
+
+
+# ---------------------------------------------------------------------------
+# Intra-batch sieve for the monitors' push_batch
+# ---------------------------------------------------------------------------
+
+def batch_sieve(kernel, objects: Sequence[Object], encoded: Sequence,
+                counter: Counter) -> tuple[list[bool], list[int | None]]:
+    """Mark batch arrivals dominated at *first sight* of their values.
+
+    Returns ``(skipped, leaders)``, both parallel to *objects*:
+
+    * ``skipped[i]`` — some ``objects[j]`` with ``j < i`` dominates
+      ``objects[i]`` under the kernel's orders.  Offering such an
+      arrival to any frontier maintained under those orders (or under a
+      superset, by Theorem 4.5) is a no-op: the predecessor — or
+      whatever dominated *it* — guarantees a rejecting scan.  Skipped
+      arrivals can therefore bypass the frontier entirely, with
+      notifications and final frontiers identical to sequential
+      ``push``.
+    * ``leaders[i]`` — for surviving duplicates, the index of the first
+      arrival carrying identical values (``None`` for first sights and
+      skipped arrivals).  Each distinct value tuple is tested *once*;
+      later copies ride the leader: if the leader's rep was dominated
+      at first sight the copy is skipped outright, otherwise the merge
+      decides the copy in O(1) by checking whether the leader is still
+      a frontier member (present ⟹ nothing alive dominates the value,
+      accept and append — identical objects are all retained and can
+      evict nothing their leader did not; absent ⟹ the leader was
+      rejected or evicted, and its dominator chain rejects the copy
+      too).
+
+    The sieve runs in **arrival order**, not SFS potential order — an
+    object dominated only by a *later* arrival must still be delivered
+    (notifications are decided at arrival time, Definition 3.4), so
+    only predecessors may veto.  Two prunes keep its own cost near
+    zero:
+
+    * only values with in-batch multiplicity ≥ 2 are tested at all —
+      for a singleton the sieve verdict would replace a single frontier
+      scan of roughly equal cost, so singletons go straight to the
+      merge and a duplicate-free batch pays *no* sieve comparisons;
+    * a window rep can dominate a newcomer only if its dominance
+      potential is strictly higher (:func:`potential_scores`), so the
+      window is kept sorted by descending potential and a tested first
+      sight scans just the strictly-higher prefix, with early exit.
+
+    Every rep that survives (or skips) its test still enters the window
+    — any predecessor may veto a later value.  Dominated reps stay out:
+    their own dominator already vetoes anything they would
+    (transitivity).
+
+    Comparisons are charged to *counter* via the kernel's
+    ``any_dominator``, so compiled and interpreted kernels report
+    identical counts.
+    """
+    n = len(objects)
+    skipped = [False] * n
+    leaders: list[int | None] = [None] * n
+    multiplicity: dict[tuple, int] = {}
+    for obj in objects:
+        multiplicity[obj.values] = multiplicity.get(obj.values, 0) + 1
+    if len(multiplicity) == n:
+        # Every arrival is novel: nothing to test, nothing to fold —
+        # skip even the score tables and window bookkeeping.
+        return skipped, leaders
+    score = potential_scores(kernel.orders)
+    # Value tuple -> (leader index, dominated-at-first-sight?).
+    rep_state: dict[tuple, tuple] = {}
+    # Window reps sorted by ascending -potential (stable by arrival).
+    window_objs: list[Object] = []
+    window_codes: list = []
+    neg_scores: list[int] = []
+    for i, obj in enumerate(objects):
+        state = rep_state.get(obj.values)
+        if state is not None:
+            if state[1]:
+                skipped[i] = True
+            else:
+                leaders[i] = state[0]
+            continue
+        negated = -score(obj)
+        if multiplicity[obj.values] > 1:
+            prefix = bisect_left(neg_scores, negated)
+            if prefix == len(window_objs):
+                members, codes = window_objs, window_codes
+            else:
+                members = window_objs[:prefix]
+                codes = window_codes[:prefix]
+            dominated, scanned = kernel.any_dominator(
+                obj, encoded[i], members, codes)
+            counter.bump(scanned)
+        else:
+            dominated = False
+        rep_state[obj.values] = (i, dominated)
+        if dominated:
+            skipped[i] = True
+            continue
+        at = bisect_right(neg_scores, negated)
+        window_objs.insert(at, obj)
+        window_codes.insert(at, encoded[i])
+        neg_scores.insert(at, negated)
+    return skipped, leaders
 
 
 def frontier_sizes(preference: Preference, objects: Sequence[Object],

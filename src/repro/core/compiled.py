@@ -13,18 +13,31 @@ This module compiles the same decision down to integer indexing:
   small ints, once, so an arriving object is encoded to a
   ``tuple[int, ...]`` a single time at ``push()`` instead of being
   re-hashed per user per frontier member.
-* :class:`CompiledOrder` compiles one :class:`PartialOrder` into an array
-  of int bitmasks (``better[code]`` = bitset of the codes it beats) and a
-  flat *outcome table* ``table[x * m + y]`` holding the two-bit pair
-  verdict (0 equal, 1 ``x ≻ y``, 2 ``y ≻ x``, 3 incomparable).  Tables
-  are padded past the codec's current size and recompiled when the codec
-  outgrows them, so values first seen mid-stream stay on the fast path.
+* :class:`CompiledOrder` compiles one :class:`PartialOrder` into arrays
+  of int bitmasks (``better[code]`` / ``worse[code]`` = bitset of the
+  codes it beats / loses to) and a flat *outcome table*
+  ``table[x * m + y]`` holding the two-bit pair verdict (0 equal, 1
+  ``x ≻ y``, 2 ``y ≻ x``, 3 incomparable).  Tables are padded past the
+  codec's current size and recompiled when the codec outgrows them, so
+  values first seen mid-stream stay on the fast path.  Attributes whose
+  capacity exceeds :data:`TABLE_DOMAIN_LIMIT` skip the O(m²) byte table
+  and are scanned straight off the bitmask rows, with equality split out
+  of the generated expression — huge domains never fall back to the
+  generic per-pair path.
+* :class:`OrderRegistry` dedupes compiled orders *across users*: kernels
+  are keyed by their schema-aligned order tuples and compiled orders by
+  (attribute index, preference pairs), so hundreds of users holding
+  equal orders share one :class:`CompiledOrder` — one outcome table, one
+  set of bitmask rows, one growth-recompile — instead of each paying
+  O(m²) bytes per attribute.  Every monitor owns one registry next to
+  its codec.
 * :class:`CompiledKernel` fuses a whole preference (one compiled order
   per schema attribute) and exposes the frontier scan loops the data
   structures in :mod:`repro.core.pareto` / :mod:`repro.core.sliding`
-  need.  The scans are *specialised by schema width*: a tiny code
-  generator emits, once per ``d``, a scan function whose inner loop is a
-  straight OR-chain of ``d`` byte-table lookups at the arriving object's
+  need.  The scans are *specialised by schema width and table
+  availability*: a tiny code generator emits, once per shape, a scan
+  function whose inner loop is a straight OR-chain of ``d`` byte-table
+  lookups (or bitmask probes for huge domains) at the arriving object's
   precomputed row offsets — no per-pair function call, no per-attribute
   loop, no hashing.
 
@@ -45,7 +58,7 @@ from collections.abc import Iterable, Sequence
 from functools import lru_cache
 
 from repro.core.dominance import Comparison, compare
-from repro.core.errors import ReproError
+from repro.core.errors import ReproError, SchemaMismatchError
 from repro.core.partial_order import PartialOrder
 from repro.data.objects import Object, Schema, Value
 
@@ -53,7 +66,8 @@ from repro.data.objects import Object, Schema, Value
 KERNELS = ("compiled", "interpreted")
 
 #: Above this many interned values per attribute the O(m²) outcome table
-#: is not built and scans use the generic bitmask path instead.
+#: is not built and the generated scans probe the bitmask rows directly
+#: (equality handled by an explicit code comparison).
 TABLE_DOMAIN_LIMIT = 2048
 
 #: Two-bit pair verdicts → the public four-way classification.
@@ -106,9 +120,15 @@ class DomainCodec:
             self.intern_domain(index, order.domain)
 
     def intern_domain(self, index: int, values: Iterable[Value]) -> None:
-        """Intern *values* for attribute *index* (sorted for stability)."""
+        """Intern *values* for attribute *index* (sorted for stability).
+
+        Only unseen values pay the stability sort, so re-interning an
+        already-known domain — every registry cache hit does this — is
+        a membership sweep, not an O(m log m) sort.
+        """
         table = self._tables[index]
-        for value in sorted(values, key=repr):
+        missing = [value for value in values if value not in table]
+        for value in sorted(missing, key=repr):
             if value not in table:
                 table[value] = len(table)
                 self.version += 1
@@ -135,9 +155,25 @@ class DomainCodec:
 
     def encode_many(self, rows: Iterable[Sequence[Value]],
                     ) -> list[tuple[int, ...]]:
-        """Encode a batch of value tuples (the ``push_batch`` fast path)."""
+        """Encode a batch of value tuples (the ``push_batch`` fast path).
+
+        Raises :class:`~repro.core.errors.SchemaMismatchError` for rows
+        whose width disagrees with the schema — a silent ``zip``
+        truncation here would corrupt every downstream dominance verdict
+        for the arrival.
+        """
         encode = self.encode
-        return [encode(row) for row in rows]
+        width = len(self.schema)
+        encoded = []
+        for index, row in enumerate(rows):
+            if len(row) != width:
+                raise SchemaMismatchError(
+                    self.schema, row,
+                    message=f"batch row {index} has {len(row)} values "
+                            f"{tuple(row)!r} for the {width}-attribute "
+                            f"schema {self.schema!r}")
+            encoded.append(encode(row))
+        return encoded
 
     def __repr__(self) -> str:
         sizes = ", ".join(f"{attr}:{len(table)}" for attr, table
@@ -150,12 +186,19 @@ class CompiledOrder:
 
     ``better[code]`` is an int bitmask with bit ``w`` set iff the value
     of ``code`` is preferred to the value of ``w`` — the dominance
-    bit-matrix row.  ``table`` is the flat outcome table over ``size``
-    (≥ the codec's size at compile time, padded so mid-stream interning
-    rarely forces a recompile).
+    bit-matrix row — and ``worse[code]`` its transpose row.  ``table``
+    is the flat outcome table over ``size`` (≥ the codec's size at
+    compile time, padded so mid-stream interning rarely forces a
+    recompile); past :data:`TABLE_DOMAIN_LIMIT` it is ``None`` and the
+    generated scans probe the bitmask rows instead.
+
+    Instances are shared between kernels by :class:`OrderRegistry`:
+    the compiled form depends only on (codec, attribute index,
+    preference pairs), never on which user holds the order.
     """
 
-    __slots__ = ("order", "codec", "index", "size", "better", "table")
+    __slots__ = ("order", "codec", "index", "size", "better", "worse",
+                 "table")
 
     def __init__(self, order: PartialOrder, codec: DomainCodec, index: int):
         codec.intern_domain(index, order.domain)
@@ -175,11 +218,15 @@ class CompiledOrder:
         # outgrows the padded capacity, amortising recompiles.
         m = max(16, 2 * n)
         better = [0] * m
+        worse = [0] * m
+        code = codec.code
         for winner, loser in self.order.pairs:
-            better[codec.code(index, winner)] |= \
-                1 << codec.code(index, loser)
+            w, l = code(index, winner), code(index, loser)
+            better[w] |= 1 << l
+            worse[l] |= 1 << w
         self.size = m
         self.better = better
+        self.worse = worse
         self.table = self._build_table(m, better) \
             if m <= TABLE_DOMAIN_LIMIT else None
 
@@ -217,8 +264,80 @@ class CompiledOrder:
         return _INCOMPARABLE
 
 
+class OrderRegistry:
+    """Monitor-wide dedup of compiled orders and kernels.
+
+    The paper's whole premise is that users share preference structure;
+    the registry makes the kernel exploit it.  Compiled orders are keyed
+    by (attribute index, preference pairs) — :class:`PartialOrder`
+    equality — and whole kernels by their schema-aligned order tuple, so
+    any number of users or clusters holding equal orders share one
+    :class:`CompiledOrder` (its outcome table, bitmask rows and
+    growth-recompiles) and one :class:`CompiledKernel`.  Amortised
+    per-user compiled-state cost for duplicated orders drops from
+    O(attributes · m²) bytes to O(1).
+
+    Sharing is safe because compiled orders and kernels are stateless
+    with respect to the containers that scan through them: frontier
+    members and their codes are always passed in by the caller.
+    """
+
+    __slots__ = ("codec", "_orders", "_kernels", "orders_requested",
+                 "kernels_requested")
+
+    def __init__(self, codec: DomainCodec):
+        self.codec = codec
+        self._orders: dict[tuple, CompiledOrder] = {}
+        self._kernels: dict[tuple, "CompiledKernel"] = {}
+        #: Demand counters: requested − unique = orders/kernels deduped.
+        self.orders_requested = 0
+        self.kernels_requested = 0
+
+    def compiled_order(self, order: PartialOrder, index: int,
+                       ) -> CompiledOrder:
+        """The shared :class:`CompiledOrder` for *order* on attribute
+        *index*, compiling it on first sight."""
+        self.orders_requested += 1
+        key = (index, order)
+        existing = self._orders.get(key)
+        if existing is None:
+            existing = CompiledOrder(order, self.codec, index)
+            self._orders[key] = existing
+        else:
+            # Orders equal by pairs may still carry different isolated
+            # domain values; intern them so encoding stays stable.
+            self.codec.intern_domain(index, order.domain)
+        return existing
+
+    def kernel(self, orders: Sequence[PartialOrder]) -> "CompiledKernel":
+        """The shared :class:`CompiledKernel` for an order tuple."""
+        self.kernels_requested += 1
+        key = tuple(orders)
+        existing = self._kernels.get(key)
+        if existing is None:
+            existing = CompiledKernel(orders, self.codec, registry=self)
+            self._kernels[key] = existing
+        else:
+            for index, order in enumerate(orders):
+                self.codec.intern_domain(index, order.domain)
+        return existing
+
+    @property
+    def unique_orders(self) -> int:
+        return len(self._orders)
+
+    @property
+    def unique_kernels(self) -> int:
+        return len(self._kernels)
+
+    def __repr__(self) -> str:
+        return (f"OrderRegistry({self.unique_kernels} kernels for "
+                f"{self.kernels_requested} requests, {self.unique_orders} "
+                f"orders for {self.orders_requested})")
+
+
 # ---------------------------------------------------------------------------
-# Scan specialisation: one generated module per schema width
+# Scan specialisation: one generated module per scan shape
 # ---------------------------------------------------------------------------
 #
 # The inner decision for a pair is `acc = t0[o0+b0] | t1[o1+b1] | ...`
@@ -226,12 +345,17 @@ class CompiledOrder:
 # object's precomputed row offset (`code_i * capacity_i`) and `bi` the
 # member's code.  acc is the OR of two-bit pair verdicts: 0 identical,
 # 1 the newcomer wins, 2 the member wins, 3 incomparable (any mix of
-# wins is 3 = incomparable, matching Definition 3.2).  Generating the
-# function per d unrolls the attribute loop and keeps the scan free of
-# per-pair Python calls.
+# wins is 3 = incomparable, matching Definition 3.2).  Attributes whose
+# capacity outgrew TABLE_DOMAIN_LIMIT carry no byte table; their term
+# splits equality out as an explicit code comparison and reads the two
+# dominance bits straight off the arriving object's bitmask rows
+# (`g`/`l`, hoisted once per scan), so huge domains cost two shifts per
+# pair instead of an O(m²) table.  Generating the function per
+# (width, table-availability) shape unrolls the attribute loop and
+# keeps the scan free of per-pair Python calls.
 
 _SCANNER_TEMPLATE = """\
-def scan_add(codes, member_codes, tables, capacities):
+def scan_add(codes, member_codes, tables, capacities, betters, worses):
     {setup}
     evicted = []
     scan_end = len(member_codes)
@@ -255,7 +379,7 @@ def scan_add(codes, member_codes, tables, capacities):
     return is_pareto, evicted, scan_end, scanned
 
 
-def any_dominator(codes, member_codes, tables, capacities):
+def any_dominator(codes, member_codes, tables, capacities, betters, worses):
     {setup}
     scanned = 0
     for mcodes in member_codes:
@@ -266,7 +390,7 @@ def any_dominator(codes, member_codes, tables, capacities):
     return False, scanned
 
 
-def dominated_indices(codes, member_codes, tables, capacities):
+def dominated_indices(codes, member_codes, tables, capacities, betters, worses):
     {setup}
     indices = []
     read = 0
@@ -279,10 +403,11 @@ def dominated_indices(codes, member_codes, tables, capacities):
 """
 
 
-@lru_cache(maxsize=64)
-def _scanners(width: int):
+@lru_cache(maxsize=128)
+def _scanners(width: int, has_table: tuple[bool, ...]):
     """The generated (scan_add, any_dominator, dominated_indices) trio
-    for a *width*-attribute schema."""
+    for one scan shape: schema width × which attributes carry a byte
+    table (the rest are probed through their bitmask rows)."""
     if width == 0:
         # No attributes: every pair is identical (acc == 0).
         setup = "pass"
@@ -291,19 +416,33 @@ def _scanners(width: int):
     else:
         names = list(range(width))
         trail = "," if width == 1 else ""
-        setup = "; ".join((
-            ", ".join(f"a{i}" for i in names) + trail + " = codes",
-            ", ".join(f"t{i}" for i in names) + trail + " = tables",
-            ", ".join(f"m{i}" for i in names) + trail + " = capacities",
-            "; ".join(f"o{i} = a{i} * m{i}" for i in names),
-        ))
+        lines = [", ".join(f"a{i}" for i in names) + trail + " = codes"]
+        terms = []
+        for i in names:
+            if has_table[i]:
+                lines.append(f"t{i} = tables[{i}]")
+                lines.append(f"o{i} = a{i} * capacities[{i}]")
+                terms.append(f"t{i}[o{i} + b{i}]")
+            else:
+                # Equality split out; the two dominance bits come from
+                # the arriving object's (better, worse) rows, hoisted
+                # here once per scan.
+                lines.append(f"g{i} = betters[{i}][a{i}]")
+                lines.append(f"l{i} = worses[{i}][a{i}]")
+                terms.append(
+                    f"(0 if b{i} == a{i} else "
+                    f"3 ^ (((g{i} >> b{i}) & 1) << 1) ^ "
+                    f"((l{i} >> b{i}) & 1))")
+        setup = "; ".join(lines)
         unpack_codes = ", ".join(f"b{i}" for i in names) + trail \
             + " = mcodes"
-        acc = " | ".join(f"t{i}[o{i} + b{i}]" for i in names)
+        acc = " | ".join(terms)
     source = _SCANNER_TEMPLATE.format(
         setup=setup, unpack_codes=unpack_codes, acc=acc)
     namespace: dict = {}
-    exec(compile(source, f"<repro.compiled scanners d={width}>", "exec"),
+    exec(compile(source,
+                 f"<repro.compiled scanners d={width} "
+                 f"tables={''.join('ty'[f] for f in has_table)}>", "exec"),
          namespace)
     return (namespace["scan_add"], namespace["any_dominator"],
             namespace["dominated_indices"])
@@ -320,21 +459,27 @@ class CompiledKernel:
     """
 
     __slots__ = ("codec", "orders", "compiled", "_version", "_tables",
-                 "_capacities", "_fast", "_scan_add_fn",
-                 "_any_dominator_fn", "_dominated_indices_fn")
+                 "_capacities", "_betters", "_worses", "_flags",
+                 "_scan_add_fn", "_any_dominator_fn",
+                 "_dominated_indices_fn")
 
-    def __init__(self, orders: Sequence[PartialOrder], codec: DomainCodec):
+    def __init__(self, orders: Sequence[PartialOrder], codec: DomainCodec,
+                 registry: OrderRegistry | None = None):
         self.codec = codec
         self.orders = tuple(orders)
         if len(self.orders) != len(codec.schema):
             raise ReproError(
                 f"{len(self.orders)} orders for a "
                 f"{len(codec.schema)}-attribute schema")
-        self.compiled = tuple(
-            CompiledOrder(order, codec, index)
-            for index, order in enumerate(self.orders))
-        (self._scan_add_fn, self._any_dominator_fn,
-         self._dominated_indices_fn) = _scanners(len(self.orders))
+        if registry is not None:
+            self.compiled = tuple(
+                registry.compiled_order(order, index)
+                for index, order in enumerate(self.orders))
+        else:
+            self.compiled = tuple(
+                CompiledOrder(order, codec, index)
+                for index, order in enumerate(self.orders))
+        self._flags = None
         self._refresh()
 
     def _refresh(self) -> None:
@@ -342,7 +487,9 @@ class CompiledKernel:
 
         Cheap to call when current: the codec's version counter gates it
         (:attr:`DomainCodec.version`), so steady-state scans pay one int
-        comparison, not a per-attribute staleness probe.
+        comparison, not a per-attribute staleness probe.  Shared compiled
+        orders are recompiled by whichever kernel notices first; the
+        others merely recache.
         """
         codec = self.codec
         for compiled in self.compiled:
@@ -350,7 +497,14 @@ class CompiledKernel:
                 compiled.recompile()
         self._tables = tuple(c.table for c in self.compiled)
         self._capacities = tuple(c.size for c in self.compiled)
-        self._fast = all(t is not None for t in self._tables)
+        self._betters = tuple(c.better for c in self.compiled)
+        self._worses = tuple(c.worse for c in self.compiled)
+        flags = tuple(t is not None for t in self._tables)
+        if flags != self._flags:
+            self._flags = flags
+            (self._scan_add_fn, self._any_dominator_fn,
+             self._dominated_indices_fn) = _scanners(len(self.orders),
+                                                     flags)
         self._version = codec.version
 
     # -- encoding --------------------------------------------------------
@@ -402,27 +556,9 @@ class CompiledKernel:
             codes = self.codec.encode(obj.values)
         if self._version != self.codec.version:
             self._refresh()
-        if self._fast:
-            return self._scan_add_fn(codes, member_codes, self._tables,
-                                     self._capacities)
-        compare_codes = self.compare_codes
-        evicted: list[int] = []
-        scan_end = len(member_codes)
-        is_pareto = True
-        scanned = 0
-        for read, mcodes in enumerate(member_codes):
-            scanned += 1
-            verdict = compare_codes(codes, mcodes)
-            if verdict is Comparison.A_DOMINATES:
-                evicted.append(read)
-            elif verdict is Comparison.B_DOMINATES:
-                is_pareto = False
-                scan_end = read
-                break
-            elif verdict is Comparison.IDENTICAL:
-                scan_end = read
-                break
-        return is_pareto, evicted, scan_end, scanned
+        return self._scan_add_fn(codes, member_codes, self._tables,
+                                 self._capacities, self._betters,
+                                 self._worses)
 
     def any_dominator(self, obj: Object, codes, members, member_codes):
         """``(dominated?, scanned)``: does any member dominate *obj*?"""
@@ -430,15 +566,9 @@ class CompiledKernel:
             codes = self.codec.encode(obj.values)
         if self._version != self.codec.version:
             self._refresh()
-        if self._fast:
-            return self._any_dominator_fn(codes, member_codes,
-                                          self._tables, self._capacities)
-        scanned = 0
-        for mcodes in member_codes:
-            scanned += 1
-            if self.compare_codes(codes, mcodes) is Comparison.B_DOMINATES:
-                return True, scanned
-        return False, scanned
+        return self._any_dominator_fn(codes, member_codes, self._tables,
+                                      self._capacities, self._betters,
+                                      self._worses)
 
     def dominated_indices(self, obj: Object, codes, members, member_codes):
         """``(indices, scanned)``: members that *obj* dominates."""
@@ -446,13 +576,9 @@ class CompiledKernel:
             codes = self.codec.encode(obj.values)
         if self._version != self.codec.version:
             self._refresh()
-        if self._fast:
-            return self._dominated_indices_fn(
-                codes, member_codes, self._tables, self._capacities)
-        indices = [read for read, mcodes in enumerate(member_codes)
-                   if self.compare_codes(codes, mcodes)
-                   is Comparison.A_DOMINATES]
-        return indices, len(member_codes)
+        return self._dominated_indices_fn(
+            codes, member_codes, self._tables, self._capacities,
+            self._betters, self._worses)
 
     def __repr__(self) -> str:
         domains = tuple(self.codec.size(i)
@@ -536,10 +662,17 @@ def as_kernel(orders_or_kernel):
 
 
 def make_kernel(kernel: str, orders: Sequence[PartialOrder],
-                codec: DomainCodec | None):
-    """Build the requested kernel flavour over schema-aligned orders."""
+                codec: DomainCodec | None,
+                registry: OrderRegistry | None = None):
+    """Build the requested kernel flavour over schema-aligned orders.
+
+    With an :class:`OrderRegistry`, compiled kernels (and their compiled
+    orders) are deduped across callers holding equal orders.
+    """
     if validate_kernel(kernel) == "compiled":
         if codec is None:
             raise ReproError("compiled kernels need a shared DomainCodec")
+        if registry is not None:
+            return registry.kernel(orders)
         return CompiledKernel(orders, codec)
     return InterpretedKernel(orders)

@@ -50,10 +50,15 @@ class UnknownAttributeError(ReproError):
 
 
 class SchemaMismatchError(ReproError):
-    """An object's attribute set does not match the dataset schema."""
+    """An object's attribute set does not match the dataset schema.
 
-    def __init__(self, expected, actual):
+    *message* overrides the attribute-set wording for mismatches better
+    described differently (e.g. a batch row of the wrong width).
+    """
+
+    def __init__(self, expected, actual, message: str | None = None):
         super().__init__(
+            message if message is not None else
             f"object attributes {sorted(map(str, actual))} do not match the "
             f"schema {sorted(map(str, expected))}")
         self.expected = frozenset(expected)

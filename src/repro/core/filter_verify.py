@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.core.baseline import MonitorBase
+from repro.core.batch import batch_sieve
 from repro.core.clusters import Cluster, UserId
 from repro.core.pareto import ParetoFrontier
 from repro.core.preference import Preference
@@ -108,6 +109,62 @@ class FilterThenVerify(MonitorBase):
                 if frontier.add(obj, codes).is_pareto:
                     targets.append(user)
         return frozenset(targets)
+
+    def push_batch(self, rows) -> list[frozenset[UserId]]:
+        """Batched Algorithm 2: sieve once per cluster, then verify.
+
+        The intra-batch sieve (:func:`~repro.core.batch.batch_sieve`)
+        runs under each cluster's *virtual* order ``≻_U``: an arrival
+        dominated by a batch predecessor under ``≻_U`` is dominated for
+        every member (Theorem 4.5), so one sieve pass discards it for
+        the whole cluster — no ``P_U`` scan, no per-member verification.
+        Surviving duplicates skip the ``P_U`` scan too — the copy is
+        Pareto for the cluster iff its identical leader is *still* a
+        ``P_U`` member, an O(1) check — but are still verified per
+        member, because ``≻_c ⊇ ≻_U`` may have evicted the leader from
+        an individual ``P_c`` in between.  Notifications and frontiers
+        are identical to sequential :meth:`push`.
+        """
+        objects, encoded = self._coerce_encode(rows)
+        if not objects:
+            return []
+        targets: list[set] = [set() for _ in objects]
+        sieves: dict[tuple, tuple] = {}
+        for state in self._states:
+            kernel = state.shared.kernel
+            result = sieves.get(kernel.orders)
+            if result is None:
+                result = batch_sieve(kernel, objects, encoded,
+                                     self.stats.filter)
+                sieves[kernel.orders] = result
+            skipped, leaders = result
+            per_user = state.per_user
+            for i, obj in enumerate(objects):
+                if skipped[i]:
+                    continue
+                codes = encoded[i]
+                leader = leaders[i]
+                if leader is None:
+                    result = state.shared.add(obj, codes)
+                    for evicted in result.evicted:
+                        # o' left P_U, hence leaves every P_c.
+                        for frontier in per_user.values():
+                            frontier.discard(evicted.oid)
+                    if not result.is_pareto:
+                        continue
+                elif objects[leader].oid in state.shared:
+                    # Identical leader still in P_U ⟹ the copy joins
+                    # without a scan and evicts nothing new.
+                    state.shared.append_unchecked(obj, codes)
+                else:
+                    continue  # leader rejected/evicted ⟹ copy dominated
+                for user, frontier in per_user.items():
+                    if frontier.add(obj, codes).is_pareto:
+                        targets[i].add(user)
+        self.stats.objects += len(objects)
+        results = [frozenset(t) for t in targets]
+        self.stats.delivered += sum(map(len, results))
+        return results
 
     # ------------------------------------------------------------------
     # Inspection

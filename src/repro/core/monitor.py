@@ -58,7 +58,14 @@ def create_monitor(preferences: Mapping[UserId, Preference],
     kernel:
         dominance kernel: ``"compiled"`` (default, value interning +
         bitset dominance matrices — see :mod:`repro.core.compiled`) or
-        ``"interpreted"`` (the pure-Python reference path).
+        ``"interpreted"`` (the pure-Python reference path).  Compiled
+        monitors dedupe equal orders through a shared
+        :class:`~repro.core.compiled.OrderRegistry`, so duplicated
+        preferences cost O(1) amortised compiled state; their
+        ``push_batch`` runs the intra-batch sieve of
+        :mod:`repro.core.batch`, cutting comparisons (not just
+        overhead) on duplicate-heavy streams while returning per-row
+        results identical to sequential ``push``.
     """
     if approximate and not shared:
         raise ValueError("approximate=True requires shared=True "

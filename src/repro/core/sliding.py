@@ -30,6 +30,7 @@ from collections import deque
 from collections.abc import Mapping, Sequence
 
 from repro.core.baseline import MonitorBase
+from repro.core.batch import batch_sieve
 from repro.core.clusters import Cluster, UserId
 from repro.core.compiled import as_kernel
 from repro.core.errors import WindowError
@@ -114,6 +115,27 @@ class ParetoBuffer:
         return True
 
 
+def _chunk_sieve(kernel, objects, encoded, counter, cache):
+    """One chunk's sieve, with leader indices resolved to objects.
+
+    Returns ``(skipped, leader_objs)``: the skip mask of
+    :func:`~repro.core.batch.batch_sieve` plus, per arrival, the first
+    chunk object carrying identical values (``None`` for first sights),
+    so the arrival loop can fold a surviving duplicate by an O(1)
+    is-the-leader-still-a-member check.  *cache* memoises the result
+    per distinct order tuple — the sieve depends only on the orders, so
+    users/clusters sharing preferences share the pass.
+    """
+    result = cache.get(kernel.orders)
+    if result is None:
+        skipped, leaders = batch_sieve(kernel, objects, encoded, counter)
+        leader_objs = [None if leader is None else objects[leader]
+                       for leader in leaders]
+        result = (skipped, leader_objs)
+        cache[kernel.orders] = result
+    return result
+
+
 class SlidingMonitorBase(MonitorBase):
     """Window bookkeeping shared by the sliding-window monitors."""
 
@@ -152,6 +174,59 @@ class SlidingMonitorBase(MonitorBase):
     def _process(self, obj: Object, codes=None):  # pragma: no cover
         raise NotImplementedError(
             "sliding monitors override _push_object()")
+
+    # ------------------------------------------------------------------
+    # Batched ingest under a window
+    # ------------------------------------------------------------------
+    #
+    # The intra-batch sieve stays sound under expiry as long as a
+    # marked arrival's dominator is still alive when the arrival is
+    # processed.  Chunking the batch to at most W arrivals guarantees
+    # it: a dominator from the same chunk expires at least W arrivals
+    # after it entered, i.e. after every later chunk row.  Expiry,
+    # mending and Pareto-buffer maintenance still run row by row —
+    # only the (provably rejecting) frontier offer of a sieved arrival
+    # is skipped, so buffers, mends and notifications stay byte-equal
+    # to sequential push.  Duplicate folding cannot be decided at sieve
+    # time (mends and expiry can change a frontier between two copies),
+    # so the arrival loop re-checks the leader's membership *at
+    # processing time*: an alive leader still on the frontier proves
+    # the copy Pareto; otherwise the copy takes the full scan.
+
+    def push_batch(self, rows) -> list[frozenset[UserId]]:
+        """Batched Algorithms 4/5: sieve each ≤W chunk, skip doomed adds.
+
+        Per-row notifications, frontiers and buffers are identical to
+        sequential :meth:`push`; arrivals dominated within the chunk
+        skip their frontier scans (the buffer work, which keeps them
+        mendable after their dominator expires, is preserved).
+        """
+        objects, encoded = self._coerce_encode(rows)
+        results: list[frozenset[UserId]] = []
+        window = self.window
+        for start in range(0, len(objects), window):
+            chunk = objects[start:start + window]
+            chunk_codes = encoded[start:start + window]
+            sieves = self._batch_sieves(chunk, chunk_codes)
+            for offset, (obj, codes) in enumerate(zip(chunk, chunk_codes)):
+                self.stats.objects += 1
+                if len(self._alive) == window:
+                    expired, expired_codes = self._alive.popleft()
+                    self._expire(expired, expired_codes)
+                self._alive.append((obj, codes))
+                targets = self._arrive_sieved(obj, codes, offset, sieves)
+                self.stats.delivered += len(targets)
+                results.append(targets)
+        return results
+
+    def _batch_sieves(self, objects, encoded):
+        """Per-scope intra-batch skip masks for one ≤W chunk."""
+        raise NotImplementedError
+
+    def _arrive_sieved(self, obj: Object, codes, offset: int, sieves,
+                       ) -> frozenset[UserId]:
+        """:meth:`_arrive`, minus the frontier offers *sieves* vetoed."""
+        raise NotImplementedError
 
 
 class BaselineSW(SlidingMonitorBase):
@@ -221,6 +296,33 @@ class BaselineSW(SlidingMonitorBase):
         for user, frontier in self._frontiers.items():
             if frontier.add(obj, codes).is_pareto:
                 targets.append(user)
+            self._buffers[user].on_arrival(obj, codes)
+        return frozenset(targets)
+
+    def _batch_sieves(self, objects, encoded):
+        cache: dict[tuple, tuple] = {}
+        return {
+            user: _chunk_sieve(self._frontiers[user].kernel, objects,
+                               encoded, self.stats.filter, cache)
+            for user in self._preferences
+        }
+
+    def _arrive_sieved(self, obj: Object, codes, offset: int, sieves,
+                       ) -> frozenset[UserId]:
+        targets = []
+        for user, frontier in self._frontiers.items():
+            skipped, leader_objs = sieves[user]
+            if not skipped[offset]:
+                leader = leader_objs[offset]
+                if leader is not None and leader.oid in frontier:
+                    # The identical leader is alive and Pareto, hence
+                    # so is the copy; it can evict nothing (anything it
+                    # dominates is dominated by the alive leader and
+                    # thus already outside P_c).
+                    frontier.append_unchecked(obj, codes)
+                    targets.append(user)
+                elif frontier.add(obj, codes).is_pareto:
+                    targets.append(user)
             self._buffers[user].on_arrival(obj, codes)
         return frozenset(targets)
 
@@ -344,6 +446,45 @@ class FilterThenVerifySW(SlidingMonitorBase):
                 for user, frontier in state.per_user.items():
                     if frontier.add(obj, codes).is_pareto:
                         targets.append(user)
+            state.buffer.on_arrival(obj, codes)
+        return frozenset(targets)
+
+    def _batch_sieves(self, objects, encoded):
+        # One sieve per cluster under ≻_U: a chunk arrival dominated by
+        # a predecessor under ≻_U is rejected by P_U for certain
+        # (Theorem 4.5 plus the alive-dominator invariant), so the
+        # whole cluster skips its scans.
+        cache: dict[tuple, tuple] = {}
+        return [
+            _chunk_sieve(state.shared.kernel, objects, encoded,
+                         self.stats.filter, cache)
+            for state in self._states
+        ]
+
+    def _arrive_sieved(self, obj: Object, codes, offset: int, sieves,
+                       ) -> frozenset[UserId]:
+        targets = []
+        for state, (skipped, leader_objs) in zip(self._states, sieves):
+            if not skipped[offset]:
+                leader = leader_objs[offset]
+                if leader is not None and leader.oid in state.shared:
+                    # Alive identical leader in P_U ⟹ the copy joins
+                    # without a scan, evicting nothing; members still
+                    # verify it (≻_c may disagree with ≻_U about the
+                    # copy's fate between the two arrivals).
+                    state.shared.append_unchecked(obj, codes)
+                    for user, frontier in state.per_user.items():
+                        if frontier.add(obj, codes).is_pareto:
+                            targets.append(user)
+                else:
+                    result = state.shared.add(obj, codes)
+                    if result.is_pareto:
+                        for evicted in result.evicted:
+                            for frontier in state.per_user.values():
+                                frontier.discard(evicted.oid)
+                        for user, frontier in state.per_user.items():
+                            if frontier.add(obj, codes).is_pareto:
+                                targets.append(user)
             state.buffer.on_arrival(obj, codes)
         return frozenset(targets)
 

@@ -73,6 +73,23 @@ def datasets(draw, min_objects: int = 0, max_objects: int = 24,
 
 
 @st.composite
+def duplicate_heavy_streams(draw, min_objects: int = 0,
+                            max_objects: int = 40, max_distinct: int = 4,
+                            domains=None):
+    """A stream drawn from a small pool of rows (heavy duplication).
+
+    Models the replayed workloads of Section 8.3, where objects recur
+    many times — the regime the monitors' intra-batch sieve
+    (``repro.core.batch.batch_sieve``) is built to exploit.
+    """
+    domains = domains or DOMAINS
+    pool = draw(st.lists(object_rows(domains), min_size=1,
+                         max_size=max_distinct))
+    return draw(st.lists(st.sampled_from(pool), min_size=min_objects,
+                         max_size=max_objects))
+
+
+@st.composite
 def object_streams(draw, min_objects: int = 0, max_objects: int = 30,
                    domains=None, extra_values: int = 0):
     """A stream of object rows over the shared test domains.

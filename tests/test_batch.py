@@ -7,13 +7,17 @@ import pytest
 from hypothesis import given
 
 from repro.core.baseline import brute_force_frontier
-from repro.core.batch import (bnl_frontier, dc_frontier,
+from repro.core.batch import (batch_sieve, bnl_frontier, dc_frontier,
                               dominance_potential, frontier_sizes,
-                              sfs_frontier)
+                              potential_scores, sfs_frontier)
+from repro.core.compiled import CompiledKernel, DomainCodec
+from repro.core.pareto import ParetoFrontier
 from repro.data import paper_example as pe
+from repro.data.objects import Object
 from repro.data.synthetic import (random_objects, random_preferences)
 from repro.metrics.counters import Counter
-from tests.strategies import DOMAINS, datasets, preferences
+from tests.strategies import (DOMAINS, datasets, duplicate_heavy_streams,
+                              preferences)
 
 
 def _ids(objects):
@@ -72,6 +76,33 @@ class TestAgainstOracle:
         assert _ids(dc_frontier(
             preference, dataset.objects, dataset.schema)) == expected
 
+    @given(preferences(), datasets(max_objects=24))
+    def test_all_match_incremental_pareto_frontier(self, preference,
+                                                   dataset):
+        """The three batch algorithms and the incremental structure of
+        Algorithm 1 agree on the frontier *set* for any partial order."""
+        frontier = ParetoFrontier(preference.aligned(dataset.schema))
+        for obj in dataset:
+            frontier.add(obj)
+        expected = sorted(frontier.ids)
+        for algorithm in (bnl_frontier, sfs_frontier, dc_frontier):
+            assert _ids(algorithm(
+                preference, dataset.objects, dataset.schema)) == expected
+
+    @given(preferences(), duplicate_heavy_streams(max_objects=30))
+    def test_all_agree_on_duplicate_heavy_streams(self, preference, rows):
+        """Replayed-style streams (many identical rows) keep every copy
+        of a frontier value in all four computations."""
+        objects = [Object(i, row) for i, row in enumerate(rows)]
+        schema = tuple(DOMAINS)
+        expected = _ids(brute_force_frontier(preference, objects, schema))
+        frontier = ParetoFrontier(preference.aligned(schema))
+        for obj in objects:
+            frontier.add(obj)
+        assert sorted(frontier.ids) == expected
+        for algorithm in (bnl_frontier, sfs_frontier, dc_frontier):
+            assert _ids(algorithm(preference, objects, schema)) == expected
+
 
 class TestEdgeCases:
     def test_empty_input(self, c1, schema):
@@ -119,6 +150,111 @@ class TestDominancePotential:
                 if dominates(orders, winner, loser):
                     assert (dominance_potential(orders, winner)
                             > dominance_potential(orders, loser))
+
+
+class TestPotentialScores:
+    @given(preferences(), datasets(max_objects=16))
+    def test_cached_scorer_matches_dominance_potential(self, preference,
+                                                       dataset):
+        orders = preference.aligned(dataset.schema)
+        score = potential_scores(orders)
+        for obj in dataset:
+            assert score(obj) == dominance_potential(orders, obj)
+
+    def test_unknown_values_score_zero(self, c1, schema):
+        orders = c1.aligned(schema)
+        score = potential_scores(orders)
+        stranger = Object(99, ("?", "?", "?"))
+        assert score(stranger) == 0
+        assert dominance_potential(orders, stranger) == 0
+
+    def test_sfs_unchanged_by_caching(self, movie_like):
+        preference, dataset = movie_like
+        expected = _ids(brute_force_frontier(
+            preference, dataset.objects, dataset.schema))
+        assert _ids(sfs_frontier(
+            preference, dataset.objects, dataset.schema)) == expected
+
+
+class TestBatchSieve:
+    def _kernel(self, preference, schema):
+        orders = preference.aligned(schema)
+        codec = DomainCodec.for_preferences(schema, [preference])
+        return CompiledKernel(orders, codec), codec
+
+    def test_marks_repeated_values_dominated_at_first_sight(self, c1,
+                                                            schema):
+        # The repeated 10-12.9" Apple first appears *after* its
+        # 13-15.9" dominator: all its copies are provably rejected and
+        # skipped.  The singleton Lenovo is dominated too, but a
+        # singleton's sieve test would only replace one frontier scan,
+        # so it is left to the merge.
+        kernel, codec = self._kernel(c1, schema)
+        objects = [Object(0, ("13-15.9", "Apple", "dual")),
+                   Object(1, ("10-12.9", "Apple", "dual")),
+                   Object(2, ("10-12.9", "Apple", "dual")),
+                   Object(3, ("10-12.9", "Lenovo", "dual")),
+                   Object(4, ("10-12.9", "Apple", "dual"))]
+        encoded = [codec.encode(o.values) for o in objects]
+        skipped, leaders = batch_sieve(kernel, objects, encoded, Counter())
+        assert skipped == [False, True, True, False, True]
+        assert leaders == [None] * 5
+
+    def test_dominator_arriving_after_first_sight_defers_to_merge(
+            self, c1, schema):
+        # The first 10-12.9" copy precedes its dominator, so it was
+        # Pareto at arrival (Definition 3.4) and must not be skipped;
+        # the later copy rides it as a leader and the merge settles its
+        # fate from the leader's frontier membership.
+        kernel, codec = self._kernel(c1, schema)
+        objects = [Object(0, ("10-12.9", "Apple", "dual")),
+                   Object(1, ("13-15.9", "Apple", "dual")),
+                   Object(2, ("10-12.9", "Apple", "dual"))]
+        encoded = [codec.encode(o.values) for o in objects]
+        skipped, leaders = batch_sieve(kernel, objects, encoded, Counter())
+        assert skipped == [False, False, False]
+        assert leaders == [None, None, 0]
+
+    def test_duplicates_ride_their_leader(self, c1, schema):
+        kernel, codec = self._kernel(c1, schema)
+        objects = [Object(i, ("13-15.9", "Apple", "dual"))
+                   for i in range(4)]
+        encoded = [codec.encode(o.values) for o in objects]
+        counter = Counter()
+        skipped, leaders = batch_sieve(kernel, objects, encoded, counter)
+        assert skipped == [False] * 4
+        assert leaders == [None, 0, 0, 0]
+        assert counter.value == 0   # one rep, empty window
+
+    @given(prefs=preferences(), rows=duplicate_heavy_streams())
+    def test_skipped_iff_dominated_at_first_sight(self, prefs, rows):
+        schema = tuple(DOMAINS)
+        orders = prefs.aligned(schema)
+        kernel, codec = self._kernel(prefs, schema)
+        objects = [Object(i, row) for i, row in enumerate(rows)]
+        encoded = [codec.encode(o.values) for o in objects]
+        skipped, leaders = batch_sieve(kernel, objects, encoded, Counter())
+        from repro.core.dominance import dominates
+        first_sight = {}
+        for i, obj in enumerate(objects):
+            first_sight.setdefault(obj.values, i)
+        counts = {}
+        for obj in objects:
+            counts[obj.values] = counts.get(obj.values, 0) + 1
+        for i, obj in enumerate(objects):
+            first = first_sight[obj.values]
+            expected = counts[obj.values] > 1 and any(
+                dominates(orders, objects[j], obj) for j in range(first))
+            assert skipped[i] == expected
+            if skipped[i]:
+                # Soundness of the skip: a predecessor really dominates.
+                assert any(dominates(orders, objects[j], obj)
+                           for j in range(i))
+            if leaders[i] is not None:
+                leader = leaders[i]
+                assert leader == first < i
+                assert objects[leader].values == obj.values
+                assert not skipped[leader] and leaders[leader] is None
 
 
 class TestComparisonCounts:

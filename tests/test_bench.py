@@ -185,8 +185,28 @@ class TestExperiments:
         assert data["experiment"] == "abl-batch"
         assert len(data["rows"]) == 9
 
+    def test_batch_perf_snapshot_smoke(self, tmp_path):
+        path = tmp_path / "BENCH_batch.json"
+        snapshot = runner.batch_perf_snapshot(
+            kinds=("baseline",), batch_sizes=(1, 32, 200), length=400,
+            path=str(path))
+        assert path.exists()
+        runs = snapshot["runs"]
+        assert set(runs) == {"baseline/b1", "baseline/b32",
+                             "baseline/b200"}
+        sequential = runs["baseline/b1"]
+        for key in ("baseline/b32", "baseline/b200"):
+            # Batched ingest must deliver identically...
+            assert runs[key]["delivered"] == sequential["delivered"]
+            assert runs[key]["comparisons_vs_sequential"] is not None
+        # ...and cut comparisons once batches cover the replay cycle
+        # (the hot slice is length//8 = 50 objects, so 200 covers it).
+        assert runs["baseline/b200"]["comparisons"] \
+            < sequential["comparisons"]
+
     def test_experiment_registry_complete(self):
         assert set(experiments.EXPERIMENTS) == {
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "fig11", "tab11", "tab12", "abl-sim", "abl-theta",
-            "abl-users", "abl-batch", "abl-buffer", "perf"}
+            "abl-users", "abl-batch", "abl-buffer", "perf",
+            "perf-batch"}

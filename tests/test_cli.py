@@ -143,6 +143,21 @@ class TestMonitor:
         _, verbose = run_cli("monitor", scenario_file)
         assert len(verbose.splitlines()) > len(quiet.splitlines())
 
+    def test_batch_size_matches_sequential(self, scenario_file):
+        sequential_code, sequential = run_cli("monitor", scenario_file)
+        batched_code, batched = run_cli("monitor", scenario_file,
+                                        "--batch-size", "16")
+        assert sequential_code == batched_code == 0
+        # Same per-object delivery lines and totals, batched or not.
+        assert [line for line in sequential.splitlines() if "->" in line] \
+            == [line for line in batched.splitlines() if "->" in line]
+
+    def test_batch_size_must_be_positive(self, scenario_file):
+        code, output = run_cli("monitor", scenario_file,
+                               "--batch-size", "0")
+        assert code == 2
+        assert "--batch-size" in output
+
     def test_baseline_and_ftv_agree_on_notifications(self, scenario_file):
         def notifications(output):
             line = [l for l in output.splitlines()

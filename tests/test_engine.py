@@ -1,0 +1,379 @@
+"""The shared-order engine: order dedup + true batch ingest.
+
+Two contracts from the PR-2 refactor are pinned here:
+
+* **Shared orders** — within one monitor, users/clusters holding equal
+  :class:`PartialOrder`s share one ``CompiledOrder`` (and one
+  ``CompiledKernel``) through the monitor's ``OrderRegistry``; identity
+  is asserted, not just equality.
+* **True batching** — for every monitor class, ``push_batch`` returns
+  per-row notifications and leaves frontiers (and sliding-window
+  buffers) identical to sequential ``push``, under both kernels, while
+  a duplicate-heavy batch costs *strictly fewer* pairwise comparisons.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseline import Baseline
+from repro.core.clusters import Cluster
+from repro.core.compiled import DomainCodec, OrderRegistry
+from repro.core.errors import SchemaMismatchError
+from repro.core.filter_verify import FilterThenVerify, FilterThenVerifyApprox
+from repro.core.partial_order import PartialOrder
+from repro.core.preference import Preference
+from repro.core.sliding import (BaselineSW, FilterThenVerifyApproxSW,
+                                FilterThenVerifySW)
+from repro.data.objects import Object
+from tests.strategies import (DOMAINS, duplicate_heavy_streams,
+                              object_streams, user_sets)
+
+SCHEMA = tuple(DOMAINS)
+
+WINDOW = 6
+
+
+def _monitor_makers(users, window=WINDOW):
+    """One factory per monitor class, over prepared clusters."""
+    exact = [Cluster.exact(users)]
+    approx = [Cluster.approximate(users, theta1=50, theta2=0.4)]
+    return {
+        "Baseline": lambda k: Baseline(users, SCHEMA, kernel=k),
+        "FilterThenVerify":
+            lambda k: FilterThenVerify(exact, SCHEMA, kernel=k),
+        "FilterThenVerifyApprox":
+            lambda k: FilterThenVerifyApprox(approx, SCHEMA, kernel=k),
+        "BaselineSW":
+            lambda k: BaselineSW(users, SCHEMA, window, kernel=k),
+        "FilterThenVerifySW":
+            lambda k: FilterThenVerifySW(exact, SCHEMA, window, kernel=k),
+        "FilterThenVerifyApproxSW":
+            lambda k: FilterThenVerifyApproxSW(approx, SCHEMA, window,
+                                               kernel=k),
+    }
+
+
+def _assert_batch_equals_sequential(make, users, rows, kernel):
+    sequential = make(kernel)
+    batched = make(kernel)
+    stream = [Object(i, row) for i, row in enumerate(rows)]
+    twin = [Object(i, row) for i, row in enumerate(rows)]
+    expected = [sequential.push(obj) for obj in stream]
+    assert batched.push_batch(twin) == expected
+    for user in users:
+        assert sequential.frontier(user) == batched.frontier(user)
+    if hasattr(sequential, "buffers"):
+        assert sequential.buffers() == batched.buffers()
+    return sequential, batched
+
+
+# ---------------------------------------------------------------------------
+# Differential: push_batch ≡ sequential push, every monitor class
+# ---------------------------------------------------------------------------
+
+class TestBatchEqualsSequential:
+    @settings(max_examples=25)
+    @given(users=user_sets(max_users=3),
+           rows=object_streams(max_objects=18, extra_values=1),
+           kernel=st.sampled_from(("compiled", "interpreted")))
+    def test_arbitrary_streams(self, users, rows, kernel):
+        for make in _monitor_makers(users).values():
+            _assert_batch_equals_sequential(make, users, rows, kernel)
+
+    @settings(max_examples=25)
+    @given(users=user_sets(max_users=3),
+           rows=duplicate_heavy_streams(max_objects=30),
+           kernel=st.sampled_from(("compiled", "interpreted")))
+    def test_duplicate_heavy_streams(self, users, rows, kernel):
+        for make in _monitor_makers(users).values():
+            _assert_batch_equals_sequential(make, users, rows, kernel)
+
+    @settings(max_examples=20)
+    @given(users=user_sets(max_users=2),
+           rows=duplicate_heavy_streams(max_objects=24),
+           window=st.integers(1, 5))
+    def test_chunked_windows(self, users, rows, window):
+        """Batches longer than W are sieved chunk-by-chunk; expiry and
+        mending still interleave exactly as under sequential push."""
+        for name in ("BaselineSW", "FilterThenVerifySW"):
+            make = _monitor_makers(users, window)[name]
+            _assert_batch_equals_sequential(make, users, rows, "compiled")
+
+    @settings(max_examples=20)
+    @given(users=user_sets(max_users=3),
+           rows=duplicate_heavy_streams(max_objects=24))
+    def test_kernels_count_batches_identically(self, users, rows):
+        """The batch path, like the sequential one, charges identical
+        comparison counts under both kernels."""
+        for make in _monitor_makers(users).values():
+            stream = [Object(i, row) for i, row in enumerate(rows)]
+            twin = [Object(i, row) for i, row in enumerate(rows)]
+            compiled = make("compiled")
+            interpreted = make("interpreted")
+            assert compiled.push_batch(stream) \
+                == interpreted.push_batch(twin)
+            assert compiled.stats.snapshot() \
+                == interpreted.stats.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# The point of it all: strictly fewer comparisons on duplicate-heavy input
+# ---------------------------------------------------------------------------
+
+class TestBatchCutsComparisons:
+    @pytest.fixture
+    def users(self):
+        chain = PartialOrder.from_chain
+        p1 = Preference({"color": chain(["red", "green", "blue"]),
+                         "size": chain(["l", "m", "s"]),
+                         "shape": PartialOrder.empty(["disc", "cube"])})
+        p2 = Preference({"color": chain(["red", "green", "blue"]),
+                         "size": chain(["l", "m"]),
+                         "shape": PartialOrder.empty(["disc", "cube"])})
+        return {"a": p1, "b": p2}
+
+    @pytest.fixture
+    def duplicate_heavy(self):
+        """A dominator first, then many dominated duplicates."""
+        rows = ([("red", "l", "disc")]
+                + [("blue", "s", "cube")] * 40
+                + [("green", "m", "disc")] * 30)
+        return [Object(i, row) for i, row in enumerate(rows)]
+
+    @pytest.mark.parametrize("name", sorted(_monitor_makers(
+        {"u": Preference({})})))
+    def test_strictly_fewer_on_duplicate_heavy_batch(self, name, users,
+                                                     duplicate_heavy):
+        # Window chosen to cover the batch: expiry churn is a separate
+        # cost the sieve neither adds to nor subtracts from.
+        make = _monitor_makers(users, window=200)[name]
+        sequential, batched = _assert_batch_equals_sequential(
+            make, users, [o.values for o in duplicate_heavy], "compiled")
+        assert batched.stats.comparisons < sequential.stats.comparisons
+
+    def test_baseline_savings_scale_with_duplication(self, users):
+        """Append-only Baseline: folding + sieving makes batch cost per
+        duplicate O(1) — orders of magnitude below sequential."""
+        rows = ([("red", "l", "disc")] + [("blue", "s", "cube")] * 500)
+        sequential = Baseline(users, SCHEMA)
+        batched = Baseline(users, SCHEMA)
+        for i, row in enumerate(rows):
+            sequential.push(Object(i, row))
+        batched.push_batch([Object(i, row) for i, row in enumerate(rows)])
+        assert batched.stats.comparisons * 10 \
+            < sequential.stats.comparisons
+
+
+# ---------------------------------------------------------------------------
+# Shared-order registry: identity, not just equality
+# ---------------------------------------------------------------------------
+
+class TestOrderRegistry:
+    def _equal_preferences(self):
+        """Two distinct Preference objects holding equal orders."""
+        build = lambda: Preference({
+            "color": PartialOrder.from_chain(["red", "green", "blue"]),
+            "size": PartialOrder.from_levels([["l"], ["m", "s"]]),
+            "shape": PartialOrder.empty(["disc"]),
+        })
+        return build(), build()
+
+    def test_equal_users_share_one_compiled_order(self):
+        p1, p2 = self._equal_preferences()
+        assert p1 is not p2
+        monitor = Baseline({"a": p1, "b": p2}, SCHEMA)
+        ka = monitor._frontiers["a"].kernel
+        kb = monitor._frontiers["b"].kernel
+        assert ka is kb
+        for ca, cb in zip(ka.compiled, kb.compiled):
+            assert ca is cb
+
+    def test_partial_overlap_shares_per_attribute(self):
+        p1, _ = self._equal_preferences()
+        p3 = Preference({
+            "color": PartialOrder.from_chain(["red", "green", "blue"]),
+            "size": PartialOrder.from_chain(["l", "m", "s"]),
+            "shape": PartialOrder.empty(["disc"]),
+        })
+        monitor = Baseline({"a": p1, "c": p3}, SCHEMA)
+        ka = monitor._frontiers["a"].kernel
+        kc = monitor._frontiers["c"].kernel
+        assert ka is not kc
+        assert ka.compiled[0] is kc.compiled[0]      # equal color order
+        assert ka.compiled[1] is not kc.compiled[1]  # different size order
+
+    def test_cluster_and_member_share_when_equal(self):
+        p1, p2 = self._equal_preferences()
+        monitor = FilterThenVerify(
+            [Cluster.exact({"a": p1, "b": p2})], SCHEMA)
+        state = monitor._states[0]
+        # Common preference of two equal users is the users' preference:
+        # the virtual kernel is the members' kernel, shared three ways.
+        assert state.shared.kernel is state.per_user["a"].kernel
+        assert state.per_user["a"].kernel is state.per_user["b"].kernel
+        assert monitor.registry.unique_kernels == 1
+        assert monitor.registry.kernels_requested == 3
+
+    def test_sliding_monitor_shares_between_frontier_and_buffer(self):
+        p1, p2 = self._equal_preferences()
+        monitor = BaselineSW({"a": p1, "b": p2}, SCHEMA, window=4)
+        assert monitor._frontiers["a"].kernel \
+            is monitor._frontiers["b"].kernel
+        assert monitor.registry.unique_kernels == 1
+
+    def test_mid_stream_add_user_reuses_compiled_state(self):
+        p1, p2 = self._equal_preferences()
+        monitor = Baseline({"a": p1}, SCHEMA)
+        monitor.push(("red", "m", "disc"))
+        monitor.add_user("late", p2)
+        assert monitor._frontiers["late"].kernel \
+            is monitor._frontiers["a"].kernel
+
+    def test_interpreted_monitor_has_no_registry(self):
+        monitor = Baseline({"u": Preference({})}, SCHEMA,
+                           kernel="interpreted")
+        assert monitor.registry is None
+
+    def test_registry_repr_reports_dedup(self):
+        codec = DomainCodec(SCHEMA)
+        registry = OrderRegistry(codec)
+        order = PartialOrder.from_chain(["red", "green"])
+        empty = PartialOrder.empty()
+        first = registry.kernel((order, empty, empty))
+        second = registry.kernel((order, empty, empty))
+        assert first is second
+        assert registry.unique_kernels == 1
+        assert "2 requests" in repr(registry)
+
+
+# ---------------------------------------------------------------------------
+# Codec batch encoding: loud width mismatches
+# ---------------------------------------------------------------------------
+
+class TestSieveSharing:
+    def test_equal_users_pay_one_sieve_pass(self):
+        """The sieve is memoised per order tuple: N users with equal
+        preferences charge the comparisons of one pass, not N."""
+        pref = Preference({
+            "color": PartialOrder.from_chain(["red", "green", "blue"])})
+        rows = ([("red", "s", "disc")] + [("blue", "s", "disc")] * 9) * 2
+        for kernel in ("compiled", "interpreted"):
+            one = Baseline({"a": pref}, SCHEMA, kernel=kernel)
+            many = Baseline({f"u{i}": pref for i in range(5)}, SCHEMA,
+                            kernel=kernel)
+            one.push_batch(list(rows))
+            many.push_batch(list(rows))
+            # Every blue is sieved out and the red copies fold, so the
+            # merges are comparison-free: the totals expose the sieve
+            # itself, which must have run once, not once per user.
+            assert one.stats.comparisons == 1
+            assert many.stats.comparisons == 1
+
+    def test_duplicate_free_batch_charges_no_sieve_comparisons(self):
+        pref = Preference({
+            "color": PartialOrder.from_chain(["red", "green", "blue"])})
+        rows = [("red", "s", "disc"), ("green", "m", "cube"),
+                ("blue", "l", "cone")]
+        sequential = Baseline({"u": pref}, SCHEMA)
+        batched = Baseline({"u": pref}, SCHEMA)
+        for row in rows:
+            sequential.push(row)
+        batched.push_batch(list(rows))
+        assert batched.stats.comparisons == sequential.stats.comparisons
+
+
+class TestCoercionValidation:
+    def test_push_rejects_ragged_row(self):
+        monitor = Baseline({"u": Preference({})}, SCHEMA)
+        with pytest.raises(SchemaMismatchError):
+            monitor.push(("red", "s"))
+
+    def test_push_batch_rejects_ragged_row_identically(self):
+        monitor = Baseline({"u": Preference({})}, SCHEMA)
+        with pytest.raises(SchemaMismatchError):
+            monitor.push_batch([("red", "s", "disc"), ("red", "s")])
+
+    @pytest.mark.parametrize("kernel", ["compiled", "interpreted"])
+    def test_ready_objects_are_validated_too(self, kernel):
+        monitor = Baseline({"u": Preference({})}, SCHEMA, kernel=kernel)
+        with pytest.raises(SchemaMismatchError):
+            monitor.push(Object(0, ("red", "s")))
+        with pytest.raises(SchemaMismatchError):
+            monitor.push_batch([Object(1, ("red", "s", "disc", "extra"))])
+
+
+class TestEncodeManyValidation:
+    def test_short_row_raises_schema_mismatch(self):
+        codec = DomainCodec(SCHEMA)
+        with pytest.raises(SchemaMismatchError) as info:
+            codec.encode_many([("red", "s", "disc"), ("green", "m")])
+        message = str(info.value)
+        assert "row 1" in message and "2 values" in message
+        assert "3-attribute" in message
+
+    def test_long_row_raises_schema_mismatch(self):
+        codec = DomainCodec(SCHEMA)
+        with pytest.raises(SchemaMismatchError):
+            codec.encode_many([("red", "s", "disc", "extra")])
+
+    def test_well_formed_rows_still_encode(self):
+        codec = DomainCodec(SCHEMA)
+        rows = [("red", "s", "disc"), ("red", "s", "disc")]
+        assert codec.encode_many(rows) == [(0, 0, 0), (0, 0, 0)]
+
+
+# ---------------------------------------------------------------------------
+# Huge domains: the known-codes bitmask scan replaces the generic path
+# ---------------------------------------------------------------------------
+
+class TestHugeDomainScan:
+    @settings(max_examples=20)
+    @given(users=user_sets(max_users=2),
+           rows=object_streams(min_objects=1, max_objects=16,
+                               extra_values=2))
+    def test_monitor_differential_past_table_limit(self, users, rows):
+        """With tables disabled (limit forced to 1), the mask scan must
+        reproduce the interpreted kernel bit for bit."""
+        from unittest import mock
+
+        import repro.core.compiled as compiled_module
+
+        with mock.patch.object(compiled_module, "TABLE_DOMAIN_LIMIT", 1):
+            compiled = Baseline(users, SCHEMA, kernel="compiled")
+            interpreted = Baseline(users, SCHEMA, kernel="interpreted")
+            assert all(order.table is None
+                       for kernel in compiled.registry._kernels.values()
+                       for order in kernel.compiled)
+            stream = [Object(i, row) for i, row in enumerate(rows)]
+            twin = [Object(i, row) for i, row in enumerate(rows)]
+            assert compiled.push_batch(stream) \
+                == interpreted.push_batch(twin)
+            for user in users:
+                assert compiled.frontier(user) \
+                    == interpreted.frontier(user)
+            assert compiled.stats.snapshot() \
+                == interpreted.stats.snapshot()
+
+    def test_mid_stream_growth_across_the_limit(self, monkeypatch):
+        """An attribute outgrowing the limit mid-stream switches its
+        term to the mask scan without changing any verdict."""
+        import repro.core.compiled as compiled_module
+
+        monkeypatch.setattr(compiled_module, "TABLE_DOMAIN_LIMIT", 16)
+        users = {"u": Preference(
+            {"color": PartialOrder.from_chain(["red", "green"])})}
+        compiled = Baseline(users, SCHEMA, kernel="compiled")
+        interpreted = Baseline(users, SCHEMA, kernel="interpreted")
+        rows = [("red", "s", "disc"), ("green", "m", "cube")]
+        rows += [(f"tone{i}", "s", "disc") for i in range(24)]
+        rows += [("red", "s", "disc")]
+        for i, row in enumerate(rows):
+            assert compiled.push(Object(i, row)) \
+                == interpreted.push(Object(i, row))
+        kernel = compiled._frontiers["u"].kernel
+        assert kernel.compiled[0].table is None      # outgrew the limit
+        assert compiled.frontier("u") == interpreted.frontier("u")
+        assert compiled.stats.snapshot() == interpreted.stats.snapshot()
