@@ -47,7 +47,8 @@ def test_kernels_agree_on_notifications(movies):
 
 def test_batch_ingest_cuts_comparisons_on_replayed_stream(movies):
     """Duplicate-heavy smoke for the intra-batch sieve: batched ingest
-    must match sequential notifications with fewer comparisons.  For
+    must match sequential notifications with fewer comparisons (both
+    memo-less, so the sieve's own effect is what is measured).  For
     the full sweep (recorded in ``BENCH_pr2.json``), run
     ``python -m repro.bench perf-batch``."""
     from repro.data.stream import replay
@@ -58,8 +59,38 @@ def test_batch_ingest_cuts_comparisons_on_replayed_stream(movies):
     # size must cover a few replay cycles.
     stream = list(replay(workload.dataset.objects[:SMOKE_OBJECTS // 4],
                          SMOKE_OBJECTS))
-    sequential = make_monitor("ftv", workload, dendrogram, h=PAPER_H)
-    batched = make_monitor("ftv", workload, dendrogram, h=PAPER_H)
+    sequential = make_monitor("ftv", workload, dendrogram, h=PAPER_H,
+                              memo=False)
+    batched = make_monitor("ftv", workload, dendrogram, h=PAPER_H,
+                           memo=False)
     expected = [sequential.push(obj) for obj in stream]
     assert batched.push_batch(stream) == expected
     assert batched.stats.comparisons < sequential.stats.comparisons
+
+
+def test_cross_batch_memo_cuts_comparisons_across_batches(movies):
+    """The PR 3 regression gate: on a hot-object replay split into many
+    batches, the cross-batch verdict memo must deliver identical
+    notifications while cutting comparisons well below the memo-less
+    batched path (the PR 2 numbers).  Comparison counts are
+    deterministic, so this is CI-stable; for the full sweep (recorded
+    in ``BENCH_pr3.json``), run ``python -m repro.bench perf-steady``."""
+    from repro.data.stream import replay
+
+    workload, dendrogram = movies
+    stream = list(replay(workload.dataset.objects[:SMOKE_OBJECTS // 8],
+                         SMOKE_OBJECTS))
+    batch = SMOKE_OBJECTS // 4
+    results = {}
+    for memo in (False, True):
+        monitor = make_monitor("ftv", workload, dendrogram, h=PAPER_H,
+                               memo=memo)
+        notifications = []
+        for cut in range(0, len(stream), batch):
+            notifications.extend(
+                monitor.push_batch(stream[cut:cut + batch]))
+        results[memo] = (notifications, monitor.stats.comparisons)
+    assert results[True][0] == results[False][0]
+    # Every batch after the first is pure repetition: steady state must
+    # at least halve the memo-less batched comparisons.
+    assert results[True][1] * 2 < results[False][1]

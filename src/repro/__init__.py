@@ -45,6 +45,7 @@ from repro.core.errors import (CycleError, EmptyClusterError,
                                SchemaMismatchError, ThresholdError,
                                UnknownAttributeError, WindowError)
 from repro.core.filter_verify import FilterThenVerify, FilterThenVerifyApprox
+from repro.core.ingest import IngestPipeline
 from repro.core.monitor import create_monitor
 from repro.core.pareto import AddResult, ParetoFrontier
 from repro.core.partial_order import (PartialOrder, PartialOrderBuilder,
@@ -88,6 +89,7 @@ __all__ = [
     "FilterThenVerifyApprox",
     "FilterThenVerifyApproxSW",
     "FilterThenVerifySW",
+    "IngestPipeline",
     "InterpretedKernel",
     "KERNELS",
     "LatencyProfile",

@@ -135,30 +135,34 @@ def clusters_at(workload: Workload, dendrogram: Dendrogram, h: float,
 
 def make_monitor(kind: str, workload: Workload, dendrogram: Dendrogram,
                  h: float = PAPER_H, window: int | None = None,
-                 kernel: str = "compiled"):
+                 kernel: str = "compiled", memo: bool = True):
     """Instantiate one of the six monitors on a prepared workload.
 
     *kernel* selects the dominance implementation: ``"compiled"`` (value
     interning + bitset matrices, :mod:`repro.core.compiled`) or
     ``"interpreted"`` (the pure-Python reference path) — both produce
     identical notifications and comparison counts, so every figure can
-    be regenerated on either.
+    be regenerated on either.  *memo* toggles the cross-batch verdict
+    memo (results are identical either way; only comparison counts
+    move — the A/B the ``perf-steady`` experiment sweeps).
     """
     if kind == "baseline":
         if window is None:
             return Baseline(workload.preferences, workload.schema,
-                            kernel=kernel)
+                            kernel=kernel, memo=memo)
         return BaselineSW(workload.preferences, workload.schema, window,
-                          kernel=kernel)
+                          kernel=kernel, memo=memo)
     approximate = kind == "ftva"
     clusters = clusters_at(workload, dendrogram, h, approximate)
     if window is None:
         factory = FilterThenVerifyApprox if approximate else \
             FilterThenVerify
-        return factory(clusters, workload.schema, kernel=kernel)
+        return factory(clusters, workload.schema, kernel=kernel,
+                       memo=memo)
     factory = FilterThenVerifyApproxSW if approximate else \
         FilterThenVerifySW
-    return factory(clusters, workload.schema, window, kernel=kernel)
+    return factory(clusters, workload.schema, window, kernel=kernel,
+                   memo=memo)
 
 
 # ---------------------------------------------------------------------------
@@ -306,6 +310,11 @@ def batch_perf_snapshot(dataset: str = "movies",
     batches grow — plus the shared-order registry's dedup ratio (unique
     compiled kernels vs user count).  Written as JSON when *path* is
     set so the perf trajectory is tracked across PRs.
+
+    Monitors run with the cross-batch verdict memo *off*: this sweep
+    tracks the intra-batch sieve against the memo-less sequential
+    reference (the PR 2 trajectory); :func:`steady_perf_snapshot`
+    measures the memo's cross-batch savings on top.
     """
     import json
 
@@ -322,7 +331,8 @@ def batch_perf_snapshot(dataset: str = "movies",
     runs: dict[str, dict] = {}
     for kind in kinds:
         for batch_size in batch_sizes:
-            monitor = make_monitor(kind, workload, dendrogram)
+            monitor = make_monitor(kind, workload, dendrogram,
+                                   memo=False)
             started = time.perf_counter()
             if batch_size == 1:
                 delivered = sum(len(monitor.push(obj)) for obj in stream)
@@ -361,6 +371,88 @@ def batch_perf_snapshot(dataset: str = "movies",
         "benchmark": "batch_perf_snapshot",
         "dataset": dataset,
         "stream_length": len(stream),
+        "users": len(workload.preferences),
+        "scale": asdict(scale),
+        "runs": runs,
+    }
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=1)
+            handle.write("\n")
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Cross-batch steady-state snapshots (BENCH_pr3.json)
+# ---------------------------------------------------------------------------
+
+def steady_perf_snapshot(dataset: str = "movies",
+                         kinds=("baseline", "ftv"),
+                         batch_size: int = 512,
+                         length: int | None = None,
+                         windows=(None,),
+                         path: str | None = "BENCH_pr3.json") -> dict:
+    """Measure the cross-batch verdict memo on a steady hot-object replay.
+
+    A long duplicate-heavy stream (a small hot slice of the corpus,
+    cycled across *many* ``push_batch`` calls) is pushed through fresh
+    monitors with the memo off and on.  The intra-batch sieve runs in
+    both, so the off runs reproduce the PR 2 batched numbers; the on
+    runs add the memo's O(1) duplicate path *across* batch boundaries —
+    once the frontiers reach steady state, whole batches are decided
+    without a single pairwise comparison.  Deliveries must be identical
+    between the two.  Entries of *windows* other than None run the
+    sliding-window variants at that window size, where expiry of
+    duplicate copies leaves the mutation epoch untouched and the memo
+    keeps hitting.  Written as JSON when *path* is set so the perf
+    trajectory is tracked across PRs.
+    """
+    import json
+
+    workload, dendrogram = prepared_stream(dataset)
+    scale = get_scale()
+    if length is None:
+        length = scale.stream_length
+    hot = workload.dataset.objects[:max(1, length // 16)]
+    stream = list(replay(hot, length))
+    runs: dict[str, dict] = {}
+    for window in windows:
+        for kind in kinds:
+            label = kind if window is None else f"{kind}-w{window}"
+            for memo in (False, True):
+                monitor = make_monitor(kind, workload, dendrogram,
+                                       window=window, memo=memo)
+                started = time.perf_counter()
+                delivered = 0
+                for cut in range(0, len(stream), batch_size):
+                    delivered += sum(
+                        len(t) for t in
+                        monitor.push_batch(stream[cut:cut + batch_size]))
+                elapsed = time.perf_counter() - started
+                runs[f"{label}/memo-{'on' if memo else 'off'}"] = {
+                    "kind": kind,
+                    "memo": memo,
+                    "batch_size": batch_size,
+                    "window": window,
+                    "objects": len(stream),
+                    "elapsed_s": round(elapsed, 6),
+                    "objects_per_s": round(len(stream) / elapsed, 1)
+                    if elapsed else float("inf"),
+                    "comparisons": monitor.stats.comparisons,
+                    "delivered": delivered,
+                }
+            off = runs[f"{label}/memo-off"]
+            on = runs[f"{label}/memo-on"]
+            if off["comparisons"]:
+                on["comparisons_vs_memo_off"] = round(
+                    on["comparisons"] / off["comparisons"], 4)
+    snapshot = {
+        "benchmark": "steady_perf_snapshot",
+        "dataset": dataset,
+        "stream_length": len(stream),
+        "hot_objects": len(hot),
+        "batch_size": batch_size,
+        "windows": list(windows),
         "users": len(workload.preferences),
         "scale": asdict(scale),
         "runs": runs,

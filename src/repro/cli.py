@@ -157,7 +157,7 @@ def cmd_monitor(args, out: IO[str]) -> int:
         shared=args.algorithm != "baseline",
         approximate=args.algorithm == "ftva",
         window=args.window, h=args.h, theta2=args.theta2,
-        kernel=args.kernel)
+        kernel=args.kernel, memo=not args.no_memo)
     deliveries = 0
 
     def report(obj, targets):
@@ -289,6 +289,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="ingest N objects per push_batch call (intra-batch sieve: "
              "identical notifications, fewer comparisons on "
              "duplicate-heavy streams); default: one push per object")
+    monitor.add_argument(
+        "--no-memo", action="store_true",
+        help="disable the cross-batch verdict memo (identical "
+             "notifications; more comparisons on hot-object streams — "
+             "useful for measuring the memo's effect)")
     monitor.add_argument("--quiet", action="store_true",
                          help="summary only, no per-delivery lines")
     monitor.set_defaults(func=cmd_monitor)

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-from repro.core.batch import batch_sieve
 from repro.core.clusters import UserId
 from repro.core.compiled import (DomainCodec, OrderRegistry, make_kernel,
                                  validate_kernel)
-from repro.core.errors import ReproError, SchemaMismatchError
+from repro.core.errors import ReproError
+from repro.core.ingest import IngestPipeline
 from repro.core.pareto import ParetoFrontier
 from repro.core.preference import Preference
 from repro.core.targets import TargetRegistry
@@ -24,13 +24,17 @@ from repro.metrics.counters import MonitorStats
 
 
 class MonitorBase:
-    """Shared plumbing for the append-only monitors.
+    """Shared plumbing for the monitors: kernel selection plus the
+    arrival plane.
 
-    Subclasses implement :meth:`_process` and expose per-user frontiers via
-    :meth:`frontier`.  :meth:`push` accepts either a ready
-    :class:`~repro.data.objects.Object` or a raw row (sequence or mapping
-    aligned with the schema) and returns the object's target users
-    ``C_o`` (Definition 3.4).
+    All ingest — sequential :meth:`push` and batched :meth:`push_batch`
+    alike — runs through one :class:`~repro.core.ingest.IngestPipeline`,
+    which owns coercion, one-pass value encoding, the intra-batch sieve
+    and per-arrival dispatch.  Concrete monitors are thin strategy
+    objects over that plane: they select the frontier scopes to sieve
+    under (:meth:`_sieve_scopes`) and assemble notifications per arrival
+    (:meth:`_dispatch_arrival`); the sliding family adds window
+    bookkeeping via :meth:`_pre_arrival` / :meth:`_sieve_horizon`.
 
     Every monitor selects a dominance kernel at construction:
     ``kernel="compiled"`` (default) interns attribute values through a
@@ -38,13 +42,20 @@ class MonitorBase:
     bitset dominance matrices of :mod:`repro.core.compiled`;
     ``kernel="interpreted"`` keeps the pure-Python reference path.  Both
     return identical notifications, frontiers and comparison counts.
+
+    ``memo`` (default True) enables the cross-batch verdict memo of
+    :mod:`repro.core.pareto`: value tuples whose frontier verdict is
+    still valid (validated against the frontier's mutation epoch) are
+    decided in O(1) without a scan.  Results are byte-identical either
+    way; only comparison counts drop.
     """
 
     def __init__(self, schema: Sequence[str], track_targets: bool = False,
-                 kernel: str = "compiled"):
+                 kernel: str = "compiled", memo: bool = True):
         self.schema: Schema = tuple(schema)
         self.stats = MonitorStats()
         self.kernel_name = validate_kernel(kernel)
+        self.memo_enabled = bool(memo)
         #: Monitor-wide value interner (None under the interpreted kernel).
         self.codec: DomainCodec | None = (
             DomainCodec(self.schema) if kernel == "compiled" else None)
@@ -52,7 +63,8 @@ class MonitorBase:
         #: equal orders share one CompiledOrder and CompiledKernel.
         self.registry: OrderRegistry | None = (
             OrderRegistry(self.codec) if self.codec is not None else None)
-        self._next_oid = 0
+        #: The arrival plane (coerce → encode → sieve → dispatch).
+        self.ingest = IngestPipeline(self)
         #: Live C_o bookkeeping (Definition 3.4) when requested.
         self.targets: TargetRegistry | None = (
             TargetRegistry() if track_targets else None)
@@ -68,81 +80,59 @@ class MonitorBase:
                            preference.aligned(self.schema), self.codec,
                            self.registry)
 
-    # -- input handling -------------------------------------------------
+    def _make_frontier(self, preference: Preference, counter,
+                       owner=None) -> ParetoFrontier:
+        """One per-scope frontier on the monitor's kernel and memo flag.
+
+        Only user-owned frontiers report to the target registry;
+        cluster-level sieve frontiers (``P_U``) pass no owner and stay
+        out of ``C_o`` bookkeeping.
+        """
+        return ParetoFrontier(self._make_kernel(preference), counter,
+                              self.targets if owner is not None else None,
+                              owner, memo=self.memo_enabled)
+
+    # -- ingest ----------------------------------------------------------
 
     def _coerce(self, row) -> Object:
-        if isinstance(row, Object):
-            self._check_width(row.values)
-            self._next_oid = max(self._next_oid, row.oid + 1)
-            return row
-        if isinstance(row, Mapping):
-            values = tuple(row[attr] for attr in self.schema)
-        else:
-            values = tuple(row)
-            self._check_width(values)
-        obj = Object(self._next_oid, values)
-        self._next_oid += 1
-        return obj
-
-    def _check_width(self, values) -> None:
-        """Reject rows whose width disagrees with the schema — a silent
-        zip truncation downstream would corrupt every dominance verdict
-        for the arrival."""
-        if len(values) != len(self.schema):
-            raise SchemaMismatchError(
-                self.schema, values,
-                message=f"row has {len(values)} values {tuple(values)!r} "
-                        f"for the {len(self.schema)}-attribute schema "
-                        f"{self.schema!r}")
-
-    def _encode(self, obj: Object):
-        """Intern the object's values once for this arrival."""
-        codec = self.codec
-        return codec.encode(obj.values) if codec is not None else None
+        return self.ingest.coerce(row)
 
     def push(self, row) -> frozenset[UserId]:
         """Process one arrival; returns the target users of the object."""
-        obj = self._coerce(row)
-        return self._push_object(obj, self._encode(obj))
-
-    def _coerce_encode(self, rows) -> tuple[list[Object], list]:
-        """Coerce and value-intern a batch once, before any frontier."""
-        objects = [self._coerce(row) for row in rows]
-        codec = self.codec
-        if codec is not None:
-            encoded = codec.encode_many([obj.values for obj in objects])
-        else:
-            encoded = [None] * len(objects)
-        return objects, encoded
+        return self.ingest.push(row)
 
     def push_batch(self, rows) -> list[frozenset[UserId]]:
         """Process many arrivals as one batch.
 
         Per-row notifications and final frontiers are identical to
-        calling :meth:`push` per row, in order.  The concrete monitors
-        override this with a true batch algorithm (an intra-batch sieve
-        under each user's/cluster's orders — see
-        :func:`repro.core.batch.batch_sieve` — followed by one frontier
-        merge per user), cutting comparisons, not just per-push
-        overhead; this base version amortises coercion and value
-        interning only.
+        calling :meth:`push` per row, in order, while the pipeline's
+        intra-batch sieve (:func:`repro.core.batch.batch_sieve`) and the
+        cross-batch verdict memo cut comparisons, not just per-push
+        overhead, on duplicate-heavy streams.
         """
-        objects, encoded = self._coerce_encode(rows)
-        return [self._push_object(obj, codes)
-                for obj, codes in zip(objects, encoded)]
+        return self.ingest.push_batch(rows)
 
     def push_all(self, rows) -> list[frozenset[UserId]]:
         """Alias of :meth:`push_batch`, kept for API compatibility."""
-        return self.push_batch(rows)
+        return self.ingest.push_batch(rows)
 
-    def _push_object(self, obj: Object, codes) -> frozenset[UserId]:
-        self.stats.objects += 1
-        targets = self._process(obj, codes)
-        self.stats.delivered += len(targets)
-        return targets
+    # -- strategy hooks (the monitor side of the arrival plane) ----------
 
-    def _process(self, obj: Object, codes=None) -> frozenset[UserId]:
+    def _sieve_scopes(self):
+        """``(scope key, kernel)`` pairs for the pipeline's sieve."""
         raise NotImplementedError
+
+    def _dispatch_arrival(self, obj: Object, codes, offset: int = 0,
+                          sieves=None) -> frozenset[UserId]:
+        """Offer one arrival to every frontier; assemble its targets."""
+        raise NotImplementedError
+
+    def _pre_arrival(self, obj: Object, codes) -> None:
+        """Bookkeeping before frontier work (window expiry lives here)."""
+
+    def _sieve_horizon(self) -> int | None:
+        """Largest batch prefix one sieve may cover (None: unbounded)."""
+        return None
 
     # -- inspection ------------------------------------------------------
 
@@ -170,16 +160,23 @@ class MonitorBase:
 
 
 class Baseline(MonitorBase):
-    """Algorithm 1: independent Pareto-frontier maintenance per user."""
+    """Algorithm 1: independent Pareto-frontier maintenance per user.
+
+    As an arrival-plane strategy, Baseline sieves under each user's own
+    orders (shared per distinct order tuple) and offers survivors to the
+    per-user frontiers; surviving duplicates ride their leader's verdict
+    (appended without a scan when the identical leader is still a
+    member — it can evict nothing the leader did not, and its dominator
+    chain rejects the copy when the leader is gone).
+    """
 
     def __init__(self, preferences: Mapping[UserId, Preference],
                  schema: Sequence[str], track_targets: bool = False,
-                 kernel: str = "compiled"):
-        super().__init__(schema, track_targets, kernel)
+                 kernel: str = "compiled", memo: bool = True):
+        super().__init__(schema, track_targets, kernel, memo)
         self._preferences: dict[UserId, Preference] = dict(preferences)
         self._frontiers: dict[UserId, ParetoFrontier] = {
-            user: ParetoFrontier(self._make_kernel(pref),
-                                 self.stats.filter, self.targets, user)
+            user: self._make_frontier(pref, self.stats.filter, user)
             for user, pref in preferences.items()
         }
 
@@ -198,8 +195,7 @@ class Baseline(MonitorBase):
         """
         if user in self._frontiers:
             raise ValueError(f"user {user!r} already registered")
-        frontier = ParetoFrontier(self._make_kernel(preference),
-                                  self.stats.filter, self.targets, user)
+        frontier = self._make_frontier(preference, self.stats.filter, user)
         for obj in history:
             frontier.add(obj)
         self._preferences[user] = preference
@@ -211,63 +207,38 @@ class Baseline(MonitorBase):
         self._preferences.pop(user, None)
         frontier.clear()
 
-    def _process(self, obj: Object, codes=None) -> frozenset[UserId]:
-        targets = [
-            user for user, frontier in self._frontiers.items()
-            if frontier.add(obj, codes).is_pareto
-        ]
-        return frozenset(targets)
+    # -- arrival-plane strategy ------------------------------------------
 
-    def push_batch(self, rows) -> list[frozenset[UserId]]:
-        """Batched Algorithm 1: sieve the batch per user, merge survivors.
+    def _sieve_scopes(self):
+        return [(user, frontier.kernel)
+                for user, frontier in self._frontiers.items()]
 
-        For each user an intra-batch sieve
-        (:func:`~repro.core.batch.batch_sieve`) discards arrivals
-        dominated by an earlier arrival under that user's orders before
-        the frontier is touched, and surviving duplicates ride their
-        leader's verdict (appended without a scan).  Notifications and
-        final frontiers are identical to sequential :meth:`push`.
-        Comparison accounting: every skipped or folded arrival saves a
-        full frontier scan, at the price of one pass over the
-        deduplicated batch window per *distinct* value tuple — a large
-        net win on duplicate- or dominance-heavy streams (the paper's
-        replayed workloads), a small constant overhead when every
-        arrival is novel and Pareto.  The sieve itself is computed once
-        per distinct order tuple, not once per user: its output depends
-        only on the orders, so users sharing preferences share the pass
-        (under both kernels, keeping their counts identical).
-        """
-        objects, encoded = self._coerce_encode(rows)
-        if not objects:
-            return []
-        targets: list[set] = [set() for _ in objects]
-        counter = self.stats.filter
-        sieves: dict[tuple, tuple] = {}
+    def _dispatch_arrival(self, obj: Object, codes, offset: int = 0,
+                          sieves=None) -> frozenset[UserId]:
+        targets = []
+        if sieves is None:
+            for user, frontier in self._frontiers.items():
+                if frontier.add(obj, codes).is_pareto:
+                    targets.append(user)
+            return frozenset(targets)
         for user, frontier in self._frontiers.items():
-            kernel = frontier.kernel
-            result = sieves.get(kernel.orders)
-            if result is None:
-                result = batch_sieve(kernel, objects, encoded, counter)
-                sieves[kernel.orders] = result
-            skipped, leaders = result
-            for i, obj in enumerate(objects):
-                if skipped[i]:
-                    continue
-                leader = leaders[i]
-                if leader is None:
-                    if frontier.add(obj, encoded[i]).is_pareto:
-                        targets[i].add(user)
-                elif objects[leader].oid in frontier:
-                    # Identical leader still Pareto ⟹ so is the copy,
-                    # and it can evict nothing the leader did not.
-                    frontier.append_unchecked(obj, encoded[i])
-                    targets[i].add(user)
-                # Leader rejected or since evicted ⟹ its dominator
-                # chain rejects the copy too: nothing to do.
-        self.stats.objects += len(objects)
-        results = [frozenset(t) for t in targets]
-        self.stats.delivered += sum(map(len, results))
-        return results
+            skipped, leaders = sieves[user]
+            if skipped[offset]:
+                # Dominated by a batch predecessor ⟹ a rejecting scan
+                # is guaranteed: skip it.
+                continue
+            leader = leaders[offset]
+            if leader is None:
+                if frontier.add(obj, codes).is_pareto:
+                    targets.append(user)
+            elif leader.oid in frontier:
+                # Identical leader still Pareto ⟹ so is the copy,
+                # and it can evict nothing the leader did not.
+                frontier.append_unchecked(obj, codes)
+                targets.append(user)
+            # Leader rejected or since evicted ⟹ its dominator
+            # chain rejects the copy too: nothing to do.
+        return frozenset(targets)
 
     def frontier(self, user: UserId) -> tuple[Object, ...]:
         return tuple(self._frontiers[user].members)

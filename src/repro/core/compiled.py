@@ -458,8 +458,8 @@ class CompiledKernel:
     Python call per scan instead of one per pair.
     """
 
-    __slots__ = ("codec", "orders", "compiled", "_version", "_tables",
-                 "_capacities", "_betters", "_worses", "_flags",
+    __slots__ = ("codec", "orders", "compiled", "memo", "_version",
+                 "_tables", "_capacities", "_betters", "_worses", "_flags",
                  "_scan_add_fn", "_any_dominator_fn",
                  "_dominated_indices_fn")
 
@@ -467,6 +467,12 @@ class CompiledKernel:
                  registry: OrderRegistry | None = None):
         self.codec = codec
         self.orders = tuple(orders)
+        #: Cross-batch verdict memo (see ``repro.core.pareto``): value
+        #: key → {frontier uid → (epoch, undominated?)}.  Shared by
+        #: every frontier scanning through this kernel — registry-deduped
+        #: kernels make it monitor-wide per order tuple — and validated
+        #: per frontier against globally unique mutation epochs.
+        self.memo: dict = {}
         if len(self.orders) != len(codec.schema):
             raise ReproError(
                 f"{len(self.orders)} orders for a "
@@ -595,12 +601,17 @@ class InterpretedKernel:
     differential tests pit against :class:`CompiledKernel`.
     """
 
-    __slots__ = ("orders",)
+    __slots__ = ("orders", "memo")
 
     codec = None
 
     def __init__(self, orders: Sequence[PartialOrder]):
         self.orders = tuple(orders)
+        #: Cross-batch verdict memo, keyed by raw value tuples (the
+        #: interpreted twin of :attr:`CompiledKernel.memo`; the codec is
+        #: injective, so both key spaces memoise identically and the two
+        #: kernels keep charging identical comparison counts).
+        self.memo: dict = {}
 
     def encode(self, obj: Object):
         return None

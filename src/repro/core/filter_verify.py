@@ -25,9 +25,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.core.baseline import MonitorBase
-from repro.core.batch import batch_sieve
 from repro.core.clusters import Cluster, UserId
-from repro.core.pareto import ParetoFrontier
 from repro.core.preference import Preference
 from repro.data.objects import Object
 
@@ -37,13 +35,11 @@ class _ClusterState:
 
     __slots__ = ("cluster", "shared", "per_user")
 
-    def __init__(self, cluster: Cluster, monitor, stats, registry=None):
+    def __init__(self, cluster: Cluster, monitor, stats):
         self.cluster = cluster
-        self.shared = ParetoFrontier(
-            monitor._make_kernel(cluster.virtual), stats.filter)
+        self.shared = monitor._make_frontier(cluster.virtual, stats.filter)
         self.per_user = {
-            user: ParetoFrontier(monitor._make_kernel(pref), stats.verify,
-                                 registry, user)
+            user: monitor._make_frontier(pref, stats.verify, user)
             for user, pref in cluster.members.items()
         }
 
@@ -57,10 +53,11 @@ class FilterThenVerify(MonitorBase):
     """
 
     def __init__(self, clusters: Sequence[Cluster], schema: Sequence[str],
-                 track_targets: bool = False, kernel: str = "compiled"):
-        super().__init__(schema, track_targets, kernel)
+                 track_targets: bool = False, kernel: str = "compiled",
+                 memo: bool = True):
+        super().__init__(schema, track_targets, kernel, memo)
         self._states = [
-            _ClusterState(cluster, self, self.stats, self.targets)
+            _ClusterState(cluster, self, self.stats)
             for cluster in clusters
         ]
         self._user_state: dict[UserId, _ClusterState] = {}
@@ -92,79 +89,53 @@ class FilterThenVerify(MonitorBase):
         return cls(clusters, schema, kernel=kernel)
 
     # ------------------------------------------------------------------
-    # Algorithm 2
+    # Algorithm 2 as an arrival-plane strategy
     # ------------------------------------------------------------------
+    #
+    # The pipeline sieves once per cluster under the *virtual* order
+    # ``≻_U``: an arrival dominated by a batch predecessor under ``≻_U``
+    # is dominated for every member (Theorem 4.5), so one sieve verdict
+    # discards it for the whole cluster — no ``P_U`` scan, no per-member
+    # verification.  Surviving duplicates skip the ``P_U`` scan too —
+    # the copy is Pareto for the cluster iff its identical leader is
+    # *still* a ``P_U`` member, an O(1) check — but are still verified
+    # per member, because ``≻_c ⊇ ≻_U`` may have evicted the leader from
+    # an individual ``P_c`` in between.  Notifications and frontiers are
+    # identical to sequential push.
 
-    def _process(self, obj: Object, codes=None) -> frozenset[UserId]:
+    def _sieve_scopes(self):
+        return [(index, state.shared.kernel)
+                for index, state in enumerate(self._states)]
+
+    def _dispatch_arrival(self, obj: Object, codes, offset: int = 0,
+                          sieves=None) -> frozenset[UserId]:
         targets = []
-        for state in self._states:
-            result = state.shared.add(obj, codes)
-            for evicted in result.evicted:
-                # o' left P_U, hence leaves every P_c (≻_U ⊆ ≻_c).
-                for frontier in state.per_user.values():
-                    frontier.discard(evicted.oid)
-            if not result.is_pareto:
-                continue  # filtered out for the whole cluster
-            for user, frontier in state.per_user.items():
+        for index, state in enumerate(self._states):
+            leader = None
+            if sieves is not None:
+                skipped, leaders = sieves[index]
+                if skipped[offset]:
+                    continue  # filtered out for the whole cluster
+                leader = leaders[offset]
+            per_user = state.per_user
+            if leader is None:
+                result = state.shared.add(obj, codes)
+                for evicted in result.evicted:
+                    # o' left P_U, hence leaves every P_c (≻_U ⊆ ≻_c).
+                    for frontier in per_user.values():
+                        frontier.discard(evicted.oid)
+                if not result.is_pareto:
+                    continue  # filtered out for the whole cluster
+            elif leader.oid in state.shared:
+                # Identical leader still in P_U ⟹ the copy joins
+                # without a scan and evicts nothing new.
+                state.shared.append_unchecked(obj, codes)
+            else:
+                continue  # leader rejected/evicted ⟹ copy dominated
+            for user, frontier in per_user.items():
                 if frontier.add(obj, codes).is_pareto:
                     targets.append(user)
         return frozenset(targets)
-
-    def push_batch(self, rows) -> list[frozenset[UserId]]:
-        """Batched Algorithm 2: sieve once per cluster, then verify.
-
-        The intra-batch sieve (:func:`~repro.core.batch.batch_sieve`)
-        runs under each cluster's *virtual* order ``≻_U``: an arrival
-        dominated by a batch predecessor under ``≻_U`` is dominated for
-        every member (Theorem 4.5), so one sieve pass discards it for
-        the whole cluster — no ``P_U`` scan, no per-member verification.
-        Surviving duplicates skip the ``P_U`` scan too — the copy is
-        Pareto for the cluster iff its identical leader is *still* a
-        ``P_U`` member, an O(1) check — but are still verified per
-        member, because ``≻_c ⊇ ≻_U`` may have evicted the leader from
-        an individual ``P_c`` in between.  Notifications and frontiers
-        are identical to sequential :meth:`push`.
-        """
-        objects, encoded = self._coerce_encode(rows)
-        if not objects:
-            return []
-        targets: list[set] = [set() for _ in objects]
-        sieves: dict[tuple, tuple] = {}
-        for state in self._states:
-            kernel = state.shared.kernel
-            result = sieves.get(kernel.orders)
-            if result is None:
-                result = batch_sieve(kernel, objects, encoded,
-                                     self.stats.filter)
-                sieves[kernel.orders] = result
-            skipped, leaders = result
-            per_user = state.per_user
-            for i, obj in enumerate(objects):
-                if skipped[i]:
-                    continue
-                codes = encoded[i]
-                leader = leaders[i]
-                if leader is None:
-                    result = state.shared.add(obj, codes)
-                    for evicted in result.evicted:
-                        # o' left P_U, hence leaves every P_c.
-                        for frontier in per_user.values():
-                            frontier.discard(evicted.oid)
-                    if not result.is_pareto:
-                        continue
-                elif objects[leader].oid in state.shared:
-                    # Identical leader still in P_U ⟹ the copy joins
-                    # without a scan and evicts nothing new.
-                    state.shared.append_unchecked(obj, codes)
-                else:
-                    continue  # leader rejected/evicted ⟹ copy dominated
-                for user, frontier in per_user.items():
-                    if frontier.add(obj, codes).is_pareto:
-                        targets[i].add(user)
-        self.stats.objects += len(objects)
-        results = [frozenset(t) for t in targets]
-        self.stats.delivered += sum(map(len, results))
-        return results
 
     # ------------------------------------------------------------------
     # Inspection
@@ -207,7 +178,7 @@ class FilterThenVerify(MonitorBase):
         if user in self._user_state:
             raise ValueError(f"user {user!r} already registered")
         state = _ClusterState(Cluster({user: preference}, preference),
-                              self, self.stats, self.targets)
+                              self, self.stats)
         for obj in history:
             result = state.shared.add(obj)
             if result.is_pareto:

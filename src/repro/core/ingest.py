@@ -1,0 +1,186 @@
+"""The arrival plane: one ingest pipeline shared by all six monitors.
+
+Historically every monitor family re-implemented the same arrival
+choreography — coerce the row, encode its values once, sieve the batch,
+offer the arrival to each frontier, assemble notifications — in its own
+``push``/``push_batch`` overrides.  :class:`IngestPipeline` owns that
+choreography once, monitor-wide:
+
+* **coercion** — raw rows (sequences or mappings aligned with the
+  schema, or ready :class:`~repro.data.objects.Object` instances) become
+  objects with sequential ids, with loud
+  :class:`~repro.core.errors.SchemaMismatchError` on width mismatches;
+* **one-pass encoding** — values are interned through the monitor's
+  :class:`~repro.core.compiled.DomainCodec` exactly once per arrival,
+  regardless of user count (``None`` codes under the interpreted
+  kernel);
+* **the intra-batch sieve** — :func:`repro.core.batch.batch_sieve` runs
+  once per *distinct order tuple* per chunk (users and clusters sharing
+  preferences share the pass), with leader indices resolved to objects
+  so monitors can fold surviving duplicates by an O(1)
+  is-the-leader-still-a-member check;
+* **per-frontier dispatch** — each arrival is handed to the monitor's
+  strategy hooks in arrival order, with window chunking (sliding
+  monitors sieve per ≤W chunk so a marked arrival's dominator is still
+  alive when the arrival is processed — see DESIGN.md §9.2).
+
+Monitors are reduced to thin strategy objects over this plane.  They
+implement:
+
+``_sieve_scopes()``
+    ``(scope key, kernel)`` pairs — one per sieve scope (per user for
+    the baselines, per cluster under ``≻_U`` for the shared families).
+``_dispatch_arrival(obj, codes, offset=0, sieves=None)``
+    offer one arrival to the monitor's frontier set and assemble its
+    notification set; *sieves* maps scope keys to this chunk's
+    ``(skipped, leader objects)`` verdicts (None on the sequential
+    path).
+``_pre_arrival(obj, codes)``
+    per-arrival bookkeeping that precedes frontier work (the sliding
+    monitors expire the ``W``-old object and append to the alive
+    window here; append-only monitors inherit the no-op).
+``_sieve_horizon()``
+    the largest batch prefix one sieve may cover (``None`` for
+    append-only monitors, the window size for sliding ones).
+
+Sequential ``push`` and batched ``push_batch`` are the *same* dispatch
+path — a push is a chunk of one with no sieve — so any cross-batch
+optimisation wired into the frontiers (the verdict memo of
+:mod:`repro.core.pareto`) benefits both identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.batch import batch_sieve
+from repro.core.errors import SchemaMismatchError
+from repro.data.objects import Object
+
+
+class IngestPipeline:
+    """Coerce → encode → sieve → dispatch, for one monitor."""
+
+    __slots__ = ("monitor", "schema", "codec", "_next_oid")
+
+    def __init__(self, monitor):
+        self.monitor = monitor
+        self.schema = monitor.schema
+        self.codec = monitor.codec
+        self._next_oid = 0
+
+    # ------------------------------------------------------------------
+    # Coercion and encoding
+    # ------------------------------------------------------------------
+
+    def coerce(self, row) -> Object:
+        """Turn one raw row into an :class:`Object` with a fresh id."""
+        if isinstance(row, Object):
+            self._check_width(row.values)
+            self._next_oid = max(self._next_oid, row.oid + 1)
+            return row
+        if isinstance(row, Mapping):
+            values = tuple(row[attr] for attr in self.schema)
+        else:
+            values = tuple(row)
+            self._check_width(values)
+        obj = Object(self._next_oid, values)
+        self._next_oid += 1
+        return obj
+
+    def _check_width(self, values) -> None:
+        """Reject rows whose width disagrees with the schema — a silent
+        zip truncation downstream would corrupt every dominance verdict
+        for the arrival."""
+        if len(values) != len(self.schema):
+            raise SchemaMismatchError(
+                self.schema, values,
+                message=f"row has {len(values)} values {tuple(values)!r} "
+                        f"for the {len(self.schema)}-attribute schema "
+                        f"{self.schema!r}")
+
+    def encode(self, obj: Object):
+        """Intern the object's values once for this arrival."""
+        codec = self.codec
+        return codec.encode(obj.values) if codec is not None else None
+
+    def coerce_encode(self, rows) -> tuple[list[Object], list]:
+        """Coerce and value-intern a batch once, before any frontier."""
+        objects = [self.coerce(row) for row in rows]
+        codec = self.codec
+        if codec is not None:
+            encoded = codec.encode_many([obj.values for obj in objects])
+        else:
+            encoded = [None] * len(objects)
+        return objects, encoded
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def push(self, row) -> frozenset:
+        """Process one arrival; returns the target users of the object."""
+        monitor = self.monitor
+        obj = self.coerce(row)
+        codes = self.encode(obj)
+        stats = monitor.stats
+        stats.objects += 1
+        monitor._pre_arrival(obj, codes)
+        targets = monitor._dispatch_arrival(obj, codes)
+        stats.delivered += len(targets)
+        return targets
+
+    def push_batch(self, rows) -> list[frozenset]:
+        """Process many arrivals as one batch.
+
+        Per-row notifications, final frontiers (and, under windows,
+        buffers) are identical to calling :meth:`push` per row, in
+        order; arrivals the sieve proves redundant skip their frontier
+        scans, and surviving duplicates fold onto their leader's
+        verdict.
+        """
+        monitor = self.monitor
+        objects, encoded = self.coerce_encode(rows)
+        results: list[frozenset] = []
+        if not objects:
+            return results
+        horizon = monitor._sieve_horizon() or len(objects)
+        stats = monitor.stats
+        pre_arrival = monitor._pre_arrival
+        dispatch = monitor._dispatch_arrival
+        for start in range(0, len(objects), horizon):
+            chunk = objects[start:start + horizon]
+            chunk_codes = encoded[start:start + horizon]
+            sieves = self._sieve_chunk(chunk, chunk_codes)
+            for offset, (obj, codes) in enumerate(zip(chunk, chunk_codes)):
+                stats.objects += 1
+                pre_arrival(obj, codes)
+                targets = dispatch(obj, codes, offset, sieves)
+                stats.delivered += len(targets)
+                results.append(targets)
+        return results
+
+    def _sieve_chunk(self, objects, encoded) -> dict:
+        """Scope key → ``(skipped, leader objects)`` for one chunk.
+
+        The sieve's output depends only on the kernel's orders, so it is
+        computed once per distinct order tuple and shared by every scope
+        holding equal orders (under both kernels, keeping their counts
+        identical).  Leader indices are resolved to objects so dispatch
+        can fold duplicates without touching chunk offsets.
+        """
+        monitor = self.monitor
+        counter = monitor.stats.filter
+        cache: dict[tuple, tuple] = {}
+        sieves: dict = {}
+        for key, kernel in monitor._sieve_scopes():
+            result = cache.get(kernel.orders)
+            if result is None:
+                skipped, leaders = batch_sieve(kernel, objects, encoded,
+                                               counter)
+                leader_objs = [None if leader is None else objects[leader]
+                               for leader in leaders]
+                result = (skipped, leader_objs)
+                cache[kernel.orders] = result
+            sieves[key] = result
+        return sieves

@@ -29,7 +29,8 @@ def create_monitor(preferences: Mapping[UserId, Preference],
                    h: float = 0.55, measure: str | None = None,
                    theta1: float = 6000, theta2: float = 0.5,
                    track_targets: bool = False,
-                   kernel: str = "compiled") -> MonitorBase:
+                   kernel: str = "compiled",
+                   memo: bool = True) -> MonitorBase:
     """Build the appropriate monitor for a user base.
 
     Parameters
@@ -66,15 +67,25 @@ def create_monitor(preferences: Mapping[UserId, Preference],
         :mod:`repro.core.batch`, cutting comparisons (not just
         overhead) on duplicate-heavy streams while returning per-row
         results identical to sequential ``push``.
+    memo:
+        enable the cross-batch verdict memo (default).  Every monitor
+        ingests through the shared arrival plane
+        (:mod:`repro.core.ingest`); with the memo on, value tuples
+        whose frontier verdict is still valid — validated against each
+        frontier's mutation epoch — are decided in O(1) with no
+        comparisons charged, extending the sieve's duplicate path
+        across batch and window boundaries.  Results are byte-identical
+        either way (see DESIGN.md §10).
     """
     if approximate and not shared:
         raise ValueError("approximate=True requires shared=True "
                          "(approximation lives in the cluster sieve)")
     if not shared:
         if window is None:
-            return Baseline(preferences, schema, track_targets, kernel)
+            return Baseline(preferences, schema, track_targets, kernel,
+                            memo)
         return BaselineSW(preferences, schema, window, track_targets,
-                          kernel)
+                          kernel, memo)
 
     from repro.clustering.hierarchical import cluster_users
 
@@ -90,7 +101,7 @@ def create_monitor(preferences: Mapping[UserId, Preference],
     if window is None:
         factory = FilterThenVerifyApprox if approximate else \
             FilterThenVerify
-        return factory(clusters, schema, track_targets, kernel)
+        return factory(clusters, schema, track_targets, kernel, memo)
     factory = FilterThenVerifyApproxSW if approximate else \
         FilterThenVerifySW
-    return factory(clusters, schema, window, track_targets, kernel)
+    return factory(clusters, schema, window, track_targets, kernel, memo)

@@ -20,10 +20,34 @@ The scan itself is delegated to a dominance kernel
 reference path; constructed from a :class:`~repro.core.compiled.
 CompiledKernel` the scan works on interned integer codes, kept in a list
 parallel to the members.
+
+Epochs and the cross-batch verdict memo (DESIGN.md §10)
+-------------------------------------------------------
+
+Scan verdicts depend only on the kernel's orders and on the *set of
+distinct value tuples* currently on the frontier — never on how many
+identical copies of a value are members, nor on which object ids carry
+them.  Both structures therefore track a **mutation epoch**: a stamp,
+drawn from one process-wide counter, that is renewed exactly when the
+distinct-value set changes (a value's first copy arrives, or its last
+copy is evicted/discarded/expired).  Duplicate appends and
+duplicate-copy removals leave the epoch untouched, because they cannot
+change any future verdict.
+
+The epoch makes verdicts memoisable across batches: each kernel carries
+a memo mapping a value key to per-frontier ``(epoch, undominated?)``
+entries.  An entry whose epoch still equals the frontier's current epoch
+replays its verdict in O(1) — no scan, no comparisons charged — which is
+sound because globally unique stamps can never validate against a
+different frontier or a mutated one.  Hot objects recurring across
+batch (and window) boundaries thus keep the O(1) duplicate path that the
+intra-batch sieve of :mod:`repro.core.batch` only provides within one
+batch.
 """
 
 from __future__ import annotations
 
+from itertools import count
 from typing import NamedTuple
 
 from repro.core.compiled import as_kernel
@@ -43,20 +67,112 @@ class AddResult(NamedTuple):
 _ADDED = AddResult(True, ())
 _REJECTED = AddResult(False, ())
 
+#: One process-wide stamp source for frontier/buffer identities and
+#: mutation epochs.  Uniqueness is the invalidation argument: a memo
+#: entry records the stamp of the exact (structure, distinct-value-set)
+#: state it was computed against, so it can only validate against that
+#: same structure in that same state.
+_STAMPS = count(1)
 
-class ParetoFrontier:
+#: Verdict-memo size guard: past this many distinct value keys the
+#: kernel-wide memo is dropped wholesale.  High-cardinality streams gain
+#: nothing from memoisation anyway; hot replayed streams — the memo's
+#: target — stay far below the limit.
+MEMO_LIMIT = 1 << 16
+
+
+class EpochTracked:
+    """Mutation-epoch bookkeeping shared by frontier and buffer.
+
+    Subclasses keep ``_members`` / ``_codes`` parallel lists; this base
+    maintains a live multiplicity per distinct value key and renews
+    :attr:`epoch` exactly when the distinct-value set changes.  The key
+    of a member is its encoded tuple under a compiled kernel and its raw
+    value tuple under the interpreted one (the codec is injective, so
+    the two key spaces memoise identically).
+    """
+
+    __slots__ = ("_keycounts", "_epoch")
+
+    def _init_epoch(self) -> None:
+        self._keycounts: dict = {}
+        self._epoch = next(_STAMPS)
+
+    @property
+    def epoch(self) -> int:
+        """Current mutation epoch (renewed on distinct-value changes)."""
+        return self._epoch
+
+    def holds_key(self, key) -> bool:
+        """True iff some member carries this value key (codes tuple
+        under a compiled kernel, raw value tuple otherwise).
+
+        The sliding monitors use this to skip mend scans: when an
+        expiring frontier member leaves an identical copy behind, the
+        copy still dominates everything the expired one did, so no
+        buffered object can have been released.
+        """
+        return bool(self._keycounts.get(key))
+
+    def _key_at(self, index: int):
+        codes = self._codes[index]
+        return codes if codes is not None else self._members[index].values
+
+    def _note_insert(self, key) -> None:
+        counts = self._keycounts
+        if counts.get(key):
+            counts[key] += 1
+        else:
+            counts[key] = 1
+            self._epoch = next(_STAMPS)
+
+    def _note_removals(self, keys) -> None:
+        counts = self._keycounts
+        vanished = False
+        for key in keys:
+            left = counts[key] - 1
+            if left:
+                counts[key] = left
+            else:
+                del counts[key]
+                vanished = True
+        if vanished:
+            self._epoch = next(_STAMPS)
+
+    def _compact_remove(self, oid: int) -> None:
+        """Drop the member carrying *oid*, maintaining keys and epoch."""
+        members = self._members
+        keep = []
+        removed_keys = []
+        for i, member in enumerate(members):
+            if member.oid != oid:
+                keep.append(i)
+            else:
+                removed_keys.append(self._key_at(i))
+        self._note_removals(removed_keys)
+        members[:] = [members[i] for i in keep]
+        self._codes[:] = [self._codes[i] for i in keep]
+
+
+class ParetoFrontier(EpochTracked):
     """The Pareto frontier ``P`` of an append-only object sequence.
 
     Members are kept in arrival order, which the sliding-window mend logic
     depends on (dominators inside a Pareto-frontier buffer always precede
     the objects they dominate — see ``repro.core.sliding``).
+
+    With ``memo=True`` (the default) the frontier consults its kernel's
+    cross-batch verdict memo before scanning: a value tuple whose verdict
+    was recorded at the frontier's current epoch is decided in O(1) with
+    no comparisons charged, and with results byte-identical to the scan
+    it skipped (see the module docstring for the invalidation argument).
     """
 
     __slots__ = ("_kernel", "_counter", "_members", "_codes", "_ids",
-                 "_registry", "_owner")
+                 "_registry", "_owner", "_uid", "_memo")
 
     def __init__(self, orders, counter: Counter | None = None,
-                 registry=None, owner=None):
+                 registry=None, owner=None, memo: bool = True):
         self._kernel = as_kernel(orders)
         self._counter = counter if counter is not None else Counter()
         self._members: list[Object] = []
@@ -68,6 +184,9 @@ class ParetoFrontier:
         # every membership change is reported as (owner, oid).
         self._registry = registry
         self._owner = owner
+        self._uid = next(_STAMPS)
+        self._memo = bool(memo)
+        self._init_epoch()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -98,6 +217,11 @@ class ParetoFrontier:
         """The comparison counter charged by this frontier."""
         return self._counter
 
+    @property
+    def memo_enabled(self) -> bool:
+        """Whether this frontier consults the kernel's verdict memo."""
+        return self._memo
+
     def __len__(self) -> int:
         return len(self._members)
 
@@ -107,6 +231,39 @@ class ParetoFrontier:
 
     def __iter__(self):
         return iter(self._members)
+
+    # ------------------------------------------------------------------
+    # Memo plumbing
+    # ------------------------------------------------------------------
+
+    def _memo_lookup(self, key):
+        """The valid ``undominated?`` verdict for *key*, else None."""
+        slot = self._kernel.memo.get(key)
+        if slot is None:
+            return None
+        entry = slot.get(self._uid)
+        if entry is None or entry[0] != self._epoch:
+            return None
+        return entry[1]
+
+    def _memo_record(self, key, undominated: bool) -> None:
+        """Record a verdict at the frontier's (post-mutation) epoch."""
+        memo = self._kernel.memo
+        if len(memo) >= MEMO_LIMIT:
+            memo.clear()
+        slot = memo.get(key)
+        if slot is None:
+            slot = memo[key] = {}
+        slot[self._uid] = (self._epoch, undominated)
+
+    def _admit(self, obj: Object, codes, key) -> None:
+        """Append an accepted object, maintaining keys and epoch."""
+        self._members.append(obj)
+        self._codes.append(codes)
+        self._note_insert(key)
+        self._ids.add(obj.oid)
+        if self._registry is not None:
+            self._registry.insert(self._owner, obj.oid)
 
     # ------------------------------------------------------------------
     # Algorithm 1: updateParetoFrontier
@@ -123,39 +280,54 @@ class ParetoFrontier:
         kernel = self._kernel
         if codes is None:
             codes = kernel.encode(obj)
+        key = codes if codes is not None else obj.values
+        if self._memo:
+            verdict = self._memo_lookup(key)
+            if verdict is not None:
+                if not verdict:
+                    # A member dominated this value at the recorded
+                    # epoch; nothing changed since, so it still does.
+                    return _REJECTED
+                if self._keycounts.get(key):
+                    # An identical copy is alive on the frontier, so the
+                    # newcomer is Pareto and can evict nothing the copy
+                    # did not (anything it dominates is already out) —
+                    # exactly the scan's identical-member early exit.
+                    self._admit(obj, codes, key)
+                    return _ADDED
         members = self._members
         member_codes = self._codes
         is_pareto, evicted_reads, scan_end, scanned = kernel.scan_add(
             obj, codes, members, member_codes)
-        self._counter.value += scanned
+        self._counter.bump(scanned)
         if not evicted_reads:
             if is_pareto:
-                members.append(obj)
-                member_codes.append(codes)
-                self._ids.add(obj.oid)
-                if self._registry is not None:
-                    self._registry.insert(self._owner, obj.oid)
-                return _ADDED
-            return _REJECTED
-        evicted = tuple(members[read] for read in evicted_reads)
-        gone = set(evicted_reads)
-        # Compact: keep survivors scanned so far plus the unscanned tail.
-        members[:] = [m for i, m in enumerate(members[:scan_end])
-                      if i not in gone] + members[scan_end:]
-        member_codes[:] = [c for i, c in
-                           enumerate(member_codes[:scan_end])
-                           if i not in gone] + member_codes[scan_end:]
-        self._ids.difference_update(o.oid for o in evicted)
-        if self._registry is not None:
-            for victim in evicted:
-                self._registry.remove(self._owner, victim.oid)
-        if is_pareto:
-            members.append(obj)
-            member_codes.append(codes)
-            self._ids.add(obj.oid)
+                self._admit(obj, codes, key)
+                result = _ADDED
+            else:
+                result = _REJECTED
+        else:
+            evicted = tuple(members[read] for read in evicted_reads)
+            self._note_removals([self._key_at(read)
+                                 for read in evicted_reads])
+            gone = set(evicted_reads)
+            # Compact: keep survivors scanned so far plus the unscanned
+            # tail.
+            members[:] = [m for i, m in enumerate(members[:scan_end])
+                          if i not in gone] + members[scan_end:]
+            member_codes[:] = [c for i, c in
+                               enumerate(member_codes[:scan_end])
+                               if i not in gone] + member_codes[scan_end:]
+            self._ids.difference_update(o.oid for o in evicted)
             if self._registry is not None:
-                self._registry.insert(self._owner, obj.oid)
-        return AddResult(is_pareto, evicted)
+                for victim in evicted:
+                    self._registry.remove(self._owner, victim.oid)
+            if is_pareto:
+                self._admit(obj, codes, key)
+            result = AddResult(is_pareto, evicted)
+        if self._memo:
+            self._memo_record(key, result.is_pareto)
+        return result
 
     # ------------------------------------------------------------------
     # Sliding-window support (Section 7)
@@ -163,6 +335,13 @@ class ParetoFrontier:
 
     def dominated(self, obj: Object, codes=None) -> bool:
         """True iff some member dominates *obj* (full dominance test)."""
+        if codes is None:
+            codes = self._kernel.encode(obj)
+        key = codes if codes is not None else obj.values
+        if self._memo:
+            verdict = self._memo_lookup(key)
+            if verdict is not None:
+                return not verdict
         found, scanned = self._kernel.any_dominator(
             obj, codes, self._members, self._codes)
         self._counter.bump(scanned)
@@ -182,11 +361,10 @@ class ParetoFrontier:
             codes = self._kernel.encode(obj)
         if self.dominated(obj, codes):
             return False
-        self._members.append(obj)
-        self._codes.append(codes)
-        self._ids.add(obj.oid)
-        if self._registry is not None:
-            self._registry.insert(self._owner, obj.oid)
+        key = codes if codes is not None else obj.values
+        self._admit(obj, codes, key)
+        if self._memo:
+            self._memo_record(key, True)
         return True
 
     def discard(self, obj: Object | int) -> bool:
@@ -195,9 +373,7 @@ class ParetoFrontier:
         if oid not in self._ids:
             return False
         self._ids.remove(oid)
-        keep = [i for i, m in enumerate(self._members) if m.oid != oid]
-        self._members[:] = [self._members[i] for i in keep]
-        self._codes[:] = [self._codes[i] for i in keep]
+        self._compact_remove(oid)
         if self._registry is not None:
             self._registry.remove(self._owner, oid)
         return True
@@ -215,6 +391,7 @@ class ParetoFrontier:
         self._counter.bump(scanned)
         if not doomed:
             return ()
+        self._note_removals([self._key_at(i) for i in doomed])
         gone = set(doomed)
         evicted = tuple(members[i] for i in doomed)
         members[:] = [m for i, m in enumerate(members) if i not in gone]
@@ -230,11 +407,7 @@ class ParetoFrontier:
         """Append an object already known to be Pareto-optimal."""
         if codes is None:
             codes = self._kernel.encode(obj)
-        self._members.append(obj)
-        self._codes.append(codes)
-        self._ids.add(obj.oid)
-        if self._registry is not None:
-            self._registry.insert(self._owner, obj.oid)
+        self._admit(obj, codes, codes if codes is not None else obj.values)
 
     def clear(self) -> None:
         if self._registry is not None:
@@ -243,6 +416,15 @@ class ParetoFrontier:
         self._members.clear()
         self._codes.clear()
         self._ids.clear()
+        if self._keycounts:
+            self._keycounts.clear()
+            self._epoch = next(_STAMPS)
+        if self._memo:
+            # This frontier stops scanning (clear backs remove_user):
+            # purge its slots from the shared kernel memo so dead
+            # frontiers cannot accumulate entries across user churn.
+            for slot in self._kernel.memo.values():
+                slot.pop(self._uid, None)
 
     def __repr__(self) -> str:
         return f"ParetoFrontier({len(self._members)} members)"

@@ -20,8 +20,10 @@ which keeps every ``P_c`` identical to a from-scratch recomputation while
 preserving the complexity argument.
 
 Like the append-only monitors, the sliding family runs on a selectable
-dominance kernel (:mod:`repro.core.compiled`): arrivals are value-interned
-once per push, and the buffer/mend scans run on encoded tuples.
+dominance kernel (:mod:`repro.core.compiled`) and ingests through the
+shared arrival plane (:mod:`repro.core.ingest`): arrivals are
+value-interned once per push, batches are sieved per ≤W chunk, and the
+buffer/mend scans run on encoded tuples.
 """
 
 from __future__ import annotations
@@ -30,23 +32,31 @@ from collections import deque
 from collections.abc import Mapping, Sequence
 
 from repro.core.baseline import MonitorBase
-from repro.core.batch import batch_sieve
 from repro.core.clusters import Cluster, UserId
 from repro.core.compiled import as_kernel
 from repro.core.errors import WindowError
-from repro.core.pareto import ParetoFrontier
+from repro.core.pareto import EpochTracked
 from repro.core.preference import Preference
 from repro.data.objects import Object
 from repro.metrics.counters import Counter
 
 
-class ParetoBuffer:
+class ParetoBuffer(EpochTracked):
     """The Pareto frontier buffer ``PB`` of Definition 7.4.
 
     Members are kept in arrival order.  Because an object dominated by a
     *successor* is expelled immediately (Theorem 7.2), any member's
     dominator inside the buffer precedes it — the property the mend loops
     rely on.
+
+    Like :class:`~repro.core.pareto.ParetoFrontier`, the buffer carries a
+    mutation :attr:`~repro.core.pareto.EpochTracked.epoch` renewed when
+    its distinct-value set changes.  Duplicate arrivals are additionally
+    **suffix-anchored**: a newcomer whose value already has an alive copy
+    scans only the members *after* that last copy — everything at or
+    before it was cleansed of values the newcomer dominates when the copy
+    arrived — turning the dominant per-arrival cost under windows into a
+    scan of the (usually short) suffix.
     """
 
     __slots__ = ("_kernel", "_counter", "_members", "_codes", "_ids")
@@ -57,6 +67,7 @@ class ParetoBuffer:
         self._members: list[Object] = []
         self._codes: list = []
         self._ids: set[int] = set()
+        self._init_epoch()
 
     @property
     def members(self) -> list[Object]:
@@ -75,31 +86,70 @@ class ParetoBuffer:
         oid = obj.oid if isinstance(obj, Object) else obj
         return oid in self._ids
 
+    def _anchor(self, key, codes) -> int:
+        """Index just past the last alive copy of *key* (0: no copy).
+
+        Physical order is arrival order (appends at the tail, removals
+        compact in place), so a backwards equality sweep finds the most
+        recent copy.  Key equality is not a pairwise object comparison,
+        so nothing is charged to the counter.
+        """
+        if not self._keycounts.get(key):
+            return 0
+        if codes is not None:
+            haystack = self._codes
+            for index in range(len(haystack) - 1, -1, -1):
+                if haystack[index] == key:
+                    return index + 1
+        else:
+            members = self._members
+            for index in range(len(members) - 1, -1, -1):
+                if members[index].values == key:
+                    return index + 1
+        return 0
+
     def on_arrival(self, obj: Object, codes=None) -> tuple[Object, ...]:
         """``refreshParetoBufferSW``: admit *obj*, expel what it dominates.
 
         Members dominated by the newcomer arrived earlier, so by Theorem
         7.2 they can never be Pareto-optimal again and are dropped for the
         rest of their lifetime.  Returns the expelled objects.
+
+        A duplicate arrival anchors to its last alive copy: members at or
+        before the copy were already cleansed of values *obj* dominates
+        when the copy arrived (later removals only shrink that prefix),
+        so only the suffix after it is scanned.  The expelled set — and
+        hence every downstream mend and notification — is identical to a
+        full scan's.
         """
         kernel = self._kernel
         if codes is None:
             codes = kernel.encode(obj)
+        key = codes if codes is not None else obj.values
         members = self._members
-        doomed, scanned = kernel.dominated_indices(
-            obj, codes, members, self._codes)
+        member_codes = self._codes
+        start = self._anchor(key, codes)
+        if start:
+            doomed, scanned = kernel.dominated_indices(
+                obj, codes, members[start:], member_codes[start:])
+            doomed = [start + index for index in doomed]
+        else:
+            doomed, scanned = kernel.dominated_indices(
+                obj, codes, members, member_codes)
         self._counter.bump(scanned)
         expelled: tuple[Object, ...] = ()
         if doomed:
+            self._note_removals([self._key_at(i) for i in doomed])
             gone = set(doomed)
             expelled = tuple(members[i] for i in doomed)
             members[:] = [m for i, m in enumerate(members)
                           if i not in gone]
-            self._codes[:] = [c for i, c in enumerate(self._codes)
-                              if i not in gone]
+            member_codes[:] = [c for i, c in enumerate(member_codes)
+                               if i not in gone]
             self._ids.difference_update(o.oid for o in expelled)
         members.append(obj)
-        self._codes.append(codes)
+        member_codes.append(codes)
+        self._note_insert(key)
         self._ids.add(obj.oid)
         return expelled
 
@@ -109,39 +159,35 @@ class ParetoBuffer:
         if oid not in self._ids:
             return False
         self._ids.remove(oid)
-        keep = [i for i, m in enumerate(self._members) if m.oid != oid]
-        self._members[:] = [self._members[i] for i in keep]
-        self._codes[:] = [self._codes[i] for i in keep]
+        self._compact_remove(oid)
         return True
 
 
-def _chunk_sieve(kernel, objects, encoded, counter, cache):
-    """One chunk's sieve, with leader indices resolved to objects.
-
-    Returns ``(skipped, leader_objs)``: the skip mask of
-    :func:`~repro.core.batch.batch_sieve` plus, per arrival, the first
-    chunk object carrying identical values (``None`` for first sights),
-    so the arrival loop can fold a surviving duplicate by an O(1)
-    is-the-leader-still-a-member check.  *cache* memoises the result
-    per distinct order tuple — the sieve depends only on the orders, so
-    users/clusters sharing preferences share the pass.
-    """
-    result = cache.get(kernel.orders)
-    if result is None:
-        skipped, leaders = batch_sieve(kernel, objects, encoded, counter)
-        leader_objs = [None if leader is None else objects[leader]
-                       for leader in leaders]
-        result = (skipped, leader_objs)
-        cache[kernel.orders] = result
-    return result
-
-
 class SlidingMonitorBase(MonitorBase):
-    """Window bookkeeping shared by the sliding-window monitors."""
+    """Window bookkeeping shared by the sliding-window monitors.
+
+    The arrival plane calls :meth:`_pre_arrival` before each dispatch;
+    here that expires the ``W``-old object and appends the newcomer to
+    the alive window.  Batches are sieved per ≤W chunk
+    (:meth:`_sieve_horizon`): the intra-batch sieve stays sound under
+    expiry as long as a marked arrival's dominator is still alive when
+    the arrival is processed, and a dominator from the same ≤W chunk
+    expires at least W arrivals after it entered — after every later
+    chunk row.  Expiry, mending and Pareto-buffer maintenance still run
+    row by row; only the (provably rejecting) frontier offer of a sieved
+    arrival is skipped, so buffers, mends and notifications stay
+    byte-equal to sequential push.  Duplicate folding cannot be decided
+    at sieve time (mends and expiry can change a frontier between two
+    copies), so dispatch re-checks the leader's membership *at
+    processing time*: an alive leader still on the frontier proves the
+    copy Pareto; otherwise the copy takes the full scan (which the
+    cross-batch verdict memo often answers in O(1) anyway).
+    """
 
     def __init__(self, schema: Sequence[str], window: int,
-                 track_targets: bool = False, kernel: str = "compiled"):
-        super().__init__(schema, track_targets, kernel)
+                 track_targets: bool = False, kernel: str = "compiled",
+                 memo: bool = True):
+        super().__init__(schema, track_targets, kernel, memo)
         if window < 1:
             raise WindowError(f"window size must be >= 1, got {window}")
         self.window = int(window)
@@ -154,78 +200,17 @@ class SlidingMonitorBase(MonitorBase):
         """The current window contents, oldest first."""
         return tuple(obj for obj, _ in self._alive)
 
-    def _push_object(self, obj: Object, codes) -> frozenset[UserId]:
-        """Expire the ``W``-old object (if any), then process the arrival."""
-        self.stats.objects += 1
+    def _pre_arrival(self, obj: Object, codes) -> None:
+        """Expire the ``W``-old object (if any), admit the arrival."""
         if len(self._alive) == self.window:
             expired, expired_codes = self._alive.popleft()
             self._expire(expired, expired_codes)
         self._alive.append((obj, codes))
-        targets = self._arrive(obj, codes)
-        self.stats.delivered += len(targets)
-        return targets
+
+    def _sieve_horizon(self) -> int | None:
+        return self.window
 
     def _expire(self, obj: Object, codes) -> None:
-        raise NotImplementedError
-
-    def _arrive(self, obj: Object, codes) -> frozenset[UserId]:
-        raise NotImplementedError
-
-    def _process(self, obj: Object, codes=None):  # pragma: no cover
-        raise NotImplementedError(
-            "sliding monitors override _push_object()")
-
-    # ------------------------------------------------------------------
-    # Batched ingest under a window
-    # ------------------------------------------------------------------
-    #
-    # The intra-batch sieve stays sound under expiry as long as a
-    # marked arrival's dominator is still alive when the arrival is
-    # processed.  Chunking the batch to at most W arrivals guarantees
-    # it: a dominator from the same chunk expires at least W arrivals
-    # after it entered, i.e. after every later chunk row.  Expiry,
-    # mending and Pareto-buffer maintenance still run row by row —
-    # only the (provably rejecting) frontier offer of a sieved arrival
-    # is skipped, so buffers, mends and notifications stay byte-equal
-    # to sequential push.  Duplicate folding cannot be decided at sieve
-    # time (mends and expiry can change a frontier between two copies),
-    # so the arrival loop re-checks the leader's membership *at
-    # processing time*: an alive leader still on the frontier proves
-    # the copy Pareto; otherwise the copy takes the full scan.
-
-    def push_batch(self, rows) -> list[frozenset[UserId]]:
-        """Batched Algorithms 4/5: sieve each ≤W chunk, skip doomed adds.
-
-        Per-row notifications, frontiers and buffers are identical to
-        sequential :meth:`push`; arrivals dominated within the chunk
-        skip their frontier scans (the buffer work, which keeps them
-        mendable after their dominator expires, is preserved).
-        """
-        objects, encoded = self._coerce_encode(rows)
-        results: list[frozenset[UserId]] = []
-        window = self.window
-        for start in range(0, len(objects), window):
-            chunk = objects[start:start + window]
-            chunk_codes = encoded[start:start + window]
-            sieves = self._batch_sieves(chunk, chunk_codes)
-            for offset, (obj, codes) in enumerate(zip(chunk, chunk_codes)):
-                self.stats.objects += 1
-                if len(self._alive) == window:
-                    expired, expired_codes = self._alive.popleft()
-                    self._expire(expired, expired_codes)
-                self._alive.append((obj, codes))
-                targets = self._arrive_sieved(obj, codes, offset, sieves)
-                self.stats.delivered += len(targets)
-                results.append(targets)
-        return results
-
-    def _batch_sieves(self, objects, encoded):
-        """Per-scope intra-batch skip masks for one ≤W chunk."""
-        raise NotImplementedError
-
-    def _arrive_sieved(self, obj: Object, codes, offset: int, sieves,
-                       ) -> frozenset[UserId]:
-        """:meth:`_arrive`, minus the frontier offers *sieves* vetoed."""
         raise NotImplementedError
 
 
@@ -234,17 +219,17 @@ class BaselineSW(SlidingMonitorBase):
 
     def __init__(self, preferences: Mapping[UserId, Preference],
                  schema: Sequence[str], window: int,
-                 track_targets: bool = False, kernel: str = "compiled"):
-        super().__init__(schema, window, track_targets, kernel)
+                 track_targets: bool = False, kernel: str = "compiled",
+                 memo: bool = True):
+        super().__init__(schema, window, track_targets, kernel, memo)
         self._preferences = dict(preferences)
-        self._frontiers: dict[UserId, ParetoFrontier] = {}
+        self._frontiers: dict[UserId, "ParetoFrontier"] = {}
         self._buffers: dict[UserId, ParetoBuffer] = {}
         for user, pref in self._preferences.items():
-            user_kernel = self._make_kernel(pref)
-            self._frontiers[user] = ParetoFrontier(
-                user_kernel, self.stats.filter, self.targets, user)
-            self._buffers[user] = ParetoBuffer(user_kernel,
-                                               self.stats.buffer)
+            self._frontiers[user] = self._make_frontier(
+                pref, self.stats.filter, user)
+            self._buffers[user] = ParetoBuffer(
+                self._frontiers[user].kernel, self.stats.buffer)
 
     @property
     def users(self) -> tuple[UserId, ...]:
@@ -259,10 +244,8 @@ class BaselineSW(SlidingMonitorBase):
         """
         if user in self._preferences:
             raise ValueError(f"user {user!r} already registered")
-        user_kernel = self._make_kernel(preference)
-        frontier = ParetoFrontier(user_kernel, self.stats.filter,
-                                  self.targets, user)
-        buffer = ParetoBuffer(user_kernel, self.stats.buffer)
+        frontier = self._make_frontier(preference, self.stats.filter, user)
+        buffer = ParetoBuffer(frontier.kernel, self.stats.buffer)
         for obj, codes in self._alive:
             frontier.add(obj, codes)
             buffer.on_arrival(obj, codes)
@@ -277,12 +260,16 @@ class BaselineSW(SlidingMonitorBase):
         self._frontiers.pop(user).clear()
 
     def _expire(self, obj: Object, codes) -> None:
+        key = codes if codes is not None else obj.values
         for user in self._preferences:
             frontier = self._frontiers[user]
             buffer = self._buffers[user]
-            if frontier.discard(obj.oid):
+            if frontier.discard(obj.oid) and not frontier.holds_key(key):
                 # Objects dominated (possibly exclusively) by the expiring
-                # member may now be Pareto-optimal; candidates live in PB_c.
+                # member may now be Pareto-optimal; candidates live in
+                # PB_c.  When an identical copy survives on P_c it still
+                # dominates everything the expired one did, so the scan
+                # is skipped outright — nothing can have been released.
                 released, scanned = frontier.kernel.dominated_indices(
                     obj, codes, buffer.members, buffer.member_codes)
                 self.stats.buffer.bump(scanned)
@@ -291,38 +278,32 @@ class BaselineSW(SlidingMonitorBase):
                                          buffer.member_codes[index])
             buffer.on_expiry(obj.oid)
 
-    def _arrive(self, obj: Object, codes) -> frozenset[UserId]:
+    # -- arrival-plane strategy ------------------------------------------
+
+    def _sieve_scopes(self):
+        return [(user, frontier.kernel)
+                for user, frontier in self._frontiers.items()]
+
+    def _dispatch_arrival(self, obj: Object, codes, offset: int = 0,
+                          sieves=None) -> frozenset[UserId]:
         targets = []
         for user, frontier in self._frontiers.items():
-            if frontier.add(obj, codes).is_pareto:
-                targets.append(user)
-            self._buffers[user].on_arrival(obj, codes)
-        return frozenset(targets)
-
-    def _batch_sieves(self, objects, encoded):
-        cache: dict[tuple, tuple] = {}
-        return {
-            user: _chunk_sieve(self._frontiers[user].kernel, objects,
-                               encoded, self.stats.filter, cache)
-            for user in self._preferences
-        }
-
-    def _arrive_sieved(self, obj: Object, codes, offset: int, sieves,
-                       ) -> frozenset[UserId]:
-        targets = []
-        for user, frontier in self._frontiers.items():
-            skipped, leader_objs = sieves[user]
-            if not skipped[offset]:
-                leader = leader_objs[offset]
-                if leader is not None and leader.oid in frontier:
-                    # The identical leader is alive and Pareto, hence
-                    # so is the copy; it can evict nothing (anything it
-                    # dominates is dominated by the alive leader and
-                    # thus already outside P_c).
-                    frontier.append_unchecked(obj, codes)
+            if sieves is None:
+                if frontier.add(obj, codes).is_pareto:
                     targets.append(user)
-                elif frontier.add(obj, codes).is_pareto:
-                    targets.append(user)
+            else:
+                skipped, leaders = sieves[user]
+                if not skipped[offset]:
+                    leader = leaders[offset]
+                    if leader is not None and leader.oid in frontier:
+                        # The identical leader is alive and Pareto, hence
+                        # so is the copy; it can evict nothing (anything
+                        # it dominates is dominated by the alive leader
+                        # and thus already outside P_c).
+                        frontier.append_unchecked(obj, codes)
+                        targets.append(user)
+                    elif frontier.add(obj, codes).is_pareto:
+                        targets.append(user)
             self._buffers[user].on_arrival(obj, codes)
         return frozenset(targets)
 
@@ -344,14 +325,12 @@ class _SlidingClusterState:
 
     __slots__ = ("cluster", "shared", "buffer", "per_user")
 
-    def __init__(self, cluster: Cluster, monitor, stats, registry=None):
+    def __init__(self, cluster: Cluster, monitor, stats):
         self.cluster = cluster
-        virtual_kernel = monitor._make_kernel(cluster.virtual)
-        self.shared = ParetoFrontier(virtual_kernel, stats.filter)
-        self.buffer = ParetoBuffer(virtual_kernel, stats.buffer)
+        self.shared = monitor._make_frontier(cluster.virtual, stats.filter)
+        self.buffer = ParetoBuffer(self.shared.kernel, stats.buffer)
         self.per_user = {
-            user: ParetoFrontier(monitor._make_kernel(pref), stats.verify,
-                                 registry, user)
+            user: monitor._make_frontier(pref, stats.verify, user)
             for user, pref in cluster.members.items()
         }
 
@@ -362,10 +341,10 @@ class FilterThenVerifySW(SlidingMonitorBase):
 
     def __init__(self, clusters: Sequence[Cluster], schema: Sequence[str],
                  window: int, track_targets: bool = False,
-                 kernel: str = "compiled"):
-        super().__init__(schema, window, track_targets, kernel)
+                 kernel: str = "compiled", memo: bool = True):
+        super().__init__(schema, window, track_targets, kernel, memo)
         self._states = [
-            _SlidingClusterState(cluster, self, self.stats, self.targets)
+            _SlidingClusterState(cluster, self, self.stats)
             for cluster in clusters
         ]
         self._user_state: dict[UserId, _SlidingClusterState] = {}
@@ -401,13 +380,15 @@ class FilterThenVerifySW(SlidingMonitorBase):
     # ------------------------------------------------------------------
 
     def _expire(self, obj: Object, codes) -> None:
+        key = codes if codes is not None else obj.values
         for state in self._states:
             affected = [
                 user for user, frontier in state.per_user.items()
                 if frontier.discard(obj.oid)
             ]
             buffer = state.buffer
-            if state.shared.discard(obj.oid):
+            if state.shared.discard(obj.oid) \
+                    and not state.shared.holds_key(key):
                 released, scanned = state.shared.kernel.dominated_indices(
                     obj, codes, buffer.members, buffer.member_codes)
                 self.stats.buffer.bump(scanned)
@@ -418,9 +399,12 @@ class FilterThenVerifySW(SlidingMonitorBase):
             # from PB_U.  PB_U is ordered by ≻_U-domination, not by each
             # member's ≻_c, so a candidate's ≻_c-dominator may appear
             # *later* in the scan; the evicting insert (frontier.add)
-            # makes the outcome order-independent.
+            # makes the outcome order-independent.  As above, a
+            # surviving identical copy on P_c proves the scan redundant.
             for user in affected:
                 frontier = state.per_user[user]
+                if frontier.holds_key(key):
+                    continue
                 released, scanned = frontier.kernel.dominated_indices(
                     obj, codes, buffer.members, buffer.member_codes)
                 self.stats.verify.bump(scanned)
@@ -432,41 +416,29 @@ class FilterThenVerifySW(SlidingMonitorBase):
             buffer.on_expiry(obj.oid)
 
     # ------------------------------------------------------------------
-    # Arrival: filter through P_U, verify per user, refresh PB_U
+    # Arrival-plane strategy: filter through P_U, verify per user,
+    # refresh PB_U.  One sieve per cluster under ≻_U: a chunk arrival
+    # dominated by a predecessor under ≻_U is rejected by P_U for
+    # certain (Theorem 4.5 plus the alive-dominator invariant), so the
+    # whole cluster skips its scans.
     # ------------------------------------------------------------------
 
-    def _arrive(self, obj: Object, codes) -> frozenset[UserId]:
-        targets = []
-        for state in self._states:
-            result = state.shared.add(obj, codes)
-            if result.is_pareto:
-                for evicted in result.evicted:
-                    for frontier in state.per_user.values():
-                        frontier.discard(evicted.oid)
-                for user, frontier in state.per_user.items():
-                    if frontier.add(obj, codes).is_pareto:
-                        targets.append(user)
-            state.buffer.on_arrival(obj, codes)
-        return frozenset(targets)
+    def _sieve_scopes(self):
+        return [(index, state.shared.kernel)
+                for index, state in enumerate(self._states)]
 
-    def _batch_sieves(self, objects, encoded):
-        # One sieve per cluster under ≻_U: a chunk arrival dominated by
-        # a predecessor under ≻_U is rejected by P_U for certain
-        # (Theorem 4.5 plus the alive-dominator invariant), so the
-        # whole cluster skips its scans.
-        cache: dict[tuple, tuple] = {}
-        return [
-            _chunk_sieve(state.shared.kernel, objects, encoded,
-                         self.stats.filter, cache)
-            for state in self._states
-        ]
-
-    def _arrive_sieved(self, obj: Object, codes, offset: int, sieves,
-                       ) -> frozenset[UserId]:
+    def _dispatch_arrival(self, obj: Object, codes, offset: int = 0,
+                          sieves=None) -> frozenset[UserId]:
         targets = []
-        for state, (skipped, leader_objs) in zip(self._states, sieves):
-            if not skipped[offset]:
-                leader = leader_objs[offset]
+        for index, state in enumerate(self._states):
+            skipped = False
+            leader = None
+            if sieves is not None:
+                chunk_skipped, leaders = sieves[index]
+                skipped = chunk_skipped[offset]
+                if not skipped:
+                    leader = leaders[offset]
+            if not skipped:
                 if leader is not None and leader.oid in state.shared:
                     # Alive identical leader in P_U ⟹ the copy joins
                     # without a scan, evicting nothing; members still
@@ -515,8 +487,7 @@ class FilterThenVerifySW(SlidingMonitorBase):
         if user in self._user_state:
             raise ValueError(f"user {user!r} already registered")
         state = _SlidingClusterState(
-            Cluster({user: preference}, preference), self,
-            self.stats, self.targets)
+            Cluster({user: preference}, preference), self, self.stats)
         for obj, codes in self._alive:
             result = state.shared.add(obj, codes)
             if result.is_pareto:

@@ -90,6 +90,28 @@ def duplicate_heavy_streams(draw, min_objects: int = 0,
 
 
 @st.composite
+def duplicate_heavy_batches(draw, max_batches: int = 4,
+                            max_batch_size: int = 12,
+                            max_distinct: int = 4, domains=None):
+    """Several batches drawn from one shared pool: cross-batch repetition.
+
+    The cross-batch extension of :func:`duplicate_heavy_streams`: all
+    batches sample the *same* small row pool, so hot values recur across
+    ``push_batch`` boundaries (and, under windows, across expiries and
+    mends) — the regime the cross-batch verdict memo of
+    ``repro.core.pareto`` extends the sieve's O(1) duplicate path into.
+    Batches may be empty, mirroring idle ingest ticks.
+    """
+    domains = domains or DOMAINS
+    pool = draw(st.lists(object_rows(domains), min_size=1,
+                         max_size=max_distinct))
+    batches = draw(st.integers(1, max_batches))
+    return [draw(st.lists(st.sampled_from(pool), min_size=0,
+                          max_size=max_batch_size))
+            for _ in range(batches)]
+
+
+@st.composite
 def object_streams(draw, min_objects: int = 0, max_objects: int = 30,
                    domains=None, extra_values: int = 0):
     """A stream of object rows over the shared test domains.

@@ -209,4 +209,25 @@ class TestExperiments:
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "fig11", "tab11", "tab12", "abl-sim", "abl-theta",
             "abl-users", "abl-batch", "abl-buffer", "perf",
-            "perf-batch"}
+            "perf-batch", "perf-steady"}
+
+    def test_steady_perf_snapshot_smoke(self, tmp_path):
+        path = tmp_path / "BENCH_steady.json"
+        snapshot = runner.steady_perf_snapshot(
+            kinds=("baseline",), batch_size=64, length=512,
+            windows=(None, 48), path=str(path))
+        assert path.exists()
+        runs = snapshot["runs"]
+        assert set(runs) == {"baseline/memo-off", "baseline/memo-on",
+                             "baseline-w48/memo-off",
+                             "baseline-w48/memo-on"}
+        for label in ("baseline", "baseline-w48"):
+            off = runs[f"{label}/memo-off"]
+            on = runs[f"{label}/memo-on"]
+            # The memo must change no notification...
+            assert on["delivered"] == off["delivered"]
+            # ...while cutting comparisons on the hot replay (the
+            # stream cycles 512//16 = 32 hot objects, so every batch
+            # after the first is pure repetition).
+            assert on["comparisons"] < off["comparisons"]
+            assert on["comparisons_vs_memo_off"] < 1.0
