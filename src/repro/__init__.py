@@ -55,6 +55,7 @@ from repro.core.preference import Preference, common_preference
 from repro.core.sliding import (BaselineSW, FilterThenVerifyApproxSW,
                                 FilterThenVerifySW, ParetoBuffer)
 from repro.core.targets import TargetRegistry
+from repro.service import MonitorService, Notification, ServicePolicy
 from repro.clustering.dendrogram import Dendrogram, Merge
 from repro.clustering.hierarchical import build_dendrogram, cluster_users
 from repro.clustering.similarity import MEASURES, get_measure
@@ -65,7 +66,7 @@ from repro.metrics.counters import Counter, MonitorStats
 from repro.metrics.latency import (LatencyProfile, LatencyProfiler,
                                    SLOReport)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AddResult",
@@ -96,7 +97,9 @@ __all__ = [
     "LatencyProfiler",
     "MEASURES",
     "Merge",
+    "MonitorService",
     "MonitorStats",
+    "Notification",
     "Object",
     "OrderRegistry",
     "ParetoBuffer",
@@ -108,6 +111,7 @@ __all__ = [
     "ReproError",
     "SLOReport",
     "SchemaMismatchError",
+    "ServicePolicy",
     "TargetRegistry",
     "ThresholdError",
     "UnknownAttributeError",

@@ -526,6 +526,37 @@ def perf_steady() -> ExperimentResult:
         rows, notes=notes)
 
 
+def perf_churn() -> ExperimentResult:
+    """Subscription churn: service-incremental vs rebuild-and-replay
+    (BENCH_pr4.json)."""
+    from repro.bench.runner import churn_perf_snapshot
+
+    snapshot = churn_perf_snapshot()
+    rows = []
+    for run in snapshot["runs"].values():
+        rows.append((run["kind"], run["objects"], run["lifecycle_ops"],
+                     f'{run["subscribers_initial"]}->'
+                     f'{run["subscribers_final"]}',
+                     run["service_comparisons"],
+                     run["rebuild_comparisons"],
+                     run["comparisons_vs_rebuild"],
+                     run["service_elapsed_s"],
+                     run["rebuild_elapsed_s"]))
+    notes = ("Hot stream with one lifecycle op per batch boundary; the "
+             "rebuild column reconstructs the monitor from the "
+             "surviving users and replays the full history at every op "
+             "(the frozen-user-base workflow), the service column "
+             "splices incrementally.  Final answers are identical; "
+             "cmp/rebuild falls as histories lengthen.  Snapshot "
+             "written to BENCH_pr4.json")
+    return ExperimentResult(
+        "perf-churn",
+        "Subscription churn under a hot stream (movie workload)",
+        ("monitor", "objects", "ops", "users", "service_cmp",
+         "rebuild_cmp", "cmp/rebuild", "svc_s", "rebuild_s"),
+        rows, notes=notes)
+
+
 EXPERIMENTS = {
     "fig4": fig4,
     "fig5": fig5,
@@ -545,4 +576,5 @@ EXPERIMENTS = {
     "perf": perf_kernels,
     "perf-batch": perf_batch,
     "perf-steady": perf_steady,
+    "perf-churn": perf_churn,
 }

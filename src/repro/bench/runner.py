@@ -464,6 +464,150 @@ def steady_perf_snapshot(dataset: str = "movies",
     return snapshot
 
 
+# ---------------------------------------------------------------------------
+# Subscription-churn snapshots (BENCH_pr4.json)
+# ---------------------------------------------------------------------------
+
+def churn_perf_snapshot(dataset: str = "movies",
+                        kinds=("baseline", "ftv"),
+                        batch_size: int = 256,
+                        length: int | None = None,
+                        path: str | None = "BENCH_pr4.json") -> dict:
+    """Measure subscription churn under a hot stream: the
+    service-incremental lifecycle path vs rebuild-and-replay.
+
+    Scenario per monitor kind: half the users subscribe up front; a
+    duplicate-heavy stream is fed in batches, and at every batch
+    boundary one lifecycle op fires — first the remaining users
+    subscribe one by one (each competing over the full retained
+    history), then the earliest subscribers unsubscribe.  Two runs are
+    compared at identical final answers:
+
+    * **service** — one :class:`~repro.service.MonitorService` absorbs
+      every op incrementally (splice/rebuild one cluster, drop one
+      frontier);
+    * **rebuild** — the pre-service workflow: every lifecycle op
+      reconstructs the monitor from the surviving users and replays the
+      entire history before the stream continues.
+
+    The snapshot records comparisons and wall time for both plus their
+    ratio; the rebuild run's cost grows with history length (the
+    motivation for the service API), so the ratio falls as streams
+    lengthen.  Written as JSON when *path* is set so the perf
+    trajectory is tracked across PRs.
+    """
+    import json
+
+    from repro.service import MonitorService, ServicePolicy
+
+    workload, _ = prepared_stream(dataset)
+    scale = get_scale()
+    if length is None:
+        length = scale.stream_length // 2
+    hot = workload.dataset.objects[:max(1, length // 8)]
+    stream = [tuple(obj.values) for obj in replay(hot, length)]
+    users = list(workload.preferences.items())
+    half = max(1, len(users) // 2)
+    runs: dict[str, dict] = {}
+    for kind in kinds:
+        policy = ServicePolicy(shared=kind != "baseline",
+                               approximate=kind == "ftva", h=PAPER_H)
+        boundaries = list(range(0, len(stream), batch_size))
+        # The lifecycle script: subscribe the second half one per batch
+        # boundary, then unsubscribe the earliest subscribers.
+        script = [("subscribe", user, pref)
+                  for user, pref in users[half:]]
+        script += [("unsubscribe", user, None)
+                   for user, _ in users[:max(1, half // 2)]]
+
+        # One lifecycle op per batch boundary; ops left over once the
+        # stream ends (short streams, many users) drain afterwards so
+        # every scripted op actually runs in both runs.
+        schedule: list = [None] * len(boundaries)
+        schedule[:len(script)] = script[:len(boundaries)]
+        drain = script[len(boundaries):]
+
+        # Service-incremental run.
+        service = MonitorService(workload.schema, policy=policy)
+        for user, pref in users[:half]:
+            service.subscribe(user, pref)
+
+        def service_op(op_user_pref):
+            op, user, pref = op_user_pref
+            if op == "subscribe":
+                service.subscribe(user, pref)
+            else:
+                service.unsubscribe(user)
+
+        started = time.perf_counter()
+        for cut, slot in zip(boundaries, schedule):
+            service.feed(stream[cut:cut + batch_size])
+            if slot is not None:
+                service_op(slot)
+        for slot in drain:
+            service_op(slot)
+        service_elapsed = time.perf_counter() - started
+        service_cmp = service.stats.comparisons
+
+        # Rebuild-and-replay run: what the frozen-user-base API forces.
+        members = dict(users[:half])
+        monitor = policy.build(members, workload.schema)
+        history: list = []
+        rebuild_cmp = 0
+
+        def rebuild_op(op_user_pref):
+            nonlocal monitor, rebuild_cmp
+            op, user, pref = op_user_pref
+            if op == "subscribe":
+                members[user] = pref
+            else:
+                del members[user]
+            rebuild_cmp += monitor.stats.comparisons
+            monitor = policy.build(dict(members), workload.schema)
+            monitor.push_batch(list(history))
+
+        started = time.perf_counter()
+        for cut, slot in zip(boundaries, schedule):
+            chunk = stream[cut:cut + batch_size]
+            monitor.push_batch(chunk)
+            history.extend(chunk)
+            if slot is not None:
+                rebuild_op(slot)
+        for slot in drain:
+            rebuild_op(slot)
+        rebuild_elapsed = time.perf_counter() - started
+        rebuild_cmp += monitor.stats.comparisons
+
+        runs[kind] = {
+            "kind": kind,
+            "objects": len(stream),
+            "batch_size": batch_size,
+            "lifecycle_ops": len(script),
+            "subscribers_initial": half,
+            "subscribers_final": len(service.users),
+            "service_elapsed_s": round(service_elapsed, 6),
+            "service_comparisons": service_cmp,
+            "rebuild_elapsed_s": round(rebuild_elapsed, 6),
+            "rebuild_comparisons": rebuild_cmp,
+            "comparisons_vs_rebuild": round(
+                service_cmp / rebuild_cmp, 4) if rebuild_cmp else None,
+        }
+    snapshot = {
+        "benchmark": "churn_perf_snapshot",
+        "dataset": dataset,
+        "stream_length": len(stream),
+        "hot_objects": len(hot),
+        "users": len(users),
+        "scale": asdict(scale),
+        "runs": runs,
+    }
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=1)
+            handle.write("\n")
+    return snapshot
+
+
 @dataclass
 class ExperimentResult:
     """A printable table: the regenerated figure or table."""

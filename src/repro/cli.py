@@ -28,6 +28,7 @@ import sys
 from typing import IO
 
 from repro import io as repro_io
+from repro.core.errors import ReproError
 from repro.core.monitor import create_monitor
 from repro.viz import hasse_text
 
@@ -144,7 +145,133 @@ def cmd_cluster(args, out: IO[str]) -> int:
     return 0
 
 
+def _service_error(out: IO[str], message: str) -> int:
+    print(json.dumps({"event": "error", "message": message}), file=out)
+    return 2
+
+
+def cmd_monitor_service(args, out: IO[str]) -> int:
+    """``monitor --service``: drive a MonitorService from a JSONL
+    command stream (the positional file, or ``-`` for stdin).
+
+    The first command must configure the service; thereafter users
+    subscribe, update, unsubscribe and objects stream in, one JSON
+    object per line::
+
+        {"op": "configure", "schema": ["color", "size"], "window": 100}
+        {"op": "subscribe", "user": "u1", "preference": {"color":
+            {"hasse": [["red", "blue"]], "isolated": []}}}
+        {"op": "push", "row": ["red", "s"]}
+        {"op": "push", "rows": [["blue", "m"], ["red", "l"]]}
+        {"op": "update", "user": "u1", "preference": {...}}
+        {"op": "unsubscribe", "user": "u1"}
+
+    Output is JSONL too: one ``{"event": "notification", ...}`` line per
+    delivery, plus a final ``{"event": "summary", ...}`` line.
+    Preferences use the :mod:`repro.io` encoding (Hasse edges +
+    isolated values).
+    """
+    from repro.service import MonitorService, ServicePolicy
+
+    handle = sys.stdin if args.file == "-" else open(args.file,
+                                                     encoding="utf-8")
+    service = None
+    notifications = 0
+    try:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                command = json.loads(line)
+                if not isinstance(command, dict):
+                    return _service_error(
+                        out, f"line {lineno}: expected a JSON object, "
+                             f"got {command!r}")
+                op = command.get("op")
+                if op == "configure":
+                    if service is not None:
+                        return _service_error(
+                            out, f"line {lineno}: already configured")
+                    unknown = set(command) - {
+                        "op", "schema", "shared", "approximate",
+                        "window", "h", "measure", "theta1", "theta2"}
+                    if unknown:
+                        # A swallowed key would silently run a
+                        # different policy than the user asked for.
+                        return _service_error(
+                            out, f"line {lineno}: unknown configure "
+                                 f"key(s) {sorted(unknown)}")
+                    policy = ServicePolicy(
+                        shared=command.get(
+                            "shared", args.algorithm != "baseline"),
+                        approximate=command.get(
+                            "approximate", args.algorithm == "ftva"),
+                        window=command.get("window", args.window),
+                        h=command.get("h", args.h),
+                        measure=command.get("measure"),
+                        theta1=command.get("theta1",
+                                           ServicePolicy.theta1),
+                        theta2=command.get("theta2", args.theta2),
+                        kernel=args.kernel, memo=not args.no_memo)
+                    service = MonitorService(command["schema"],
+                                             policy=policy)
+                    continue
+                if service is None:
+                    return _service_error(
+                        out, f"line {lineno}: first command must be "
+                             f"{{\"op\": \"configure\", ...}}")
+                if op == "subscribe":
+                    service.subscribe(
+                        command["user"],
+                        repro_io.preference_from_dict(
+                            command["preference"]))
+                elif op == "update":
+                    service.update_preference(
+                        command["user"],
+                        repro_io.preference_from_dict(
+                            command["preference"]))
+                elif op == "unsubscribe":
+                    service.unsubscribe(command["user"])
+                elif op == "push":
+                    rows = (command["rows"] if "rows" in command
+                            else [command["row"]])
+                    for event in service.feed(rows):
+                        notifications += 1
+                        print(json.dumps({
+                            "event": "notification",
+                            "user": event.user,
+                            "oid": event.oid,
+                            "values": list(event.values),
+                        }), file=out)
+                else:
+                    return _service_error(
+                        out, f"line {lineno}: unknown op {op!r}")
+            except (KeyError, ValueError, TypeError, ReproError) as error:
+                # ReproError covers the library's own failure modes
+                # (schema mismatches, cycles, ...): the JSONL error
+                # contract holds for them too, not just JSON shape
+                # problems.
+                return _service_error(out, f"line {lineno}: {error}")
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    if service is None:
+        return _service_error(out, "empty command stream: nothing to do")
+    stats = service.stats.snapshot()
+    print(json.dumps({
+        "event": "summary",
+        "objects": stats["objects"],
+        "notifications": notifications,
+        "users": len(service),
+        "comparisons": stats["comparisons"],
+    }), file=out)
+    return 0
+
+
 def cmd_monitor(args, out: IO[str]) -> int:
+    if args.service:
+        return cmd_monitor_service(args, out)
     if args.batch_size is not None and args.batch_size < 1:
         # Fail before paying the workload load and clustering build.
         print(f"error: --batch-size must be >= 1, got {args.batch_size}",
@@ -271,7 +398,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     monitor = commands.add_parser(
         "monitor", help="stream a scenario through a monitor")
-    monitor.add_argument("file")
+    monitor.add_argument("file",
+                         help="scenario JSON file; with --service, a "
+                              "JSONL command stream ('-' for stdin)")
+    monitor.add_argument(
+        "--service", action="store_true",
+        help="service mode: read a JSONL command stream "
+             "({\"op\": \"configure\"|\"subscribe\"|\"update\"|"
+             "\"unsubscribe\"|\"push\", ...}) and emit one JSON "
+             "notification event per line (MonitorService end to end)")
     monitor.add_argument("--algorithm",
                          choices=("baseline", "ftv", "ftva"),
                          default="ftv")

@@ -92,6 +92,18 @@ class MonitorBase:
                               self.targets if owner is not None else None,
                               owner, memo=self.memo_enabled)
 
+    def _release_kernel(self, kernel) -> None:
+        """Return one kernel acquisition to the shared-order registry.
+
+        Every frontier built through :meth:`_make_frontier` holds one
+        registry reference; user-churn teardown paths release it here so
+        departed tastes do not pin compiled state (and verdict memos)
+        for the life of the service.  No-op under the interpreted
+        kernel, which has no registry.
+        """
+        if self.registry is not None:
+            self.registry.release(kernel)
+
     # -- ingest ----------------------------------------------------------
 
     def _coerce(self, row) -> Object:
@@ -184,6 +196,11 @@ class Baseline(MonitorBase):
     def users(self) -> tuple[UserId, ...]:
         return tuple(self._frontiers)
 
+    @property
+    def preferences(self) -> dict[UserId, Preference]:
+        """Current user → preference mapping (a copy; safe to mutate)."""
+        return dict(self._preferences)
+
     def add_user(self, user: UserId, preference: Preference,
                  history: Sequence[Object] = ()) -> None:
         """Register a new user mid-stream.
@@ -195,17 +212,23 @@ class Baseline(MonitorBase):
         """
         if user in self._frontiers:
             raise ValueError(f"user {user!r} already registered")
+        # Coerce before acquiring anything: malformed history rows fail
+        # as loudly as malformed feed arrivals, and they fail before a
+        # kernel acquisition could leak into the registry.
+        history = [self.ingest.coerce(row) for row in history]
         frontier = self._make_frontier(preference, self.stats.filter, user)
         for obj in history:
-            frontier.add(obj)
+            frontier.add(obj, self.ingest.encode(obj))
         self._preferences[user] = preference
         self._frontiers[user] = frontier
 
     def remove_user(self, user: UserId) -> None:
-        """Unregister a user; their target-set entries are withdrawn."""
+        """Unregister a user; their target-set entries are withdrawn and
+        their kernel acquisition returns to the shared-order registry."""
         frontier = self._frontiers.pop(user)
         self._preferences.pop(user, None)
         frontier.clear()
+        self._release_kernel(frontier.kernel)
 
     # -- arrival-plane strategy ------------------------------------------
 
@@ -222,7 +245,15 @@ class Baseline(MonitorBase):
                     targets.append(user)
             return frozenset(targets)
         for user, frontier in self._frontiers.items():
-            skipped, leaders = sieves[user]
+            # The scope set is mutable (service-driven churn between
+            # chunks); a scope the sieve did not cover takes the full
+            # scan path.
+            sieve = sieves.get(user)
+            if sieve is None:
+                if frontier.add(obj, codes).is_pareto:
+                    targets.append(user)
+                continue
+            skipped, leaders = sieve
             if skipped[offset]:
                 # Dominated by a batch predecessor ⟹ a rejecting scan
                 # is guaranteed: skip it.

@@ -25,9 +25,16 @@ UserId = Hashable
 
 
 class Cluster:
-    """A set of users plus the virtual preference they share."""
+    """A set of users plus the virtual preference they share.
 
-    __slots__ = ("_members", "_virtual")
+    Membership is immutable (churn goes through :meth:`with_user` /
+    :meth:`without_user`, which return new clusters), so per-cluster
+    derived data — the attribute union and the Section 5 similarity
+    representations — is cached lazily per instance and, where the
+    measure supports merging, carried forward incrementally on joins.
+    """
+
+    __slots__ = ("_members", "_virtual", "_attribute_union", "_reps")
 
     def __init__(self, members: Mapping[UserId, Preference],
                  virtual: Preference):
@@ -36,6 +43,9 @@ class Cluster:
                                     "user")
         self._members: dict[UserId, Preference] = dict(members)
         self._virtual = virtual
+        self._attribute_union: frozenset[str] | None = None
+        #: measure name → cached merged member representation.
+        self._reps: dict = {}
 
     @classmethod
     def exact(cls, members: Mapping[UserId, Preference]) -> "Cluster":
@@ -67,6 +77,85 @@ class Cluster:
     def preference(self, user: UserId) -> Preference:
         return self._members[user]
 
+    @property
+    def attribute_union(self) -> frozenset[str]:
+        """Every attribute any member holds an order on (cached)."""
+        if self._attribute_union is None:
+            union: set[str] = set()
+            for preference in self._members.values():
+                union |= preference.attributes
+            self._attribute_union = frozenset(union)
+        return self._attribute_union
+
+    def representation(self, measure) -> object:
+        """The cluster's merged member representation under *measure*
+        (Section 5), cached per measure name.
+
+        This is the membership-accurate representation — merged from
+        the *current* members, not the stored virtual, which may lag
+        conservatively after removals — and what incremental cluster
+        assignment compares newcomers against.
+        """
+        rep = self._reps.get(measure.name)
+        if rep is None:
+            for preference in self._members.values():
+                part = measure.represent(preference)
+                rep = part if rep is None else measure.merge(rep, part)
+            self._reps[measure.name] = rep
+        return rep
+
+    # ------------------------------------------------------------------
+    # Incremental membership (user churn)
+    # ------------------------------------------------------------------
+
+    def with_user(self, user: UserId, preference: Preference,
+                  virtual: Preference | None = None) -> "Cluster":
+        """A new cluster with *user* spliced in.
+
+        Without an explicit *virtual*, the common relation is updated
+        incrementally: the stored virtual intersected with the
+        newcomer's preference.  This is sound even when the stored
+        virtual is stale after removals (a stale virtual is a subset of
+        the true common relation, and intersecting keeps it a subset of
+        every member's relation, newcomer included).  Approximate
+        clusters pass their recomputed Algorithm-3 relation explicitly.
+        """
+        if user in self._members:
+            raise ValueError(f"user {user!r} is already a member")
+        members = dict(self._members)
+        members[user] = preference
+        if virtual is None:
+            virtual = self._virtual.intersection(preference)
+        cluster = Cluster(members, virtual)
+        # Carry warm similarity caches forward incrementally: merging
+        # the newcomer into a cached representation is O(1) merges
+        # instead of O(members) represents at the next assignment.
+        if self._attribute_union is not None:
+            cluster._attribute_union = \
+                self._attribute_union | preference.attributes
+        from repro.clustering.similarity import get_measure
+
+        for name, rep in self._reps.items():
+            measure = get_measure(name)
+            cluster._reps[name] = measure.merge(
+                rep, measure.represent(preference))
+        return cluster
+
+    def without_user(self, user: UserId) -> "Cluster | None":
+        """A new cluster with *user* removed; None once it would empty.
+
+        The virtual preference is kept as is: the common relation of
+        the remaining members is a superset of the stored one, so the
+        stored relation stays a sound (merely conservative) sieve until
+        the next re-clustering.
+        """
+        if user not in self._members:
+            raise KeyError(user)
+        members = {u: p for u, p in self._members.items() if u != user}
+        if not members:
+            return None
+        return Cluster(members, self._virtual)
+
     def __len__(self) -> int:
         return len(self._members)
 
@@ -80,3 +169,39 @@ class Cluster:
         users = ", ".join(map(str, list(self._members)[:4]))
         suffix = ", ..." if len(self._members) > 4 else ""
         return f"Cluster([{users}{suffix}], {len(self._members)} users)"
+
+
+def best_matching_cluster(clusters, preference: Preference, h: float,
+                          measure=None) -> int | None:
+    """Index of the most similar existing cluster at branch cut *h*.
+
+    The incremental counterpart of the Section 5 dendrogram cut, used
+    when a user subscribes mid-stream: the newcomer's singleton
+    representation is compared against each cluster's merged member
+    representation under *measure* (default ``weighted_jaccard``),
+    normalised by the attribute universe exactly like
+    :func:`repro.clustering.hierarchical.build_dendrogram` — so ``h``
+    means the same thing it does at construction-time clustering.
+    Returns ``None`` when no cluster reaches ``h`` (the caller opens a
+    singleton); similarity ties fall to the lowest index, keeping
+    assignment deterministic.
+    """
+    from repro.clustering.similarity import get_measure
+
+    if not clusters:
+        return None
+    measure = get_measure(measure or "weighted_jaccard")
+    attributes = set(preference.attributes)
+    for cluster in clusters:
+        attributes |= cluster.attribute_union
+    scale = 1.0 / (len(attributes) or 1)
+    newcomer = measure.represent(preference)
+    best_index = None
+    best_sim = h
+    for index, cluster in enumerate(clusters):
+        sim = scale * measure.similarity(
+            cluster.representation(measure), newcomer)
+        if sim >= h and (best_index is None or sim > best_sim):
+            best_sim = sim
+            best_index = index
+    return best_index

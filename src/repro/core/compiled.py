@@ -280,10 +280,19 @@ class OrderRegistry:
     Sharing is safe because compiled orders and kernels are stateless
     with respect to the containers that scan through them: frontier
     members and their codes are always passed in by the caller.
+
+    Acquisitions are refcounted: every :meth:`kernel` call takes one
+    reference, and :meth:`release` returns one.  When a kernel's last
+    holder releases it — user churn through
+    :meth:`~repro.core.baseline.Baseline.remove_user` and the
+    :class:`~repro.service.MonitorService` lifecycle ops — the kernel,
+    its verdict memo and any compiled orders no other live kernel uses
+    are dropped, so a long-lived service does not accumulate compiled
+    state for departed tastes.
     """
 
     __slots__ = ("codec", "_orders", "_kernels", "orders_requested",
-                 "kernels_requested")
+                 "kernels_requested", "_kernel_refs", "_order_refs")
 
     def __init__(self, codec: DomainCodec):
         self.codec = codec
@@ -292,6 +301,10 @@ class OrderRegistry:
         #: Demand counters: requested − unique = orders/kernels deduped.
         self.orders_requested = 0
         self.kernels_requested = 0
+        #: Live references: kernels per order tuple (one per acquisition)
+        #: and compiled orders per (index, order) (one per live kernel).
+        self._kernel_refs: dict[tuple, int] = {}
+        self._order_refs: dict[tuple, int] = {}
 
     def compiled_order(self, order: PartialOrder, index: int,
                        ) -> CompiledOrder:
@@ -307,10 +320,15 @@ class OrderRegistry:
             # Orders equal by pairs may still carry different isolated
             # domain values; intern them so encoding stays stable.
             self.codec.intern_domain(index, order.domain)
+        self._order_refs[key] = self._order_refs.get(key, 0) + 1
         return existing
 
     def kernel(self, orders: Sequence[PartialOrder]) -> "CompiledKernel":
-        """The shared :class:`CompiledKernel` for an order tuple."""
+        """The shared :class:`CompiledKernel` for an order tuple.
+
+        Takes one reference; pair every call with a :meth:`release`
+        when the holding frontier is torn down.
+        """
         self.kernels_requested += 1
         key = tuple(orders)
         existing = self._kernels.get(key)
@@ -320,7 +338,36 @@ class OrderRegistry:
         else:
             for index, order in enumerate(orders):
                 self.codec.intern_domain(index, order.domain)
+        self._kernel_refs[key] = self._kernel_refs.get(key, 0) + 1
         return existing
+
+    def release(self, kernel: "CompiledKernel") -> bool:
+        """Return one acquisition of *kernel*; True if it was dropped.
+
+        The last release removes the kernel (and its cross-batch memo)
+        from the registry and unpins its compiled orders, dropping any
+        order no remaining kernel shares.  Releasing a kernel the
+        registry does not hold is a no-op (interpreted kernels and
+        over-releases are tolerated, not fatal).
+        """
+        key = kernel.orders
+        left = self._kernel_refs.get(key)
+        if left is None:
+            return False
+        if left > 1:
+            self._kernel_refs[key] = left - 1
+            return False
+        del self._kernel_refs[key]
+        del self._kernels[key]
+        for index, order in enumerate(key):
+            order_key = (index, order)
+            remaining = self._order_refs.get(order_key, 1) - 1
+            if remaining > 0:
+                self._order_refs[order_key] = remaining
+            else:
+                self._order_refs.pop(order_key, None)
+                self._orders.pop(order_key, None)
+        return True
 
     @property
     def unique_orders(self) -> int:

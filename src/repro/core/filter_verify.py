@@ -25,9 +25,15 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.core.baseline import MonitorBase
-from repro.core.clusters import Cluster, UserId
+from repro.core.clusters import Cluster, UserId, best_matching_cluster
 from repro.core.preference import Preference
 from repro.data.objects import Object
+
+#: Algorithm-3 thresholds used when a joining user forces an
+#: approximate virtual recompute and the caller supplied none
+#: (the ``create_monitor``/``MonitorService`` defaults).
+DEFAULT_THETA1 = 6000
+DEFAULT_THETA2 = 0.5
 
 
 class _ClusterState:
@@ -112,8 +118,11 @@ class FilterThenVerify(MonitorBase):
         targets = []
         for index, state in enumerate(self._states):
             leader = None
-            if sieves is not None:
-                skipped, leaders = sieves[index]
+            # Scope sets are mutable under churn; a cluster the sieve
+            # did not cover takes the full filter/verify path.
+            sieve = sieves.get(index) if sieves is not None else None
+            if sieve is not None:
+                skipped, leaders = sieve
                 if skipped[offset]:
                     continue  # filtered out for the whole cluster
                 leader = leaders[offset]
@@ -165,26 +174,128 @@ class FilterThenVerify(MonitorBase):
     # User churn
     # ------------------------------------------------------------------
 
-    def add_user(self, user: UserId, preference: Preference,
-                 history: Sequence[Object] = ()) -> None:
-        """Register a new user mid-stream as a singleton cluster.
+    #: Whether joining a cluster recomputes an Algorithm-3 virtual
+    #: (overridden by the approximate subclasses).
+    approximate_clusters = False
 
-        Joining an existing cluster would shrink its common preference
-        relation and require rebuilding ``P_U`` from history; a singleton
-        cluster is always sound, and periodic re-clustering can fold the
-        newcomer in.  *history* seeds the newcomer's frontier, as in
-        :meth:`Baseline.add_user`.
+    @property
+    def preferences(self) -> dict[UserId, Preference]:
+        """Current user → preference mapping (a copy; safe to mutate)."""
+        return {user: state.cluster.members[user]
+                for user, state in self._user_state.items()}
+
+    def add_user(self, user: UserId, preference: Preference,
+                 history: Sequence[Object] = (), *, h: float | None = None,
+                 measure=None, theta1: float | None = None,
+                 theta2: float | None = None) -> None:
+        """Register a new user mid-stream.
+
+        With ``h`` set, the newcomer joins the best-matching existing
+        cluster — the Section 5 similarity between the newcomer and a
+        cluster's members must reach ``h``
+        (:func:`~repro.core.clusters.best_matching_cluster`) — and that
+        one cluster's state is rebuilt from *history* under the updated
+        virtual preference; every other cluster is untouched.  Without
+        ``h`` (the pre-service behaviour) or when no cluster matches, a
+        singleton cluster opens, which is always sound.
+
+        The monitor does not retain past objects, so the caller supplies
+        whatever *history* the new user should compete over (the
+        :class:`~repro.service.MonitorService` passes its retained feed
+        log); with no history the spliced state starts empty and fills
+        from future arrivals.  Joining an existing cluster *requires*
+        the history once objects have streamed — the join rebuilds the
+        whole cluster, and rebuilding members from nothing would wipe
+        their frontiers — so a historyless add after ingest falls back
+        to a singleton, which is always sound.  ``theta1``/``theta2``
+        feed the Algorithm-3 recompute on approximate monitors and are
+        ignored on exact ones.
         """
         if user in self._user_state:
             raise ValueError(f"user {user!r} already registered")
-        state = _ClusterState(Cluster({user: preference}, preference),
-                              self, self.stats)
+        # Coerce the history up front: anything that can raise —
+        # malformed rows, width mismatches — must fire before any
+        # existing state is torn down, so a failed add leaves the
+        # monitor (and the registry's refcounts) exactly as it was.
+        history = [self.ingest.coerce(row) for row in history]
+        index = None
+        if h is not None and (history or not self.stats.objects):
+            index = best_matching_cluster(
+                [state.cluster for state in self._states], preference, h,
+                measure)
+        if index is None:
+            state = _ClusterState(Cluster({user: preference}, preference),
+                                  self, self.stats)
+            self._replay_into_state(state, history)
+            self._states.append(state)
+            self._user_state[user] = state
+            return
+        old = self._states[index]
+        cluster = old.cluster.with_user(
+            user, preference,
+            virtual=self._join_virtual(old.cluster, user, preference,
+                                       theta1, theta2))
+        # Retire before rebuilding: the new members' frontiers re-insert
+        # the same (owner, oid) target-registry pairs the old ones held,
+        # and removal is by pair — tearing down second would erase them.
+        # Everything that can raise (coercion, virtual recompute) has
+        # already run by this point.
+        self._retire_state(old)
+        state = _ClusterState(cluster, self, self.stats)
+        self._replay_into_state(state, history)
+        self._states[index] = state
+        for member in cluster.users:
+            self._user_state[member] = state
+
+    def _join_virtual(self, cluster: Cluster, user: UserId,
+                      preference: Preference, theta1, theta2,
+                      ) -> Preference | None:
+        """Virtual preference for *cluster* after *user* joins.
+
+        None selects :meth:`Cluster.with_user`'s incremental
+        intersection (the exact family); the approximate subclasses
+        recompute the Algorithm-3 relation over the new membership.
+        """
+        if not self.approximate_clusters:
+            return None
+        from repro.core.approx import approximate_preference
+
+        members = dict(cluster.members)
+        members[user] = preference
+        return approximate_preference(
+            members.values(),
+            DEFAULT_THETA1 if theta1 is None else theta1,
+            DEFAULT_THETA2 if theta2 is None else theta2)
+
+    def _replay_into_state(self, state: _ClusterState, history) -> None:
+        """Replay past arrivals through one cluster's filter/verify
+        path, exactly as the arrival plane would have dispatched them.
+
+        Used to splice a rebuilt (or new singleton) cluster into a
+        stream already underway; every other cluster's state is
+        untouched, which is what makes mid-stream joins cheap.
+        *history* must already be coerced ``Object``s — ``add_user``
+        coerces (and thereby validates) the whole list before any
+        state is touched, so this loop never re-checks.
+        """
         for obj in history:
-            result = state.shared.add(obj)
+            codes = self.ingest.encode(obj)
+            result = state.shared.add(obj, codes)
+            for evicted in result.evicted:
+                for frontier in state.per_user.values():
+                    frontier.discard(evicted.oid)
             if result.is_pareto:
-                state.per_user[user].add(obj)
-        self._states.append(state)
-        self._user_state[user] = state
+                for frontier in state.per_user.values():
+                    frontier.add(obj, codes)
+
+    def _retire_state(self, state: _ClusterState) -> None:
+        """Tear one cluster state down: withdraw target-set entries,
+        purge memo slots, return kernel acquisitions to the registry."""
+        for frontier in state.per_user.values():
+            frontier.clear()
+            self._release_kernel(frontier.kernel)
+        state.shared.clear()
+        self._release_kernel(state.shared.kernel)
 
     def remove_user(self, user: UserId) -> None:
         """Unregister a user.
@@ -192,16 +303,22 @@ class FilterThenVerify(MonitorBase):
         The cluster's virtual preference is *not* recomputed: the common
         relation of the remaining members is a superset of the stored
         one, so the stored relation stays a sound (merely conservative)
-        sieve until the next re-clustering.
+        sieve until the next re-clustering.  The user's frontier is
+        dropped (withdrawing its target-set entries) and its kernel
+        acquisition returns to the shared-order registry; an emptied
+        cluster releases its sieve state too.
         """
         state = self._user_state.pop(user)
-        state.per_user.pop(user).clear()
-        members = {u: p for u, p in state.cluster.members.items()
-                   if u != user}
-        if not members:
+        frontier = state.per_user.pop(user)
+        frontier.clear()
+        self._release_kernel(frontier.kernel)
+        cluster = state.cluster.without_user(user)
+        if cluster is None:
             self._states.remove(state)
+            state.shared.clear()
+            self._release_kernel(state.shared.kernel)
             return
-        state.cluster = Cluster(members, state.cluster.virtual)
+        state.cluster = cluster
 
 
 class FilterThenVerifyApprox(FilterThenVerify):
@@ -211,6 +328,8 @@ class FilterThenVerifyApprox(FilterThenVerify):
     The class exists so call sites and reports can name the variant, and to
     host the approximate construction helper.
     """
+
+    approximate_clusters = True
 
     @classmethod
     def from_users(cls, preferences: Mapping[UserId, Preference],

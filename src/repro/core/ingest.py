@@ -47,6 +47,13 @@ Sequential ``push`` and batched ``push_batch`` are the *same* dispatch
 path — a push is a chunk of one with no sieve — so any cross-batch
 optimisation wired into the frontiers (the verdict memo of
 :mod:`repro.core.pareto`) benefits both identically.
+
+The scope set is **mutable**: the pipeline re-queries
+``_sieve_scopes()`` per chunk, and monitors treat a scope the sieve did
+not cover as unsieved (full-scan path), so subscriptions may churn
+between feeds — the contract :class:`~repro.service.MonitorService`
+builds its lifecycle ops on — without the pipeline holding any stale
+per-user state.
 """
 
 from __future__ import annotations
@@ -68,6 +75,16 @@ class IngestPipeline:
         self.schema = monitor.schema
         self.codec = monitor.codec
         self._next_oid = 0
+
+    @property
+    def next_oid(self) -> int:
+        """The id the next coerced raw row will receive (snapshots
+        persist this so restored services keep assigning fresh ids)."""
+        return self._next_oid
+
+    @next_oid.setter
+    def next_oid(self, value: int) -> None:
+        self._next_oid = int(value)
 
     # ------------------------------------------------------------------
     # Coercion and encoding

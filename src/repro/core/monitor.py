@@ -1,9 +1,13 @@
-"""One-call monitor construction: the library's front door.
+"""One-call monitor construction: the legacy front door.
 
-The six monitor classes cover a 2×3 design space (append-only vs sliding
-window; per-user vs shared vs shared-approximate).  :func:`create_monitor`
-picks the right one from keyword arguments, running the clustering
-pipeline when sharing is requested:
+The service-first API lives in :mod:`repro.service`
+(:class:`~repro.service.MonitorService`): construct once from a schema
+plus a policy, then subscribe/unsubscribe users while objects stream.
+:func:`create_monitor` remains as a thin compatibility wrapper for the
+original construct-with-a-frozen-user-base style — it packages its
+keyword arguments into a :class:`~repro.service.ServicePolicy` and
+builds the matching monitor, running the Section 5 clustering pipeline
+when sharing is requested:
 
 >>> monitor = create_monitor(users, schema)                  # shared, exact
 >>> monitor = create_monitor(users, schema, shared=False)    # Baseline
@@ -15,12 +19,10 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-from repro.core.baseline import Baseline, MonitorBase
-from repro.core.clusters import Cluster, UserId
-from repro.core.filter_verify import FilterThenVerify, FilterThenVerifyApprox
+from repro.core.baseline import MonitorBase
+from repro.core.clusters import UserId
 from repro.core.preference import Preference
-from repro.core.sliding import (BaselineSW, FilterThenVerifyApproxSW,
-                                FilterThenVerifySW)
+from repro.service import ServicePolicy
 
 
 def create_monitor(preferences: Mapping[UserId, Preference],
@@ -31,7 +33,11 @@ def create_monitor(preferences: Mapping[UserId, Preference],
                    track_targets: bool = False,
                    kernel: str = "compiled",
                    memo: bool = True) -> MonitorBase:
-    """Build the appropriate monitor for a user base.
+    """Build the appropriate monitor for a fixed user base.
+
+    Prefer :class:`~repro.service.MonitorService` for anything
+    long-lived — it supports subscription churn, sink-based delivery and
+    self-contained snapshots on the same six monitor families.
 
     Parameters
     ----------
@@ -77,31 +83,8 @@ def create_monitor(preferences: Mapping[UserId, Preference],
         across batch and window boundaries.  Results are byte-identical
         either way (see DESIGN.md §10).
     """
-    if approximate and not shared:
-        raise ValueError("approximate=True requires shared=True "
-                         "(approximation lives in the cluster sieve)")
-    if not shared:
-        if window is None:
-            return Baseline(preferences, schema, track_targets, kernel,
-                            memo)
-        return BaselineSW(preferences, schema, window, track_targets,
-                          kernel, memo)
-
-    from repro.clustering.hierarchical import cluster_users
-
-    if measure is None:
-        measure = ("approx_weighted_jaccard" if approximate
-                   else "weighted_jaccard")
-    groups = cluster_users(preferences, h=h, measure=measure)
-    if approximate:
-        clusters = [Cluster.approximate(group, theta1, theta2)
-                    for group in groups]
-    else:
-        clusters = [Cluster.exact(group) for group in groups]
-    if window is None:
-        factory = FilterThenVerifyApprox if approximate else \
-            FilterThenVerify
-        return factory(clusters, schema, track_targets, kernel, memo)
-    factory = FilterThenVerifyApproxSW if approximate else \
-        FilterThenVerifySW
-    return factory(clusters, schema, window, track_targets, kernel, memo)
+    policy = ServicePolicy(
+        shared=shared, approximate=approximate, window=window, h=h,
+        measure=measure, theta1=theta1, theta2=theta2,
+        track_targets=track_targets, kernel=kernel, memo=memo)
+    return policy.build(preferences, schema)

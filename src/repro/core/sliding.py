@@ -32,8 +32,9 @@ from collections import deque
 from collections.abc import Mapping, Sequence
 
 from repro.core.baseline import MonitorBase
-from repro.core.clusters import Cluster, UserId
+from repro.core.clusters import Cluster, UserId, best_matching_cluster
 from repro.core.compiled import as_kernel
+from repro.core.filter_verify import FilterThenVerify
 from repro.core.errors import WindowError
 from repro.core.pareto import EpochTracked
 from repro.core.preference import Preference
@@ -57,16 +58,29 @@ class ParetoBuffer(EpochTracked):
     before it was cleansed of values the newcomer dominates when the copy
     arrived — turning the dominant per-arrival cost under windows into a
     scan of the (usually short) suffix.
+
+    With ``memo=True`` the buffer additionally memoises
+    :meth:`mend_candidates` per (orders, value key) for the lifetime of
+    the current contents (see the method), so one expiry event scans
+    ``PB`` once per distinct order tuple instead of once per affected
+    user.
     """
 
-    __slots__ = ("_kernel", "_counter", "_members", "_codes", "_ids")
+    __slots__ = ("_kernel", "_counter", "_members", "_codes", "_ids",
+                 "_memo", "_mend_memo")
 
-    def __init__(self, orders, counter: Counter | None = None):
+    def __init__(self, orders, counter: Counter | None = None,
+                 memo: bool = True):
         self._kernel = as_kernel(orders)
         self._counter = counter if counter is not None else Counter()
         self._members: list[Object] = []
         self._codes: list = []
         self._ids: set[int] = set()
+        self._memo = bool(memo)
+        #: (kernel orders, value key) → dominated member indices, valid
+        #: only for the buffer's current contents (cleared on any
+        #: structural change).
+        self._mend_memo: dict = {}
         self._init_epoch()
 
     @property
@@ -151,6 +165,8 @@ class ParetoBuffer(EpochTracked):
         member_codes.append(codes)
         self._note_insert(key)
         self._ids.add(obj.oid)
+        if self._mend_memo:
+            self._mend_memo.clear()
         return expelled
 
     def on_expiry(self, obj: Object | int) -> bool:
@@ -160,7 +176,39 @@ class ParetoBuffer(EpochTracked):
             return False
         self._ids.remove(oid)
         self._compact_remove(oid)
+        if self._mend_memo:
+            self._mend_memo.clear()
         return True
+
+    def mend_candidates(self, kernel, obj: Object, codes,
+                        counter: Counter) -> list[int]:
+        """Member indices dominated by *obj* under *kernel* — the
+        mend-candidate scan of the expiry path, memoised per
+        (orders, value key) for the lifetime of the current contents.
+
+        Within one expiry event the buffer does not change, but the
+        scan recurs once per affected user; users (and the cluster
+        sieve) holding equal orders replay the cached index list with
+        no comparisons charged.  Any structural change — arrival or
+        expiry — clears the memo, so cached member *indices* can never
+        go stale.  The mutation epoch alone could not guarantee that:
+        duplicate-copy removals compact member positions without
+        renewing it.  Misses charge the full scan to *counter* exactly
+        as before, so memo-off runs are bit-identical to the pre-memo
+        path.
+        """
+        key = codes if codes is not None else obj.values
+        memo_key = (kernel.orders, key) if self._memo else None
+        if memo_key is not None:
+            cached = self._mend_memo.get(memo_key)
+            if cached is not None:
+                return cached
+        indices, scanned = kernel.dominated_indices(
+            obj, codes, self._members, self._codes)
+        counter.bump(scanned)
+        if memo_key is not None:
+            self._mend_memo[memo_key] = indices
+        return indices
 
 
 class SlidingMonitorBase(MonitorBase):
@@ -228,12 +276,23 @@ class BaselineSW(SlidingMonitorBase):
         for user, pref in self._preferences.items():
             self._frontiers[user] = self._make_frontier(
                 pref, self.stats.filter, user)
+            # Per-user buffers have exactly one mend reader, and every
+            # expiry is preceded by an arrival that clears the memo, so
+            # a cache entry could never be read back: skip the memo
+            # outright (it pays off only for the shared per-cluster
+            # buffers, where many users scan one PB_U).
             self._buffers[user] = ParetoBuffer(
-                self._frontiers[user].kernel, self.stats.buffer)
+                self._frontiers[user].kernel, self.stats.buffer,
+                memo=False)
 
     @property
     def users(self) -> tuple[UserId, ...]:
         return tuple(self._preferences)
+
+    @property
+    def preferences(self) -> dict[UserId, Preference]:
+        """Current user → preference mapping (a copy; safe to mutate)."""
+        return dict(self._preferences)
 
     def add_user(self, user: UserId, preference: Preference) -> None:
         """Register a new user mid-stream.
@@ -245,7 +304,9 @@ class BaselineSW(SlidingMonitorBase):
         if user in self._preferences:
             raise ValueError(f"user {user!r} already registered")
         frontier = self._make_frontier(preference, self.stats.filter, user)
-        buffer = ParetoBuffer(frontier.kernel, self.stats.buffer)
+        # memo=False: single-reader buffer, see __init__.
+        buffer = ParetoBuffer(frontier.kernel, self.stats.buffer,
+                              memo=False)
         for obj, codes in self._alive:
             frontier.add(obj, codes)
             buffer.on_arrival(obj, codes)
@@ -254,10 +315,13 @@ class BaselineSW(SlidingMonitorBase):
         self._buffers[user] = buffer
 
     def remove_user(self, user: UserId) -> None:
-        """Unregister a user; their target-set entries are withdrawn."""
+        """Unregister a user; their target-set entries are withdrawn and
+        their kernel acquisition returns to the shared-order registry."""
         del self._preferences[user]
         del self._buffers[user]
-        self._frontiers.pop(user).clear()
+        frontier = self._frontiers.pop(user)
+        frontier.clear()
+        self._release_kernel(frontier.kernel)
 
     def _expire(self, obj: Object, codes) -> None:
         key = codes if codes is not None else obj.values
@@ -270,9 +334,8 @@ class BaselineSW(SlidingMonitorBase):
                 # PB_c.  When an identical copy survives on P_c it still
                 # dominates everything the expired one did, so the scan
                 # is skipped outright — nothing can have been released.
-                released, scanned = frontier.kernel.dominated_indices(
-                    obj, codes, buffer.members, buffer.member_codes)
-                self.stats.buffer.bump(scanned)
+                released = buffer.mend_candidates(
+                    frontier.kernel, obj, codes, self.stats.buffer)
                 for index in released:
                     frontier.mend_insert(buffer.members[index],
                                          buffer.member_codes[index])
@@ -288,11 +351,14 @@ class BaselineSW(SlidingMonitorBase):
                           sieves=None) -> frozenset[UserId]:
         targets = []
         for user, frontier in self._frontiers.items():
-            if sieves is None:
+            # Scope sets are mutable under churn; a scope the sieve did
+            # not cover takes the full scan path.
+            sieve = sieves.get(user) if sieves is not None else None
+            if sieve is None:
                 if frontier.add(obj, codes).is_pareto:
                     targets.append(user)
             else:
-                skipped, leaders = sieves[user]
+                skipped, leaders = sieve
                 if not skipped[offset]:
                     leader = leaders[offset]
                     if leader is not None and leader.oid in frontier:
@@ -328,7 +394,8 @@ class _SlidingClusterState:
     def __init__(self, cluster: Cluster, monitor, stats):
         self.cluster = cluster
         self.shared = monitor._make_frontier(cluster.virtual, stats.filter)
-        self.buffer = ParetoBuffer(self.shared.kernel, stats.buffer)
+        self.buffer = ParetoBuffer(self.shared.kernel, stats.buffer,
+                                   monitor.memo_enabled)
         self.per_user = {
             user: monitor._make_frontier(pref, stats.verify, user)
             for user, pref in cluster.members.items()
@@ -389,9 +456,8 @@ class FilterThenVerifySW(SlidingMonitorBase):
             buffer = state.buffer
             if state.shared.discard(obj.oid) \
                     and not state.shared.holds_key(key):
-                released, scanned = state.shared.kernel.dominated_indices(
-                    obj, codes, buffer.members, buffer.member_codes)
-                self.stats.buffer.bump(scanned)
+                released = buffer.mend_candidates(
+                    state.shared.kernel, obj, codes, self.stats.buffer)
                 for index in released:
                     state.shared.mend_insert(buffer.members[index],
                                              buffer.member_codes[index])
@@ -401,13 +467,15 @@ class FilterThenVerifySW(SlidingMonitorBase):
             # *later* in the scan; the evicting insert (frontier.add)
             # makes the outcome order-independent.  As above, a
             # surviving identical copy on P_c proves the scan redundant.
+            # Affected users holding equal orders (and clusters whose
+            # sieve order equals a member's) share one scan through the
+            # buffer's mend memo.
             for user in affected:
                 frontier = state.per_user[user]
                 if frontier.holds_key(key):
                     continue
-                released, scanned = frontier.kernel.dominated_indices(
-                    obj, codes, buffer.members, buffer.member_codes)
-                self.stats.verify.bump(scanned)
+                released = buffer.mend_candidates(
+                    frontier.kernel, obj, codes, self.stats.verify)
                 for index in released:
                     candidate = buffer.members[index]
                     if (candidate.oid in state.shared
@@ -433,8 +501,11 @@ class FilterThenVerifySW(SlidingMonitorBase):
         for index, state in enumerate(self._states):
             skipped = False
             leader = None
-            if sieves is not None:
-                chunk_skipped, leaders = sieves[index]
+            # Scope sets are mutable under churn; a cluster the sieve
+            # did not cover takes the full filter/verify path.
+            sieve = sieves.get(index) if sieves is not None else None
+            if sieve is not None:
+                chunk_skipped, leaders = sieve
                 skipped = chunk_skipped[offset]
                 if not skipped:
                     leader = leaders[offset]
@@ -480,37 +551,109 @@ class FilterThenVerifySW(SlidingMonitorBase):
         ``PB_U`` replaces the baseline's per-user buffers (Theorem 7.5)."""
         return [tuple(state.buffer.members) for state in self._states]
 
-    def add_user(self, user: UserId, preference: Preference) -> None:
-        """Register a new user mid-stream as a singleton cluster,
-        replaying the alive window (see :meth:`BaselineSW.add_user` and
-        :meth:`FilterThenVerify.add_user` for the rationale)."""
+    #: Whether joining a cluster recomputes an Algorithm-3 virtual
+    #: (overridden by the approximate subclass).
+    approximate_clusters = False
+
+    @property
+    def preferences(self) -> dict[UserId, Preference]:
+        """Current user → preference mapping (a copy; safe to mutate)."""
+        return {user: state.cluster.members[user]
+                for user, state in self._user_state.items()}
+
+    def add_user(self, user: UserId, preference: Preference, *,
+                 h: float | None = None, measure=None,
+                 theta1: float | None = None,
+                 theta2: float | None = None) -> None:
+        """Register a new user mid-stream.
+
+        With ``h`` set, the newcomer joins the best-matching existing
+        cluster (:func:`~repro.core.clusters.best_matching_cluster`) and
+        that cluster's state — ``P_U``, ``PB_U`` and every member's
+        ``P_c`` — is rebuilt by replaying the alive window under the
+        updated virtual preference; the window *is* the relevant history
+        and the monitor still holds it, so the splice is exact.  Without
+        ``h`` or when no cluster matches, a singleton cluster opens (see
+        :meth:`BaselineSW.add_user` and
+        :meth:`FilterThenVerify.add_user` for the rationale).
+        """
         if user in self._user_state:
             raise ValueError(f"user {user!r} already registered")
-        state = _SlidingClusterState(
-            Cluster({user: preference}, preference), self, self.stats)
+        index = None
+        if h is not None:
+            index = best_matching_cluster(
+                [state.cluster for state in self._states], preference, h,
+                measure)
+        if index is None:
+            state = _SlidingClusterState(
+                Cluster({user: preference}, preference), self, self.stats)
+            self._replay_window_into_state(state)
+            self._states.append(state)
+            self._user_state[user] = state
+            return
+        old = self._states[index]
+        cluster = old.cluster.with_user(
+            user, preference,
+            virtual=self._join_virtual(old.cluster, user, preference,
+                                       theta1, theta2))
+        # Retire before rebuilding (target-registry removal is by
+        # (owner, oid) pair — see FilterThenVerify.add_user); the
+        # replay source is the already-coerced alive window, so nothing
+        # can raise past this point.
+        self._retire_state(old)
+        state = _SlidingClusterState(cluster, self, self.stats)
+        self._replay_window_into_state(state)
+        self._states[index] = state
+        for member in cluster.users:
+            self._user_state[member] = state
+
+    # Shared with the append-only family: the join-time virtual rule.
+    _join_virtual = FilterThenVerify._join_virtual
+
+    def _replay_window_into_state(self, state: _SlidingClusterState,
+                                  ) -> None:
+        """Replay the alive window through one cluster's filter/verify
+        path — exactly the arrival-plane dispatch, expiry-free because
+        every replayed object is alive by construction."""
         for obj, codes in self._alive:
             result = state.shared.add(obj, codes)
             if result.is_pareto:
-                state.per_user[user].add(obj, codes)
+                for evicted in result.evicted:
+                    for frontier in state.per_user.values():
+                        frontier.discard(evicted.oid)
+                for frontier in state.per_user.values():
+                    frontier.add(obj, codes)
             state.buffer.on_arrival(obj, codes)
-        self._states.append(state)
-        self._user_state[user] = state
+
+    def _retire_state(self, state: _SlidingClusterState) -> None:
+        """Tear one cluster state down: withdraw target-set entries,
+        purge memo slots, return kernel acquisitions to the registry."""
+        for frontier in state.per_user.values():
+            frontier.clear()
+            self._release_kernel(frontier.kernel)
+        state.shared.clear()
+        self._release_kernel(state.shared.kernel)
 
     def remove_user(self, user: UserId) -> None:
         """Unregister a user (virtual preference kept; see
         :meth:`FilterThenVerify.remove_user`)."""
         state = self._user_state.pop(user)
-        state.per_user.pop(user).clear()
-        members = {u: p for u, p in state.cluster.members.items()
-                   if u != user}
-        if not members:
+        frontier = state.per_user.pop(user)
+        frontier.clear()
+        self._release_kernel(frontier.kernel)
+        cluster = state.cluster.without_user(user)
+        if cluster is None:
             self._states.remove(state)
+            state.shared.clear()
+            self._release_kernel(state.shared.kernel)
             return
-        state.cluster = Cluster(members, state.cluster.virtual)
+        state.cluster = cluster
 
 
 class FilterThenVerifyApproxSW(FilterThenVerifySW):
     """Algorithm 5 over approximate clusters (Sections 6 + 7)."""
+
+    approximate_clusters = True
 
     @classmethod
     def from_users(cls, preferences: Mapping[UserId, Preference],

@@ -1,0 +1,441 @@
+"""MonitorService: the subscription-lifecycle façade over the monitors.
+
+The paper's setting is a *continuous dissemination service*: objects
+stream in forever while users subscribe, change their tastes and leave.
+The monitor classes freeze the user base at construction; this module
+provides the long-lived surface on top of them:
+
+>>> from repro import MonitorService, PartialOrder, Preference
+>>> service = MonitorService(schema=("brand", "cpu"))
+>>> alice = Preference({"brand": PartialOrder.from_edges(
+...     [("Apple", "Samsung")])})
+>>> service.subscribe("alice", alice)
+>>> events = service.feed([("Samsung", "dual"), ("Apple", "dual")])
+>>> [(event.user, event.oid) for event in events]
+[('alice', 0), ('alice', 1)]
+
+Construct the service once from a schema plus a :class:`ServicePolicy`
+(shared / approximate / window / kernel / memo — the same axes as
+:func:`~repro.core.monitor.create_monitor`), then drive it with
+:meth:`~MonitorService.subscribe`, :meth:`~MonitorService.unsubscribe`,
+:meth:`~MonitorService.update_preference` and
+:meth:`~MonitorService.feed`.  Deliveries are :class:`Notification`
+events pushed to *sinks* — any callable taking one notification —
+registered service-wide (:meth:`~MonitorService.deliver_to`) or per user
+(``subscribe(..., sink=...)``).
+
+Lifecycle semantics (differential contract)
+-------------------------------------------
+
+Every lifecycle operation leaves the service equivalent to a monitor
+rebuilt from scratch with the surviving subscriptions (and the service's
+current cluster assignment) and the full replayed feed — per-user
+frontiers, buffers and all subsequent notifications match exactly
+(pinned by ``tests/test_service.py``).  To make that exact for
+append-only policies the service retains the feed log (every arrival is
+a live competitor forever under Definition 3.3); windowed policies only
+ever need the alive window, which the monitor already holds — the
+natural configuration for an unbounded deployment.
+
+Cluster assignment under churn is incremental: a subscriber joins the
+best-matching existing cluster when the Section 5 similarity reaches the
+policy's ``h`` (that one cluster is rebuilt under the updated virtual
+preference), and opens a singleton cluster otherwise; unsubscribing
+keeps the remaining cluster's virtual as a sound, conservative sieve.
+Compiled kernels are refcounted through the monitor's
+:class:`~repro.core.compiled.OrderRegistry`, so departed tastes free
+their compiled state.
+
+Snapshots (:meth:`~MonitorService.save` / :meth:`~MonitorService.load`)
+use the self-contained format v2 of :mod:`repro.state`: preferences,
+cluster assignment and the replay objects travel in one file, so a
+restart needs no caller-side plumbing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import asdict, dataclass
+
+from repro.core.baseline import Baseline, MonitorBase
+from repro.core.clusters import Cluster, UserId
+from repro.core.errors import ReproError
+from repro.core.filter_verify import (DEFAULT_THETA1, DEFAULT_THETA2,
+                                      FilterThenVerify,
+                                      FilterThenVerifyApprox)
+from repro.core.preference import Preference
+from repro.core.sliding import (BaselineSW, FilterThenVerifyApproxSW,
+                                FilterThenVerifySW)
+from repro.data.objects import Object, Schema
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One delivery event: *obj* is Pareto-optimal for *user* on arrival.
+
+    The event form of what :meth:`MonitorBase.push` returns as a user
+    set — one notification per (target user, arrival), dispatched to the
+    registered sinks and returned by :meth:`MonitorService.feed`.
+    """
+
+    user: UserId
+    obj: Object
+
+    @property
+    def oid(self) -> int:
+        """The delivered object's id."""
+        return self.obj.oid
+
+    @property
+    def values(self) -> tuple:
+        """The delivered object's schema-aligned value tuple."""
+        return self.obj.values
+
+
+#: A delivery sink: any callable taking one :class:`Notification`.
+Sink = Callable[[Notification], None]
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Construction-time policy of a monitor or service.
+
+    The same axes :func:`~repro.core.monitor.create_monitor` always
+    took, packaged so they can be carried by a
+    :class:`MonitorService`, embedded in format-v2 snapshots and reused
+    for rebuild-and-replay oracles.
+    """
+
+    shared: bool = True
+    approximate: bool = False
+    window: int | None = None
+    h: float = 0.55
+    measure: str | None = None
+    theta1: float = DEFAULT_THETA1
+    theta2: float = DEFAULT_THETA2
+    track_targets: bool = False
+    kernel: str = "compiled"
+    memo: bool = True
+
+    def __post_init__(self):
+        if self.approximate and not self.shared:
+            raise ValueError("approximate=True requires shared=True "
+                             "(approximation lives in the cluster sieve)")
+
+    def resolved_measure(self) -> str:
+        """The similarity measure, defaulted per the paper: weighted
+        Jaccard for exact sharing, its frequency-vector variant for
+        approximate sharing."""
+        if self.measure is not None:
+            return self.measure
+        return ("approx_weighted_jaccard" if self.approximate
+                else "weighted_jaccard")
+
+    def to_dict(self) -> dict:
+        """Plain-data form (embedded in format-v2 snapshots)."""
+        return asdict(self)
+
+    # ------------------------------------------------------------------
+    # Monitor construction
+    # ------------------------------------------------------------------
+
+    def build(self, preferences: Mapping[UserId, Preference],
+              schema: Sequence[str]) -> MonitorBase:
+        """Build the appropriate monitor for a (possibly empty) user
+        base, clustering with the Section 5 pipeline when sharing is
+        requested — the classic one-shot construction path."""
+        if not self.shared:
+            if self.window is None:
+                return Baseline(preferences, schema, self.track_targets,
+                                self.kernel, self.memo)
+            return BaselineSW(preferences, schema, self.window,
+                              self.track_targets, self.kernel, self.memo)
+        clusters: list[Cluster] = []
+        if preferences:
+            from repro.clustering.hierarchical import cluster_users
+
+            groups = cluster_users(preferences, h=self.h,
+                                   measure=self.resolved_measure())
+            if self.approximate:
+                clusters = [Cluster.approximate(group, self.theta1,
+                                                self.theta2)
+                            for group in groups]
+            else:
+                clusters = [Cluster.exact(group) for group in groups]
+        return self.build_from_clusters(clusters, schema)
+
+    def build_from_clusters(self, clusters: Sequence[Cluster],
+                            schema: Sequence[str]) -> MonitorBase:
+        """Build a shared-family monitor over prepared clusters —
+        restore paths and rebuild oracles use this to reproduce an
+        exact cluster assignment instead of re-clustering."""
+        if not self.shared:
+            raise ReproError("cluster construction requires shared=True")
+        if self.window is None:
+            factory = (FilterThenVerifyApprox if self.approximate
+                       else FilterThenVerify)
+            return factory(clusters, schema, self.track_targets,
+                           self.kernel, self.memo)
+        factory = (FilterThenVerifyApproxSW if self.approximate
+                   else FilterThenVerifySW)
+        return factory(clusters, schema, self.window, self.track_targets,
+                       self.kernel, self.memo)
+
+
+class MonitorService:
+    """A long-lived dissemination service with dynamic subscriptions.
+
+    See the module docstring for the surface and semantics.  Keyword
+    arguments mirror :class:`ServicePolicy` (pass ``policy=`` to reuse
+    one); the service starts empty and subscriptions churn freely while
+    objects keep streaming through :meth:`feed`.
+    """
+
+    def __init__(self, schema: Sequence[str], *,
+                 policy: ServicePolicy | None = None, shared: bool = True,
+                 approximate: bool = False, window: int | None = None,
+                 h: float = 0.55, measure: str | None = None,
+                 theta1: float = DEFAULT_THETA1,
+                 theta2: float = DEFAULT_THETA2,
+                 track_targets: bool = False, kernel: str = "compiled",
+                 memo: bool = True):
+        if policy is None:
+            policy = ServicePolicy(
+                shared=shared, approximate=approximate, window=window,
+                h=h, measure=measure, theta1=theta1, theta2=theta2,
+                track_targets=track_targets, kernel=kernel, memo=memo)
+        self.policy = policy
+        self.schema: Schema = tuple(schema)
+        self._monitor = policy.build({}, self.schema)
+        self._preferences: dict[UserId, Preference] = {}
+        #: Retained feed log (append-only policies): the full competitor
+        #: set any future subscriber must be measured against.  Windowed
+        #: policies keep nothing here — the monitor's alive window is
+        #: the whole relevant history.
+        self._history: list[Object] = []
+        self._sinks: list[Sink] = []
+        self._user_sinks: dict[UserId, Sink] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def monitor(self) -> MonitorBase:
+        """The underlying monitor (one of the six families)."""
+        return self._monitor
+
+    @property
+    def stats(self):
+        """The monitor's work counters (objects, deliveries,
+        comparisons)."""
+        return self._monitor.stats
+
+    @property
+    def users(self) -> tuple[UserId, ...]:
+        """Currently subscribed user ids (subscription order)."""
+        return tuple(self._preferences)
+
+    @property
+    def preferences(self) -> dict[UserId, Preference]:
+        """Current user → preference mapping (a copy; safe to mutate)."""
+        return dict(self._preferences)
+
+    @property
+    def clusters(self) -> tuple[Cluster, ...]:
+        """Current cluster assignment (empty for per-user policies)."""
+        if self.policy.shared:
+            return self._monitor.clusters
+        return ()
+
+    @property
+    def history(self) -> tuple[Object, ...]:
+        """The retained feed log (append-only policies only)."""
+        return tuple(self._history)
+
+    def frontier(self, user: UserId) -> tuple[Object, ...]:
+        """Current Pareto frontier ``P_c`` of *user*, in arrival order."""
+        return self._monitor.frontier(user)
+
+    def frontier_ids(self, user: UserId) -> frozenset[int]:
+        """Object ids of ``P_c``."""
+        return self._monitor.frontier_ids(user)
+
+    def targets_of(self, oid: int) -> frozenset[UserId]:
+        """Current ``C_o`` of a past object (requires
+        ``track_targets=True`` in the policy)."""
+        return self._monitor.targets_of(oid)
+
+    def __len__(self) -> int:
+        return len(self._preferences)
+
+    def __contains__(self, user: UserId) -> bool:
+        return user in self._preferences
+
+    def __repr__(self) -> str:
+        kind = type(self._monitor).__name__
+        return (f"MonitorService({len(self._preferences)} subscribers, "
+                f"{kind}, {self._monitor.stats.objects} objects seen)")
+
+    # ------------------------------------------------------------------
+    # Subscription lifecycle
+    # ------------------------------------------------------------------
+
+    def subscribe(self, user: UserId, preference: Preference, *,
+                  sink: Sink | None = None) -> None:
+        """Add a subscriber mid-stream.
+
+        Under a shared policy the newcomer joins the best-matching
+        existing cluster (Section 5 similarity at the policy's ``h``) or
+        opens a singleton; the spliced state competes over the retained
+        history (append-only) or the alive window, so the subscriber is
+        indistinguishable from one present since construction.  An
+        optional *sink* receives this user's notifications.
+        """
+        if user in self._preferences:
+            raise ValueError(f"user {user!r} is already subscribed")
+        policy = self.policy
+        if policy.shared:
+            kwargs = dict(h=policy.h, measure=policy.resolved_measure(),
+                          theta1=policy.theta1, theta2=policy.theta2)
+            if policy.window is None:
+                self._monitor.add_user(user, preference,
+                                       history=self._history, **kwargs)
+            else:
+                self._monitor.add_user(user, preference, **kwargs)
+        elif policy.window is None:
+            self._monitor.add_user(user, preference,
+                                   history=self._history)
+        else:
+            self._monitor.add_user(user, preference)
+        self._preferences[user] = preference
+        if sink is not None:
+            self._user_sinks[user] = sink
+
+    def unsubscribe(self, user: UserId) -> None:
+        """Drop a subscriber: frontier state, target-set entries, kernel
+        refcounts and any per-user sink go with them."""
+        if user not in self._preferences:
+            raise ValueError(f"user {user!r} is not subscribed")
+        self._monitor.remove_user(user)
+        del self._preferences[user]
+        self._user_sinks.pop(user, None)
+
+    def update_preference(self, user: UserId,
+                          preference: Preference) -> None:
+        """Replace a subscriber's taste mid-stream.
+
+        Semantically unsubscribe + subscribe: the user may land in a
+        different cluster, and their rebuilt state reflects the new
+        preference over the full retained history (or alive window).
+        The per-user sink survives the update.  If the new preference
+        cannot be subscribed (e.g. it is not a
+        :class:`~repro.core.preference.Preference`), the old
+        subscription is reinstated before the error propagates — an
+        update never silently drops a subscriber.
+        """
+        if user not in self._preferences:
+            raise ValueError(f"user {user!r} is not subscribed")
+        previous = self._preferences[user]
+        sink = self._user_sinks.get(user)
+        self.unsubscribe(user)
+        try:
+            self.subscribe(user, preference, sink=sink)
+        except Exception:
+            self.subscribe(user, previous, sink=sink)
+            raise
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def deliver_to(self, sink: Sink) -> Sink:
+        """Register a service-wide sink; returns it (a handle for
+        :meth:`stop_delivering`)."""
+        self._sinks.append(sink)
+        return sink
+
+    def stop_delivering(self, sink: Sink) -> None:
+        """Unregister a service-wide sink registered via
+        :meth:`deliver_to`."""
+        self._sinks.remove(sink)
+
+    def feed(self, rows) -> list[Notification]:
+        """Ingest a batch of arrivals; dispatch and return notifications.
+
+        *rows* is a sequence of arrivals (value sequences, mappings or
+        ready :class:`~repro.data.objects.Object` instances — anything
+        the arrival plane coerces).  Per-arrival notifications are
+        dispatched to the target user's sink (if any) and to every
+        service-wide sink, in arrival order with users ordered by
+        ``repr`` for determinism, and returned as a list.
+        """
+        if isinstance(rows, Mapping):
+            raise TypeError("feed() takes a sequence of rows; wrap a "
+                            "single mapping row as feed([row])")
+        monitor = self._monitor
+        objects = [monitor.ingest.coerce(row) for row in rows]
+        results = monitor.push_batch(objects)
+        if self.policy.window is None:
+            self._history.extend(objects)
+        notifications: list[Notification] = []
+        user_sinks = self._user_sinks
+        sinks = self._sinks
+        for obj, targets in zip(objects, results):
+            for user in sorted(targets, key=repr):
+                event = Notification(user, obj)
+                notifications.append(event)
+                sink = user_sinks.get(user)
+                if sink is not None:
+                    sink(event)
+                for service_sink in sinks:
+                    service_sink(event)
+        return notifications
+
+    # ------------------------------------------------------------------
+    # Persistence (format v2, self-contained)
+    # ------------------------------------------------------------------
+
+    def save(self, fp) -> None:
+        """Write a self-contained snapshot (path or open text file):
+        policy, preferences, cluster assignment and replay objects."""
+        from repro import state
+
+        state.save_service_snapshot(self, fp)
+
+    @classmethod
+    def load(cls, fp) -> "MonitorService":
+        """Rebuild a service from a :meth:`save` snapshot — no
+        caller-side preference or cluster plumbing needed.  Sinks are
+        runtime callables and do not survive the round trip; re-register
+        them after loading.  User ids come back as strings (JSON object
+        keys, exactly like :func:`repro.io.preferences_to_dict`) — use
+        string ids from the start if you plan to persist."""
+        from repro import state
+
+        return state.restore_service(state.load_snapshot(fp))
+
+    # ------------------------------------------------------------------
+    # Restore plumbing (used by repro.state; not part of the public API)
+    # ------------------------------------------------------------------
+
+    def _adopt(self, preferences: Mapping[UserId, Preference],
+               clusters: Sequence[Cluster] | None = None) -> None:
+        """Install a user base wholesale, preserving an exact cluster
+        assignment instead of re-running incremental placement."""
+        if self._preferences or self._monitor.stats.objects:
+            raise ReproError("_adopt requires a fresh service")
+        if clusters is not None:
+            self._monitor = self.policy.build_from_clusters(clusters,
+                                                            self.schema)
+        else:
+            self._monitor = self.policy.build(dict(preferences),
+                                              self.schema)
+        self._preferences = dict(preferences)
+
+    def _replay(self, objects: Sequence[Object]) -> None:
+        """Replay snapshot objects through the one ingest pipeline
+        (sieve and memo active), reinstating the feed log."""
+        self._monitor.push_batch(list(objects))
+        if self.policy.window is None:
+            self._history = list(objects)

@@ -16,9 +16,17 @@ the *sufficient* state instead, exploiting two facts:
   7.4 quantify only over alive objects), so replaying the window into a
   fresh monitor reproduces the state bit for bit.
 
-Snapshots are plain JSON-able dicts; preferences and clustering are
-*not* included — persist those with :mod:`repro.io` and rebuild the
-monitor first, then :func:`restore` into it.
+Format v2 snapshots are **self-contained**: the monitor's preferences
+and (for the shared families) exact cluster assignment are embedded via
+the :mod:`repro.io` encodings, and :class:`~repro.service.MonitorService`
+snapshots additionally carry the construction policy, so
+``MonitorService.load(path)`` restores a whole service with no
+caller-side plumbing.  v1 snapshots (objects only) still restore through
+:func:`restore`, which now replays through ``push_batch`` — one pipeline
+pass with the intra-batch sieve and verdict memo active.
+
+User ids are coerced to strings on save (JSON object keys), matching
+:func:`repro.io.preferences_to_dict`.
 
 >>> from repro import Baseline, PartialOrder, Preference
 >>> from repro.state import snapshot, restore
@@ -37,7 +45,27 @@ from typing import Any, Mapping
 
 from repro.data.objects import Object
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+
+def _embed_users(monitor) -> dict[str, Any]:
+    """The self-contained extras of format v2: preferences and, for the
+    shared families, the exact cluster assignment (including the stored
+    — possibly conservative — virtual preferences)."""
+    from repro.io import preference_to_dict
+
+    extras: dict[str, Any] = {
+        "preferences": {str(user): preference_to_dict(pref)
+                        for user, pref in monitor.preferences.items()},
+    }
+    clusters = getattr(monitor, "clusters", None)
+    if clusters is not None:
+        extras["clusters"] = [
+            {"users": [str(user) for user in cluster.users],
+             "virtual": preference_to_dict(cluster.virtual)}
+            for cluster in clusters
+        ]
+    return extras
 
 
 def snapshot(monitor) -> dict[str, Any]:
@@ -63,23 +91,28 @@ def snapshot(monitor) -> dict[str, Any]:
                     seen[obj.oid] = obj
         objects = sorted(seen.values(), key=lambda o: o.oid)
         kind = "append"
-    return {
+    data = {
         "version": FORMAT_VERSION,
         "kind": kind,
         "schema": list(monitor.schema),
         "objects": [[obj.oid, list(obj.values)] for obj in objects],
         "objects_processed": monitor.stats.objects,
     }
+    data.update(_embed_users(monitor))
+    return data
 
 
 def restore(fresh_monitor, state: Mapping[str, Any]):
     """Replay a snapshot into a freshly constructed monitor.
 
     The monitor must be built with the same schema (checked) and the
-    same preferences/clustering as the snapshotted one (the caller's
-    responsibility — persist them via :mod:`repro.io`).  Returns the
-    monitor, now holding frontiers (and, for sliding windows, buffers
-    and the alive window) identical to the original's.
+    same preferences/clustering as the snapshotted one — either by the
+    caller (the v1 contract, preferences persisted via :mod:`repro.io`)
+    or from the snapshot's own embedded v2 fields.  Replay runs through
+    ``push_batch``: one arrival-plane pass, sieve and verdict memo
+    active.  Returns the monitor, now holding frontiers (and, for
+    sliding windows, buffers and the alive window) identical to the
+    original's.
     """
     version = state.get("version", FORMAT_VERSION)
     if version > FORMAT_VERSION:
@@ -92,14 +125,104 @@ def restore(fresh_monitor, state: Mapping[str, Any]):
     if state["kind"] == "window" and not hasattr(fresh_monitor, "alive"):
         raise ValueError("window snapshot requires a sliding-window "
                          "monitor")
-    for oid, values in state["objects"]:
-        fresh_monitor.push(Object(oid, values))
+    fresh_monitor.push_batch(
+        [Object(oid, values) for oid, values in state["objects"]])
     # Replay work is bookkeeping, not new arrivals: restore the original
     # arrival count so downstream statistics stay truthful.
     fresh_monitor.stats.objects = state.get(
         "objects_processed", fresh_monitor.stats.objects)
     return fresh_monitor
 
+
+# ---------------------------------------------------------------------------
+# Service snapshots (format v2, self-contained)
+# ---------------------------------------------------------------------------
+
+def service_snapshot(service) -> dict[str, Any]:
+    """Capture a whole :class:`~repro.service.MonitorService`.
+
+    Beyond :func:`snapshot`, the construction policy travels along, and
+    the replay objects are chosen for the *service* contract: windowed
+    policies store the alive window (the complete relevant history),
+    append-only policies store the retained feed log — so subscriptions
+    arriving after a restore still compete over everything they would
+    have seen.
+    """
+    monitor = service.monitor
+    if service.policy.window is not None:
+        objects = list(monitor.alive)
+        kind = "window"
+    else:
+        objects = list(service.history)
+        kind = "append"
+    data = {
+        "version": FORMAT_VERSION,
+        "kind": "service",
+        "semantics": kind,
+        "policy": service.policy.to_dict(),
+        "schema": list(service.schema),
+        "objects": [[obj.oid, list(obj.values)] for obj in objects],
+        "objects_processed": monitor.stats.objects,
+        "next_oid": monitor.ingest.next_oid,
+    }
+    data.update(_embed_users(monitor))
+    return data
+
+
+def restore_service(state: Mapping[str, Any]):
+    """Rebuild a :class:`~repro.service.MonitorService` from a
+    :func:`service_snapshot` dict — policy, preferences, cluster
+    assignment and replay objects all come from the snapshot."""
+    from repro.core.clusters import Cluster
+    from repro.io import preference_from_dict
+    from repro.service import MonitorService, ServicePolicy
+
+    version = state.get("version", FORMAT_VERSION)
+    if version > FORMAT_VERSION:
+        raise ValueError(f"snapshot format {version} is newer than this "
+                         f"library understands ({FORMAT_VERSION})")
+    if state.get("kind") != "service" or "policy" not in state:
+        raise ValueError(
+            "not a service snapshot: MonitorService.load needs the "
+            "self-contained format v2 written by MonitorService.save "
+            "(monitor-level snapshots restore via repro.state.restore)")
+    policy = ServicePolicy(**state["policy"])
+    service = MonitorService(state["schema"], policy=policy)
+    preferences = {user: preference_from_dict(pref)
+                   for user, pref in state["preferences"].items()}
+    clusters = None
+    if policy.shared:
+        clusters = [
+            Cluster({user: preferences[user] for user in entry["users"]},
+                    preference_from_dict(entry["virtual"]))
+            for entry in state.get("clusters", ())
+        ]
+    service._adopt(preferences, clusters)
+    service._replay([Object(oid, values)
+                     for oid, values in state["objects"]])
+    monitor = service.monitor
+    monitor.stats.objects = state.get("objects_processed",
+                                      monitor.stats.objects)
+    monitor.ingest.next_oid = max(monitor.ingest.next_oid,
+                                  int(state.get("next_oid", 0)))
+    return service
+
+
+def save_service_snapshot(service, fp) -> None:
+    """Service snapshot straight to a JSON file (path or open file)."""
+    import json
+
+    data = service_snapshot(service)
+    if isinstance(fp, str):
+        with open(fp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=1)
+    else:
+        json.dump(data, fp, indent=1)
+
+
+# ---------------------------------------------------------------------------
+# File-level helpers
+# ---------------------------------------------------------------------------
 
 def save_snapshot(monitor, fp) -> None:
     """Snapshot straight to a JSON file (path or open text file)."""
@@ -114,7 +237,8 @@ def save_snapshot(monitor, fp) -> None:
 
 
 def load_snapshot(fp) -> dict[str, Any]:
-    """Read a snapshot file back (pass the result to :func:`restore`)."""
+    """Read a snapshot file back (pass the result to :func:`restore` or
+    :func:`restore_service`)."""
     import json
 
     if isinstance(fp, str):

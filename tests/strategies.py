@@ -112,6 +112,54 @@ def duplicate_heavy_batches(draw, max_batches: int = 4,
 
 
 @st.composite
+def churn_scripts(draw, max_ops: int = 10, max_users: int = 4,
+                  max_rows_per_feed: int = 6, max_distinct: int = 4,
+                  domains=None):
+    """A random subscription-lifecycle script, valid by construction.
+
+    Returns a list of ops for a :class:`~repro.service.MonitorService`:
+    ``("subscribe", user, preference)``, ``("unsubscribe", user, None)``,
+    ``("update", user, preference)`` and ``("feed", rows, None)`` —
+    subscribes target fresh or previously removed user ids, removals and
+    updates only target live subscribers, so a replaying test never has
+    to discard draws.  Feed rows are drawn from one small pool (heavy
+    duplication), matching the hot-stream regime of the other ingest
+    strategies.
+    """
+    domains = domains or DOMAINS
+    pool = draw(st.lists(object_rows(domains), min_size=1,
+                         max_size=max_distinct))
+    n_ops = draw(st.integers(1, max_ops))
+    script = []
+    subscribed: list[str] = []
+    next_user = 0
+    for _ in range(n_ops):
+        choices = ["feed"]
+        if next_user < max_users:
+            choices.append("subscribe")
+        if subscribed:
+            choices += ["feed", "unsubscribe", "update"]
+        op = draw(st.sampled_from(choices))
+        if op == "subscribe":
+            user = f"u{next_user}"
+            next_user += 1
+            subscribed.append(user)
+            script.append(("subscribe", user, draw(preferences(domains))))
+        elif op == "unsubscribe":
+            user = draw(st.sampled_from(subscribed))
+            subscribed.remove(user)
+            script.append(("unsubscribe", user, None))
+        elif op == "update":
+            user = draw(st.sampled_from(subscribed))
+            script.append(("update", user, draw(preferences(domains))))
+        else:
+            rows = draw(st.lists(st.sampled_from(pool), min_size=0,
+                                 max_size=max_rows_per_feed))
+            script.append(("feed", rows, None))
+    return script
+
+
+@st.composite
 def object_streams(draw, min_objects: int = 0, max_objects: int = 30,
                    domains=None, extra_values: int = 0):
     """A stream of object rows over the shared test domains.

@@ -209,7 +209,20 @@ class TestExperiments:
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "fig11", "tab11", "tab12", "abl-sim", "abl-theta",
             "abl-users", "abl-batch", "abl-buffer", "perf",
-            "perf-batch", "perf-steady"}
+            "perf-batch", "perf-steady", "perf-churn"}
+
+    def test_churn_perf_snapshot_smoke(self, tmp_path):
+        path = tmp_path / "BENCH_churn.json"
+        snapshot = runner.churn_perf_snapshot(
+            kinds=("baseline",), batch_size=64, length=384,
+            path=str(path))
+        assert path.exists()
+        run = snapshot["runs"]["baseline"]
+        assert run["lifecycle_ops"] > 0
+        # Incremental lifecycle ops must beat rebuilding the world and
+        # replaying history at every op.
+        assert run["service_comparisons"] < run["rebuild_comparisons"]
+        assert run["comparisons_vs_rebuild"] < 1.0
 
     def test_steady_perf_snapshot_smoke(self, tmp_path):
         path = tmp_path / "BENCH_steady.json"

@@ -233,3 +233,84 @@ class TestWorkloadRoundTrip:
         path.write_text(json.dumps(data))
         with pytest.raises(ValueError):
             load_workload(str(path))
+
+
+class TestMonitorService:
+    """``monitor --service``: the JSONL command-stream mode."""
+
+    @staticmethod
+    def _write(tmp_path, lines):
+        path = tmp_path / "commands.jsonl"
+        path.write_text("\n".join(json.dumps(line) for line in lines)
+                        + "\n", encoding="utf-8")
+        return str(path)
+
+    def _pref(self):
+        return {"color": {"hasse": [["red", "blue"]], "isolated": []}}
+
+    def test_end_to_end_lifecycle(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"op": "configure", "schema": ["color", "size"], "window": 3},
+            {"op": "subscribe", "user": "u1", "preference": self._pref()},
+            {"op": "push", "row": ["blue", "s"]},
+            {"op": "push", "rows": [["red", "s"], ["blue", "s"]]},
+            {"op": "unsubscribe", "user": "u1"},
+            {"op": "push", "row": ["red", "s"]},
+        ])
+        code, output = run_cli("monitor", "--service", path)
+        assert code == 0
+        events = [json.loads(line) for line in output.splitlines()]
+        notifications = [e for e in events
+                         if e["event"] == "notification"]
+        # blue-s delivered, red-s delivered (dominates blue on color),
+        # second blue-s rejected; nothing after unsubscribe.
+        assert [(e["user"], e["oid"]) for e in notifications] == [
+            ("u1", 0), ("u1", 1)]
+        summary = events[-1]
+        assert summary["event"] == "summary"
+        assert summary["objects"] == 4
+        assert summary["users"] == 0
+
+    def test_update_preference_command(self, tmp_path):
+        flipped = {"color": {"hasse": [["blue", "red"]], "isolated": []}}
+        path = self._write(tmp_path, [
+            {"op": "configure", "schema": ["color", "size"]},
+            {"op": "subscribe", "user": "u1", "preference": self._pref()},
+            {"op": "push", "row": ["red", "s"]},
+            {"op": "update", "user": "u1", "preference": flipped},
+            {"op": "push", "row": ["blue", "s"]},
+        ])
+        code, output = run_cli("monitor", "--service", path)
+        assert code == 0
+        notifications = [json.loads(line) for line in output.splitlines()
+                         if json.loads(line)["event"] == "notification"]
+        assert ("u1", 1) in {(e["user"], e["oid"])
+                             for e in notifications}
+
+    def test_must_configure_first(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"op": "push", "row": ["red", "s"]},
+        ])
+        code, output = run_cli("monitor", "--service", path)
+        assert code == 2
+        assert "configure" in output
+
+    def test_unknown_op_reported(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"op": "configure", "schema": ["color"]},
+            {"op": "frobnicate"},
+        ])
+        code, output = run_cli("monitor", "--service", path)
+        assert code == 2
+        assert "unknown op" in output
+
+    def test_lifecycle_errors_reported_with_line(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"op": "configure", "schema": ["color"]},
+            {"op": "unsubscribe", "user": "ghost"},
+        ])
+        code, output = run_cli("monitor", "--service", path)
+        assert code == 2
+        error = json.loads(output.splitlines()[0])
+        assert error["event"] == "error"
+        assert "line 2" in error["message"]

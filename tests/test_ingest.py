@@ -86,12 +86,20 @@ class TestMemoTransparency:
                                                     kernel):
         """Memo on, ingesting batch by batch (hot values recur across
         push_batch boundaries), must be byte-identical to the memo-less
-        sequential reference — for every monitor class."""
+        sequential reference — for every monitor class.
+
+        The comparison bound is taken against the memo-less *batched*
+        run: with the sieve fixed on both sides, the memo can only
+        remove scans.  (Against the sequential reference the sieve
+        itself may overshoot by its probe cost when a duplicate's
+        leader is evicted between the two copies — the sieve is a
+        gamble per batch, not a guarantee.)"""
         rows = _flatten(batches)
         makers_on = _monitor_makers(users)
         makers_off = _monitor_makers(users, memo=False)
         for name in makers_on:
             reference = makers_off[name](kernel)
+            batched_reference = makers_off[name](kernel)
             memoised = makers_on[name](kernel)
             stream = [Object(i, row) for i, row in enumerate(rows)]
             expected = [reference.push(obj) for obj in stream]
@@ -101,6 +109,7 @@ class TestMemoTransparency:
                 chunk = [Object(cursor + i, row)
                          for i, row in enumerate(batch)]
                 cursor += len(batch)
+                batched_reference.push_batch(list(chunk))
                 got.extend(memoised.push_batch(chunk))
             assert got == expected, name
             for user in users:
@@ -109,7 +118,7 @@ class TestMemoTransparency:
             if hasattr(reference, "buffers"):
                 assert memoised.buffers() == reference.buffers(), name
             assert memoised.stats.comparisons \
-                <= reference.stats.comparisons, name
+                <= batched_reference.stats.comparisons, name
 
     @settings(max_examples=20)
     @given(users=user_sets(max_users=2),

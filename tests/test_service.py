@@ -1,0 +1,380 @@
+"""MonitorService (PR 4): subscription lifecycle, sinks, snapshots.
+
+The central contract is differential: after *every* lifecycle op
+(subscribe / unsubscribe / update_preference) and every feed, the
+service must be indistinguishable from a monitor rebuilt from scratch
+with the surviving subscriptions, the service's own cluster assignment
+and the full replayed feed — frontiers and notifications both.  The
+``churn_scripts`` strategy interleaves the ops randomly over all six
+monitor families.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (Cluster, FilterThenVerifySW, MonitorService,
+                   Notification, Preference)
+from repro.core.partial_order import PartialOrder
+from repro.data.objects import Object
+from repro.service import ServicePolicy
+from repro.state import FORMAT_VERSION, restore, restore_service
+from tests.strategies import DOMAINS, churn_scripts
+
+SCHEMA = tuple(DOMAINS)
+
+#: One policy per monitor family (window small enough that churn
+#: scripts cross expiry boundaries).
+POLICIES = {
+    "Baseline": dict(shared=False),
+    "FilterThenVerify": dict(shared=True),
+    "FilterThenVerifyApprox": dict(shared=True, approximate=True,
+                                   theta1=50, theta2=0.4),
+    "BaselineSW": dict(shared=False, window=4),
+    "FilterThenVerifySW": dict(shared=True, window=4),
+    "FilterThenVerifyApproxSW": dict(shared=True, approximate=True,
+                                     window=4, theta1=50, theta2=0.4),
+}
+
+
+def chain(values):
+    return PartialOrder.from_chain(values)
+
+
+def simple_pref(color_chain=("red", "green")) -> Preference:
+    return Preference({"color": chain(color_chain)})
+
+
+def rebuild_equivalent(service: MonitorService):
+    """The from-scratch oracle: same surviving users, same cluster
+    assignment (including possibly conservative virtuals), fresh
+    state."""
+    policy = service.policy
+    if policy.shared:
+        return policy.build_from_clusters(list(service.clusters),
+                                          service.schema)
+    return policy.build(service.preferences, service.schema)
+
+
+def apply_op(service: MonitorService, op) -> list[Notification] | None:
+    kind, subject, payload = op
+    if kind == "subscribe":
+        service.subscribe(subject, payload)
+    elif kind == "unsubscribe":
+        service.unsubscribe(subject)
+    elif kind == "update":
+        service.update_preference(subject, payload)
+    else:
+        return service.feed(subject)
+    return None
+
+
+class TestChurnDifferential:
+    @pytest.mark.parametrize("family", sorted(POLICIES))
+    @settings(max_examples=25, deadline=None)
+    @given(script=churn_scripts())
+    def test_every_op_matches_from_scratch_rebuild(self, family, script):
+        """Frontiers after every lifecycle op, and notifications of
+        every feed, equal a rebuild-and-replay oracle."""
+        service = MonitorService(SCHEMA, **POLICIES[family])
+        fed: list[tuple] = []
+        for op in script:
+            kind = op[0]
+            if kind == "feed":
+                rows = op[1]
+                events = service.feed(rows)
+                oracle = rebuild_equivalent(service)
+                results = oracle.push_batch(
+                    [tuple(row) for row in fed + list(rows)])
+                expected = {
+                    (user, oid)
+                    for oid, targets in enumerate(results[len(fed):],
+                                                  start=len(fed))
+                    for user in targets
+                }
+                assert {(e.user, e.oid) for e in events} == expected
+                fed.extend(rows)
+            else:
+                apply_op(service, op)
+                oracle = rebuild_equivalent(service)
+                oracle.push_batch([tuple(row) for row in fed])
+            for user in service.users:
+                assert service.frontier_ids(user) \
+                    == oracle.frontier_ids(user), (family, user)
+
+    @settings(max_examples=10, deadline=None)
+    @given(script=churn_scripts(max_ops=6))
+    def test_update_preference_equals_unsubscribe_plus_subscribe(
+            self, script):
+        a = MonitorService(SCHEMA, **POLICIES["FilterThenVerify"])
+        b = MonitorService(SCHEMA, **POLICIES["FilterThenVerify"])
+        for op in script:
+            if op[0] == "update":
+                apply_op(a, op)
+                b.unsubscribe(op[1])
+                b.subscribe(op[1], op[2])
+            else:
+                apply_op(a, op)
+                apply_op(b, op)
+        assert a.users == b.users
+        for user in a.users:
+            assert a.frontier_ids(user) == b.frontier_ids(user)
+
+
+class TestLifecycleBasics:
+    def test_duplicate_subscribe_rejected(self):
+        service = MonitorService(SCHEMA)
+        service.subscribe("u", simple_pref())
+        with pytest.raises(ValueError, match="already subscribed"):
+            service.subscribe("u", simple_pref())
+
+    def test_unknown_unsubscribe_rejected(self):
+        service = MonitorService(SCHEMA)
+        with pytest.raises(ValueError, match="not subscribed"):
+            service.unsubscribe("ghost")
+        with pytest.raises(ValueError, match="not subscribed"):
+            service.update_preference("ghost", simple_pref())
+
+    def test_feed_rejects_bare_mapping(self):
+        service = MonitorService(SCHEMA)
+        with pytest.raises(TypeError, match="sequence of rows"):
+            service.feed({"color": "red", "size": "s", "shape": "disc"})
+
+    def test_targets_of_through_policy(self):
+        service = MonitorService(SCHEMA, track_targets=True)
+        service.subscribe("u", simple_pref())
+        service.feed([("green", "s", "disc")])
+        assert service.targets_of(0) == frozenset({"u"})
+        service.feed([("red", "s", "disc")])    # dominates oid 0
+        assert service.targets_of(0) == frozenset()
+
+    def test_repr_and_membership(self):
+        service = MonitorService(SCHEMA, shared=False)
+        service.subscribe("u", simple_pref())
+        assert "1 subscribers" in repr(service)
+        assert "u" in service and len(service) == 1
+
+
+class TestSinks:
+    def test_service_and_user_sinks_receive_events(self):
+        service = MonitorService(SCHEMA)
+        all_events: list[Notification] = []
+        mine: list[Notification] = []
+        service.deliver_to(all_events.append)
+        service.subscribe("u1", simple_pref(), sink=mine.append)
+        service.subscribe("u2", simple_pref(("green", "red")))
+        returned = service.feed(
+            [("red", "s", "disc"), ("green", "s", "disc")])
+        assert returned == all_events
+        assert [e.user for e in mine] == ["u1"] * len(mine)
+        got = {(e.user, e.oid) for e in all_events}
+        # u1 prefers red (delivered oid 0); u2 prefers green (oid 1);
+        # each first arrival is trivially Pareto for both.
+        assert {("u1", 0), ("u2", 0), ("u2", 1)} <= got
+        assert set(e.oid for e in mine) == {e.oid for e in all_events
+                                            if e.user == "u1"}
+
+    def test_notification_accessors(self):
+        event = Notification("u", Object(7, ("red", "s", "disc")))
+        assert event.oid == 7
+        assert event.values == ("red", "s", "disc")
+
+    def test_stop_delivering(self):
+        service = MonitorService(SCHEMA)
+        events: list[Notification] = []
+        handle = service.deliver_to(events.append)
+        service.subscribe("u", simple_pref())
+        service.feed([("red", "s", "disc")])
+        service.stop_delivering(handle)
+        service.feed([("red", "m", "cube")])
+        assert [e.oid for e in events] == [0]
+
+    def test_update_preserves_user_sink(self):
+        service = MonitorService(SCHEMA)
+        mine: list[Notification] = []
+        service.subscribe("u", simple_pref(), sink=mine.append)
+        service.update_preference("u", simple_pref(("green", "red")))
+        service.feed([("green", "s", "disc")])
+        assert [e.oid for e in mine] == [0]
+
+
+class TestClusterMaintenance:
+    def test_equal_tastes_join_one_cluster(self):
+        service = MonitorService(SCHEMA, h=0.5)
+        for i in range(3):
+            service.subscribe(f"u{i}", simple_pref())
+        assert len(service.clusters) == 1
+        assert len(service.clusters[0]) == 3
+
+    def test_dissimilar_taste_opens_singleton(self):
+        service = MonitorService(SCHEMA, h=0.5)
+        service.subscribe("u0", simple_pref())
+        service.subscribe("odd", Preference({"size": chain(["xs", "s"])}))
+        assert len(service.clusters) == 2
+
+    def test_unsubscribe_keeps_conservative_virtual(self):
+        service = MonitorService(SCHEMA, h=0.5)
+        service.subscribe("u0", simple_pref())
+        service.subscribe("u1", simple_pref())
+        virtual_before = service.clusters[0].virtual
+        service.unsubscribe("u0")
+        assert len(service.clusters) == 1
+        assert service.clusters[0].virtual is virtual_before
+
+    def test_cluster_incremental_ops(self):
+        base = Cluster.exact({"a": simple_pref()})
+        grown = base.with_user("b", simple_pref(("red", "blue")))
+        assert set(grown.users) == {"a", "b"}
+        # Incremental virtual: intersection of the old virtual and the
+        # newcomer's preference.
+        assert grown.virtual.order("color").pairs \
+            == base.virtual.order("color").pairs \
+            & grown.members["b"].order("color").pairs
+        shrunk = grown.without_user("b")
+        assert shrunk.users == ("a",)
+        assert shrunk.virtual is grown.virtual
+        assert grown.without_user("b").without_user("a") is None
+        with pytest.raises(ValueError):
+            grown.with_user("a", simple_pref())
+        with pytest.raises(KeyError):
+            base.without_user("ghost")
+
+    def test_registry_refcounts_drop_with_subscribers(self):
+        service = MonitorService(SCHEMA, shared=False)
+        registry = service.monitor.registry
+        service.subscribe("u0", simple_pref())
+        service.subscribe("u1", simple_pref())     # same kernel, shared
+        assert registry.unique_kernels == 1
+        service.unsubscribe("u0")
+        assert registry.unique_kernels == 1        # still held by u1
+        service.unsubscribe("u1")
+        assert registry.unique_kernels == 0        # dropped at zero
+
+
+class TestMendMemo:
+    def test_equal_order_users_share_one_mend_scan(self):
+        """FTV-SW expiry: the per-user mend-candidate scans over PB_U
+        collapse onto one scan per distinct order tuple when the memo
+        is on, at identical frontiers."""
+        users = {f"u{i}": simple_pref() for i in range(4)}
+        rows = [("green", "s", "disc"), ("red", "s", "disc"),
+                ("green", "m", "cube"), ("red", "m", "cube"),
+                ("green", "l", "cone"), ("red", "l", "cone")]
+        runs = {}
+        for memo in (False, True):
+            monitor = FilterThenVerifySW([Cluster.exact(users)], SCHEMA,
+                                         window=2, memo=memo)
+            for i, row in enumerate(rows):
+                monitor.push(Object(i, row))
+            runs[memo] = (
+                {user: monitor.frontier_ids(user) for user in users},
+                monitor.stats.comparisons)
+        assert runs[True][0] == runs[False][0]
+        assert runs[True][1] < runs[False][1]
+
+
+class TestServiceSnapshots:
+    @pytest.mark.parametrize("family", sorted(POLICIES))
+    def test_v2_round_trip_continues_identically(self, family):
+        service = MonitorService(SCHEMA, **POLICIES[family])
+        service.subscribe("u0", simple_pref())
+        service.subscribe("u1", simple_pref(("green", "red")))
+        service.feed([("red", "s", "disc"), ("green", "m", "cube"),
+                      ("red", "m", "cube"), ("green", "s", "disc")])
+        buffer = io.StringIO()
+        service.save(buffer)
+        buffer.seek(0)
+        loaded = MonitorService.load(buffer)
+        assert loaded.users == service.users
+        for user in service.users:
+            assert loaded.frontier_ids(user) == service.frontier_ids(user)
+        tail = [("green", "l", "cone"), ("red", "xs", "disc")]
+        expected = [(e.user, e.oid) for e in service.feed(tail)]
+        got = [(e.user, e.oid) for e in loaded.feed(tail)]
+        assert got == expected
+        assert loaded.stats.objects == service.stats.objects
+
+    def test_v2_snapshot_is_self_contained(self):
+        """No caller-side plumbing: policy, preferences and cluster
+        assignment travel in the file."""
+        service = MonitorService(SCHEMA, window=3)
+        service.subscribe("u0", simple_pref())
+        service.feed([("red", "s", "disc")])
+        buffer = io.StringIO()
+        service.save(buffer)
+        data = json.loads(buffer.getvalue())
+        assert data["version"] == FORMAT_VERSION == 2
+        assert data["kind"] == "service"
+        assert data["policy"]["window"] == 3
+        assert set(data["preferences"]) == {"u0"}
+        assert data["clusters"][0]["users"] == ["u0"]
+
+    def test_subscribe_after_load_competes_over_history(self):
+        """Append-only services retain the feed log in the snapshot, so
+        a post-restart subscriber still sees every past competitor."""
+        service = MonitorService(SCHEMA)
+        service.subscribe("u0", simple_pref())
+        service.feed([("red", "s", "disc"), ("green", "m", "cube")])
+        buffer = io.StringIO()
+        service.save(buffer)
+        buffer.seek(0)
+        loaded = MonitorService.load(buffer)
+        loaded.subscribe("late", simple_pref())
+        oracle = rebuild_equivalent(loaded)
+        oracle.push_batch([("red", "s", "disc"), ("green", "m", "cube")])
+        assert loaded.frontier_ids("late") == oracle.frontier_ids("late")
+
+    def test_monitor_snapshot_embeds_preferences_and_clusters(self):
+        """Plain-monitor snapshots are self-contained in v2 as well."""
+        from repro import FilterThenVerify
+        from repro.state import snapshot
+
+        users = {"a": simple_pref(), "b": simple_pref(("green", "red"))}
+        monitor = FilterThenVerify([Cluster.exact(users)], SCHEMA)
+        monitor.push(("red", "s", "disc"))
+        data = snapshot(monitor)
+        assert data["version"] == 2
+        assert set(data["preferences"]) == {"a", "b"}
+        assert sorted(data["clusters"][0]["users"]) == ["a", "b"]
+
+    def test_v1_snapshots_still_restore(self):
+        """The versioned-format contract: a v1 file (objects only, no
+        embedded preferences) replays into a caller-built monitor."""
+        from repro import Baseline
+
+        users = {"a": simple_pref()}
+        original = Baseline(users, SCHEMA)
+        original.push(("green", "s", "disc"))
+        original.push(("red", "s", "disc"))
+        v1 = {
+            "version": 1,
+            "kind": "append",
+            "schema": list(SCHEMA),
+            "objects": [[obj.oid, list(obj.values)]
+                        for obj in original.frontier("a")],
+            "objects_processed": 2,
+        }
+        restored = restore(Baseline(users, SCHEMA), v1)
+        assert restored.frontier_ids("a") == original.frontier_ids("a")
+        assert restored.stats.objects == 2
+
+    def test_newer_version_rejected(self):
+        service = MonitorService(SCHEMA)
+        buffer = io.StringIO()
+        service.save(buffer)
+        data = json.loads(buffer.getvalue())
+        data["version"] = 99
+        with pytest.raises(ValueError, match="newer"):
+            restore_service(data)
+
+    def test_monitor_snapshot_rejected_by_service_load(self):
+        from repro import Baseline
+        from repro.state import snapshot
+
+        monitor = Baseline({"a": simple_pref()}, SCHEMA)
+        with pytest.raises(ValueError, match="service snapshot"):
+            restore_service(snapshot(monitor))
