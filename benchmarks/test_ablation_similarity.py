@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.runner import prepared
 from repro.clustering.hierarchical import build_dendrogram
 from repro.core.clusters import Cluster
 from repro.core.filter_verify import FilterThenVerify

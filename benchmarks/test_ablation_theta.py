@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.runner import PAPER_H, clusters_at, make_monitor, prepared
+from repro.bench.runner import PAPER_H, make_monitor, prepared
 from repro.clustering.hierarchical import cluster_users
 from repro.core.clusters import Cluster
 from repro.core.filter_verify import FilterThenVerifyApprox

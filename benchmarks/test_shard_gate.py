@@ -1,0 +1,128 @@
+"""The PR 5 regression gate: sharded dispatch must equal serial.
+
+Comparison counts and notification sets are deterministic, so these
+assertions are CI-stable (no wall-clock noise).  Two halves of the
+serial-equivalence contract (DESIGN.md §12) are gated on a fixed
+hot-object replay of the movie workload:
+
+* **whole-monitor equivalence** — a sharded monitor (threads executor,
+  2 and 4 shards) must deliver byte-identical per-row notification
+  sets, per-user frontiers and *total* comparison counts to the serial
+  reference (equal sieve orders are co-located by the plan, so no
+  shared sieve pass is ever split);
+* **per-shard equivalence** — each shard's counters must equal an
+  unsharded monitor built over exactly that shard's scopes and fed the
+  same batches: a shard is a serial monitor over its scope subset, not
+  an approximation of one.
+
+For wall-clock numbers (which need real cores to move), run
+``python -m repro.bench perf-shard`` — snapshot in ``BENCH_pr5.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import PAPER_H, clusters_at
+from repro.data.stream import replay
+from repro.service import ServicePolicy
+
+GATE_DISTINCT = 48
+GATE_OBJECTS = 480
+GATE_BATCH = 96
+
+
+def _stream(workload):
+    hot = workload.dataset.objects[:GATE_DISTINCT]
+    return list(replay(hot, GATE_OBJECTS))
+
+
+def _policy(kind, workers=1, executor="serial"):
+    return ServicePolicy(
+        shared=kind != "baseline",
+        approximate=kind == "ftva",
+        h=PAPER_H,
+        workers=workers,
+        executor=executor,
+    )
+
+
+def _build(policy, workload, dendrogram):
+    if not policy.shared:
+        return policy.build(workload.preferences, workload.schema)
+    clusters = clusters_at(workload, dendrogram, PAPER_H, policy.approximate)
+    return policy.build_from_clusters(clusters, workload.schema)
+
+
+def _feed(monitor, stream):
+    results = []
+    for cut in range(0, len(stream), GATE_BATCH):
+        results.extend(monitor.push_batch(stream[cut : cut + GATE_BATCH]))
+    return results
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+@pytest.mark.parametrize("kind", ("baseline", "ftv"))
+def test_sharded_dispatch_matches_serial(movies, kind, workers):
+    """Threads executor at 2 and 4 shards: byte-identical notifications
+    and identical comparison totals on a fixed replay."""
+    workload, dendrogram = movies
+    stream = _stream(workload)
+
+    serial = _build(_policy(kind), workload, dendrogram)
+    expected = _feed(serial, stream)
+
+    sharded_policy = _policy(kind, workers, "threads")
+    sharded = _build(sharded_policy, workload, dendrogram)
+    try:
+        assert _feed(sharded, stream) == expected
+        for user in workload.preferences:
+            assert sharded.frontier_ids(user) == serial.frontier_ids(user)
+        assert sharded.stats.comparisons == serial.stats.comparisons
+        assert sharded.stats.delivered == serial.stats.delivered
+    finally:
+        sharded.close()
+
+
+def _baseline_references(workload, plan):
+    subsets = [
+        {user: workload.preferences[user] for user in plan.scopes_of(shard)}
+        for shard in range(plan.workers)
+    ]
+    policy = ServicePolicy(shared=False)
+    return [policy.build(subset, workload.schema) for subset in subsets]
+
+
+def _cluster_references(workload, plan, clusters):
+    by_members = {frozenset(cluster.users): cluster for cluster in clusters}
+    policy = ServicePolicy(shared=True, h=PAPER_H)
+    return [
+        policy.build_from_clusters(
+            [by_members[scope] for scope in plan.scopes_of(shard)],
+            workload.schema,
+        )
+        for shard in range(plan.workers)
+    ]
+
+
+@pytest.mark.parametrize("kind", ("baseline", "ftv"))
+def test_per_shard_counts_match_scope_subset_serial(movies, kind):
+    """Each shard's counters equal a serial monitor over exactly that
+    shard's scopes — the per-scope half of the contract."""
+    workload, dendrogram = movies
+    stream = _stream(workload)
+
+    sharded = _build(_policy(kind, 2, "threads"), workload, dendrogram)
+    try:
+        _feed(sharded, stream)
+        plan = sharded.plan
+        if kind == "baseline":
+            references = _baseline_references(workload, plan)
+        else:
+            references = _cluster_references(workload, plan, sharded.clusters)
+        for reference in references:
+            _feed(reference, stream)
+        expected = [reference.stats.snapshot() for reference in references]
+        assert sharded.shard_stats() == expected
+    finally:
+        sharded.close()

@@ -62,7 +62,8 @@ def main():
 
     if sample:
         obj, customers = sample
-        print(f"\nlast notified product: {dict(zip(workload.schema, obj.values))}")
+        row = dict(zip(workload.schema, obj.values))
+        print(f"\nlast notified product: {row}")
         print(f"  -> delivered to {len(customers)} customers, e.g. "
               f"{customers[:5]}")
 

@@ -52,6 +52,8 @@ from repro.core.partial_order import (PartialOrder, PartialOrderBuilder,
                                       is_strict_partial_order,
                                       transitive_closure)
 from repro.core.preference import Preference, common_preference
+from repro.core.shard import (EXECUTORS, ExecutionPlan,
+                              ShardedMonitor)
 from repro.core.sliding import (BaselineSW, FilterThenVerifyApproxSW,
                                 FilterThenVerifySW, ParetoBuffer)
 from repro.core.targets import TargetRegistry
@@ -85,6 +87,8 @@ __all__ = [
     "Dendrogram",
     "DomainCodec",
     "EmptyClusterError",
+    "EXECUTORS",
+    "ExecutionPlan",
     "Explanation",
     "FilterThenVerify",
     "FilterThenVerifyApprox",
@@ -112,6 +116,7 @@ __all__ = [
     "SLOReport",
     "SchemaMismatchError",
     "ServicePolicy",
+    "ShardedMonitor",
     "TargetRegistry",
     "ThresholdError",
     "UnknownAttributeError",

@@ -21,7 +21,7 @@ from __future__ import annotations
 from repro.bench import runner
 from repro.bench.runner import (ExperimentResult, PAPER_DIMENSIONS,
                                 PAPER_H, PAPER_H_GRID, PAPER_WINDOWS,
-                                THETA1, batch_perf_snapshot, clusters_at,
+                                THETA1, batch_perf_snapshot,
                                 get_scale, kernel_perf_snapshot,
                                 make_monitor, monitor_run, prepared,
                                 prepared_stream, replayed_stream,
@@ -360,7 +360,6 @@ def ablation_users() -> ExperimentResult:
     rows = []
     for users in (base_users, base_users * 2, base_users * 4):
         workload, dendrogram = prepared("movies", users)
-        cells = [users]
         comparisons = []
         for kind in MONITOR_KINDS:
             monitor = make_monitor(kind, workload, dendrogram, h=PAPER_H)
@@ -557,6 +556,35 @@ def perf_churn() -> ExperimentResult:
         rows, notes=notes)
 
 
+def perf_shard() -> ExperimentResult:
+    """Sharded ingest plane: executors vs the serial reference
+    (BENCH_pr5.json)."""
+    from repro.bench.runner import shard_perf_snapshot
+
+    snapshot = shard_perf_snapshot()
+    rows = []
+    for run in snapshot["runs"].values():
+        rows.append((run["kind"], run["executor"], run["workers"],
+                     run["objects"], run["objects_per_s"],
+                     run["comparisons"],
+                     run.get("wall_clock_vs_serial", 1.0),
+                     run["delivered"]))
+    notes = ("Hot-object replay through the sharded ingest plane; "
+             "every row must deliver identically to serial with "
+             "identical total comparisons (equal sieve orders are "
+             "co-located, so no sieve pass splits).  wall/serial below "
+             f"1.0 needs real cores (this box: {snapshot['cpus']}); "
+             "the shard gate in CI pins the equivalence contract, "
+             "which is hardware-independent.  Snapshot written to "
+             "BENCH_pr5.json")
+    return ExperimentResult(
+        "perf-shard",
+        "Sharded dispatch vs the serial reference (movie stream)",
+        ("monitor", "executor", "shards", "objects", "obj/s", "cmp",
+         "wall/serial", "delivered"),
+        rows, notes=notes)
+
+
 EXPERIMENTS = {
     "fig4": fig4,
     "fig5": fig5,
@@ -577,4 +605,5 @@ EXPERIMENTS = {
     "perf-batch": perf_batch,
     "perf-steady": perf_steady,
     "perf-churn": perf_churn,
+    "perf-shard": perf_shard,
 }

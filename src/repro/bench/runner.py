@@ -88,6 +88,23 @@ def get_scale() -> Scale:
     return _SCALE
 
 
+def bench_header(executor: str = "serial", workers: int = 1) -> dict:
+    """The execution-environment header every BENCH json carries.
+
+    Recording the executor, worker count and visible CPU count with
+    every snapshot keeps the perf trajectory comparable across
+    machines: a number produced by a sharded run (or on a single-core
+    box, where process parallelism cannot pay) is never mistaken for a
+    serial one.
+    """
+    return {
+        "executor": executor,
+        "workers": workers,
+        "cpus": os.cpu_count(),
+        "scale": asdict(get_scale()),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Workload / dendrogram cache
 # ---------------------------------------------------------------------------
@@ -135,7 +152,8 @@ def clusters_at(workload: Workload, dendrogram: Dendrogram, h: float,
 
 def make_monitor(kind: str, workload: Workload, dendrogram: Dendrogram,
                  h: float = PAPER_H, window: int | None = None,
-                 kernel: str = "compiled", memo: bool = True):
+                 kernel: str = "compiled", memo: bool = True,
+                 workers: int = 1, executor: str = "serial"):
     """Instantiate one of the six monitors on a prepared workload.
 
     *kernel* selects the dominance implementation: ``"compiled"`` (value
@@ -144,8 +162,21 @@ def make_monitor(kind: str, workload: Workload, dendrogram: Dendrogram,
     identical notifications and comparison counts, so every figure can
     be regenerated on either.  *memo* toggles the cross-batch verdict
     memo (results are identical either way; only comparison counts
-    move — the A/B the ``perf-steady`` experiment sweeps).
+    move — the A/B the ``perf-steady`` experiment sweeps).  *workers*
+    and *executor* select the sharded ingest plane (DESIGN.md §12);
+    notifications stay byte-identical to the serial monitors.
     """
+    if workers > 1:
+        from repro.service import ServicePolicy
+
+        policy = ServicePolicy(
+            shared=kind != "baseline", approximate=kind == "ftva",
+            window=window, h=h, kernel=kernel, memo=memo,
+            workers=workers, executor=executor)
+        if kind == "baseline":
+            return policy.build(workload.preferences, workload.schema)
+        clusters = clusters_at(workload, dendrogram, h, kind == "ftva")
+        return policy.build_from_clusters(clusters, workload.schema)
     if kind == "baseline":
         if window is None:
             return Baseline(workload.preferences, workload.schema,
@@ -242,7 +273,6 @@ def kernel_perf_snapshot(dataset: str = "movies",
 
     workload, dendrogram = prepared(dataset, users, objects)
     stream = workload.dataset.objects
-    scale = get_scale()
     runs: dict[str, dict] = {}
     for kind in kinds:
         for kernel in kernels:
@@ -273,7 +303,7 @@ def kernel_perf_snapshot(dataset: str = "movies",
         "dataset": dataset,
         "objects": len(stream),
         "users": len(workload.preferences),
-        "scale": asdict(scale),
+        **bench_header(),
         "runs": runs,
         "speedup_compiled_over_interpreted": speedups,
     }
@@ -372,7 +402,7 @@ def batch_perf_snapshot(dataset: str = "movies",
         "dataset": dataset,
         "stream_length": len(stream),
         "users": len(workload.preferences),
-        "scale": asdict(scale),
+        **bench_header(),
         "runs": runs,
     }
     if path:
@@ -454,7 +484,7 @@ def steady_perf_snapshot(dataset: str = "movies",
         "batch_size": batch_size,
         "windows": list(windows),
         "users": len(workload.preferences),
-        "scale": asdict(scale),
+        **bench_header(),
         "runs": runs,
     }
     if path:
@@ -598,7 +628,106 @@ def churn_perf_snapshot(dataset: str = "movies",
         "stream_length": len(stream),
         "hot_objects": len(hot),
         "users": len(users),
-        "scale": asdict(scale),
+        **bench_header(),
+        "runs": runs,
+    }
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=1)
+            handle.write("\n")
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Sharded-ingest snapshots (BENCH_pr5.json)
+# ---------------------------------------------------------------------------
+
+def shard_perf_snapshot(dataset: str = "movies",
+                        kinds=("baseline", "ftv"),
+                        shard_counts=(1, 2, 4, 8),
+                        executors=("threads", "processes"),
+                        batch_size: int = 512,
+                        length: int | None = None,
+                        path: str | None = "BENCH_pr5.json") -> dict:
+    """Measure the sharded ingest plane on a hot-object replay.
+
+    The same duplicate-heavy stream the batch/steady sweeps use is fed
+    once through the serial reference monitor and once per (executor,
+    shard count) pair through a :class:`~repro.core.shard.
+    ShardedMonitor`.  Every run must deliver identical notifications
+    and identical total comparisons (equal sieve orders are co-located
+    by the plan, so no sieve pass is ever split); the snapshot records
+    wall clock, per-shard comparison splits and the wall-clock ratio
+    against serial.
+
+    The monitors run memo-off so per-shard scan work is substantial
+    (the memo's O(1) steady state leaves nothing to parallelise —
+    sharding targets the scan-bound regime).  Interpreting the ratios
+    needs the header: with one visible CPU the ``threads`` executor is
+    GIL-bound and ``processes`` pays IPC with no parallel speedup, so
+    ratios below 1.0 are only reachable on multi-core hosts.
+    """
+    import json
+
+    workload, dendrogram = prepared_stream(dataset)
+    scale = get_scale()
+    if length is None:
+        length = scale.stream_length // 2
+    hot = workload.dataset.objects[:max(1, length // 8)]
+    stream = list(replay(hot, length))
+    runs: dict[str, dict] = {}
+    # workers == 1 builds the plain serial family whatever the executor
+    # says, so it is measured exactly once, as the reference run.
+    configs = [("serial", 1)]
+    configs += [(executor, workers) for executor in executors
+                for workers in shard_counts if workers > 1]
+    for kind in kinds:
+        serial_key = f"{kind}/serial"
+        for executor, workers in configs:
+            monitor = make_monitor(kind, workload, dendrogram,
+                                   memo=False, workers=workers,
+                                   executor=executor)
+            started = time.perf_counter()
+            delivered = 0
+            for cut in range(0, len(stream), batch_size):
+                delivered += sum(
+                    len(t) for t in
+                    monitor.push_batch(stream[cut:cut + batch_size]))
+            elapsed = time.perf_counter() - started
+            run = {
+                "kind": kind,
+                "executor": executor,
+                "workers": workers,
+                "objects": len(stream),
+                "elapsed_s": round(elapsed, 6),
+                "objects_per_s": round(len(stream) / elapsed, 1)
+                if elapsed else float("inf"),
+                "comparisons": monitor.stats.comparisons,
+                "delivered": delivered,
+            }
+            if workers > 1:
+                run["shard_comparisons"] = [
+                    shard["comparisons"]
+                    for shard in monitor.shard_stats()]
+                monitor.close()
+            key = (serial_key if workers == 1
+                   else f"{kind}/{executor}-{workers}")
+            runs[key] = run
+        serial = runs[serial_key]
+        for key, run in runs.items():
+            if run["kind"] == kind and run["workers"] > 1:
+                run["wall_clock_vs_serial"] = round(
+                    run["elapsed_s"] / serial["elapsed_s"], 4)
+                run["comparisons_match_serial"] = (
+                    run["comparisons"] == serial["comparisons"])
+    snapshot = {
+        "benchmark": "shard_perf_snapshot",
+        "dataset": dataset,
+        "stream_length": len(stream),
+        "hot_objects": len(hot),
+        "batch_size": batch_size,
+        "users": len(workload.preferences),
+        **bench_header(),
         "runs": runs,
     }
     if path:

@@ -195,7 +195,8 @@ def cmd_monitor_service(args, out: IO[str]) -> int:
                             out, f"line {lineno}: already configured")
                     unknown = set(command) - {
                         "op", "schema", "shared", "approximate",
-                        "window", "h", "measure", "theta1", "theta2"}
+                        "window", "h", "measure", "theta1", "theta2",
+                        "workers", "executor"}
                     if unknown:
                         # A swallowed key would silently run a
                         # different policy than the user asked for.
@@ -213,7 +214,9 @@ def cmd_monitor_service(args, out: IO[str]) -> int:
                         theta1=command.get("theta1",
                                            ServicePolicy.theta1),
                         theta2=command.get("theta2", args.theta2),
-                        kernel=args.kernel, memo=not args.no_memo)
+                        kernel=args.kernel, memo=not args.no_memo,
+                        workers=command.get("workers", args.workers),
+                        executor=command.get("executor", args.executor))
                     service = MonitorService(command["schema"],
                                              policy=policy)
                     continue
@@ -256,6 +259,8 @@ def cmd_monitor_service(args, out: IO[str]) -> int:
     finally:
         if handle is not sys.stdin:
             handle.close()
+        if service is not None:
+            service.close()   # release sharded-executor resources
     if service is None:
         return _service_error(out, "empty command stream: nothing to do")
     stats = service.stats.snapshot()
@@ -277,6 +282,10 @@ def cmd_monitor(args, out: IO[str]) -> int:
         print(f"error: --batch-size must be >= 1, got {args.batch_size}",
               file=out)
         return 2
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=out)
+        return 2
     with open(args.file, encoding="utf-8") as handle:
         workload = repro_io.workload_from_dict(json.load(handle))
     monitor = create_monitor(
@@ -284,7 +293,8 @@ def cmd_monitor(args, out: IO[str]) -> int:
         shared=args.algorithm != "baseline",
         approximate=args.algorithm == "ftva",
         window=args.window, h=args.h, theta2=args.theta2,
-        kernel=args.kernel, memo=not args.no_memo)
+        kernel=args.kernel, memo=not args.no_memo,
+        workers=args.workers, executor=args.executor)
     deliveries = 0
 
     def report(obj, targets):
@@ -307,6 +317,9 @@ def cmd_monitor(args, out: IO[str]) -> int:
             for obj, targets in zip(chunk, monitor.push_batch(chunk)):
                 report(obj, targets)
     stats = monitor.stats.snapshot()
+    close = getattr(monitor, "close", None)
+    if close is not None:        # sharded monitors hold executor state
+        close()
     print(f"\n{args.algorithm}: {stats['objects']} objects pushed, "
           f"{deliveries} notifications, "
           f"{stats['comparisons']:,} comparisons "
@@ -424,6 +437,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="ingest N objects per push_batch call (intra-batch sieve: "
              "identical notifications, fewer comparisons on "
              "duplicate-heavy streams); default: one push per object")
+    monitor.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the scope set across N workers (sharded ingest "
+             "plane; notifications are byte-identical to --workers 1)")
+    monitor.add_argument(
+        "--executor", choices=("serial", "threads", "processes"),
+        default="serial",
+        help="execution backend for the shards (with --workers > 1): "
+             "serial reference loop, one thread per shard, or one "
+             "worker process per shard")
     monitor.add_argument(
         "--no-memo", action="store_true",
         help="disable the cross-batch verdict memo (identical "

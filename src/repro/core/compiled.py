@@ -437,7 +437,8 @@ def any_dominator(codes, member_codes, tables, capacities, betters, worses):
     return False, scanned
 
 
-def dominated_indices(codes, member_codes, tables, capacities, betters, worses):
+def dominated_indices(codes, member_codes, tables, capacities,
+                      betters, worses):
     {setup}
     indices = []
     read = 0

@@ -36,6 +36,29 @@ DEFAULT_THETA1 = 6000
 DEFAULT_THETA2 = 0.5
 
 
+def join_virtual(cluster: Cluster, user: UserId, preference: Preference,
+                 approximate: bool, theta1=None,
+                 theta2=None) -> Preference | None:
+    """The join-time virtual rule, shared by the serial families and
+    the sharding façade (which must reproduce the exact same merged
+    cluster to place it deterministically).
+
+    ``None`` selects :meth:`Cluster.with_user`'s incremental
+    intersection (the exact families); approximate families recompute
+    the Algorithm-3 relation over the merged membership.
+    """
+    if not approximate:
+        return None
+    from repro.core.approx import approximate_preference
+
+    members = dict(cluster.members)
+    members[user] = preference
+    return approximate_preference(
+        members.values(),
+        DEFAULT_THETA1 if theta1 is None else theta1,
+        DEFAULT_THETA2 if theta2 is None else theta2)
+
+
 class _ClusterState:
     """Runtime state of one cluster: the shared and per-user frontiers."""
 
@@ -213,23 +236,50 @@ class FilterThenVerify(MonitorBase):
         """
         if user in self._user_state:
             raise ValueError(f"user {user!r} already registered")
-        # Coerce the history up front: anything that can raise —
-        # malformed rows, width mismatches — must fire before any
-        # existing state is torn down, so a failed add leaves the
-        # monitor (and the registry's refcounts) exactly as it was.
-        history = [self.ingest.coerce(row) for row in history]
         index = None
         if h is not None and (history or not self.stats.objects):
             index = best_matching_cluster(
                 [state.cluster for state in self._states], preference, h,
                 measure)
+        # The targeted arms coerce the history themselves, before any
+        # existing state is torn down, so a failed add leaves the
+        # monitor (and the registry's refcounts) exactly as it was.
         if index is None:
-            state = _ClusterState(Cluster({user: preference}, preference),
-                                  self, self.stats)
-            self._replay_into_state(state, history)
-            self._states.append(state)
-            self._user_state[user] = state
-            return
+            self.open_singleton(user, preference, history)
+        else:
+            self.join_cluster(index, user, preference, history,
+                              theta1=theta1, theta2=theta2)
+
+    def open_singleton(self, user: UserId, preference: Preference,
+                       history: Sequence[Object] = ()) -> None:
+        """Open a singleton cluster for *user* (always sound).
+
+        The ``index is None`` arm of :meth:`add_user`, exposed as a
+        targeted operation so a sharding façade
+        (:class:`~repro.core.shard.ShardedMonitor`) can make the join
+        decision globally and execute it inside one shard.
+        """
+        if user in self._user_state:
+            raise ValueError(f"user {user!r} already registered")
+        history = [self.ingest.coerce(row) for row in history]
+        state = _ClusterState(Cluster({user: preference}, preference),
+                              self, self.stats)
+        self._replay_into_state(state, history)
+        self._states.append(state)
+        self._user_state[user] = state
+
+    def join_cluster(self, index: int, user: UserId,
+                     preference: Preference,
+                     history: Sequence[Object] = (), *,
+                     theta1: float | None = None,
+                     theta2: float | None = None) -> None:
+        """Join *user* to the cluster at *index*, rebuilding exactly
+        that cluster from *history* under the updated virtual — the
+        targeted arm of :meth:`add_user` (see :meth:`open_singleton`
+        for why it is public)."""
+        if user in self._user_state:
+            raise ValueError(f"user {user!r} already registered")
+        history = [self.ingest.coerce(row) for row in history]
         old = self._states[index]
         cluster = old.cluster.with_user(
             user, preference,
@@ -247,25 +297,46 @@ class FilterThenVerify(MonitorBase):
         for member in cluster.users:
             self._user_state[member] = state
 
+    def install_cluster(self, cluster: Cluster,
+                        history: Sequence[Object] = ()) -> None:
+        """Splice a prepared cluster in, replaying *history* through
+        its filter/verify path.
+
+        The building block of every churn op: a singleton open is an
+        install of a one-member cluster, and a join is a retire of the
+        old cluster followed by an install of the merged one.  The
+        sharding façade (:class:`~repro.core.shard.ShardedMonitor`)
+        uses the retire/install pair directly so a join whose merged
+        virtual hashes to a *different* shard re-homes the cluster at
+        exactly the serial rebuild cost.
+        """
+        for user in cluster.users:
+            if user in self._user_state:
+                raise ValueError(f"user {user!r} already registered")
+        history = [self.ingest.coerce(row) for row in history]
+        state = _ClusterState(cluster, self, self.stats)
+        self._replay_into_state(state, history)
+        self._states.append(state)
+        for user in cluster.users:
+            self._user_state[user] = state
+
+    def retire_cluster(self, index: int) -> None:
+        """Tear down the cluster at *index* wholesale: every member's
+        frontier state, target-set entries and kernel acquisitions go
+        (see :meth:`install_cluster` for the retire/install pairing)."""
+        state = self._states.pop(index)
+        for user in state.cluster.users:
+            del self._user_state[user]
+        self._retire_state(state)
+
     def _join_virtual(self, cluster: Cluster, user: UserId,
                       preference: Preference, theta1, theta2,
                       ) -> Preference | None:
-        """Virtual preference for *cluster* after *user* joins.
-
-        None selects :meth:`Cluster.with_user`'s incremental
-        intersection (the exact family); the approximate subclasses
-        recompute the Algorithm-3 relation over the new membership.
-        """
-        if not self.approximate_clusters:
-            return None
-        from repro.core.approx import approximate_preference
-
-        members = dict(cluster.members)
-        members[user] = preference
-        return approximate_preference(
-            members.values(),
-            DEFAULT_THETA1 if theta1 is None else theta1,
-            DEFAULT_THETA2 if theta2 is None else theta2)
+        """Virtual preference for *cluster* after *user* joins (the
+        module-level :func:`join_virtual` rule at this monitor's
+        approximation setting)."""
+        return join_virtual(cluster, user, preference,
+                            self.approximate_clusters, theta1, theta2)
 
     def _replay_into_state(self, state: _ClusterState, history) -> None:
         """Replay past arrivals through one cluster's filter/verify

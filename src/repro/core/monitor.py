@@ -32,7 +32,8 @@ def create_monitor(preferences: Mapping[UserId, Preference],
                    theta1: float = 6000, theta2: float = 0.5,
                    track_targets: bool = False,
                    kernel: str = "compiled",
-                   memo: bool = True) -> MonitorBase:
+                   memo: bool = True, workers: int = 1,
+                   executor: str = "serial") -> MonitorBase:
     """Build the appropriate monitor for a fixed user base.
 
     Prefer :class:`~repro.service.MonitorService` for anything
@@ -82,9 +83,16 @@ def create_monitor(preferences: Mapping[UserId, Preference],
         comparisons charged, extending the sieve's duplicate path
         across batch and window boundaries.  Results are byte-identical
         either way (see DESIGN.md §10).
+    workers, executor:
+        the sharded ingest plane (DESIGN.md §12).  ``workers > 1``
+        partitions the monitor's scopes into deterministic shards and
+        drives batches through *executor* — ``"serial"`` (reference),
+        ``"threads"`` or ``"processes"`` — with notifications,
+        frontiers and buffers byte-identical to the serial path.
     """
     policy = ServicePolicy(
         shared=shared, approximate=approximate, window=window, h=h,
         measure=measure, theta1=theta1, theta2=theta2,
-        track_targets=track_targets, kernel=kernel, memo=memo)
+        track_targets=track_targets, kernel=kernel, memo=memo,
+        workers=workers, executor=executor)
     return policy.build(preferences, schema)

@@ -1,0 +1,880 @@
+"""Sharded ingest: per-scope dispatch over a pluggable executor.
+
+Per-scope dispatch is embarrassingly parallel: a monitor's scopes (one
+per user for the baseline families, one per cluster for the shared
+families) never read each other's frontier state, so an arrival batch
+can be fanned out across scope subsets and the per-row target sets
+merged back in arrival order.  This module turns that observation into
+an execution layer:
+
+* :func:`sieve_signature` / :func:`shard_of` — a deterministic,
+  process-stable hash of a scope's *sieve orders* (the user's own
+  preference, or a cluster's virtual).  Scopes with equal sieve orders
+  always land in the same shard, so the one-pass-per-distinct-order
+  sieve of :class:`~repro.core.ingest.IngestPipeline` is never split:
+  the sharded run performs exactly the serial run's sieve passes.
+* :class:`ExecutionPlan` — the current scope → shard assignment, a pure
+  function of the live scope set (re-derived whenever churn mutates it).
+* Executors — ``serial`` (the reference: shards run one after another
+  in-process), ``threads`` (one thread per shard; state is disjoint by
+  construction, so no locks are needed) and ``processes`` (one worker
+  process per shard, built from a picklable :class:`ShardSpec` and
+  driven over pipes — true parallelism across cores).
+* :class:`ShardedMonitor` — the monitor-shaped façade: each shard hosts
+  a *real* monitor of the selected family over its scope subset, and
+  the façade merges notifications, stats, frontiers, buffers and churn.
+
+Serial-equivalence contract (DESIGN.md §12)
+-------------------------------------------
+
+For every monitor family, every executor and every shard count:
+notifications (per-row target sets, in arrival order), per-user
+frontiers, sliding-window buffers and per-shard comparison counts are
+byte-identical to the serial path.  Each shard *is* a serial monitor
+over its scopes, so its counts equal an unsharded monitor built over
+the same scope subset; and because equal sieve orders are co-located,
+the shard totals sum to the full serial run's totals.  Cluster-join
+decisions under churn run in the façade over the global, serial-ordered
+cluster list (similarity normalisation depends on the all-cluster
+attribute union), then execute as a retire + install pair
+(:meth:`~repro.core.filter_verify.FilterThenVerify.retire_cluster` /
+``install_cluster``): the merged cluster lands in the shard its *new*
+virtual hashes to, so a join that drifts the virtual re-homes the
+scope — at exactly the serial rebuild cost — and co-location survives
+arbitrary churn.
+"""
+
+from __future__ import annotations
+
+import weakref
+import zlib
+from collections.abc import Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.clusters import Cluster, UserId, best_matching_cluster
+from repro.core.compiled import validate_kernel
+from repro.core.errors import ReproError
+from repro.core.filter_verify import join_virtual
+from repro.core.ingest import IngestPipeline
+from repro.core.preference import Preference
+from repro.data.objects import Object, Schema
+
+#: The pluggable executors, in documentation order.  ``serial`` is the
+#: reference implementation the other two must match byte for byte.
+EXECUTORS = ("serial", "threads", "processes")
+
+
+def validate_executor(name: str) -> str:
+    """Return *name* if it names a known executor, else raise loudly."""
+    if name not in EXECUTORS:
+        raise ReproError(
+            f"unknown executor {name!r}; choose one of {EXECUTORS}"
+        )
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Deterministic scope placement
+# ---------------------------------------------------------------------------
+
+
+def sieve_signature(preference: Preference, schema: Schema) -> str:
+    """A canonical, process-stable text form of a scope's sieve orders.
+
+    Two scopes share one intra-batch sieve pass (and, under the
+    compiled kernel, one registry entry) exactly when their
+    schema-aligned orders are equal, i.e. when every attribute's
+    preference-pair set matches.  The signature serialises those pair
+    sets in sorted ``repr`` order, so equal orders always produce equal
+    strings — across runs and across processes (no dependence on
+    ``PYTHONHASHSEED``).
+    """
+    parts = []
+    for order in preference.aligned(tuple(schema)):
+        parts.append(",".join(sorted(repr(pair) for pair in order.pairs)))
+    return ";".join(parts)
+
+
+def shard_of(signature: str, workers: int) -> int:
+    """Deterministic shard index for a sieve signature (crc32 mod n)."""
+    return zlib.crc32(signature.encode("utf-8")) % max(1, workers)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The current scope → shard assignment of a sharded monitor.
+
+    ``assignment`` maps a scope key — the user id for per-user
+    families, the frozenset of member user ids for cluster scopes — to
+    the owning shard index.  The plan is a pure function of the live
+    scope set: it is re-derived whenever churn mutates the scopes, so
+    after any subscribe/unsubscribe sequence every scope is owned by
+    exactly one shard (no orphans, no double ownership — pinned by
+    ``tests/test_ingest.py``).
+    """
+
+    workers: int
+    executor: str
+    assignment: Mapping
+
+    def scopes_of(self, shard: int) -> tuple:
+        """Scope keys owned by one shard, in assignment order."""
+        keys = self.assignment.items()
+        return tuple(key for key, owner in keys if owner == shard)
+
+
+# ---------------------------------------------------------------------------
+# Shard hosts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A picklable recipe for one shard's monitor.
+
+    ``policy`` is the base (unsharded)
+    :class:`~repro.service.ServicePolicy`; exactly one of
+    ``preferences`` (per-user families) and ``clusters`` (shared
+    families) carries the shard's scopes.  The spec — like every
+    payload crossing a process boundary (rows as
+    :class:`~repro.data.objects.Object`, preferences, clusters, stat
+    snapshots) — must pickle, which is what lets the ``processes``
+    executor rebuild identical shard state in a worker regardless of
+    start method.
+    """
+
+    policy: object
+    schema: Schema
+    preferences: tuple | None = None
+    clusters: tuple | None = None
+
+    def build(self):
+        """Construct the shard's monitor (in whichever process)."""
+        if self.clusters is not None:
+            return self.policy.build_from_clusters(
+                list(self.clusters), self.schema
+            )
+        return self.policy.build(dict(self.preferences or ()), self.schema)
+
+
+class _LocalShard:
+    """A shard hosted in this process (``serial``/``threads``)."""
+
+    __slots__ = ("monitor",)
+
+    def __init__(self, spec: ShardSpec):
+        self.monitor = spec.build()
+
+    def push_batch(self, objects):
+        return self.monitor.push_batch(objects)
+
+    def push(self, obj):
+        return self.monitor.push(obj)
+
+    def call(self, name, *args, **kwargs):
+        attr = getattr(self.monitor, name)
+        return attr(*args, **kwargs) if callable(attr) else attr
+
+    def stats_snapshot(self) -> dict:
+        return self.monitor.stats.snapshot()
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(conn, spec: ShardSpec) -> None:
+    """Worker-process main loop: build the shard, serve commands.
+
+    Every reply carries the shard's current stats snapshot so the
+    parent's aggregate stats never need an extra round trip.
+    """
+    monitor = spec.build()
+    conn.send(("ok", (None, monitor.stats.snapshot())))
+    while True:
+        try:
+            command, payload = conn.recv()
+        except EOFError:
+            break
+        if command == "stop":
+            break
+        try:
+            if command == "push_batch":
+                result = monitor.push_batch(payload)
+            elif command == "push":
+                result = monitor.push(payload)
+            else:
+                name, args, kwargs = payload
+                attr = getattr(monitor, name)
+                result = attr(*args, **kwargs) if callable(attr) else attr
+            reply = ("ok", (result, monitor.stats.snapshot()))
+        except BaseException as error:  # noqa: BLE001 — relayed verbatim
+            reply = ("error", error)
+        try:
+            conn.send(reply)
+        except Exception:
+            # Unpicklable result or error: degrade to a repr the parent
+            # can always raise.
+            conn.send(("error", ReproError(repr(reply[1]))))
+    conn.close()
+
+
+class _ProcessShard:
+    """A shard hosted in a dedicated worker process.
+
+    Commands and results travel over a duplex pipe; the worker owns the
+    shard's kernels, memos and buffers for its whole life, so per-batch
+    traffic is just the coerced rows out and the per-row target sets
+    (plus a stats snapshot) back.
+    """
+
+    __slots__ = ("_conn", "_process", "_stats", "_finalizer", "__weakref__")
+
+    def __init__(self, spec: ShardSpec):
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        self._conn, child = context.Pipe()
+        self._process = context.Process(
+            target=_shard_worker, args=(child, spec), daemon=True
+        )
+        self._process.start()
+        child.close()
+        self._stats = {}
+        self._finalizer = weakref.finalize(
+            self, _ProcessShard._shutdown, self._conn, self._process
+        )
+        self._receive()  # the build acknowledgement
+
+    def _receive(self):
+        status, payload = self._conn.recv()
+        if status == "error":
+            raise payload
+        result, self._stats = payload
+        return result
+
+    def send_push_batch(self, objects) -> None:
+        self._conn.send(("push_batch", objects))
+
+    def send_push(self, obj) -> None:
+        self._conn.send(("push", obj))
+
+    def push_batch(self, objects):
+        self.send_push_batch(objects)
+        return self._receive()
+
+    def push(self, obj):
+        self._conn.send(("push", obj))
+        return self._receive()
+
+    def call(self, name, *args, **kwargs):
+        self._conn.send(("call", (name, args, kwargs)))
+        return self._receive()
+
+    def stats_snapshot(self) -> dict:
+        return dict(self._stats)
+
+    @staticmethod
+    def _shutdown(conn, process) -> None:
+        try:
+            conn.send(("stop", None))
+        except Exception:
+            pass
+        process.join(timeout=5)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5)
+        conn.close()
+
+    def close(self) -> None:
+        if self._finalizer.alive:
+            self._finalizer()
+
+
+# ---------------------------------------------------------------------------
+# Aggregate statistics
+# ---------------------------------------------------------------------------
+
+
+class ShardedStats:
+    """The merged work counters of a sharded monitor.
+
+    ``objects`` counts arrivals once (the façade coerces each row
+    exactly once); comparison and delivery counters are summed over the
+    shards — deliveries are disjoint across shards (each user lives in
+    exactly one), so the sums equal the serial monitor's counters.
+    """
+
+    _SUMMED = (
+        "delivered",
+        "filter_comparisons",
+        "verify_comparisons",
+        "buffer_comparisons",
+        "comparisons",
+    )
+
+    def __init__(self, monitor: "ShardedMonitor"):
+        self._monitor = monitor
+        self.objects = 0
+
+    def _sum(self, key: str) -> int:
+        shards = self._monitor.shard_stats()
+        return sum(snapshot[key] for snapshot in shards)
+
+    @property
+    def delivered(self) -> int:
+        return self._sum("delivered")
+
+    @property
+    def comparisons(self) -> int:
+        return self._sum("comparisons")
+
+    def snapshot(self) -> dict[str, int]:
+        merged = {"objects": self.objects}
+        merged.update({key: 0 for key in self._SUMMED})
+        for shard in self._monitor.shard_stats():
+            for key in self._SUMMED:
+                merged[key] += shard[key]
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedStats(objects={self.objects}, "
+            f"delivered={self.delivered}, "
+            f"comparisons={self.comparisons})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The façade
+# ---------------------------------------------------------------------------
+
+
+class _ScopeRecord:
+    """One cluster scope in serial (_states) order.
+
+    The façade keeps its own copy of the cluster — maintained through
+    the same ``with_user``/``without_user``/virtual rules the shards
+    apply, so it stays equal to the shard-side one — which makes join
+    decisions (and the ``clusters`` property) free of any shard round
+    trip.
+    """
+
+    __slots__ = ("cluster", "shard")
+
+    def __init__(self, cluster: Cluster, shard: int):
+        self.cluster = cluster
+        self.shard = shard
+
+    @property
+    def users(self):
+        return self.cluster.users
+
+
+class ShardedMonitor:
+    """A monitor-shaped façade over per-shard sub-monitors.
+
+    Built by :meth:`~repro.service.ServicePolicy.build` (or
+    ``build_from_clusters``) whenever the policy asks for more than one
+    worker.  Each shard hosts a real monitor of the selected family
+    over a deterministic subset of the scopes (:func:`shard_of` on the
+    scope's sieve signature); ``push``/``push_batch`` coerce each row
+    once, fan the coerced objects out through the executor and merge
+    the per-row target sets in arrival order.  All churn, inspection
+    and snapshot surfaces of the six families are preserved, so
+    :class:`~repro.service.MonitorService` (and ``repro.state``
+    snapshots) drive a sharded monitor exactly like a serial one.
+    """
+
+    def __init__(
+        self,
+        policy,
+        schema: Sequence[str],
+        *,
+        preferences: Mapping[UserId, Preference] | None = None,
+        clusters: Sequence[Cluster] | None = None,
+    ):
+        if policy.workers < 2:
+            raise ReproError("ShardedMonitor requires workers >= 2")
+        self.policy = policy
+        self.base_policy = policy.base()
+        self.schema: Schema = tuple(schema)
+        self.workers = int(policy.workers)
+        self.executor_name = validate_executor(policy.executor)
+        self.kernel_name = validate_kernel(policy.kernel)
+        self.memo_enabled = bool(policy.memo)
+        if policy.window is not None:
+            self.window = int(policy.window)
+        #: The façade encodes nothing itself (each shard owns a codec),
+        #: so its pipeline only coerces and assigns object ids.
+        self.codec = None
+        self.registry = None
+        self.ingest = IngestPipeline(self)
+        self.stats = ShardedStats(self)
+        self._preferences: dict[UserId, Preference] = {}
+        #: user → owning shard (per-user families).
+        self._owner: dict[UserId, int] = {}
+        #: Cluster scopes in serial (_states) order (shared families).
+        self._records: list[_ScopeRecord] = []
+        #: user → owning record, O(1) per-user routing (shared families).
+        self._user_record: dict[UserId, _ScopeRecord] = {}
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+        shard_scopes: list[list] = [[] for _ in range(self.workers)]
+        if policy.shared:
+            for cluster in list(clusters or ()):
+                signature = sieve_signature(cluster.virtual, self.schema)
+                shard = shard_of(signature, self.workers)
+                shard_scopes[shard].append(cluster)
+                record = _ScopeRecord(cluster, shard)
+                self._records.append(record)
+                for user, pref in cluster.members.items():
+                    self._preferences[user] = pref
+                    self._user_record[user] = record
+            specs = [
+                ShardSpec(
+                    self.base_policy, self.schema, clusters=tuple(scopes)
+                )
+                for scopes in shard_scopes
+            ]
+        else:
+            for user, pref in dict(preferences or {}).items():
+                signature = sieve_signature(pref, self.schema)
+                shard = shard_of(signature, self.workers)
+                shard_scopes[shard].append((user, pref))
+                self._preferences[user] = pref
+                self._owner[user] = shard
+            specs = [
+                ShardSpec(
+                    self.base_policy,
+                    self.schema,
+                    preferences=tuple(scopes),
+                )
+                for scopes in shard_scopes
+            ]
+        if self.executor_name == "processes":
+            host = _ProcessShard
+        else:
+            host = _LocalShard
+        self._shards = [host(spec) for spec in specs]
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The current scope → shard assignment (re-derived live, so it
+        always reflects the post-churn scope set)."""
+        if self.policy.shared:
+            assignment = {
+                frozenset(record.users): record.shard
+                for record in self._records
+            }
+        else:
+            assignment = dict(self._owner)
+        return ExecutionPlan(self.workers, self.executor_name, assignment)
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard stats snapshots (shard order).
+
+        Each shard is a serial monitor over its scope subset, so each
+        snapshot is byte-identical to an unsharded monitor built over
+        the same scopes and fed the same batches — the per-scope half
+        of the serial-equivalence contract, gated deterministically by
+        ``benchmarks/test_shard_gate.py``.
+        """
+        return [shard.stats_snapshot() for shard in self._shards]
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _drain(shards) -> list:
+        """Collect one queued reply per process shard.
+
+        Every shard's reply is read even when one errors: leaving a
+        queued reply behind would desync that pipe, silently serving
+        this round's results to the *next* command.
+        """
+        results = []
+        error = None
+        for shard in shards:
+            try:
+                results.append(shard._receive())
+            except BaseException as exc:  # noqa: BLE001 — re-raised
+                if error is None:
+                    error = exc
+                results.append(None)
+        if error is not None:
+            raise error
+        return results
+
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-shard",
+            )
+        return self._pool
+
+    def _run_batch(self, objects) -> list:
+        shards = self._shards
+        if self.executor_name == "threads":
+            jobs = self._thread_pool().map(
+                lambda shard: shard.push_batch(objects), shards
+            )
+            return list(jobs)
+        if self.executor_name == "processes":
+            for shard in shards:
+                shard.send_push_batch(objects)
+            return self._drain(shards)
+        return [shard.push_batch(objects) for shard in shards]
+
+    def _run_single(self, obj) -> list:
+        shards = self._shards
+        if self.executor_name == "threads":
+            jobs = self._thread_pool().map(
+                lambda shard: shard.push(obj), shards
+            )
+            return list(jobs)
+        if self.executor_name == "processes":
+            # Pipelined like _run_batch: send to every worker first, so
+            # single-row pushes overlap across shards instead of paying
+            # one full round trip per shard.
+            for shard in shards:
+                shard.send_push(obj)
+            return self._drain(shards)
+        return [shard.push(obj) for shard in shards]
+
+    def push(self, row) -> frozenset[UserId]:
+        """Process one arrival; returns the target users of the object."""
+        obj = self.ingest.coerce(row)
+        self.stats.objects += 1
+        targets = self._run_single(obj)
+        if not targets:
+            return frozenset()
+        return frozenset().union(*targets)
+
+    def push_batch(self, rows) -> list[frozenset[UserId]]:
+        """Process many arrivals as one batch.
+
+        Rows are coerced (and assigned ids) once, then every shard
+        processes the whole batch over its own scopes; per-row target
+        sets are the unions of the shards' disjoint answers, in arrival
+        order — byte-identical to the serial path.
+        """
+        objects = [self.ingest.coerce(row) for row in rows]
+        self.stats.objects += len(objects)
+        if not objects:
+            return []
+        per_shard = self._run_batch(objects)
+        return [
+            frozenset().union(*(results[i] for results in per_shard))
+            for i in range(len(objects))
+        ]
+
+    def push_all(self, rows) -> list[frozenset[UserId]]:
+        """Alias of :meth:`push_batch`, kept for API compatibility."""
+        return self.push_batch(rows)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def users(self) -> tuple[UserId, ...]:
+        return tuple(self._preferences)
+
+    @property
+    def preferences(self) -> dict[UserId, Preference]:
+        """Current user → preference mapping (a copy; safe to mutate)."""
+        return dict(self._preferences)
+
+    @property
+    def clusters(self) -> tuple[Cluster, ...]:
+        """Current clusters in serial (construction/churn) order.
+
+        Served from the façade's own record copies — no shard round
+        trip, and the similarity-representation caches on the cluster
+        objects survive across churn ops.
+        """
+        if not self.policy.shared:
+            raise AttributeError("per-user monitors have no clusters")
+        return tuple(record.cluster for record in self._records)
+
+    @property
+    def alive(self) -> tuple[Object, ...]:
+        """The current window contents (sliding policies only).
+
+        Every shard sees every arrival, so each keeps an identical
+        alive window; the first shard's copy is authoritative.
+        """
+        if self.policy.window is None:
+            raise AttributeError("append-only monitors have no window")
+        return self._shards[0].call("alive")
+
+    def _owning_shard(self, user: UserId) -> int:
+        if not self.policy.shared:
+            return self._owner[user]
+        return self._user_record[user].shard
+
+    def _call_owner(self, user: UserId, name: str, *args):
+        return self._shards[self._owning_shard(user)].call(name, *args)
+
+    def frontier(self, user: UserId) -> tuple[Object, ...]:
+        """Current Pareto frontier ``P_c`` of *user*, in arrival order."""
+        return self._call_owner(user, "frontier", user)
+
+    def frontier_ids(self, user: UserId) -> frozenset[int]:
+        """Object ids of ``P_c``."""
+        return frozenset(obj.oid for obj in self.frontier(user))
+
+    # The per-family inspection surfaces are gated *properties*
+    # returning closures: feature detection by getattr (repro.state
+    # does this) must see AttributeError on families that lack the
+    # surface, exactly like the serial monitors.
+
+    @property
+    def shared_frontier(self):
+        """``P_U`` accessor, by member user or serial cluster index
+        (shared families only)."""
+        if not self.policy.shared:
+            raise AttributeError("per-user monitors have no P_U")
+
+        def shared_frontier(user_or_index) -> tuple[Object, ...]:
+            is_index = (
+                isinstance(user_or_index, int)
+                and user_or_index not in self._preferences
+            )
+            if is_index:
+                record = self._records[user_or_index]
+                user_or_index = next(iter(record.users))
+            return self._call_owner(
+                user_or_index, "shared_frontier", user_or_index
+            )
+
+        return shared_frontier
+
+    @property
+    def shared_buffer(self):
+        """``PB_U`` accessor by member user (shared sliding family)."""
+        if not self.policy.shared or self.policy.window is None:
+            raise AttributeError("no shared buffers on this family")
+        return lambda user: self._call_owner(user, "shared_buffer", user)
+
+    @property
+    def buffer(self):
+        """``PB_c`` accessor by user (per-user sliding family)."""
+        if self.policy.shared or self.policy.window is None:
+            raise AttributeError("no per-user buffers on this family")
+        return lambda user: self._call_owner(user, "buffer", user)
+
+    @property
+    def buffers(self):
+        """All-buffer accessor (sliding families), concatenated shard
+        by shard — not the serial monitor's scope order; use the
+        per-scope accessors for order-sensitive comparisons."""
+        if self.policy.window is None:
+            raise AttributeError("append-only monitors have no buffers")
+
+        def buffers() -> list[tuple[Object, ...]]:
+            merged: list[tuple[Object, ...]] = []
+            for shard in self._shards:
+                merged.extend(shard.call("buffers"))
+            return merged
+
+        return buffers
+
+    def targets_of(self, oid: int) -> frozenset[UserId]:
+        """Current ``C_o`` of a past object (requires tracking)."""
+        if not self.policy.track_targets:
+            raise ReproError(
+                "target tracking is off; construct the monitor with "
+                "track_targets=True"
+            )
+        merged: frozenset[UserId] = frozenset()
+        for shard in self._shards:
+            merged |= shard.call("targets_of", oid)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedMonitor({self.workers} shards, "
+            f"{self.executor_name}, {len(self._preferences)} users)"
+        )
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+
+    def add_user(
+        self,
+        user: UserId,
+        preference: Preference,
+        history: Sequence[Object] = (),
+        *,
+        h: float | None = None,
+        measure=None,
+        theta1: float | None = None,
+        theta2: float | None = None,
+    ) -> None:
+        """Register a new user mid-stream (any family).
+
+        Per-user families route the user to the shard its sieve
+        signature hashes to.  Shared families decide the cluster join
+        *globally* — :func:`~repro.core.clusters.best_matching_cluster`
+        over the serial-ordered cluster list, exactly as an unsharded
+        monitor would (the similarity normalisation depends on the
+        all-cluster attribute union, so a shard-local decision could
+        diverge) — then execute a targeted ``join_cluster`` inside the
+        owning shard, or open a singleton in the shard the new virtual
+        hashes to.  The plan is re-derived from the mutated scope set.
+        """
+        if user in self._preferences:
+            raise ValueError(f"user {user!r} already registered")
+        windowed = self.policy.window is not None
+        if windowed:
+            if history:
+                # The serial sliding families take no history (the
+                # alive window is the relevant past); dropping it
+                # silently — after coercion consumed object ids — would
+                # also drift every later oid from the serial run.
+                raise TypeError(
+                    "sliding-window monitors take no history; the "
+                    "alive window is replayed instead"
+                )
+            history = []
+        else:
+            history = [self.ingest.coerce(row) for row in history]
+        if not self.policy.shared:
+            signature = sieve_signature(preference, self.schema)
+            shard = self._shards[shard_of(signature, self.workers)]
+            if windowed:
+                shard.call("add_user", user, preference)
+            else:
+                shard.call("add_user", user, preference, history)
+            self._owner[user] = shard_of(signature, self.workers)
+            self._preferences[user] = preference
+            return
+        index = None
+        may_join = h is not None and (
+            windowed or history or not self.stats.objects
+        )
+        if may_join:
+            index = best_matching_cluster(
+                list(self.clusters), preference, h, measure
+            )
+        if index is None:
+            cluster = Cluster({user: preference}, preference)
+            record = _ScopeRecord(
+                cluster,
+                shard_of(
+                    sieve_signature(preference, self.schema), self.workers
+                ),
+            )
+            self._install(record, history)
+            self._records.append(record)
+        else:
+            record = self._records[index]
+            merged = self._merged_cluster(
+                record.cluster, user, preference, theta1, theta2
+            )
+            # Retire in the owning shard, install at the *merged*
+            # virtual's home shard: a join that drifts the virtual
+            # re-homes the cluster, preserving equal-sieve-orders
+            # co-location (and hence serial-identical comparison
+            # totals) under churn — at exactly the serial rebuild
+            # cost, since a serial join is retire + replay too.
+            local = self._shard_cluster_index(record)
+            self._shards[record.shard].call("retire_cluster", local)
+            record.cluster = merged
+            record.shard = shard_of(
+                sieve_signature(merged.virtual, self.schema), self.workers
+            )
+            self._install(record, history)
+        for member in record.users:
+            self._user_record[member] = record
+        self._preferences[user] = preference
+
+    def _install(self, record: _ScopeRecord, history) -> None:
+        """Install the record's cluster into its shard (windowed
+        installs replay the shard's own — identical — alive window)."""
+        shard = self._shards[record.shard]
+        if self.policy.window is not None:
+            shard.call("install_cluster", record.cluster)
+        else:
+            shard.call("install_cluster", record.cluster, history)
+
+    def _merged_cluster(self, cluster: Cluster, user: UserId,
+                        preference: Preference, theta1,
+                        theta2) -> Cluster:
+        """The post-join cluster, under the exact rule the serial
+        families apply (:func:`repro.core.filter_verify.join_virtual`,
+        so the two can never drift apart)."""
+        virtual = join_virtual(
+            cluster, user, preference, self.policy.approximate, theta1,
+            theta2
+        )
+        return cluster.with_user(user, preference, virtual=virtual)
+
+    def _shard_cluster_index(self, record: _ScopeRecord) -> int:
+        """The record's cluster index inside its shard's ``_states``
+        list, matched by member set (unique: a user lives in exactly
+        one cluster)."""
+        members = frozenset(record.users)
+        clusters = self._shards[record.shard].call("clusters")
+        for index, cluster in enumerate(clusters):
+            if frozenset(cluster.users) == members:
+                return index
+        raise ReproError("scope record detached from its shard")
+
+    def remove_user(self, user: UserId) -> None:
+        """Unregister a user from the owning shard; the plan is
+        re-derived from the mutated scope set."""
+        if user not in self._preferences:
+            raise KeyError(user)
+        shard = self._owning_shard(user)
+        self._shards[shard].call("remove_user", user)
+        del self._preferences[user]
+        if not self.policy.shared:
+            del self._owner[user]
+            return
+        record = self._user_record.pop(user)
+        # Mirror the shard: membership shrinks, the stored virtual is
+        # kept (a sound, conservative sieve — DESIGN.md §11), so the
+        # scope's placement never moves on removal.
+        cluster = record.cluster.without_user(user)
+        if cluster is None:
+            self._records.remove(record)
+        else:
+            record.cluster = cluster
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, thread pool).
+
+        Idempotent; the façade is unusable afterwards.  ``serial`` and
+        ``threads`` monitors work without ever calling it; the
+        ``processes`` executor also cleans up via GC finalizers, but an
+        explicit close (or the context-manager form) is prompter.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedMonitor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

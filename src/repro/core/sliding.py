@@ -585,12 +585,33 @@ class FilterThenVerifySW(SlidingMonitorBase):
                 [state.cluster for state in self._states], preference, h,
                 measure)
         if index is None:
-            state = _SlidingClusterState(
-                Cluster({user: preference}, preference), self, self.stats)
-            self._replay_window_into_state(state)
-            self._states.append(state)
-            self._user_state[user] = state
-            return
+            self.open_singleton(user, preference)
+        else:
+            self.join_cluster(index, user, preference,
+                              theta1=theta1, theta2=theta2)
+
+    def open_singleton(self, user: UserId,
+                       preference: Preference) -> None:
+        """Open a singleton cluster for *user*, replaying the alive
+        window (see :meth:`FilterThenVerify.open_singleton` for why
+        this targeted arm of :meth:`add_user` is public)."""
+        if user in self._user_state:
+            raise ValueError(f"user {user!r} already registered")
+        state = _SlidingClusterState(
+            Cluster({user: preference}, preference), self, self.stats)
+        self._replay_window_into_state(state)
+        self._states.append(state)
+        self._user_state[user] = state
+
+    def join_cluster(self, index: int, user: UserId,
+                     preference: Preference, *,
+                     theta1: float | None = None,
+                     theta2: float | None = None) -> None:
+        """Join *user* to the cluster at *index*, rebuilding exactly
+        that cluster from the alive window under the updated virtual —
+        the targeted arm of :meth:`add_user`."""
+        if user in self._user_state:
+            raise ValueError(f"user {user!r} already registered")
         old = self._states[index]
         cluster = old.cluster.with_user(
             user, preference,
@@ -606,6 +627,29 @@ class FilterThenVerifySW(SlidingMonitorBase):
         self._states[index] = state
         for member in cluster.users:
             self._user_state[member] = state
+
+    def install_cluster(self, cluster: Cluster) -> None:
+        """Splice a prepared cluster in, replaying the alive window
+        (the windowed counterpart of
+        :meth:`FilterThenVerify.install_cluster`; the window *is* the
+        relevant history and every shard of a sharded monitor holds an
+        identical copy, so installs are exact wherever they land)."""
+        for user in cluster.users:
+            if user in self._user_state:
+                raise ValueError(f"user {user!r} already registered")
+        state = _SlidingClusterState(cluster, self, self.stats)
+        self._replay_window_into_state(state)
+        self._states.append(state)
+        for user in cluster.users:
+            self._user_state[user] = state
+
+    def retire_cluster(self, index: int) -> None:
+        """Tear down the cluster at *index* wholesale (see
+        :meth:`FilterThenVerify.retire_cluster`)."""
+        state = self._states.pop(index)
+        for user in state.cluster.users:
+            del self._user_state[user]
+        self._retire_state(state)
 
     # Shared with the append-only family: the join-time virtual rule.
     _join_virtual = FilterThenVerify._join_virtual

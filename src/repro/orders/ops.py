@@ -25,8 +25,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from functools import lru_cache
 
-from repro.core.errors import CycleError
-from repro.core.partial_order import Pair, PartialOrder, Value
+from repro.core.partial_order import PartialOrder, Value
 
 #: Hard cap for exact linear-extension counting — the memo table is
 #: indexed by down-sets, of which there can be ~2^|domain|.

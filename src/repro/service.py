@@ -55,7 +55,7 @@ restart needs no caller-side plumbing.
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping, Sequence
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 
 from repro.core.baseline import Baseline, MonitorBase
 from repro.core.clusters import Cluster, UserId
@@ -116,11 +116,33 @@ class ServicePolicy:
     track_targets: bool = False
     kernel: str = "compiled"
     memo: bool = True
+    #: Shard count for the sharded ingest plane (DESIGN.md §12).  With
+    #: ``workers=1`` (the default) builds return the classic serial
+    #: monitors; with more, a :class:`~repro.core.shard.ShardedMonitor`
+    #: partitions the scope set deterministically and drives it through
+    #: *executor* with byte-identical notifications, frontiers and
+    #: buffers.
+    workers: int = 1
+    #: ``"serial"`` (the reference), ``"threads"`` or ``"processes"``.
+    executor: str = "serial"
 
     def __post_init__(self):
         if self.approximate and not self.shared:
             raise ValueError("approximate=True requires shared=True "
                              "(approximation lives in the cluster sieve)")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        from repro.core.shard import validate_executor
+
+        validate_executor(self.executor)
+
+    def base(self) -> "ServicePolicy":
+        """This policy with sharding stripped — the per-shard
+        sub-monitor recipe (and the serial reference the sharded plane
+        is differentially tested against)."""
+        if self.workers == 1 and self.executor == "serial":
+            return self
+        return replace(self, workers=1, executor="serial")
 
     def resolved_measure(self) -> str:
         """The similarity measure, defaulted per the paper: weighted
@@ -143,8 +165,16 @@ class ServicePolicy:
               schema: Sequence[str]) -> MonitorBase:
         """Build the appropriate monitor for a (possibly empty) user
         base, clustering with the Section 5 pipeline when sharing is
-        requested — the classic one-shot construction path."""
+        requested — the classic one-shot construction path.  With
+        ``workers > 1`` the result is a
+        :class:`~repro.core.shard.ShardedMonitor` over per-shard
+        monitors of the same family."""
         if not self.shared:
+            if self.workers > 1:
+                from repro.core.shard import ShardedMonitor
+
+                return ShardedMonitor(self, schema,
+                                      preferences=dict(preferences))
             if self.window is None:
                 return Baseline(preferences, schema, self.track_targets,
                                 self.kernel, self.memo)
@@ -171,6 +201,10 @@ class ServicePolicy:
         exact cluster assignment instead of re-clustering."""
         if not self.shared:
             raise ReproError("cluster construction requires shared=True")
+        if self.workers > 1:
+            from repro.core.shard import ShardedMonitor
+
+            return ShardedMonitor(self, schema, clusters=list(clusters))
         if self.window is None:
             factory = (FilterThenVerifyApprox if self.approximate
                        else FilterThenVerify)
@@ -198,12 +232,14 @@ class MonitorService:
                  theta1: float = DEFAULT_THETA1,
                  theta2: float = DEFAULT_THETA2,
                  track_targets: bool = False, kernel: str = "compiled",
-                 memo: bool = True):
+                 memo: bool = True, workers: int = 1,
+                 executor: str = "serial"):
         if policy is None:
             policy = ServicePolicy(
                 shared=shared, approximate=approximate, window=window,
                 h=h, measure=measure, theta1=theta1, theta2=theta2,
-                track_targets=track_targets, kernel=kernel, memo=memo)
+                track_targets=track_targets, kernel=kernel, memo=memo,
+                workers=workers, executor=executor)
         self.policy = policy
         self.schema: Schema = tuple(schema)
         self._monitor = policy.build({}, self.schema)
@@ -393,6 +429,24 @@ class MonitorService:
         return notifications
 
     # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor resources held by a sharded monitor
+        (worker processes, thread pools).  A no-op for serial policies;
+        idempotent everywhere.  The context-manager form calls it."""
+        close = getattr(self._monitor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "MonitorService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Persistence (format v2, self-contained)
     # ------------------------------------------------------------------
 
@@ -425,6 +479,9 @@ class MonitorService:
         assignment instead of re-running incremental placement."""
         if self._preferences or self._monitor.stats.objects:
             raise ReproError("_adopt requires a fresh service")
+        close = getattr(self._monitor, "close", None)
+        if close is not None:
+            close()
         if clusters is not None:
             self._monitor = self.policy.build_from_clusters(clusters,
                                                             self.schema)

@@ -160,6 +160,27 @@ def churn_scripts(draw, max_ops: int = 10, max_users: int = 4,
 
 
 @st.composite
+def sharded_churn_scripts(draw, min_workers: int = 2,
+                          max_workers: int = 4, max_ops: int = 10,
+                          max_users: int = 4, domains=None):
+    """A (workers, churn script) pair for the sharded ingest plane.
+
+    The script is a :func:`churn_scripts` draw; *workers* varies the
+    shard count so equivalence tests cover plans where scopes spread
+    across several shards and plans where hash collisions fold them
+    together.  Used to pin two contracts of ``repro.core.shard``:
+    serial-equivalence of a sharded :class:`~repro.service.
+    MonitorService` under churn, and plan re-partitioning (every scope
+    owned by exactly one shard after any subscribe/unsubscribe
+    sequence).
+    """
+    workers = draw(st.integers(min_workers, max_workers))
+    script = draw(churn_scripts(max_ops=max_ops, max_users=max_users,
+                                domains=domains))
+    return workers, script
+
+
+@st.composite
 def object_streams(draw, min_objects: int = 0, max_objects: int = 30,
                    domains=None, extra_values: int = 0):
     """A stream of object rows over the shared test domains.

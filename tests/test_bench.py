@@ -209,7 +209,30 @@ class TestExperiments:
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "fig11", "tab11", "tab12", "abl-sim", "abl-theta",
             "abl-users", "abl-batch", "abl-buffer", "perf",
-            "perf-batch", "perf-steady", "perf-churn"}
+            "perf-batch", "perf-steady", "perf-churn", "perf-shard"}
+
+    def test_shard_perf_snapshot_smoke(self, tmp_path):
+        path = tmp_path / "BENCH_shard.json"
+        snapshot = runner.shard_perf_snapshot(
+            kinds=("baseline",), shard_counts=(2,),
+            executors=("threads",), batch_size=64, length=256,
+            path=str(path))
+        assert path.exists()
+        # The header keeps numbers comparable across machines.
+        assert snapshot["executor"] == "serial"
+        assert snapshot["workers"] == 1
+        assert snapshot["cpus"] >= 1
+        serial = snapshot["runs"]["baseline/serial"]
+        sharded = snapshot["runs"]["baseline/threads-2"]
+        # Sharding is an execution-plan decision: identical answers
+        # and identical total comparisons, wall clock the only axis
+        # allowed to move.
+        assert sharded["delivered"] == serial["delivered"]
+        assert sharded["comparisons"] == serial["comparisons"]
+        assert sharded["comparisons_match_serial"] is True
+        assert len(sharded["shard_comparisons"]) == 2
+        assert sum(sharded["shard_comparisons"]) \
+            == serial["comparisons"]
 
     def test_churn_perf_snapshot_smoke(self, tmp_path):
         path = tmp_path / "BENCH_churn.json"

@@ -160,8 +160,8 @@ class TestMonitor:
 
     def test_baseline_and_ftv_agree_on_notifications(self, scenario_file):
         def notifications(output):
-            line = [l for l in output.splitlines()
-                    if "notifications" in l][-1]
+            line = [text for text in output.splitlines()
+                    if "notifications" in text][-1]
             return line.split("notifications")[0].rsplit(",", 1)[-1]
 
         _, baseline = run_cli("monitor", scenario_file,

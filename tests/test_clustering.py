@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 
 from repro import build_dendrogram, cluster_users
-from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.clustering.dendrogram import Merge
 from repro.data import paper_example as pe
 from tests.strategies import user_sets
 

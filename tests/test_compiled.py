@@ -20,7 +20,7 @@ from repro.core.compiled import (KERNELS, CompiledKernel, CompiledOrder,
                                  DomainCodec, InterpretedKernel,
                                  TABLE_DOMAIN_LIMIT, as_kernel,
                                  make_kernel, validate_kernel)
-from repro.core.dominance import Comparison, compare
+from repro.core.dominance import compare
 from repro.core.errors import ReproError
 from repro.core.filter_verify import FilterThenVerify, FilterThenVerifyApprox
 from repro.core.partial_order import PartialOrder

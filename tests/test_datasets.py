@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import PartialOrder, WindowError
+from repro import WindowError
 from repro.data.induction import induce_order, induce_preference
 from repro.data.movies import movie_workload
 from repro.data.publications import publication_workload

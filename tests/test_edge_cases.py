@@ -8,7 +8,6 @@ from repro import (Baseline, BaselineSW, Cluster, CycleError,
                    FilterThenVerify, FilterThenVerifySW, PartialOrder,
                    Preference, cluster_users, common_preference)
 from repro.core.errors import EmptyClusterError
-from repro.data.objects import Dataset
 
 
 class TestDegenerateMonitors:

@@ -27,9 +27,13 @@ from repro.core.ingest import IngestPipeline
 from repro.core.pareto import ParetoFrontier
 from repro.core.partial_order import PartialOrder
 from repro.core.preference import Preference
-from repro.core.sliding import ParetoBuffer, SlidingMonitorBase
+from repro.core.shard import (ShardSpec, ShardedMonitor, sieve_signature,
+                              shard_of)
+from repro.core.sliding import ParetoBuffer
 from repro.data.objects import Object
-from tests.strategies import (DOMAINS, duplicate_heavy_batches, user_sets)
+from repro.service import MonitorService, ServicePolicy
+from tests.strategies import (DOMAINS, duplicate_heavy_batches,
+                              sharded_churn_scripts, user_sets)
 from tests.test_engine import _monitor_makers
 
 SCHEMA = tuple(DOMAINS)
@@ -244,6 +248,229 @@ class TestMutationEpochs:
         assert not frontier.add(Object(2, ("b",))).is_pareto  # memo path
         frontier.discard(0)
         assert frontier.add(Object(3, ("b",))).is_pareto
+
+
+# ---------------------------------------------------------------------------
+# Sharded ingest plane (PR 5): serial-equivalence across executors
+# ---------------------------------------------------------------------------
+
+def _shard_policies(window: int | None = None) -> dict[str, ServicePolicy]:
+    """One policy per monitor family (append-only or windowed)."""
+    policies = {
+        "baseline": ServicePolicy(shared=False, window=window),
+        "ftv": ServicePolicy(shared=True, h=0.3, window=window),
+        "ftva": ServicePolicy(shared=True, approximate=True, h=0.3,
+                              theta1=50, theta2=0.4, window=window),
+    }
+    return policies
+
+
+def _fixed_users() -> dict[str, Preference]:
+    """Deterministic preferences; u0 and u3 share one (sieve dedup +
+    the plan's equal-signature co-location)."""
+    chain = Preference({
+        "color": PartialOrder.from_chain(["red", "green", "blue"]),
+        "size": PartialOrder.from_chain(["l", "m", "s"])})
+    other = Preference({
+        "color": PartialOrder.from_chain(["blue", "red"]),
+        "shape": PartialOrder.from_chain(["disc", "cube", "cone"])})
+    third = Preference({
+        "size": PartialOrder.from_chain(["xs", "s", "m", "l"])})
+    return {"u0": chain, "u1": other, "u2": third, "u3": chain}
+
+
+def _fixed_stream(length: int = 90) -> list[tuple]:
+    """A deterministic duplicate-heavy stream over the test domains."""
+    pool = [("red", "s", "disc"), ("green", "m", "cube"),
+            ("blue", "l", "cone"), ("red", "l", "cube"),
+            ("cyan", "xs", "disc"), ("green", "s", "cone")]
+    return [pool[(7 * i + i // 5) % len(pool)] for i in range(length)]
+
+
+def _assert_sharded_matches_serial(policy: ServicePolicy, workers: int,
+                                   executor: str, batch: int = 16):
+    users = _fixed_users()
+    stream = _fixed_stream()
+    serial = policy.build(dict(users), SCHEMA)
+    sharded = ServicePolicy(
+        **{**policy.to_dict(), "workers": workers,
+           "executor": executor}).build(dict(users), SCHEMA)
+    assert isinstance(sharded, ShardedMonitor)
+    try:
+        expected, got = [], []
+        for cut in range(0, len(stream), batch):
+            expected.extend(serial.push_batch(stream[cut:cut + batch]))
+            got.extend(sharded.push_batch(stream[cut:cut + batch]))
+        assert got == expected
+        for user in users:
+            assert sharded.frontier(user) == serial.frontier(user)
+            if policy.window is not None:
+                if policy.shared:
+                    assert sharded.shared_buffer(user) \
+                        == serial.shared_buffer(user)
+                else:
+                    assert sharded.buffer(user) == serial.buffer(user)
+        # Equal sieve orders are co-located, so no sieve pass splits
+        # and the shard totals sum to the serial run's counters.
+        assert sharded.stats.comparisons == serial.stats.comparisons
+        assert sharded.stats.delivered == serial.stats.delivered
+        assert sharded.stats.snapshot() == serial.stats.snapshot()
+        assert sum(s["comparisons"] for s in sharded.shard_stats()) \
+            == serial.stats.comparisons
+    finally:
+        sharded.close()
+
+
+class TestShardedExecution:
+    @pytest.mark.parametrize("window", (None, 7))
+    @pytest.mark.parametrize("executor,workers", [
+        ("serial", 2), ("serial", 4), ("threads", 2), ("threads", 4)])
+    def test_executors_match_serial_reference(self, window, executor,
+                                              workers):
+        """All six families, serial/threads executors, shard counts 2
+        and 4: notifications, frontiers, buffers and comparison counts
+        byte-identical to the serial path."""
+        for policy in _shard_policies(window).values():
+            _assert_sharded_matches_serial(policy, workers, executor)
+
+    @pytest.mark.parametrize("window", (None, 7))
+    def test_process_executor_matches_serial(self, window):
+        """The processes executor drives per-shard sub-monitors in
+        worker processes; results must not move."""
+        for policy in _shard_policies(window).values():
+            _assert_sharded_matches_serial(policy, 2, "processes",
+                                           batch=32)
+
+    def test_workers_one_builds_the_plain_family(self):
+        policy = ServicePolicy(shared=False, workers=1)
+        assert isinstance(policy.build(_fixed_users(), SCHEMA), Baseline)
+
+    def test_shard_specs_pickle(self):
+        """The processes executor ships ShardSpecs (and rows, prefs,
+        clusters) across process boundaries regardless of start
+        method: everything must pickle."""
+        import pickle
+
+        users = _fixed_users()
+        policy = ServicePolicy(shared=True, h=0.3, workers=2)
+        spec = ShardSpec(policy.base(), SCHEMA,
+                         preferences=tuple(users.items()))
+        rebuilt = pickle.loads(pickle.dumps(spec))
+        assert rebuilt.policy == policy.base()
+        assert rebuilt.preferences == tuple(users.items())
+
+    def test_signature_stability_and_colocation(self):
+        users = _fixed_users()
+        sig0 = sieve_signature(users["u0"], SCHEMA)
+        assert sig0 == sieve_signature(users["u3"], SCHEMA)
+        assert sig0 != sieve_signature(users["u1"], SCHEMA)
+        for workers in (1, 2, 3, 8):
+            assert shard_of(sig0, workers) in range(workers)
+        monitor = ServicePolicy(shared=False, workers=3).build(
+            users, SCHEMA)
+        plan = monitor.plan
+        assert plan.assignment["u0"] == plan.assignment["u3"]
+        monitor.close()
+
+
+def _drive_churn(service: MonitorService, script) -> list[tuple]:
+    events = []
+    for op, arg, pref in script:
+        if op == "subscribe":
+            service.subscribe(arg, pref)
+        elif op == "unsubscribe":
+            service.unsubscribe(arg)
+        elif op == "update":
+            service.update_preference(arg, pref)
+        else:
+            events.extend((e.user, e.oid, e.values)
+                          for e in service.feed(arg))
+    return events
+
+
+class TestShardedChurn:
+    @settings(max_examples=25, deadline=None)
+    @given(case=sharded_churn_scripts(),
+           kind=st.sampled_from(("baseline", "ftv", "ftva")),
+           window=st.sampled_from((None, 4)),
+           executor=st.sampled_from(("serial", "threads")))
+    def test_sharded_service_equals_serial_under_churn(self, case, kind,
+                                                       window, executor):
+        """A sharded MonitorService driven through an arbitrary churn
+        script must deliver, store and count exactly like the serial
+        service — the plan re-partitions live while subscriptions
+        churn."""
+        workers, script = case
+        base = _shard_policies(window)[kind]
+        serial = MonitorService(SCHEMA, policy=base)
+        sharded = MonitorService(SCHEMA, policy=ServicePolicy(
+            **{**base.to_dict(), "workers": workers,
+               "executor": executor}))
+        try:
+            assert _drive_churn(sharded, script) \
+                == _drive_churn(serial, script)
+            assert set(sharded.users) == set(serial.users)
+            for user in serial.users:
+                assert sharded.frontier(user) == serial.frontier(user)
+            assert sharded.stats.comparisons == serial.stats.comparisons
+        finally:
+            sharded.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=sharded_churn_scripts(),
+           shared=st.booleans(), window=st.sampled_from((None, 4)))
+    def test_plan_repartitions_after_churn(self, case, shared, window):
+        """After every lifecycle op the plan is a true partition of the
+        live scope set: no orphaned scopes, none doubly owned, every
+        shard index in range — and per-user scopes with equal sieve
+        orders stay co-located."""
+        workers, script = case
+        kind = "ftv" if shared else "baseline"
+        policy = ServicePolicy(**{
+            **_shard_policies(window)[kind].to_dict(),
+            "workers": workers})
+        service = MonitorService(SCHEMA, policy=policy)
+        try:
+            for op, arg, pref in script:
+                if op == "subscribe":
+                    service.subscribe(arg, pref)
+                elif op == "unsubscribe":
+                    service.unsubscribe(arg)
+                elif op == "update":
+                    service.update_preference(arg, pref)
+                else:
+                    service.feed(arg)
+                plan = service.monitor.plan
+                users = set(service.users)
+                assert set(plan.assignment.values()) \
+                    <= set(range(workers))
+                if shared:
+                    owned = [user for scope in plan.assignment
+                             for user in scope]
+                    assert sorted(owned) == sorted(users)
+                    # Joins re-home drifted virtuals, so equal sieve
+                    # orders stay co-located through any churn.
+                    placements = {}
+                    for record in service.monitor._records:
+                        signature = sieve_signature(
+                            record.cluster.virtual, SCHEMA)
+                        placements.setdefault(signature, set()).add(
+                            record.shard)
+                    assert all(len(shards) == 1
+                               for shards in placements.values())
+                else:
+                    assert set(plan.assignment) == users
+                    signatures = {
+                        user: sieve_signature(
+                            service.preferences[user], SCHEMA)
+                        for user in users}
+                    for a in users:
+                        for b in users:
+                            if signatures[a] == signatures[b]:
+                                assert plan.assignment[a] \
+                                    == plan.assignment[b]
+        finally:
+            service.close()
 
 
 # ---------------------------------------------------------------------------

@@ -8,7 +8,7 @@ import json
 import pytest
 from hypothesis import given
 
-from repro import Dataset, PartialOrder, Preference
+from repro import PartialOrder
 from repro import io as rio
 from repro.data import paper_example as pe
 from tests.strategies import datasets, partial_orders, preferences

@@ -6,7 +6,6 @@ import math
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.core.errors import CycleError
 from repro.core.partial_order import PartialOrder

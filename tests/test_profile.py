@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data.profile import (AttributeProfile, WorkloadProfile,
-                                format_profile, profile_workload)
+from repro.data.profile import (WorkloadProfile, format_profile,
+                                profile_workload)
 from repro.data.retail import retail_workload
 from repro.data.synthetic import Workload
 from repro.data.objects import Dataset

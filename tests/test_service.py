@@ -21,7 +21,6 @@ from repro import (Cluster, FilterThenVerifySW, MonitorService,
                    Notification, Preference)
 from repro.core.partial_order import PartialOrder
 from repro.data.objects import Object
-from repro.service import ServicePolicy
 from repro.state import FORMAT_VERSION, restore, restore_service
 from tests.strategies import DOMAINS, churn_scripts
 

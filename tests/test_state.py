@@ -167,3 +167,41 @@ class TestValidationAndFiles:
                            load_snapshot(buffer))
         assert frontiers(restored, workload.preferences) == frontiers(
             original, workload.preferences)
+
+
+class TestShardedServiceSnapshots:
+    """A sharded service must save/load like a serial one: the policy
+    (including workers/executor) travels in the snapshot, and the
+    restored service rebuilds its shard plan and continues
+    identically."""
+
+    @pytest.mark.parametrize("window", (None, 24))
+    def test_sharded_service_round_trip(self, workload, window, tmp_path):
+        from repro.core.shard import ShardedMonitor
+        from repro.service import MonitorService, ServicePolicy
+
+        policy = ServicePolicy(shared=True, h=0.3, window=window,
+                               workers=2, executor="threads")
+        service = MonitorService(workload.schema, policy=policy)
+        for user, pref in workload.preferences.items():
+            service.subscribe(user, pref)
+        head = [tuple(o.values) for o in workload.dataset.objects[:80]]
+        tail = [tuple(o.values) for o in workload.dataset.objects[80:120]]
+        service.feed(head)
+        path = str(tmp_path / "sharded.json")
+        service.save(path)
+
+        restored = MonitorService.load(path)
+        try:
+            assert restored.policy == policy
+            assert isinstance(restored.monitor, ShardedMonitor)
+            users = [str(user) for user in workload.preferences]
+            for user in users:
+                assert restored.frontier_ids(user) \
+                    == service.frontier_ids(user)
+            after = [(e.user, e.oid) for e in service.feed(tail)]
+            assert [(e.user, e.oid)
+                    for e in restored.feed(tail)] == after
+        finally:
+            restored.close()
+            service.close()
