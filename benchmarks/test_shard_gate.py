@@ -37,13 +37,14 @@ def _stream(workload):
     return list(replay(hot, GATE_OBJECTS))
 
 
-def _policy(kind, workers=1, executor="serial"):
+def _policy(kind, workers=1, executor="serial", kernel="compiled"):
     return ServicePolicy(
         shared=kind != "baseline",
         approximate=kind == "ftva",
         h=PAPER_H,
         workers=workers,
         executor=executor,
+        kernel=kernel,
     )
 
 
@@ -79,6 +80,35 @@ def test_sharded_dispatch_matches_serial(movies, kind, workers):
         for user in workload.preferences:
             assert sharded.frontier_ids(user) == serial.frontier_ids(user)
         assert sharded.stats.comparisons == serial.stats.comparisons
+        assert sharded.stats.delivered == serial.stats.delivered
+    finally:
+        sharded.close()
+
+
+@pytest.mark.parametrize("kind", ("baseline", "ftv"))
+def test_sharded_vector_kernel_matches_serial_compiled(movies, kind):
+    """The vector kernel under the sharded plane: a threads executor at
+    2 shards with ``kernel="vector"`` must deliver notifications and
+    frontiers byte-identical to the *serial compiled* reference.  The
+    comparison totals are compared within the vector kernel only (its
+    rows*members vector-equivalent count is deterministic, so sharded
+    must still equal serial vector — but not compiled)."""
+    workload, dendrogram = movies
+    stream = _stream(workload)
+
+    serial = _build(_policy(kind), workload, dendrogram)
+    expected = _feed(serial, stream)
+
+    vector = _build(_policy(kind, kernel="vector"), workload, dendrogram)
+    assert _feed(vector, stream) == expected
+
+    sharded_policy = _policy(kind, 2, "threads", kernel="vector")
+    sharded = _build(sharded_policy, workload, dendrogram)
+    try:
+        assert _feed(sharded, stream) == expected
+        for user in workload.preferences:
+            assert sharded.frontier_ids(user) == serial.frontier_ids(user)
+        assert sharded.stats.comparisons == vector.stats.comparisons
         assert sharded.stats.delivered == serial.stats.delivered
     finally:
         sharded.close()

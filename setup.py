@@ -1,11 +1,23 @@
-"""Setup shim.
+"""Setup shim carrying the runtime metadata.
 
-The canonical metadata lives in pyproject.toml.  This file exists so that
-``pip install -e . --no-build-isolation`` (or ``python setup.py develop``)
-works on offline environments whose setuptools predates wheel-less
-editable installs.
+No pyproject.toml ships with this repository, so the install metadata —
+in particular the runtime ``numpy>=1.26`` requirement used by the vector
+dominance kernel (``repro.core.vector``), the workload generators
+(``repro.orders.generators``) and the latency profiler
+(``repro.metrics.latency``) — is declared here.  ``pip install -e .
+--no-build-isolation`` (or ``python setup.py develop``) keeps working on
+offline environments whose setuptools predates wheel-less editable
+installs.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    description="Continuous Pareto-frontier monitoring (EDBT 2018 "
+                "reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy>=1.26"],
+)

@@ -36,6 +36,7 @@ from repro.core.clusters import Cluster
 from repro.core.compiled import (KERNELS, CompiledKernel, CompiledOrder,
                                  DomainCodec, InterpretedKernel,
                                  OrderRegistry)
+from repro.core.vector import ColumnBlock, VectorKernel
 from repro.core.dominance import Comparison, compare, dominates
 from repro.core.explain import (AttributeVerdict, Explanation,
                                 attribute_breakdown, explain,
@@ -76,6 +77,7 @@ __all__ = [
     "Baseline",
     "BaselineSW",
     "Cluster",
+    "ColumnBlock",
     "Comparison",
     "CompiledKernel",
     "CompiledOrder",
@@ -120,6 +122,7 @@ __all__ = [
     "TargetRegistry",
     "ThresholdError",
     "UnknownAttributeError",
+    "VectorKernel",
     "WindowError",
     "approximate_order",
     "approximate_preference",

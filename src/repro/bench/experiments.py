@@ -455,10 +455,16 @@ def perf_kernels() -> ExperimentResult:
         for run in snapshot["runs"].values()
     ]
     speedups = snapshot["speedup_compiled_over_interpreted"]
+    vector_speedups = snapshot["speedup_vector_over_compiled"]
     notes = ("speedup (compiled over interpreted): "
              + ", ".join(f"{kind} {factor}x"
                          for kind, factor in speedups.items())
-             + "; snapshot written to BENCH_pr1.json")
+             + "; (vector over compiled): "
+             + ", ".join(f"{kind} {factor}x"
+                         for kind, factor in vector_speedups.items())
+             + " — the corpus push keeps frontiers small, the vector "
+               "kernel's regime is perf-vector; snapshot written to "
+               "BENCH_pr1.json")
     return ExperimentResult(
         "perf",
         "Dominance-kernel throughput (movie workload)",
@@ -522,6 +528,43 @@ def perf_steady() -> ExperimentResult:
         "Cross-batch verdict memo vs the sieve alone (movie stream)",
         ("monitor", "memo", "W", "objects", "obj/s", "cmp", "cmp/off",
          "delivered"),
+        rows, notes=notes)
+
+
+def perf_vector() -> ExperimentResult:
+    """Vector vs compiled kernel across scenario shapes (BENCH_pr7.json)."""
+    from repro.bench.runner import vector_perf_snapshot
+
+    snapshot = vector_perf_snapshot()
+    rows = []
+    for run in snapshot["runs"].values():
+        pair = f'{run["scenario"]}/{run["kind"]}'
+        rows.append((run["scenario"], run["kind"], run["kernel"],
+                     run["objects"], run["objects_per_s"],
+                     run["comparisons"],
+                     snapshot["speedup_vector_over_compiled"].get(
+                         pair, "-"),
+                     "yes" if snapshot["notifications_identical"][pair]
+                     else "NO"))
+    identical = all(snapshot["notifications_identical"].values())
+    best = max(snapshot["speedup_vector_over_compiled"].items(),
+               key=lambda item: item[1])
+    notes = ("Same streams, fresh monitors per kernel; notifications "
+             "must be byte-identical (identical column).  perf keeps "
+             "frontiers tiny (fixed numpy dispatch, no win expected), "
+             "perf-batch is the duplicate-heavy sieve shape, "
+             "perf-steady-w* is the paper-faithful full-corpus windowed "
+             "replay where one gather+reduce replaces a window-scale "
+             f"scan loop — best {best[0]} at {best[1]}x.  cmp counts "
+             "differ by design: the vector kernel charges the "
+             "rows*members vector-equivalent (DESIGN.md).  "
+             f"all notifications identical: {identical}.  Snapshot "
+             "written to BENCH_pr7.json")
+    return ExperimentResult(
+        "perf-vector",
+        "Vector dominance kernel vs compiled (movie workloads)",
+        ("scenario", "monitor", "kernel", "objects", "obj/s", "cmp",
+         "vec/compiled", "identical"),
         rows, notes=notes)
 
 
@@ -606,4 +649,5 @@ EXPERIMENTS = {
     "perf-steady": perf_steady,
     "perf-churn": perf_churn,
     "perf-shard": perf_shard,
+    "perf-vector": perf_vector,
 }

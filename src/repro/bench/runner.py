@@ -22,6 +22,7 @@ from typing import Callable
 from repro.clustering.dendrogram import Dendrogram
 from repro.clustering.hierarchical import build_dendrogram, cluster_users
 from repro.core.baseline import Baseline
+from repro.core.compiled import KERNELS
 from repro.core.clusters import Cluster
 from repro.core.filter_verify import FilterThenVerify, FilterThenVerifyApprox
 from repro.core.sliding import (BaselineSW, FilterThenVerifyApproxSW,
@@ -257,7 +258,7 @@ def replayed_stream(workload: Workload, length: int) -> list:
 
 def kernel_perf_snapshot(dataset: str = "movies",
                          kinds=("baseline", "ftv"),
-                         kernels=("interpreted", "compiled"),
+                         kernels=tuple(reversed(KERNELS)),
                          objects: int | None = None,
                          users: int | None = None,
                          path: str | None = "BENCH_pr1.json") -> dict:
@@ -292,12 +293,17 @@ def kernel_perf_snapshot(dataset: str = "movies",
                 "delivered": run.delivered,
             }
     speedups = {}
+    vector_speedups = {}
     for kind in kinds:
         interp = runs.get(f"{kind}/interpreted")
         compiled = runs.get(f"{kind}/compiled")
+        vector = runs.get(f"{kind}/vector")
         if interp and compiled and compiled["elapsed_s"]:
             speedups[kind] = round(
                 interp["elapsed_s"] / compiled["elapsed_s"], 2)
+        if vector and compiled and vector["elapsed_s"]:
+            vector_speedups[kind] = round(
+                compiled["elapsed_s"] / vector["elapsed_s"], 2)
     snapshot = {
         "benchmark": "kernel_perf_snapshot",
         "dataset": dataset,
@@ -306,6 +312,7 @@ def kernel_perf_snapshot(dataset: str = "movies",
         **bench_header(),
         "runs": runs,
         "speedup_compiled_over_interpreted": speedups,
+        "speedup_vector_over_compiled": vector_speedups,
     }
     if path:
         with open(path, "w", encoding="utf-8") as handle:
@@ -486,6 +493,145 @@ def steady_perf_snapshot(dataset: str = "movies",
         "users": len(workload.preferences),
         **bench_header(),
         "runs": runs,
+    }
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=1)
+            handle.write("\n")
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Vector-kernel snapshots (BENCH_pr7.json)
+# ---------------------------------------------------------------------------
+
+def vector_perf_snapshot(dataset: str = "movies",
+                         kinds=("baseline", "ftv"),
+                         length: int | None = None,
+                         windows=(800, 1600),
+                         batch_size: int = 512,
+                         path: str | None = "BENCH_pr7.json") -> dict:
+    """Vector vs compiled kernel across the three perf scenario shapes.
+
+    Every run pair pushes the *same* stream through fresh monitors under
+    ``kernel="compiled"`` and ``kernel="vector"`` and asserts the
+    delivered per-arrival notification lists are identical — the
+    byte-identity contract the vector kernel ships under.  Three
+    scenario families bound the kernel from both sides:
+
+    * ``perf`` — the distinct-object corpus pushed sequentially
+      (:func:`kernel_perf_snapshot`'s shape).  Frontiers stay small, so
+      the block decision's fixed numpy dispatch cost has nothing to
+      amortise over: the honest no-win case.
+    * ``perf-batch`` — the duplicate-heavy hot replay under
+      ``push_batch`` with the memo off (:func:`batch_perf_snapshot`'s
+      shape at its largest batch).  The sieve's block path and short
+      compiled early exits roughly cancel.
+    * ``perf-steady`` — the paper-faithful full-corpus replay
+      (Section 8.3: window ≤ ~25% of the distinct corpus, so frontier
+      buffers actually fill) through the sliding-window monitors at
+      each window in *windows*, batched with the memo on
+      (:func:`steady_perf_snapshot`'s shape).  Scans run at window
+      scale, which is where one gather+reduce replaces hundreds of
+      generated-loop iterations — the ≥5x headline scenario.
+
+    Comparison counts are recorded per kernel but not compared: the
+    vector kernel charges the documented vector-equivalent count
+    (DESIGN.md §13), not the sequential early-exit count.
+    """
+    import json
+
+    scale = get_scale()
+    if length is None:
+        length = scale.stream_length // 2
+
+    runs: dict[str, dict] = {}
+    identical: dict[str, bool] = {}
+    speedups: dict[str, float] = {}
+
+    def run_pair(scenario: str, kind: str, build, drive) -> None:
+        notes = {}
+        for kernel in ("compiled", "vector"):
+            monitor = build(kernel)
+            started = time.perf_counter()
+            notifications = drive(monitor)
+            elapsed = time.perf_counter() - started
+            notes[kernel] = notifications
+            runs[f"{scenario}/{kind}/{kernel}"] = {
+                "scenario": scenario,
+                "kind": kind,
+                "kernel": kernel,
+                "objects": len(notifications),
+                "elapsed_s": round(elapsed, 6),
+                "objects_per_s": round(len(notifications) / elapsed, 1)
+                if elapsed else float("inf"),
+                "comparisons": monitor.stats.comparisons,
+                "delivered": monitor.stats.delivered,
+            }
+        identical[f"{scenario}/{kind}"] = \
+            notes["compiled"] == notes["vector"]
+        compiled = runs[f"{scenario}/{kind}/compiled"]
+        vector = runs[f"{scenario}/{kind}/vector"]
+        if vector["elapsed_s"]:
+            speedups[f"{scenario}/{kind}"] = round(
+                compiled["elapsed_s"] / vector["elapsed_s"], 2)
+
+    def sequential(stream):
+        def drive(monitor):
+            return [monitor.push(obj) for obj in stream]
+        return drive
+
+    def batched(stream, size):
+        def drive(monitor):
+            notifications = []
+            for cut in range(0, len(stream), size):
+                notifications.extend(
+                    monitor.push_batch(stream[cut:cut + size]))
+            return notifications
+        return drive
+
+    # perf: sequential corpus push, append-only monitors.
+    workload, dendrogram = prepared(dataset)
+    corpus = list(workload.dataset.objects)
+    for kind in kinds:
+        run_pair("perf", kind,
+                 lambda kernel, k=kind: make_monitor(
+                     k, workload, dendrogram, kernel=kernel),
+                 sequential(corpus))
+
+    # perf-batch: hot replay, largest batch size, memo off.
+    stream_workload, stream_dendrogram = prepared_stream(dataset)
+    hot = stream_workload.dataset.objects[:max(1, length // 8)]
+    hot_stream = list(replay(hot, length))
+    for kind in kinds:
+        run_pair("perf-batch", kind,
+                 lambda kernel, k=kind: make_monitor(
+                     k, stream_workload, stream_dendrogram,
+                     kernel=kernel, memo=False),
+                 batched(hot_stream, BATCH_SIZES[-1]))
+
+    # perf-steady: full-corpus replay through the windowed monitors.
+    replay_stream = list(replay(stream_workload.dataset, length))
+    for window in windows:
+        if window > len(replay_stream) // 2:
+            continue
+        for kind in kinds:
+            run_pair(f"perf-steady-w{window}", kind,
+                     lambda kernel, k=kind, w=window: make_monitor(
+                         k, stream_workload, stream_dendrogram,
+                         window=w, kernel=kernel, memo=True),
+                     batched(replay_stream, batch_size))
+
+    snapshot = {
+        "benchmark": "vector_perf_snapshot",
+        "dataset": dataset,
+        "length": length,
+        "batch_size": batch_size,
+        "windows": list(windows),
+        **bench_header(),
+        "runs": runs,
+        "notifications_identical": identical,
+        "speedup_vector_over_compiled": speedups,
     }
     if path:
         with open(path, "w", encoding="utf-8") as handle:

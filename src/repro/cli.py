@@ -28,6 +28,7 @@ import sys
 from typing import IO
 
 from repro import io as repro_io
+from repro.core.compiled import KERNELS
 from repro.core.errors import ReproError
 from repro.core.monitor import create_monitor
 from repro.viz import hasse_text
@@ -428,10 +429,11 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--h", type=float, default=0.55)
     monitor.add_argument("--theta2", type=float, default=0.5)
     monitor.add_argument(
-        "--kernel", choices=("compiled", "interpreted"),
-        default="compiled",
-        help="dominance kernel (compiled: interned values + bitset "
-             "matrices; interpreted: pure-Python reference)")
+        "--kernel", choices=KERNELS, default=KERNELS[0],
+        help=f"dominance kernel, one of {', '.join(KERNELS)} "
+             "(compiled: interned values + bitset matrices; vector: "
+             "columnar numpy block decisions; interpreted: pure-Python "
+             "reference)")
     monitor.add_argument(
         "--batch-size", type=int, default=None, metavar="N",
         help="ingest N objects per push_batch call (intra-batch sieve: "

@@ -12,8 +12,8 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.core.clusters import UserId
-from repro.core.compiled import (DomainCodec, OrderRegistry, make_kernel,
-                                 validate_kernel)
+from repro.core.compiled import (DomainCodec, OrderRegistry, kernel_class,
+                                 make_kernel, validate_kernel)
 from repro.core.errors import ReproError
 from repro.core.ingest import IngestPipeline
 from repro.core.pareto import ParetoFrontier
@@ -36,12 +36,18 @@ class MonitorBase:
     (:meth:`_dispatch_arrival`); the sliding family adds window
     bookkeeping via :meth:`_pre_arrival` / :meth:`_sieve_horizon`.
 
-    Every monitor selects a dominance kernel at construction:
-    ``kernel="compiled"`` (default) interns attribute values through a
-    monitor-wide :class:`~repro.core.compiled.DomainCodec` and runs the
-    bitset dominance matrices of :mod:`repro.core.compiled`;
-    ``kernel="interpreted"`` keeps the pure-Python reference path.  Both
-    return identical notifications, frontiers and comparison counts.
+    Every monitor selects a dominance kernel at construction (one of
+    :data:`~repro.core.compiled.KERNELS`): ``kernel="compiled"``
+    (default) interns attribute values through a monitor-wide
+    :class:`~repro.core.compiled.DomainCodec` and runs the bitset
+    dominance matrices of :mod:`repro.core.compiled`;
+    ``kernel="vector"`` shares that code space but decides whole scans
+    with numpy block ops over columnar frontiers
+    (:mod:`repro.core.vector`); ``kernel="interpreted"`` keeps the
+    pure-Python reference path.  All flavours return identical
+    notifications, frontiers and buffers; compiled and interpreted also
+    charge identical comparison counts, while the vector kernel charges
+    the documented vector-equivalent (DESIGN.md §13).
 
     ``memo`` (default True) enables the cross-batch verdict memo of
     :mod:`repro.core.pareto`: value tuples whose frontier verdict is
@@ -58,11 +64,13 @@ class MonitorBase:
         self.memo_enabled = bool(memo)
         #: Monitor-wide value interner (None under the interpreted kernel).
         self.codec: DomainCodec | None = (
-            DomainCodec(self.schema) if kernel == "compiled" else None)
+            DomainCodec(self.schema)
+            if self.kernel_name != "interpreted" else None)
         #: Monitor-wide shared-order registry: users/clusters holding
-        #: equal orders share one CompiledOrder and CompiledKernel.
+        #: equal orders share one compiled (or vector) order and kernel.
         self.registry: OrderRegistry | None = (
-            OrderRegistry(self.codec) if self.codec is not None else None)
+            OrderRegistry(self.codec, kernel_class(self.kernel_name))
+            if self.codec is not None else None)
         #: The arrival plane (coerce → encode → sieve → dispatch).
         self.ingest = IngestPipeline(self)
         #: Live C_o bookkeeping (Definition 3.4) when requested.

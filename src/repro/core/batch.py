@@ -240,7 +240,11 @@ def batch_sieve(kernel, objects: Sequence[Object], encoded: Sequence,
 
     Comparisons are charged to *counter* via the kernel's
     ``any_dominator``, so compiled and interpreted kernels report
-    identical counts.
+    identical counts.  A columnar kernel (``kernel="vector"``) instead
+    decides every tested representative in one ``tested × reps`` block
+    (:meth:`~repro.core.vector.VectorKernel.block_dominated`) and
+    charges the vector-equivalent ``rows × members`` for it — same
+    ``(skipped, leaders)``, different accounting (DESIGN.md §13).
     """
     n = len(objects)
     skipped = [False] * n
@@ -252,6 +256,9 @@ def batch_sieve(kernel, objects: Sequence[Object], encoded: Sequence,
         # Every arrival is novel: nothing to test, nothing to fold —
         # skip even the score tables and window bookkeeping.
         return skipped, leaders
+    if getattr(kernel, "columnar", False):
+        return _vector_sieve(kernel, objects, encoded, counter,
+                             skipped, leaders, multiplicity)
     score = potential_scores(kernel.orders)
     # Value tuple -> (leader index, dominated-at-first-sight?).
     rep_state: dict[tuple, tuple] = {}
@@ -288,6 +295,48 @@ def batch_sieve(kernel, objects: Sequence[Object], encoded: Sequence,
         window_objs.insert(at, obj)
         window_codes.insert(at, encoded[i])
         neg_scores.insert(at, negated)
+    return skipped, leaders
+
+
+def _vector_sieve(kernel, objects, encoded, counter, skipped, leaders,
+                  multiplicity):
+    """The sieve's columnar block path: identical ``(skipped, leaders)``
+    to the sequential walk above, decided in one verdict matrix.
+
+    The sequential walk tests each multi-copy representative against the
+    window of earlier surviving reps.  Testing against *all* earlier
+    reps instead gives the same verdict: a surviving rep is in the
+    window, and a dominated rep's own dominator is an earlier rep that
+    transitively dominates anything the dropped rep would have (the same
+    transitivity argument that keeps dominated reps out of the window).
+    The potential-prefix prune is a pure comparison saver — dominators
+    always score strictly higher — so folding it away changes no
+    verdict.  That makes the whole sieve one ``tested × reps`` block per
+    distinct order tuple, charged at the vector-equivalent
+    ``rows × members`` rate (DESIGN.md §13).
+    """
+    rep_position: dict[tuple, int] = {}
+    rep_first: list[int] = []
+    rep_codes: list = []
+    tested: list[int] = []
+    for i, obj in enumerate(objects):
+        if obj.values not in rep_position:
+            rep_position[obj.values] = len(rep_first)
+            if multiplicity[obj.values] > 1:
+                tested.append(len(rep_first))
+            rep_first.append(i)
+            rep_codes.append(encoded[i])
+    verdicts, charged = kernel.block_dominated(rep_codes, tested)
+    counter.bump(charged)
+    rep_dominated = [False] * len(rep_first)
+    for position, dominated in zip(tested, verdicts):
+        rep_dominated[position] = dominated
+    for i, obj in enumerate(objects):
+        position = rep_position[obj.values]
+        if rep_dominated[position]:
+            skipped[i] = True
+        elif i != rep_first[position]:
+            leaders[i] = rep_first[position]
     return skipped, leaders
 
 

@@ -47,9 +47,14 @@ classify it as equal to itself and incomparable to everything else —
 exactly what :meth:`PartialOrder.prefers` would conclude.
 
 :class:`InterpretedKernel` wraps the original pure-Python path behind the
-same interface; every monitor accepts ``kernel="compiled"`` (default) or
-``kernel="interpreted"`` and the two are differentially tested to return
-identical notification sets, frontiers and comparison counts.
+same interface, and :mod:`repro.core.vector` layers a columnar numpy
+flavour on top of the compiled code space; every monitor accepts
+``kernel="compiled"`` (default), ``kernel="vector"`` or
+``kernel="interpreted"`` — see :data:`KERNELS` — and the flavours are
+differentially tested to return identical notification sets, frontiers
+and buffers (compiled and interpreted additionally charge identical
+comparison counts; the vector kernel charges a documented
+vector-equivalent, DESIGN.md §13).
 """
 
 from __future__ import annotations
@@ -62,8 +67,14 @@ from repro.core.errors import ReproError, SchemaMismatchError
 from repro.core.partial_order import PartialOrder
 from repro.data.objects import Object, Schema, Value
 
-#: Selectable kernel implementations, in preference order.
-KERNELS = ("compiled", "interpreted")
+#: Selectable kernel implementations, in preference order.  Every
+#: user-facing kernel enumeration (CLI choices, policy validation,
+#: docstrings rendered at runtime) derives from this tuple so a new
+#: kernel cannot drift out of any surface.  ``"vector"`` is the columnar
+#: numpy flavour of :mod:`repro.core.vector`; it shares the compiled
+#: kernel's code space and returns byte-identical results with
+#: vector-equivalent comparison accounting (DESIGN.md §13).
+KERNELS = ("compiled", "vector", "interpreted")
 
 #: Above this many interned values per attribute the O(m²) outcome table
 #: is not built and the generated scans probe the bitmask rows directly
@@ -83,6 +94,29 @@ def validate_kernel(kernel: str) -> str:
         raise ReproError(
             f"unknown kernel {kernel!r}; choose from {', '.join(KERNELS)}")
     return kernel
+
+
+def kernel_class(kernel: str):
+    """The implementation class behind a kernel name.
+
+    ``"vector"`` is imported lazily so the base kernels never require
+    numpy; a missing numpy surfaces as a :class:`ReproError` naming the
+    declared requirement rather than an ImportError from deep inside
+    monitor construction.
+    """
+    name = validate_kernel(kernel)
+    if name == "interpreted":
+        return InterpretedKernel
+    if name == "vector":
+        try:
+            from repro.core.vector import VectorKernel
+        except ImportError as error:
+            raise ReproError(
+                'kernel="vector" needs numpy>=1.26 (declared in '
+                "install_requires); install it or choose another kernel "
+                f"from {', '.join(KERNELS)}") from error
+        return VectorKernel
+    return CompiledKernel
 
 
 class DomainCodec:
@@ -292,10 +326,17 @@ class OrderRegistry:
     """
 
     __slots__ = ("codec", "_orders", "_kernels", "orders_requested",
-                 "kernels_requested", "_kernel_refs", "_order_refs")
+                 "kernels_requested", "_kernel_refs", "_order_refs",
+                 "_kernel_cls")
 
-    def __init__(self, codec: DomainCodec):
+    def __init__(self, codec: DomainCodec, kernel_cls: type | None = None):
         self.codec = codec
+        #: Kernel flavour this registry hands out — CompiledKernel or a
+        #: subclass (the vector kernel).  One registry serves one
+        #: monitor, and a monitor runs a single kernel flavour, so the
+        #: class is fixed at construction.
+        self._kernel_cls = CompiledKernel if kernel_cls is None \
+            else kernel_cls
         self._orders: dict[tuple, CompiledOrder] = {}
         self._kernels: dict[tuple, "CompiledKernel"] = {}
         #: Demand counters: requested − unique = orders/kernels deduped.
@@ -333,7 +374,7 @@ class OrderRegistry:
         key = tuple(orders)
         existing = self._kernels.get(key)
         if existing is None:
-            existing = CompiledKernel(orders, self.codec, registry=self)
+            existing = self._kernel_cls(orders, self.codec, registry=self)
             self._kernels[key] = existing
         else:
             for index, order in enumerate(orders):
@@ -511,6 +552,15 @@ class CompiledKernel:
                  "_scan_add_fn", "_any_dominator_fn",
                  "_dominated_indices_fn")
 
+    #: Whether containers should keep a columnar mirror of their member
+    #: codes for this kernel (True only for the vector subclass).
+    columnar = False
+
+    def new_columns(self):
+        """Columnar member mirror for containers; None for kernels that
+        scan the plain code tuples."""
+        return None
+
     def __init__(self, orders: Sequence[PartialOrder], codec: DomainCodec,
                  registry: OrderRegistry | None = None):
         self.codec = codec
@@ -598,13 +648,16 @@ class CompiledKernel:
     # their Counter in one bump and counts stay identical to the
     # interpreted path.
 
-    def scan_add(self, obj: Object, codes, members, member_codes):
+    def scan_add(self, obj: Object, codes, members, member_codes,
+                 columns=None):
         """Algorithm 1's insert scan: returns
         ``(is_pareto, evicted_reads, scan_end, scanned)``.
 
         ``evicted_reads`` are indices of members dominated by *obj*;
         ``scan_end`` is where the scan stopped (exclusive), so survivors
-        are the non-evicted prefix plus the unscanned tail.
+        are the non-evicted prefix plus the unscanned tail.  *columns*
+        is the container's columnar mirror — unused here, consumed by
+        the vector subclass.
         """
         if codes is None:
             codes = self.codec.encode(obj.values)
@@ -614,7 +667,8 @@ class CompiledKernel:
                                  self._capacities, self._betters,
                                  self._worses)
 
-    def any_dominator(self, obj: Object, codes, members, member_codes):
+    def any_dominator(self, obj: Object, codes, members, member_codes,
+                      columns=None):
         """``(dominated?, scanned)``: does any member dominate *obj*?"""
         if codes is None:
             codes = self.codec.encode(obj.values)
@@ -624,15 +678,17 @@ class CompiledKernel:
                                       self._capacities, self._betters,
                                       self._worses)
 
-    def dominated_indices(self, obj: Object, codes, members, member_codes):
-        """``(indices, scanned)``: members that *obj* dominates."""
+    def dominated_indices(self, obj: Object, codes, members, member_codes,
+                          columns=None, start: int = 0):
+        """``(indices, scanned)``: members past *start* that *obj*
+        dominates, as offsets relative to *start*."""
         if codes is None:
             codes = self.codec.encode(obj.values)
         if self._version != self.codec.version:
             self._refresh()
         return self._dominated_indices_fn(
-            codes, member_codes, self._tables, self._capacities,
-            self._betters, self._worses)
+            codes, member_codes[start:] if start else member_codes,
+            self._tables, self._capacities, self._betters, self._worses)
 
     def __repr__(self) -> str:
         domains = tuple(self.codec.size(i)
@@ -652,6 +708,10 @@ class InterpretedKernel:
     __slots__ = ("orders", "memo")
 
     codec = None
+    columnar = False
+
+    def new_columns(self):
+        return None
 
     def __init__(self, orders: Sequence[PartialOrder]):
         self.orders = tuple(orders)
@@ -668,7 +728,8 @@ class InterpretedKernel:
                 ) -> Comparison:
         return compare(self.orders, a, b)
 
-    def scan_add(self, obj: Object, codes, members, member_codes):
+    def scan_add(self, obj: Object, codes, members, member_codes,
+                 columns=None):
         orders = self.orders
         evicted: list[int] = []
         scan_end = len(members)
@@ -688,7 +749,8 @@ class InterpretedKernel:
                 break
         return is_pareto, evicted, scan_end, scanned
 
-    def any_dominator(self, obj: Object, codes, members, member_codes):
+    def any_dominator(self, obj: Object, codes, members, member_codes,
+                      columns=None):
         orders = self.orders
         scanned = 0
         for member in members:
@@ -697,8 +759,11 @@ class InterpretedKernel:
                 return True, scanned
         return False, scanned
 
-    def dominated_indices(self, obj: Object, codes, members, member_codes):
+    def dominated_indices(self, obj: Object, codes, members, member_codes,
+                          columns=None, start: int = 0):
         orders = self.orders
+        if start:
+            members = members[start:]
         indices = [read for read, member in enumerate(members)
                    if compare(orders, obj, member)
                    is Comparison.A_DOMINATES]
@@ -725,13 +790,17 @@ def make_kernel(kernel: str, orders: Sequence[PartialOrder],
                 registry: OrderRegistry | None = None):
     """Build the requested kernel flavour over schema-aligned orders.
 
-    With an :class:`OrderRegistry`, compiled kernels (and their compiled
-    orders) are deduped across callers holding equal orders.
+    With an :class:`OrderRegistry`, compiled-family kernels (and their
+    compiled orders) are deduped across callers holding equal orders;
+    the registry hands out its own flavour, which monitors construct to
+    match their configured kernel.
     """
-    if validate_kernel(kernel) == "compiled":
-        if codec is None:
-            raise ReproError("compiled kernels need a shared DomainCodec")
-        if registry is not None:
-            return registry.kernel(orders)
-        return CompiledKernel(orders, codec)
-    return InterpretedKernel(orders)
+    cls = kernel_class(kernel)
+    if cls is InterpretedKernel:
+        return InterpretedKernel(orders)
+    if codec is None:
+        raise ReproError(
+            f"{kernel!r} kernels need a shared DomainCodec")
+    if registry is not None:
+        return registry.kernel(orders)
+    return cls(orders, codec)

@@ -64,13 +64,17 @@ def create_monitor(preferences: Mapping[UserId, Preference],
     track_targets:
         maintain live ``C_o`` sets queryable via ``monitor.targets_of``.
     kernel:
-        dominance kernel: ``"compiled"`` (default, value interning +
-        bitset dominance matrices — see :mod:`repro.core.compiled`) or
-        ``"interpreted"`` (the pure-Python reference path).  Compiled
-        monitors dedupe equal orders through a shared
-        :class:`~repro.core.compiled.OrderRegistry`, so duplicated
-        preferences cost O(1) amortised compiled state; their
-        ``push_batch`` runs the intra-batch sieve of
+        dominance kernel, one of :data:`~repro.core.compiled.KERNELS`:
+        ``"compiled"`` (default, value interning + bitset dominance
+        matrices — see :mod:`repro.core.compiled`), ``"vector"`` (the
+        same code space decided by numpy block ops over columnar
+        frontiers — see :mod:`repro.core.vector`; byte-identical
+        results, vector-equivalent comparison accounting per
+        DESIGN.md §13) or ``"interpreted"`` (the pure-Python reference
+        path).  Compiled-family monitors dedupe equal orders through a
+        shared :class:`~repro.core.compiled.OrderRegistry`, so
+        duplicated preferences cost O(1) amortised compiled state;
+        their ``push_batch`` runs the intra-batch sieve of
         :mod:`repro.core.batch`, cutting comparisons (not just
         overhead) on duplicate-heavy streams while returning per-row
         results identical to sequential ``push``.

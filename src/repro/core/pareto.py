@@ -80,6 +80,27 @@ _STAMPS = count(1)
 #: target — stay far below the limit.
 MEMO_LIMIT = 1 << 16
 
+#: Removal batches at or below this size compact the parallel member
+#: lists with ``del`` (a C-level memmove per index) instead of a full
+#: list rebuild; almost every eviction/expiry batch is far below it.
+_SMALL_DELETE = 32
+
+
+def drop_sorted(members: list, codes: list, indices) -> None:
+    """Remove *indices* (ascending) from the parallel lists in place.
+
+    The common case — a handful of removals from a long list — is a few
+    reversed ``del`` statements; only large batches pay for a rebuild.
+    """
+    if len(indices) <= _SMALL_DELETE:
+        for i in reversed(indices):
+            del members[i]
+            del codes[i]
+        return
+    gone = set(indices)
+    members[:] = [m for i, m in enumerate(members) if i not in gone]
+    codes[:] = [c for i, c in enumerate(codes) if i not in gone]
+
 
 class EpochTracked:
     """Mutation-epoch bookkeeping shared by frontier and buffer.
@@ -92,11 +113,27 @@ class EpochTracked:
     the two key spaces memoise identically).
     """
 
-    __slots__ = ("_keycounts", "_epoch")
+    __slots__ = ("_keycounts", "_epoch", "_columns", "_dup_oids")
 
     def _init_epoch(self) -> None:
         self._keycounts: dict = {}
         self._epoch = next(_STAMPS)
+        #: Columnar mirror of ``_codes`` (``repro.core.vector``), kept in
+        #: lockstep by every mutation; None for non-columnar kernels.
+        self._columns = None
+        #: True once any member was admitted while another member already
+        #: carried its oid (a caller pushing the same Object instance
+        #: twice).  Until then — always, in practice — removal by oid can
+        #: stop at the first match.
+        self._dup_oids = False
+
+    def _note_admitted_oid(self, oid: int) -> None:
+        """Track *oid* in ``_ids``, remembering duplicate admissions."""
+        ids = self._ids
+        if oid in ids:
+            self._dup_oids = True
+        else:
+            ids.add(oid)
 
     @property
     def epoch(self) -> int:
@@ -140,18 +177,28 @@ class EpochTracked:
             self._epoch = next(_STAMPS)
 
     def _compact_remove(self, oid: int) -> None:
-        """Drop the member carrying *oid*, maintaining keys and epoch."""
+        """Drop the member(s) carrying *oid*, maintaining keys and epoch."""
         members = self._members
-        keep = []
-        removed_keys = []
+        first = -1
         for i, member in enumerate(members):
-            if member.oid != oid:
-                keep.append(i)
-            else:
-                removed_keys.append(self._key_at(i))
-        self._note_removals(removed_keys)
-        members[:] = [members[i] for i in keep]
-        self._codes[:] = [self._codes[i] for i in keep]
+            if member.oid == oid:
+                first = i
+                break
+        if first < 0:
+            return
+        if not self._dup_oids:
+            self._note_removals((self._key_at(first),))
+            del members[first]
+            del self._codes[first]
+            if self._columns is not None:
+                self._columns.delete((first,))
+            return
+        removed = [i for i in range(first, len(members))
+                   if members[i].oid == oid]
+        self._note_removals([self._key_at(i) for i in removed])
+        drop_sorted(members, self._codes, removed)
+        if self._columns is not None:
+            self._columns.delete(removed)
 
 
 class ParetoFrontier(EpochTracked):
@@ -187,6 +234,7 @@ class ParetoFrontier(EpochTracked):
         self._uid = next(_STAMPS)
         self._memo = bool(memo)
         self._init_epoch()
+        self._columns = self._kernel.new_columns()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -260,8 +308,10 @@ class ParetoFrontier(EpochTracked):
         """Append an accepted object, maintaining keys and epoch."""
         self._members.append(obj)
         self._codes.append(codes)
+        if self._columns is not None:
+            self._columns.append(codes)
         self._note_insert(key)
-        self._ids.add(obj.oid)
+        self._note_admitted_oid(obj.oid)
         if self._registry is not None:
             self._registry.insert(self._owner, obj.oid)
 
@@ -298,7 +348,7 @@ class ParetoFrontier(EpochTracked):
         members = self._members
         member_codes = self._codes
         is_pareto, evicted_reads, scan_end, scanned = kernel.scan_add(
-            obj, codes, members, member_codes)
+            obj, codes, members, member_codes, self._columns)
         self._counter.bump(scanned)
         if not evicted_reads:
             if is_pareto:
@@ -310,14 +360,9 @@ class ParetoFrontier(EpochTracked):
             evicted = tuple(members[read] for read in evicted_reads)
             self._note_removals([self._key_at(read)
                                  for read in evicted_reads])
-            gone = set(evicted_reads)
-            # Compact: keep survivors scanned so far plus the unscanned
-            # tail.
-            members[:] = [m for i, m in enumerate(members[:scan_end])
-                          if i not in gone] + members[scan_end:]
-            member_codes[:] = [c for i, c in
-                               enumerate(member_codes[:scan_end])
-                               if i not in gone] + member_codes[scan_end:]
+            drop_sorted(members, member_codes, evicted_reads)
+            if self._columns is not None:
+                self._columns.delete(evicted_reads)
             self._ids.difference_update(o.oid for o in evicted)
             if self._registry is not None:
                 for victim in evicted:
@@ -343,7 +388,7 @@ class ParetoFrontier(EpochTracked):
             if verdict is not None:
                 return not verdict
         found, scanned = self._kernel.any_dominator(
-            obj, codes, self._members, self._codes)
+            obj, codes, self._members, self._codes, self._columns)
         self._counter.bump(scanned)
         return found
 
@@ -387,16 +432,15 @@ class ParetoFrontier(EpochTracked):
         """
         members = self._members
         doomed, scanned = self._kernel.dominated_indices(
-            obj, codes, members, self._codes)
+            obj, codes, members, self._codes, self._columns)
         self._counter.bump(scanned)
         if not doomed:
             return ()
         self._note_removals([self._key_at(i) for i in doomed])
-        gone = set(doomed)
         evicted = tuple(members[i] for i in doomed)
-        members[:] = [m for i, m in enumerate(members) if i not in gone]
-        self._codes[:] = [c for i, c in enumerate(self._codes)
-                          if i not in gone]
+        drop_sorted(members, self._codes, doomed)
+        if self._columns is not None:
+            self._columns.delete(doomed)
         self._ids.difference_update(o.oid for o in evicted)
         if self._registry is not None:
             for victim in evicted:
@@ -415,7 +459,10 @@ class ParetoFrontier(EpochTracked):
                 self._registry.remove(self._owner, oid)
         self._members.clear()
         self._codes.clear()
+        if self._columns is not None:
+            self._columns.clear()
         self._ids.clear()
+        self._dup_oids = False
         if self._keycounts:
             self._keycounts.clear()
             self._epoch = next(_STAMPS)

@@ -36,7 +36,7 @@ from repro.core.clusters import Cluster, UserId, best_matching_cluster
 from repro.core.compiled import as_kernel
 from repro.core.filter_verify import FilterThenVerify
 from repro.core.errors import WindowError
-from repro.core.pareto import EpochTracked
+from repro.core.pareto import EpochTracked, drop_sorted
 from repro.core.preference import Preference
 from repro.data.objects import Object
 from repro.metrics.counters import Counter
@@ -82,6 +82,7 @@ class ParetoBuffer(EpochTracked):
         #: structural change).
         self._mend_memo: dict = {}
         self._init_epoch()
+        self._columns = self._kernel.new_columns()
 
     @property
     def members(self) -> list[Object]:
@@ -143,28 +144,25 @@ class ParetoBuffer(EpochTracked):
         members = self._members
         member_codes = self._codes
         start = self._anchor(key, codes)
+        doomed, scanned = kernel.dominated_indices(
+            obj, codes, members, member_codes, self._columns, start)
         if start:
-            doomed, scanned = kernel.dominated_indices(
-                obj, codes, members[start:], member_codes[start:])
             doomed = [start + index for index in doomed]
-        else:
-            doomed, scanned = kernel.dominated_indices(
-                obj, codes, members, member_codes)
         self._counter.bump(scanned)
         expelled: tuple[Object, ...] = ()
         if doomed:
             self._note_removals([self._key_at(i) for i in doomed])
-            gone = set(doomed)
             expelled = tuple(members[i] for i in doomed)
-            members[:] = [m for i, m in enumerate(members)
-                          if i not in gone]
-            member_codes[:] = [c for i, c in enumerate(member_codes)
-                               if i not in gone]
+            drop_sorted(members, member_codes, doomed)
+            if self._columns is not None:
+                self._columns.delete(doomed)
             self._ids.difference_update(o.oid for o in expelled)
         members.append(obj)
         member_codes.append(codes)
+        if self._columns is not None:
+            self._columns.append(codes)
         self._note_insert(key)
-        self._ids.add(obj.oid)
+        self._note_admitted_oid(obj.oid)
         if self._mend_memo:
             self._mend_memo.clear()
         return expelled
@@ -204,7 +202,7 @@ class ParetoBuffer(EpochTracked):
             if cached is not None:
                 return cached
         indices, scanned = kernel.dominated_indices(
-            obj, codes, self._members, self._codes)
+            obj, codes, self._members, self._codes, self._columns)
         counter.bump(scanned)
         if memo_key is not None:
             self._mend_memo[memo_key] = indices

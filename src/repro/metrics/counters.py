@@ -5,6 +5,20 @@ of pairwise object comparisons each algorithm performs.  To measure — not
 estimate — that quantity, every dominance test in the library routes
 through a :class:`Counter`.  Counters are deliberately tiny mutable boxes;
 sharing one between data structures aggregates their work.
+
+Vector-equivalent accounting (DESIGN.md §13)
+--------------------------------------------
+
+Under ``kernel="compiled"`` and ``kernel="interpreted"`` every scan
+charges exactly the pairs a sequential walk classifies, early exits
+included, so the two report identical counts.  ``kernel="vector"``
+decides a whole scan (or a whole batch-sieve block) as one array
+operation with no early exit; it charges the **vector-equivalent**
+count — ``rows × members`` per block — through the same
+:meth:`Counter.bump`.  Notifications, frontiers and buffers stay
+byte-identical across all three kernels; only this accounting differs,
+and it remains deterministic (equal streams charge equal counts), so
+serial/sharded differential checks still hold within a kernel.
 """
 
 from __future__ import annotations

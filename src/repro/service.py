@@ -114,6 +114,12 @@ class ServicePolicy:
     theta1: float = DEFAULT_THETA1
     theta2: float = DEFAULT_THETA2
     track_targets: bool = False
+    #: Dominance kernel, one of :data:`~repro.core.compiled.KERNELS`
+    #: ("compiled", "vector", "interpreted"): the interned bitset-matrix
+    #: scans, their columnar numpy block flavour, or the pure-Python
+    #: reference.  All return byte-identical notifications, frontiers
+    #: and buffers; the vector kernel charges vector-equivalent
+    #: comparison counts (DESIGN.md §13).
     kernel: str = "compiled"
     memo: bool = True
     #: Shard count for the sharded ingest plane (DESIGN.md §12).  With
@@ -132,8 +138,10 @@ class ServicePolicy:
                              "(approximation lives in the cluster sieve)")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        from repro.core.compiled import validate_kernel
         from repro.core.shard import validate_executor
 
+        validate_kernel(self.kernel)
         validate_executor(self.executor)
 
     def base(self) -> "ServicePolicy":

@@ -209,7 +209,8 @@ class TestExperiments:
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "fig11", "tab11", "tab12", "abl-sim", "abl-theta",
             "abl-users", "abl-batch", "abl-buffer", "perf",
-            "perf-batch", "perf-steady", "perf-churn", "perf-shard"}
+            "perf-batch", "perf-steady", "perf-churn", "perf-shard",
+            "perf-vector"}
 
     def test_shard_perf_snapshot_smoke(self, tmp_path):
         path = tmp_path / "BENCH_shard.json"
@@ -267,3 +268,26 @@ class TestExperiments:
             # after the first is pure repetition).
             assert on["comparisons"] < off["comparisons"]
             assert on["comparisons_vs_memo_off"] < 1.0
+
+    def test_vector_perf_snapshot_smoke(self, tmp_path):
+        path = tmp_path / "BENCH_vector.json"
+        snapshot = runner.vector_perf_snapshot(
+            kinds=("baseline",), length=320, windows=(32,),
+            batch_size=64, path=str(path))
+        assert path.exists()
+        runs = snapshot["runs"]
+        assert set(runs) == {
+            f"{scenario}/baseline/{kernel}"
+            for scenario in ("perf", "perf-batch", "perf-steady-w32")
+            for kernel in ("compiled", "vector")}
+        # The byte-identity contract, pair by pair (speedups are
+        # hardware-bound and not asserted at smoke scale).
+        assert all(snapshot["notifications_identical"].values())
+        for scenario in ("perf", "perf-batch", "perf-steady-w32"):
+            compiled = runs[f"{scenario}/baseline/compiled"]
+            vector = runs[f"{scenario}/baseline/vector"]
+            assert vector["delivered"] == compiled["delivered"]
+            assert vector["objects"] == compiled["objects"]
+        assert set(snapshot["speedup_vector_over_compiled"]) == {
+            "perf/baseline", "perf-batch/baseline",
+            "perf-steady-w32/baseline"}

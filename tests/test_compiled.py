@@ -328,12 +328,19 @@ class TestPerfSnapshot:
                                         path=str(path))
         assert path.exists()
         runs = snapshot["runs"]
-        assert set(runs) == {"baseline/interpreted", "baseline/compiled",
-                             "ftv/interpreted", "ftv/compiled"}
+        assert set(runs) == {f"{kind}/{kernel}"
+                             for kind in ("baseline", "ftv")
+                             for kernel in KERNELS}
         for kind in ("baseline", "ftv"):
             assert runs[f"{kind}/interpreted"]["comparisons"] \
                 == runs[f"{kind}/compiled"]["comparisons"]
             assert runs[f"{kind}/interpreted"]["delivered"] \
                 == runs[f"{kind}/compiled"]["delivered"]
+            # The vector kernel charges the rows*members equivalent, so
+            # only the delivered answers are cross-kernel comparable.
+            assert runs[f"{kind}/vector"]["delivered"] \
+                == runs[f"{kind}/compiled"]["delivered"]
         assert set(snapshot["speedup_compiled_over_interpreted"]) \
+            == {"baseline", "ftv"}
+        assert set(snapshot["speedup_vector_over_compiled"]) \
             == {"baseline", "ftv"}

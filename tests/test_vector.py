@@ -1,0 +1,305 @@
+"""The vector dominance kernel (repro.core.vector).
+
+The contract under test (DESIGN.md §13): for any preferences, any
+stream (duplicates, unknown values, expiries, mends, churn) and any of
+the six monitor families, ``kernel="vector"`` produces notifications,
+frontiers and buffers *identical* to the compiled and interpreted
+paths.  Comparison counts are exempt by design — the vector kernel
+charges the rows×members vector-equivalent of each blocked decision —
+so the differentials below compare everything except ``comparisons``.
+Unit tests pin down the ``ColumnBlock`` mirror (growth, deletion,
+member-view identity) and the kernel's scan-position semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseline import Baseline
+from repro.core.clusters import Cluster
+from repro.core.compiled import (KERNELS, CompiledKernel, DomainCodec,
+                                 make_kernel, validate_kernel)
+from repro.core.errors import ReproError
+from repro.core.filter_verify import FilterThenVerify, FilterThenVerifyApprox
+from repro.core.partial_order import PartialOrder
+from repro.core.preference import Preference
+from repro.core.sliding import (BaselineSW, FilterThenVerifyApproxSW,
+                                FilterThenVerifySW)
+from repro.core.vector import ColumnBlock, VectorKernel
+from repro.data.objects import Object
+from repro.service import MonitorService, ServicePolicy
+from tests.strategies import (DOMAINS, churn_scripts,
+                              duplicate_heavy_batches,
+                              duplicate_heavy_streams, object_streams,
+                              preferences, user_sets)
+
+SCHEMA = tuple(DOMAINS)
+
+
+# ---------------------------------------------------------------------------
+# ColumnBlock: the columnar mirror
+# ---------------------------------------------------------------------------
+
+class TestColumnBlock:
+    def test_append_grows_capacity_by_doubling(self):
+        block = ColumnBlock(2)
+        start = block.capacity
+        for i in range(start + 1):
+            block.append((i, i * 2))
+        assert block.capacity >= start * 2
+        assert block.length == start + 1
+        assert block.view()[0, start] == start
+        assert block.view()[1, start] == start * 2
+
+    def test_view_matches_appended_codes(self):
+        block = ColumnBlock(3)
+        rows = [(1, 2, 3), (4, 5, 6), (7, 8, 9)]
+        for row in rows:
+            block.append(row)
+        assert block.view().T.tolist() == [list(row) for row in rows]
+
+    def test_delete_small_and_large_paths_match_reference(self):
+        rng = np.random.default_rng(7)
+        for trial in range(50):
+            rows = [tuple(map(int, rng.integers(0, 9, size=2)))
+                    for _ in range(rng.integers(1, 40))]
+            block = ColumnBlock(2)
+            for row in rows:
+                block.append(row)
+            count = int(rng.integers(0, len(rows) + 1))
+            doomed = sorted(map(int, rng.choice(
+                len(rows), size=count, replace=False)))
+            block.delete(doomed)
+            survivors = [row for i, row in enumerate(rows)
+                         if i not in set(doomed)]
+            assert block.length == len(survivors)
+            assert block.view().T.tolist() \
+                == [list(row) for row in survivors]
+
+    def test_clear_resets_length_not_capacity(self):
+        block = ColumnBlock(1)
+        for i in range(20):
+            block.append((i,))
+        capacity = block.capacity
+        block.clear()
+        assert block.length == 0
+        assert block.capacity == capacity
+
+
+# ---------------------------------------------------------------------------
+# Kernel seam: registration, plumbing, scan semantics
+# ---------------------------------------------------------------------------
+
+class TestVectorPlumbing:
+    def test_vector_is_a_selectable_kernel(self):
+        assert "vector" in KERNELS
+        assert validate_kernel("vector") == "vector"
+        with pytest.raises(ReproError):
+            make_kernel("vector", (), None)  # codec required
+
+    def test_vector_kernel_is_columnar(self):
+        assert VectorKernel.columnar is True
+        assert CompiledKernel.columnar is False
+
+    def test_monitor_maintains_column_mirror(self):
+        users = {"u": Preference(
+            {"color": PartialOrder.from_chain(["red", "green", "blue"])})}
+        monitor = Baseline(users, SCHEMA, kernel="vector")
+        for row in [("blue", "xs", "disc"), ("green", "s", "cube"),
+                    ("red", "m", "cone"), ("green", "s", "cube")]:
+            monitor.push(row)
+        frontier = monitor._frontiers["u"]
+        columns = frontier._columns
+        assert columns.length == len(frontier.members)
+        assert columns.view().T.tolist() \
+            == [list(codes) for codes in frontier.member_codes]
+
+    def test_compiled_monitor_skips_column_mirror(self):
+        users = {"u": Preference(
+            {"color": PartialOrder.from_chain(["red", "green"])})}
+        monitor = Baseline(users, SCHEMA)
+        monitor.push(("red", "xs", "disc"))
+        assert monitor._frontiers["u"]._columns is None
+
+    @given(prefs=preferences(),
+           rows=object_streams(min_objects=1, max_objects=20,
+                               extra_values=1))
+    def test_scan_add_matches_compiled_scan(self, prefs, rows):
+        """Position-exact differential on the raw kernel seam: the
+        vector scan must reproduce the sequential scan's verdict,
+        eviction set and early-exit position, not just the verdict."""
+        orders = prefs.aligned(SCHEMA)
+        codec = DomainCodec.for_preferences(SCHEMA, [prefs])
+        compiled = CompiledKernel(orders, codec)
+        vector = VectorKernel(orders, codec)
+        members: list[Object] = []
+        member_codes: list[tuple] = []
+        columns = vector.new_columns()
+        for i, row in enumerate(rows):
+            obj = Object(i, row)
+            codes = codec.encode(row)
+            expected = compiled.scan_add(obj, codes, members,
+                                         member_codes)
+            got = vector.scan_add(obj, codes, members, member_codes,
+                                  columns=columns)
+            assert got[:3] == expected[:3]
+            is_pareto, evicted, _, _ = expected
+            if evicted:
+                for index in reversed(evicted):
+                    del members[index]
+                    del member_codes[index]
+                columns.delete(evicted)
+            if is_pareto:
+                members.append(obj)
+                member_codes.append(codes)
+                columns.append(codes)
+
+
+# ---------------------------------------------------------------------------
+# Monitor-level three-way differentials: all six families
+# ---------------------------------------------------------------------------
+
+def _drive_three_ways(build, users, rows, batch=False):
+    """Drive one monitor per kernel; answers must be identical."""
+    monitors = {kernel: build(kernel) for kernel in KERNELS}
+    stream = [Object(i, row) for i, row in enumerate(rows)]
+    results = {}
+    for kernel, monitor in monitors.items():
+        if batch:
+            results[kernel] = monitor.push_batch(list(stream))
+        else:
+            results[kernel] = [monitor.push(obj) for obj in stream]
+    assert results["vector"] == results["compiled"] \
+        == results["interpreted"]
+    for user in users:
+        assert monitors["vector"].frontier(user) \
+            == monitors["compiled"].frontier(user)
+        assert monitors["vector"].frontier_ids(user) \
+            == monitors["interpreted"].frontier_ids(user)
+    assert monitors["vector"].stats.delivered \
+        == monitors["compiled"].stats.delivered
+    return monitors
+
+
+class TestSixFamilyDifferential:
+    @given(users=user_sets(max_users=3),
+           rows=object_streams(max_objects=20, extra_values=1))
+    def test_baseline(self, users, rows):
+        _drive_three_ways(
+            lambda k: Baseline(users, SCHEMA, kernel=k), users, rows)
+
+    @given(users=user_sets(max_users=3),
+           rows=duplicate_heavy_streams(max_objects=24))
+    def test_filter_then_verify(self, users, rows):
+        clusters = [Cluster.exact(users)]
+        _drive_three_ways(
+            lambda k: FilterThenVerify(clusters, SCHEMA, kernel=k),
+            users, rows)
+
+    @given(users=user_sets(min_users=2, max_users=4),
+           rows=object_streams(max_objects=16, extra_values=1))
+    def test_filter_then_verify_approx(self, users, rows):
+        clusters = [Cluster.approximate(users, theta1=50, theta2=0.4)]
+        _drive_three_ways(
+            lambda k: FilterThenVerifyApprox(clusters, SCHEMA, kernel=k),
+            users, rows)
+
+    @settings(max_examples=30)
+    @given(users=user_sets(max_users=3),
+           rows=duplicate_heavy_streams(min_objects=1, max_objects=30),
+           window=st.integers(1, 8))
+    def test_baseline_sliding_window(self, users, rows, window):
+        """Expiry and mend coverage: tiny windows over duplicate-heavy
+        streams exercise `_compact_remove` and buffer mends every few
+        arrivals, including the duplicate-oid slow path."""
+        _drive_three_ways(
+            lambda k: BaselineSW(users, SCHEMA, window, kernel=k),
+            users, rows)
+
+    @settings(max_examples=30)
+    @given(users=user_sets(max_users=3),
+           rows=duplicate_heavy_streams(min_objects=1, max_objects=30),
+           window=st.integers(1, 8))
+    def test_filter_then_verify_sliding_window(self, users, rows, window):
+        clusters = [Cluster.exact(users)]
+        _drive_three_ways(
+            lambda k: FilterThenVerifySW(clusters, SCHEMA, window,
+                                         kernel=k),
+            users, rows)
+
+    @settings(max_examples=20)
+    @given(users=user_sets(min_users=2, max_users=4),
+           rows=duplicate_heavy_streams(min_objects=1, max_objects=24),
+           window=st.integers(2, 8))
+    def test_filter_then_verify_approx_sliding_window(self, users, rows,
+                                                      window):
+        clusters = [Cluster.approximate(users, theta1=50, theta2=0.4)]
+        _drive_three_ways(
+            lambda k: FilterThenVerifyApproxSW(clusters, SCHEMA, window,
+                                               kernel=k),
+            users, rows)
+
+    @settings(max_examples=30)
+    @given(users=user_sets(max_users=3),
+           batches=duplicate_heavy_batches(),
+           window=st.integers(2, 8))
+    def test_batched_ingest_across_windows(self, users, batches, window):
+        """push_batch across expiring windows: the sieve's vector block
+        path plus the memo must stay three-way identical."""
+        monitors = {
+            kernel: BaselineSW(users, SCHEMA, window, kernel=kernel)
+            for kernel in KERNELS
+        }
+        for batch in batches:
+            results = {
+                kernel: monitor.push_batch(list(batch))
+                for kernel, monitor in monitors.items()
+            }
+            assert results["vector"] == results["compiled"] \
+                == results["interpreted"]
+        for user in users:
+            assert monitors["vector"].frontier(user) \
+                == monitors["compiled"].frontier(user)
+
+
+# ---------------------------------------------------------------------------
+# Service-level churn differential
+# ---------------------------------------------------------------------------
+
+class TestServiceChurnDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(script=churn_scripts())
+    def test_churn_script_is_kernel_independent(self, script):
+        """Subscribe/update/unsubscribe/feed scripts through a
+        MonitorService per kernel: every delivery batch and every
+        surviving frontier must match."""
+        services = {
+            kernel: MonitorService(
+                SCHEMA, policy=ServicePolicy(shared=True, h=0.55,
+                                             kernel=kernel))
+            for kernel in KERNELS
+        }
+        for op, payload, extra in script:
+            results = {}
+            for kernel, service in services.items():
+                if op == "subscribe":
+                    service.subscribe(payload, extra)
+                elif op == "unsubscribe":
+                    service.unsubscribe(payload)
+                elif op == "update":
+                    service.update_preference(payload, extra)
+                else:
+                    results[kernel] = service.feed(list(payload))
+            if results:
+                assert results["vector"] == results["compiled"] \
+                    == results["interpreted"]
+        frontiers = {
+            kernel: {user: service.frontier_ids(user)
+                     for user in service.users}
+            for kernel, service in services.items()
+        }
+        assert frontiers["vector"] == frontiers["compiled"] \
+            == frontiers["interpreted"]
