@@ -1,9 +1,9 @@
-"""The PR 5 regression gate: sharded dispatch must equal serial.
+"""The sharded-plane regression gates: dispatch, wire format, rebalance.
 
 Comparison counts and notification sets are deterministic, so these
-assertions are CI-stable (no wall-clock noise).  Two halves of the
-serial-equivalence contract (DESIGN.md §12) are gated on a fixed
-hot-object replay of the movie workload:
+assertions are CI-stable (no wall-clock noise).  The serial-equivalence
+contract (DESIGN.md §12) and the wire plane riding it (§14) are gated
+on a fixed hot-object replay of the movie workload:
 
 * **whole-monitor equivalence** — a sharded monitor (threads executor,
   2 and 4 shards) must deliver byte-identical per-row notification
@@ -13,23 +13,41 @@ hot-object replay of the movie workload:
 * **per-shard equivalence** — each shard's counters must equal an
   unsharded monitor built over exactly that shard's scopes and fed the
   same batches: a shard is a serial monitor over its scope subset, not
-  an approximation of one.
+  an approximation of one.  Wire-plane keys are stripped first: a
+  frame-fed shard legitimately charges zero encode passes where a
+  self-feeding reference charges one per batch;
+* **wire format** — the processes executor ships compact code-row
+  frames, encodes exactly once per batch regardless of shard count,
+  and puts at most 0.2x the bytes of the PR 5 pickled-object-list
+  protocol on the pipes;
+* **rebalance** — forced splits and merges mid-replay move signature
+  groups between shards with zero effect on notifications, frontiers
+  or comparison totals, and the plan stays a co-located partition.
 
 For wall-clock numbers (which need real cores to move), run
-``python -m repro.bench perf-shard`` — snapshot in ``BENCH_pr5.json``.
+``python -m repro.bench perf-shard`` (``BENCH_pr5.json``); for
+bytes-per-row and encode-pass numbers, ``python -m repro.bench
+perf-wire`` (``BENCH_pr8.json``).
 """
 
 from __future__ import annotations
+
+import pickle
 
 import pytest
 
 from repro.bench.runner import PAPER_H, clusters_at
 from repro.data.stream import replay
+from repro.metrics.counters import WIRE_KEYS
 from repro.service import ServicePolicy
 
 GATE_DISTINCT = 48
 GATE_OBJECTS = 480
 GATE_BATCH = 96
+
+#: The wire frame must cost at most this fraction of the pickled
+#: object-list protocol it replaced, per batch sent.
+WIRE_RATIO_CEILING = 0.2
 
 
 def _stream(workload):
@@ -135,6 +153,15 @@ def _cluster_references(workload, plan, clusters):
     ]
 
 
+def _strip_wire(snapshot):
+    """Drop wire-plane keys before comparing against a self-feeding
+    reference: a frame-fed shard charges zero encode passes by design
+    (DESIGN.md §14), while the reference pays one per batch."""
+    return {
+        key: value for key, value in snapshot.items() if key not in WIRE_KEYS
+    }
+
+
 @pytest.mark.parametrize("kind", ("baseline", "ftv"))
 def test_per_shard_counts_match_scope_subset_serial(movies, kind):
     """Each shard's counters equal a serial monitor over exactly that
@@ -152,7 +179,114 @@ def test_per_shard_counts_match_scope_subset_serial(movies, kind):
             references = _cluster_references(workload, plan, sharded.clusters)
         for reference in references:
             _feed(reference, stream)
-        expected = [reference.stats.snapshot() for reference in references]
-        assert sharded.shard_stats() == expected
+        expected = [
+            _strip_wire(reference.stats.snapshot())
+            for reference in references
+        ]
+        got = [_strip_wire(snapshot) for snapshot in sharded.shard_stats()]
+        assert got == expected
+    finally:
+        sharded.close()
+
+
+@pytest.mark.parametrize(
+    "kind,workers", [("baseline", 2), ("ftv", 2), ("ftv", 4)]
+)
+def test_wire_frames_replace_pickled_batches(movies, kind, workers):
+    """The processes executor ships compact code-row frames: encode
+    runs exactly once per batch for any shard count (zero shard-side
+    passes), results match serial, and the bytes per batch on the pipes
+    are at most :data:`WIRE_RATIO_CEILING` of the pickled object-list
+    protocol the frames replaced."""
+    workload, dendrogram = movies
+    stream = _stream(workload)
+
+    serial = _build(_policy(kind), workload, dendrogram)
+    expected = _feed(serial, stream)
+
+    sharded = _build(_policy(kind, workers, "processes"), workload, dendrogram)
+    try:
+        assert _feed(sharded, stream) == expected
+        wire_stats = sharded.wire_stats()
+        batches = -(-len(stream) // GATE_BATCH)
+        assert wire_stats["encode_passes"] == batches
+        assert all(
+            snapshot["encode_passes"] == 0
+            for snapshot in sharded.shard_stats()
+        )
+        # The PR 5 protocol: one pickled ("push_batch", objects) per
+        # shard per batch.  The frames (including codec deltas) must
+        # undercut it by at least 5x, measured on the same stream.
+        coerced = [serial.ingest.coerce(row) for row in stream]
+        pickled = workers * sum(
+            len(
+                pickle.dumps(
+                    ("push_batch", coerced[cut : cut + GATE_BATCH]),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            )
+            for cut in range(0, len(stream), GATE_BATCH)
+        )
+        assert wire_stats["wire_bytes"] <= WIRE_RATIO_CEILING * pickled
+        assert sharded.stats.comparisons == serial.stats.comparisons
+    finally:
+        sharded.close()
+
+
+def _assert_plan_invariants(monitor, workload):
+    """No orphaned scopes, none doubly owned, every shard in range, and
+    equal sieve signatures co-located on a single shard."""
+    plan = monitor.plan
+    assert set(plan.assignment.values()) <= set(range(plan.workers))
+    placements: dict[str, set[int]] = {}
+    if monitor.policy.shared:
+        owned = [user for scope in plan.assignment for user in scope]
+        assert sorted(owned) == sorted(workload.preferences)
+        for record in monitor._records:
+            placements.setdefault(record.signature, set()).add(record.shard)
+    else:
+        assert set(plan.assignment) == set(workload.preferences)
+        for user, signature in monitor._signatures.items():
+            placements.setdefault(signature, set()).add(
+                plan.assignment[user]
+            )
+    assert all(len(shards) == 1 for shards in placements.values())
+
+
+@pytest.mark.parametrize("kind", ("baseline", "ftv"))
+def test_rebalance_mid_replay_preserves_results(movies, kind):
+    """Forced split and merge mid-replay: signature groups move between
+    shards via verbatim state transfer, so notifications, frontiers and
+    comparison totals stay byte-identical to serial and the plan stays
+    a co-located partition after every move."""
+    workload, dendrogram = movies
+    stream = _stream(workload)
+
+    serial = _build(_policy(kind), workload, dendrogram)
+    expected = _feed(serial, stream)
+
+    sharded = _build(_policy(kind, 4, "threads"), workload, dendrogram)
+    try:
+        results = []
+        cuts = list(range(0, len(stream), GATE_BATCH))
+        for index, cut in enumerate(cuts):
+            results.extend(sharded.push_batch(stream[cut : cut + GATE_BATCH]))
+            if index == 1:
+                loads = sharded.plan.loads
+                busiest = max(range(4), key=lambda s: (loads[s], -s))
+                assert sharded.split_shard(busiest) >= 0
+                _assert_plan_invariants(sharded, workload)
+            elif index == 2:
+                loads = sharded.plan.loads
+                source = min(range(4), key=lambda s: (loads[s], s))
+                dest = max(range(4), key=lambda s: (loads[s], s))
+                assert sharded.merge_shards(source, dest) >= 0
+                _assert_plan_invariants(sharded, workload)
+        assert results == expected
+        for user in workload.preferences:
+            assert sharded.frontier_ids(user) == serial.frontier_ids(user)
+        assert sharded.stats.comparisons == serial.stats.comparisons
+        assert sharded.stats.delivered == serial.stats.delivered
+        _assert_plan_invariants(sharded, workload)
     finally:
         sharded.close()

@@ -628,6 +628,38 @@ def perf_shard() -> ExperimentResult:
         rows, notes=notes)
 
 
+def perf_wire() -> ExperimentResult:
+    """Encode-once wire plane: frame bytes vs the pickled protocol
+    (BENCH_pr8.json)."""
+    from repro.bench.runner import wire_perf_snapshot
+
+    snapshot = wire_perf_snapshot()
+    rows = []
+    for run in snapshot["runs"].values():
+        rows.append((run["kind"], run["executor"], run["workers"],
+                     run["batches"], run["encode_passes"],
+                     run["wire_bytes_per_row"],
+                     run.get("pickled_bytes_per_row", "-"),
+                     run.get("reduction_x", "-"),
+                     run["codec_delta_entries"]))
+    notes = ("Hot-object replay through the sharded wire plane; encode "
+             "passes must equal batches for every shard count (the "
+             "façade encodes once, shards charge zero).  bytes/row is "
+             "what the code-row frames put on the pipes; pkl/row is "
+             "the PR 5 pickled-object-list protocol on the same "
+             "stream, priced per shard per batch — the gate in CI pins "
+             "frames at ≤ 0.2x pickled, this table records the "
+             "realised reduction.  serial/threads rows ship zero "
+             "bytes: no pipes, shared codec.  Snapshot written to "
+             "BENCH_pr8.json")
+    return ExperimentResult(
+        "perf-wire",
+        "Wire frames vs pickled batches (movie stream)",
+        ("monitor", "executor", "shards", "batches", "enc", "bytes/row",
+         "pkl/row", "x", "deltas"),
+        rows, notes=notes)
+
+
 EXPERIMENTS = {
     "fig4": fig4,
     "fig5": fig5,
@@ -650,4 +682,5 @@ EXPERIMENTS = {
     "perf-churn": perf_churn,
     "perf-shard": perf_shard,
     "perf-vector": perf_vector,
+    "perf-wire": perf_wire,
 }

@@ -89,19 +89,27 @@ def get_scale() -> Scale:
     return _SCALE
 
 
-def bench_header(executor: str = "serial", workers: int = 1) -> dict:
+def bench_header(executor: str = "serial", workers: int = 1,
+                 monitor=None) -> dict:
     """The execution-environment header every BENCH json carries.
 
     Recording the executor, worker count and visible CPU count with
     every snapshot keeps the perf trajectory comparable across
     machines: a number produced by a sharded run (or on a single-core
     box, where process parallelism cannot pay) is never mistaken for a
-    serial one.
+    serial one.  The ``wire`` block carries the wire-plane counters
+    (DESIGN.md §14) — taken from *monitor* when one is passed and it
+    exposes ``wire_stats``, all-zero otherwise, so every snapshot
+    declares how many bytes its numbers put on shard pipes.
     """
+    from repro.metrics.counters import WIRE_KEYS
+
+    wire_stats = getattr(monitor, "wire_stats", None)
     return {
         "executor": executor,
         "workers": workers,
         "cpus": os.cpu_count(),
+        "wire": wire_stats() if wire_stats else dict.fromkeys(WIRE_KEYS, 0),
         "scale": asdict(get_scale()),
     }
 
@@ -868,6 +876,123 @@ def shard_perf_snapshot(dataset: str = "movies",
                     run["comparisons"] == serial["comparisons"])
     snapshot = {
         "benchmark": "shard_perf_snapshot",
+        "dataset": dataset,
+        "stream_length": len(stream),
+        "hot_objects": len(hot),
+        "batch_size": batch_size,
+        "users": len(workload.preferences),
+        **bench_header(),
+        "runs": runs,
+    }
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=1)
+            handle.write("\n")
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Wire-plane snapshots (BENCH_pr8.json)
+# ---------------------------------------------------------------------------
+
+def wire_perf_snapshot(dataset: str = "movies",
+                       kinds=("baseline", "ftv"),
+                       shard_counts=(2, 4),
+                       executors=("serial", "threads", "processes"),
+                       batch_size: int = 512,
+                       length: int | None = None,
+                       path: str | None = "BENCH_pr8.json") -> dict:
+    """Measure the encode-once wire plane on a hot-object replay.
+
+    Every (executor, shard count) run records the wire-plane counters
+    (DESIGN.md §14): encode passes (must be exactly one per batch for
+    any shard count — the façade's single coerce+encode pass), bytes
+    shipped on shard pipes, bytes per row, and codec-delta entries
+    replicated.  For the ``processes`` executor — the only one with
+    pipes to pay for — the snapshot also prices the PR 5 protocol the
+    frames replaced (one pickled ``("push_batch", objects)`` blob per
+    shard per batch, measured on the same stream) and reports the
+    reduction; the deterministic gate in
+    ``benchmarks/test_shard_gate.py`` pins that ratio at ≤ 0.2x, this
+    snapshot records the realised number.  ``serial``/``threads`` runs
+    ship zero bytes by construction — the shards share the façade's
+    codec and memory — so their rows pin the "no pipes, no bytes"
+    half of the accounting.
+    """
+    import json
+    import pickle
+
+    workload, dendrogram = prepared_stream(dataset)
+    scale = get_scale()
+    if length is None:
+        length = scale.stream_length // 2
+    hot = workload.dataset.objects[:max(1, length // 8)]
+    stream = list(replay(hot, length))
+    batches = -(-len(stream) // batch_size)
+    # The PR 5 baseline: what the pickled-object-list protocol puts on
+    # one pipe for this stream.  Coerced on a throwaway monitor so oid
+    # assignment in the measured runs is untouched.
+    reference = make_monitor(kinds[0], workload, dendrogram, memo=False)
+    coerced = [reference.ingest.coerce(row) for row in stream]
+    pickled_per_pipe = sum(
+        len(pickle.dumps(("push_batch", coerced[cut:cut + batch_size]),
+                         protocol=pickle.HIGHEST_PROTOCOL))
+        for cut in range(0, len(stream), batch_size))
+    runs: dict[str, dict] = {}
+    configs = [("serial", 1)]
+    configs += [(executor, workers) for executor in executors
+                for workers in shard_counts if workers > 1]
+    for kind in kinds:
+        for executor, workers in configs:
+            monitor = make_monitor(kind, workload, dendrogram,
+                                   memo=False, workers=workers,
+                                   executor=executor)
+            started = time.perf_counter()
+            for cut in range(0, len(stream), batch_size):
+                monitor.push_batch(stream[cut:cut + batch_size])
+            elapsed = time.perf_counter() - started
+            if workers > 1:
+                wire = monitor.wire_stats()
+                monitor.close()
+            else:
+                # The plain serial family: one encode pass per batch,
+                # nothing on any pipe — the reference accounting row.
+                wire = {
+                    "encode_passes":
+                        monitor.stats.snapshot()["encode_passes"],
+                    "wire_bytes": 0,
+                    "codec_delta_entries": 0,
+                }
+            run = {
+                "kind": kind,
+                "executor": executor,
+                "workers": workers,
+                "objects": len(stream),
+                "batches": batches,
+                "elapsed_s": round(elapsed, 6),
+                "encode_passes": wire["encode_passes"],
+                "encode_passes_per_batch": round(
+                    wire["encode_passes"] / batches, 4),
+                "wire_bytes": wire["wire_bytes"],
+                "wire_bytes_per_row": round(
+                    wire["wire_bytes"] / len(stream), 2),
+                "codec_delta_entries": wire["codec_delta_entries"],
+            }
+            if executor == "processes":
+                pickled = workers * pickled_per_pipe
+                run["pickled_baseline_bytes"] = pickled
+                run["pickled_bytes_per_row"] = round(
+                    pickled / len(stream), 2)
+                run["wire_vs_pickled"] = round(
+                    wire["wire_bytes"] / pickled, 4)
+                run["reduction_x"] = round(
+                    pickled / wire["wire_bytes"], 1) \
+                    if wire["wire_bytes"] else None
+            key = (f"{kind}/serial" if workers == 1
+                   else f"{kind}/{executor}-{workers}")
+            runs[key] = run
+    snapshot = {
+        "benchmark": "wire_perf_snapshot",
         "dataset": dataset,
         "stream_length": len(stream),
         "hot_objects": len(hot),

@@ -31,6 +31,7 @@ from repro import io as repro_io
 from repro.core.compiled import KERNELS
 from repro.core.errors import ReproError
 from repro.core.monitor import create_monitor
+from repro.core.shard import EXECUTORS
 from repro.viz import hasse_text
 
 #: generate-able scenarios: name -> (module, factory, object/user kwargs).
@@ -318,6 +319,8 @@ def cmd_monitor(args, out: IO[str]) -> int:
             for obj, targets in zip(chunk, monitor.push_batch(chunk)):
                 report(obj, targets)
     stats = monitor.stats.snapshot()
+    wire_stats = getattr(monitor, "wire_stats", None)
+    wire = wire_stats() if wire_stats is not None else None
     close = getattr(monitor, "close", None)
     if close is not None:        # sharded monitors hold executor state
         close()
@@ -327,6 +330,11 @@ def cmd_monitor(args, out: IO[str]) -> int:
           f"(filter {stats['filter_comparisons']:,} / verify "
           f"{stats['verify_comparisons']:,} / buffer "
           f"{stats['buffer_comparisons']:,})", file=out)
+    if wire is not None:
+        print(f"wire plane: {wire['encode_passes']:,} encode passes, "
+              f"{wire['wire_bytes']:,} bytes shipped, "
+              f"{wire['codec_delta_entries']:,} codec delta entries",
+              file=out)
     return 0
 
 
@@ -444,11 +452,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the scope set across N workers (sharded ingest "
              "plane; notifications are byte-identical to --workers 1)")
     monitor.add_argument(
-        "--executor", choices=("serial", "threads", "processes"),
-        default="serial",
+        "--executor", choices=EXECUTORS, default=EXECUTORS[0],
         help="execution backend for the shards (with --workers > 1): "
              "serial reference loop, one thread per shard, or one "
-             "worker process per shard")
+             "worker process per shard fed compact code-row wire "
+             "frames")
     monitor.add_argument(
         "--no-memo", action="store_true",
         help="disable the cross-batch verdict memo (identical "

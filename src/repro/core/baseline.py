@@ -62,9 +62,13 @@ class MonitorBase:
         self.stats = MonitorStats()
         self.kernel_name = validate_kernel(kernel)
         self.memo_enabled = bool(memo)
-        #: Monitor-wide value interner (None under the interpreted kernel).
+        #: Monitor-wide value interner (None under the interpreted
+        #: kernel).  ``for_monitor`` consults the ``codec_source`` seam:
+        #: shard monitors built by the wire plane adopt the façade's
+        #: master codec (or a journal-replayed replica) so every shard
+        #: speaks the same code space (DESIGN.md §14).
         self.codec: DomainCodec | None = (
-            DomainCodec(self.schema)
+            DomainCodec.for_monitor(self.schema)
             if self.kernel_name != "interpreted" else None)
         #: Monitor-wide shared-order registry: users/clusters holding
         #: equal orders share one compiled (or vector) order and kernel.
@@ -237,6 +241,31 @@ class Baseline(MonitorBase):
         self._preferences.pop(user, None)
         frontier.clear()
         self._release_kernel(frontier.kernel)
+
+    def export_user(self, user: UserId) -> tuple:
+        """Detach *user*'s scope for a verbatim shard move.
+
+        Captures the preference and the frontier's exported state
+        (members, code rows, valid memo verdicts) *before* the regular
+        teardown runs, so the pair can be re-installed elsewhere via
+        :meth:`adopt_user` with no replay and no comparisons charged —
+        the count-neutral relocation primitive behind plan rebalancing
+        (DESIGN.md §14).
+        """
+        preference = self._preferences[user]
+        state = self._frontiers[user].export_state()
+        self.remove_user(user)
+        return preference, state
+
+    def adopt_user(self, user: UserId, preference: Preference,
+                   state: tuple) -> None:
+        """Install a scope exported by :meth:`export_user` verbatim."""
+        if user in self._preferences:
+            raise ValueError(f"user {user!r} already registered")
+        frontier = self._make_frontier(preference, self.stats.filter, user)
+        frontier.adopt_state(*state)
+        self._preferences[user] = preference
+        self._frontiers[user] = frontier
 
     # -- arrival-plane strategy ------------------------------------------
 

@@ -249,6 +249,11 @@ def batch_sieve(kernel, objects: Sequence[Object], encoded: Sequence,
     n = len(objects)
     skipped = [False] * n
     leaders: list[int | None] = [None] * n
+    if n < 2:
+        # A batch of one — the façade's ``push`` path rides
+        # ``push_batch`` (DESIGN.md §14), so singletons are hot: skip
+        # even the multiplicity map, the verdicts are fixed.
+        return skipped, leaders
     multiplicity: dict[tuple, int] = {}
     for obj in objects:
         multiplicity[obj.values] = multiplicity.get(obj.values, 0) + 1

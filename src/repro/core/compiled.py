@@ -60,6 +60,7 @@ vector-equivalent, DESIGN.md §13).
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from contextlib import contextmanager
 from functools import lru_cache
 
 from repro.core.dominance import Comparison, compare
@@ -119,6 +120,33 @@ def kernel_class(kernel: str):
     return CompiledKernel
 
 
+#: Stack of codec sources installed by :func:`codec_source`; consulted
+#: by :meth:`DomainCodec.for_monitor` so a shard build can adopt the
+#: façade's master codec (or a replica replayed from its journal)
+#: instead of interning independently.
+_CODEC_SOURCE: list = []
+
+
+@contextmanager
+def codec_source(source):
+    """Install a codec source for monitors built inside the scope.
+
+    *source* is either a :class:`DomainCodec` instance — adopted as-is,
+    the in-process sharing used by the serial/threads executors — or an
+    interning journal (``codec.journal``), replayed into a fresh replica
+    whose tables, codes and version exactly equal the master's at the
+    time the journal was captured (the seed a ``processes`` shard worker
+    builds from).  Monitor construction is sequential, so a plain stack
+    suffices; the seam is consulted only by
+    :meth:`DomainCodec.for_monitor`.
+    """
+    _CODEC_SOURCE.append(source)
+    try:
+        yield
+    finally:
+        _CODEC_SOURCE.pop()
+
+
 class DomainCodec:
     """Per-attribute interning of domain values to contiguous small ints.
 
@@ -127,9 +155,18 @@ class DomainCodec:
     so encoding happens once per arrival regardless of user count.
     Unknown values are interned on first sight (:meth:`encode` never
     fails); codes are stable for the codec's lifetime.
+
+    Every interning is appended to a **journal** of ``(attribute index,
+    value)`` entries, so ``version == len(journal)`` always holds and a
+    replica codec can be kept in lockstep with a master by replaying
+    :meth:`delta_since` through :meth:`apply_delta` — codes are assigned
+    by table length, so identical journals imply identical code spaces.
+    This is the wire plane's replication protocol (DESIGN.md §14): only
+    newly seen values ever travel, and replicas never intern
+    independently.
     """
 
-    __slots__ = ("schema", "version", "_tables")
+    __slots__ = ("schema", "version", "_tables", "_journal", "_values")
 
     def __init__(self, schema: Sequence[str]):
         self.schema: Schema = tuple(schema)
@@ -138,6 +175,12 @@ class DomainCodec:
         self.version = 0
         self._tables: tuple[dict[Value, int], ...] = tuple(
             {} for _ in self.schema)
+        #: One (attribute index, value) entry per interning, in order.
+        self._journal: list[tuple[int, Value]] = []
+        #: Reverse tables: ``_values[index][code]`` is the interned
+        #: value — the decode side of the wire frames.
+        self._values: tuple[list[Value], ...] = tuple(
+            [] for _ in self.schema)
 
     @classmethod
     def for_preferences(cls, schema: Sequence[str], preferences: Iterable,
@@ -147,6 +190,29 @@ class DomainCodec:
         for preference in preferences:
             codec.intern_preference(preference)
         return codec
+
+    @classmethod
+    def for_monitor(cls, schema: Sequence[str]) -> "DomainCodec":
+        """The codec a new monitor should own.
+
+        Outside a :func:`codec_source` scope this is a fresh empty
+        codec (the historical behaviour).  Inside one, the installed
+        master codec is shared directly, or — when the source is a
+        journal — a replica is replayed from it, so shard monitors
+        always speak the façade's code space.
+        """
+        if _CODEC_SOURCE:
+            source = _CODEC_SOURCE[-1]
+            if isinstance(source, cls):
+                if source.schema != tuple(schema):
+                    raise ReproError(
+                        f"codec source schema {source.schema!r} does not "
+                        f"match monitor schema {tuple(schema)!r}")
+                return source
+            replica = cls(schema)
+            replica.apply_delta(source)
+            return replica
+        return cls(schema)
 
     def intern_preference(self, preference) -> None:
         """Intern the domains of a preference's schema-aligned orders."""
@@ -164,8 +230,43 @@ class DomainCodec:
         missing = [value for value in values if value not in table]
         for value in sorted(missing, key=repr):
             if value not in table:
-                table[value] = len(table)
-                self.version += 1
+                self._intern(index, table, value)
+
+    def _intern(self, index: int, table: dict, value: Value) -> int:
+        """Assign the next code for *value*, journalling the interning."""
+        code = len(table)
+        table[value] = code
+        self._values[index].append(value)
+        self._journal.append((index, value))
+        self.version += 1
+        return code
+
+    @property
+    def journal(self) -> tuple[tuple[int, Value], ...]:
+        """The full interning journal — the seed for a fresh replica."""
+        return tuple(self._journal)
+
+    def delta_since(self, version: int) -> tuple[tuple[int, Value], ...]:
+        """The journal suffix a replica at *version* is missing."""
+        return tuple(self._journal[version:])
+
+    def apply_delta(self, entries: Iterable[tuple[int, Value]]) -> int:
+        """Replay journal *entries* from a master codec, in order.
+
+        Entries already present are skipped (the in-process executors
+        share the master instance, so their "replicas" are always ahead
+        of any delta), which makes replay idempotent; genuinely new
+        entries are interned exactly as the master interned them, so the
+        resulting tables, reverse tables and version match the master's
+        byte for byte.  Returns the number of entries applied.
+        """
+        applied = 0
+        for index, value in entries:
+            table = self._tables[index]
+            if value not in table:
+                self._intern(index, table, value)
+                applied += 1
+        return applied
 
     def size(self, index: int) -> int:
         """Number of codes currently interned for attribute *index*."""
@@ -175,15 +276,22 @@ class DomainCodec:
         """The code of *value* on attribute *index*, if already interned."""
         return self._tables[index].get(value)
 
+    def value(self, index: int, code: int) -> Value:
+        """The value behind *code* on attribute *index* (decode side)."""
+        return self._values[index][code]
+
+    def decode(self, codes: Sequence[int]) -> tuple[Value, ...]:
+        """Rebuild the schema-aligned value tuple behind a code row."""
+        return tuple(values[code]
+                     for values, code in zip(self._values, codes))
+
     def encode(self, values: Sequence[Value]) -> tuple[int, ...]:
         """Encode one schema-aligned value tuple, interning new values."""
         codes = []
-        for table, value in zip(self._tables, values):
+        for index, (table, value) in enumerate(zip(self._tables, values)):
             code = table.get(value)
             if code is None:
-                code = len(table)
-                table[value] = code
-                self.version += 1
+                code = self._intern(index, table, value)
             codes.append(code)
         return tuple(codes)
 

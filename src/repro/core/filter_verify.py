@@ -329,6 +329,38 @@ class FilterThenVerify(MonitorBase):
             del self._user_state[user]
         self._retire_state(state)
 
+    def export_cluster(self, index: int) -> tuple:
+        """Detach the cluster at *index* for a verbatim shard move.
+
+        Captures ``P_U`` and every member's ``P_c`` as
+        :meth:`~repro.core.pareto.ParetoFrontier.export_state` tuples
+        before the regular retire runs.  Unlike the retire+install join
+        pair, the export/adopt pair replays nothing and charges no
+        comparisons — the count-neutral relocation primitive behind
+        plan rebalancing (DESIGN.md §14).
+        """
+        state = self._states[index]
+        exported = (state.cluster,
+                    state.shared.export_state(),
+                    {user: frontier.export_state()
+                     for user, frontier in state.per_user.items()})
+        self.retire_cluster(index)
+        return exported
+
+    def adopt_cluster(self, exported: tuple) -> None:
+        """Install a cluster exported by :meth:`export_cluster` verbatim."""
+        cluster, shared_state, per_user_states = exported
+        for user in cluster.users:
+            if user in self._user_state:
+                raise ValueError(f"user {user!r} already registered")
+        state = _ClusterState(cluster, self, self.stats)
+        state.shared.adopt_state(*shared_state)
+        for user, frontier_state in per_user_states.items():
+            state.per_user[user].adopt_state(*frontier_state)
+        self._states.append(state)
+        for user in cluster.users:
+            self._user_state[user] = state
+
     def _join_virtual(self, cluster: Cluster, user: UserId,
                       preference: Preference, theta1, theta2,
                       ) -> Preference | None:

@@ -125,6 +125,7 @@ class IngestPipeline:
         """Coerce and value-intern a batch once, before any frontier."""
         objects = [self.coerce(row) for row in rows]
         codec = self.codec
+        self.monitor.stats.encode_passes += 1
         if codec is not None:
             encoded = codec.encode_many([obj.values for obj in objects])
         else:
@@ -141,6 +142,7 @@ class IngestPipeline:
         obj = self.coerce(row)
         codes = self.encode(obj)
         stats = monitor.stats
+        stats.encode_passes += 1
         stats.objects += 1
         monitor._pre_arrival(obj, codes)
         targets = monitor._dispatch_arrival(obj, codes)
@@ -156,8 +158,28 @@ class IngestPipeline:
         scans, and surviving duplicates fold onto their leader's
         verdict.
         """
-        monitor = self.monitor
         objects, encoded = self.coerce_encode(rows)
+        return self._dispatch_encoded(objects, encoded)
+
+    def push_encoded(self, objects, encoded) -> list[frozenset]:
+        """Dispatch a batch already coerced and encoded upstream.
+
+        The wire plane's shard entry point (DESIGN.md §14): the façade's
+        master codec performed the single coerce+encode pass and the
+        code rows arrived by frame (or by reference under the in-process
+        executors), so this path charges no encode pass and never
+        touches the codec — it only advances the oid cursor and runs the
+        exact sieve+dispatch loop :meth:`push_batch` runs, keeping every
+        downstream count serial-identical.
+        """
+        for obj in objects:
+            if obj.oid >= self._next_oid:
+                self._next_oid = obj.oid + 1
+        return self._dispatch_encoded(objects, encoded)
+
+    def _dispatch_encoded(self, objects, encoded) -> list[frozenset]:
+        """The shared sieve+dispatch loop behind both batch entries."""
+        monitor = self.monitor
         results: list[frozenset] = []
         if not objects:
             return results

@@ -453,6 +453,54 @@ class ParetoFrontier(EpochTracked):
             codes = self._kernel.encode(obj)
         self._admit(obj, codes, codes if codes is not None else obj.values)
 
+    # ------------------------------------------------------------------
+    # Verbatim state transfer (shard rebalancing, DESIGN.md §14)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> tuple:
+        """Capture ``(members, codes, verdicts)`` for a verbatim move.
+
+        *verdicts* are this frontier's currently-valid memo entries —
+        ``(key, undominated?)`` pairs recorded at the live epoch.  A
+        verdict depends only on the kernel's orders and the frontier's
+        distinct-value multiset, both of which a verbatim transfer
+        preserves, so re-recording them on the adopting frontier
+        reproduces the exact memo hit/miss pattern (and therefore the
+        exact comparison counts) the serial monitor would produce.
+        """
+        verdicts = ()
+        if self._memo:
+            uid, epoch = self._uid, self._epoch
+            verdicts = tuple(
+                (key, entry[1])
+                for key, slot in self._kernel.memo.items()
+                if (entry := slot.get(uid)) is not None
+                and entry[0] == epoch)
+        return list(self._members), list(self._codes), verdicts
+
+    def adopt_state(self, members, codes, verdicts=()) -> None:
+        """Install exported state verbatim — no scans, no comparisons.
+
+        The inverse of :meth:`export_state` on a freshly built frontier:
+        members and code rows are admitted unchecked (count-neutral, the
+        same bookkeeping as :meth:`append_unchecked`), the columnar
+        mirror is filled in one bulk extend, and the exported memo
+        verdicts are re-recorded at the post-install epoch.
+        """
+        columns = self._columns
+        for obj, row in zip(members, codes):
+            self._members.append(obj)
+            self._codes.append(row)
+            self._note_insert(row if row is not None else obj.values)
+            self._note_admitted_oid(obj.oid)
+            if self._registry is not None:
+                self._registry.insert(self._owner, obj.oid)
+        if columns is not None and members:
+            columns.extend(codes)
+        if self._memo:
+            for key, undominated in verdicts:
+                self._memo_record(key, undominated)
+
     def clear(self) -> None:
         if self._registry is not None:
             for oid in self._ids:

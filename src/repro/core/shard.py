@@ -13,8 +13,9 @@ an execution layer:
   always land in the same shard, so the one-pass-per-distinct-order
   sieve of :class:`~repro.core.ingest.IngestPipeline` is never split:
   the sharded run performs exactly the serial run's sieve passes.
-* :class:`ExecutionPlan` — the current scope → shard assignment, a pure
-  function of the live scope set (re-derived whenever churn mutates it).
+* :class:`ExecutionPlan` — the current scope → shard assignment plus
+  per-shard load estimates, re-derived whenever churn mutates the
+  scope set.
 * Executors — ``serial`` (the reference: shards run one after another
   in-process), ``threads`` (one thread per shard; state is disjoint by
   construction, so no locks are needed) and ``processes`` (one worker
@@ -23,6 +24,22 @@ an execution layer:
 * :class:`ShardedMonitor` — the monitor-shaped façade: each shard hosts
   a *real* monitor of the selected family over its scope subset, and
   the façade merges notifications, stats, frontiers, buffers and churn.
+
+The wire plane (DESIGN.md §14)
+------------------------------
+
+The façade owns the **master** :class:`~repro.core.compiled.DomainCodec`
+and performs one shared coerce+encode pass per batch; shards hold
+*replicas* of it — the very same instance under the in-process
+executors, a journal-replayed copy inside each worker process — kept in
+lockstep by versioned interning deltas, so replicas never intern a
+value independently.  A ``processes`` batch travels as one compact
+binary frame per shard (:mod:`repro.core.wire`): shape header, codec
+delta, oid range and the code matrix in the smallest dtype that fits —
+no per-object pickles on the batch path.  Codec-less monitors (the
+interpreted kernel) fall back to a pickled command blob, charged to the
+same ``wire_bytes`` counter so the compact format's win is directly
+measurable.
 
 Serial-equivalence contract (DESIGN.md §12)
 -------------------------------------------
@@ -42,27 +59,55 @@ attribute union), then execute as a retire + install pair
 virtual hashes to, so a join that drifts the virtual re-homes the
 scope — at exactly the serial rebuild cost — and co-location survives
 arbitrary churn.
+
+Plan rebalancing rides the same machinery: the façade tracks a load
+EWMA per *signature group* (all scopes sharing one sieve signature) and,
+when churn skews the per-shard loads past :data:`REBALANCE_SKEW`, moves
+whole groups from the busiest shard to the lightest via verbatim
+frontier/buffer state transfer (``export_user``/``adopt_user``,
+``export_cluster``/``adopt_cluster``) — zero comparisons charged, equal
+signatures still co-located, every subsequent count still
+serial-identical.  Rebalancing triggers only on churn events (or an
+explicit :meth:`ShardedMonitor.rebalance` /
+:meth:`~ShardedMonitor.split_shard` / :meth:`~ShardedMonitor.merge_shards`
+call), never mid-batch, so move-free feeds keep the hash placement the
+per-shard gate pins.
 """
 
 from __future__ import annotations
 
+import pickle
 import weakref
 import zlib
 from collections.abc import Mapping, Sequence
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.clusters import Cluster, UserId, best_matching_cluster
-from repro.core.compiled import validate_kernel
+from repro.core.compiled import DomainCodec, codec_source, validate_kernel
 from repro.core.errors import ReproError
 from repro.core.filter_verify import join_virtual
 from repro.core.ingest import IngestPipeline
 from repro.core.preference import Preference
 from repro.data.objects import Object, Schema
+from repro.metrics.counters import WireCounters
 
 #: The pluggable executors, in documentation order.  ``serial`` is the
 #: reference implementation the other two must match byte for byte.
 EXECUTORS = ("serial", "threads", "processes")
+
+#: Rebalance when the busiest shard's load exceeds this multiple of the
+#: mean shard load (and it hosts more than one signature group).
+REBALANCE_SKEW = 2.0
+
+#: EWMA smoothing for per-group load samples (members × batch rows).
+LOAD_ALPHA = 0.25
+
+#: First byte of a data-plane wire frame — ``repro.core.wire.MAGIC``,
+#: known here without importing the numpy-backed wire module so
+#: codec-less deployments never pay that import.  Disjoint from
+#: pickle's ``\x80`` opcode, so a worker dispatches on one byte.
+_FRAME_MAGIC = b"W"
 
 
 def validate_executor(name: str) -> str:
@@ -108,20 +153,49 @@ class ExecutionPlan:
     ``assignment`` maps a scope key — the user id for per-user
     families, the frozenset of member user ids for cluster scopes — to
     the owning shard index.  The plan is a pure function of the live
-    scope set: it is re-derived whenever churn mutates the scopes, so
-    after any subscribe/unsubscribe sequence every scope is owned by
+    scope set plus the façade's signature-group bookkeeping: it is
+    re-derived whenever churn mutates the scopes, so after any
+    subscribe/unsubscribe/rebalance sequence every scope is owned by
     exactly one shard (no orphans, no double ownership — pinned by
-    ``tests/test_ingest.py``).
+    ``tests/test_ingest.py``).  ``loads`` carries the per-shard load
+    estimates rebalancing decisions are made from (EWMA of
+    members × batch rows per signature group, summed per shard).
     """
 
     workers: int
     executor: str
     assignment: Mapping
+    loads: tuple = field(default=())
 
     def scopes_of(self, shard: int) -> tuple:
         """Scope keys owned by one shard, in assignment order."""
         keys = self.assignment.items()
         return tuple(key for key, owner in keys if owner == shard)
+
+
+class _SigGroup:
+    """Load bookkeeping for one sieve-signature's co-located scopes.
+
+    Rebalancing moves whole groups — never single scopes out of one —
+    so equal sieve signatures stay co-located and the serial run's
+    sieve-pass count is preserved under any move sequence.
+    """
+
+    __slots__ = ("signature", "shard", "scopes", "members", "load")
+
+    def __init__(self, signature: str, shard: int):
+        self.signature = signature
+        self.shard = shard
+        self.scopes = 0
+        self.members = 0
+        #: EWMA of members × batch rows, updated once per push_batch.
+        self.load = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"_SigGroup(shard={self.shard}, scopes={self.scopes}, "
+            f"members={self.members}, load={self.load:.1f})"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -142,15 +216,28 @@ class ShardSpec:
     snapshots) — must pickle, which is what lets the ``processes``
     executor rebuild identical shard state in a worker regardless of
     start method.
+
+    ``codec_seed`` wires the shard into the façade's code space: the
+    master :class:`~repro.core.compiled.DomainCodec` instance itself
+    for in-process executors (shared directly), its interning journal
+    for worker processes (replayed into a lockstep replica), ``None``
+    for codec-less (interpreted-kernel) monitors.
     """
 
     policy: object
     schema: Schema
     preferences: tuple | None = None
     clusters: tuple | None = None
+    codec_seed: object = None
 
     def build(self):
         """Construct the shard's monitor (in whichever process)."""
+        if self.codec_seed is None:
+            return self._construct()
+        with codec_source(self.codec_seed):
+            return self._construct()
+
+    def _construct(self):
         if self.clusters is not None:
             return self.policy.build_from_clusters(
                 list(self.clusters), self.schema
@@ -169,6 +256,9 @@ class _LocalShard:
     def push_batch(self, objects):
         return self.monitor.push_batch(objects)
 
+    def push_encoded(self, objects, encoded):
+        return self.monitor.ingest.push_encoded(objects, encoded)
+
     def push(self, obj):
         return self.monitor.push(obj)
 
@@ -186,27 +276,44 @@ class _LocalShard:
 def _shard_worker(conn, spec: ShardSpec) -> None:
     """Worker-process main loop: build the shard, serve commands.
 
-    Every reply carries the shard's current stats snapshot so the
-    parent's aggregate stats never need an extra round trip.
+    The loop reads raw bytes and dispatches on the first one: a
+    :data:`_FRAME_MAGIC` byte is a data-plane wire frame — decoded
+    against the replica codec and dispatched through
+    ``IngestPipeline.push_encoded``, charging zero shard-side encode
+    passes — anything else is a pickled ``(command, payload)`` tuple
+    (the control plane, and the batch fallback of codec-less
+    monitors).  Every reply carries the shard's current stats snapshot
+    so the parent's aggregate stats never need an extra round trip.
     """
     monitor = spec.build()
     conn.send(("ok", (None, monitor.stats.snapshot())))
     while True:
         try:
-            command, payload = conn.recv()
+            blob = conn.recv_bytes()
         except EOFError:
             break
-        if command == "stop":
-            break
         try:
-            if command == "push_batch":
-                result = monitor.push_batch(payload)
-            elif command == "push":
-                result = monitor.push(payload)
+            if blob[:1] == _FRAME_MAGIC:
+                from repro.core import wire
+
+                objects, encoded = wire.decode_frame(blob, monitor.codec)
+                result = monitor.ingest.push_encoded(objects, encoded)
             else:
-                name, args, kwargs = payload
-                attr = getattr(monitor, name)
-                result = attr(*args, **kwargs) if callable(attr) else attr
+                command, payload = pickle.loads(blob)
+                if command == "stop":
+                    break
+                if command == "push_batch":
+                    result = monitor.push_batch(payload)
+                elif command == "push":
+                    result = monitor.push(payload)
+                elif command == "codec_delta":
+                    result = monitor.codec.apply_delta(payload)
+                else:
+                    name, args, kwargs = payload
+                    attr = getattr(monitor, name)
+                    result = (
+                        attr(*args, **kwargs) if callable(attr) else attr
+                    )
             reply = ("ok", (result, monitor.stats.snapshot()))
         except BaseException as error:  # noqa: BLE001 — relayed verbatim
             reply = ("error", error)
@@ -224,13 +331,17 @@ class _ProcessShard:
 
     Commands and results travel over a duplex pipe; the worker owns the
     shard's kernels, memos and buffers for its whole life, so per-batch
-    traffic is just the coerced rows out and the per-row target sets
-    (plus a stats snapshot) back.
+    traffic is one wire frame out and the per-row target sets (plus a
+    stats snapshot) back.  Every outbound payload is serialised here —
+    frames verbatim, commands pickled — and charged to the façade's
+    ``wire_bytes`` counter, so the data plane's cost is measured, not
+    estimated.
     """
 
-    __slots__ = ("_conn", "_process", "_stats", "_finalizer", "__weakref__")
+    __slots__ = ("_conn", "_process", "_stats", "_counters", "_finalizer",
+                 "__weakref__")
 
-    def __init__(self, spec: ShardSpec):
+    def __init__(self, spec: ShardSpec, counters: WireCounters | None = None):
         import multiprocessing
 
         context = multiprocessing.get_context()
@@ -241,6 +352,7 @@ class _ProcessShard:
         self._process.start()
         child.close()
         self._stats = {}
+        self._counters = counters if counters is not None else WireCounters()
         self._finalizer = weakref.finalize(
             self, _ProcessShard._shutdown, self._conn, self._process
         )
@@ -253,22 +365,28 @@ class _ProcessShard:
         result, self._stats = payload
         return result
 
-    def send_push_batch(self, objects) -> None:
-        self._conn.send(("push_batch", objects))
+    def send_blob(self, blob: bytes) -> None:
+        """Ship pre-serialised bytes (a wire frame, or a pickled
+        command shared across shards), charging their true size."""
+        self._counters.wire_bytes += len(blob)
+        self._conn.send_bytes(blob)
 
-    def send_push(self, obj) -> None:
-        self._conn.send(("push", obj))
+    def send_command(self, command: str, payload) -> None:
+        self.send_blob(
+            pickle.dumps((command, payload),
+                         protocol=pickle.HIGHEST_PROTOCOL)
+        )
 
     def push_batch(self, objects):
-        self.send_push_batch(objects)
+        self.send_command("push_batch", objects)
         return self._receive()
 
     def push(self, obj):
-        self._conn.send(("push", obj))
+        self.send_command("push", obj)
         return self._receive()
 
     def call(self, name, *args, **kwargs):
-        self._conn.send(("call", (name, args, kwargs)))
+        self.send_command("call", (name, args, kwargs))
         return self._receive()
 
     def stats_snapshot(self) -> dict:
@@ -303,6 +421,9 @@ class ShardedStats:
     exactly once); comparison and delivery counters are summed over the
     shards — deliveries are disjoint across shards (each user lives in
     exactly one), so the sums equal the serial monitor's counters.
+    ``encode_passes`` is the façade's own count: the master codec
+    encodes each batch exactly once for any shard count, while
+    frame-fed shards charge zero locally (DESIGN.md §14).
     """
 
     _SUMMED = (
@@ -329,12 +450,24 @@ class ShardedStats:
     def comparisons(self) -> int:
         return self._sum("comparisons")
 
+    @property
+    def encode_passes(self) -> int:
+        """Façade-level coerce+encode sweeps (one per batch/push)."""
+        return self._monitor.wire.encode_passes
+
+    @encode_passes.setter
+    def encode_passes(self, value: int) -> None:
+        # The façade's IngestPipeline charges through this attribute,
+        # exactly like a serial monitor's MonitorStats.
+        self._monitor.wire.encode_passes = value
+
     def snapshot(self) -> dict[str, int]:
         merged = {"objects": self.objects}
         merged.update({key: 0 for key in self._SUMMED})
         for shard in self._monitor.shard_stats():
             for key in self._SUMMED:
                 merged[key] += shard[key]
+        merged["encode_passes"] = self.encode_passes
         return merged
 
     def __repr__(self) -> str:
@@ -357,14 +490,15 @@ class _ScopeRecord:
     the same ``with_user``/``without_user``/virtual rules the shards
     apply, so it stays equal to the shard-side one — which makes join
     decisions (and the ``clusters`` property) free of any shard round
-    trip.
+    trip.  ``signature`` keys the scope into its co-location group.
     """
 
-    __slots__ = ("cluster", "shard")
+    __slots__ = ("cluster", "shard", "signature")
 
-    def __init__(self, cluster: Cluster, shard: int):
+    def __init__(self, cluster: Cluster, shard: int, signature: str):
         self.cluster = cluster
         self.shard = shard
+        self.signature = signature
 
     @property
     def users(self):
@@ -378,12 +512,15 @@ class ShardedMonitor:
     ``build_from_clusters``) whenever the policy asks for more than one
     worker.  Each shard hosts a real monitor of the selected family
     over a deterministic subset of the scopes (:func:`shard_of` on the
-    scope's sieve signature); ``push``/``push_batch`` coerce each row
-    once, fan the coerced objects out through the executor and merge
-    the per-row target sets in arrival order.  All churn, inspection
-    and snapshot surfaces of the six families are preserved, so
-    :class:`~repro.service.MonitorService` (and ``repro.state``
-    snapshots) drive a sharded monitor exactly like a serial one.
+    scope's sieve signature, overridden by rebalancing moves);
+    ``push``/``push_batch`` coerce and encode each row once through the
+    master codec, fan the batch out through the executor — compact wire
+    frames to worker processes, by-reference ``push_encoded`` to
+    in-process shards — and merge the per-row target sets in arrival
+    order.  All churn, inspection and snapshot surfaces of the six
+    families are preserved, so :class:`~repro.service.MonitorService`
+    (and ``repro.state`` snapshots) drive a sharded monitor exactly
+    like a serial one.
     """
 
     def __init__(
@@ -405,59 +542,99 @@ class ShardedMonitor:
         self.memo_enabled = bool(policy.memo)
         if policy.window is not None:
             self.window = int(policy.window)
-        #: The façade encodes nothing itself (each shard owns a codec),
-        #: so its pipeline only coerces and assigns object ids.
-        self.codec = None
+        #: The master codec: the façade performs the one shared
+        #: coerce+encode pass per batch against it, and every shard
+        #: holds a lockstep replica (the same instance in-process, a
+        #: journal replica in workers).  ``None`` under the interpreted
+        #: kernel, whose monitors never encode.
+        self.codec = (
+            None
+            if self.kernel_name == "interpreted"
+            else DomainCodec(self.schema)
+        )
         self.registry = None
+        self.wire = WireCounters()
         self.ingest = IngestPipeline(self)
         self.stats = ShardedStats(self)
         self._preferences: dict[UserId, Preference] = {}
         #: user → owning shard (per-user families).
         self._owner: dict[UserId, int] = {}
+        #: user → sieve signature (per-user families).
+        self._signatures: dict[UserId, str] = {}
         #: Cluster scopes in serial (_states) order (shared families).
         self._records: list[_ScopeRecord] = []
         #: user → owning record, O(1) per-user routing (shared families).
         self._user_record: dict[UserId, _ScopeRecord] = {}
+        #: sieve signature → co-location group (placement + load EWMA).
+        self._groups: dict[str, _SigGroup] = {}
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
 
+        codec = self.codec
         shard_scopes: list[list] = [[] for _ in range(self.workers)]
         if policy.shared:
             for cluster in list(clusters or ()):
+                if codec is not None:
+                    codec.intern_preference(cluster.virtual)
+                    for pref in cluster.members.values():
+                        codec.intern_preference(pref)
                 signature = sieve_signature(cluster.virtual, self.schema)
-                shard = shard_of(signature, self.workers)
+                shard = self._attach(
+                    signature, members=len(cluster.members)
+                )
                 shard_scopes[shard].append(cluster)
-                record = _ScopeRecord(cluster, shard)
+                record = _ScopeRecord(cluster, shard, signature)
                 self._records.append(record)
                 for user, pref in cluster.members.items():
                     self._preferences[user] = pref
                     self._user_record[user] = record
+            seed = self._codec_seed()
             specs = [
                 ShardSpec(
-                    self.base_policy, self.schema, clusters=tuple(scopes)
+                    self.base_policy,
+                    self.schema,
+                    clusters=tuple(scopes),
+                    codec_seed=seed,
                 )
                 for scopes in shard_scopes
             ]
         else:
             for user, pref in dict(preferences or {}).items():
+                if codec is not None:
+                    codec.intern_preference(pref)
                 signature = sieve_signature(pref, self.schema)
-                shard = shard_of(signature, self.workers)
+                shard = self._attach(signature)
                 shard_scopes[shard].append((user, pref))
                 self._preferences[user] = pref
                 self._owner[user] = shard
+                self._signatures[user] = signature
+            seed = self._codec_seed()
             specs = [
                 ShardSpec(
                     self.base_policy,
                     self.schema,
                     preferences=tuple(scopes),
+                    codec_seed=seed,
                 )
                 for scopes in shard_scopes
             ]
+        #: The replica codec version every worker process is known to
+        #: hold; frames and delta flushes ship ``delta_since`` this.
+        self._replica_version = codec.version if codec is not None else 0
         if self.executor_name == "processes":
-            host = _ProcessShard
+            self._shards = [
+                _ProcessShard(spec, self.wire) for spec in specs
+            ]
         else:
-            host = _LocalShard
-        self._shards = [host(spec) for spec in specs]
+            self._shards = [_LocalShard(spec) for spec in specs]
+
+    def _codec_seed(self):
+        """What a shard build adopts as its codec (DESIGN.md §14)."""
+        if self.codec is None:
+            return None
+        if self.executor_name == "processes":
+            return self.codec.journal
+        return self.codec
 
     # ------------------------------------------------------------------
     # Planning
@@ -466,7 +643,7 @@ class ShardedMonitor:
     @property
     def plan(self) -> ExecutionPlan:
         """The current scope → shard assignment (re-derived live, so it
-        always reflects the post-churn scope set)."""
+        always reflects the post-churn, post-rebalance scope set)."""
         if self.policy.shared:
             assignment = {
                 frozenset(record.users): record.shard
@@ -474,7 +651,12 @@ class ShardedMonitor:
             }
         else:
             assignment = dict(self._owner)
-        return ExecutionPlan(self.workers, self.executor_name, assignment)
+        return ExecutionPlan(
+            self.workers,
+            self.executor_name,
+            assignment,
+            tuple(self._shard_loads()),
+        )
 
     def shard_stats(self) -> list[dict]:
         """Per-shard stats snapshots (shard order).
@@ -483,9 +665,61 @@ class ShardedMonitor:
         snapshot is byte-identical to an unsharded monitor built over
         the same scopes and fed the same batches — the per-scope half
         of the serial-equivalence contract, gated deterministically by
-        ``benchmarks/test_shard_gate.py``.
+        ``benchmarks/test_shard_gate.py`` (which strips the
+        :data:`~repro.metrics.counters.WIRE_KEYS`: a frame-fed shard
+        legitimately charges zero encode passes).
         """
         return [shard.stats_snapshot() for shard in self._shards]
+
+    def wire_stats(self) -> dict[str, int]:
+        """The façade's wire-plane counters (DESIGN.md §14)."""
+        return self.wire.snapshot()
+
+    # ------------------------------------------------------------------
+    # Signature groups and load accounting
+    # ------------------------------------------------------------------
+
+    def _group(self, signature: str) -> _SigGroup:
+        group = self._groups.get(signature)
+        if group is None:
+            group = _SigGroup(signature, shard_of(signature, self.workers))
+            self._groups[signature] = group
+        return group
+
+    def _attach(self, signature: str, members: int = 1) -> int:
+        """Register one scope under its signature group; returns the
+        owning shard (the group's current home, which rebalancing may
+        have moved off the hash placement)."""
+        group = self._group(signature)
+        group.scopes += 1
+        group.members += members
+        return group.shard
+
+    def _detach(self, signature: str, members: int = 1) -> None:
+        group = self._groups[signature]
+        group.scopes -= 1
+        group.members -= members
+        if group.scopes <= 0:
+            del self._groups[signature]
+
+    def _note_load(self, rows: int) -> None:
+        """Fold one batch into every group's load EWMA (same float
+        arithmetic on every executor, so rebalancing decisions are
+        deterministic across them)."""
+        for group in self._groups.values():
+            sample = group.members * rows
+            group.load += LOAD_ALPHA * (sample - group.load)
+
+    def _weight(self, group: _SigGroup) -> float:
+        """A group's current load estimate; the member count stands in
+        until a batch has sampled the EWMA."""
+        return group.load if group.load > 0.0 else float(group.members)
+
+    def _shard_loads(self) -> list[float]:
+        loads = [0.0] * self.workers
+        for group in self._groups.values():
+            loads[group.shard] += self._weight(group)
+        return loads
 
     # ------------------------------------------------------------------
     # Ingest
@@ -520,57 +754,100 @@ class ShardedMonitor:
             )
         return self._pool
 
-    def _run_batch(self, objects) -> list:
-        shards = self._shards
-        if self.executor_name == "threads":
-            jobs = self._thread_pool().map(
-                lambda shard: shard.push_batch(objects), shards
-            )
-            return list(jobs)
-        if self.executor_name == "processes":
-            for shard in shards:
-                shard.send_push_batch(objects)
-            return self._drain(shards)
-        return [shard.push_batch(objects) for shard in shards]
+    def _send_frames(self, objects, encoded) -> None:
+        """Ship one batch to every worker process.
 
-    def _run_single(self, obj) -> list:
+        With a codec: one compact wire frame — encoded once, sent to
+        every shard — carrying the codec delta since the replicas' last
+        known version.  Without one (interpreted kernel): the pickled
+        ``push_batch`` command, shared across shards and charged to the
+        same counter.
+        """
+        shards = self._shards
+        codec = self.codec
+        if codec is None:
+            blob = pickle.dumps(
+                ("push_batch", objects), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            for shard in shards:
+                shard.send_blob(blob)
+            return
+        from repro.core import wire
+
+        delta = codec.delta_since(self._replica_version)
+        frame = wire.encode_frame(
+            objects, encoded, delta, self._replica_version
+        )
+        self._replica_version = codec.version
+        for shard in shards:
+            shard.send_blob(frame)
+        self.wire.codec_delta_entries += len(delta) * len(shards)
+
+    def _flush_codec_delta(self) -> None:
+        """Bring worker-process replicas up to the master's version.
+
+        Called before any control-plane op that makes a shard compile
+        kernels or encode history: the replica must already hold every
+        value the op touches, so it never interns independently.  A
+        no-op for in-process executors (they share the master) and when
+        nothing new was interned.
+        """
+        codec = self.codec
+        if codec is None:
+            return
+        if self.executor_name != "processes":
+            self._replica_version = codec.version
+            return
+        delta = codec.delta_since(self._replica_version)
+        if not delta:
+            return
+        blob = pickle.dumps(
+            ("codec_delta", delta), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        shards = self._shards
+        for shard in shards:
+            shard.send_blob(blob)
+        self.wire.codec_delta_entries += len(delta) * len(shards)
+        self._drain(shards)
+        self._replica_version = codec.version
+
+    def _run_batch(self, objects, encoded) -> list:
         shards = self._shards
         if self.executor_name == "threads":
             jobs = self._thread_pool().map(
-                lambda shard: shard.push(obj), shards
+                lambda shard: shard.push_encoded(objects, encoded), shards
             )
             return list(jobs)
         if self.executor_name == "processes":
-            # Pipelined like _run_batch: send to every worker first, so
-            # single-row pushes overlap across shards instead of paying
-            # one full round trip per shard.
-            for shard in shards:
-                shard.send_push(obj)
+            self._send_frames(objects, encoded)
             return self._drain(shards)
-        return [shard.push(obj) for shard in shards]
+        return [shard.push_encoded(objects, encoded) for shard in shards]
 
     def push(self, row) -> frozenset[UserId]:
-        """Process one arrival; returns the target users of the object."""
-        obj = self.ingest.coerce(row)
-        self.stats.objects += 1
-        targets = self._run_single(obj)
-        if not targets:
-            return frozenset()
-        return frozenset().union(*targets)
+        """Process one arrival; returns the target users of the object.
+
+        A push is a batch of one: it rides the same encode-once frame
+        path as :meth:`push_batch` (the intra-batch sieve proves a
+        singleton chunk charge-free, so counts stay serial-identical).
+        """
+        return self.push_batch([row])[0]
 
     def push_batch(self, rows) -> list[frozenset[UserId]]:
         """Process many arrivals as one batch.
 
-        Rows are coerced (and assigned ids) once, then every shard
-        processes the whole batch over its own scopes; per-row target
-        sets are the unions of the shards' disjoint answers, in arrival
+        Rows are coerced and encoded once against the master codec,
+        then every shard processes the whole batch over its own scopes
+        — worker processes from one compact wire frame, in-process
+        shards from the same lists by reference; per-row target sets
+        are the unions of the shards' disjoint answers, in arrival
         order — byte-identical to the serial path.
         """
-        objects = [self.ingest.coerce(row) for row in rows]
+        objects, encoded = self.ingest.coerce_encode(rows)
         self.stats.objects += len(objects)
         if not objects:
             return []
-        per_shard = self._run_batch(objects)
+        self._note_load(len(objects))
+        per_shard = self._run_batch(objects, encoded)
         return [
             frozenset().union(*(results[i] for results in per_shard))
             for i in range(len(objects))
@@ -723,15 +1000,19 @@ class ShardedMonitor:
     ) -> None:
         """Register a new user mid-stream (any family).
 
-        Per-user families route the user to the shard its sieve
-        signature hashes to.  Shared families decide the cluster join
-        *globally* — :func:`~repro.core.clusters.best_matching_cluster`
-        over the serial-ordered cluster list, exactly as an unsharded
-        monitor would (the similarity normalisation depends on the
-        all-cluster attribute union, so a shard-local decision could
-        diverge) — then execute a targeted ``join_cluster`` inside the
-        owning shard, or open a singleton in the shard the new virtual
-        hashes to.  The plan is re-derived from the mutated scope set.
+        Per-user families route the user to its signature group's
+        shard.  Shared families decide the cluster join *globally* —
+        :func:`~repro.core.clusters.best_matching_cluster` over the
+        serial-ordered cluster list, exactly as an unsharded monitor
+        would (the similarity normalisation depends on the all-cluster
+        attribute union, so a shard-local decision could diverge) —
+        then execute a targeted retire + install inside the owning
+        shards.  Before any shard compiles the new orders, the
+        preference's domains (and any append-only history) are interned
+        into the master codec and the delta flushed to worker replicas,
+        so replicas never intern independently.  The plan is re-derived
+        from the mutated scope set, then rebalanced if churn has skewed
+        the load.
         """
         if user in self._preferences:
             raise ValueError(f"user {user!r} already registered")
@@ -749,15 +1030,28 @@ class ShardedMonitor:
             history = []
         else:
             history = [self.ingest.coerce(row) for row in history]
+        codec = self.codec
+        if codec is not None:
+            codec.intern_preference(preference)
+            if history:
+                # The shard will encode the history during its replay;
+                # interning it here first keeps the master the single
+                # interning authority (same codes everywhere).
+                codec.encode_many([obj.values for obj in history])
         if not self.policy.shared:
             signature = sieve_signature(preference, self.schema)
-            shard = self._shards[shard_of(signature, self.workers)]
+            shard = self._attach(signature)
+            self._flush_codec_delta()
             if windowed:
-                shard.call("add_user", user, preference)
+                self._shards[shard].call("add_user", user, preference)
             else:
-                shard.call("add_user", user, preference, history)
-            self._owner[user] = shard_of(signature, self.workers)
+                self._shards[shard].call(
+                    "add_user", user, preference, history
+                )
+            self._owner[user] = shard
+            self._signatures[user] = signature
             self._preferences[user] = preference
+            self.rebalance()
             return
         index = None
         may_join = h is not None and (
@@ -769,12 +1063,11 @@ class ShardedMonitor:
             )
         if index is None:
             cluster = Cluster({user: preference}, preference)
+            signature = sieve_signature(cluster.virtual, self.schema)
             record = _ScopeRecord(
-                cluster,
-                shard_of(
-                    sieve_signature(preference, self.schema), self.workers
-                ),
+                cluster, self._attach(signature), signature
             )
+            self._flush_codec_delta()
             self._install(record, history)
             self._records.append(record)
         else:
@@ -782,22 +1075,31 @@ class ShardedMonitor:
             merged = self._merged_cluster(
                 record.cluster, user, preference, theta1, theta2
             )
+            if codec is not None:
+                codec.intern_preference(merged.virtual)
+            signature = sieve_signature(merged.virtual, self.schema)
+            self._flush_codec_delta()
             # Retire in the owning shard, install at the *merged*
-            # virtual's home shard: a join that drifts the virtual
+            # virtual's group home: a join that drifts the virtual
             # re-homes the cluster, preserving equal-sieve-orders
             # co-location (and hence serial-identical comparison
             # totals) under churn — at exactly the serial rebuild
             # cost, since a serial join is retire + replay too.
             local = self._shard_cluster_index(record)
             self._shards[record.shard].call("retire_cluster", local)
+            self._detach(
+                record.signature, members=len(record.cluster.members)
+            )
             record.cluster = merged
-            record.shard = shard_of(
-                sieve_signature(merged.virtual, self.schema), self.workers
+            record.signature = signature
+            record.shard = self._attach(
+                signature, members=len(merged.members)
             )
             self._install(record, history)
         for member in record.users:
             self._user_record[member] = record
         self._preferences[user] = preference
+        self.rebalance()
 
     def _install(self, record: _ScopeRecord, history) -> None:
         """Install the record's cluster into its shard (windowed
@@ -833,7 +1135,8 @@ class ShardedMonitor:
 
     def remove_user(self, user: UserId) -> None:
         """Unregister a user from the owning shard; the plan is
-        re-derived from the mutated scope set."""
+        re-derived from the mutated scope set, then rebalanced if the
+        departure skewed the load."""
         if user not in self._preferences:
             raise KeyError(user)
         shard = self._owning_shard(user)
@@ -841,6 +1144,8 @@ class ShardedMonitor:
         del self._preferences[user]
         if not self.policy.shared:
             del self._owner[user]
+            self._detach(self._signatures.pop(user))
+            self.rebalance()
             return
         record = self._user_record.pop(user)
         # Mirror the shard: membership shrinks, the stored virtual is
@@ -848,9 +1153,136 @@ class ShardedMonitor:
         # scope's placement never moves on removal.
         cluster = record.cluster.without_user(user)
         if cluster is None:
+            self._detach(
+                record.signature, members=len(record.cluster.members)
+            )
             self._records.remove(record)
         else:
+            self._groups[record.signature].members -= 1
             record.cluster = cluster
+        self.rebalance()
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+
+    def rebalance(self, force: bool = False) -> int:
+        """Even out per-shard load by moving whole signature groups.
+
+        Triggered after every churn op (and available explicitly);
+        never fires mid-batch, so move-free feeds keep the pure hash
+        placement.  Greedy and deterministic: while the busiest shard's
+        load exceeds :data:`REBALANCE_SKEW` × the mean (*force* skips
+        the threshold), move its lightest group to the lightest shard —
+        ties broken by signature text and shard index — stopping as
+        soon as a move would not strictly improve the busiest shard.
+        Moves transfer frontier/buffer state verbatim (zero comparisons
+        charged) and whole groups only (co-location preserved), so the
+        serial-equivalence contract survives any rebalance.  Returns
+        the number of groups moved.
+        """
+        moved = 0
+        while True:
+            loads = self._shard_loads()
+            total = sum(loads)
+            if total <= 0.0:
+                break
+            mean = total / self.workers
+            order = range(self.workers)
+            busiest = max(order, key=lambda s: (loads[s], -s))
+            lightest = min(order, key=lambda s: (loads[s], s))
+            if not force and loads[busiest] <= REBALANCE_SKEW * mean:
+                break
+            candidates = sorted(
+                (
+                    group
+                    for group in self._groups.values()
+                    if group.shard == busiest
+                ),
+                key=lambda group: (self._weight(group), group.signature),
+            )
+            if len(candidates) <= 1 or busiest == lightest:
+                break
+            group = candidates[0]
+            weight = self._weight(group)
+            if loads[lightest] + weight >= loads[busiest]:
+                break
+            self._move_group(group, lightest)
+            moved += 1
+        return moved
+
+    def split_shard(self, shard: int) -> int:
+        """Move half of *shard*'s signature groups (lightest first) off
+        it, each to the then-lightest other shard.  Returns the number
+        of groups moved — the explicit form of a rebalance split, used
+        by the CI rebalance smoke."""
+        if not 0 <= shard < self.workers:
+            raise ReproError(
+                f"shard index {shard} out of range 0..{self.workers - 1}"
+            )
+        groups = sorted(
+            (g for g in self._groups.values() if g.shard == shard),
+            key=lambda g: (self._weight(g), g.signature),
+        )
+        moved = 0
+        for group in groups[: len(groups) // 2]:
+            loads = self._shard_loads()
+            dest = min(
+                (s for s in range(self.workers) if s != shard),
+                key=lambda s: (loads[s], s),
+            )
+            self._move_group(group, dest)
+            moved += 1
+        return moved
+
+    def merge_shards(self, source: int, dest: int) -> int:
+        """Move every signature group on *source* into *dest* (the
+        explicit form of a rebalance merge).  Returns groups moved."""
+        for index in (source, dest):
+            if not 0 <= index < self.workers:
+                raise ReproError(
+                    f"shard index {index} out of range "
+                    f"0..{self.workers - 1}"
+                )
+        if source == dest:
+            raise ReproError("merge_shards needs two distinct shards")
+        groups = sorted(
+            (g for g in self._groups.values() if g.shard == source),
+            key=lambda g: g.signature,
+        )
+        for group in groups:
+            self._move_group(group, dest)
+        return len(groups)
+
+    def _move_group(self, group: _SigGroup, dest: int) -> None:
+        """Relocate every scope of one signature group to *dest*.
+
+        Export/adopt transfers frontier (and buffer) state verbatim —
+        members, code rows, memo verdicts — so a move charges zero
+        comparisons and every subsequent count stays serial-identical;
+        moving the group as a unit preserves co-location.
+        """
+        source = group.shard
+        if dest == source:
+            return
+        if self.policy.shared:
+            for record in self._records:
+                if record.signature != group.signature:
+                    continue
+                local = self._shard_cluster_index(record)
+                exported = self._shards[source].call(
+                    "export_cluster", local
+                )
+                self._shards[dest].call("adopt_cluster", exported)
+                record.shard = dest
+        else:
+            for user, signature in self._signatures.items():
+                if signature != group.signature:
+                    continue
+                exported = self._shards[source].call("export_user", user)
+                self._shards[dest].call("adopt_user", user, *exported)
+                self._owner[user] = dest
+        group.shard = dest
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -178,6 +178,32 @@ class ParetoBuffer(EpochTracked):
             self._mend_memo.clear()
         return True
 
+    def export_state(self) -> tuple:
+        """Capture ``(members, codes)`` for a verbatim shard move.
+
+        The mend memo is deliberately not exported: every row clears it
+        on arrival after the expiry that populates it, so at the batch
+        boundaries where the wire plane relocates scopes it is empty on
+        the serial reference too — transferring nothing is exact.
+        """
+        return list(self._members), list(self._codes)
+
+    def adopt_state(self, members, codes) -> None:
+        """Install exported buffer contents verbatim — no comparisons.
+
+        The adopting buffer must be fresh; admissions reuse the same
+        key/epoch/oid bookkeeping as :meth:`on_arrival` minus the scan,
+        and the columnar mirror is filled in one bulk extend.
+        """
+        columns = self._columns
+        for obj, row in zip(members, codes):
+            self._members.append(obj)
+            self._codes.append(row)
+            self._note_insert(row if row is not None else obj.values)
+            self._note_admitted_oid(obj.oid)
+        if columns is not None and members:
+            columns.extend(codes)
+
     def mend_candidates(self, kernel, obj: Object, codes,
                         counter: Counter) -> list[int]:
         """Member indices dominated by *obj* under *kernel* — the
@@ -320,6 +346,34 @@ class BaselineSW(SlidingMonitorBase):
         frontier = self._frontiers.pop(user)
         frontier.clear()
         self._release_kernel(frontier.kernel)
+
+    def export_user(self, user: UserId) -> tuple:
+        """Detach *user*'s scope — preference, frontier state and buffer
+        state — for a verbatim shard move (see
+        :meth:`~repro.core.baseline.Baseline.export_user`).  The alive
+        window itself never travels: every shard of a sharded monitor
+        holds an identical copy."""
+        preference = self._preferences[user]
+        state = (self._frontiers[user].export_state(),
+                 self._buffers[user].export_state())
+        self.remove_user(user)
+        return preference, state
+
+    def adopt_user(self, user: UserId, preference: Preference,
+                   state: tuple) -> None:
+        """Install a scope exported by :meth:`export_user` verbatim."""
+        if user in self._preferences:
+            raise ValueError(f"user {user!r} already registered")
+        frontier_state, buffer_state = state
+        frontier = self._make_frontier(preference, self.stats.filter, user)
+        # memo=False: single-reader buffer, see __init__.
+        buffer = ParetoBuffer(frontier.kernel, self.stats.buffer,
+                              memo=False)
+        frontier.adopt_state(*frontier_state)
+        buffer.adopt_state(*buffer_state)
+        self._preferences[user] = preference
+        self._frontiers[user] = frontier
+        self._buffers[user] = buffer
 
     def _expire(self, obj: Object, codes) -> None:
         key = codes if codes is not None else obj.values
@@ -648,6 +702,39 @@ class FilterThenVerifySW(SlidingMonitorBase):
         for user in state.cluster.users:
             del self._user_state[user]
         self._retire_state(state)
+
+    def export_cluster(self, index: int) -> tuple:
+        """Detach the cluster at *index* for a verbatim shard move.
+
+        Captures ``P_U``, ``PB_U`` and every member's ``P_c`` (each as
+        an :meth:`~repro.core.pareto.ParetoFrontier.export_state` /
+        buffer-state tuple) before the regular retire runs — unlike
+        :meth:`install_cluster` the pair charges no comparisons, which
+        is what keeps rebalancing count-neutral (DESIGN.md §14).
+        """
+        state = self._states[index]
+        exported = (state.cluster,
+                    state.shared.export_state(),
+                    state.buffer.export_state(),
+                    {user: frontier.export_state()
+                     for user, frontier in state.per_user.items()})
+        self.retire_cluster(index)
+        return exported
+
+    def adopt_cluster(self, exported: tuple) -> None:
+        """Install a cluster exported by :meth:`export_cluster` verbatim."""
+        cluster, shared_state, buffer_state, per_user_states = exported
+        for user in cluster.users:
+            if user in self._user_state:
+                raise ValueError(f"user {user!r} already registered")
+        state = _SlidingClusterState(cluster, self, self.stats)
+        state.shared.adopt_state(*shared_state)
+        state.buffer.adopt_state(*buffer_state)
+        for user, frontier_state in per_user_states.items():
+            state.per_user[user].adopt_state(*frontier_state)
+        self._states.append(state)
+        for user in cluster.users:
+            self._user_state[user] = state
 
     # Shared with the append-only family: the join-time virtual rule.
     _join_virtual = FilterThenVerify._join_virtual

@@ -88,6 +88,30 @@ class ColumnBlock:
         self._data[:, self.length] = codes
         self.length += 1
 
+    def extend(self, rows: Sequence[Sequence[int]]) -> None:
+        """Append many members' code rows in one transpose-copy.
+
+        The wire plane's bulk-install fast path: a shard adopting a
+        relocated frontier (or decoding a code-row frame) lands all its
+        rows with one capacity check and one C-level assignment instead
+        of per-row :meth:`append` calls.
+        """
+        count = len(rows)
+        if not count:
+            return
+        needed = self.length + count
+        if needed > self.capacity:
+            capacity = self.capacity
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((self.width, capacity), dtype=np.intp)
+            grown[:, :self.length] = self._data[:, :self.length]
+            self._data = grown
+            self.capacity = capacity
+        self._data[:, self.length:needed] = np.asarray(
+            rows, dtype=np.intp).T
+        self.length = needed
+
     def delete(self, indices: Sequence[int]) -> None:
         """Drop the members at *indices* (ascending), compacting in place.
 

@@ -1,0 +1,151 @@
+"""Compact code-row wire frames for the sharded data plane.
+
+DESIGN.md §14.  Under the ``processes`` executor the façade performs
+the single coerce+encode pass of a batch and ships each shard one
+binary **frame** instead of a pickled object list.  A frame carries:
+
+* a fixed-size header (magic, flags, matrix dtype, row width, row
+  count, the replica codec version the frame was encoded against, the
+  oid of the first row, and the codec-delta byte length);
+* the **codec delta** — the master codec's interning-journal suffix
+  since the replica's last known version, pickled (values are arbitrary
+  Python objects; the delta is empty on the overwhelming majority of
+  frames once domains stabilise);
+* the row **oids** — elided entirely when they form a contiguous run
+  (the common case for façade-coerced streams), an explicit ``int64``
+  array otherwise;
+* the **code matrix** — ``n_rows × width`` interned value codes in the
+  smallest unsigned dtype that fits the codec's current tables.
+
+The receiving shard applies the delta to its replica codec (append-only
+and idempotent, so replicas never recompile or diverge — see
+``DomainCodec.apply_delta``), rebuilds ``Object`` instances by decoding
+each code row, and dispatches through
+``IngestPipeline.push_encoded`` — charging zero encode passes, which is
+what makes "exactly one encode pass per batch for any shard count"
+measurable rather than aspirational.
+
+Frames are self-framing against the command channel: the first byte is
+:data:`MAGIC` (``0x57``, ``b"W"``), which can never open a pickle
+stream (pickle protocol ≥ 2 starts with ``0x80``), so a worker reading
+raw bytes dispatches on one byte with no ambiguity.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.data.objects import Object
+
+#: First byte of every frame; disjoint from pickle's ``\\x80`` opcode.
+MAGIC = 0x57
+
+#: magic, flags, width, n_rows, base_version, oid_start, delta_bytes.
+_HEADER = struct.Struct("<BBHIIqI")
+
+#: Header flag: row oids are ``oid_start .. oid_start + n_rows - 1``.
+_FLAG_CONTIGUOUS = 0x01
+
+#: Code-matrix dtypes by header dtype code (flags bits 1-2).  Codes are
+#: table indices, so the frame always fits one of the unsigned widths;
+#: the façade picks the smallest that holds the codec's largest table.
+_DTYPES = (np.uint8, np.uint16, np.uint32, np.uint64)
+
+
+def _matrix_dtype_code(codec) -> int:
+    """Smallest dtype code whose range covers every current table."""
+    largest = max((len(table) for table in codec._tables), default=0)
+    for code, dtype in enumerate(_DTYPES):
+        if largest <= int(np.iinfo(dtype).max) + 1:
+            return code
+    raise ReproError(f"domain cardinality {largest} exceeds wire range")
+
+
+def encode_frame(objects, encoded, delta, base_version: int) -> bytes:
+    """Pack one shard's batch into a frame.
+
+    *objects* and *encoded* are the façade's coerce+encode output for
+    the rows routed to this shard; *delta* is the master codec's
+    journal suffix the replica has not seen, and *base_version* the
+    replica version it applies on top of.  The caller owns replica
+    version bookkeeping — the frame just carries the numbers.
+    """
+    n_rows = len(objects)
+    width = len(encoded[0]) if n_rows else 0
+    flags = 0
+    oid_start = objects[0].oid if n_rows else 0
+    oids = [obj.oid for obj in objects]
+    if oids == list(range(oid_start, oid_start + n_rows)):
+        flags |= _FLAG_CONTIGUOUS
+    # Sizing by the post-delta tables keeps encode/decode symmetric:
+    # both ends see every code in the matrix within dtype range.
+    largest = 0
+    for row in encoded:
+        for code in row:
+            if code >= largest:
+                largest = code + 1
+    dtype_code = 0
+    while largest > int(np.iinfo(_DTYPES[dtype_code]).max) + 1:
+        dtype_code += 1
+    flags |= dtype_code << 1
+    delta_blob = pickle.dumps(tuple(delta), protocol=pickle.HIGHEST_PROTOCOL)
+    parts = [_HEADER.pack(MAGIC, flags, width, n_rows, base_version,
+                          oid_start, len(delta_blob)), delta_blob]
+    if not flags & _FLAG_CONTIGUOUS:
+        parts.append(np.asarray(oids, dtype=np.int64).tobytes())
+    if n_rows:
+        matrix = np.asarray(encoded, dtype=_DTYPES[dtype_code])
+        parts.append(matrix.tobytes())
+    return b"".join(parts)
+
+
+def decode_frame(blob: bytes, codec) -> tuple[list[Object], list[tuple]]:
+    """Unpack a frame against the receiving shard's replica codec.
+
+    Applies the carried codec delta first (idempotent; replicas only
+    ever append), then rebuilds the batch as ``(objects, encoded)``
+    ready for ``IngestPipeline.push_encoded``.  Raises
+    :class:`ReproError` when the frame's base version is ahead of the
+    replica — deltas arrived out of order, which the façade's in-order
+    pipe protocol should make impossible.
+    """
+    (magic, flags, width, n_rows, base_version,
+     oid_start, delta_bytes) = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise ReproError(f"bad wire frame magic {magic:#x}")
+    offset = _HEADER.size
+    delta = pickle.loads(blob[offset:offset + delta_bytes])
+    offset += delta_bytes
+    if base_version > codec.version:
+        raise ReproError(
+            f"wire frame base version {base_version} is ahead of the "
+            f"replica codec at version {codec.version}")
+    codec.apply_delta(delta)
+    if flags & _FLAG_CONTIGUOUS:
+        oids = range(oid_start, oid_start + n_rows)
+    else:
+        count = n_rows * np.dtype(np.int64).itemsize
+        oids = np.frombuffer(blob, dtype=np.int64, count=n_rows,
+                             offset=offset).tolist()
+        offset += count
+    if n_rows:
+        dtype = _DTYPES[(flags >> 1) & 0x3]
+        matrix = np.frombuffer(blob, dtype=dtype, count=n_rows * width,
+                               offset=offset).reshape(n_rows, width)
+        # .tolist() yields Python ints — code tuples must hash and
+        # compare exactly like the serial monitor's, or memo keys and
+        # frontier bookkeeping would silently diverge by np-int type.
+        rows = matrix.tolist()
+    else:
+        rows = []
+    objects = []
+    encoded = []
+    for oid, row in zip(oids, rows):
+        codes = tuple(row)
+        objects.append(Object(oid, codec.decode(codes)))
+        encoded.append(codes)
+    return objects, encoded

@@ -55,7 +55,8 @@ class MonitorStats:
       (Definition 7.4).
     """
 
-    __slots__ = ("objects", "delivered", "filter", "verify", "buffer")
+    __slots__ = ("objects", "delivered", "filter", "verify", "buffer",
+                 "encode_passes")
 
     def __init__(self) -> None:
         self.objects = 0
@@ -63,6 +64,11 @@ class MonitorStats:
         self.filter = Counter()
         self.verify = Counter()
         self.buffer = Counter()
+        #: Coerce+encode sweeps over a batch (one per ``push_batch`` /
+        #: ``push``).  A shard fed pre-encoded wire frames charges 0 —
+        #: the encode-once contract of DESIGN.md §14 is that the façade
+        #: charges exactly one pass per batch for any shard count.
+        self.encode_passes = 0
 
     @property
     def comparisons(self) -> int:
@@ -78,9 +84,53 @@ class MonitorStats:
             "verify_comparisons": self.verify.value,
             "buffer_comparisons": self.buffer.value,
             "comparisons": self.comparisons,
+            "encode_passes": self.encode_passes,
         }
 
     def __repr__(self) -> str:
         return (f"MonitorStats(objects={self.objects}, "
                 f"delivered={self.delivered}, "
                 f"comparisons={self.comparisons})")
+
+
+#: Snapshot keys describing wire-plane execution rather than dominance
+#: work.  The per-shard serial-equivalence gate strips them before
+#: comparing shard snapshots to unsharded references: a frame-fed shard
+#: legitimately charges 0 encode passes where a self-feeding reference
+#: charges one per batch.
+WIRE_KEYS = ("encode_passes", "wire_bytes", "codec_delta_entries")
+
+
+class WireCounters:
+    """Wire-plane counters of the sharded executors (DESIGN.md §14).
+
+    * ``wire_bytes`` — bytes put on the data plane, charged on every
+      send (one frame per shard per batch; the pickled fallback of the
+      codec-less interpreted kernel is charged identically, so the
+      compact format's win is directly measurable);
+    * ``encode_passes`` — shared coerce+encode sweeps (exactly one per
+      batch regardless of shard count);
+    * ``codec_delta_entries`` — interning-journal entries shipped to
+      replicas (per send: a delta of *n* new values to *k* process
+      shards charges ``n × k``; in-process shards share the master
+      codec and charge 0).
+    """
+
+    __slots__ = ("wire_bytes", "encode_passes", "codec_delta_entries")
+
+    def __init__(self) -> None:
+        self.wire_bytes = 0
+        self.encode_passes = 0
+        self.codec_delta_entries = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "wire_bytes": self.wire_bytes,
+            "encode_passes": self.encode_passes,
+            "codec_delta_entries": self.codec_delta_entries,
+        }
+
+    def __repr__(self) -> str:
+        return (f"WireCounters(wire_bytes={self.wire_bytes}, "
+                f"encode_passes={self.encode_passes}, "
+                f"codec_delta_entries={self.codec_delta_entries})")

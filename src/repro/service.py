@@ -389,6 +389,17 @@ class MonitorService:
             self.subscribe(user, previous, sink=sink)
             raise
 
+    def rebalance(self, force: bool = False) -> int:
+        """Even out shard load by moving signature groups between
+        shards (sharded policies; see DESIGN.md §14).  Moves transfer
+        frontier state verbatim, so notifications and counts are
+        unaffected.  Returns the number of groups moved — always 0 for
+        serial policies, which have nothing to move."""
+        rebalance = getattr(self._monitor, "rebalance", None)
+        if rebalance is None:
+            return 0
+        return rebalance(force=force)
+
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------

@@ -114,7 +114,8 @@ def duplicate_heavy_batches(draw, max_batches: int = 4,
 @st.composite
 def churn_scripts(draw, max_ops: int = 10, max_users: int = 4,
                   max_rows_per_feed: int = 6, max_distinct: int = 4,
-                  domains=None):
+                  domains=None, extra_values: int = 0,
+                  with_rebalance: bool = False):
     """A random subscription-lifecycle script, valid by construction.
 
     Returns a list of ops for a :class:`~repro.service.MonitorService`:
@@ -125,9 +126,24 @@ def churn_scripts(draw, max_ops: int = 10, max_users: int = 4,
     to discard draws.  Feed rows are drawn from one small pool (heavy
     duplication), matching the hot-stream regime of the other ingest
     strategies.
+
+    ``extra_values`` widens the *feed* pool (never the preference
+    orders) with values like ``"color?0"`` that no order — and no
+    pre-seeded codec table — has ever seen, so scripts exercise
+    mid-stream interning and, under the sharded plane, codec-delta
+    replication (DESIGN.md §14).  ``with_rebalance`` interleaves
+    ``("rebalance", None, None)`` ops, which a sharded service resolves
+    to a forced plan rebalance and a serial service to a no-op.
     """
     domains = domains or DOMAINS
-    pool = draw(st.lists(object_rows(domains), min_size=1,
+    feed_domains = domains
+    if extra_values:
+        feed_domains = {
+            attribute: list(values) + [f"{attribute}?{i}"
+                                       for i in range(extra_values)]
+            for attribute, values in domains.items()
+        }
+    pool = draw(st.lists(object_rows(feed_domains), min_size=1,
                          max_size=max_distinct))
     n_ops = draw(st.integers(1, max_ops))
     script = []
@@ -139,8 +155,12 @@ def churn_scripts(draw, max_ops: int = 10, max_users: int = 4,
             choices.append("subscribe")
         if subscribed:
             choices += ["feed", "unsubscribe", "update"]
+        if with_rebalance:
+            choices.append("rebalance")
         op = draw(st.sampled_from(choices))
-        if op == "subscribe":
+        if op == "rebalance":
+            script.append(("rebalance", None, None))
+        elif op == "subscribe":
             user = f"u{next_user}"
             next_user += 1
             subscribed.append(user)
@@ -162,7 +182,9 @@ def churn_scripts(draw, max_ops: int = 10, max_users: int = 4,
 @st.composite
 def sharded_churn_scripts(draw, min_workers: int = 2,
                           max_workers: int = 4, max_ops: int = 10,
-                          max_users: int = 4, domains=None):
+                          max_users: int = 4, domains=None,
+                          extra_values: int = 0,
+                          with_rebalance: bool = False):
     """A (workers, churn script) pair for the sharded ingest plane.
 
     The script is a :func:`churn_scripts` draw; *workers* varies the
@@ -172,11 +194,17 @@ def sharded_churn_scripts(draw, min_workers: int = 2,
     serial-equivalence of a sharded :class:`~repro.service.
     MonitorService` under churn, and plan re-partitioning (every scope
     owned by exactly one shard after any subscribe/unsubscribe
-    sequence).
+    sequence).  ``extra_values`` and ``with_rebalance`` pass through to
+    :func:`churn_scripts` — together they turn the draw into a
+    codec-delta replication workout: never-seen values force interning
+    deltas onto the wire while rebalances move the scopes those deltas
+    serve.
     """
     workers = draw(st.integers(min_workers, max_workers))
     script = draw(churn_scripts(max_ops=max_ops, max_users=max_users,
-                                domains=domains))
+                                domains=domains,
+                                extra_values=extra_values,
+                                with_rebalance=with_rebalance))
     return workers, script
 
 

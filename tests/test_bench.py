@@ -210,7 +210,7 @@ class TestExperiments:
             "fig11", "tab11", "tab12", "abl-sim", "abl-theta",
             "abl-users", "abl-batch", "abl-buffer", "perf",
             "perf-batch", "perf-steady", "perf-churn", "perf-shard",
-            "perf-vector"}
+            "perf-vector", "perf-wire"}
 
     def test_shard_perf_snapshot_smoke(self, tmp_path):
         path = tmp_path / "BENCH_shard.json"
@@ -234,6 +234,25 @@ class TestExperiments:
         assert len(sharded["shard_comparisons"]) == 2
         assert sum(sharded["shard_comparisons"]) \
             == serial["comparisons"]
+
+    def test_wire_perf_snapshot_smoke(self, tmp_path):
+        path = tmp_path / "BENCH_wire.json"
+        snapshot = runner.wire_perf_snapshot(
+            kinds=("baseline",), shard_counts=(2,),
+            executors=("processes",), batch_size=64, length=256,
+            path=str(path))
+        assert path.exists()
+        assert "wire" in snapshot
+        serial = snapshot["runs"]["baseline/serial"]
+        sharded = snapshot["runs"]["baseline/processes-2"]
+        # One encode pass per batch, for any shard count, and the
+        # frames must undercut the pickled protocol they replaced.
+        assert serial["encode_passes_per_batch"] == 1.0
+        assert sharded["encode_passes_per_batch"] == 1.0
+        assert serial["wire_bytes"] == 0
+        assert 0 < sharded["wire_bytes"] \
+            < sharded["pickled_baseline_bytes"]
+        assert sharded["wire_vs_pickled"] < 1.0
 
     def test_churn_perf_snapshot_smoke(self, tmp_path):
         path = tmp_path / "BENCH_churn.json"

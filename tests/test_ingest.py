@@ -382,6 +382,8 @@ def _drive_churn(service: MonitorService, script) -> list[tuple]:
             service.unsubscribe(arg)
         elif op == "update":
             service.update_preference(arg, pref)
+        elif op == "rebalance":
+            service.rebalance(force=True)
         else:
             events.extend((e.user, e.oid, e.values)
                           for e in service.feed(arg))
@@ -415,6 +417,59 @@ class TestShardedChurn:
             assert sharded.stats.comparisons == serial.stats.comparisons
         finally:
             sharded.close()
+
+    @staticmethod
+    def _assert_codec_replication(case, kind, executor):
+        """Drive one script through a sharded and a serial service, then
+        compare notifications, frontiers and — the point of the test —
+        every shard's replica codec against the façade's master: same
+        version, same interning journal.  Replicas never intern
+        independently, so any divergence means a delta was lost,
+        duplicated or reordered."""
+        workers, script = case
+        base = _shard_policies(None)[kind]
+        serial = MonitorService(SCHEMA, policy=base)
+        sharded = MonitorService(SCHEMA, policy=ServicePolicy(
+            **{**base.to_dict(), "workers": workers,
+               "executor": executor}))
+        try:
+            assert _drive_churn(sharded, script) \
+                == _drive_churn(serial, script)
+            for user in serial.users:
+                assert sharded.frontier(user) == serial.frontier(user)
+            monitor = sharded.monitor
+            master = monitor.codec
+            assert master is not None
+            assert master.version == len(master.journal)
+            for shard in monitor._shards:
+                replica = shard.call("codec")
+                assert replica.version == master.version
+                assert replica.journal == master.journal
+        finally:
+            sharded.close()
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=sharded_churn_scripts(extra_values=2,
+                                      with_rebalance=True),
+           kind=st.sampled_from(("baseline", "ftv")),
+           executor=st.sampled_from(("serial", "threads")))
+    def test_codec_replication_under_churn(self, case, kind, executor):
+        """Never-seen attribute values interleaved with subscribe,
+        unsubscribe and forced-rebalance events: replica codecs must end
+        the script byte-identical to the master, with notifications and
+        frontiers still equal to the serial service."""
+        self._assert_codec_replication(case, kind, executor)
+
+    @settings(max_examples=5, deadline=None)
+    @given(case=sharded_churn_scripts(max_workers=2, max_ops=6,
+                                      extra_values=2,
+                                      with_rebalance=True),
+           kind=st.sampled_from(("baseline", "ftv")))
+    def test_codec_replication_under_churn_processes(self, case, kind):
+        """The processes executor: replicas live in worker processes and
+        sync only through frame-carried deltas and explicit flushes —
+        journals must still match the master exactly at script end."""
+        self._assert_codec_replication(case, kind, "processes")
 
     @settings(max_examples=25, deadline=None)
     @given(case=sharded_churn_scripts(),
