@@ -1,0 +1,108 @@
+"""Serving-plane smoke: boot `repro serve`, talk to it, shut it down.
+
+The CI server-smoke step runs this script end to end against a real
+subprocess — not a ServerThread — so it exercises exactly what an
+operator gets: the CLI entrypoint, an ephemeral port announced on
+stdout, HTTP lifecycle calls, one SSE stream, the /stats percentiles
+and a clean drain through POST /shutdown.  Any step failing (or the
+server outliving its drain) exits non-zero.
+
+Run:  PYTHONPATH=src python examples/server_smoke.py
+"""
+
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+
+TIMEOUT = 30.0
+
+
+def post(port, route, payload):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("POST", route, json.dumps(payload))
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def main():
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--schema", "color,size", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    try:
+        # The CLI announces its ephemeral port on stdout, flushed.
+        line = proc.stdout.readline()
+        match = re.search(r"serving on 127\.0\.0\.1:(\d+)", line)
+        assert match, f"no serving banner, got: {line!r}"
+        port = int(match.group(1))
+        print(f"server up on port {port}")
+
+        status, reply = post(port, "/subscribe", {
+            "user": "smoke",
+            "preference": {
+                "color": {"hasse": [["red", "blue"]]},
+                "size": {"hasse": [["s", "m"]]},
+            }})
+        assert status == 200 and reply["ok"], reply
+        print("subscribed")
+
+        # SSE stream first, then feed: the arrival must push a frame.
+        sse = http.client.HTTPConnection("127.0.0.1", port,
+                                         timeout=TIMEOUT)
+        sse.request("GET", "/events/smoke")
+        stream = sse.getresponse()
+        assert stream.status == 200, stream.status
+
+        status, reply = post(port, "/feed",
+                             {"rows": [["red", "s"], ["blue", "m"]]})
+        assert status == 200 and reply["count"] >= 1, reply
+        print(f"fed 2 rows, {reply['count']} notification(s)")
+
+        deadline = time.monotonic() + TIMEOUT
+        payload = None
+        while time.monotonic() < deadline:
+            line = stream.fp.readline().decode()
+            if line.startswith("data: "):
+                payload = json.loads(line[len("data: "):])
+                break
+        assert payload is not None, "no SSE notification arrived"
+        assert payload["user"] == "smoke", payload
+        assert payload["values"] == ["red", "s"], payload
+        print(f"SSE delivered: {payload}")
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        conn.request("GET", "/stats")
+        stats = json.loads(conn.getresponse().read())
+        conn.close()
+        assert stats["latency"]["count"] >= 1, stats["latency"]
+        assert stats["latency"]["p50_ms"] > 0, stats["latency"]
+        print(f"stats: p50={stats['latency']['p50_ms']:.3f} ms")
+
+        status, reply = post(port, "/shutdown", {})
+        assert status == 200 and reply["draining"], reply
+        proc.wait(timeout=TIMEOUT)
+        assert proc.returncode == 0, proc.returncode
+        sse.close()
+        print("clean shutdown")
+        return 0
+    finally:
+        # Never mask the real failure: kill a surviving server but let
+        # any in-flight exception propagate as the exit status.
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+            print("server had to be killed", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

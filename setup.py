@@ -20,4 +20,10 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.11",
     install_requires=["numpy>=1.26"],
+    # The HTTP/SSE serving plane (repro.server, `repro serve`) is pure
+    # stdlib asyncio and needs nothing beyond install_requires; the
+    # extra carries optional accelerators only — uvloop is picked up
+    # at runtime when importable (repro.server.lifecycle) and silently
+    # skipped otherwise.
+    extras_require={"server": ["uvloop>=0.19; platform_system!='Windows'"]},
 )

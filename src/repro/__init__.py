@@ -67,7 +67,7 @@ from repro.metrics.accuracy import (ConfusionCounts, DeliveryLog,
                                     delivery_metrics, frontier_metrics)
 from repro.metrics.counters import Counter, MonitorStats
 from repro.metrics.latency import (LatencyProfile, LatencyProfiler,
-                                   SLOReport)
+                                   SLOReport, StreamingPercentiles)
 
 __version__ = "1.2.0"
 
@@ -119,6 +119,7 @@ __all__ = [
     "SchemaMismatchError",
     "ServicePolicy",
     "ShardedMonitor",
+    "StreamingPercentiles",
     "TargetRegistry",
     "ThresholdError",
     "UnknownAttributeError",

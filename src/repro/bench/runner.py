@@ -1008,6 +1008,161 @@ def wire_perf_snapshot(dataset: str = "movies",
     return snapshot
 
 
+# ---------------------------------------------------------------------------
+# Serving-plane performance snapshot (BENCH_pr9.json)
+# ---------------------------------------------------------------------------
+
+def serve_perf_snapshot(dataset: str = "movies",
+                        clients: int = 8,
+                        configs=(("serial", 1), ("threads", 2)),
+                        batch_size: int = 256,
+                        length: int | None = None,
+                        queue_size: int = 4096,
+                        path: str | None = "BENCH_pr9.json") -> dict:
+    """Measure the HTTP/SSE serving plane end to end (DESIGN.md §15).
+
+    Each configured (executor, workers) run serves a fresh
+    :class:`~repro.service.MonitorService` behind
+    :class:`~repro.server.ServerThread` on a loopback ephemeral port,
+    subscribes *clients* workload users **over HTTP**, attaches one SSE
+    reader thread per user, then feeds the stream in ``quiet`` batches
+    through ``POST /feed``.  The run records ingest throughput as the
+    client sees it (request round-trips included) and the
+    ingest-to-notify latency percentiles from ``GET /stats`` — the
+    reservoir percentiles stamped by the notification hub between
+    ``batch_started`` and sink dispatch, i.e. the time a delivery
+    spends inside the service, not on the wire.  The header stamps
+    host, port and client count alongside the usual executor/cpu
+    provenance so numbers from different serving topologies are never
+    conflated.
+    """
+    import http.client as _http
+    import json
+    import threading
+
+    from repro import io as repro_io
+    from repro.server import ServerThread
+    from repro.service import MonitorService, ServicePolicy
+
+    workload, _ = prepared(dataset)
+    scale = get_scale()
+    if length is None:
+        length = scale.stream_length // 4
+    stream = [list(obj.values)
+              for obj in replay(workload.dataset, length)]
+    batches = -(-len(stream) // batch_size)
+    subscribers = dict(list(workload.preferences.items())[:clients])
+    host = "127.0.0.1"
+
+    def sse_reader(port: int, user: str, counts: dict,
+                   ready: "threading.Event") -> None:
+        conn = _http.HTTPConnection(host, port, timeout=60)
+        try:
+            conn.request("GET", f"/events/{user}")
+            response = conn.getresponse()
+            # Headers received ⇒ the server has registered this sink;
+            # the feed may start without racing the stream open.
+            ready.set()
+            while True:
+                line = response.fp.readline()
+                if not line:
+                    return
+                if line.startswith(b"event: notification"):
+                    counts[user] += 1
+                elif line.startswith(b"event: bye"):
+                    return
+        finally:
+            conn.close()
+
+    def post(port: int, route: str, payload: dict) -> dict:
+        conn = _http.HTTPConnection(host, port, timeout=120)
+        try:
+            conn.request("POST", route, json.dumps(payload))
+            response = conn.getresponse()
+            reply = json.loads(response.read())
+            if response.status != 200:
+                raise RuntimeError(f"{route}: {reply}")
+            return reply
+        finally:
+            conn.close()
+
+    runs: dict[str, dict] = {}
+    for executor, workers in configs:
+        policy = ServicePolicy(shared=True, memo=False,
+                               workers=workers, executor=executor)
+        service = MonitorService(workload.dataset.schema, policy=policy)
+        thread = ServerThread(service, queue_size=queue_size).start()
+        port = thread.port
+        counts = dict.fromkeys(subscribers, 0)
+        readers = []
+        try:
+            ready_flags = []
+            for user, preference in subscribers.items():
+                post(port, "/subscribe", {
+                    "user": user,
+                    "preference":
+                        repro_io.preference_to_dict(preference)})
+                ready = threading.Event()
+                reader = threading.Thread(
+                    target=sse_reader,
+                    args=(port, user, counts, ready), daemon=True)
+                reader.start()
+                readers.append(reader)
+                ready_flags.append(ready)
+            for ready in ready_flags:
+                ready.wait(timeout=30)
+            notified = 0
+            started = time.perf_counter()
+            for cut in range(0, len(stream), batch_size):
+                reply = post(port, "/feed", {
+                    "rows": stream[cut:cut + batch_size],
+                    "quiet": True})
+                notified += reply["count"]
+            elapsed = time.perf_counter() - started
+            conn = _http.HTTPConnection(host, port, timeout=60)
+            conn.request("GET", "/stats")
+            stats = json.loads(conn.getresponse().read())
+            conn.close()
+        finally:
+            thread.stop()          # graceful drain ends the streams
+        for reader in readers:
+            reader.join(timeout=30)
+        latency = stats["latency"]
+        sinks = stats["sinks"]
+        runs[f"{executor}-{workers}"] = {
+            "executor": executor,
+            "workers": workers,
+            "port": port,
+            "objects": len(stream),
+            "batches": batches,
+            "elapsed_s": round(elapsed, 6),
+            "objects_per_s": round(len(stream) / elapsed, 1),
+            "notifications": notified,
+            "sse_received": sum(counts.values()),
+            "sse_dropped": sinks["dropped"],
+            "notify_p50_ms": latency["p50_ms"],
+            "notify_p90_ms": latency["p90_ms"],
+            "notify_p99_ms": latency["p99_ms"],
+        }
+    snapshot = {
+        "benchmark": "serve_perf_snapshot",
+        "dataset": dataset,
+        "stream_length": len(stream),
+        "batch_size": batch_size,
+        "host": host,
+        "clients": len(subscribers),
+        "queue_size": queue_size,
+        "users": len(subscribers),
+        **bench_header(),
+        "runs": runs,
+    }
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=1)
+            handle.write("\n")
+    return snapshot
+
+
 @dataclass
 class ExperimentResult:
     """A printable table: the regenerated figure or table."""

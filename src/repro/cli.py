@@ -14,6 +14,9 @@ Five user-facing commands wrap the library for shell use:
 * ``profile`` — measure a scenario's shape (value skew, order density,
   user similarity, frontier growth) to guide ``h``/θ choices;
 * ``explain`` — why is object N (not) Pareto-optimal for user U?
+* ``serve`` — stand the HTTP/SSE front door up over a MonitorService
+  (subscribe/update/unsubscribe/feed endpoints + per-user notification
+  streams; DESIGN.md §15);
 * ``bench`` — delegate to :mod:`repro.bench` (regenerate paper figures).
 
 Every command reads/writes plain JSON (see :mod:`repro.io`), so scenarios
@@ -368,6 +371,51 @@ def cmd_explain(args, out: IO[str]) -> int:
     return 0
 
 
+def cmd_serve(args, out: IO[str]) -> int:
+    """``serve``: stand the HTTP/SSE front door up over a
+    MonitorService (DESIGN.md §15).
+
+    The service comes from ``--snapshot`` when that file exists (format
+    v2, written back on graceful shutdown) and from ``--schema``
+    otherwise.  All policy axes mirror the ``monitor`` command; the
+    server prints ``serving on HOST:PORT`` once bound (``--port 0``
+    picks an ephemeral port) and a latency/lag summary on drain.
+    """
+    import os
+
+    from repro.server.lifecycle import run_server
+    from repro.server.sinks import validate_policy
+    from repro.service import MonitorService, ServicePolicy
+
+    validate_policy(args.policy)
+    if args.queue_size < 1:
+        print(f"error: --queue-size must be >= 1, got "
+              f"{args.queue_size}", file=out)
+        return 2
+    if args.snapshot and os.path.exists(args.snapshot):
+        service = MonitorService.load(args.snapshot)
+        print(f"restored {len(service)} subscribers from "
+              f"{args.snapshot}", file=out, flush=True)
+    else:
+        if not args.schema:
+            print("error: --schema is required unless --snapshot "
+                  "names an existing snapshot", file=out)
+            return 2
+        schema = [name.strip() for name in args.schema.split(",")
+                  if name.strip()]
+        policy = ServicePolicy(
+            shared=args.algorithm != "baseline",
+            approximate=args.algorithm == "ftva",
+            window=args.window, h=args.h, theta2=args.theta2,
+            kernel=args.kernel, memo=not args.no_memo,
+            workers=args.workers, executor=args.executor)
+        service = MonitorService(schema, policy=policy)
+    return run_server(service, args.host, args.port,
+                      queue_size=args.queue_size, policy=args.policy,
+                      heartbeat=args.heartbeat,
+                      snapshot_path=args.snapshot, out=out)
+
+
 def cmd_bench(args, out: IO[str]) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -483,6 +531,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="object id (row index) in the scenario")
     explain.add_argument("--max-dominators", type=int, default=3)
     explain.set_defaults(func=cmd_explain)
+
+    serve = commands.add_parser(
+        "serve", help="serve a MonitorService over HTTP/SSE "
+                      "(subscribe/update/unsubscribe/feed + "
+                      "GET /events/{user} notification streams)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks an ephemeral port, "
+                            "printed on start)")
+    serve.add_argument("--schema",
+                       help="comma-separated attribute names for a "
+                            "fresh service (e.g. 'brand,cpu')")
+    serve.add_argument("--snapshot", metavar="PATH",
+                       help="format-v2 snapshot: loaded on start when "
+                            "it exists, written back on graceful "
+                            "shutdown")
+    serve.add_argument("--algorithm",
+                       choices=("baseline", "ftv", "ftva"),
+                       default="ftv")
+    serve.add_argument("--window", type=int, default=None,
+                       help="sliding window size W (Section 7)")
+    serve.add_argument("--h", type=float, default=0.55)
+    serve.add_argument("--theta2", type=float, default=0.5)
+    serve.add_argument(
+        "--kernel", choices=KERNELS, default=KERNELS[0],
+        help="dominance kernel (same axis as the monitor command)")
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the scope set across N workers")
+    serve.add_argument(
+        "--executor", choices=EXECUTORS, default=EXECUTORS[0],
+        help="execution backend for the shards (with --workers > 1)")
+    serve.add_argument("--no-memo", action="store_true",
+                       help="disable the cross-batch verdict memo")
+    serve.add_argument(
+        "--queue-size", type=int, default=256, metavar="N",
+        help="per-client SSE queue bound (default 256)")
+    serve.add_argument(
+        "--policy", choices=("block", "drop-oldest", "disconnect"),
+        default="block",
+        help="slow-consumer backpressure policy: stall ingest until "
+             "the client catches up, drop its oldest queued event, or "
+             "disconnect it (default: block)")
+    serve.add_argument(
+        "--heartbeat", type=float, default=15.0, metavar="SECONDS",
+        help="SSE keep-alive comment interval (default 15s)")
+    serve.set_defaults(func=cmd_serve)
 
     bench = commands.add_parser(
         "bench", help="regenerate the paper's tables and figures")

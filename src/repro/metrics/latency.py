@@ -21,6 +21,7 @@ monitor unchanged.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 
@@ -83,6 +84,96 @@ class LatencyProfile:
         return (f"LatencyProfile({self.count} pushes, "
                 f"mean {self.mean * 1000:.3f} ms, "
                 f"max {self.max * 1000:.3f} ms)")
+
+
+class StreamingPercentiles:
+    """A bounded-memory streaming quantile recorder (reservoir sample).
+
+    :class:`LatencyProfile` keeps every sample, which is right for a
+    bench run but wrong for a server that stamps one ingest-to-notify
+    latency per notification forever.  This recorder holds a uniform
+    reservoir of at most *capacity* samples (Vitter's Algorithm R with
+    a seeded :class:`random.Random`, so replays are deterministic):
+    ``count``, ``mean`` and ``max`` stay exact while quantiles are
+    estimated from the reservoir — exact until *capacity* samples have
+    been recorded, and within sampling error afterwards.  Memory is
+    O(capacity) regardless of stream length.
+
+    The :meth:`summary` keys mirror :meth:`LatencyProfile.summary`, so
+    ``GET /stats`` and the bench reports read either interchangeably.
+    """
+
+    __slots__ = ("capacity", "_reservoir", "_count", "_total", "_max",
+                 "_rng")
+
+    def __init__(self, capacity: int = 2048, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._reservoir: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._rng = random.Random(seed)
+
+    def record(self, seconds: float) -> None:
+        self._count += 1
+        self._total += seconds
+        if seconds > self._max:
+            self._max = seconds
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(seconds)
+            return
+        slot = self._rng.randrange(self._count)
+        if slot < self.capacity:
+            self._reservoir[slot] = seconds
+
+    @property
+    def count(self) -> int:
+        """Exact number of samples recorded (not reservoir size)."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Exact total seconds across all samples."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        if not self._count:
+            return 0.0
+        return self._total / self._count
+
+    @property
+    def max(self) -> float:
+        """Exact maximum (maxima survive reservoir eviction)."""
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """The *q*-quantile in seconds, estimated from the reservoir
+        (0 for an empty recorder; exact while count <= capacity)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return 0.0
+        return float(np.quantile(self._reservoir, q))
+
+    def summary(self) -> dict[str, float]:
+        """Milliseconds: count, mean, max and the standard quantiles —
+        the same keys as :meth:`LatencyProfile.summary`."""
+        result = {
+            "count": float(self._count),
+            "mean_ms": self.mean * 1000.0,
+            "max_ms": self._max * 1000.0,
+        }
+        for q in SUMMARY_QUANTILES:
+            result[f"p{int(q * 100)}_ms"] = self.quantile(q) * 1000.0
+        return result
+
+    def __repr__(self) -> str:
+        return (f"StreamingPercentiles({self._count} samples, "
+                f"reservoir {len(self._reservoir)}/{self.capacity}, "
+                f"mean {self.mean * 1000:.3f} ms)")
 
 
 @dataclass

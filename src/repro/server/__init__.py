@@ -1,0 +1,38 @@
+"""The network front door: async HTTP/SSE serving over MonitorService.
+
+DESIGN.md §15 documents the architecture (single ingest writer task,
+bounded queue sinks, backpressure policies, graceful drain); docs/
+API.md has the endpoint table.  Everything here is stdlib ``asyncio``
+— the ``repro[server]`` extra adds optional accelerators only.
+
+>>> from repro import MonitorService
+>>> from repro.server import ServerThread
+>>> with ServerThread(MonitorService(schema=("x",))) as thread:
+...     host, port = thread.address          # doctest: +SKIP
+"""
+
+from repro.server.app import HTTPError, ReproServer
+from repro.server.lifecycle import ServerThread, run_server
+from repro.server.protocol import (ProtocolError, notification_json,
+                                   notification_payload)
+from repro.server.sinks import (BLOCK, DISCONNECT, DROP_OLDEST,
+                                POLICIES, NotificationHub, QueueSink)
+from repro.server.sse import sse_comment, sse_event
+
+__all__ = [
+    "BLOCK",
+    "DISCONNECT",
+    "DROP_OLDEST",
+    "HTTPError",
+    "NotificationHub",
+    "POLICIES",
+    "ProtocolError",
+    "QueueSink",
+    "ReproServer",
+    "ServerThread",
+    "notification_json",
+    "notification_payload",
+    "run_server",
+    "sse_comment",
+    "sse_event",
+]

@@ -1,0 +1,407 @@
+"""The asyncio HTTP/SSE front door over a :class:`MonitorService`.
+
+Hand-rolled on ``asyncio.start_server`` — the container ships no ASGI
+stack, and the protocol surface is small enough that a dependency-free
+HTTP/1.1 subset (request line + headers + Content-Length bodies,
+``Connection: close`` responses, streamed SSE) keeps the serving plane
+importable everywhere the library is.  Install the ``repro[server]``
+extra for the optional accelerators (uvloop); nothing here requires
+them.
+
+Endpoints (docs/API.md has the full table)::
+
+    POST /subscribe    {"user": ..., "preference": {...}}
+    POST /update       {"user": ..., "preference": {...}}
+    POST /unsubscribe  {"user": ...}
+    POST /feed         {"rows": [[...], {...}, ...]}
+    GET  /events/{user}   SSE stream of that user's notifications
+    GET  /stats        service + latency + sink-lag counters
+    GET  /healthz      liveness probe
+    POST /shutdown     graceful drain and exit
+
+Threading model: **one writer task** owns every call into the service
+(lifecycle ops and feeds ride the same FIFO queue), so the monitor
+only ever executes serially — the serial-equivalence and shard
+contracts of DESIGN.md §11/§12 are untouched by concurrent HTTP
+clients.  Handlers await a future per submitted command; SSE streams
+are fed by the :class:`~repro.server.sinks.NotificationHub` the writer
+dispatches through, and the block backpressure policy stalls the
+writer (not the event loop) between batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.core.errors import ReproError
+from repro.metrics.latency import StreamingPercentiles
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+from repro.server.sinks import BLOCK, NotificationHub
+from repro.server.sse import SSE_HEADERS, sse_comment, sse_event
+from repro.service import MonitorService
+
+#: Request parsing limits (a front door should bound its inputs).
+MAX_REQUEST_LINE = 8192
+MAX_HEADERS = 100
+MAX_BODY = 64 * 1024 * 1024
+
+#: SSE transport write buffer: small enough that a non-reading client
+#: back-pressures its stream coroutine promptly (the sink queue then
+#: fills and the policy engages) instead of hiding behind megabytes of
+#: kernel buffering.
+SSE_WRITE_BUFFER = 16 * 1024
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 503: "Service Unavailable"}
+
+
+class HTTPError(Exception):
+    """An error response: status code + JSON error message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _response(status: int, body: bytes,
+              content_type: str = "application/json") -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def json_response(status: int, payload) -> bytes:
+    return _response(status, (protocol.dumps(payload) + "\n").encode())
+
+
+async def read_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request: (method, path, headers, body).
+
+    Returns None on an immediately-closed connection (port scans,
+    keep-alive probes).  Raises :class:`HTTPError` on malformed input.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise HTTPError(400, "request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3:
+        raise HTTPError(400, "malformed request line")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise HTTPError(400, "too many headers")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise HTTPError(400, "bad Content-Length") from None
+        if size > MAX_BODY:
+            raise HTTPError(413, "request body too large")
+        body = await reader.readexactly(size)
+    path, _, query = target.partition("?")
+    return method.upper(), path, query, headers, body
+
+
+class ReproServer:
+    """HTTP/SSE serving plane over one :class:`MonitorService`."""
+
+    def __init__(self, service: MonitorService,
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 queue_size: int = 256, policy: str = BLOCK,
+                 heartbeat: float = 15.0,
+                 recorder: StreamingPercentiles | None = None,
+                 snapshot_path: str | None = None) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.heartbeat = heartbeat
+        self.snapshot_path = snapshot_path
+        self.hub = NotificationHub(recorder, maxsize=queue_size,
+                                   policy=policy)
+        self._ingest: asyncio.Queue = asyncio.Queue()
+        self._writer_task: asyncio.Task | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._closing = False
+        self._closed = asyncio.Event()
+        self.requests = 0
+        self.feeds = 0
+        self.rows_in = 0
+        self.started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket (port 0 picks an ephemeral port — read
+        :attr:`port` back) and start the writer task."""
+        self.service.deliver_to(self.hub)
+        self._writer_task = asyncio.create_task(self._writer())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.perf_counter()
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes (CLI entry point)."""
+        await self._closed.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish queued ingest, end
+        every SSE stream, close the service (releasing sharded
+        executors per the PR 5 ``close()`` contract), save a snapshot
+        when configured.  Idempotent."""
+        if self._closing:
+            await self._closed.wait()
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Drain: every command already accepted is processed before the
+        # writer stops; submit() rejects new ones with 503.
+        await self._ingest.join()
+        await self._ingest.put(None)
+        if self._writer_task is not None:
+            await self._writer_task
+        if self.snapshot_path:
+            self.service.save(self.snapshot_path)
+        # close() fires the hub's on_drain hook, which closes every
+        # sink; the SSE coroutines then write their "bye" and return.
+        self.service.close()
+        if self._handlers:
+            await asyncio.wait(self._handlers, timeout=5.0)
+        self._closed.set()
+
+    # ------------------------------------------------------------------
+    # The single ingest writer
+    # ------------------------------------------------------------------
+
+    async def _writer(self) -> None:
+        while True:
+            item = await self._ingest.get()
+            if item is None:
+                self._ingest.task_done()
+                return
+            op, payload, future = item
+            try:
+                result = self._apply(op, payload)
+                # Block-policy backpressure: park here (ingest stalls)
+                # until slow consumers make room.  Other policies have
+                # no overflow, so this returns immediately.
+                await self.hub.drain()
+                if not future.cancelled():
+                    future.set_result(result)
+            except Exception as error:
+                if not future.cancelled():
+                    future.set_exception(error)
+            finally:
+                self._ingest.task_done()
+
+    def _apply(self, op: str, payload):
+        service = self.service
+        if op == "feed":
+            self.feeds += 1
+            self.rows_in += len(payload)
+            self.hub.batch_started()
+            return service.feed(payload)
+        user, preference = payload
+        if op == "subscribe":
+            service.subscribe(user, preference)
+        elif op == "update":
+            service.update_preference(user, preference)
+        elif op == "unsubscribe":
+            service.unsubscribe(user)
+        else:  # pragma: no cover - routes map ops exhaustively
+            raise ValueError(f"unknown op {op!r}")
+        return None
+
+    async def submit(self, op: str, payload):
+        """Enqueue one command for the writer task; await its result."""
+        if self._closing:
+            raise HTTPError(503, "server is draining")
+        future = asyncio.get_running_loop().create_future()
+        await self._ingest.put((op, payload, future))
+        return await future
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        try:
+            await self._handle(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._handlers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request = await read_request(reader)
+        except HTTPError as error:
+            writer.write(json_response(error.status,
+                                       {"error": error.message}))
+            await writer.drain()
+            return
+        if request is None:
+            return
+        method, path, _query, _headers, body = request
+        self.requests += 1
+        try:
+            if path.startswith("/events/"):
+                if method != "GET":
+                    raise HTTPError(405, "SSE streams are GET")
+                await self._serve_events(writer, path[len("/events/"):])
+                return
+            response = await self._route(method, path, body)
+        except HTTPError as error:
+            response = json_response(error.status,
+                                     {"error": error.message})
+        except ProtocolError as error:
+            response = json_response(400, {"error": str(error)})
+        except (ReproError, KeyError, ValueError, TypeError) as error:
+            response = json_response(409, {"error": str(error)})
+        writer.write(response)
+        await writer.drain()
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> bytes:
+        if path == "/healthz":
+            if method != "GET":
+                raise HTTPError(405, "use GET")
+            return json_response(200, {"ok": True})
+        if path == "/stats":
+            if method != "GET":
+                raise HTTPError(405, "use GET")
+            return json_response(200, self.stats_snapshot())
+        if path == "/shutdown":
+            if method != "POST":
+                raise HTTPError(405, "use POST")
+            # Reply first, then drain: the client gets its 200 before
+            # the listening socket goes away.
+            asyncio.get_running_loop().create_task(self.shutdown())
+            return json_response(200, {"ok": True, "draining": True})
+        if method != "POST":
+            raise HTTPError(405 if path in ("/subscribe", "/update",
+                                            "/unsubscribe", "/feed")
+                            else 404,
+                            f"no route for {method} {path}")
+        data = protocol.parse_body(body)
+        if path == "/subscribe" or path == "/update":
+            user = protocol.require(data, "user")
+            preference = protocol.decode_preference(
+                protocol.require(data, "preference"))
+            op = "subscribe" if path == "/subscribe" else "update"
+            await self.submit(op, (user, preference))
+            return json_response(200, {"ok": True, "user": user,
+                                       "users": len(self.service)})
+        if path == "/unsubscribe":
+            user = protocol.require(data, "user")
+            await self.submit("unsubscribe", (user, None))
+            return json_response(200, {"ok": True, "user": user,
+                                       "users": len(self.service)})
+        if path == "/feed":
+            rows = protocol.decode_rows(protocol.require(data, "rows"))
+            events = await self.submit("feed", rows)
+            reply = {"ok": True, "objects": len(rows),
+                     "count": len(events)}
+            # quiet=true skips echoing the notifications back (load
+            # generators only want the count; SSE carries the events).
+            if not data.get("quiet"):
+                reply["notifications"] = [
+                    protocol.notification_payload(e) for e in events]
+            return json_response(200, reply)
+        raise HTTPError(404, f"no route for POST {path}")
+
+    async def _serve_events(self, writer, user: str) -> None:
+        if not user:
+            raise HTTPError(404, "stream path is /events/{user}")
+        transport = writer.transport
+        if transport is not None:
+            transport.set_write_buffer_limits(high=SSE_WRITE_BUFFER)
+        head = ["HTTP/1.1 200 OK"]
+        head += [f"{name}: {value}" for name, value in SSE_HEADERS]
+        head.append("Connection: close")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(sse_comment("stream open"))
+        await writer.drain()
+        sink = self.hub.open_stream(user)
+        event_id = 0
+        try:
+            while True:
+                try:
+                    payload = await asyncio.wait_for(sink.get(),
+                                                     self.heartbeat)
+                except asyncio.TimeoutError:
+                    writer.write(sse_comment("hb"))
+                    await writer.drain()
+                    continue
+                if payload is None:
+                    break
+                writer.write(sse_event(payload, event="notification",
+                                       event_id=event_id))
+                event_id += 1
+                await writer.drain()
+            if sink.lagged:
+                writer.write(sse_event(
+                    protocol.dumps({"dropped": sink.dropped}),
+                    event="lagged"))
+            writer.write(sse_event("", event="bye"))
+            await writer.drain()
+        finally:
+            self.hub.close_stream(sink)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """Everything ``GET /stats`` reports: monitor work counters,
+        ingest-to-notify latency percentiles, sink lag counters and
+        request accounting."""
+        return {
+            "users": len(self.service),
+            "service": self.service.stats.snapshot(),
+            "latency": self.hub.recorder.summary(),
+            "sinks": self.hub.snapshot(),
+            "server": {
+                "host": self.host,
+                "port": self.port,
+                "requests": self.requests,
+                "feeds": self.feeds,
+                "rows": self.rows_in,
+                "uptime_s": round(
+                    time.perf_counter() - self.started_at, 3)
+                if self.started_at is not None else 0.0,
+                "draining": self._closing,
+            },
+        }

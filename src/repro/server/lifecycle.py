@@ -1,0 +1,177 @@
+"""Running the serving plane: blocking entry point + thread harness.
+
+Two ways to own the event loop:
+
+* :func:`run_server` — the ``repro serve`` CLI path: ``asyncio.run``
+  with SIGINT/SIGTERM wired to graceful drain, optional snapshot
+  load/save, optional uvloop (the ``repro[server]`` extra) and a stats
+  printout on exit (the percentile-reporting idiom of the bench
+  suite).
+* :class:`ServerThread` — the test/bench harness: the server runs on a
+  private loop in a daemon thread, the caller gets the bound port back
+  synchronously and stops it with :meth:`ServerThread.stop`.  The
+  :class:`MonitorService` must not be touched by the caller while the
+  thread owns it — every mutation rides the server's writer task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from typing import IO, Callable
+
+from repro.server.app import ReproServer
+from repro.service import MonitorService
+
+
+def install_uvloop() -> bool:
+    """Install uvloop's event-loop policy when the optional
+    ``repro[server]`` extra is present; returns whether it was."""
+    try:
+        import uvloop  # noqa: F401 - optional accelerator
+    except ImportError:
+        return False
+    uvloop.install()
+    return True
+
+
+def _print_exit_stats(server: ReproServer, out) -> None:
+    stats = server.stats_snapshot()
+    latency = stats["latency"]
+    sinks = stats["sinks"]
+    service = stats["service"]
+    print(f"served {stats['server']['requests']} requests, "
+          f"{stats['server']['feeds']} feeds "
+          f"({stats['server']['rows']} rows), "
+          f"{sinks['notifications']} notifications to "
+          f"{sinks['streams_opened']} streams "
+          f"({sinks['dropped']} dropped, "
+          f"{sinks['disconnects']} lag disconnects)", file=out)
+    print(f"monitor: {service['objects']} objects, "
+          f"{service['comparisons']:,} comparisons", file=out)
+    print(f"ingest-to-notify latency: "
+          f"p50 {latency['p50_ms']:.3f} ms / "
+          f"p90 {latency['p90_ms']:.3f} ms / "
+          f"p99 {latency['p99_ms']:.3f} ms "
+          f"(mean {latency['mean_ms']:.3f} ms, "
+          f"max {latency['max_ms']:.3f} ms, "
+          f"n={int(latency['count'])})", file=out)
+
+
+def run_server(service: MonitorService, host: str, port: int, *,
+               queue_size: int = 256, policy: str = "block",
+               heartbeat: float = 15.0,
+               snapshot_path: str | None = None,
+               out: IO[str] | None = None,
+               ready: Callable[[ReproServer], None] | None = None
+               ) -> int:
+    """Serve until SIGINT/SIGTERM (or ``POST /shutdown``); drain and
+    return 0.  Prints the bound address on start (flushed, so wrapper
+    scripts can parse it) and the stats summary on exit."""
+
+    async def main() -> None:
+        server = ReproServer(service, host, port,
+                             queue_size=queue_size, policy=policy,
+                             heartbeat=heartbeat,
+                             snapshot_path=snapshot_path)
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def request_shutdown() -> None:
+            loop.create_task(server.shutdown())
+
+        import signal
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, request_shutdown)
+        if out is not None:
+            print(f"serving on {server.host}:{server.port}",
+                  file=out, flush=True)
+        if ready is not None:
+            ready(server)
+        await server.serve_forever()
+        if out is not None:
+            _print_exit_stats(server, out)
+
+    install_uvloop()
+    asyncio.run(main())
+    return 0
+
+
+class ServerThread:
+    """A :class:`ReproServer` on a private loop in a daemon thread."""
+
+    def __init__(self, service: MonitorService,
+                 host: str = "127.0.0.1", port: int = 0,
+                 **server_kwargs) -> None:
+        self.service = service
+        self._host = host
+        self._port = port
+        self._kwargs = server_kwargs
+        self.server: ReproServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None, "start() first"
+        return self.server.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._host, self.port
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-server")
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        server = ReproServer(self.service, self._host, self._port,
+                             **self._kwargs)
+
+        async def main() -> None:
+            try:
+                await server.start()
+                self.server = server
+            except BaseException as error:
+                self._startup_error = error
+                raise
+            finally:
+                self._ready.set()
+            await server.serve_forever()
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._ready.set()
+            self._loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful drain from the calling thread; joins the loop
+        thread.  Idempotent."""
+        if (self._thread is None or not self._thread.is_alive()
+                or self.server is None or self._loop is None):
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self._loop)
+        with contextlib.suppress(Exception):
+            future.result(timeout)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,95 @@
+"""Wire encodings of the serving plane (DESIGN.md §15).
+
+One canonical JSON form per payload kind, shared by every transport:
+the SSE stream, the ``POST /feed`` response and any in-process
+comparison harness all call :func:`notification_json`, so the
+byte-identity contract of ``tests/test_server.py`` ("SSE payloads ==
+in-process sink payloads") is a statement about one function, not two
+serializers that happen to agree.
+
+Preferences travel in the :mod:`repro.io` encoding (Hasse edges +
+isolated values per attribute), exactly as the ``monitor --service``
+JSONL command stream already accepts them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro import io as repro_io
+from repro.core.preference import Preference
+from repro.service import Notification
+
+#: Compact separators: the canonical byte form has no whitespace.
+_SEPARATORS = (",", ":")
+
+
+def notification_payload(event: Notification) -> dict[str, Any]:
+    """The plain-data form of one delivery event."""
+    return {
+        "user": event.user,
+        "oid": event.oid,
+        "values": list(event.values),
+    }
+
+
+def notification_json(event: Notification) -> str:
+    """The canonical JSON byte form (compact, fixed key order)."""
+    return json.dumps(notification_payload(event),
+                      separators=_SEPARATORS)
+
+
+def dumps(payload: Any) -> str:
+    """Canonical JSON for every non-notification response body."""
+    return json.dumps(payload, separators=_SEPARATORS)
+
+
+class ProtocolError(ValueError):
+    """A malformed request body (HTTP 400)."""
+
+
+def parse_body(raw: bytes) -> dict:
+    """Decode a JSON request body into a dict or raise
+    :class:`ProtocolError`."""
+    if not raw:
+        raise ProtocolError("empty request body (expected JSON)")
+    try:
+        data = json.loads(raw)
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"invalid JSON body: {error}") from None
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(data).__name__}")
+    return data
+
+
+def require(body: dict, key: str):
+    """Fetch a required body key or raise :class:`ProtocolError`."""
+    if key not in body:
+        raise ProtocolError(f"missing required key {key!r}")
+    return body[key]
+
+
+def decode_preference(data: Any) -> Preference:
+    """Decode the :mod:`repro.io` preference encoding."""
+    if not isinstance(data, dict):
+        raise ProtocolError("preference must be a JSON object "
+                            "({attribute: {hasse, isolated}})")
+    try:
+        return repro_io.preference_from_dict(data)
+    except (KeyError, ValueError, TypeError) as error:
+        raise ProtocolError(f"bad preference: {error}") from None
+
+
+def decode_rows(data: Any) -> list:
+    """Validate the ``rows`` payload of ``POST /feed``: a JSON array of
+    arrival rows (value arrays or {attribute: value} objects)."""
+    if not isinstance(data, list):
+        raise ProtocolError("rows must be a JSON array of arrival rows")
+    for index, row in enumerate(data):
+        if not isinstance(row, (list, dict)):
+            raise ProtocolError(
+                f"row {index} must be an array or object, "
+                f"got {type(row).__name__}")
+    return data

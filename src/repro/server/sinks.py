@@ -1,0 +1,282 @@
+"""Bounded async queue sinks: the per-client delivery edge.
+
+Every connected SSE client owns one :class:`QueueSink` — a bounded
+:class:`asyncio.Queue` the ingest writer task offers notification
+payloads into and the client's stream coroutine drains.  The queue
+bound is where a slow consumer meets a fast feed, and the *policy*
+decides who pays:
+
+* ``block`` — overflow is parked on the sink and the writer task
+  awaits :meth:`QueueSink.drain` after each batch: ingest stalls until
+  the consumer catches up (true backpressure; the only policy that
+  never drops an event).
+* ``drop-oldest`` — the oldest queued event is discarded to make room
+  (``dropped`` counts the loss); ingest never stalls.
+* ``disconnect`` — the sink is closed on first overflow (the Redis
+  pub-sub / ``lagged`` idiom); the client sees a ``lagged`` event and
+  must reconnect; ingest never stalls.
+
+All sink mutation happens on the event-loop thread (the writer task
+and the stream coroutines both live there), so the counters need no
+locks.  The :class:`NotificationHub` is the single service-wide sink
+registered via ``MonitorService.deliver_to``: it stamps the
+ingest-to-notify latency per notification and fans each one out to the
+open streams of its target user.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+
+from repro.metrics.latency import StreamingPercentiles
+from repro.server.protocol import notification_json
+from repro.service import Notification
+
+#: Backpressure policies, in documentation order.
+BLOCK = "block"
+DROP_OLDEST = "drop-oldest"
+DISCONNECT = "disconnect"
+POLICIES = (BLOCK, DROP_OLDEST, DISCONNECT)
+
+#: Queue sentinel: the stream coroutine stops when it reads this.
+CLOSE = object()
+
+
+def validate_policy(policy: str) -> str:
+    if policy not in POLICIES:
+        raise ValueError(f"unknown backpressure policy {policy!r}; "
+                         f"choose from {', '.join(POLICIES)}")
+    return policy
+
+
+class QueueSink:
+    """One client's bounded delivery queue with a backpressure policy."""
+
+    __slots__ = ("user", "policy", "queue", "overflow", "alive",
+                 "lagged", "queued", "delivered", "dropped",
+                 "high_water")
+
+    def __init__(self, user, maxsize: int = 256,
+                 policy: str = BLOCK) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.user = user
+        self.policy = validate_policy(policy)
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize)
+        #: Block-policy holding pen; drained by the writer task.
+        self.overflow: deque = deque()
+        self.alive = True
+        #: True when the disconnect policy fired (vs a clean close).
+        self.lagged = False
+        self.queued = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.high_water = 0
+
+    # -- writer side (event-loop thread, synchronous) -------------------
+
+    def offer(self, payload: str) -> None:
+        """Enqueue one payload, applying the policy on overflow."""
+        if not self.alive:
+            return
+        if self.overflow:
+            # Once blocked, later offers queue behind the overflow so
+            # delivery order is preserved.
+            self.overflow.append(payload)
+            self._mark_high_water()
+            return
+        try:
+            self.queue.put_nowait(payload)
+        except asyncio.QueueFull:
+            if self.policy == DROP_OLDEST:
+                try:
+                    self.queue.get_nowait()
+                    self.dropped += 1
+                except asyncio.QueueEmpty:   # pragma: no cover
+                    pass
+                self.queue.put_nowait(payload)
+            elif self.policy == DISCONNECT:
+                self.close(lagged=True)
+                return
+            else:
+                self.overflow.append(payload)
+                self._mark_high_water()
+                return
+        self.queued += 1
+        self._mark_high_water()
+
+    def _mark_high_water(self) -> None:
+        lag = self.lag
+        if lag > self.high_water:
+            self.high_water = lag
+
+    @property
+    def lag(self) -> int:
+        """Events offered but not yet handed to the consumer."""
+        return self.queue.qsize() + len(self.overflow)
+
+    async def drain(self) -> None:
+        """Move overflow into the queue, awaiting room (block policy's
+        backpressure point — the writer task awaits this per batch)."""
+        while self.overflow and self.alive:
+            payload = self.overflow.popleft()
+            await self.queue.put(payload)
+            self.queued += 1
+
+    def close(self, lagged: bool = False) -> None:
+        """Stop the sink: discard overflow, wake the consumer with the
+        CLOSE sentinel (dropping one queued event if the queue is
+        full).  Idempotent."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.lagged = lagged
+        self.dropped += len(self.overflow)
+        self.overflow.clear()
+        try:
+            self.queue.put_nowait(CLOSE)
+        except asyncio.QueueFull:
+            self.queue.get_nowait()
+            self.dropped += 1
+            self.queue.put_nowait(CLOSE)
+
+    # -- consumer side (stream coroutine) -------------------------------
+
+    async def get(self) -> str | None:
+        """Next payload, or None once the sink is closed and drained."""
+        item = await self.queue.get()
+        if item is CLOSE:
+            return None
+        self.delivered += 1
+        return item
+
+    def snapshot(self) -> dict:
+        return {
+            "user": self.user,
+            "policy": self.policy,
+            "alive": self.alive,
+            "lagged": self.lagged,
+            "lag": self.lag,
+            "queued": self.queued,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "high_water": self.high_water,
+        }
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else (
+            "lagged" if self.lagged else "closed")
+        return (f"QueueSink({self.user!r}, {self.policy}, {state}, "
+                f"lag={self.lag})")
+
+
+class NotificationHub:
+    """The service-wide sink: latency stamping + per-user fan-out.
+
+    Registered once via ``service.deliver_to(hub)``; the ingest writer
+    calls :meth:`batch_started` immediately before ``service.feed``, so
+    every notification's ingest-to-notify latency is the gap between
+    the batch entering the monitor and the event reaching the sinks.
+    Implements ``on_drain`` — the :meth:`MonitorService.close` drain
+    hook — by closing every open sink, which ends the SSE streams.
+    """
+
+    def __init__(self, recorder: StreamingPercentiles | None = None,
+                 *, maxsize: int = 256, policy: str = BLOCK,
+                 clock=time.perf_counter) -> None:
+        self.recorder = recorder if recorder is not None \
+            else StreamingPercentiles()
+        self.maxsize = maxsize
+        self.policy = validate_policy(policy)
+        self._clock = clock
+        self._streams: dict[object, list[QueueSink]] = {}
+        self._batch_started: float | None = None
+        self.notifications = 0
+        self.disconnects = 0
+        self.streams_opened = 0
+
+    # -- stream registry ------------------------------------------------
+
+    def open_stream(self, user) -> QueueSink:
+        """Register a new client stream for *user* (any number may be
+        open per user; each gets every notification)."""
+        sink = QueueSink(user, self.maxsize, self.policy)
+        self._streams.setdefault(user, []).append(sink)
+        self.streams_opened += 1
+        return sink
+
+    def close_stream(self, sink: QueueSink) -> None:
+        """Unregister (and close) one client stream."""
+        sink.close()
+        sinks = self._streams.get(sink.user)
+        if sinks and sink in sinks:
+            sinks.remove(sink)
+            if not sinks:
+                del self._streams[sink.user]
+
+    @property
+    def open_streams(self) -> int:
+        return sum(len(sinks) for sinks in self._streams.values())
+
+    # -- Sink protocol (called synchronously inside service.feed) -------
+
+    def batch_started(self, t0: float | None = None) -> None:
+        self._batch_started = self._clock() if t0 is None else t0
+
+    def __call__(self, event: Notification) -> None:
+        if self._batch_started is not None:
+            self.recorder.record(self._clock() - self._batch_started)
+        self.notifications += 1
+        sinks = self._streams.get(event.user)
+        if not sinks:
+            return
+        payload = notification_json(event)
+        for sink in tuple(sinks):
+            was_alive = sink.alive
+            sink.offer(payload)
+            if was_alive and not sink.alive:
+                self.disconnects += 1
+
+    # -- writer-task backpressure / shutdown ----------------------------
+
+    async def drain(self) -> None:
+        """Await block-policy overflow into the queues (a no-op for the
+        other policies, whose offers never park overflow)."""
+        for sinks in tuple(self._streams.values()):
+            for sink in tuple(sinks):
+                if sink.overflow:
+                    await sink.drain()
+
+    def on_drain(self) -> None:
+        """``MonitorService.close`` drain hook: end every stream."""
+        for sinks in tuple(self._streams.values()):
+            for sink in tuple(sinks):
+                sink.close()
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Aggregate lag counters across all open streams."""
+        queued = delivered = dropped = lag = high_water = 0
+        for sinks in self._streams.values():
+            for sink in sinks:
+                queued += sink.queued
+                delivered += sink.delivered
+                dropped += sink.dropped
+                lag += sink.lag
+                high_water = max(high_water, sink.high_water)
+        return {
+            "policy": self.policy,
+            "queue_size": self.maxsize,
+            "open_streams": self.open_streams,
+            "streams_opened": self.streams_opened,
+            "notifications": self.notifications,
+            "queued": queued,
+            "delivered": delivered,
+            "dropped": dropped,
+            "lag": lag,
+            "high_water": high_water,
+            "disconnects": self.disconnects,
+        }

@@ -1,0 +1,38 @@
+"""Server-Sent Events framing (one event = one ``data:`` block).
+
+The SSE wire format is line-oriented text: optional ``event:`` and
+``id:`` fields, one ``data:`` line per payload line, terminated by a
+blank line.  Comments (lines starting with ``:``) are the standard
+keep-alive idiom — clients ignore them, proxies see traffic.
+"""
+
+from __future__ import annotations
+
+#: Standard SSE headers (the response is streamed until close).
+SSE_HEADERS = (
+    ("Content-Type", "text/event-stream; charset=utf-8"),
+    ("Cache-Control", "no-cache"),
+    ("X-Accel-Buffering", "no"),
+)
+
+
+def sse_event(data: str, event: str | None = None,
+              event_id: int | str | None = None) -> bytes:
+    """Encode one SSE event.
+
+    Multi-line *data* is split into one ``data:`` line per line, per
+    the spec, so a client's joined ``data`` round-trips exactly.
+    """
+    lines = []
+    if event is not None:
+        lines.append(f"event: {event}")
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    for chunk in data.split("\n"):
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def sse_comment(text: str = "") -> bytes:
+    """A comment line (keep-alive heartbeat; ignored by clients)."""
+    return f": {text}\n\n".encode("utf-8")

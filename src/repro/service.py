@@ -259,6 +259,7 @@ class MonitorService:
         self._history: list[Object] = []
         self._sinks: list[Sink] = []
         self._user_sinks: dict[UserId, Sink] = {}
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -435,7 +436,12 @@ class MonitorService:
             self._history.extend(objects)
         notifications: list[Notification] = []
         user_sinks = self._user_sinks
-        sinks = self._sinks
+        # Snapshot the service-wide sink list: a sink callback may
+        # register or unregister sinks mid-dispatch (the serving plane
+        # opens/closes streams from inside the event loop), and
+        # mutating the live list while iterating it would skip or
+        # double-deliver.
+        sinks = tuple(self._sinks)
         for obj, targets in zip(objects, results):
             for user in sorted(targets, key=repr):
                 event = Notification(user, obj)
@@ -452,9 +458,30 @@ class MonitorService:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release executor resources held by a sharded monitor
-        (worker processes, thread pools).  A no-op for serial policies;
-        idempotent everywhere.  The context-manager form calls it."""
+        """Drain sinks and release executor resources.
+
+        Idempotent — the serving plane calls it from signal handlers,
+        ``POST /shutdown`` *and* context exit, and any of those may
+        race another, so a second (or third) call must be a no-op.
+        Two steps, in order:
+
+        1. every registered sink exposing an ``on_drain()`` hook is
+           told to drain (the serving plane's notification hub closes
+           its client queues here, ending the SSE streams);
+        2. a sharded monitor's executor resources (worker processes,
+           thread pools) are released — a no-op for serial policies.
+
+        The service remains usable for in-process calls afterwards
+        under serial policies; sharded monitors are done once closed.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for sink in (tuple(self._sinks)
+                     + tuple(self._user_sinks.values())):
+            hook = getattr(sink, "on_drain", None)
+            if hook is not None:
+                hook()
         close = getattr(self._monitor, "close", None)
         if close is not None:
             close()

@@ -210,7 +210,7 @@ class TestExperiments:
             "fig11", "tab11", "tab12", "abl-sim", "abl-theta",
             "abl-users", "abl-batch", "abl-buffer", "perf",
             "perf-batch", "perf-steady", "perf-churn", "perf-shard",
-            "perf-vector", "perf-wire"}
+            "perf-vector", "perf-wire", "perf-serve"}
 
     def test_shard_perf_snapshot_smoke(self, tmp_path):
         path = tmp_path / "BENCH_shard.json"
@@ -253,6 +253,26 @@ class TestExperiments:
         assert 0 < sharded["wire_bytes"] \
             < sharded["pickled_baseline_bytes"]
         assert sharded["wire_vs_pickled"] < 1.0
+
+    def test_serve_perf_snapshot_smoke(self, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        snapshot = runner.serve_perf_snapshot(
+            clients=3, configs=(("serial", 1),), batch_size=64,
+            length=192, path=str(path))
+        assert path.exists()
+        # The serving header stamps topology next to cpu provenance.
+        assert snapshot["host"] == "127.0.0.1"
+        assert snapshot["clients"] == 3
+        assert snapshot["cpus"] >= 1
+        run = snapshot["runs"]["serial-1"]
+        assert run["port"] > 0
+        assert run["objects"] == 192
+        assert run["objects_per_s"] > 0
+        # Graceful drain delivers every queued frame: what the SSE
+        # readers saw equals what the hub dispatched.
+        assert run["sse_received"] == run["notifications"]
+        assert run["sse_dropped"] == 0
+        assert run["notify_p50_ms"] > 0
 
     def test_churn_perf_snapshot_smoke(self, tmp_path):
         path = tmp_path / "BENCH_churn.json"

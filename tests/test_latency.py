@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.baseline import Baseline
 from repro.metrics.latency import (LatencyProfile, LatencyProfiler,
-                                   SLOReport)
+                                   SLOReport, StreamingPercentiles)
 
 
 class FakeClock:
@@ -115,3 +115,61 @@ class TestSLO:
 
     def test_empty_report(self):
         assert SLOReport(5.0, 0, 0).compliance == 1.0
+
+
+class TestStreamingPercentiles:
+    def test_exact_below_capacity(self):
+        sp = StreamingPercentiles(capacity=100, seed=1)
+        for ms in range(1, 11):
+            sp.record(ms / 1000.0)
+        assert sp.count == 10
+        assert sp.mean == pytest.approx(0.0055)
+        assert sp.max == pytest.approx(0.010)
+        # Below capacity the reservoir holds every sample, so the
+        # quantiles are exact.
+        assert sp.quantile(0.0) == pytest.approx(0.001)
+        assert sp.quantile(1.0) == pytest.approx(0.010)
+        assert sp.quantile(0.5) == pytest.approx(0.0055)
+
+    def test_memory_stays_bounded(self):
+        sp = StreamingPercentiles(capacity=256, seed=7)
+        for i in range(50_000):
+            sp.record(i / 1e6)
+        assert sp.count == 50_000
+        assert len(sp._reservoir) == 256
+        assert sp.max == pytest.approx(49_999 / 1e6)
+
+    def test_approximates_true_quantiles(self):
+        import numpy as np
+        rng = __import__("random").Random(42)
+        samples = [rng.expovariate(1000.0) for _ in range(20_000)]
+        sp = StreamingPercentiles(capacity=2048, seed=0)
+        for s in samples:
+            sp.record(s)
+        for q in (0.5, 0.9, 0.99):
+            truth = float(np.quantile(samples, q))
+            # Reservoir sampling: within 15% relative error at this
+            # capacity, deterministic given the seed.
+            assert sp.quantile(q) == pytest.approx(truth, rel=0.15)
+
+    def test_summary_matches_profile_keys(self):
+        profile = LatencyProfile()
+        sp = StreamingPercentiles()
+        for ms in (1, 2, 3):
+            profile.record(ms / 1000.0)
+            sp.record(ms / 1000.0)
+        assert sp.summary().keys() == profile.summary().keys()
+        assert sp.summary() == pytest.approx(profile.summary())
+
+    def test_empty_summary_is_zeroed(self):
+        summary = StreamingPercentiles().summary()
+        assert summary["count"] == 0
+        assert all(value == 0.0 for key, value in summary.items()
+                   if key != "count")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingPercentiles(capacity=0)
+        sp = StreamingPercentiles()
+        with pytest.raises(ValueError):
+            sp.quantile(1.5)

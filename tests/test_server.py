@@ -1,0 +1,511 @@
+"""The HTTP/SSE serving plane (PR 9, DESIGN.md §15).
+
+The central contract is end-to-end byte-identity: notification JSON
+payloads received over SSE must equal the in-process ``deliver_to``
+sink output for the same feed — across monitor families and executors
+— because both sides serialize through
+:func:`repro.server.protocol.notification_json`.  The slow-consumer
+tests pin that the drop-oldest and disconnect backpressure policies
+engage without stalling ingest, and ``GET /stats`` must report
+non-zero ingest-to-notify percentiles after any feed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import MonitorService, PartialOrder, Preference, io as repro_io
+from repro.server import (BLOCK, DISCONNECT, DROP_OLDEST,
+                          NotificationHub, QueueSink, ServerThread,
+                          notification_json, sse_comment, sse_event)
+from repro.server.protocol import ProtocolError, parse_body
+from repro.service import Notification, ServicePolicy
+
+SCHEMA = ("color", "size")
+
+PREFS = {
+    "alice": Preference({
+        "color": PartialOrder.from_edges([("red", "blue")]),
+        "size": PartialOrder.from_chain(["l", "m", "s"]),
+    }),
+    "bob": Preference({
+        "color": PartialOrder.from_edges([("blue", "red")]),
+    }),
+    "carol": Preference({
+        "size": PartialOrder.from_chain(["s", "m", "l"]),
+    }),
+}
+
+ROWS = [
+    ["red", "m"], ["blue", "s"], ["red", "l"], ["green", "m"],
+    ["blue", "l"], ["red", "s"], ["green", "s"], ["blue", "m"],
+]
+
+
+# ---------------------------------------------------------------------------
+# HTTP helpers
+# ---------------------------------------------------------------------------
+
+def request(port, method, path, payload=None, timeout=30):
+    conn = http.client.HTTPConnection("127.0.0.1", port,
+                                      timeout=timeout)
+    body = None if payload is None else json.dumps(payload)
+    conn.request(method, path, body)
+    response = conn.getresponse()
+    raw = response.read()
+    conn.close()
+    return response.status, json.loads(raw)
+
+
+def post(port, path, payload, timeout=30):
+    return request(port, "POST", path, payload, timeout)
+
+
+class SSEClient:
+    """A background SSE reader collecting (event, data) pairs."""
+
+    def __init__(self, port, user, timeout=30):
+        self.events: list[tuple[str, str]] = []
+        self.done = threading.Event()
+        self._conn = http.client.HTTPConnection("127.0.0.1", port,
+                                                timeout=timeout)
+        self._conn.request("GET", f"/events/{user}")
+        self._response = self._conn.getresponse()
+        assert self._response.status == 200
+        assert self._response.getheader("Content-Type").startswith(
+            "text/event-stream")
+        self._thread = threading.Thread(target=self._read, daemon=True)
+        self._thread.start()
+
+    def _read(self):
+        event, data = "message", []
+        try:
+            while True:
+                line = self._response.fp.readline()
+                if not line:
+                    break
+                line = line.decode("utf-8").rstrip("\n")
+                if not line:           # dispatch on blank line
+                    if data:
+                        self.events.append((event, "\n".join(data)))
+                    if event == "bye":
+                        break
+                    event, data = "message", []
+                elif line.startswith(":"):
+                    continue
+                elif line.startswith("event: "):
+                    event = line[len("event: "):]
+                elif line.startswith("data: "):
+                    data.append(line[len("data: "):])
+        except (OSError, ValueError):
+            pass
+        finally:
+            self.done.set()
+            self._conn.close()
+
+    def notifications(self):
+        return [data for event, data in self.events
+                if event == "notification"]
+
+    def wait(self, count, timeout=10.0):
+        """Wait until *count* notifications arrived (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(self.notifications()) >= count:
+                return True
+            time.sleep(0.01)
+        return False
+
+    def join(self, timeout=10.0):
+        self.done.wait(timeout)
+        self._thread.join(timeout)
+
+
+def reference_payloads(policy, rows):
+    """The in-process oracle: the same feed through deliver_to."""
+    with MonitorService(SCHEMA, policy=policy) as service:
+        captured: list[Notification] = []
+        service.deliver_to(captured.append)
+        for user, pref in PREFS.items():
+            service.subscribe(user, pref)
+        service.feed(rows)
+    return [notification_json(event) for event in captured]
+
+
+# ---------------------------------------------------------------------------
+# End to end: SSE payloads == in-process sink payloads
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("family,executor,workers", [
+    ("ftv", "serial", 1),
+    ("ftv", "threads", 2),
+    ("baseline", "serial", 1),
+    ("baseline", "threads", 2),
+])
+def test_sse_byte_identical_to_in_process_sinks(family, executor,
+                                                workers):
+    policy = ServicePolicy(shared=family != "baseline",
+                           workers=workers, executor=executor)
+    expected = reference_payloads(policy, ROWS)
+    assert expected, "the fixture feed must deliver something"
+
+    service = MonitorService(SCHEMA, policy=policy)
+    thread = ServerThread(service).start()
+    try:
+        port = thread.port
+        clients = {}
+        for user, pref in PREFS.items():
+            status, reply = post(port, "/subscribe", {
+                "user": user,
+                "preference": repro_io.preference_to_dict(pref)})
+            assert status == 200 and reply["ok"]
+            clients[user] = SSEClient(port, user)
+        status, reply = post(port, "/feed", {"rows": ROWS})
+        assert status == 200
+        assert reply["count"] == len(expected)
+        # The /feed response echoes the same canonical payloads.
+        echoed = [json.dumps(n, separators=(",", ":"))
+                  for n in reply["notifications"]]
+        assert echoed == expected
+        for user, client in clients.items():
+            wanted = [p for p in expected
+                      if json.loads(p)["user"] == user]
+            assert client.wait(len(wanted))
+            assert client.notifications() == wanted
+
+        status, stats = request(port, "GET", "/stats")
+        assert status == 200
+        latency = stats["latency"]
+        assert latency["count"] == len(expected)
+        for key in ("p50_ms", "p90_ms", "p99_ms"):
+            assert latency[key] > 0.0
+        assert stats["sinks"]["notifications"] == len(expected)
+        assert stats["sinks"]["dropped"] == 0
+    finally:
+        thread.stop()
+    for client in clients.values():
+        client.join()
+        assert ("bye", "") in client.events   # graceful drain reached
+
+
+def test_lifecycle_over_http_matches_service_semantics():
+    """subscribe/update/unsubscribe ride the writer task and mutate
+    the service exactly as the in-process calls do."""
+    service = MonitorService(SCHEMA)
+    with ServerThread(service) as thread:
+        port = thread.port
+        pref = repro_io.preference_to_dict(PREFS["alice"])
+        assert post(port, "/subscribe",
+                    {"user": "u", "preference": pref})[0] == 200
+        # Duplicate subscribe is a client error, not a crash.
+        status, reply = post(port, "/subscribe",
+                             {"user": "u", "preference": pref})
+        assert status == 409 and "error" in reply
+        assert post(port, "/update", {
+            "user": "u",
+            "preference": repro_io.preference_to_dict(PREFS["bob"]),
+        })[0] == 200
+        status, reply = post(port, "/feed",
+                             {"rows": ROWS, "quiet": True})
+        assert status == 200 and "notifications" not in reply
+        assert reply["count"] > 0
+        assert post(port, "/unsubscribe", {"user": "u"})[0] == 200
+        assert len(service) == 0
+        status, reply = post(port, "/unsubscribe", {"user": "u"})
+        assert status == 409
+
+
+# ---------------------------------------------------------------------------
+# Slow consumers: policies engage without stalling ingest
+# ---------------------------------------------------------------------------
+
+def _bulk_setup(policy, queue_size, n_values, pad):
+    """A service whose every arrival notifies one user, served with a
+    tiny queue, plus payloads big enough to defeat socket buffering."""
+    values = [f"v{i:04d}" + "x" * pad for i in range(n_values)]
+    preference = Preference({
+        "blob": PartialOrder.from_edges([], domain=values)})
+    service = MonitorService(("blob",))
+    thread = ServerThread(service, queue_size=queue_size,
+                          policy=policy).start()
+    port = thread.port
+    status, _ = post(port, "/subscribe", {
+        "user": "slow",
+        "preference": repro_io.preference_to_dict(preference)})
+    assert status == 200
+    return thread, port, values
+
+
+def _stalled_sse_socket(port, user):
+    """Open an SSE stream and never read it: a tiny SO_RCVBUF caps the
+    TCP window, so the server's write path blocks deterministically
+    instead of hiding behind megabytes of kernel buffering."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+    sock.sendall(f"GET /events/{user} HTTP/1.1\r\n"
+                 f"Host: x\r\n\r\n".encode())
+    return sock
+
+
+def test_drop_oldest_policy_sheds_load_without_stalling_ingest():
+    thread, port, values = _bulk_setup(DROP_OLDEST, queue_size=4,
+                                       n_values=200, pad=2048)
+    sock = _stalled_sse_socket(port, "slow")
+    try:
+        time.sleep(0.2)
+        started = time.monotonic()
+        status, reply = post(port, "/feed", {
+            "rows": [[v] for v in values], "quiet": True}, timeout=60)
+        elapsed = time.monotonic() - started
+        assert status == 200
+        assert reply["count"] == len(values)   # ingest never stalled
+        assert elapsed < 30
+        status, stats = request(port, "GET", "/stats")
+        sinks = stats["sinks"]
+        assert sinks["dropped"] > 0            # the policy engaged
+        assert sinks["disconnects"] == 0
+        assert sinks["lag"] <= 4 + 1
+    finally:
+        sock.close()
+        thread.stop()
+
+
+def test_disconnect_policy_sheds_the_client_not_the_feed():
+    thread, port, values = _bulk_setup(DISCONNECT, queue_size=4,
+                                       n_values=200, pad=2048)
+    sock = _stalled_sse_socket(port, "slow")
+    try:
+        time.sleep(0.2)
+        status, reply = post(port, "/feed", {
+            "rows": [[v] for v in values], "quiet": True}, timeout=60)
+        assert status == 200
+        assert reply["count"] == len(values)
+        status, stats = request(port, "GET", "/stats")
+        assert stats["sinks"]["disconnects"] >= 1
+    finally:
+        sock.close()
+        thread.stop()
+
+
+def test_block_policy_applies_backpressure_then_delivers_everything():
+    """Block policy: the writer stalls on overflow but no event is
+    ever dropped once the consumer catches up."""
+    async def scenario():
+        hub = NotificationHub(maxsize=2, policy=BLOCK)
+        sink = hub.open_stream("u")
+        mk = lambda i: Notification("u", _FakeObject(i))  # noqa: E731
+        hub.batch_started()
+        for i in range(7):
+            hub(mk(i))
+        assert sink.lag == 7                   # 2 queued + 5 overflow
+        received = []
+
+        async def consume():
+            while len(received) < 7:
+                received.append(await sink.get())
+
+        consumer = asyncio.create_task(consume())
+        await hub.drain()                      # writer-side barrier
+        await consumer
+        assert received == [notification_json(mk(i)) for i in range(7)]
+        assert sink.dropped == 0
+        assert sink.high_water >= 7
+    asyncio.run(scenario())
+
+
+class _FakeObject:
+    def __init__(self, oid):
+        self.oid = oid
+        self.values = ("v",)
+
+
+# ---------------------------------------------------------------------------
+# QueueSink unit behaviour
+# ---------------------------------------------------------------------------
+
+class TestQueueSink:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_drop_oldest_discards_head(self):
+        async def scenario():
+            sink = QueueSink("u", maxsize=2, policy=DROP_OLDEST)
+            for payload in "abcd":
+                sink.offer(payload)
+            assert sink.dropped == 2
+            assert await sink.get() == "c"
+            assert await sink.get() == "d"
+            assert sink.delivered == 2
+        self.run(scenario())
+
+    def test_disconnect_closes_on_first_overflow(self):
+        async def scenario():
+            sink = QueueSink("u", maxsize=2, policy=DISCONNECT)
+            for payload in "abc":
+                sink.offer(payload)
+            assert not sink.alive and sink.lagged
+            sink.offer("e")                    # no-op once dead
+            # Close on a full queue drops the oldest entry to make
+            # room for the CLOSE sentinel, then the rest drains.
+            assert await sink.get() == "b"
+            assert await sink.get() is None
+        self.run(scenario())
+
+    def test_close_is_idempotent(self):
+        async def scenario():
+            sink = QueueSink("u", maxsize=2, policy=BLOCK)
+            sink.offer("a")
+            sink.close()
+            sink.close()                       # second close is a no-op
+            assert sink.dropped == 0
+            assert await sink.get() == "a"
+            assert await sink.get() is None
+        self.run(scenario())
+
+    def test_close_drops_overflow_and_makes_sentinel_room(self):
+        async def scenario():
+            sink = QueueSink("u", maxsize=2, policy=BLOCK)
+            for payload in "abc":
+                sink.offer(payload)            # "c" parks in overflow
+            sink.close()
+            # Overflow is discarded and — the queue being full by
+            # construction whenever overflow exists — the oldest
+            # queued event is dropped for the CLOSE sentinel.
+            assert sink.dropped == 2
+            assert await sink.get() == "b"
+            assert await sink.get() is None
+        self.run(scenario())
+
+    def test_close_with_full_queue_makes_room_for_sentinel(self):
+        async def scenario():
+            sink = QueueSink("u", maxsize=1, policy=DROP_OLDEST)
+            sink.offer("a")
+            sink.close()
+            assert await sink.get() is None
+            assert sink.dropped == 1
+        self.run(scenario())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueSink("u", maxsize=0)
+        with pytest.raises(ValueError):
+            QueueSink("u", policy="nope")
+
+
+# ---------------------------------------------------------------------------
+# Framing and protocol units
+# ---------------------------------------------------------------------------
+
+class TestFraming:
+    def test_sse_event_fields(self):
+        assert sse_event("x", event="notification", event_id=3) == \
+            b"event: notification\nid: 3\ndata: x\n\n"
+
+    def test_sse_multiline_data_round_trips(self):
+        assert sse_event("a\nb") == b"data: a\ndata: b\n\n"
+
+    def test_sse_comment(self):
+        assert sse_comment("hb") == b": hb\n\n"
+
+    def test_parse_body_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            parse_body(b"")
+        with pytest.raises(ProtocolError):
+            parse_body(b"{nope")
+        with pytest.raises(ProtocolError):
+            parse_body(b"[1, 2]")
+        assert parse_body(b'{"a": 1}') == {"a": 1}
+
+    def test_notification_json_is_compact_and_ordered(self):
+        event = Notification("u", _FakeObject(7))
+        assert notification_json(event) == \
+            '{"user":"u","oid":7,"values":["v"]}'
+
+
+# ---------------------------------------------------------------------------
+# HTTP error surface + shutdown
+# ---------------------------------------------------------------------------
+
+class TestHTTPSurface:
+    @pytest.fixture()
+    def served(self):
+        service = MonitorService(SCHEMA)
+        thread = ServerThread(service).start()
+        yield thread.port
+        thread.stop()
+
+    def test_routes_and_errors(self, served):
+        port = served
+        assert request(port, "GET", "/healthz")[0] == 200
+        assert request(port, "GET", "/nope")[0] == 404
+        assert request(port, "GET", "/subscribe")[0] == 405
+        assert request(port, "POST", "/healthz")[0] == 405
+        status, reply = post(port, "/subscribe", {"user": "u"})
+        assert status == 400 and "preference" in reply["error"]
+        status, reply = post(port, "/feed", {"rows": "nope"})
+        assert status == 400
+        status, reply = post(port, "/feed", {"rows": [5]})
+        assert status == 400
+        conn = http.client.HTTPConnection("127.0.0.1", port,
+                                          timeout=10)
+        conn.request("POST", "/feed", "{broken",
+                     {"Content-Length": "7"})
+        assert conn.getresponse().status == 400
+        conn.close()
+
+    def test_schema_mismatch_is_a_client_error(self, served):
+        port = served
+        pref = repro_io.preference_to_dict(PREFS["alice"])
+        assert post(port, "/subscribe",
+                    {"user": "u", "preference": pref})[0] == 200
+        status, reply = post(port, "/feed", {"rows": [["only-one"]]})
+        assert status == 409 and "error" in reply
+
+    def test_shutdown_endpoint_drains_and_refuses_afterwards(self):
+        service = MonitorService(SCHEMA)
+        thread = ServerThread(service).start()
+        port = thread.port
+        pref = repro_io.preference_to_dict(PREFS["alice"])
+        assert post(port, "/subscribe",
+                    {"user": "u", "preference": pref})[0] == 200
+        client = SSEClient(port, "u")
+        post(port, "/feed", {"rows": ROWS[:3]})
+        status, reply = post(port, "/shutdown", {})
+        assert status == 200 and reply["draining"]
+        client.join()
+        assert ("bye", "") in client.events
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            try:
+                request(port, "GET", "/healthz", timeout=2)
+                time.sleep(0.05)
+            except OSError:
+                break
+        else:
+            pytest.fail("listener still up after drain")
+        thread.stop()   # idempotent with the endpoint-driven drain
+
+
+def test_snapshot_saved_on_graceful_shutdown(tmp_path):
+    path = tmp_path / "serve.json"
+    service = MonitorService(SCHEMA)
+    thread = ServerThread(service, snapshot_path=str(path)).start()
+    try:
+        port = thread.port
+        pref = repro_io.preference_to_dict(PREFS["alice"])
+        assert post(port, "/subscribe",
+                    {"user": "u", "preference": pref})[0] == 200
+        assert post(port, "/feed", {"rows": ROWS})[0] == 200
+    finally:
+        thread.stop()
+    restored = MonitorService.load(str(path))
+    assert restored.users == ("u",)
+    assert restored.stats.objects == len(ROWS)
+    restored.close()

@@ -201,6 +201,52 @@ class TestSinks:
         assert [e.oid for e in mine] == [0]
 
 
+class TestClose:
+    """PR 9 regression: close() is idempotent and fires each sink's
+    on_drain hook exactly once — the serving plane calls close() both
+    from its drain path and via the context manager, and double-firing
+    would emit duplicate SSE "bye" frames."""
+
+    class DrainSink:
+        def __init__(self):
+            self.events: list[Notification] = []
+            self.drains = 0
+
+        def __call__(self, event):
+            self.events.append(event)
+
+        def on_drain(self):
+            self.drains += 1
+
+    @pytest.mark.parametrize("policy", [
+        dict(),                                # serial
+        dict(workers=2, executor="threads"),   # sharded
+    ])
+    def test_double_close_is_a_noop(self, policy):
+        service = MonitorService(SCHEMA, **policy)
+        sink = self.DrainSink()
+        service.deliver_to(sink)
+        per_user = self.DrainSink()
+        service.subscribe("u", simple_pref(), sink=per_user)
+        service.feed([("red", "s", "disc")])
+        service.close()
+        service.close()
+        with service:                          # __exit__ → third close
+            pass
+        assert sink.drains == 1
+        assert per_user.drains == 1
+        assert len(sink.events) == 1
+
+    def test_close_fires_hooks_on_both_sink_kinds(self):
+        service = MonitorService(SCHEMA)
+        plain: list[Notification] = []
+        service.deliver_to(plain.append)       # hookless: must not break
+        hooked = self.DrainSink()
+        service.deliver_to(hooked)
+        service.close()
+        assert hooked.drains == 1
+
+
 class TestClusterMaintenance:
     def test_equal_tastes_join_one_cluster(self):
         service = MonitorService(SCHEMA, h=0.5)
