@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+import urllib.parse
 
 from repro.core.errors import ReproError
 from repro.metrics.latency import StreamingPercentiles
@@ -89,8 +90,13 @@ async def read_request(reader: asyncio.StreamReader):
     """
     try:
         line = await reader.readline()
-    except (ConnectionError, asyncio.LimitOverrunError):
+    except ConnectionError:
         return None
+    except (asyncio.LimitOverrunError, ValueError):
+        # StreamReader.readline wraps LimitOverrunError in ValueError
+        # when a line exceeds the stream limit; answer 400 instead of
+        # leaking an unhandled task exception.
+        raise HTTPError(400, "request line too long") from None
     if not line:
         return None
     if len(line) > MAX_REQUEST_LINE:
@@ -101,7 +107,10 @@ async def read_request(reader: asyncio.StreamReader):
     method, target, _version = parts
     headers: dict[str, str] = {}
     while True:
-        line = await reader.readline()
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise HTTPError(400, "header line too long") from None
         if line in (b"\r\n", b"\n", b""):
             break
         if len(headers) >= MAX_HEADERS:
@@ -128,19 +137,21 @@ class ReproServer:
     def __init__(self, service: MonitorService,
                  host: str = "127.0.0.1", port: int = 0, *,
                  queue_size: int = 256, policy: str = BLOCK,
-                 heartbeat: float = 15.0,
+                 heartbeat: float = 15.0, drain_timeout: float = 5.0,
                  recorder: StreamingPercentiles | None = None,
                  snapshot_path: str | None = None) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.heartbeat = heartbeat
+        self.drain_timeout = drain_timeout
         self.snapshot_path = snapshot_path
         self.hub = NotificationHub(recorder, maxsize=queue_size,
                                    policy=policy)
         self._ingest: asyncio.Queue = asyncio.Queue()
         self._writer_task: asyncio.Task | None = None
         self._server: asyncio.base_events.Server | None = None
+        self._shutdown_task: asyncio.Task | None = None
         self._handlers: set[asyncio.Task] = set()
         self._closing = False
         self._closed = asyncio.Event()
@@ -179,9 +190,18 @@ class ReproServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        # Drain: every command already accepted is processed before the
-        # writer stops; submit() rejects new ones with 503.
-        await self._ingest.join()
+        # Drain: every command already accepted is processed before
+        # the writer stops; submit() rejects new ones with 503.  The
+        # join is deadlined: under the block policy a connected but
+        # non-reading SSE client holds the writer parked in
+        # hub.drain(), so past the deadline those streams are closed
+        # (which unparks the writer) and the join then completes.
+        try:
+            await asyncio.wait_for(self._ingest.join(),
+                                   self.drain_timeout)
+        except asyncio.TimeoutError:
+            self.hub.on_drain()
+            await self._ingest.join()
         await self._ingest.put(None)
         if self._writer_task is not None:
             await self._writer_task
@@ -191,7 +211,14 @@ class ReproServer:
         # sink; the SSE coroutines then write their "bye" and return.
         self.service.close()
         if self._handlers:
-            await asyncio.wait(self._handlers, timeout=5.0)
+            _done, pending = await asyncio.wait(self._handlers,
+                                                timeout=5.0)
+            # A handler still parked on a dead transport (e.g. an SSE
+            # "bye" to a stalled socket) is cancelled, not abandoned.
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
         self._closed.set()
 
     # ------------------------------------------------------------------
@@ -256,6 +283,12 @@ class ReproServer:
             await self._handle(reader, writer)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
+        except asyncio.CancelledError:
+            # Cancelled at the shutdown deadline, possibly mid-write
+            # to a stalled peer: abort the transport — a graceful
+            # close would wait on a flush that can never finish.
+            writer.transport.abort()
+            raise
         finally:
             self._handlers.discard(task)
             writer.close()
@@ -307,8 +340,10 @@ class ReproServer:
             if method != "POST":
                 raise HTTPError(405, "use POST")
             # Reply first, then drain: the client gets its 200 before
-            # the listening socket goes away.
-            asyncio.get_running_loop().create_task(self.shutdown())
+            # the listening socket goes away.  The task is pinned on
+            # self — the loop holds only weak refs to tasks.
+            self._shutdown_task = asyncio.get_running_loop() \
+                .create_task(self.shutdown())
             return json_response(200, {"ok": True, "draining": True})
         if method != "POST":
             raise HTTPError(405 if path in ("/subscribe", "/update",
@@ -317,7 +352,7 @@ class ReproServer:
                             f"no route for {method} {path}")
         data = protocol.parse_body(body)
         if path == "/subscribe" or path == "/update":
-            user = protocol.require(data, "user")
+            user = protocol.require_user(data)
             preference = protocol.decode_preference(
                 protocol.require(data, "preference"))
             op = "subscribe" if path == "/subscribe" else "update"
@@ -325,7 +360,7 @@ class ReproServer:
             return json_response(200, {"ok": True, "user": user,
                                        "users": len(self.service)})
         if path == "/unsubscribe":
-            user = protocol.require(data, "user")
+            user = protocol.require_user(data)
             await self.submit("unsubscribe", (user, None))
             return json_response(200, {"ok": True, "user": user,
                                        "users": len(self.service)})
@@ -345,6 +380,9 @@ class ReproServer:
     async def _serve_events(self, writer, user: str) -> None:
         if not user:
             raise HTTPError(404, "stream path is /events/{user}")
+        # The path segment arrives percent-encoded; subscriptions key
+        # on the decoded string (require_user enforces str ids).
+        user = urllib.parse.unquote(user)
         transport = writer.transport
         if transport is not None:
             transport.set_write_buffer_limits(high=SSE_WRITE_BUFFER)

@@ -79,7 +79,9 @@ def run_server(service: MonitorService, host: str, port: int, *,
         loop = asyncio.get_running_loop()
 
         def request_shutdown() -> None:
-            loop.create_task(server.shutdown())
+            # Pinned on the server — the loop holds only weak refs to
+            # tasks, so an anonymous drain task could be collected.
+            server._shutdown_task = loop.create_task(server.shutdown())
 
         import signal
         for signum in (signal.SIGINT, signal.SIGTERM):

@@ -71,6 +71,19 @@ def require(body: dict, key: str):
     return body[key]
 
 
+def require_user(body: dict) -> str:
+    """Fetch and validate the ``user`` key: over HTTP user ids are
+    non-empty strings, because ``GET /events/{user}`` addresses them
+    by (percent-decoded) path segment — a subscription under any
+    other JSON type could never receive its stream."""
+    user = require(body, "user")
+    if not isinstance(user, str) or not user:
+        raise ProtocolError(
+            "user must be a non-empty string (SSE streams address "
+            "users by the /events/{user} path segment)")
+    return user
+
+
 def decode_preference(data: Any) -> Preference:
     """Decode the :mod:`repro.io` preference encoding."""
     if not isinstance(data, dict):

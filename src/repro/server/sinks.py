@@ -56,7 +56,7 @@ class QueueSink:
 
     __slots__ = ("user", "policy", "queue", "overflow", "alive",
                  "lagged", "queued", "delivered", "dropped",
-                 "high_water")
+                 "high_water", "_room")
 
     def __init__(self, user, maxsize: int = 256,
                  policy: str = BLOCK) -> None:
@@ -67,6 +67,10 @@ class QueueSink:
         self.queue: asyncio.Queue = asyncio.Queue(maxsize)
         #: Block-policy holding pen; drained by the writer task.
         self.overflow: deque = deque()
+        #: Set by the consumer after every get and by close(): the
+        #: writer parked in drain() waits on this, never on
+        #: queue.put(), so closing the sink always unparks it.
+        self._room = asyncio.Event()
         self.alive = True
         #: True when the disconnect policy fired (vs a clean close).
         self.lagged = False
@@ -119,16 +123,28 @@ class QueueSink:
 
     async def drain(self) -> None:
         """Move overflow into the queue, awaiting room (block policy's
-        backpressure point — the writer task awaits this per batch)."""
+        backpressure point — the writer task awaits this per batch).
+
+        The wait is on the room event, never ``queue.put``: a parked
+        ``put()`` can re-park forever when :meth:`close` swaps the
+        freed slot for the CLOSE sentinel with no consumer left, so
+        the writer instead re-checks ``alive`` on every wake-up and
+        bails out as soon as the sink dies under it."""
         while self.overflow and self.alive:
-            payload = self.overflow.popleft()
-            await self.queue.put(payload)
+            self._room.clear()
+            try:
+                self.queue.put_nowait(self.overflow[0])
+            except asyncio.QueueFull:
+                await self._room.wait()
+                continue
+            self.overflow.popleft()
             self.queued += 1
 
     def close(self, lagged: bool = False) -> None:
         """Stop the sink: discard overflow, wake the consumer with the
         CLOSE sentinel (dropping one queued event if the queue is
-        full).  Idempotent."""
+        full) and unpark a writer blocked in :meth:`drain`.
+        Idempotent."""
         if not self.alive:
             return
         self.alive = False
@@ -141,12 +157,14 @@ class QueueSink:
             self.queue.get_nowait()
             self.dropped += 1
             self.queue.put_nowait(CLOSE)
+        self._room.set()
 
     # -- consumer side (stream coroutine) -------------------------------
 
     async def get(self) -> str | None:
         """Next payload, or None once the sink is closed and drained."""
         item = await self.queue.get()
+        self._room.set()
         if item is CLOSE:
             return None
         self.delivered += 1

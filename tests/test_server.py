@@ -18,6 +18,7 @@ import json
 import socket
 import threading
 import time
+import urllib.parse
 
 import pytest
 
@@ -226,7 +227,7 @@ def test_lifecycle_over_http_matches_service_semantics():
 # Slow consumers: policies engage without stalling ingest
 # ---------------------------------------------------------------------------
 
-def _bulk_setup(policy, queue_size, n_values, pad):
+def _bulk_setup(policy, queue_size, n_values, pad, **server_kwargs):
     """A service whose every arrival notifies one user, served with a
     tiny queue, plus payloads big enough to defeat socket buffering."""
     values = [f"v{i:04d}" + "x" * pad for i in range(n_values)]
@@ -234,7 +235,7 @@ def _bulk_setup(policy, queue_size, n_values, pad):
         "blob": PartialOrder.from_edges([], domain=values)})
     service = MonitorService(("blob",))
     thread = ServerThread(service, queue_size=queue_size,
-                          policy=policy).start()
+                          policy=policy, **server_kwargs).start()
     port = thread.port
     status, _ = post(port, "/subscribe", {
         "user": "slow",
@@ -244,11 +245,14 @@ def _bulk_setup(policy, queue_size, n_values, pad):
 
 
 def _stalled_sse_socket(port, user):
-    """Open an SSE stream and never read it: a tiny SO_RCVBUF caps the
-    TCP window, so the server's write path blocks deterministically
+    """Open an SSE stream and never read it: a tiny SO_RCVBUF — set
+    *before* connect, so the TCP window is fixed and autotuning never
+    widens it — makes the server's write path block deterministically
     instead of hiding behind megabytes of kernel buffering."""
-    sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+    sock.settimeout(30)
+    sock.connect(("127.0.0.1", port))
     sock.sendall(f"GET /events/{user} HTTP/1.1\r\n"
                  f"Host: x\r\n\r\n".encode())
     return sock
@@ -292,6 +296,72 @@ def test_disconnect_policy_sheds_the_client_not_the_feed():
     finally:
         sock.close()
         thread.stop()
+
+
+def test_block_policy_writer_survives_slow_client_disconnect():
+    """Regression: a slow block-policy client disconnecting while the
+    writer is parked on its full queue must unpark the writer — the
+    feed completes instead of wedging every future forever."""
+    # ~6.6 MB of SSE frames: enough to overflow the server-side TCP
+    # send buffer (tcp_wmem autotunes to ~4 MB) so the stream really
+    # stalls and the writer really parks in hub.drain().
+    thread, port, values = _bulk_setup(BLOCK, queue_size=4,
+                                       n_values=800, pad=8192)
+    sock = _stalled_sse_socket(port, "slow")
+    result = {}
+
+    def do_feed():
+        result["reply"] = post(port, "/feed", {
+            "rows": [[v] for v in values], "quiet": True}, timeout=60)
+
+    feeder = threading.Thread(target=do_feed, daemon=True)
+    try:
+        time.sleep(0.2)
+        feeder.start()
+        time.sleep(0.5)      # let the writer park on the stalled sink
+        sock.close()         # client vanishes: close() must unpark it
+        feeder.join(30)
+        assert not feeder.is_alive(), "ingest writer deadlocked"
+        status, reply = result["reply"]
+        assert status == 200
+        assert reply["count"] == len(values)
+        # The server is still fully operational afterwards.
+        assert request(port, "GET", "/healthz")[0] == 200
+    finally:
+        sock.close()
+        thread.stop()
+
+
+def test_shutdown_completes_despite_stalled_block_client():
+    """Regression: graceful drain is deadlined — a connected but
+    non-reading SSE client cannot hold _ingest.join() (and thus
+    shutdown) hostage under the block policy."""
+    thread, port, values = _bulk_setup(BLOCK, queue_size=4,
+                                       n_values=800, pad=8192,
+                                       drain_timeout=1.0)
+    sock = _stalled_sse_socket(port, "slow")
+    def do_feed():
+        # The reply may be lost if its handler is cancelled at the
+        # drain deadline; only shutdown progress is asserted here.
+        try:
+            post(port, "/feed", {"rows": [[v] for v in values],
+                                 "quiet": True}, timeout=60)
+        except (OSError, ValueError):
+            pass
+
+    feeder = threading.Thread(target=do_feed, daemon=True)
+    try:
+        time.sleep(0.2)
+        feeder.start()
+        time.sleep(0.5)      # writer parks on the stalled sink
+        started = time.monotonic()
+        thread.stop(timeout=30)
+        assert time.monotonic() - started < 25
+        assert thread._thread is not None
+        assert not thread._thread.is_alive()
+    finally:
+        sock.close()
+        feeder.join(10)
 
 
 def test_block_policy_applies_backpressure_then_delivers_everything():
@@ -392,6 +462,24 @@ class TestQueueSink:
             assert sink.dropped == 1
         self.run(scenario())
 
+    def test_close_unparks_a_writer_blocked_in_drain(self):
+        """Regression: close() while the writer awaits queue room must
+        wake drain() and let it return — not leave it parked forever
+        on a queue nobody reads anymore (maxsize=1 is the worst case:
+        the CLOSE sentinel alone refills the queue)."""
+        async def scenario():
+            sink = QueueSink("u", maxsize=1, policy=BLOCK)
+            sink.offer("a")
+            sink.offer("b")                    # parks in overflow
+            drainer = asyncio.create_task(sink.drain())
+            await asyncio.sleep(0)             # let it park on room
+            assert not drainer.done()
+            sink.close()
+            await asyncio.wait_for(drainer, timeout=1.0)
+            assert await sink.get() is None    # CLOSE delivered
+            assert sink.dropped == 2           # "b" (overflow) + "a"
+        self.run(scenario())
+
     def test_validation(self):
         with pytest.raises(ValueError):
             QueueSink("u", maxsize=0)
@@ -459,6 +547,48 @@ class TestHTTPSurface:
                      {"Content-Length": "7"})
         assert conn.getresponse().status == 400
         conn.close()
+
+    def test_overlong_request_line_is_a_400(self, served):
+        """A line past the 64 KiB stream limit surfaces as a 400, not
+        an unhandled ValueError inside the handler task."""
+        sock = socket.create_connection(("127.0.0.1", served),
+                                        timeout=10)
+        try:
+            sock.sendall(b"GET /" + b"x" * (70 * 1024) +
+                         b" HTTP/1.1\r\n\r\n")
+            data = b""
+            while b"\r\n\r\n" not in data:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+            assert data.startswith(b"HTTP/1.1 400")
+        finally:
+            sock.close()
+        # The listener survives the bad client.
+        assert request(served, "GET", "/healthz")[0] == 200
+
+    def test_user_ids_are_strings_on_the_wire(self, served):
+        pref = repro_io.preference_to_dict(PREFS["alice"])
+        status, reply = post(served, "/subscribe",
+                             {"user": 42, "preference": pref})
+        assert status == 400 and "string" in reply["error"]
+        status, reply = post(served, "/unsubscribe", {"user": None})
+        assert status == 400 and "string" in reply["error"]
+
+    def test_sse_user_path_is_percent_decoded(self, served):
+        """A user id with reserved characters subscribes verbatim and
+        streams via its percent-encoded /events path."""
+        user = "team lead/α"
+        pref = repro_io.preference_to_dict(PREFS["alice"])
+        assert post(served, "/subscribe",
+                    {"user": user, "preference": pref})[0] == 200
+        quoted = urllib.parse.quote(user, safe="")
+        client = SSEClient(served, quoted)
+        status, reply = post(served, "/feed", {"rows": ROWS[:2]})
+        assert status == 200 and reply["count"] > 0
+        assert client.wait(reply["count"])
+        assert json.loads(client.notifications()[0])["user"] == user
 
     def test_schema_mismatch_is_a_client_error(self, served):
         port = served
