@@ -4,9 +4,17 @@ Run one experiment (``fig4`` ... ``tab12``, ``abl-sim``, ``abl-theta``),
 several, or ``all``.  Set ``REPRO_SCALE`` to scale every workload (e.g.
 ``REPRO_SCALE=4 python -m repro.bench fig4``).
 
-``--output DIR`` additionally writes one file per experiment —
-``<id>.md`` (GitHub-flavoured markdown, ready for EXPERIMENTS.md) or
-``<id>.json`` with ``--format json``.
+``--tag``/``--skip-tag`` filter the selection by experiment family
+(``paper``/``ablation``/``perf``); the bare ``all`` keeps its historic
+meaning of "everything except the perf snapshots".  ``--output DIR``
+additionally writes one file per experiment — ``<id>.md``
+(GitHub-flavoured markdown, ready for EXPERIMENTS.md) or ``<id>.json``
+with ``--format json``.
+
+This module is the back-compat alias for legacy experiment ids; the
+run-table grids live behind ``repro bench list|run|report`` (the scale
+lab, DESIGN.md §16), and running a legacy ``perf-*`` id prints the
+table cells that now cover it.
 """
 
 from __future__ import annotations
@@ -17,7 +25,11 @@ import sys
 import time
 from pathlib import Path
 
-from repro.bench.experiments import EXPERIMENTS
+from repro.bench.experiments import EXPERIMENT_TAGS, EXPERIMENTS
+
+#: Every tag any experiment carries, for --tag validation.
+ALL_TAGS = sorted({tag for tags in EXPERIMENT_TAGS.values()
+                   for tag in tags})
 
 
 def _write_result(result, directory: Path, fmt: str) -> Path:
@@ -43,6 +55,27 @@ def _write_result(result, directory: Path, fmt: str) -> Path:
     return path
 
 
+def select_experiments(names, tags=(), skip_tags=()):
+    """Resolve experiment ids + tag filters to the run list.
+
+    ``["all"]`` means the historic default — every experiment except
+    the ``perf`` family, whose BENCH_pr*.json side effects must be
+    asked for explicitly (by id or by ``--tag perf``) so figure
+    regeneration never clobbers them.
+    """
+    if list(names) == ["all"]:
+        names = [name for name in EXPERIMENTS
+                 if "perf" not in EXPERIMENT_TAGS[name]
+                 or "perf" in tags]
+    if tags:
+        names = [name for name in names
+                 if set(EXPERIMENT_TAGS[name]) & set(tags)]
+    if skip_tags:
+        names = [name for name in names
+                 if not set(EXPERIMENT_TAGS[name]) & set(skip_tags)]
+    return list(names)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -51,7 +84,14 @@ def main(argv=None) -> int:
         "experiments", nargs="*", default=["all"],
         help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'")
     parser.add_argument(
-        "--list", action="store_true", help="list experiment ids")
+        "--list", action="store_true",
+        help="list the selected experiment ids with their tags")
+    parser.add_argument(
+        "--tag", action="append", default=[], choices=ALL_TAGS,
+        help="keep only experiments carrying this tag (repeatable)")
+    parser.add_argument(
+        "--skip-tag", action="append", default=[], choices=ALL_TAGS,
+        help="drop experiments carrying this tag (repeatable)")
     parser.add_argument(
         "-o", "--output", default=None, metavar="DIR",
         help="also write one file per experiment into DIR")
@@ -64,22 +104,26 @@ def main(argv=None) -> int:
              "(the figures' shapes)")
     args = parser.parse_args(argv)
 
-    if args.list:
-        for name in EXPERIMENTS:
-            print(name)
-        return 0
-
     names = list(args.experiments) or ["all"]
-    if names == ["all"]:
-        # "all" means the paper's figures/tables; the perf snapshots
-        # write BENCH_pr*.json as a side effect and must be asked for
-        # explicitly so figure regeneration never clobbers them.
-        names = [name for name in EXPERIMENTS
-                 if not name.startswith("perf")]
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        parser.error(f"unknown experiments: {', '.join(unknown)}; "
-                     f"choose from {', '.join(EXPERIMENTS)}")
+    if args.list and names == ["all"] and not args.tag:
+        # Bare --list keeps its historic meaning: every id.
+        names = list(EXPERIMENTS)
+    else:
+        unknown = [n for n in names
+                   if n not in EXPERIMENTS and n != "all"]
+        if unknown:
+            parser.error(f"unknown experiments: {', '.join(unknown)}; "
+                         f"choose from {', '.join(EXPERIMENTS)}")
+        names = select_experiments(names, args.tag, args.skip_tag)
+
+    if args.list:
+        if args.skip_tag:
+            names = [name for name in names
+                     if not set(EXPERIMENT_TAGS[name])
+                     & set(args.skip_tag)]
+        for name in names:
+            print(f"{name}\t[{','.join(EXPERIMENT_TAGS[name])}]")
+        return 0
 
     for name in names:
         started = time.perf_counter()
@@ -87,6 +131,12 @@ def main(argv=None) -> int:
         elapsed = time.perf_counter() - started
         print(result.format())
         print(f"(regenerated in {elapsed:.1f}s)\n")
+        if "perf" in EXPERIMENT_TAGS[name]:
+            from repro.bench.lab.tables import LEGACY_CELLS
+
+            if name in LEGACY_CELLS:
+                print(f"(run-table equivalent: {LEGACY_CELLS[name]} — "
+                      f"see `repro bench list`)\n")
         if args.chart:
             from repro.bench.plots import ascii_chart
 

@@ -717,3 +717,35 @@ EXPERIMENTS = {
     "perf-wire": perf_wire,
     "perf-serve": perf_serve,
 }
+
+#: Experiment families for ``--tag`` / ``--skip-tag`` selection:
+#: ``paper`` regenerates a Section 8 figure or table, ``ablation`` is a
+#: reproduction-only sweep, ``perf`` writes a BENCH_pr*.json snapshot
+#: as a side effect (and is therefore excluded from the default
+#: ``all`` selection).
+EXPERIMENT_TAGS: dict[str, tuple[str, ...]] = {
+    "fig4": ("paper",),
+    "fig5": ("paper",),
+    "fig6": ("paper",),
+    "fig7": ("paper",),
+    "tab11": ("paper",),
+    "fig8": ("paper",),
+    "fig9": ("paper",),
+    "fig10": ("paper",),
+    "fig11": ("paper",),
+    "tab12": ("paper",),
+    "abl-sim": ("ablation",),
+    "abl-theta": ("ablation",),
+    "abl-users": ("ablation",),
+    "abl-batch": ("ablation",),
+    "abl-buffer": ("ablation",),
+    "perf": ("perf",),
+    "perf-batch": ("perf",),
+    "perf-steady": ("perf",),
+    "perf-churn": ("perf",),
+    "perf-shard": ("perf",),
+    "perf-vector": ("perf",),
+    "perf-wire": ("perf",),
+    "perf-serve": ("perf",),
+}
+assert set(EXPERIMENT_TAGS) == set(EXPERIMENTS)

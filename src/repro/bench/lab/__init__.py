@@ -1,0 +1,22 @@
+"""The scale lab: declarative run-table benchmarking (DESIGN.md §16).
+
+A :class:`RunTable` declares factors × levels × repetitions; the
+executor runs every cell through the shared monitor/service machinery
+with one persisted artifact per run; the aggregator folds repetitions
+into medians and baseline-relative speedups.  ``repro bench
+list|run|report`` is the front door.
+"""
+
+from repro.bench.lab.aggregate import (aggregate, load_artifacts,
+                                       markdown_report, write_report)
+from repro.bench.lab.executor import DRIVERS, driver, execute_table
+from repro.bench.lab.table import (RunSpec, RunTable, RunTableError,
+                                   derive_seed, parse_filters)
+from repro.bench.lab.tables import LEGACY_CELLS, TABLES, get_table
+
+__all__ = [
+    "RunSpec", "RunTable", "RunTableError", "derive_seed",
+    "parse_filters", "execute_table", "driver", "DRIVERS",
+    "aggregate", "markdown_report", "load_artifacts", "write_report",
+    "TABLES", "LEGACY_CELLS", "get_table",
+]

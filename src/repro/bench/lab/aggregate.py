@@ -1,0 +1,148 @@
+"""Fold per-run artifacts into one aggregate report.
+
+Cells are grouped by id, measurements are medianised across
+repetitions, and every cell is priced against the table's declared
+baseline cell (``speedup_vs_baseline`` > 1 means faster).  The JSON
+report is ``BENCH_*.json``-compatible: ``benchmark``/``table`` at the
+top, the standard ``bench_header`` provenance block (executor, workers,
+cpus, wire, scale), and one entry per cell — so a run-table result
+drops into the same trajectory the per-PR snapshots built.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.bench.lab.table import RunTableError
+
+#: Per-run measurements medianised across repetitions.
+MEDIAN_KEYS = ("elapsed_s", "objects_per_s", "comparisons", "wall_s")
+
+#: Per-run facts that must agree across repetitions of a cell.
+STABLE_KEYS = ("objects", "traffic", "traffic_fingerprint", "dataset",
+               "length", "batch_size", "lifecycle_ops")
+
+
+def _median(values: Sequence[float]) -> float:
+    return round(statistics.median(values), 6)
+
+
+def aggregate(artifacts: Iterable[dict],
+              baseline_cell: str | None = None,
+              table_name: str | None = None) -> dict:
+    """Aggregate run artifacts (see ``execute_table``) into a report."""
+    artifacts = list(artifacts)
+    if not artifacts:
+        raise RunTableError("no run artifacts to aggregate")
+    table = table_name or artifacts[0].get("table", "run-table")
+    by_cell: dict[str, list[dict]] = {}
+    for artifact in artifacts:
+        by_cell.setdefault(artifact["cell"], []).append(artifact)
+    cells: dict[str, dict] = {}
+    for cell, runs in by_cell.items():
+        runs = sorted(runs, key=lambda run: run.get("repetition", 0))
+        entry: dict = {
+            "repetitions": len(runs),
+            "factors": dict(runs[0].get("factors", {})),
+            "delivered": runs[0].get("delivered"),
+        }
+        for key in STABLE_KEYS:
+            if key in runs[0]:
+                entry[key] = runs[0][key]
+        for key in MEDIAN_KEYS:
+            values = [run[key] for run in runs if key in run]
+            if values:
+                entry[key] = _median(values)
+        if "batch_latency_ms" in runs[0]:
+            entry["batch_latency_ms"] = runs[0]["batch_latency_ms"]
+        cells[cell] = entry
+    if baseline_cell is not None:
+        if baseline_cell not in cells:
+            raise RunTableError(
+                f"baseline cell {baseline_cell!r} has no runs "
+                f"(cells: {sorted(cells)})")
+        reference = cells[baseline_cell].get("elapsed_s")
+        for cell, entry in cells.items():
+            elapsed = entry.get("elapsed_s")
+            if reference and elapsed:
+                entry["speedup_vs_baseline"] = round(
+                    reference / elapsed, 3)
+    from repro.bench.runner import bench_header
+
+    header = bench_header()
+    # Re-aggregating persisted artifacts must describe the runs, not
+    # the aggregating environment: where every artifact agrees on a
+    # provenance stamp (scale, cpus, wire), prefer the stamped value
+    # over this process's header.
+    for key in ("scale", "cpus", "wire"):
+        stamped = [json.dumps(artifact[key], sort_keys=True)
+                   for artifact in artifacts if key in artifact]
+        if stamped and len(set(stamped)) == 1:
+            header[key] = json.loads(stamped[0])
+    return {
+        "benchmark": "run_table",
+        "table": table,
+        "runs": len(artifacts),
+        "cells": cells,
+        "baseline": baseline_cell,
+        **header,
+    }
+
+
+def markdown_report(report: dict) -> str:
+    """Render an aggregate report as a markdown table."""
+    from repro.bench.reporting import format_table
+
+    headers = ["cell", "reps", "objects", "obj/s", "cmp", "delivered",
+               "vs_base"]
+    rows = []
+    for cell, entry in report["cells"].items():
+        rows.append((
+            cell, entry["repetitions"], entry.get("objects", "-"),
+            entry.get("objects_per_s", "-"),
+            entry.get("comparisons", "-"),
+            entry.get("delivered", "-"),
+            entry.get("speedup_vs_baseline", "-")))
+    lines = [f"### run table `{report['table']}` "
+             f"({report['runs']} runs, {report['cpus']} cpu(s), "
+             f"executor header {report['executor']}/"
+             f"{report['workers']})",
+             "",
+             format_table(headers, rows)]
+    if report.get("baseline"):
+        lines += ["", f"baseline cell: `{report['baseline']}` "
+                      "(vs_base > 1 means faster than baseline)"]
+    return "\n".join(lines)
+
+
+def load_artifacts(directory: str | Path) -> list[dict]:
+    """Read every per-run artifact JSON under *directory*."""
+    directory = Path(directory)
+    artifacts = []
+    for path in sorted(directory.glob("*.json")):
+        if path.name in ("report.json",):
+            continue
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        if isinstance(data, dict) and "cell" in data:
+            artifacts.append(data)
+    if not artifacts:
+        raise RunTableError(
+            f"no run artifacts found under {directory} "
+            "(expected per-run JSON files with a 'cell' key)")
+    return artifacts
+
+
+def write_report(report: dict, directory: str | Path) -> Path:
+    """Persist ``report.json`` and ``report.md`` next to the artifacts."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    json_path = directory / "report.json"
+    json_path.write_text(json.dumps(report, indent=1) + "\n",
+                         encoding="utf-8")
+    (directory / "report.md").write_text(
+        markdown_report(report) + "\n", encoding="utf-8")
+    return json_path

@@ -1,0 +1,158 @@
+"""``repro bench list|run|report`` — the scale-lab front door.
+
+``list`` shows the named run tables (and the legacy experiment ids the
+back-compat alias still accepts); ``run`` expands a table — by name or
+from a ``--table`` JSON file — and executes every (filtered) cell,
+persisting one artifact per run plus an aggregate report; ``report``
+re-aggregates a directory of previously persisted artifacts without
+re-running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.lab.aggregate import (aggregate, load_artifacts,
+                                       markdown_report, write_report)
+from repro.bench.lab.executor import execute_table
+from repro.bench.lab.table import (RunTable, RunTableError,
+                                   parse_filters)
+from repro.bench.lab.tables import TABLES, get_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run-table benchmark lab (see DESIGN.md §16).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "list", help="list the named run tables and legacy ids")
+
+    run = commands.add_parser(
+        "run", help="expand a run table and execute every cell")
+    run.add_argument("table", nargs="?",
+                     help="a named run table (see `repro bench list`)")
+    run.add_argument("--table", dest="table_path", metavar="PATH",
+                     help="load the run table from a JSON file instead")
+    run.add_argument("--filter", action="append", default=[],
+                     metavar="FACTOR=LEVEL[,LEVEL...]",
+                     help="restrict a factor to a subset of its levels "
+                          "(repeatable)")
+    run.add_argument("--reps", type=int, default=None,
+                     help="override the table's repetition count")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the table's root seed")
+    run.add_argument("-d", "--artifacts-dir", default=None,
+                     metavar="DIR",
+                     help="where per-run artifacts and the aggregate "
+                          "report land (default bench_runs/<table>)")
+    run.add_argument("--report", default=None, metavar="PATH",
+                     help="also write the aggregate report JSON here "
+                          "(e.g. BENCH_pr10.json)")
+    run.add_argument("--format", choices=("md", "json"), default="md",
+                     help="what to print on stdout (default md)")
+
+    report = commands.add_parser(
+        "report", help="re-aggregate persisted run artifacts")
+    report.add_argument("artifacts_dir", metavar="DIR",
+                        help="directory of per-run artifact JSON files")
+    report.add_argument("--baseline", default=None, metavar="CELL",
+                        help="baseline cell id for speedup ratios "
+                             "(default: the named table's baseline)")
+    report.add_argument("--format", choices=("md", "json"),
+                        default="md")
+    return parser
+
+
+def _load_table(args) -> RunTable:
+    if args.table_path:
+        table = RunTable.load(args.table_path)
+    elif args.table:
+        table = get_table(args.table)
+    else:
+        raise RunTableError(
+            "bench run needs a table name or --table path.json "
+            f"(named tables: {', '.join(sorted(TABLES))})")
+    if args.reps is not None or args.seed is not None:
+        table = table.with_overrides(repetitions=args.reps,
+                                     seed=args.seed)
+    return table
+
+
+def _cmd_list(out) -> int:
+    print("run tables:", file=out)
+    for name in sorted(TABLES):
+        table = TABLES[name]
+        cells = len(table.cells())
+        tags = ",".join(table.tags) or "-"
+        print(f"  {name:<14} {cells:>3} cells x "
+              f"{table.repetitions} rep(s)  [{tags}]  "
+              f"{table.description}", file=out)
+    print("\nlegacy experiment ids (python -m repro.bench <id>, "
+          "repro bench <id>):", file=out)
+    from repro.bench.experiments import EXPERIMENT_TAGS, EXPERIMENTS
+    for name in EXPERIMENTS:
+        tags = ",".join(EXPERIMENT_TAGS.get(name, ())) or "-"
+        print(f"  {name:<14} [{tags}]", file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    table = _load_table(args)
+    filters = parse_filters(args.filter) or None
+    directory = Path(args.artifacts_dir
+                     if args.artifacts_dir is not None
+                     else Path("bench_runs") / table.name)
+    artifacts = execute_table(
+        table, filters=filters, artifacts_dir=directory,
+        log=lambda line: print(line, file=sys.stderr))
+    baseline = table.baseline_cell
+    if baseline is not None and baseline not in {
+            artifact["cell"] for artifact in artifacts}:
+        baseline = None     # --filter excluded the baseline cell
+    report = aggregate(artifacts, baseline_cell=baseline,
+                       table_name=table.name)
+    write_report(report, directory)
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report, indent=1) + "\n", encoding="utf-8")
+    if args.format == "json":
+        print(json.dumps(report, indent=1), file=out)
+    else:
+        print(markdown_report(report), file=out)
+    print(f"\n{len(artifacts)} run artifact(s) in {directory}/",
+          file=out)
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    artifacts = load_artifacts(args.artifacts_dir)
+    baseline = args.baseline
+    if baseline is None:
+        named = TABLES.get(artifacts[0].get("table", ""))
+        if named is not None:
+            baseline = named.baseline_cell
+    report = aggregate(artifacts, baseline_cell=baseline)
+    if args.format == "json":
+        print(json.dumps(report, indent=1), file=out)
+    else:
+        print(markdown_report(report), file=out)
+    return 0
+
+
+def lab_main(argv=None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(out)
+        if args.command == "run":
+            return _cmd_run(args, out)
+        return _cmd_report(args, out)
+    except RunTableError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

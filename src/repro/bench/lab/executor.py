@@ -1,0 +1,261 @@
+"""Run-table execution: one cell at a time, one artifact per run.
+
+:func:`execute_table` expands a :class:`~repro.bench.lab.table.RunTable`
+and runs every :class:`RunSpec` through a registered **driver** — the
+default ``"traffic"`` driver builds a monitor (or, when the traffic
+shape carries lifecycle ops, a :class:`~repro.service.MonitorService`)
+through the same ``make_monitor``/``ServicePolicy`` machinery every
+other bench path uses, replays the cell's traffic stream, and returns a
+record stamped with the standard ``bench_header`` (executor, workers,
+cpus, wire counters) plus per-batch ingest-latency percentiles and the
+traffic fingerprint.  When an artifacts directory is given, every run
+persists its own JSON file before the next run starts, so a crashed or
+interrupted grid keeps everything it finished.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.bench.lab.table import RunSpec, RunTable, RunTableError
+from repro.metrics.latency import StreamingPercentiles
+
+#: Driver registry: name -> callable(spec, table, context) -> record.
+DRIVERS: dict[str, Callable] = {}
+
+
+def driver(name: str) -> Callable:
+    def register(fn: Callable) -> Callable:
+        DRIVERS[name] = fn
+        return fn
+    return register
+
+
+class LabContext:
+    """Shared per-execution state: prepared workloads are cached so a
+    grid builds each (dataset, corpus) pair's dendrogram once."""
+
+    def __init__(self):
+        self._prepared: dict[tuple, tuple] = {}
+
+    def workload(self, dataset: str, corpus: str = "stream"):
+        from repro.bench import runner
+
+        key = (dataset, corpus)
+        if key not in self._prepared:
+            if corpus == "stream":
+                self._prepared[key] = runner.prepared_stream(dataset)
+            else:
+                self._prepared[key] = runner.prepared(dataset)
+        return self._prepared[key]
+
+
+def _workers_for(spec: RunSpec, table: RunTable) -> int:
+    workers = spec.level("workers", table.fixed.get("workers"))
+    if workers is not None:
+        return int(workers)
+    return 1 if spec.level("executor", "serial") == "serial" else 2
+
+
+def ingest_record(objects: int, elapsed: float, stats,
+                  latency: StreamingPercentiles | None = None) -> dict:
+    """The standard measurement block every driver reports."""
+    record = {
+        "objects": objects,
+        "elapsed_s": round(elapsed, 6),
+        "objects_per_s": round(objects / elapsed, 1)
+        if elapsed else float("inf"),
+        "comparisons": stats.comparisons,
+        "delivered": stats.delivered,
+    }
+    if latency is not None and latency.count:
+        summary = latency.summary()
+        record["batch_latency_ms"] = {
+            key: round(summary[key], 3)
+            for key in ("p50_ms", "p90_ms", "p99_ms", "max_ms")}
+    return record
+
+
+@driver("traffic")
+def traffic_driver(spec: RunSpec, table: RunTable,
+                   context: LabContext) -> dict:
+    """Replay the cell's traffic shape through the cell's monitor.
+
+    Factors read (all optional, with table ``fixed`` fallbacks):
+    ``family`` (baseline|ftv|ftva), ``kernel``, ``executor``,
+    ``workers``, ``batch`` (traffic batch size), ``traffic`` (shape
+    name), ``window``, ``memo``.  Fixed parameters: ``dataset``
+    (default movies), ``corpus`` (``stream``/``paper`` — which prepared
+    workload backs the shape), ``length`` (default
+    ``scale.stream_length // 2``).  Cells whose traffic carries
+    lifecycle ops run through :class:`~repro.service.MonitorService`
+    with every workload user subscribed up front; plain cells run
+    ``push_batch`` directly.
+    """
+    from repro.bench import runner
+    from repro.data.traffic import make_traffic
+
+    fixed = table.fixed
+    dataset = spec.level("dataset", fixed.get("dataset", "movies"))
+    corpus = fixed.get("corpus", "stream")
+    workload, dendrogram = context.workload(dataset, corpus)
+    scale = runner.get_scale()
+    length = int(spec.level(
+        "length", fixed.get("length") or scale.stream_length // 2))
+    batch = int(spec.level("batch", fixed.get("batch", 256)))
+    shape = spec.level("traffic", fixed.get("traffic", "steady"))
+    family = spec.level("family", fixed.get("family", "ftv"))
+    kernel = spec.level("kernel", fixed.get("kernel", "compiled"))
+    executor = spec.level("executor", fixed.get("executor", "serial"))
+    workers = _workers_for(spec, table)
+    window = spec.level("window", fixed.get("window"))
+    memo = bool(spec.level("memo", fixed.get("memo", True)))
+
+    traffic = make_traffic(shape, workload, length, seed=spec.seed,
+                           batch_size=batch)
+    latency = StreamingPercentiles(seed=spec.seed)
+    if traffic.lifecycle_ops():
+        record = _run_service(traffic, workload, family, kernel, memo,
+                              window, workers, executor, latency)
+    else:
+        record = _run_monitor(traffic, workload, dendrogram, family,
+                              kernel, memo, window, workers, executor,
+                              latency)
+    record.update({
+        "dataset": dataset,
+        "length": length,
+        "batch_size": batch,
+        "traffic": shape,
+        "traffic_fingerprint": traffic.fingerprint(),
+        "lifecycle_ops": traffic.lifecycle_ops(),
+    })
+    return record
+
+
+def _run_monitor(traffic, workload, dendrogram, family, kernel, memo,
+                 window, workers, executor, latency) -> dict:
+    from repro.bench import runner
+
+    monitor = runner.make_monitor(
+        family, workload, dendrogram, window=window, kernel=kernel,
+        memo=memo, workers=workers, executor=executor)
+    try:
+        started = time.perf_counter()
+        objects = 0
+        for op in traffic.ops:
+            batch_started = time.perf_counter()
+            monitor.push_batch(list(op[1]))
+            latency.record(time.perf_counter() - batch_started)
+            objects += len(op[1])
+        elapsed = time.perf_counter() - started
+        record = ingest_record(objects, elapsed, monitor.stats, latency)
+        record.update(runner.bench_header(executor, workers, monitor))
+    finally:
+        close = getattr(monitor, "close", None)
+        if close is not None:
+            close()
+    return record
+
+
+def _run_service(traffic, workload, family, kernel, memo, window,
+                 workers, executor, latency) -> dict:
+    from repro.bench import runner
+    from repro.service import MonitorService, ServicePolicy
+
+    policy = ServicePolicy(
+        shared=family != "baseline", approximate=family == "ftva",
+        window=window, kernel=kernel, memo=memo, workers=workers,
+        executor=executor)
+    service = MonitorService(workload.schema, policy=policy)
+    try:
+        for user in sorted(workload.preferences, key=str):
+            service.subscribe(user, workload.preferences[user])
+        started = time.perf_counter()
+        objects = 0
+        delivered = 0
+        lifecycle = 0
+        for op in traffic.ops:
+            if op[0] == "push":
+                batch_started = time.perf_counter()
+                delivered += len(service.feed(list(op[1])))
+                latency.record(time.perf_counter() - batch_started)
+                objects += len(op[1])
+            elif op[0] == "subscribe":
+                service.subscribe(op[1], workload.preferences[op[1]])
+                lifecycle += 1
+            else:
+                service.unsubscribe(op[1])
+                lifecycle += 1
+        elapsed = time.perf_counter() - started
+        record = ingest_record(objects, elapsed, service.stats, latency)
+        record["delivered"] = delivered
+        record["subscribers_final"] = len(service)
+        record.update(runner.bench_header(executor, workers,
+                                          service.monitor))
+    finally:
+        service.close()
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Table execution
+# ---------------------------------------------------------------------------
+
+def artifact_name(spec: RunSpec) -> str:
+    """A filesystem-safe per-run artifact filename."""
+    safe = spec.run_id.replace("/", "__").replace("#", ".")
+    return f"{safe}.json"
+
+
+def execute_table(table: RunTable, *, filters=None,
+                  artifacts_dir: str | Path | None = None,
+                  log: Callable[[str], None] | None = None,
+                  ) -> list[dict]:
+    """Run every (filtered) cell-repetition; return the artifact dicts.
+
+    Each artifact carries the spec block (table, cell, factors,
+    repetition, seed) plus the driver's record; with *artifacts_dir*
+    each is additionally persisted as its own JSON file the moment its
+    run finishes.
+    """
+    try:
+        run = DRIVERS[table.driver]
+    except KeyError:
+        raise RunTableError(
+            f"run table {table.name!r} names unknown driver "
+            f"{table.driver!r}; registered: "
+            f"{', '.join(sorted(DRIVERS))}") from None
+    specs = table.expand(filters)
+    if not specs:
+        raise RunTableError(
+            f"run table {table.name!r}: nothing to run after filters")
+    directory = None
+    if artifacts_dir is not None:
+        directory = Path(artifacts_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+    context = LabContext()
+    artifacts = []
+    for index, spec in enumerate(specs):
+        if log is not None:
+            log(f"[{index + 1}/{len(specs)}] {spec.run_id}")
+        started = time.perf_counter()
+        record = run(spec, table, context)
+        artifact = {
+            "table": spec.table,
+            "cell": spec.cell,
+            "repetition": spec.repetition,
+            "run_id": spec.run_id,
+            "seed": spec.seed,
+            "factors": spec.levels(),
+            "wall_s": round(time.perf_counter() - started, 6),
+            **record,
+        }
+        if directory is not None:
+            path = directory / artifact_name(spec)
+            path.write_text(json.dumps(artifact, indent=1) + "\n",
+                            encoding="utf-8")
+        artifacts.append(artifact)
+    return artifacts

@@ -1,0 +1,267 @@
+"""Declarative run tables: factors × levels × repetitions.
+
+The scale lab (DESIGN.md §16) replaces scenario-by-scenario bench
+drivers with one model: a :class:`RunTable` declares its **factors**
+(ordered name → level tuples), a repetition count, fixed parameters the
+driver reads, and a declared **baseline cell**; :meth:`RunTable.expand`
+turns it into a deterministic list of :class:`RunSpec` cells — one per
+(factor combination, repetition) — each carrying a derived per-run seed.
+Expansion is pure: the same table always yields the same specs in the
+same order, with the same seeds, which is what lets a rerun reproduce
+its workloads byte for byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field, replace
+
+from repro.core.errors import ReproError
+
+
+class RunTableError(ReproError):
+    """A malformed run table, filter, or cell selection."""
+
+
+def derive_seed(root: int, *parts) -> int:
+    """A deterministic 63-bit seed from a root seed and string parts.
+
+    Hash-derived (not ``root + counter``) so adding a factor level or a
+    repetition never shifts any *other* run's seed.
+    """
+    text = "\x1f".join([str(root), *map(str, parts)])
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell-repetition of a run table: what a single run executes.
+
+    ``factors`` is an ordered tuple of ``(name, level)`` pairs; ``cell``
+    is the canonical ``name=level/...`` id shared by every repetition of
+    the combination; ``seed`` is the run's derived workload seed.
+    """
+
+    table: str
+    cell: str
+    factors: tuple[tuple[str, object], ...]
+    repetition: int
+    seed: int
+
+    @property
+    def run_id(self) -> str:
+        return f"{self.cell}#r{self.repetition}"
+
+    def levels(self) -> dict[str, object]:
+        return dict(self.factors)
+
+    def level(self, name: str, default=None):
+        for factor, value in self.factors:
+            if factor == name:
+                return value
+        return default
+
+
+def cell_id(selection: Mapping[str, object],
+            order: Iterable[str]) -> str:
+    return "/".join(f"{name}={selection[name]}" for name in order)
+
+
+@dataclass
+class RunTable:
+    """A declarative experiment grid.
+
+    ``factors`` maps each factor name to its level tuple, in grid
+    order; ``fixed`` holds driver parameters that do not vary across
+    cells (dataset, stream length, window, ...).  ``baseline`` selects
+    one cell (a full factor → level assignment) that aggregate reports
+    normalise speedups against.  ``driver`` names the cell executor in
+    :mod:`repro.bench.lab.executor`'s registry.
+    """
+
+    name: str
+    factors: dict[str, tuple]
+    repetitions: int = 1
+    baseline: dict[str, object] | None = None
+    fixed: dict = field(default_factory=dict)
+    driver: str = "traffic"
+    tags: tuple[str, ...] = ()
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.factors:
+            raise RunTableError(
+                f"run table {self.name!r} declares no factors")
+        if self.repetitions < 1:
+            raise RunTableError(
+                f"run table {self.name!r}: repetitions must be >= 1, "
+                f"got {self.repetitions}")
+        self.factors = {name: tuple(levels)
+                        for name, levels in self.factors.items()}
+        for factor, levels in self.factors.items():
+            if not levels:
+                raise RunTableError(
+                    f"factor {factor!r} of table {self.name!r} has no "
+                    f"levels")
+            rendered = [str(level) for level in levels]
+            if len(set(rendered)) != len(levels):
+                raise RunTableError(
+                    f"factor {factor!r} of table {self.name!r} has "
+                    f"indistinct levels {levels!r}")
+        if self.baseline is not None:
+            self._resolve(self.baseline, what="baseline")
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+
+    def _resolve(self, selection: Mapping[str, object],
+                 what: str = "selection") -> dict[str, object]:
+        """Validate a full factor → level assignment against the grid."""
+        unknown = set(selection) - set(self.factors)
+        if unknown:
+            raise RunTableError(
+                f"{what} of table {self.name!r} names unknown "
+                f"factor(s) {sorted(unknown)}")
+        missing = set(self.factors) - set(selection)
+        if missing:
+            raise RunTableError(
+                f"{what} of table {self.name!r} leaves factor(s) "
+                f"{sorted(missing)} unassigned")
+        resolved = {}
+        for factor, level in selection.items():
+            match = [candidate for candidate in self.factors[factor]
+                     if candidate == level or str(candidate) == str(level)]
+            if not match:
+                raise RunTableError(
+                    f"{what} of table {self.name!r}: {level!r} is not "
+                    f"a level of factor {factor!r} "
+                    f"{self.factors[factor]!r}")
+            resolved[factor] = match[0]
+        return resolved
+
+    @property
+    def baseline_cell(self) -> str | None:
+        if self.baseline is None:
+            return None
+        return cell_id(self._resolve(self.baseline, "baseline"),
+                       self.factors)
+
+    def cells(self) -> list[dict[str, object]]:
+        """Every factor combination, in declaration order."""
+        names = list(self.factors)
+        return [dict(zip(names, combo)) for combo in
+                itertools.product(*self.factors.values())]
+
+    def expand(self, filters: Mapping[str, Sequence] | None = None,
+               ) -> list[RunSpec]:
+        """The deterministic run list: cells × repetitions.
+
+        *filters* optionally restricts factors to subsets of their
+        levels (see :func:`parse_filters`); seeds are derived per
+        (table seed, cell, repetition), so filtering never changes the
+        seed of any surviving run.
+        """
+        allowed = None
+        if filters:
+            allowed = {}
+            unknown = set(filters) - set(self.factors)
+            if unknown:
+                raise RunTableError(
+                    f"filter names unknown factor(s) {sorted(unknown)} "
+                    f"(table {self.name!r} has {list(self.factors)})")
+            for factor, wanted in filters.items():
+                levels = [level for level in self.factors[factor]
+                          if str(level) in {str(w) for w in wanted}]
+                if not levels:
+                    raise RunTableError(
+                        f"filter {factor}={','.join(map(str, wanted))} "
+                        f"matches no level of {self.factors[factor]!r}")
+                allowed[factor] = set(map(str, levels))
+        specs = []
+        for selection in self.cells():
+            if allowed and any(
+                    str(selection[factor]) not in levels
+                    for factor, levels in allowed.items()):
+                continue
+            cell = cell_id(selection, self.factors)
+            for repetition in range(self.repetitions):
+                specs.append(RunSpec(
+                    table=self.name, cell=cell,
+                    factors=tuple(selection.items()),
+                    repetition=repetition,
+                    seed=derive_seed(self.seed, self.name, cell,
+                                     repetition)))
+        return specs
+
+    def with_overrides(self, repetitions: int | None = None,
+                       seed: int | None = None) -> "RunTable":
+        """A copy with CLI-level overrides applied."""
+        table = replace(self)
+        if repetitions is not None:
+            table.repetitions = repetitions
+        if seed is not None:
+            table.seed = seed
+        table.__post_init__()
+        return table
+
+    # ------------------------------------------------------------------
+    # Serialization (``repro bench run --table path.json``)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "factors": {name: list(levels)
+                        for name, levels in self.factors.items()},
+            "repetitions": self.repetitions,
+            "baseline": dict(self.baseline) if self.baseline else None,
+            "fixed": dict(self.fixed),
+            "driver": self.driver,
+            "tags": list(self.tags),
+            "seed": self.seed,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunTable":
+        if "name" not in data or "factors" not in data:
+            raise RunTableError(
+                "a run table file needs at least 'name' and 'factors'")
+        return cls(
+            name=data["name"],
+            factors={name: tuple(levels) for name, levels
+                     in data["factors"].items()},
+            repetitions=data.get("repetitions", 1),
+            baseline=data.get("baseline"),
+            fixed=dict(data.get("fixed", {})),
+            driver=data.get("driver", "traffic"),
+            tags=tuple(data.get("tags", ())),
+            seed=data.get("seed", 0),
+            description=data.get("description", ""))
+
+    @classmethod
+    def load(cls, path: str) -> "RunTable":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def parse_filters(pairs: Iterable[str]) -> dict[str, list[str]]:
+    """Parse ``--filter factor=level1,level2`` selections.
+
+    Repeated filters on the same factor union their levels.
+    """
+    filters: dict[str, list[str]] = {}
+    for pair in pairs:
+        factor, separator, levels = pair.partition("=")
+        if not separator or not factor or not levels:
+            raise RunTableError(
+                f"bad filter {pair!r}: expected factor=level[,level...]")
+        filters.setdefault(factor, []).extend(
+            level for level in levels.split(",") if level)
+    return filters

@@ -1,0 +1,99 @@
+"""The named run tables (`repro bench run <name>`) and legacy-id map.
+
+``perf-grid`` is the lab's flagship: the kernel × executor × traffic
+grid every optimisation PR is judged on (BENCH_pr10.json records its
+first run).  ``smoke-grid`` is the CI-sized subset the ``scale-lab``
+workflow job runs on every push.  ``traffic-sweep`` covers all six
+traffic shapes on the fastest configuration.
+
+``LEGACY_CELLS`` maps each retired ``perf-*`` experiment id onto the
+run-table cells that cover the same question — EXPERIMENTS.md renders
+it, and ``python -m repro.bench`` prints it when a legacy perf id is
+used.
+"""
+
+from __future__ import annotations
+
+from repro.bench.lab.table import RunTable, RunTableError
+
+TABLES: dict[str, RunTable] = {}
+
+
+def table(spec: RunTable) -> RunTable:
+    TABLES[spec.name] = spec
+    return spec
+
+
+table(RunTable(
+    name="perf-grid",
+    description="Flagship grid: kernel x executor x traffic on the "
+                "shared FilterThenVerify monitor.",
+    factors={
+        "kernel": ("compiled", "vector"),
+        "executor": ("serial", "threads"),
+        "traffic": ("steady", "flash-crowd", "adversarial"),
+    },
+    repetitions=3,
+    baseline={"kernel": "compiled", "executor": "serial",
+              "traffic": "steady"},
+    fixed={"family": "ftv", "dataset": "movies", "workers": 2},
+    tags=("perf", "grid"),
+))
+
+table(RunTable(
+    name="smoke-grid",
+    description="CI-sized smoke subset: 2 kernels x 2 executors, one "
+                "repetition at tiny length.",
+    factors={
+        "kernel": ("compiled", "vector"),
+        "executor": ("serial", "threads"),
+    },
+    repetitions=1,
+    baseline={"kernel": "compiled", "executor": "serial"},
+    fixed={"family": "ftv", "dataset": "movies", "workers": 2,
+           "traffic": "steady", "length": 400, "batch": 64},
+    tags=("smoke", "ci"),
+))
+
+table(RunTable(
+    name="traffic-sweep",
+    description="All six traffic shapes through the compiled serial "
+                "FilterThenVerify monitor (churn-heavy runs through "
+                "MonitorService).",
+    factors={
+        "traffic": ("steady", "bursty", "flash-crowd", "adversarial",
+                    "churn-heavy", "zipf-skew"),
+    },
+    repetitions=3,
+    baseline={"traffic": "steady"},
+    fixed={"family": "ftv", "dataset": "movies", "kernel": "compiled",
+           "executor": "serial"},
+    tags=("perf", "traffic"),
+))
+
+
+def get_table(name: str) -> RunTable:
+    try:
+        return TABLES[name]
+    except KeyError:
+        raise RunTableError(
+            f"unknown run table {name!r}; available: "
+            f"{', '.join(sorted(TABLES))}") from None
+
+
+#: Legacy perf experiment id -> the run-table cells covering it.
+LEGACY_CELLS: dict[str, str] = {
+    "perf": "perf-grid kernel=compiled/executor=serial/traffic=steady "
+            "(plus the interpreted kernel via a custom --table)",
+    "perf-batch": "perf-grid with --filter traffic=steady across "
+                  "batch sizes (fixed.batch)",
+    "perf-steady": "traffic-sweep traffic=steady (memo on/off via "
+                   "fixed.memo)",
+    "perf-vector": "perf-grid --filter kernel=vector",
+    "perf-shard": "perf-grid --filter executor=threads",
+    "perf-wire": "perf-grid executor cells (wire counters ride in "
+                 "every artifact's bench_header)",
+    "perf-churn": "traffic-sweep traffic=churn-heavy",
+    "perf-serve": "no cell (HTTP serve plane keeps its bespoke "
+                  "driver; see perf-serve experiment)",
+}

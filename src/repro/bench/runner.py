@@ -14,6 +14,7 @@ computations and would otherwise dominate the suite.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import asdict, dataclass
@@ -261,6 +262,82 @@ def replayed_stream(workload: Workload, length: int) -> list:
 
 
 # ---------------------------------------------------------------------------
+# The RunSpec-driven snapshot engine
+# ---------------------------------------------------------------------------
+
+def write_snapshot(snapshot: dict, path: str | None) -> dict:
+    """Persist *snapshot* as indented JSON when *path* is set."""
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=1)
+            handle.write("\n")
+    return snapshot
+
+
+def push_batches(monitor, stream, batch_size: int) -> int:
+    """Feed *stream* through ``push_batch`` in *batch_size* chunks,
+    returning the delivered-notification count."""
+    delivered = 0
+    for cut in range(0, len(stream), batch_size):
+        delivered += sum(
+            len(t) for t in
+            monitor.push_batch(stream[cut:cut + batch_size]))
+    return delivered
+
+
+def hot_replay(workload: Workload, length: int,
+               fraction: int = 8) -> tuple[list, list]:
+    """The duplicate-heavy stream the perf sweeps share: a small hot
+    slice of the corpus (``length // fraction`` distinct objects)
+    cycled to *length* — ~*fraction* copies of each object in-stream."""
+    hot = workload.dataset.objects[:max(1, length // fraction)]
+    return hot, list(replay(hot, length))
+
+
+def measured_run(objects: int, elapsed: float, comparisons: int,
+                 delivered: int) -> dict:
+    """The measurement block every snapshot run records."""
+    return {
+        "objects": objects,
+        "elapsed_s": round(elapsed, 6),
+        "objects_per_s": round(objects / elapsed, 1)
+        if elapsed else float("inf"),
+        "comparisons": comparisons,
+        "delivered": delivered,
+    }
+
+
+def run_table_snapshot(table, measure: Callable,
+                       finalize: Callable | None = None,
+                       header: dict | None = None,
+                       path: str | None = None) -> dict:
+    """The one RunSpec-driven engine behind every perf snapshot.
+
+    *table* is a :class:`~repro.bench.lab.table.RunTable` declaring the
+    grid; every expanded :class:`~repro.bench.lab.table.RunSpec` is
+    handed to *measure*, which executes the cell and returns its
+    ``(runs key, run record)`` pair.  *finalize* sees the completed runs
+    dict and returns the cross-run extras (speedups, identity checks).
+    The snapshot leads with ``benchmark = table.name`` and the *header*
+    facts, carries the standard :func:`bench_header` provenance, and is
+    written to *path* when set — the ``BENCH_*.json`` trajectory shape
+    every PR has tracked.
+    """
+    runs: dict[str, dict] = {}
+    for spec in table.expand():
+        key, run = measure(spec)
+        runs[key] = run
+    snapshot = {
+        "benchmark": table.name,
+        **(header or {}),
+        **bench_header(),
+        "runs": runs,
+        **(finalize(runs) if finalize is not None else {}),
+    }
+    return write_snapshot(snapshot, path)
+
+
+# ---------------------------------------------------------------------------
 # Kernel performance snapshots (BENCH_pr1.json)
 # ---------------------------------------------------------------------------
 
@@ -278,55 +355,51 @@ def kernel_perf_snapshot(dataset: str = "movies",
     snapshot is returned and, when *path* is set, written as JSON so the
     perf trajectory is tracked across PRs.
     """
-    import json
+    from repro.bench.lab.table import RunTable
 
     workload, dendrogram = prepared(dataset, users, objects)
     stream = workload.dataset.objects
-    runs: dict[str, dict] = {}
-    for kind in kinds:
-        for kernel in kernels:
-            monitor, build_s = timed(
-                lambda: make_monitor(kind, workload, dendrogram,
-                                     kernel=kernel))
-            run = monitor_run(f"{kind}/{kernel}", monitor, stream)
-            runs[f"{kind}/{kernel}"] = {
-                "kind": kind,
-                "kernel": kernel,
-                "objects": run.objects,
-                "elapsed_s": round(run.elapsed, 6),
-                "build_s": round(build_s, 6),
-                "objects_per_s": round(run.objects / run.elapsed, 1)
-                if run.elapsed else float("inf"),
-                "comparisons": run.comparisons,
-                "delivered": run.delivered,
-            }
-    speedups = {}
-    vector_speedups = {}
-    for kind in kinds:
-        interp = runs.get(f"{kind}/interpreted")
-        compiled = runs.get(f"{kind}/compiled")
-        vector = runs.get(f"{kind}/vector")
-        if interp and compiled and compiled["elapsed_s"]:
-            speedups[kind] = round(
-                interp["elapsed_s"] / compiled["elapsed_s"], 2)
-        if vector and compiled and vector["elapsed_s"]:
-            vector_speedups[kind] = round(
-                compiled["elapsed_s"] / vector["elapsed_s"], 2)
-    snapshot = {
-        "benchmark": "kernel_perf_snapshot",
-        "dataset": dataset,
-        "objects": len(stream),
-        "users": len(workload.preferences),
-        **bench_header(),
-        "runs": runs,
-        "speedup_compiled_over_interpreted": speedups,
-        "speedup_vector_over_compiled": vector_speedups,
-    }
-    if path:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=1)
-            handle.write("\n")
-    return snapshot
+
+    def measure(spec):
+        kind = spec.level("kind")
+        kernel = spec.level("kernel")
+        monitor, build_s = timed(
+            lambda: make_monitor(kind, workload, dendrogram,
+                                 kernel=kernel))
+        run = monitor_run(f"{kind}/{kernel}", monitor, stream)
+        return f"{kind}/{kernel}", {
+            "kind": kind,
+            "kernel": kernel,
+            **measured_run(run.objects, run.elapsed, run.comparisons,
+                           run.delivered),
+            "build_s": round(build_s, 6),
+        }
+
+    def finalize(runs):
+        speedups = {}
+        vector_speedups = {}
+        for kind in kinds:
+            interp = runs.get(f"{kind}/interpreted")
+            compiled = runs.get(f"{kind}/compiled")
+            vector = runs.get(f"{kind}/vector")
+            if interp and compiled and compiled["elapsed_s"]:
+                speedups[kind] = round(
+                    interp["elapsed_s"] / compiled["elapsed_s"], 2)
+            if vector and compiled and vector["elapsed_s"]:
+                vector_speedups[kind] = round(
+                    compiled["elapsed_s"] / vector["elapsed_s"], 2)
+        return {
+            "speedup_compiled_over_interpreted": speedups,
+            "speedup_vector_over_compiled": vector_speedups,
+        }
+
+    return run_table_snapshot(
+        RunTable(name="kernel_perf_snapshot",
+                 factors={"kind": kinds, "kernel": kernels}),
+        measure, finalize,
+        header={"dataset": dataset, "objects": len(stream),
+                "users": len(workload.preferences)},
+        path=path)
 
 
 # ---------------------------------------------------------------------------
@@ -361,7 +434,7 @@ def batch_perf_snapshot(dataset: str = "movies",
     reference (the PR 2 trajectory); :func:`steady_perf_snapshot`
     measures the memo's cross-batch savings on top.
     """
-    import json
+    from repro.bench.lab.table import RunTable
 
     workload, dendrogram = prepared_stream(dataset)
     scale = get_scale()
@@ -371,60 +444,50 @@ def batch_perf_snapshot(dataset: str = "movies",
     # the full-corpus replay of the figures has almost no repetition
     # (corpus > stream) and exercises the sieve's overhead side, which
     # the batch_size=1 baseline of this sweep already anchors.
-    hot = workload.dataset.objects[:max(1, length // 8)]
-    stream = list(replay(hot, length))
-    runs: dict[str, dict] = {}
-    for kind in kinds:
-        for batch_size in batch_sizes:
-            monitor = make_monitor(kind, workload, dendrogram,
-                                   memo=False)
-            started = time.perf_counter()
-            if batch_size == 1:
-                delivered = sum(len(monitor.push(obj)) for obj in stream)
-            else:
-                delivered = 0
-                for cut in range(0, len(stream), batch_size):
-                    delivered += sum(
-                        len(t) for t in
-                        monitor.push_batch(stream[cut:cut + batch_size]))
-            elapsed = time.perf_counter() - started
-            registry = monitor.registry
-            run = {
-                "kind": kind,
-                "batch_size": batch_size,
-                "objects": len(stream),
-                "elapsed_s": round(elapsed, 6),
-                "objects_per_s": round(len(stream) / elapsed, 1)
-                if elapsed else float("inf"),
-                "comparisons": monitor.stats.comparisons,
-                "delivered": delivered,
-                "unique_kernels": registry.unique_kernels
-                if registry else None,
-                "kernels_requested": registry.kernels_requested
-                if registry else None,
-            }
-            runs[f"{kind}/b{batch_size}"] = run
+    hot, stream = hot_replay(workload, length)
+
+    def measure(spec):
+        kind = spec.level("kind")
+        batch_size = spec.level("batch")
+        monitor = make_monitor(kind, workload, dendrogram, memo=False)
+        started = time.perf_counter()
+        if batch_size == 1:
+            delivered = sum(len(monitor.push(obj)) for obj in stream)
+        else:
+            delivered = push_batches(monitor, stream, batch_size)
+        elapsed = time.perf_counter() - started
+        registry = monitor.registry
+        return f"{kind}/b{batch_size}", {
+            "kind": kind,
+            "batch_size": batch_size,
+            **measured_run(len(stream), elapsed,
+                           monitor.stats.comparisons, delivered),
+            "unique_kernels": registry.unique_kernels
+            if registry else None,
+            "kernels_requested": registry.kernels_requested
+            if registry else None,
+        }
+
+    def finalize(runs):
         # Ratios in a second pass so batch_sizes need not lead with 1.
-        sequential = runs.get(f"{kind}/b1")
-        if sequential and sequential["comparisons"]:
-            for batch_size in batch_sizes:
-                if batch_size != 1:
-                    run = runs[f"{kind}/b{batch_size}"]
-                    run["comparisons_vs_sequential"] = round(
-                        run["comparisons"] / sequential["comparisons"], 4)
-    snapshot = {
-        "benchmark": "batch_perf_snapshot",
-        "dataset": dataset,
-        "stream_length": len(stream),
-        "users": len(workload.preferences),
-        **bench_header(),
-        "runs": runs,
-    }
-    if path:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=1)
-            handle.write("\n")
-    return snapshot
+        for kind in kinds:
+            sequential = runs.get(f"{kind}/b1")
+            if sequential and sequential["comparisons"]:
+                for batch_size in batch_sizes:
+                    if batch_size != 1:
+                        run = runs[f"{kind}/b{batch_size}"]
+                        run["comparisons_vs_sequential"] = round(
+                            run["comparisons"]
+                            / sequential["comparisons"], 4)
+        return {}
+
+    return run_table_snapshot(
+        RunTable(name="batch_perf_snapshot",
+                 factors={"kind": kinds, "batch": batch_sizes}),
+        measure, finalize,
+        header={"dataset": dataset, "stream_length": len(stream),
+                "users": len(workload.preferences)},
+        path=path)
 
 
 # ---------------------------------------------------------------------------
@@ -452,61 +515,57 @@ def steady_perf_snapshot(dataset: str = "movies",
     keeps hitting.  Written as JSON when *path* is set so the perf
     trajectory is tracked across PRs.
     """
-    import json
+    from repro.bench.lab.table import RunTable
 
     workload, dendrogram = prepared_stream(dataset)
     scale = get_scale()
     if length is None:
         length = scale.stream_length
-    hot = workload.dataset.objects[:max(1, length // 16)]
-    stream = list(replay(hot, length))
-    runs: dict[str, dict] = {}
-    for window in windows:
-        for kind in kinds:
-            label = kind if window is None else f"{kind}-w{window}"
-            for memo in (False, True):
-                monitor = make_monitor(kind, workload, dendrogram,
-                                       window=window, memo=memo)
-                started = time.perf_counter()
-                delivered = 0
-                for cut in range(0, len(stream), batch_size):
-                    delivered += sum(
-                        len(t) for t in
-                        monitor.push_batch(stream[cut:cut + batch_size]))
-                elapsed = time.perf_counter() - started
-                runs[f"{label}/memo-{'on' if memo else 'off'}"] = {
-                    "kind": kind,
-                    "memo": memo,
-                    "batch_size": batch_size,
-                    "window": window,
-                    "objects": len(stream),
-                    "elapsed_s": round(elapsed, 6),
-                    "objects_per_s": round(len(stream) / elapsed, 1)
-                    if elapsed else float("inf"),
-                    "comparisons": monitor.stats.comparisons,
-                    "delivered": delivered,
-                }
-            off = runs[f"{label}/memo-off"]
-            on = runs[f"{label}/memo-on"]
-            if off["comparisons"]:
-                on["comparisons_vs_memo_off"] = round(
-                    on["comparisons"] / off["comparisons"], 4)
-    snapshot = {
-        "benchmark": "steady_perf_snapshot",
-        "dataset": dataset,
-        "stream_length": len(stream),
-        "hot_objects": len(hot),
-        "batch_size": batch_size,
-        "windows": list(windows),
-        "users": len(workload.preferences),
-        **bench_header(),
-        "runs": runs,
-    }
-    if path:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=1)
-            handle.write("\n")
-    return snapshot
+    hot, stream = hot_replay(workload, length, fraction=16)
+
+    def label_for(kind, window):
+        return kind if window is None else f"{kind}-w{window}"
+
+    def measure(spec):
+        window = spec.level("window")
+        kind = spec.level("kind")
+        memo = spec.level("memo")
+        monitor = make_monitor(kind, workload, dendrogram,
+                               window=window, memo=memo)
+        delivered, elapsed = timed(
+            lambda: push_batches(monitor, stream, batch_size))
+        key = (f"{label_for(kind, window)}"
+               f"/memo-{'on' if memo else 'off'}")
+        return key, {
+            "kind": kind,
+            "memo": memo,
+            "batch_size": batch_size,
+            "window": window,
+            **measured_run(len(stream), elapsed,
+                           monitor.stats.comparisons, delivered),
+        }
+
+    def finalize(runs):
+        for window in windows:
+            for kind in kinds:
+                label = label_for(kind, window)
+                off = runs[f"{label}/memo-off"]
+                on = runs[f"{label}/memo-on"]
+                if off["comparisons"]:
+                    on["comparisons_vs_memo_off"] = round(
+                        on["comparisons"] / off["comparisons"], 4)
+        return {}
+
+    return run_table_snapshot(
+        RunTable(name="steady_perf_snapshot",
+                 factors={"window": windows, "kind": kinds,
+                          "memo": (False, True)}),
+        measure, finalize,
+        header={"dataset": dataset, "stream_length": len(stream),
+                "hot_objects": len(hot), "batch_size": batch_size,
+                "windows": list(windows),
+                "users": len(workload.preferences)},
+        path=path)
 
 
 # ---------------------------------------------------------------------------
@@ -547,42 +606,11 @@ def vector_perf_snapshot(dataset: str = "movies",
     vector kernel charges the documented vector-equivalent count
     (DESIGN.md §13), not the sequential early-exit count.
     """
-    import json
+    from repro.bench.lab.table import RunTable
 
     scale = get_scale()
     if length is None:
         length = scale.stream_length // 2
-
-    runs: dict[str, dict] = {}
-    identical: dict[str, bool] = {}
-    speedups: dict[str, float] = {}
-
-    def run_pair(scenario: str, kind: str, build, drive) -> None:
-        notes = {}
-        for kernel in ("compiled", "vector"):
-            monitor = build(kernel)
-            started = time.perf_counter()
-            notifications = drive(monitor)
-            elapsed = time.perf_counter() - started
-            notes[kernel] = notifications
-            runs[f"{scenario}/{kind}/{kernel}"] = {
-                "scenario": scenario,
-                "kind": kind,
-                "kernel": kernel,
-                "objects": len(notifications),
-                "elapsed_s": round(elapsed, 6),
-                "objects_per_s": round(len(notifications) / elapsed, 1)
-                if elapsed else float("inf"),
-                "comparisons": monitor.stats.comparisons,
-                "delivered": monitor.stats.delivered,
-            }
-        identical[f"{scenario}/{kind}"] = \
-            notes["compiled"] == notes["vector"]
-        compiled = runs[f"{scenario}/{kind}/compiled"]
-        vector = runs[f"{scenario}/{kind}/vector"]
-        if vector["elapsed_s"]:
-            speedups[f"{scenario}/{kind}"] = round(
-                compiled["elapsed_s"] / vector["elapsed_s"], 2)
 
     def sequential(stream):
         def drive(monitor):
@@ -598,54 +626,82 @@ def vector_perf_snapshot(dataset: str = "movies",
             return notifications
         return drive
 
-    # perf: sequential corpus push, append-only monitors.
+    # Scenario registry: name -> (build(kind, kernel), drive).
     workload, dendrogram = prepared(dataset)
     corpus = list(workload.dataset.objects)
-    for kind in kinds:
-        run_pair("perf", kind,
-                 lambda kernel, k=kind: make_monitor(
-                     k, workload, dendrogram, kernel=kernel),
-                 sequential(corpus))
-
-    # perf-batch: hot replay, largest batch size, memo off.
     stream_workload, stream_dendrogram = prepared_stream(dataset)
-    hot = stream_workload.dataset.objects[:max(1, length // 8)]
-    hot_stream = list(replay(hot, length))
-    for kind in kinds:
-        run_pair("perf-batch", kind,
-                 lambda kernel, k=kind: make_monitor(
-                     k, stream_workload, stream_dendrogram,
-                     kernel=kernel, memo=False),
-                 batched(hot_stream, BATCH_SIZES[-1]))
-
-    # perf-steady: full-corpus replay through the windowed monitors.
+    hot, hot_stream = hot_replay(stream_workload, length)
     replay_stream = list(replay(stream_workload.dataset, length))
+    scenarios: dict[str, tuple] = {
+        # perf: sequential corpus push, append-only monitors.
+        "perf": (lambda kind, kernel: make_monitor(
+                     kind, workload, dendrogram, kernel=kernel),
+                 sequential(corpus)),
+        # perf-batch: hot replay, largest batch size, memo off.
+        "perf-batch": (lambda kind, kernel: make_monitor(
+                           kind, stream_workload, stream_dendrogram,
+                           kernel=kernel, memo=False),
+                       batched(hot_stream, BATCH_SIZES[-1])),
+    }
+    # perf-steady: full-corpus replay through the windowed monitors.
     for window in windows:
         if window > len(replay_stream) // 2:
             continue
-        for kind in kinds:
-            run_pair(f"perf-steady-w{window}", kind,
-                     lambda kernel, k=kind, w=window: make_monitor(
-                         k, stream_workload, stream_dendrogram,
-                         window=w, kernel=kernel, memo=True),
-                     batched(replay_stream, batch_size))
+        scenarios[f"perf-steady-w{window}"] = (
+            lambda kind, kernel, w=window: make_monitor(
+                kind, stream_workload, stream_dendrogram, window=w,
+                kernel=kernel, memo=True),
+            batched(replay_stream, batch_size))
 
-    snapshot = {
-        "benchmark": "vector_perf_snapshot",
-        "dataset": dataset,
-        "length": length,
-        "batch_size": batch_size,
-        "windows": list(windows),
-        **bench_header(),
-        "runs": runs,
-        "notifications_identical": identical,
-        "speedup_vector_over_compiled": speedups,
-    }
-    if path:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=1)
-            handle.write("\n")
-    return snapshot
+    notes: dict[str, list] = {}
+    identical: dict[str, bool] = {}
+
+    def measure(spec):
+        scenario = spec.level("scenario")
+        kind = spec.level("kind")
+        kernel = spec.level("kernel")
+        build, drive = scenarios[scenario]
+        monitor = build(kind, kernel)
+        notifications, elapsed = timed(lambda: drive(monitor))
+        # Kernel is the innermost factor, so the compiled run of a
+        # (scenario, kind) pair always lands right before its vector
+        # twin: stash the one, settle identity on the other.
+        pair = f"{scenario}/{kind}"
+        if kernel == "compiled":
+            notes[pair] = notifications
+        else:
+            identical[pair] = notes.pop(pair) == notifications
+        return f"{scenario}/{kind}/{kernel}", {
+            "scenario": scenario,
+            "kind": kind,
+            "kernel": kernel,
+            **measured_run(len(notifications), elapsed,
+                           monitor.stats.comparisons,
+                           monitor.stats.delivered),
+        }
+
+    def finalize(runs):
+        speedups: dict[str, float] = {}
+        for scenario in scenarios:
+            for kind in kinds:
+                compiled = runs[f"{scenario}/{kind}/compiled"]
+                vector = runs[f"{scenario}/{kind}/vector"]
+                if vector["elapsed_s"]:
+                    speedups[f"{scenario}/{kind}"] = round(
+                        compiled["elapsed_s"] / vector["elapsed_s"], 2)
+        return {
+            "notifications_identical": identical,
+            "speedup_vector_over_compiled": speedups,
+        }
+
+    return run_table_snapshot(
+        RunTable(name="vector_perf_snapshot",
+                 factors={"scenario": tuple(scenarios), "kind": kinds,
+                          "kernel": ("compiled", "vector")}),
+        measure, finalize,
+        header={"dataset": dataset, "length": length,
+                "batch_size": batch_size, "windows": list(windows)},
+        path=path)
 
 
 # ---------------------------------------------------------------------------
@@ -679,17 +735,19 @@ def churn_perf_snapshot(dataset: str = "movies",
     motivation for the service API), so the ratio falls as streams
     lengthen.  Written as JSON when *path* is set so the perf
     trajectory is tracked across PRs.
-    """
-    import json
 
+    Stays a bespoke driver (like :func:`serve_perf_snapshot`): the
+    paired service-vs-rebuild competitor structure does not decompose
+    into independent run-table cells.
+    """
     from repro.service import MonitorService, ServicePolicy
 
     workload, _ = prepared_stream(dataset)
     scale = get_scale()
     if length is None:
         length = scale.stream_length // 2
-    hot = workload.dataset.objects[:max(1, length // 8)]
-    stream = [tuple(obj.values) for obj in replay(hot, length)]
+    hot, replayed = hot_replay(workload, length)
+    stream = [tuple(obj.values) for obj in replayed]
     users = list(workload.preferences.items())
     half = max(1, len(users) // 2)
     runs: dict[str, dict] = {}
@@ -776,7 +834,7 @@ def churn_perf_snapshot(dataset: str = "movies",
             "comparisons_vs_rebuild": round(
                 service_cmp / rebuild_cmp, 4) if rebuild_cmp else None,
         }
-    snapshot = {
+    return write_snapshot({
         "benchmark": "churn_perf_snapshot",
         "dataset": dataset,
         "stream_length": len(stream),
@@ -784,12 +842,7 @@ def churn_perf_snapshot(dataset: str = "movies",
         "users": len(users),
         **bench_header(),
         "runs": runs,
-    }
-    if path:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=1)
-            handle.write("\n")
-    return snapshot
+    }, path)
 
 
 # ---------------------------------------------------------------------------
@@ -821,74 +874,63 @@ def shard_perf_snapshot(dataset: str = "movies",
     GIL-bound and ``processes`` pays IPC with no parallel speedup, so
     ratios below 1.0 are only reachable on multi-core hosts.
     """
-    import json
+    from repro.bench.lab.table import RunTable
 
     workload, dendrogram = prepared_stream(dataset)
     scale = get_scale()
     if length is None:
         length = scale.stream_length // 2
-    hot = workload.dataset.objects[:max(1, length // 8)]
-    stream = list(replay(hot, length))
-    runs: dict[str, dict] = {}
+    hot, stream = hot_replay(workload, length)
     # workers == 1 builds the plain serial family whatever the executor
-    # says, so it is measured exactly once, as the reference run.
-    configs = [("serial", 1)]
-    configs += [(executor, workers) for executor in executors
+    # says, so it is measured exactly once, as the reference run.  The
+    # irregular (executor, workers) grid rides one compound factor.
+    configs = ["serial-1"]
+    configs += [f"{executor}-{workers}" for executor in executors
                 for workers in shard_counts if workers > 1]
-    for kind in kinds:
-        serial_key = f"{kind}/serial"
-        for executor, workers in configs:
-            monitor = make_monitor(kind, workload, dendrogram,
-                                   memo=False, workers=workers,
-                                   executor=executor)
-            started = time.perf_counter()
-            delivered = 0
-            for cut in range(0, len(stream), batch_size):
-                delivered += sum(
-                    len(t) for t in
-                    monitor.push_batch(stream[cut:cut + batch_size]))
-            elapsed = time.perf_counter() - started
-            run = {
-                "kind": kind,
-                "executor": executor,
-                "workers": workers,
-                "objects": len(stream),
-                "elapsed_s": round(elapsed, 6),
-                "objects_per_s": round(len(stream) / elapsed, 1)
-                if elapsed else float("inf"),
-                "comparisons": monitor.stats.comparisons,
-                "delivered": delivered,
-            }
-            if workers > 1:
-                run["shard_comparisons"] = [
-                    shard["comparisons"]
-                    for shard in monitor.shard_stats()]
-                monitor.close()
-            key = (serial_key if workers == 1
-                   else f"{kind}/{executor}-{workers}")
-            runs[key] = run
-        serial = runs[serial_key]
-        for key, run in runs.items():
-            if run["kind"] == kind and run["workers"] > 1:
-                run["wall_clock_vs_serial"] = round(
-                    run["elapsed_s"] / serial["elapsed_s"], 4)
-                run["comparisons_match_serial"] = (
-                    run["comparisons"] == serial["comparisons"])
-    snapshot = {
-        "benchmark": "shard_perf_snapshot",
-        "dataset": dataset,
-        "stream_length": len(stream),
-        "hot_objects": len(hot),
-        "batch_size": batch_size,
-        "users": len(workload.preferences),
-        **bench_header(),
-        "runs": runs,
-    }
-    if path:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=1)
-            handle.write("\n")
-    return snapshot
+
+    def measure(spec):
+        kind = spec.level("kind")
+        executor, _, workers = spec.level("config").rpartition("-")
+        workers = int(workers)
+        monitor = make_monitor(kind, workload, dendrogram, memo=False,
+                               workers=workers, executor=executor)
+        delivered, elapsed = timed(
+            lambda: push_batches(monitor, stream, batch_size))
+        run = {
+            "kind": kind,
+            "executor": executor,
+            "workers": workers,
+            **measured_run(len(stream), elapsed,
+                           monitor.stats.comparisons, delivered),
+        }
+        if workers > 1:
+            run["shard_comparisons"] = [
+                shard["comparisons"]
+                for shard in monitor.shard_stats()]
+            monitor.close()
+        key = (f"{kind}/serial" if workers == 1
+               else f"{kind}/{executor}-{workers}")
+        return key, run
+
+    def finalize(runs):
+        for kind in kinds:
+            serial = runs[f"{kind}/serial"]
+            for run in runs.values():
+                if run["kind"] == kind and run["workers"] > 1:
+                    run["wall_clock_vs_serial"] = round(
+                        run["elapsed_s"] / serial["elapsed_s"], 4)
+                    run["comparisons_match_serial"] = (
+                        run["comparisons"] == serial["comparisons"])
+        return {}
+
+    return run_table_snapshot(
+        RunTable(name="shard_perf_snapshot",
+                 factors={"kind": kinds, "config": configs}),
+        measure, finalize,
+        header={"dataset": dataset, "stream_length": len(stream),
+                "hot_objects": len(hot), "batch_size": batch_size,
+                "users": len(workload.preferences)},
+        path=path)
 
 
 # ---------------------------------------------------------------------------
@@ -919,15 +961,15 @@ def wire_perf_snapshot(dataset: str = "movies",
     codec and memory — so their rows pin the "no pipes, no bytes"
     half of the accounting.
     """
-    import json
     import pickle
+
+    from repro.bench.lab.table import RunTable
 
     workload, dendrogram = prepared_stream(dataset)
     scale = get_scale()
     if length is None:
         length = scale.stream_length // 2
-    hot = workload.dataset.objects[:max(1, length // 8)]
-    stream = list(replay(hot, length))
+    hot, stream = hot_replay(workload, length)
     batches = -(-len(stream) // batch_size)
     # The PR 5 baseline: what the pickled-object-list protocol puts on
     # one pipe for this stream.  Coerced on a throwaway monitor so oid
@@ -938,74 +980,67 @@ def wire_perf_snapshot(dataset: str = "movies",
         len(pickle.dumps(("push_batch", coerced[cut:cut + batch_size]),
                          protocol=pickle.HIGHEST_PROTOCOL))
         for cut in range(0, len(stream), batch_size))
-    runs: dict[str, dict] = {}
-    configs = [("serial", 1)]
-    configs += [(executor, workers) for executor in executors
+    configs = ["serial-1"]
+    configs += [f"{executor}-{workers}" for executor in executors
                 for workers in shard_counts if workers > 1]
-    for kind in kinds:
-        for executor, workers in configs:
-            monitor = make_monitor(kind, workload, dendrogram,
-                                   memo=False, workers=workers,
-                                   executor=executor)
-            started = time.perf_counter()
-            for cut in range(0, len(stream), batch_size):
-                monitor.push_batch(stream[cut:cut + batch_size])
-            elapsed = time.perf_counter() - started
-            if workers > 1:
-                wire = monitor.wire_stats()
-                monitor.close()
-            else:
-                # The plain serial family: one encode pass per batch,
-                # nothing on any pipe — the reference accounting row.
-                wire = {
-                    "encode_passes":
-                        monitor.stats.snapshot()["encode_passes"],
-                    "wire_bytes": 0,
-                    "codec_delta_entries": 0,
-                }
-            run = {
-                "kind": kind,
-                "executor": executor,
-                "workers": workers,
-                "objects": len(stream),
-                "batches": batches,
-                "elapsed_s": round(elapsed, 6),
-                "encode_passes": wire["encode_passes"],
-                "encode_passes_per_batch": round(
-                    wire["encode_passes"] / batches, 4),
-                "wire_bytes": wire["wire_bytes"],
-                "wire_bytes_per_row": round(
-                    wire["wire_bytes"] / len(stream), 2),
-                "codec_delta_entries": wire["codec_delta_entries"],
+
+    def measure(spec):
+        kind = spec.level("kind")
+        executor, _, workers = spec.level("config").rpartition("-")
+        workers = int(workers)
+        monitor = make_monitor(kind, workload, dendrogram, memo=False,
+                               workers=workers, executor=executor)
+        _, elapsed = timed(
+            lambda: push_batches(monitor, stream, batch_size))
+        if workers > 1:
+            wire = monitor.wire_stats()
+            monitor.close()
+        else:
+            # The plain serial family: one encode pass per batch,
+            # nothing on any pipe — the reference accounting row.
+            wire = {
+                "encode_passes":
+                    monitor.stats.snapshot()["encode_passes"],
+                "wire_bytes": 0,
+                "codec_delta_entries": 0,
             }
-            if executor == "processes":
-                pickled = workers * pickled_per_pipe
-                run["pickled_baseline_bytes"] = pickled
-                run["pickled_bytes_per_row"] = round(
-                    pickled / len(stream), 2)
-                run["wire_vs_pickled"] = round(
-                    wire["wire_bytes"] / pickled, 4)
-                run["reduction_x"] = round(
-                    pickled / wire["wire_bytes"], 1) \
-                    if wire["wire_bytes"] else None
-            key = (f"{kind}/serial" if workers == 1
-                   else f"{kind}/{executor}-{workers}")
-            runs[key] = run
-    snapshot = {
-        "benchmark": "wire_perf_snapshot",
-        "dataset": dataset,
-        "stream_length": len(stream),
-        "hot_objects": len(hot),
-        "batch_size": batch_size,
-        "users": len(workload.preferences),
-        **bench_header(),
-        "runs": runs,
-    }
-    if path:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=1)
-            handle.write("\n")
-    return snapshot
+        run = {
+            "kind": kind,
+            "executor": executor,
+            "workers": workers,
+            "objects": len(stream),
+            "batches": batches,
+            "elapsed_s": round(elapsed, 6),
+            "encode_passes": wire["encode_passes"],
+            "encode_passes_per_batch": round(
+                wire["encode_passes"] / batches, 4),
+            "wire_bytes": wire["wire_bytes"],
+            "wire_bytes_per_row": round(
+                wire["wire_bytes"] / len(stream), 2),
+            "codec_delta_entries": wire["codec_delta_entries"],
+        }
+        if executor == "processes":
+            pickled = workers * pickled_per_pipe
+            run["pickled_baseline_bytes"] = pickled
+            run["pickled_bytes_per_row"] = round(
+                pickled / len(stream), 2)
+            run["wire_vs_pickled"] = round(
+                wire["wire_bytes"] / pickled, 4)
+            run["reduction_x"] = round(
+                pickled / wire["wire_bytes"], 1) \
+                if wire["wire_bytes"] else None
+        key = (f"{kind}/serial" if workers == 1
+               else f"{kind}/{executor}-{workers}")
+        return key, run
+
+    return run_table_snapshot(
+        RunTable(name="wire_perf_snapshot",
+                 factors={"kind": kinds, "config": configs}),
+        measure,
+        header={"dataset": dataset, "stream_length": len(stream),
+                "hot_objects": len(hot), "batch_size": batch_size,
+                "users": len(workload.preferences)},
+        path=path)
 
 
 # ---------------------------------------------------------------------------
@@ -1035,9 +1070,12 @@ def serve_perf_snapshot(dataset: str = "movies",
     host, port and client count alongside the usual executor/cpu
     provenance so numbers from different serving topologies are never
     conflated.
+
+    Stays a bespoke driver (like :func:`churn_perf_snapshot`): the
+    HTTP/SSE client topology does not decompose into independent
+    run-table cells.
     """
     import http.client as _http
-    import json
     import threading
 
     from repro import io as repro_io
@@ -1144,7 +1182,7 @@ def serve_perf_snapshot(dataset: str = "movies",
             "notify_p90_ms": latency["p90_ms"],
             "notify_p99_ms": latency["p99_ms"],
         }
-    snapshot = {
+    return write_snapshot({
         "benchmark": "serve_perf_snapshot",
         "dataset": dataset,
         "stream_length": len(stream),
@@ -1155,12 +1193,7 @@ def serve_perf_snapshot(dataset: str = "movies",
         "users": len(subscribers),
         **bench_header(),
         "runs": runs,
-    }
-    if path:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=1)
-            handle.write("\n")
-    return snapshot
+    }, path)
 
 
 @dataclass

@@ -417,9 +417,17 @@ def cmd_serve(args, out: IO[str]) -> int:
 
 
 def cmd_bench(args, out: IO[str]) -> int:
+    bench_args = list(args.bench_args)
+    # The scale-lab verbs (DESIGN.md §16) get the run-table front door;
+    # anything else — legacy experiment ids, --list, --tag — falls
+    # through to the python -m repro.bench back-compat alias.
+    if bench_args and bench_args[0] in ("list", "run", "report"):
+        from repro.bench.lab.cli import lab_main
+
+        return lab_main(bench_args, out=out)
     from repro.bench.__main__ import main as bench_main
 
-    return bench_main(args.bench_args)
+    return bench_main(bench_args)
 
 
 # ---------------------------------------------------------------------------
@@ -580,9 +588,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=cmd_serve)
 
     bench = commands.add_parser(
-        "bench", help="regenerate the paper's tables and figures")
+        "bench",
+        help="run benchmark grids (list|run|report) or regenerate the "
+             "paper's tables and figures")
     bench.add_argument("bench_args", nargs=argparse.REMAINDER,
-                       help="arguments for python -m repro.bench")
+                       help="'list', 'run <table>', 'report <dir>' for "
+                            "the run-table lab; experiment ids for the "
+                            "python -m repro.bench alias")
     bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -1,0 +1,289 @@
+"""Traffic shapes: named, seed-deterministic workload generators.
+
+The paper's streams (Section 8.3) are uniform replays of a corpus; real
+serving traffic is not.  The scale lab (DESIGN.md §16) judges every
+optimisation across a grid of *traffic shapes* — named generators that
+turn a prepared :class:`~repro.data.synthetic.Workload` into a
+replayable **op stream**: ``("push", objects)`` batches, optionally
+interleaved with ``("subscribe", user)`` / ``("unsubscribe", user)``
+lifecycle ops.  The same stream drives both the plain monitors (via
+:meth:`Traffic.objects`) and :class:`~repro.service.MonitorService`
+(via :attr:`Traffic.ops`).
+
+Every shape is a pure function of ``(workload, length, seed,
+batch_size)``: the same arguments produce a byte-identical op stream
+(pinned by :meth:`Traffic.fingerprint` and tests/test_traffic.py), so a
+rerun of a run table reproduces its workloads exactly.
+
+Shapes
+------
+
+``steady``
+    The Section 8.3 construction: the corpus cycled in order — the
+    uniform reference every other shape is measured against.
+``bursty``
+    Calm stretches of in-order corpus arrivals interrupted by bursts
+    that hammer one narrow corpus slice — cache-friendly repetition
+    arriving in clumps.
+``flash-crowd``
+    One hot object dominates each interval (a release, an outage, a
+    meme): ~80% of an interval's arrivals are copies of its hot object.
+``adversarial``
+    Anti-sieve ordering: objects arrive dominated-first (ascending
+    :func:`~repro.core.batch.dominance_potential` summed over the user
+    population's orders), so a predecessor (almost) never dominates a
+    later arrival — frontiers keep growing and the sieve's early-exit
+    paths are starved.  The worst case the sieve/memo machinery meets.
+``churn-heavy``
+    A steady stream with subscribe/unsubscribe ops spliced between
+    batches: the lifecycle plane exercised under load.  All workload
+    users start subscribed; the script alternates unsubscribing active
+    users (never below half the population) with re-subscribing them.
+``zipf-skew``
+    Taste-skewed popularity: arrivals follow a Zipf law over a
+    seed-permuted object ranking — a handful of objects dominate the
+    stream, the tail is rare.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.batch import potential_scores
+from repro.core.errors import WindowError
+from repro.data.objects import Object
+from repro.data.synthetic import Workload, zipf_weights
+
+#: Every generator, in the canonical grid order.
+TRAFFIC_SHAPES = ("steady", "bursty", "flash-crowd", "adversarial",
+                  "churn-heavy", "zipf-skew")
+
+#: Share of an interval's arrivals taken by the flash-crowd hot object.
+FLASH_CROWD_HEAT = 0.8
+
+#: Number of hot-object intervals a flash-crowd stream is split into.
+FLASH_CROWD_INTERVALS = 4
+
+
+@dataclass(frozen=True)
+class Traffic:
+    """A replayable op stream produced by :func:`make_traffic`.
+
+    ``ops`` is a tuple of ``("push", tuple[Object, ...])``,
+    ``("subscribe", user)`` and ``("unsubscribe", user)`` entries, in
+    arrival order.  Lifecycle ops carry only the user id — the driver
+    resolves preferences from the workload, so streams stay independent
+    of any preference encoding.
+    """
+
+    shape: str
+    seed: int
+    length: int
+    batch_size: int
+    ops: tuple = field(repr=False)
+
+    def objects(self) -> list[Object]:
+        """The flat object stream (lifecycle ops skipped) — what
+        ``monitor_run``/``push_batch`` consume."""
+        flat: list[Object] = []
+        for op in self.ops:
+            if op[0] == "push":
+                flat.extend(op[1])
+        return flat
+
+    def lifecycle_ops(self) -> int:
+        """How many subscribe/unsubscribe ops the stream carries."""
+        return sum(1 for op in self.ops if op[0] != "push")
+
+    def fingerprint(self) -> str:
+        """A sha256 over the canonical byte encoding of the op stream.
+
+        Two streams with equal fingerprints are byte-identical: same
+        ops, same order, same object ids and values.  Stamped into
+        every per-run artifact so reruns prove they replayed the same
+        workload.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"{self.shape}|{self.length}|"
+                      f"{self.batch_size}".encode())
+        for op in self.ops:
+            if op[0] == "push":
+                for obj in op[1]:
+                    digest.update(
+                        f"p{obj.oid}:{obj.values!r}".encode())
+            else:
+                digest.update(f"{op[0]}:{op[1]!r}".encode())
+        return digest.hexdigest()
+
+    def __repr__(self) -> str:
+        return (f"Traffic({self.shape!r}, length={self.length}, "
+                f"seed={self.seed}, ops={len(self.ops)})")
+
+
+def _rng(shape: str, seed: int) -> np.random.Generator:
+    """A per-(shape, seed) generator — shapes never share draws, so
+    adding a draw to one shape cannot silently reshuffle another."""
+    digest = hashlib.sha256(f"traffic|{shape}|{seed}".encode()).digest()
+    return np.random.default_rng(
+        int.from_bytes(digest[:8], "big"))
+
+
+def _batched(shape: str, seed: int, length: int, batch_size: int,
+             values_stream) -> Traffic:
+    """Assemble push ops from an iterable of value-template objects,
+    renumbering oids ``0..length-1`` in arrival order (the
+    :func:`~repro.data.stream.replay` convention, so window arithmetic
+    stays trivial)."""
+    ops = []
+    batch: list[Object] = []
+    for position, template in enumerate(values_stream):
+        batch.append(Object(position, template.values))
+        if len(batch) == batch_size:
+            ops.append(("push", tuple(batch)))
+            batch = []
+    if batch:
+        ops.append(("push", tuple(batch)))
+    return Traffic(shape, seed, length, batch_size, tuple(ops))
+
+
+# ---------------------------------------------------------------------------
+# Shape generators
+# ---------------------------------------------------------------------------
+
+def _steady(workload: Workload, length: int, seed: int):
+    corpus = workload.dataset.objects
+    return (corpus[i % len(corpus)] for i in range(length))
+
+
+def _bursty(workload: Workload, length: int, seed: int):
+    corpus = workload.dataset.objects
+    rng = _rng("bursty", seed)
+    width = max(1, len(corpus) // 64)
+    emitted = 0
+    cursor = 0
+    while emitted < length:
+        if rng.random() < 0.35:
+            # A burst: hammer one narrow slice of the corpus.
+            start = int(rng.integers(len(corpus)))
+            burst = min(length - emitted,
+                        int(rng.integers(width, 4 * width + 1)))
+            for _ in range(burst):
+                yield corpus[(start + int(rng.integers(width)))
+                             % len(corpus)]
+            emitted += burst
+        else:
+            calm = min(length - emitted,
+                       int(rng.integers(2 * width, 8 * width + 1)))
+            for _ in range(calm):
+                yield corpus[cursor % len(corpus)]
+                cursor += 1
+            emitted += calm
+
+
+def _flash_crowd(workload: Workload, length: int, seed: int):
+    corpus = workload.dataset.objects
+    rng = _rng("flash-crowd", seed)
+    intervals = max(1, min(FLASH_CROWD_INTERVALS, length))
+    bounds = [length * i // intervals for i in range(intervals + 1)]
+    for index in range(intervals):
+        hot = corpus[int(rng.integers(len(corpus)))]
+        for _ in range(bounds[index + 1] - bounds[index]):
+            if rng.random() < FLASH_CROWD_HEAT:
+                yield hot
+            else:
+                yield corpus[int(rng.integers(len(corpus)))]
+
+
+def _adversarial(workload: Workload, length: int, seed: int):
+    corpus = list(workload.dataset.objects)
+    rng = _rng("adversarial", seed)
+    # Aggregate dominance potential across a user sample, ascending:
+    # per user the potential is strictly monotone under dominance, so
+    # dominated objects lead and dominators trail.  Ties break by a
+    # seeded shuffle.
+    users = sorted(workload.preferences, key=str)[:8]
+    scorers = [potential_scores(
+        workload.preferences[user].aligned(workload.schema))
+        for user in users]
+    tie = rng.permutation(len(corpus))
+    ranked = sorted(
+        range(len(corpus)),
+        key=lambda i: (sum(score(corpus[i]) for score in scorers),
+                       int(tie[i])))
+    ordered = [corpus[i] for i in ranked]
+    return (ordered[i % len(ordered)] for i in range(length))
+
+
+def _zipf_skew(workload: Workload, length: int, seed: int):
+    corpus = workload.dataset.objects
+    rng = _rng("zipf-skew", seed)
+    ranking = rng.permutation(len(corpus))
+    weights = zipf_weights(len(corpus), 1.2)
+    draws = rng.choice(len(corpus), size=length, p=weights)
+    return (corpus[int(ranking[draw])] for draw in draws)
+
+
+_PUSH_SHAPES = {
+    "steady": _steady,
+    "bursty": _bursty,
+    "flash-crowd": _flash_crowd,
+    "adversarial": _adversarial,
+    "zipf-skew": _zipf_skew,
+}
+
+
+def _churn_heavy(workload: Workload, length: int, seed: int,
+                 batch_size: int) -> Traffic:
+    base = _batched("churn-heavy", seed, length, batch_size,
+                    _steady(workload, length, seed))
+    rng = _rng("churn-heavy", seed)
+    users = sorted(workload.preferences, key=str)
+    floor = max(1, len(users) // 2)
+    active = list(users)
+    departed: list[str] = []
+    ops: list[tuple] = []
+    for push in base.ops:
+        ops.append(push)
+        # One lifecycle op between batches: unsubscribe while above the
+        # population floor, otherwise re-subscribe a departed user.
+        if len(active) > floor and (not departed or rng.random() < 0.6):
+            index = int(rng.integers(len(active)))
+            user = active.pop(index)
+            departed.append(user)
+            ops.append(("unsubscribe", user))
+        elif departed:
+            user = departed.pop(int(rng.integers(len(departed))))
+            active.append(user)
+            ops.append(("subscribe", user))
+    return Traffic("churn-heavy", seed, length, batch_size, tuple(ops))
+
+
+def make_traffic(shape: str, workload: Workload, length: int, *,
+                 seed: int = 0, batch_size: int = 256) -> Traffic:
+    """Generate the named traffic *shape* over *workload*'s corpus.
+
+    Exactly *length* objects are pushed (in ``batch_size`` chunks) for
+    every shape; ``churn-heavy`` additionally splices lifecycle ops
+    between batches.  Deterministic: same arguments, byte-identical
+    stream (see :meth:`Traffic.fingerprint`).
+    """
+    if length < 1:
+        raise WindowError(f"traffic length must be >= 1, got {length}")
+    if batch_size < 1:
+        raise WindowError(
+            f"traffic batch_size must be >= 1, got {batch_size}")
+    if not len(workload.dataset):
+        raise WindowError("cannot generate traffic over an empty corpus")
+    if shape == "churn-heavy":
+        return _churn_heavy(workload, length, seed, batch_size)
+    try:
+        generator = _PUSH_SHAPES[shape]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic shape {shape!r}; choose from "
+            f"{', '.join(TRAFFIC_SHAPES)}") from None
+    return _batched(shape, seed, length, batch_size,
+                    generator(workload, length, seed))

@@ -69,10 +69,12 @@ class TestReadme:
         modules = {"generators", "ops", "measures", "objects", "stream",
                    "movies", "publications", "social", "retail",
                    "synthetic", "induction", "paper_example"}
+        import repro.bench.lab
         import repro.bench.runner
         import repro.data.retail
         import repro.data.stream
         import repro.data.synthetic
+        import repro.data.traffic
         import repro.io
         import repro.io_csv
         import repro.orders
@@ -80,7 +82,8 @@ class TestReadme:
 
         namespaces = (repro, repro.orders, repro.data.stream,
                       repro.data.synthetic, repro.data.retail, repro.io,
-                      repro.io_csv, repro.viz, repro.bench.runner)
+                      repro.io_csv, repro.viz, repro.bench.runner,
+                      repro.bench.lab, repro.data.traffic)
         for name in re.findall(r"\| `([A-Za-z_]+)`", api):
             if name in modules or name in repro.MEASURES:
                 continue   # module names / measure keys, not symbols

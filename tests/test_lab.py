@@ -1,0 +1,348 @@
+"""Tests for the scale lab (repro.bench.lab): run-table expansion,
+cell execution, aggregation, and the `repro bench` CLI verbs.
+
+The acceptance contract of DESIGN.md §16 is pinned here: expansion is
+deterministic (same table → same specs, same derived seeds), filters
+never shift a surviving run's seed, and a rerun of a cell reproduces a
+byte-identical workload (equal traffic fingerprints).
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+
+import pytest
+
+from repro.bench import runner
+from repro.bench.lab import (LEGACY_CELLS, TABLES, RunSpec, RunTable,
+                             RunTableError, aggregate, derive_seed,
+                             execute_table, get_table, load_artifacts,
+                             markdown_report, parse_filters,
+                             write_report)
+from repro.bench.runner import Scale
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setattr(runner, "_SCALE", Scale(
+        movie_objects=220, publication_objects=220, users=10,
+        stream_users=8, stream_objects=1800, stream_length=900,
+        accuracy_stream_length=700))
+    monkeypatch.setattr(runner, "_CACHE", {})
+    yield
+
+
+def grid(factors, **kwargs) -> RunTable:
+    return RunTable(name="t", factors=factors, **kwargs)
+
+
+class TestExpansion:
+    @pytest.mark.parametrize("shape,reps", [
+        ({"a": (1, 2)}, 1),
+        ({"a": (1, 2, 3), "b": ("x", "y")}, 2),
+        ({"a": (1,), "b": ("x",), "c": (True, False)}, 3),
+        ({"k": ("compiled", "vector", "interpreted"),
+          "e": ("serial", "threads", "processes"),
+          "w": (1, 2, 4, 8)}, 2),
+    ])
+    def test_counts_and_unique_ids(self, shape, reps):
+        table = grid(shape, repetitions=reps)
+        specs = table.expand()
+        expected = reps
+        for levels in shape.values():
+            expected *= len(levels)
+        assert len(specs) == expected
+        run_ids = [spec.run_id for spec in specs]
+        assert len(set(run_ids)) == len(run_ids)
+        cells = {spec.cell for spec in specs}
+        assert len(cells) == expected // reps
+
+    def test_cell_order_is_declaration_order(self):
+        table = grid({"a": (1, 2), "b": ("x", "y")})
+        assert [spec.cell for spec in table.expand()] == [
+            "a=1/b=x", "a=1/b=y", "a=2/b=x", "a=2/b=y"]
+
+    def test_expansion_is_deterministic(self):
+        table = grid({"a": (1, 2), "b": ("x", "y")}, repetitions=3,
+                     seed=5)
+        assert table.expand() == table.expand()
+
+    def test_seeds_unique_and_stable_under_filtering(self):
+        table = grid({"a": (1, 2, 3), "b": ("x", "y")}, repetitions=2)
+        full = {spec.run_id: spec.seed for spec in table.expand()}
+        assert len(set(full.values())) == len(full)
+        filtered = {spec.run_id: spec.seed
+                    for spec in table.expand({"a": [2]})}
+        assert filtered  # the filter matched something
+        for run_id, seed in filtered.items():
+            assert full[run_id] == seed
+
+    def test_seeds_stable_when_levels_added(self):
+        # Hash-derived seeds: growing the grid never reshuffles the
+        # seeds of pre-existing cells.
+        small = grid({"a": (1, 2)})
+        large = grid({"a": (1, 2, 3)})
+        small_seeds = {spec.run_id: spec.seed for spec in small.expand()}
+        large_seeds = {spec.run_id: spec.seed for spec in large.expand()}
+        for run_id, seed in small_seeds.items():
+            assert large_seeds[run_id] == seed
+
+    def test_root_seed_changes_all(self):
+        one = grid({"a": (1, 2)}, seed=1).expand()
+        two = grid({"a": (1, 2)}, seed=2).expand()
+        assert all(s1.seed != s2.seed for s1, s2 in zip(one, two))
+
+    def test_spec_accessors(self):
+        spec = grid({"a": (1,), "b": ("x",)}).expand()[0]
+        assert isinstance(spec, RunSpec)
+        assert spec.levels() == {"a": 1, "b": "x"}
+        assert spec.level("a") == 1
+        assert spec.level("missing", "fallback") == "fallback"
+        assert spec.run_id == "a=1/b=x#r0"
+
+    def test_filter_validation(self):
+        table = grid({"a": (1, 2)})
+        with pytest.raises(RunTableError):
+            table.expand({"nope": [1]})
+        with pytest.raises(RunTableError):
+            table.expand({"a": [9]})
+
+    def test_table_validation(self):
+        with pytest.raises(RunTableError):
+            grid({})
+        with pytest.raises(RunTableError):
+            grid({"a": ()})
+        with pytest.raises(RunTableError):
+            grid({"a": (1, "1")})   # indistinct str renderings
+        with pytest.raises(RunTableError):
+            grid({"a": (1, 2)}, repetitions=0)
+        with pytest.raises(RunTableError):
+            grid({"a": (1, 2)}, baseline={"a": 3})
+        with pytest.raises(RunTableError):
+            grid({"a": (1, 2)}, baseline={})
+
+    def test_baseline_cell_and_overrides(self):
+        table = grid({"a": (1, 2), "b": ("x", "y")},
+                     baseline={"a": "2", "b": "y"})
+        assert table.baseline_cell == "a=2/b=y"
+        bumped = table.with_overrides(repetitions=4, seed=9)
+        assert bumped.repetitions == 4 and bumped.seed == 9
+        assert table.repetitions == 1    # original untouched
+
+    def test_dict_roundtrip(self, tmp_path):
+        table = grid({"a": (1, 2)}, repetitions=2,
+                     baseline={"a": 1}, fixed={"length": 64},
+                     tags=("perf",), seed=3, description="d")
+        clone = RunTable.from_dict(table.to_dict())
+        assert clone.expand() == table.expand()
+        path = tmp_path / "table.json"
+        path.write_text(json.dumps(table.to_dict()), encoding="utf-8")
+        assert RunTable.load(str(path)).expand() == table.expand()
+        with pytest.raises(RunTableError):
+            RunTable.from_dict({"name": "x"})
+
+    def test_parse_filters(self):
+        assert parse_filters(["a=1,2", "b=x", "a=3"]) == {
+            "a": ["1", "2", "3"], "b": ["x"]}
+        with pytest.raises(RunTableError):
+            parse_filters(["nonsense"])
+
+    def test_derive_seed_spread(self):
+        seeds = {derive_seed(0, "t", f"cell{i}", rep)
+                 for i, rep in itertools.product(range(50), range(3))}
+        assert len(seeds) == 150
+
+
+SMALL = RunTable(
+    name="small", factors={"kernel": ("compiled", "vector")},
+    baseline={"kernel": "compiled"},
+    fixed={"family": "ftv", "length": 96, "batch": 32,
+           "traffic": "steady"})
+
+
+class TestExecutor:
+    def test_execute_persists_artifacts(self, tmp_path):
+        artifacts = execute_table(SMALL, artifacts_dir=tmp_path)
+        assert len(artifacts) == 2
+        files = sorted(tmp_path.glob("*.json"))
+        assert len(files) == 2
+        for artifact in artifacts:
+            assert artifact["table"] == "small"
+            assert artifact["objects"] == 96
+            assert artifact["delivered"] > 0
+            assert artifact["comparisons"] > 0
+            assert artifact["cpus"] >= 1
+            assert artifact["traffic_fingerprint"]
+            assert "batch_latency_ms" in artifact
+        # Both kernels see the same stream and deliver identically.
+        assert artifacts[0]["traffic_fingerprint"] \
+            == artifacts[1]["traffic_fingerprint"]
+        assert artifacts[0]["delivered"] == artifacts[1]["delivered"]
+
+    def test_rerun_reproduces_identical_workloads(self, tmp_path):
+        # The acceptance criterion: same table, same seed → the rerun
+        # replays byte-identical workloads in every cell.
+        first = execute_table(SMALL, artifacts_dir=tmp_path / "a")
+        second = execute_table(SMALL, artifacts_dir=tmp_path / "b")
+        for one, two in zip(first, second):
+            assert one["run_id"] == two["run_id"]
+            assert one["seed"] == two["seed"]
+            assert one["traffic_fingerprint"] \
+                == two["traffic_fingerprint"]
+            assert one["delivered"] == two["delivered"]
+            assert one["comparisons"] == two["comparisons"]
+
+    def test_churn_cell_runs_through_service(self):
+        table = RunTable(
+            name="churny", factors={"traffic": ("churn-heavy",)},
+            fixed={"family": "ftv", "length": 96, "batch": 32})
+        artifact = execute_table(table)[0]
+        assert artifact["lifecycle_ops"] > 0
+        assert "subscribers_final" in artifact
+        assert artifact["delivered"] >= 0
+
+    def test_filters_and_unknown_driver(self, tmp_path):
+        filtered = execute_table(SMALL,
+                                 filters={"kernel": ["vector"]})
+        assert [a["factors"]["kernel"] for a in filtered] == ["vector"]
+        broken = RunTable(name="broken", factors={"a": (1,)},
+                          driver="warp")
+        with pytest.raises(RunTableError):
+            execute_table(broken)
+
+
+class TestAggregate:
+    def run_artifacts(self):
+        table = SMALL.with_overrides(repetitions=2)
+        return table, execute_table(table)
+
+    def test_medians_and_speedups(self):
+        table, artifacts = self.run_artifacts()
+        report = aggregate(artifacts,
+                           baseline_cell=table.baseline_cell,
+                           table_name=table.name)
+        assert report["benchmark"] == "run_table"
+        assert report["runs"] == 4
+        assert report["cpus"] >= 1
+        assert set(report["cells"]) == {"kernel=compiled",
+                                        "kernel=vector"}
+        for cell in report["cells"].values():
+            assert cell["repetitions"] == 2
+            assert cell["elapsed_s"] > 0
+            assert cell["speedup_vs_baseline"] > 0
+        assert report["cells"]["kernel=compiled"][
+            "speedup_vs_baseline"] == 1.0
+
+    def test_markdown_and_persistence(self, tmp_path):
+        table, artifacts = self.run_artifacts()
+        report = aggregate(artifacts,
+                           baseline_cell=table.baseline_cell)
+        rendered = markdown_report(report)
+        assert "kernel=vector" in rendered
+        assert "baseline cell" in rendered
+        write_report(report, tmp_path)
+        assert (tmp_path / "report.json").exists()
+        assert (tmp_path / "report.md").exists()
+        reloaded = json.loads(
+            (tmp_path / "report.json").read_text())
+        assert reloaded["cells"] == json.loads(
+            json.dumps(report["cells"]))
+
+    def test_load_artifacts_skips_report(self, tmp_path):
+        _, artifacts = self.run_artifacts()
+        for index, artifact in enumerate(artifacts):
+            (tmp_path / f"{index}.json").write_text(
+                json.dumps(artifact), encoding="utf-8")
+        (tmp_path / "report.json").write_text("{}", encoding="utf-8")
+        assert len(load_artifacts(tmp_path)) == len(artifacts)
+
+    def test_errors(self, tmp_path):
+        with pytest.raises(RunTableError):
+            aggregate([])
+        _, artifacts = self.run_artifacts()
+        with pytest.raises(RunTableError):
+            aggregate(artifacts, baseline_cell="kernel=quantum")
+        with pytest.raises(RunTableError):
+            load_artifacts(tmp_path)
+
+
+class TestRegistryAndCli:
+    def test_named_tables(self):
+        assert {"perf-grid", "smoke-grid", "traffic-sweep"} \
+            <= set(TABLES)
+        # The flagship grid meets the ≥ 12 cell acceptance bar.
+        assert len(get_table("perf-grid").cells()) >= 12
+        assert get_table("perf-grid").baseline_cell is not None
+        with pytest.raises(RunTableError):
+            get_table("nope")
+        # Every retired perf id is mapped to its covering cells.
+        assert {"perf", "perf-batch", "perf-steady", "perf-churn",
+                "perf-shard", "perf-vector", "perf-wire",
+                "perf-serve"} <= set(LEGACY_CELLS)
+
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_bench_list(self):
+        code, text = self.run_cli("bench", "list")
+        assert code == 0
+        assert "perf-grid" in text and "smoke-grid" in text
+        assert "fig4" in text    # legacy ids listed alongside
+
+    def test_bench_run_with_table_file(self, tmp_path):
+        spec = tmp_path / "table.json"
+        spec.write_text(json.dumps(SMALL.to_dict()), encoding="utf-8")
+        art_dir = tmp_path / "runs"
+        code, text = self.run_cli(
+            "bench", "run", "--table", str(spec),
+            "--filter", "kernel=compiled", "-d", str(art_dir))
+        assert code == 0
+        assert "kernel=compiled" in text
+        assert (art_dir / "report.json").exists()
+        assert len(list(art_dir.glob("kernel=*.json"))) == 1
+
+    def test_bench_report_rereads_artifacts(self, tmp_path):
+        spec = tmp_path / "table.json"
+        spec.write_text(json.dumps(SMALL.to_dict()), encoding="utf-8")
+        art_dir = tmp_path / "runs"
+        assert self.run_cli("bench", "run", "--table", str(spec),
+                            "-d", str(art_dir))[0] == 0
+        code, text = self.run_cli("bench", "report", str(art_dir),
+                                  "--baseline", "kernel=compiled")
+        assert code == 0
+        assert "kernel=vector" in text
+
+    def test_bench_run_unknown_table(self):
+        assert self.run_cli("bench", "run", "warp-grid")[0] == 2
+
+    def test_legacy_alias_still_works(self):
+        # argparse.REMAINDER starts capturing at the first positional,
+        # so the legacy alias is exercised with an id-style argv.
+        code, text = self.run_cli("bench", "all", "--list")
+        assert code == 0
+
+    def test_tag_filtering(self):
+        import contextlib
+
+        from repro.bench.__main__ import main as bench_main
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            assert bench_main(["--list", "--tag", "perf"]) == 0
+        listed = buffer.getvalue().split()
+        assert "perf-batch" in listed and "fig4" not in listed
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            assert bench_main(["--list", "--skip-tag", "perf",
+                               "--skip-tag", "ablation"]) == 0
+        listed = buffer.getvalue().split()
+        assert "fig4" in listed
+        assert "perf-batch" not in listed
+        assert "abl-batch" not in listed

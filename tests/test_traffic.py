@@ -1,0 +1,175 @@
+"""Tests for the traffic-shape workload generators (repro.data.traffic).
+
+The determinism contract carries the whole scale lab: the same
+(shape, workload, length, seed, batch size) must produce a
+byte-identical op stream, because a rerun of a run table proves it
+replayed the same workload via :meth:`Traffic.fingerprint`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import runner
+from repro.bench.runner import Scale, make_monitor
+from repro.core.errors import WindowError
+from repro.data.traffic import (TRAFFIC_SHAPES, Traffic, make_traffic)
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setattr(runner, "_SCALE", Scale(
+        movie_objects=220, publication_objects=220, users=10,
+        stream_users=8, stream_objects=1800, stream_length=900,
+        accuracy_stream_length=700))
+    monkeypatch.setattr(runner, "_CACHE", {})
+    yield
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # Module-scoped: one dendrogram-less prepared workload for every
+    # shape test (the generators never touch the dendrogram).
+    scale = Scale(movie_objects=220, publication_objects=220, users=10,
+                  stream_users=8, stream_objects=1800,
+                  stream_length=900, accuracy_stream_length=700)
+    original_scale, original_cache = runner._SCALE, runner._CACHE
+    runner._SCALE, runner._CACHE = scale, {}
+    try:
+        yield runner.prepared("movies")[0]
+    finally:
+        runner._SCALE, runner._CACHE = original_scale, original_cache
+
+
+class TestShapes:
+    @pytest.mark.parametrize("shape", TRAFFIC_SHAPES)
+    def test_exact_length_and_batching(self, workload, shape):
+        traffic = make_traffic(shape, workload, 300, seed=3,
+                               batch_size=64)
+        objects = traffic.objects()
+        assert len(objects) == 300
+        # Renumbered oids follow the replay convention.
+        assert [obj.oid for obj in objects] == list(range(300))
+        push_sizes = [len(op[1]) for op in traffic.ops
+                      if op[0] == "push"]
+        assert all(size <= 64 for size in push_sizes)
+        assert sum(push_sizes) == 300
+
+    @pytest.mark.parametrize("shape", TRAFFIC_SHAPES)
+    def test_same_seed_byte_identical(self, workload, shape):
+        first = make_traffic(shape, workload, 250, seed=7,
+                             batch_size=32)
+        second = make_traffic(shape, workload, 250, seed=7,
+                              batch_size=32)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.ops == second.ops
+
+    @pytest.mark.parametrize("shape", ("bursty", "flash-crowd",
+                                       "adversarial", "churn-heavy",
+                                       "zipf-skew"))
+    def test_different_seed_different_stream(self, workload, shape):
+        first = make_traffic(shape, workload, 250, seed=1)
+        second = make_traffic(shape, workload, 250, seed=2)
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_steady_is_seed_independent(self, workload):
+        # The uniform reference replays the corpus in order: seeds
+        # cannot move it.
+        first = make_traffic("steady", workload, 250, seed=1)
+        second = make_traffic("steady", workload, 250, seed=2)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_flash_crowd_concentrates(self, workload):
+        traffic = make_traffic("flash-crowd", workload, 400, seed=5)
+        counts: dict[tuple, int] = {}
+        for obj in traffic.objects():
+            counts[obj.values] = counts.get(obj.values, 0) + 1
+        top = max(counts.values())
+        # Four intervals at 80% heat: the hottest object alone must
+        # beat the uniform share by a wide margin (≥ one interval's
+        # hot mass even if every interval picks a different object).
+        assert top >= 0.8 * (400 // 4) * 0.75
+        steady = make_traffic("steady", workload, 400)
+        steady_counts: dict[tuple, int] = {}
+        for obj in steady.objects():
+            steady_counts[obj.values] = \
+                steady_counts.get(obj.values, 0) + 1
+        assert top > 3 * max(steady_counts.values())
+
+    def test_adversarial_orders_dominated_first(self, workload):
+        traffic = make_traffic("adversarial", workload, 200, seed=0)
+        first_cycle = traffic.objects()[:100]
+        schema = workload.schema
+        preferences = [workload.preferences[user] for user in
+                       sorted(workload.preferences, key=str)[:8]]
+        forward = 0   # an earlier arrival dominating a later one
+        backward = 0  # a later arrival dominating an earlier one
+        for pref in preferences:
+            for i in range(1, len(first_cycle)):
+                for j in range(i):
+                    if pref.dominates(first_cycle[j], first_cycle[i],
+                                      schema):
+                        forward += 1
+                    elif pref.dominates(first_cycle[i], first_cycle[j],
+                                        schema):
+                        backward += 1
+        # Anti-sieve ordering: dominators trail their victims, so the
+        # backward direction overwhelms the forward one.
+        assert backward > 0
+        assert forward <= backward / 4
+
+    def test_adversarial_raises_comparisons_vs_steady(self, workload):
+        from repro.bench.runner import prepared
+
+        workload2, dendrogram = prepared("movies")
+        counts = {}
+        for shape in ("steady", "adversarial"):
+            monitor = make_monitor("ftv", workload2, dendrogram)
+            for op in make_traffic(shape, workload2, 300, seed=0,
+                                   batch_size=1).ops:
+                monitor.push_batch(list(op[1]))
+            counts[shape] = monitor.stats.comparisons
+        assert counts["adversarial"] > counts["steady"]
+
+    def test_churn_heavy_ops_valid_and_bounded(self, workload):
+        traffic = make_traffic("churn-heavy", workload, 300, seed=4,
+                               batch_size=32)
+        assert traffic.lifecycle_ops() > 0
+        users = sorted(workload.preferences, key=str)
+        active = set(users)
+        floor = max(1, len(users) // 2)
+        for op in traffic.ops:
+            if op[0] == "subscribe":
+                assert op[1] not in active
+                active.add(op[1])
+            elif op[0] == "unsubscribe":
+                assert op[1] in active
+                active.remove(op[1])
+                assert len(active) >= floor
+        assert {op[1] for op in traffic.ops if op[0] != "push"} \
+            <= set(users)
+
+    def test_zipf_skew_is_skewed(self, workload):
+        traffic = make_traffic("zipf-skew", workload, 600, seed=9)
+        counts: dict[tuple, int] = {}
+        for obj in traffic.objects():
+            counts[obj.values] = counts.get(obj.values, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        # The top decile of objects carries well over half the stream.
+        top_decile = max(1, len(ranked) // 10)
+        assert sum(ranked[:top_decile]) > 0.4 * 600
+
+    def test_validation(self, workload):
+        with pytest.raises(ValueError):
+            make_traffic("tsunami", workload, 100)
+        with pytest.raises(WindowError):
+            make_traffic("steady", workload, 0)
+        with pytest.raises(WindowError):
+            make_traffic("steady", workload, 100, batch_size=0)
+
+    def test_repr_and_flat_consistency(self, workload):
+        traffic = make_traffic("bursty", workload, 120, seed=2,
+                               batch_size=50)
+        assert isinstance(traffic, Traffic)
+        assert "bursty" in repr(traffic)
+        assert len(traffic.objects()) == traffic.length
